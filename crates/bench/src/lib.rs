@@ -1,0 +1,64 @@
+//! # fsi-bench — benchmark fixtures
+//!
+//! Shared fixtures for the Criterion benchmarks. The benchmarks themselves
+//! live in `benches/`:
+//!
+//! * `construction` — end-to-end partition construction per method
+//!   (reproduces the §5.3.1 Fair-vs-Iterative cost comparison as a ratio).
+//! * `split_search` — the Eq. 9 split scan: summed-area-table O(extent)
+//!   implementation vs a naive per-cell rescan.
+//! * `ml_training` — classifier fit/score throughput.
+//! * `metrics` — ENCE and grouped-calibration throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fsi_core::CellStats;
+use fsi_data::synth::city::{CityConfig, CityGenerator};
+use fsi_data::SpatialDataset;
+
+/// A deterministic mid-size dataset for benches (LA-like, 16k grid).
+pub fn bench_dataset(n: usize, grid_side: usize) -> SpatialDataset {
+    CityGenerator::new(CityConfig {
+        n_individuals: n,
+        grid_side,
+        seed: 99,
+        ..CityConfig::default()
+    })
+    .expect("valid bench config")
+    .generate()
+    .expect("bench dataset generates")
+}
+
+/// Cell statistics with a plausible residual field for split benches.
+pub fn bench_stats(dataset: &SpatialDataset) -> CellStats {
+    let labels = dataset
+        .threshold_labels("avg_act", 22.0)
+        .expect("act outcome exists");
+    // A crude score proxy: positive rate blended with location, enough to
+    // create non-trivial residual structure without training a model.
+    let scores: Vec<f64> = dataset
+        .locations()
+        .iter()
+        .map(|p| (0.3 + 0.4 * p.x + 0.2 * p.y).clamp(0.0, 1.0))
+        .collect();
+    let counts = dataset.cell_populations();
+    let score_sums = dataset.cell_sums(&scores).expect("lengths match");
+    let label_sums = dataset.cell_label_sums(&labels).expect("lengths match");
+    CellStats::new(dataset.grid(), &counts, &score_sums, &label_sums)
+        .expect("stats build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let d = bench_dataset(300, 32);
+        assert_eq!(d.len(), 300);
+        let s = bench_stats(&d);
+        assert_eq!(s.shape(), (32, 32));
+        assert_eq!(s.count(&d.grid().full_rect()), 300.0);
+    }
+}

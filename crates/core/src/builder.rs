@@ -1,0 +1,225 @@
+//! Algorithm 1: DFS construction of a (fair) KD-tree.
+//!
+//! The builder is generic over the [`SplitPolicy`]: with
+//! [`crate::split::FairSplit`] it is the paper's **Fair KD-tree**, with
+//! [`crate::split::MedianSplit`] the **Median KD-tree** baseline, and with
+//! [`crate::split::MultiObjectiveSplit`] (plus auxiliary aggregates) the
+//! **Multi-Objective Fair KD-tree** — the three algorithms share every
+//! structural detail except the objective, exactly as in the paper.
+
+use crate::cellstats::CellStats;
+use crate::config::BuildConfig;
+use crate::error::CoreError;
+use crate::split::{choose_split, SplitPolicy};
+use crate::tree::{KdNode, KdTree, NodeKind};
+use fsi_geo::{Axis, CellRect};
+
+/// Builds a KD-tree of the configured height over the full grid using the
+/// given split policy (Algorithm 1).
+///
+/// At each node with remaining height `th > 0` the split axis is
+/// `th mod 2` (line 5 of Algorithm 1). If the chosen axis is exhausted
+/// (fewer than two rows/columns remain) the other axis is tried; if both
+/// are exhausted — or no candidate satisfies the population constraint —
+/// the node becomes a leaf early.
+pub fn build_kd_tree(
+    stats: &CellStats,
+    policy: &dyn SplitPolicy,
+    config: &BuildConfig,
+) -> Result<KdTree, CoreError> {
+    config.validate()?;
+    let (rows, cols) = stats.shape();
+    let root = CellRect::new(0, rows, 0, cols);
+    let mut nodes: Vec<KdNode> = Vec::new();
+    build_node(stats, policy, config, &mut nodes, root, config.height)?;
+    Ok(KdTree::from_arena(nodes, rows, cols))
+}
+
+/// Recursive node construction; returns the arena index of the node.
+fn build_node(
+    stats: &CellStats,
+    policy: &dyn SplitPolicy,
+    config: &BuildConfig,
+    nodes: &mut Vec<KdNode>,
+    region: CellRect,
+    th: usize,
+) -> Result<u32, CoreError> {
+    let id = nodes.len() as u32;
+    if th == 0 {
+        nodes.push(KdNode {
+            region,
+            kind: NodeKind::Leaf { region_id: 0 },
+        });
+        return Ok(id);
+    }
+
+    // Algorithm 1 line 5: axis <- th mod 2, falling back to the other axis
+    // when exhausted.
+    let preferred = Axis::for_height(th);
+    let decision = match choose_split(policy, stats, &region, preferred, config)? {
+        Some(d) => Some(d),
+        None => choose_split(policy, stats, &region, preferred.other(), config)?,
+    };
+
+    match decision {
+        None => {
+            nodes.push(KdNode {
+                region,
+                kind: NodeKind::Leaf { region_id: 0 },
+            });
+            Ok(id)
+        }
+        Some(d) => {
+            nodes.push(KdNode {
+                region,
+                kind: NodeKind::Leaf { region_id: 0 }, // placeholder
+            });
+            let low = build_node(stats, policy, config, nodes, d.low, th - 1)?;
+            let high = build_node(stats, policy, config, nodes, d.high, th - 1)?;
+            nodes[id as usize].kind = NodeKind::Internal {
+                axis: d.axis,
+                offset: d.offset,
+                low,
+                high,
+            };
+            Ok(id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::{FairSplit, MedianSplit};
+    use fsi_geo::{Grid, Partition};
+
+    fn uniform_stats(side: usize) -> CellStats {
+        let g = Grid::unit(side).unwrap();
+        let n = side * side;
+        CellStats::new(&g, &vec![1.0; n], &vec![0.5; n], &vec![0.5; n]).unwrap()
+    }
+
+    #[test]
+    fn full_height_tree_has_power_of_two_leaves() {
+        let stats = uniform_stats(8);
+        let t = build_kd_tree(&stats, &MedianSplit, &BuildConfig::with_height(3)).unwrap();
+        assert_eq!(t.num_leaves(), 8);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.node_count(), 15);
+    }
+
+    #[test]
+    fn leaves_tile_the_grid() {
+        let stats = uniform_stats(8);
+        let g = Grid::unit(8).unwrap();
+        for h in 1..=4 {
+            let t = build_kd_tree(&stats, &FairSplit, &BuildConfig::with_height(h)).unwrap();
+            // Partition construction itself validates completeness and
+            // non-overlap.
+            let p = t.partition(&g).unwrap();
+            assert_eq!(p.num_regions(), t.num_leaves());
+        }
+    }
+
+    #[test]
+    fn height_capped_by_grid_resolution() {
+        // A 2x2 grid supports at most 4 leaves regardless of height.
+        let stats = uniform_stats(2);
+        let t = build_kd_tree(&stats, &MedianSplit, &BuildConfig::with_height(6)).unwrap();
+        assert_eq!(t.num_leaves(), 4);
+    }
+
+    #[test]
+    fn axis_alternates_with_height() {
+        let stats = uniform_stats(8);
+        let t = build_kd_tree(&stats, &MedianSplit, &BuildConfig::with_height(2)).unwrap();
+        // Root had th=2 (Row), children th=1 (Col).
+        match &t.nodes()[0].kind {
+            NodeKind::Internal { axis, .. } => assert_eq!(*axis, Axis::Row),
+            _ => panic!("root must be internal"),
+        }
+        let child_axes: Vec<Axis> = t
+            .nodes()
+            .iter()
+            .skip(1)
+            .filter_map(|n| match &n.kind {
+                NodeKind::Internal { axis, .. } => Some(*axis),
+                _ => None,
+            })
+            .collect();
+        assert!(child_axes.iter().all(|a| *a == Axis::Col));
+    }
+
+    #[test]
+    fn fair_tree_splits_residual_in_half_when_possible() {
+        // Construct residuals where an exact half-split exists at every
+        // level; the fair tree should drive leaf residual mass to the
+        // minimum possible: |total residual|.
+        let g = Grid::unit(4).unwrap();
+        // All residual sits in row 0: +8 split as 4|4 across columns, etc.
+        let mut scores = vec![0.0; 16];
+        for c in 0..4 {
+            scores[c] = 2.0; // row 0 cells contribute residual 2 each
+        }
+        let stats = CellStats::new(&g, &[1.0; 16], &scores, &[0.0; 16]).unwrap();
+        let t = build_kd_tree(&stats, &FairSplit, &BuildConfig::with_height(2)).unwrap();
+        let total_mass: f64 = t
+            .leaf_regions()
+            .iter()
+            .map(|r| stats.miscalibration_mass(r))
+            .sum();
+        // Theorem-1 lower bound: |total residual| = 8.
+        assert!((total_mass - 8.0).abs() < 1e-9, "mass {total_mass}");
+    }
+
+    #[test]
+    fn median_vs_fair_differ_on_skewed_residuals() {
+        // Uniform population but residuals concentrated in one corner:
+        // median ignores them, fair reacts.
+        let g = Grid::unit(8).unwrap();
+        let n = 64;
+        let mut scores = vec![0.0; n];
+        for r in 0..3 {
+            for c in 0..3 {
+                scores[r * 8 + c] = 1.0;
+            }
+        }
+        let stats = CellStats::new(&g, &vec![1.0; n], &scores, &vec![0.0; n]).unwrap();
+        let median = build_kd_tree(&stats, &MedianSplit, &BuildConfig::with_height(3)).unwrap();
+        let fair = build_kd_tree(&stats, &FairSplit, &BuildConfig::with_height(3)).unwrap();
+        assert_ne!(median.leaf_regions(), fair.leaf_regions());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let stats = uniform_stats(8);
+        let a = build_kd_tree(&stats, &FairSplit, &BuildConfig::with_height(4)).unwrap();
+        let b = build_kd_tree(&stats, &FairSplit, &BuildConfig::with_height(4)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let stats = uniform_stats(4);
+        assert!(build_kd_tree(&stats, &MedianSplit, &BuildConfig::with_height(0)).is_err());
+    }
+
+    #[test]
+    fn partition_refines_across_heights() {
+        // The leaf set at height h+1 refines the leaf set at height h
+        // for median splits on uniform data (same split points, one more
+        // level) — a structural sanity check tying into Theorem 2.
+        let stats = uniform_stats(8);
+        let g = Grid::unit(8).unwrap();
+        let coarse = build_kd_tree(&stats, &MedianSplit, &BuildConfig::with_height(2))
+            .unwrap()
+            .partition(&g)
+            .unwrap();
+        let fine = build_kd_tree(&stats, &MedianSplit, &BuildConfig::with_height(3))
+            .unwrap()
+            .partition(&g)
+            .unwrap();
+        assert!(fine.refines(&coarse));
+        let _ = Partition::single(&g);
+    }
+}

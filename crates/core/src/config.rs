@@ -1,0 +1,112 @@
+//! Construction configuration.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// How exact ties among minimal-objective split candidates are resolved.
+///
+/// Eq. 9's objective can plateau: in a region whose net residual is ~0
+/// (e.g. the root right after training a calibrated model) *every* split
+/// index scores nearly the same, and in empty regions every index scores
+/// exactly zero. Strict `argmin` then degenerates to "always cut off the
+/// first row", producing sliver regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Among (near-)minimal candidates, prefer the most population-balanced
+    /// split (recommended; the default).
+    #[default]
+    PreferBalanced,
+    /// Strict first-index `argmin` — the literal reading of Eq. 10. Kept
+    /// for the ablation study.
+    FirstIndex,
+}
+
+/// Configuration for KD-tree construction (Algorithms 1 and 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildConfig {
+    /// Tree height `th`: the leaf set has at most `2^th` regions.
+    pub height: usize,
+    /// Tie resolution among minimal split candidates.
+    pub tie_break: TieBreak,
+    /// Candidates whose objective is within `best + tie_epsilon` count as
+    /// tied. The default keeps the window essentially at exact ties.
+    pub tie_epsilon: f64,
+    /// Minimum population required in *each* child for a split candidate
+    /// to be admissible. `0.0` (default) reproduces the paper, which allows
+    /// empty neighborhoods.
+    pub min_child_population: f64,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self {
+            height: 6,
+            tie_break: TieBreak::PreferBalanced,
+            tie_epsilon: 1e-9,
+            min_child_population: 0.0,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// Creates a config with the given height and defaults elsewhere.
+    pub fn with_height(height: usize) -> Self {
+        Self {
+            height,
+            ..Self::default()
+        }
+    }
+
+    /// Validates field ranges.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.height == 0 {
+            return Err(CoreError::InvalidConfig(
+                "height must be at least 1".into(),
+            ));
+        }
+        if self.height > 32 {
+            return Err(CoreError::InvalidConfig(format!(
+                "height {} is unreasonably large (max 32)",
+                self.height
+            )));
+        }
+        if !(self.tie_epsilon >= 0.0 && self.tie_epsilon.is_finite()) {
+            return Err(CoreError::InvalidConfig(
+                "tie_epsilon must be non-negative and finite".into(),
+            ));
+        }
+        if !(self.min_child_population >= 0.0 && self.min_child_population.is_finite()) {
+            return Err(CoreError::InvalidConfig(
+                "min_child_population must be non-negative and finite".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(BuildConfig::default().validate().is_ok());
+        assert!(BuildConfig::with_height(10).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut c = BuildConfig::default();
+        c.height = 0;
+        assert!(c.validate().is_err());
+        let mut c = BuildConfig::default();
+        c.height = 33;
+        assert!(c.validate().is_err());
+        let mut c = BuildConfig::default();
+        c.tie_epsilon = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = BuildConfig::default();
+        c.min_child_population = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

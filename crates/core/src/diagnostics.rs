@@ -1,0 +1,184 @@
+//! Per-leaf diagnostics for built trees.
+//!
+//! Given a tree and the [`CellStats`] it was (or could have been) built
+//! from, this module reports each leaf's population, calibration pair
+//! `(e, o)` and ENCE contribution — the table an operator inspects to
+//! understand *where* a districting still mis-serves residents.
+
+use crate::cellstats::CellStats;
+use crate::error::CoreError;
+use crate::tree::KdTree;
+use fsi_geo::CellRect;
+use serde::{Deserialize, Serialize};
+
+/// Diagnostics of one leaf region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeafReport {
+    /// Leaf/region id.
+    pub region_id: usize,
+    /// Covered grid block.
+    pub region: CellRect,
+    /// Population `|N|` (from the statistics, e.g. training rows).
+    pub population: f64,
+    /// Mean confidence score `e(N)` (`None` when unpopulated).
+    pub mean_score: Option<f64>,
+    /// Positive fraction `o(N)` (`None` when unpopulated).
+    pub positive_fraction: Option<f64>,
+    /// Net residual `Σ (s − y)`.
+    pub net_residual: f64,
+    /// Share of the total ENCE mass contributed by this leaf.
+    pub ence_share: f64,
+}
+
+/// Summary of a tree against statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeDiagnostics {
+    /// One entry per leaf, in region-id order.
+    pub leaves: Vec<LeafReport>,
+    /// ENCE of the leaf districting w.r.t. the statistics
+    /// (`Σ |net residual| / Σ population`).
+    pub ence: f64,
+    /// The Theorem-1 lower bound: `|total residual| / population`.
+    pub lower_bound: f64,
+    /// Number of populated leaves.
+    pub occupied: usize,
+}
+
+/// Computes per-leaf diagnostics of `tree` against `stats`.
+///
+/// The shapes must match; `stats` may be the construction-time aggregates
+/// or fresh ones from a newly trained model (to audit transfer).
+pub fn tree_diagnostics(tree: &KdTree, stats: &CellStats) -> Result<TreeDiagnostics, CoreError> {
+    let (rows, cols) = stats.shape();
+    if (rows, cols) != tree.grid_shape() {
+        return Err(CoreError::ShapeMismatch {
+            expected: tree.grid_shape().0 * tree.grid_shape().1,
+            got: rows * cols,
+            what: "diagnostics grid",
+        });
+    }
+    let regions = tree.leaf_regions();
+    let total_pop: f64 = stats.count(&CellRect::new(0, rows, 0, cols));
+    let total_mass: f64 = regions.iter().map(|r| stats.miscalibration_mass(r)).sum();
+    let leaves: Vec<LeafReport> = regions
+        .iter()
+        .enumerate()
+        .map(|(region_id, region)| {
+            let population = stats.count(region);
+            let mass = stats.miscalibration_mass(region);
+            LeafReport {
+                region_id,
+                region: *region,
+                population,
+                mean_score: stats.mean_score(region),
+                positive_fraction: stats.positive_fraction(region),
+                net_residual: stats.residual(region),
+                ence_share: if total_mass > 0.0 {
+                    mass / total_mass
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    let occupied = leaves.iter().filter(|l| l.population > 0.0).count();
+    Ok(TreeDiagnostics {
+        ence: if total_pop > 0.0 {
+            total_mass / total_pop
+        } else {
+            0.0
+        },
+        lower_bound: if total_pop > 0.0 {
+            stats
+                .residual(&CellRect::new(0, rows, 0, cols))
+                .abs()
+                / total_pop
+        } else {
+            0.0
+        },
+        occupied,
+        leaves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_kd_tree;
+    use crate::config::BuildConfig;
+    use crate::split::{FairSplit, MedianSplit};
+    use fsi_geo::Grid;
+
+    fn stats() -> CellStats {
+        let g = Grid::unit(8).unwrap();
+        let n = 64;
+        let counts = vec![1.0; n];
+        let scores: Vec<f64> = (0..n).map(|i| 0.25 + 0.5 * ((i % 8) as f64 / 8.0)).collect();
+        let labels: Vec<f64> = (0..n).map(|i| f64::from(u8::from(i % 3 == 0))).collect();
+        CellStats::new(&g, &counts, &scores, &labels).unwrap()
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_ence_is_consistent() {
+        let s = stats();
+        let tree = build_kd_tree(&s, &FairSplit, &BuildConfig::with_height(3)).unwrap();
+        let d = tree_diagnostics(&tree, &s).unwrap();
+        assert_eq!(d.leaves.len(), tree.num_leaves());
+        let share: f64 = d.leaves.iter().map(|l| l.ence_share).sum();
+        assert!((share - 1.0).abs() < 1e-9);
+        // ENCE equals the population-weighted residual-mass identity.
+        let manual: f64 = d
+            .leaves
+            .iter()
+            .map(|l| l.net_residual.abs())
+            .sum::<f64>()
+            / 64.0;
+        assert!((d.ence - manual).abs() < 1e-12);
+        assert!(d.ence >= d.lower_bound - 1e-12, "Theorem 1");
+        assert_eq!(d.occupied, tree.num_leaves());
+    }
+
+    #[test]
+    fn fair_tree_diagnoses_no_worse_than_median_on_its_own_field() {
+        let s = stats();
+        let fair = build_kd_tree(&s, &FairSplit, &BuildConfig::with_height(3)).unwrap();
+        let median = build_kd_tree(&s, &MedianSplit, &BuildConfig::with_height(3)).unwrap();
+        let df = tree_diagnostics(&fair, &s).unwrap();
+        let dm = tree_diagnostics(&median, &s).unwrap();
+        assert!(df.ence <= dm.ence + 1e-9);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let s = stats();
+        let tree = build_kd_tree(&s, &MedianSplit, &BuildConfig::with_height(2)).unwrap();
+        let g4 = Grid::unit(4).unwrap();
+        let other = CellStats::new(&g4, &[1.0; 16], &[0.0; 16], &[0.0; 16]).unwrap();
+        assert!(matches!(
+            tree_diagnostics(&tree, &other),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unpopulated_leaves_are_reported() {
+        let g = Grid::unit(4).unwrap();
+        // Population (and hence score mass) only in the top row: per-cell
+        // aggregates are sums over resident individuals, so unpopulated
+        // cells carry zero sums.
+        let mut counts = vec![0.0; 16];
+        let mut score_sums = vec![0.0; 16];
+        for c in 0..4 {
+            counts[c] = 2.0;
+            score_sums[c] = 1.0;
+        }
+        let s = CellStats::new(&g, &counts, &score_sums, &vec![0.0; 16]).unwrap();
+        let tree = build_kd_tree(&s, &MedianSplit, &BuildConfig::with_height(2)).unwrap();
+        let d = tree_diagnostics(&tree, &s).unwrap();
+        assert!(d.occupied < d.leaves.len());
+        let empty = d.leaves.iter().find(|l| l.population == 0.0).unwrap();
+        assert_eq!(empty.mean_score, None);
+        assert_eq!(empty.positive_fraction, None);
+        assert_eq!(empty.net_residual, 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for index construction.
+
+use fsi_geo::GeoError;
+use std::fmt;
+
+/// Errors produced while building or querying fair spatial indexes.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An underlying geometry operation failed.
+    Geo(GeoError),
+    /// Aggregate vectors do not match the grid shape.
+    ShapeMismatch {
+        /// Expected number of cells.
+        expected: usize,
+        /// Received length.
+        got: usize,
+        /// Which aggregate disagreed.
+        what: &'static str,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+    /// The caller asked for an operation requiring auxiliary (multi-task)
+    /// aggregates, but none were attached to the [`crate::CellStats`].
+    MissingAux,
+    /// The external retrainer failed during iterative construction.
+    Retrain(Box<dyn std::error::Error + Send + Sync>),
+    /// A non-finite aggregate value was supplied.
+    NonFiniteAggregate {
+        /// Offending cell index.
+        cell: usize,
+        /// Which aggregate contained it.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Geo(e) => write!(f, "geometry error: {e}"),
+            CoreError::ShapeMismatch {
+                expected,
+                got,
+                what,
+            } => write!(f, "{what}: expected {expected} cells, got {got}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            CoreError::MissingAux => {
+                write!(f, "multi-objective split requires auxiliary aggregates")
+            }
+            CoreError::Retrain(e) => write!(f, "retrainer failed: {e}"),
+            CoreError::NonFiniteAggregate { cell, what } => {
+                write!(f, "non-finite {what} aggregate at cell {cell}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Geo(e) => Some(e),
+            CoreError::Retrain(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeoError> for CoreError {
+    fn from(e: GeoError) -> Self {
+        CoreError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::MissingAux.to_string().contains("auxiliary"));
+        let e = CoreError::ShapeMismatch {
+            expected: 16,
+            got: 4,
+            what: "counts",
+        };
+        assert!(e.to_string().contains("16"));
+        let e: CoreError = GeoError::NoSeeds.into();
+        assert!(e.to_string().contains("seed"));
+    }
+}

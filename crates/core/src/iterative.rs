@@ -1,0 +1,301 @@
+//! Algorithm 3: Iterative Fair KD-tree — BFS construction with model
+//! retraining at every level.
+//!
+//! The plain Fair KD-tree scores splits with confidence scores from one
+//! initial training run. The iterative variant re-trains the model after
+//! each level (on the *current* neighborhood districting) so that deeper
+//! splits use refreshed scores — better fairness at the cost of
+//! `⌈log t⌉` model trainings (Theorem 4).
+//!
+//! Model training lives outside this crate; the builder calls back through
+//! the [`Retrainer`] trait with the current partition and receives fresh
+//! per-cell aggregates.
+
+use crate::cellstats::CellStats;
+use crate::config::BuildConfig;
+use crate::error::CoreError;
+use crate::split::{choose_split, SplitPolicy};
+use crate::tree::{KdNode, KdTree, NodeKind};
+use fsi_geo::{Axis, CellRect, Grid, Partition};
+
+/// Supplies refreshed per-cell aggregates for the current districting.
+///
+/// Implementations typically: update each individual's neighborhood
+/// attribute from `partition`, re-train the classifier, and aggregate the
+/// new confidence scores per grid cell (counts and label sums are
+/// invariant across rounds).
+pub trait Retrainer {
+    /// Re-trains for the given partition and returns fresh aggregates.
+    fn retrain(&mut self, partition: &Partition) -> Result<CellStats, CoreError>;
+}
+
+/// A [`Retrainer`] that always returns aggregates derived from a fixed
+/// score set. Useful for tests and for recovering Algorithm 1's behavior
+/// through the iterative code path.
+#[derive(Debug, Clone)]
+pub struct FixedRetrainer {
+    stats: CellStats,
+    /// Number of retrain calls served (observable in tests).
+    pub calls: usize,
+}
+
+impl FixedRetrainer {
+    /// Wraps fixed statistics.
+    pub fn new(stats: CellStats) -> Self {
+        Self { stats, calls: 0 }
+    }
+}
+
+impl Retrainer for FixedRetrainer {
+    fn retrain(&mut self, _partition: &Partition) -> Result<CellStats, CoreError> {
+        self.calls += 1;
+        Ok(self.stats.clone())
+    }
+}
+
+/// Builds trees level-by-level (BFS), retraining between levels.
+#[derive(Debug, Clone)]
+pub struct IterativeBuilder {
+    config: BuildConfig,
+}
+
+impl IterativeBuilder {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: BuildConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// Runs Algorithm 3 over `grid` with the given split policy and
+    /// retrainer.
+    pub fn build(
+        &self,
+        grid: &Grid,
+        policy: &dyn SplitPolicy,
+        retrainer: &mut dyn Retrainer,
+    ) -> Result<KdTree, CoreError> {
+        let mut nodes = vec![KdNode {
+            region: grid.full_rect(),
+            kind: NodeKind::Leaf { region_id: 0 },
+        }];
+        let mut frontier: Vec<u32> = vec![0];
+
+        for level in 0..self.config.height {
+            if frontier.is_empty() {
+                break;
+            }
+            // Remaining height at this level's nodes (Algorithm 3
+            // decrements th from the configured height).
+            let th = self.config.height - level;
+            let axis = Axis::for_height(th);
+
+            // Current leaf set (all leaves, including early-terminated
+            // ones) forms the districting the model retrains on.
+            let leaf_rects: Vec<CellRect> = nodes
+                .iter()
+                .filter(|n| matches!(n.kind, NodeKind::Leaf { .. }))
+                .map(|n| n.region)
+                .collect();
+            let partition = Partition::from_rects(grid, &leaf_rects)?;
+            let stats = retrainer.retrain(&partition)?;
+            let (srows, scols) = stats.shape();
+            if srows != grid.rows() || scols != grid.cols() {
+                return Err(CoreError::ShapeMismatch {
+                    expected: grid.len(),
+                    got: srows * scols,
+                    what: "retrained aggregates",
+                });
+            }
+
+            let mut next_frontier = Vec::with_capacity(frontier.len() * 2);
+            for &idx in &frontier {
+                let region = nodes[idx as usize].region;
+                let decision = match choose_split(policy, &stats, &region, axis, &self.config)? {
+                    Some(d) => Some(d),
+                    None => choose_split(policy, &stats, &region, axis.other(), &self.config)?,
+                };
+                if let Some(d) = decision {
+                    let low_id = nodes.len() as u32;
+                    nodes.push(KdNode {
+                        region: d.low,
+                        kind: NodeKind::Leaf { region_id: 0 },
+                    });
+                    let high_id = nodes.len() as u32;
+                    nodes.push(KdNode {
+                        region: d.high,
+                        kind: NodeKind::Leaf { region_id: 0 },
+                    });
+                    nodes[idx as usize].kind = NodeKind::Internal {
+                        axis: d.axis,
+                        offset: d.offset,
+                        low: low_id,
+                        high: high_id,
+                    };
+                    next_frontier.push(low_id);
+                    next_frontier.push(high_id);
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        Ok(KdTree::from_arena(nodes, grid.rows(), grid.cols()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::{FairSplit, MedianSplit};
+
+    fn uniform_stats(side: usize) -> CellStats {
+        let g = Grid::unit(side).unwrap();
+        let n = side * side;
+        CellStats::new(&g, &vec![1.0; n], &vec![0.5; n], &vec![0.5; n]).unwrap()
+    }
+
+    #[test]
+    fn retrains_once_per_level() {
+        let g = Grid::unit(8).unwrap();
+        let mut rt = FixedRetrainer::new(uniform_stats(8));
+        let b = IterativeBuilder::new(BuildConfig::with_height(3)).unwrap();
+        let t = b.build(&g, &FairSplit, &mut rt).unwrap();
+        assert_eq!(rt.calls, 3, "one retraining per level (Theorem 4)");
+        assert_eq!(t.num_leaves(), 8);
+    }
+
+    #[test]
+    fn with_fixed_scores_matches_dfs_builder() {
+        // When the retrainer returns the same aggregates every round, the
+        // iterative algorithm must coincide with Algorithm 1 (same axis
+        // schedule, same objective, same tie-breaks).
+        let g = Grid::unit(8).unwrap();
+        let stats = uniform_stats(8);
+        let cfg = BuildConfig::with_height(3);
+        let dfs = crate::builder::build_kd_tree(&stats, &MedianSplit, &cfg).unwrap();
+        let mut rt = FixedRetrainer::new(stats);
+        let bfs = IterativeBuilder::new(cfg)
+            .unwrap()
+            .build(&g, &MedianSplit, &mut rt)
+            .unwrap();
+        let gp = Grid::unit(8).unwrap();
+        assert_eq!(
+            dfs.partition(&gp).unwrap().assignments().len(),
+            bfs.partition(&gp).unwrap().assignments().len()
+        );
+        // Leaf regions must be identical as sets.
+        let mut a = dfs.leaf_regions();
+        let mut b = bfs.leaf_regions();
+        let key = |r: &CellRect| (r.row_start, r.row_end, r.col_start, r.col_end);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn changing_scores_change_the_tree() {
+        // A retrainer whose residual pattern is a diagonal band that shifts
+        // every round produces a different tree than one frozen at round 0:
+        // deeper levels see different score landscapes and cut elsewhere.
+        fn diagonal_stats(side: usize, shift: usize) -> CellStats {
+            let g = Grid::unit(side).unwrap();
+            let n = side * side;
+            let mut scores = vec![0.0; n];
+            for col in 0..side {
+                let row = (col + shift) % side;
+                scores[row * side + col] = 1.0;
+            }
+            CellStats::new(&g, &vec![1.0; n], &scores, &vec![0.0; n]).unwrap()
+        }
+        struct MovingRetrainer {
+            side: usize,
+            round: usize,
+        }
+        impl Retrainer for MovingRetrainer {
+            fn retrain(&mut self, _p: &Partition) -> Result<CellStats, CoreError> {
+                let stats = diagonal_stats(self.side, 2 * self.round);
+                self.round += 1;
+                Ok(stats)
+            }
+        }
+        let g = Grid::unit(8).unwrap();
+        let cfg = BuildConfig::with_height(3);
+        let dfs =
+            crate::builder::build_kd_tree(&diagonal_stats(8, 0), &FairSplit, &cfg).unwrap();
+        let mut rt = MovingRetrainer { side: 8, round: 0 };
+        let bfs = IterativeBuilder::new(cfg)
+            .unwrap()
+            .build(&g, &FairSplit, &mut rt)
+            .unwrap();
+        assert_ne!(dfs.leaf_regions(), bfs.leaf_regions());
+    }
+
+    #[test]
+    fn retrainer_errors_propagate() {
+        struct Failing;
+        impl Retrainer for Failing {
+            fn retrain(&mut self, _p: &Partition) -> Result<CellStats, CoreError> {
+                Err(CoreError::Retrain("model exploded".into()))
+            }
+        }
+        let g = Grid::unit(4).unwrap();
+        let b = IterativeBuilder::new(BuildConfig::with_height(2)).unwrap();
+        let err = b.build(&g, &FairSplit, &mut Failing).unwrap_err();
+        assert!(err.to_string().contains("model exploded"));
+    }
+
+    #[test]
+    fn shape_mismatch_from_retrainer_is_detected() {
+        struct WrongShape;
+        impl Retrainer for WrongShape {
+            fn retrain(&mut self, _p: &Partition) -> Result<CellStats, CoreError> {
+                let g = Grid::unit(2).unwrap();
+                CellStats::new(&g, &[1.0; 4], &[0.0; 4], &[0.0; 4])
+            }
+        }
+        let g = Grid::unit(4).unwrap();
+        let b = IterativeBuilder::new(BuildConfig::with_height(1)).unwrap();
+        assert!(matches!(
+            b.build(&g, &FairSplit, &mut WrongShape),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_passed_to_retrainer_grows_each_level() {
+        struct Recording {
+            sizes: Vec<usize>,
+            stats: CellStats,
+        }
+        impl Retrainer for Recording {
+            fn retrain(&mut self, p: &Partition) -> Result<CellStats, CoreError> {
+                self.sizes.push(p.num_regions());
+                Ok(self.stats.clone())
+            }
+        }
+        let g = Grid::unit(8).unwrap();
+        let mut rt = Recording {
+            sizes: Vec::new(),
+            stats: uniform_stats(8),
+        };
+        IterativeBuilder::new(BuildConfig::with_height(3))
+            .unwrap()
+            .build(&g, &MedianSplit, &mut rt)
+            .unwrap();
+        // Level 0 sees the single-region districting (Algorithm 3 line 2),
+        // then 2, then 4.
+        assert_eq!(rt.sizes, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn grid_resolution_limits_leaves() {
+        let g = Grid::unit(2).unwrap();
+        let mut rt = FixedRetrainer::new(uniform_stats(2));
+        let t = IterativeBuilder::new(BuildConfig::with_height(5))
+            .unwrap()
+            .build(&g, &MedianSplit, &mut rt)
+            .unwrap();
+        assert_eq!(t.num_leaves(), 4);
+        // Frontier empties after two levels; no further retraining needed.
+        assert!(rt.calls <= 3);
+    }
+}

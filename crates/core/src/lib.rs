@@ -1,0 +1,53 @@
+//! # fsi-core — fairness-aware spatial index structures
+//!
+//! The primary contribution of *Fair Spatial Indexing: A paradigm for Group
+//! Spatial Fairness* (EDBT 2024): KD-tree partitioners over a `U × V` base
+//! grid whose split decisions minimize neighborhood mis-calibration instead
+//! of (or in addition to) the classic median criterion.
+//!
+//! ## The pieces
+//!
+//! * [`CellStats`] — per-cell population/score/label aggregates backed by
+//!   summed-area tables, so any candidate split is scored in O(1).
+//! * [`SplitPolicy`](split::SplitPolicy) implementations:
+//!   [`MedianSplit`](split::MedianSplit) (the baseline),
+//!   [`FairSplit`](split::FairSplit) (Eq. 9) and
+//!   [`MultiObjectiveSplit`](split::MultiObjectiveSplit) (Eq. 13).
+//! * [`build_kd_tree`](builder::build_kd_tree) — Algorithm 1's DFS
+//!   construction, generic over the split policy (this single entry point
+//!   covers Fair KD-tree, Median KD-tree and Multi-Objective Fair KD-tree).
+//! * [`IterativeBuilder`](iterative::IterativeBuilder) — Algorithm 3's BFS
+//!   construction with model retraining between levels, via the
+//!   [`Retrainer`](iterative::Retrainer) trait.
+//! * [`aggregate_tasks`](multiobjective::aggregate_tasks) — the Eq. 11/12
+//!   residual-vector aggregation for multi-task fairness.
+//! * [`FairQuadtree`](quadtree::FairQuadtree) — the paper's future-work
+//!   direction (§6): an alternative four-way index with a fairness-aware
+//!   split rule.
+//!
+//! The crate is deliberately independent of any concrete ML stack: model
+//! scores arrive as per-cell aggregates, and the iterative algorithm's
+//! retraining is abstracted behind a trait implemented in `fsi-pipeline`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cellstats;
+pub mod config;
+pub mod diagnostics;
+pub mod error;
+pub mod iterative;
+pub mod multiobjective;
+pub mod quadtree;
+pub mod split;
+pub mod tree;
+
+pub use builder::build_kd_tree;
+pub use cellstats::CellStats;
+pub use config::{BuildConfig, TieBreak};
+pub use error::CoreError;
+pub use iterative::{IterativeBuilder, Retrainer};
+pub use quadtree::{FairQuadtree, QuadConfig, QuadSplitRule};
+pub use split::{FairSplit, MedianSplit, MultiObjectiveSplit, SplitPolicy};
+pub use tree::KdTree;

@@ -1,0 +1,183 @@
+//! Multi-objective residual aggregation (paper Eqs. 11–12).
+//!
+//! For `m` classification tasks with confidence scores `S_i` and labels
+//! `Y_i`, each task contributes a residual vector `v_i = S_i − Y_i`
+//! (Eq. 11). Task priorities `α_1..α_m` with `Σ α_i = 1`, `0 ≤ α_i ≤ 1`
+//! blend them into `v_tot = Σ α_i v_i` (Eq. 12). Per-cell sums of `v_tot`
+//! attach to [`crate::CellStats`] as auxiliary aggregates and drive
+//! [`crate::split::MultiObjectiveSplit`] (Eq. 13).
+
+use crate::error::CoreError;
+
+/// One task's classifier output: scores and true labels.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskOutput<'a> {
+    /// Confidence scores `S_i` (one per individual).
+    pub scores: &'a [f64],
+    /// True labels `Y_i` (one per individual).
+    pub labels: &'a [bool],
+}
+
+/// Computes the per-individual aggregated residual vector `v_tot`
+/// (Eq. 12). `alphas` must be the same length as `tasks`, each in
+/// `[0, 1]`, summing to 1.
+pub fn aggregate_tasks(tasks: &[TaskOutput<'_>], alphas: &[f64]) -> Result<Vec<f64>, CoreError> {
+    if tasks.is_empty() {
+        return Err(CoreError::InvalidConfig(
+            "at least one task is required".into(),
+        ));
+    }
+    if alphas.len() != tasks.len() {
+        return Err(CoreError::InvalidConfig(format!(
+            "got {} alphas for {} tasks",
+            alphas.len(),
+            tasks.len()
+        )));
+    }
+    for &a in alphas {
+        if !(0.0..=1.0).contains(&a) || !a.is_finite() {
+            return Err(CoreError::InvalidConfig(format!(
+                "alpha {a} outside [0, 1]"
+            )));
+        }
+    }
+    let sum: f64 = alphas.iter().sum();
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(CoreError::InvalidConfig(format!(
+            "alphas must sum to 1, got {sum}"
+        )));
+    }
+    let n = tasks[0].scores.len();
+    for (i, t) in tasks.iter().enumerate() {
+        if t.scores.len() != n || t.labels.len() != n {
+            return Err(CoreError::ShapeMismatch {
+                expected: n,
+                got: t.scores.len().min(t.labels.len()),
+                what: "task output lengths",
+            });
+        }
+        if let Some(bad) = t.scores.iter().position(|s| !s.is_finite()) {
+            let _ = i;
+            return Err(CoreError::NonFiniteAggregate {
+                cell: bad,
+                what: "task scores",
+            });
+        }
+    }
+    let mut v_tot = vec![0.0f64; n];
+    for (t, &alpha) in tasks.iter().zip(alphas) {
+        for ((v, &s), &y) in v_tot.iter_mut().zip(t.scores).zip(t.labels) {
+            *v += alpha * (s - f64::from(u8::from(y)));
+        }
+    }
+    Ok(v_tot)
+}
+
+/// Convenience for equal task priorities `α_i = 1/m`.
+pub fn equal_alphas(m: usize) -> Vec<f64> {
+    vec![1.0 / m as f64; m.max(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_task_is_plain_residual() {
+        let scores = [0.8, 0.3];
+        let labels = [true, false];
+        let v = aggregate_tasks(
+            &[TaskOutput {
+                scores: &scores,
+                labels: &labels,
+            }],
+            &[1.0],
+        )
+        .unwrap();
+        assert!((v[0] - (-0.2)).abs() < 1e-12);
+        assert!((v[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tasks_blend_by_alpha() {
+        let s1 = [1.0];
+        let y1 = [false]; // residual +1
+        let s2 = [0.0];
+        let y2 = [true]; // residual -1
+        let tasks = [
+            TaskOutput {
+                scores: &s1,
+                labels: &y1,
+            },
+            TaskOutput {
+                scores: &s2,
+                labels: &y2,
+            },
+        ];
+        // Equal alphas cancel exactly.
+        let v = aggregate_tasks(&tasks, &[0.5, 0.5]).unwrap();
+        assert!(v[0].abs() < 1e-12);
+        // Skewed alphas favor task 1.
+        let v = aggregate_tasks(&tasks, &[0.9, 0.1]).unwrap();
+        assert!((v[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_alphas() {
+        let s = [0.5];
+        let y = [true];
+        let t = [TaskOutput {
+            scores: &s,
+            labels: &y,
+        }];
+        assert!(aggregate_tasks(&t, &[0.5, 0.5]).is_err()); // wrong count
+        assert!(aggregate_tasks(&t, &[1.5]).is_err()); // out of range
+        assert!(aggregate_tasks(&t, &[0.7]).is_err()); // doesn't sum to 1
+        assert!(aggregate_tasks(&[], &[]).is_err()); // no tasks
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_lengths() {
+        let s1 = [0.5, 0.5];
+        let y1 = [true, false];
+        let s2 = [0.5];
+        let y2 = [true];
+        let tasks = [
+            TaskOutput {
+                scores: &s1,
+                labels: &y1,
+            },
+            TaskOutput {
+                scores: &s2,
+                labels: &y2,
+            },
+        ];
+        assert!(matches!(
+            aggregate_tasks(&tasks, &[0.5, 0.5]),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_scores_rejected() {
+        let s = [f64::NAN];
+        let y = [true];
+        assert!(aggregate_tasks(
+            &[TaskOutput {
+                scores: &s,
+                labels: &y
+            }],
+            &[1.0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn equal_alphas_sum_to_one() {
+        for m in 1..6 {
+            let a = equal_alphas(m);
+            assert_eq!(a.len(), m);
+            assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Fair quadtree — the paper's future-work extension (§6).
+//!
+//! The conclusion proposes investigating "alternative indexing structures
+//! ... that completely cover the data domain". A quadtree is the natural
+//! four-way sibling of the KD-tree: every node covers a rectangle of grid
+//! cells and splits into four quadrants at a chosen `(row, col)` pivot.
+//! The fairness-aware rule generalizes Eq. 9 from balancing two children's
+//! mis-calibration masses to minimizing the *variance* of the four
+//! quadrant masses; the median rule balances population instead.
+
+use crate::cellstats::CellStats;
+use crate::error::CoreError;
+use fsi_geo::{CellRect, Grid, Partition};
+use serde::{Deserialize, Serialize};
+
+/// Which pivot objective the quadtree minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QuadSplitRule {
+    /// Minimize the variance of the four quadrants' mis-calibration masses
+    /// `|Σ (s − y)|` — the Eq. 9 generalization.
+    #[default]
+    Fair,
+    /// Minimize the variance of the four quadrants' populations.
+    Median,
+}
+
+/// Quadtree construction configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuadConfig {
+    /// Number of levels; the leaf set has at most `4^levels` regions.
+    pub levels: usize,
+    /// Pivot objective.
+    pub rule: QuadSplitRule,
+    /// Minimum fraction of the node's population each quadrant must
+    /// receive for a pivot to be admissible (populated nodes only).
+    ///
+    /// Without this guard the fair rule degenerates: three empty sliver
+    /// quadrants plus one huge quadrant whose net residual ≈ 0 minimize
+    /// the mass variance exactly, producing a nominally deep tree whose
+    /// *effective* districting is a single region. The default of 5 %
+    /// forces every quadrant to carry real population.
+    pub min_quadrant_fraction: f64,
+}
+
+impl Default for QuadConfig {
+    fn default() -> Self {
+        Self {
+            levels: 3,
+            rule: QuadSplitRule::Fair,
+            min_quadrant_fraction: 0.05,
+        }
+    }
+}
+
+impl QuadConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.levels == 0 || self.levels > 16 {
+            return Err(CoreError::InvalidConfig(format!(
+                "levels must be in 1..=16, got {}",
+                self.levels
+            )));
+        }
+        if !(0.0..=0.25).contains(&self.min_quadrant_fraction) {
+            return Err(CoreError::InvalidConfig(format!(
+                "min_quadrant_fraction must be in [0, 0.25], got {}",
+                self.min_quadrant_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum QuadKind {
+    Leaf {
+        region_id: usize,
+    },
+    Internal {
+        row_mid: usize,
+        col_mid: usize,
+        /// 2–4 children (degenerate pivots produce fewer quadrants).
+        children: Vec<u32>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct QuadNode {
+    region: CellRect,
+    kind: QuadKind,
+}
+
+/// A fairness-aware quadtree over the base grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FairQuadtree {
+    nodes: Vec<QuadNode>,
+    grid_rows: usize,
+    grid_cols: usize,
+    num_leaves: usize,
+}
+
+fn variance(masses: &[f64]) -> f64 {
+    let n = masses.len() as f64;
+    let mean = masses.iter().sum::<f64>() / n;
+    masses.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / n
+}
+
+impl FairQuadtree {
+    /// Builds a quadtree over the full grid.
+    pub fn build(stats: &CellStats, config: &QuadConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let (rows, cols) = stats.shape();
+        let mut nodes = Vec::new();
+        Self::build_node(
+            stats,
+            config,
+            &mut nodes,
+            CellRect::new(0, rows, 0, cols),
+            config.levels,
+        )?;
+        // Dense leaf ids in arena order.
+        let mut next = 0usize;
+        for n in &mut nodes {
+            if let QuadKind::Leaf { region_id } = &mut n.kind {
+                *region_id = next;
+                next += 1;
+            }
+        }
+        Ok(Self {
+            nodes,
+            grid_rows: rows,
+            grid_cols: cols,
+            num_leaves: next,
+        })
+    }
+
+    fn mass(stats: &CellStats, rect: &CellRect, rule: QuadSplitRule) -> f64 {
+        match rule {
+            QuadSplitRule::Fair => stats.miscalibration_mass(rect),
+            QuadSplitRule::Median => stats.count(rect),
+        }
+    }
+
+    fn build_node(
+        stats: &CellStats,
+        config: &QuadConfig,
+        nodes: &mut Vec<QuadNode>,
+        region: CellRect,
+        remaining: usize,
+    ) -> Result<u32, CoreError> {
+        let id = nodes.len() as u32;
+        let splittable = region.num_rows() >= 2 && region.num_cols() >= 2;
+        if remaining == 0 || !splittable {
+            nodes.push(QuadNode {
+                region,
+                kind: QuadKind::Leaf { region_id: 0 },
+            });
+            return Ok(id);
+        }
+
+        // Scan all interior pivots with O(1) SAT queries per quadrant.
+        // The fairness objective plateaus at zero wherever all quadrant
+        // residuals vanish (e.g. empty areas), so exact ties are broken by
+        // population balance — the same guard the KD splitter uses against
+        // sliver regions.
+        let node_pop = stats.count(&region);
+        let min_pop = node_pop * config.min_quadrant_fraction;
+        let mut best: Option<(usize, usize, f64, f64)> = None;
+        for r in region.row_start + 1..region.row_end {
+            for c in region.col_start + 1..region.col_end {
+                let quads = region.split_quad(r, c);
+                let pops: Vec<f64> = quads.iter().map(|q| stats.count(q)).collect();
+                if node_pop > 0.0 && pops.iter().any(|&p| p < min_pop) {
+                    continue;
+                }
+                let masses: Vec<f64> = quads
+                    .iter()
+                    .map(|q| Self::mass(stats, q, config.rule))
+                    .collect();
+                let obj = variance(&masses);
+                let pop_var = variance(&pops);
+                let better = match best {
+                    None => true,
+                    Some((_, _, b_obj, b_pop)) => {
+                        obj < b_obj - 1e-12 || (obj <= b_obj + 1e-12 && pop_var < b_pop - 1e-12)
+                    }
+                };
+                if better {
+                    best = Some((r, c, obj, pop_var));
+                }
+            }
+        }
+        let Some((row_mid, col_mid, _, _)) = best else {
+            // No admissible pivot (population constraint unsatisfiable):
+            // the node stays a leaf.
+            nodes.push(QuadNode {
+                region,
+                kind: QuadKind::Leaf { region_id: 0 },
+            });
+            return Ok(id);
+        };
+
+        nodes.push(QuadNode {
+            region,
+            kind: QuadKind::Leaf { region_id: 0 }, // placeholder
+        });
+        let mut children = Vec::with_capacity(4);
+        for quad in region.split_quad(row_mid, col_mid) {
+            children.push(Self::build_node(stats, config, nodes, quad, remaining - 1)?);
+        }
+        nodes[id as usize].kind = QuadKind::Internal {
+            row_mid,
+            col_mid,
+            children,
+        };
+        Ok(id)
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Leaf regions in region-id order.
+    pub fn leaf_regions(&self) -> Vec<CellRect> {
+        let mut out = vec![CellRect::new(0, 0, 0, 0); self.num_leaves];
+        for n in &self.nodes {
+            if let QuadKind::Leaf { region_id } = n.kind {
+                out[region_id] = n.region;
+            }
+        }
+        out
+    }
+
+    /// Region id of the leaf containing `(row, col)`.
+    pub fn locate(&self, row: usize, col: usize) -> Result<usize, CoreError> {
+        if row >= self.grid_rows || col >= self.grid_cols {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.grid_rows * self.grid_cols,
+                got: row * self.grid_cols + col,
+                what: "cell coordinates",
+            });
+        }
+        let mut i = 0u32;
+        loop {
+            let node = &self.nodes[i as usize];
+            match &node.kind {
+                QuadKind::Leaf { region_id } => return Ok(*region_id),
+                QuadKind::Internal { children, .. } => {
+                    i = *children
+                        .iter()
+                        .find(|&&c| self.nodes[c as usize].region.contains(row, col))
+                        .expect("children tile the parent");
+                }
+            }
+        }
+    }
+
+    /// Converts the leaf set into a [`Partition`] of `grid`.
+    pub fn partition(&self, grid: &Grid) -> Result<Partition, CoreError> {
+        if grid.rows() != self.grid_rows || grid.cols() != self.grid_cols {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.grid_rows * self.grid_cols,
+                got: grid.len(),
+                what: "partition grid",
+            });
+        }
+        Partition::from_rects(grid, &self.leaf_regions()).map_err(CoreError::Geo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_stats(side: usize) -> CellStats {
+        let g = Grid::unit(side).unwrap();
+        let n = side * side;
+        CellStats::new(&g, &vec![1.0; n], &vec![0.5; n], &vec![0.5; n]).unwrap()
+    }
+
+    #[test]
+    fn one_level_gives_four_leaves() {
+        let t = FairQuadtree::build(
+            &uniform_stats(8),
+            &QuadConfig {
+                levels: 1,
+                rule: QuadSplitRule::Median,
+                ..QuadConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.num_leaves(), 4);
+        // Uniform population: the median rule pivots at the center.
+        let regions = t.leaf_regions();
+        assert!(regions.iter().all(|r| r.num_cells() == 16));
+    }
+
+    #[test]
+    fn leaves_tile_the_grid() {
+        let g = Grid::unit(8).unwrap();
+        for levels in 1..=3 {
+            let t = FairQuadtree::build(
+                &uniform_stats(8),
+                &QuadConfig {
+                    levels,
+                    rule: QuadSplitRule::Fair,
+                ..QuadConfig::default()
+                },
+            )
+            .unwrap();
+            let p = t.partition(&g).unwrap();
+            assert_eq!(p.num_regions(), t.num_leaves());
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_partition() {
+        let g = Grid::unit(8).unwrap();
+        let t = FairQuadtree::build(&uniform_stats(8), &QuadConfig::default()).unwrap();
+        let p = t.partition(&g).unwrap();
+        for cell in g.cells() {
+            let (r, c) = g.row_col(cell);
+            assert_eq!(t.locate(r, c).unwrap(), p.region_of(cell));
+        }
+        assert!(t.locate(8, 0).is_err());
+    }
+
+    #[test]
+    fn fair_rule_chases_residual_hotspots() {
+        // All residual concentrated in one quadrant: the fair pivot should
+        // differ from the median pivot on uniform population.
+        let g = Grid::unit(8).unwrap();
+        let n = 64;
+        let mut scores = vec![0.0; n];
+        for r in 0..4 {
+            for c in 0..4 {
+                scores[r * 8 + c] = 1.0;
+            }
+        }
+        let stats = CellStats::new(&g, &vec![1.0; n], &scores, &vec![0.0; n]).unwrap();
+        let fair = FairQuadtree::build(
+            &stats,
+            &QuadConfig {
+                levels: 1,
+                rule: QuadSplitRule::Fair,
+                ..QuadConfig::default()
+            },
+        )
+        .unwrap();
+        let median = FairQuadtree::build(
+            &stats,
+            &QuadConfig {
+                levels: 1,
+                rule: QuadSplitRule::Median,
+                ..QuadConfig::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(fair.leaf_regions(), median.leaf_regions());
+        // The fair pivot equalizes quadrant masses: total mass 16 -> each
+        // quadrant should carry 4 when a perfect admissible pivot exists
+        // (it does: pivot (2,2) splits the 4x4 hotspot into four 2x2
+        // blocks while every quadrant keeps enough population).
+        let masses: Vec<f64> = fair
+            .leaf_regions()
+            .iter()
+            .map(|r| stats.miscalibration_mass(r))
+            .collect();
+        let spread = masses.iter().cloned().fold(f64::MIN, f64::max)
+            - masses.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1e-9, "masses {masses:?}");
+    }
+
+    #[test]
+    fn thin_regions_stop_splitting() {
+        // A 2x2 grid exhausts after one level.
+        let t = FairQuadtree::build(
+            &uniform_stats(2),
+            &QuadConfig {
+                levels: 3,
+                rule: QuadSplitRule::Median,
+                ..QuadConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.num_leaves(), 4);
+    }
+
+    #[test]
+    fn config_validation() {
+        let stats = uniform_stats(4);
+        assert!(FairQuadtree::build(
+            &stats,
+            &QuadConfig {
+                levels: 0,
+                ..QuadConfig::default()
+            }
+        )
+        .is_err());
+        assert!(FairQuadtree::build(
+            &stats,
+            &QuadConfig {
+                min_quadrant_fraction: 0.5,
+                ..QuadConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn population_guard_prevents_sliver_quadrants() {
+        // Residuals that sum to zero overall: without the population
+        // guard, corner pivots (three empty quadrants) minimize the mass
+        // variance exactly. With the default 5% guard every quadrant must
+        // carry population.
+        let g = Grid::unit(8).unwrap();
+        let n = 64;
+        let mut scores = vec![0.1; n];
+        scores[0] = 3.0;
+        scores[63] = -2.9 + 0.1; // net residual ~ 0 overall
+        let labels = vec![0.1; n];
+        let stats = CellStats::new(&g, &vec![1.0; n], &scores, &labels).unwrap();
+        let t = FairQuadtree::build(
+            &stats,
+            &QuadConfig {
+                levels: 1,
+                ..QuadConfig::default()
+            },
+        )
+        .unwrap();
+        let pops: Vec<f64> = t.leaf_regions().iter().map(|r| stats.count(r)).collect();
+        let min = pops.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min >= 64.0 * 0.05, "pops {pops:?}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = FairQuadtree::build(&uniform_stats(4), &QuadConfig::default()).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: FairQuadtree = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = FairQuadtree::build(&uniform_stats(8), &QuadConfig::default()).unwrap();
+        let b = FairQuadtree::build(&uniform_stats(8), &QuadConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

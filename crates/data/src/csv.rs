@@ -1,0 +1,293 @@
+//! CSV round-tripping for [`SpatialDataset`].
+//!
+//! The format is self-describing: the header starts with `x,y`, feature
+//! columns carry an `f:` prefix and outcome columns an `o:` prefix, e.g.
+//!
+//! ```text
+//! x,y,f:unemployment_pct,...,o:avg_act,o:family_employment_pct
+//! ```
+//!
+//! A real EdGap extract converted to this layout drops straight into the
+//! experiment pipeline. The parser supports RFC-4180-style quoting (fields
+//! containing commas/quotes/newlines wrapped in `"`, embedded quotes
+//! doubled) so exported files from spreadsheet tools load unchanged.
+
+use crate::dataset::SpatialDataset;
+use crate::error::DataError;
+use fsi_geo::{Grid, Point};
+use fsi_ml::Matrix;
+use std::io::{BufRead, Write};
+
+/// Writes `dataset` as CSV.
+pub fn write_csv<W: Write>(dataset: &SpatialDataset, mut out: W) -> Result<(), DataError> {
+    let mut header = vec!["x".to_string(), "y".to_string()];
+    header.extend(dataset.feature_names().iter().map(|n| format!("f:{n}")));
+    header.extend(dataset.outcome_names().iter().map(|n| format!("o:{n}")));
+    writeln!(out, "{}", header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+
+    let outcomes: Vec<&[f64]> = dataset
+        .outcome_names()
+        .iter()
+        .map(|n| dataset.outcome(n).expect("outcome names are valid"))
+        .collect();
+    for i in 0..dataset.len() {
+        let p = dataset.locations()[i];
+        let mut fields = vec![format_float(p.x), format_float(p.y)];
+        fields.extend(dataset.features().row(i).iter().map(|v| format_float(*v)));
+        fields.extend(outcomes.iter().map(|col| format_float(col[i])));
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset in the [`write_csv`] layout, locating rows on `grid`.
+pub fn read_csv<R: BufRead>(reader: R, grid: Grid) -> Result<SpatialDataset, DataError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let header = parse_record(&header_line?, 1)?;
+    if header.len() < 2 || header[0] != "x" || header[1] != "y" {
+        return Err(DataError::Csv {
+            line: 1,
+            message: "header must start with x,y".into(),
+        });
+    }
+    let mut feature_names = Vec::new();
+    let mut outcome_names = Vec::new();
+    let mut kinds = Vec::new(); // true = feature, false = outcome
+    for col in &header[2..] {
+        if let Some(name) = col.strip_prefix("f:") {
+            feature_names.push(name.to_string());
+            kinds.push(true);
+        } else if let Some(name) = col.strip_prefix("o:") {
+            outcome_names.push(name.to_string());
+            kinds.push(false);
+        } else {
+            return Err(DataError::Csv {
+                line: 1,
+                message: format!("column '{col}' must carry an f: or o: prefix"),
+            });
+        }
+    }
+
+    let mut locations = Vec::new();
+    let mut feature_rows: Vec<Vec<f64>> = Vec::new();
+    let mut outcome_cols: Vec<Vec<f64>> = vec![Vec::new(); outcome_names.len()];
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_record(&line, line_no)?;
+        if record.len() != header.len() {
+            return Err(DataError::Csv {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    header.len(),
+                    record.len()
+                ),
+            });
+        }
+        let parse = |s: &str| -> Result<f64, DataError> {
+            s.trim().parse::<f64>().map_err(|_| DataError::Csv {
+                line: line_no,
+                message: format!("'{s}' is not a number"),
+            })
+        };
+        locations.push(Point::new(parse(&record[0])?, parse(&record[1])?));
+        let mut frow = Vec::with_capacity(feature_names.len());
+        let mut oi = 0;
+        for (value, &is_feature) in record[2..].iter().zip(&kinds) {
+            let v = parse(value)?;
+            if is_feature {
+                frow.push(v);
+            } else {
+                outcome_cols[oi].push(v);
+                oi += 1;
+            }
+        }
+        feature_rows.push(frow);
+    }
+    if feature_rows.is_empty() {
+        return Err(DataError::Csv {
+            line: 2,
+            message: "no data rows".into(),
+        });
+    }
+
+    SpatialDataset::new(
+        grid,
+        feature_names,
+        Matrix::from_rows(&feature_rows).map_err(DataError::Ml)?,
+        outcome_names,
+        outcome_cols,
+        locations,
+    )
+}
+
+/// Formats a float with enough precision to round-trip.
+fn format_float(v: f64) -> String {
+    // `{:?}` on f64 prints the shortest representation that parses back
+    // to the same value.
+    format!("{v:?}")
+}
+
+/// Quotes a field when it needs quoting.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parses one CSV record with RFC-4180 quoting.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::city::{CityConfig, CityGenerator};
+    use fsi_geo::Rect;
+    use std::io::BufReader;
+
+    fn sample() -> SpatialDataset {
+        CityGenerator::new(CityConfig {
+            n_individuals: 50,
+            grid_side: 8,
+            seed: 3,
+            ..CityConfig::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let back = read_csv(BufReader::new(buf.as_slice()), d.grid().clone()).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.feature_names(), d.feature_names());
+        assert_eq!(back.outcome_names(), d.outcome_names());
+        assert_eq!(back.features(), d.features());
+        assert_eq!(back.outcome("avg_act").unwrap(), d.outcome("avg_act").unwrap());
+        assert_eq!(back.cells(), d.cells());
+    }
+
+    #[test]
+    fn header_must_start_with_xy() {
+        let csv = "a,b,f:inc\n1,2,3\n";
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        let err = read_csv(BufReader::new(csv.as_bytes()), grid).unwrap_err();
+        assert!(err.to_string().contains("x,y"));
+    }
+
+    #[test]
+    fn columns_need_prefixes() {
+        let csv = "x,y,income\n0.5,0.5,3\n";
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        let err = read_csv(BufReader::new(csv.as_bytes()), grid).unwrap_err();
+        assert!(err.to_string().contains("prefix"));
+    }
+
+    #[test]
+    fn bad_numbers_report_the_line() {
+        let csv = "x,y,f:inc\n0.5,0.5,3\n0.5,oops,4\n";
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        match read_csv(BufReader::new(csv.as_bytes()), grid) {
+            Err(DataError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_count_mismatch_is_detected() {
+        let csv = "x,y,f:inc\n0.5,0.5\n";
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        match read_csv(BufReader::new(csv.as_bytes()), grid) {
+            Err(DataError::Csv { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("fields"));
+            }
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_and_no_rows_error() {
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        assert!(read_csv(BufReader::new("".as_bytes()), grid.clone()).is_err());
+        assert!(read_csv(BufReader::new("x,y,f:a\n".as_bytes()), grid).is_err());
+    }
+
+    #[test]
+    fn quoted_fields_parse() {
+        let rec = parse_record("\"a,b\",\"say \"\"hi\"\"\",plain", 1).unwrap();
+        assert_eq!(rec, vec!["a,b", "say \"hi\"", "plain"]);
+        assert!(parse_record("\"unterminated", 1).is_err());
+    }
+
+    #[test]
+    fn quote_escapes_as_needed() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "x,y,f:inc\n0.5,0.5,3\n\n0.25,0.25,4\n";
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        let d = read_csv(BufReader::new(csv.as_bytes()), grid).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn float_format_round_trips_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-17, 123456.789, -0.0] {
+            let s = format_float(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v);
+        }
+    }
+}

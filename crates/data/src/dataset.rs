@@ -1,0 +1,335 @@
+//! The columnar spatial dataset type.
+
+use crate::error::DataError;
+use fsi_geo::{CellId, Grid, Partition, Point};
+use fsi_ml::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A dataset of individuals with socio-economic features, outcome
+/// variables, and map locations snapped to a base grid (paper §2.1).
+///
+/// *Features* are the classifier inputs (excluding location — the location
+/// attribute is added by [`crate::encode`] under a chosen encoding).
+/// *Outcomes* are raw variables (e.g. average ACT) that are thresholded
+/// into binary labels and are **never** fed to the classifier — mirroring
+/// the paper's §5.4 pre-processing, which separates them from the training
+/// features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpatialDataset {
+    feature_names: Vec<String>,
+    features: Matrix,
+    outcome_names: Vec<String>,
+    outcomes: Vec<Vec<f64>>,
+    locations: Vec<Point>,
+    cells: Vec<CellId>,
+    grid: Grid,
+}
+
+impl SpatialDataset {
+    /// Builds a dataset, validating shapes and locating every individual on
+    /// the grid.
+    pub fn new(
+        grid: Grid,
+        feature_names: Vec<String>,
+        features: Matrix,
+        outcome_names: Vec<String>,
+        outcomes: Vec<Vec<f64>>,
+        locations: Vec<Point>,
+    ) -> Result<Self, DataError> {
+        let n = features.rows();
+        if feature_names.len() != features.cols() {
+            return Err(DataError::LengthMismatch {
+                expected: features.cols(),
+                got: feature_names.len(),
+                what: "feature names".into(),
+            });
+        }
+        if outcome_names.len() != outcomes.len() {
+            return Err(DataError::LengthMismatch {
+                expected: outcomes.len(),
+                got: outcome_names.len(),
+                what: "outcome names".into(),
+            });
+        }
+        for (name, col) in outcome_names.iter().zip(&outcomes) {
+            if col.len() != n {
+                return Err(DataError::LengthMismatch {
+                    expected: n,
+                    got: col.len(),
+                    what: format!("outcome '{name}'"),
+                });
+            }
+        }
+        if locations.len() != n {
+            return Err(DataError::LengthMismatch {
+                expected: n,
+                got: locations.len(),
+                what: "locations".into(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for name in feature_names.iter().chain(&outcome_names) {
+            if !seen.insert(name.clone()) {
+                return Err(DataError::DuplicateColumn(name.clone()));
+            }
+        }
+        features.ensure_finite().map_err(DataError::Ml)?;
+        let cells = locations
+            .iter()
+            .map(|p| grid.locate(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            feature_names,
+            features,
+            outcome_names,
+            outcomes,
+            locations,
+            cells,
+            grid,
+        })
+    }
+
+    /// Number of individuals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// `true` when the dataset has no individuals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The base grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Socio-economic feature matrix (`n × d`, excludes location).
+    #[inline]
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Feature column names.
+    #[inline]
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Outcome column names.
+    #[inline]
+    pub fn outcome_names(&self) -> &[String] {
+        &self.outcome_names
+    }
+
+    /// Map locations.
+    #[inline]
+    pub fn locations(&self) -> &[Point] {
+        &self.locations
+    }
+
+    /// Base-grid cell per individual.
+    #[inline]
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Raw values of a named outcome column.
+    pub fn outcome(&self, name: &str) -> Result<&[f64], DataError> {
+        self.outcome_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.outcomes[i].as_slice())
+            .ok_or_else(|| DataError::UnknownColumn(name.to_string()))
+    }
+
+    /// Binary labels from thresholding an outcome: `value >= threshold`.
+    pub fn threshold_labels(&self, outcome: &str, threshold: f64) -> Result<Vec<bool>, DataError> {
+        Ok(self
+            .outcome(outcome)?
+            .iter()
+            .map(|&v| v >= threshold)
+            .collect())
+    }
+
+    /// Region ("neighborhood") of each individual under a partition of the
+    /// base grid.
+    pub fn regions_under(&self, partition: &Partition) -> Result<Vec<usize>, DataError> {
+        self.cells
+            .iter()
+            .map(|&c| partition.try_region_of(c).map_err(DataError::Geo))
+            .collect()
+    }
+
+    /// Number of individuals per region under a partition.
+    pub fn region_populations(&self, partition: &Partition) -> Result<Vec<usize>, DataError> {
+        let mut pop = vec![0usize; partition.num_regions()];
+        for &cell in &self.cells {
+            pop[partition.try_region_of(cell)?] += 1;
+        }
+        Ok(pop)
+    }
+
+    /// Number of individuals per base-grid cell (the per-cell aggregate the
+    /// index builders consume).
+    pub fn cell_populations(&self) -> Vec<f64> {
+        let mut pop = vec![0.0f64; self.grid.len()];
+        for &cell in &self.cells {
+            pop[cell] += 1.0;
+        }
+        pop
+    }
+
+    /// Sums `values` (one per individual) into per-cell totals.
+    pub fn cell_sums(&self, values: &[f64]) -> Result<Vec<f64>, DataError> {
+        if values.len() != self.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.len(),
+                got: values.len(),
+                what: "per-individual values".into(),
+            });
+        }
+        let mut sums = vec![0.0f64; self.grid.len()];
+        for (&cell, &v) in self.cells.iter().zip(values) {
+            sums[cell] += v;
+        }
+        Ok(sums)
+    }
+
+    /// Sums boolean labels into per-cell totals.
+    pub fn cell_label_sums(&self, labels: &[bool]) -> Result<Vec<f64>, DataError> {
+        if labels.len() != self.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.len(),
+                got: labels.len(),
+                what: "labels".into(),
+            });
+        }
+        let mut sums = vec![0.0f64; self.grid.len()];
+        for (&cell, &y) in self.cells.iter().zip(labels) {
+            if y {
+                sums[cell] += 1.0;
+            }
+        }
+        Ok(sums)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_geo::Rect;
+
+    fn tiny() -> SpatialDataset {
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        let features = Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+        ])
+        .unwrap();
+        SpatialDataset::new(
+            grid,
+            vec!["income".into(), "unemployment".into()],
+            features,
+            vec!["act".into()],
+            vec![vec![20.0, 23.0, 25.0]],
+            vec![
+                Point::new(0.1, 0.1),
+                Point::new(0.9, 0.1),
+                Point::new(0.9, 0.9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_locates_cells() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.cells(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        let features = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        // Wrong number of feature names.
+        assert!(SpatialDataset::new(
+            grid.clone(),
+            vec!["a".into(), "b".into()],
+            features.clone(),
+            vec![],
+            vec![],
+            vec![Point::new(0.5, 0.5)],
+        )
+        .is_err());
+        // Outcome column too short.
+        assert!(SpatialDataset::new(
+            grid.clone(),
+            vec!["a".into()],
+            features.clone(),
+            vec!["act".into()],
+            vec![vec![]],
+            vec![Point::new(0.5, 0.5)],
+        )
+        .is_err());
+        // Location outside grid.
+        assert!(SpatialDataset::new(
+            grid.clone(),
+            vec!["a".into()],
+            features.clone(),
+            vec![],
+            vec![],
+            vec![Point::new(2.0, 0.5)],
+        )
+        .is_err());
+        // Duplicate column name across features and outcomes.
+        assert!(matches!(
+            SpatialDataset::new(
+                grid,
+                vec!["act".into()],
+                features,
+                vec!["act".into()],
+                vec![vec![1.0]],
+                vec![Point::new(0.5, 0.5)],
+            ),
+            Err(DataError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn outcome_lookup_and_thresholding() {
+        let d = tiny();
+        assert_eq!(d.outcome("act").unwrap(), &[20.0, 23.0, 25.0]);
+        assert!(d.outcome("nope").is_err());
+        assert_eq!(
+            d.threshold_labels("act", 22.0).unwrap(),
+            vec![false, true, true]
+        );
+    }
+
+    #[test]
+    fn region_populations_under_partition() {
+        let d = tiny();
+        let p = Partition::uniform(d.grid(), 1, 2).unwrap(); // west/east halves
+        assert_eq!(d.region_populations(&p).unwrap(), vec![1, 2]);
+        let regions = d.regions_under(&p).unwrap();
+        assert_eq!(regions, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn cell_aggregates() {
+        let d = tiny();
+        assert_eq!(d.cell_populations(), vec![1.0, 1.0, 0.0, 1.0]);
+        let sums = d.cell_sums(&[0.5, 0.25, 0.75]).unwrap();
+        assert_eq!(sums, vec![0.5, 0.25, 0.0, 0.75]);
+        let ls = d.cell_label_sums(&[true, false, true]).unwrap();
+        assert_eq!(ls, vec![1.0, 0.0, 0.0, 1.0]);
+        assert!(d.cell_sums(&[1.0]).is_err());
+        assert!(d.cell_label_sums(&[true]).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Design-matrix assembly: socio-economic features plus the neighborhood
+//! attribute.
+//!
+//! The paper feeds "the neighborhood" of each individual to the classifier
+//! alongside the other features, and *updates* that attribute whenever the
+//! map is re-districted (Algorithm 1, step 3). A raw region identifier is
+//! not numerically meaningful to logistic regression or naive Bayes, so
+//! the encoding is selectable:
+//!
+//! * [`LocationEncoding::CentroidXY`] *(default)* — two columns holding the
+//!   individual's region centroid, normalized into `[0, 1]`. Compact,
+//!   smooth, works for every model; granularity still grows with tree
+//!   height because centroids move with the leaves.
+//! * [`LocationEncoding::OneHot`] — one indicator column per region; the
+//!   closest to "categorical neighborhood id" semantics.
+//! * [`LocationEncoding::CellIndex`] — the literal reading: the region id
+//!   as a single numeric column (meaningful for trees, crude for linear
+//!   models). Kept for the ablation study.
+
+use crate::dataset::SpatialDataset;
+use crate::error::DataError;
+use fsi_geo::Partition;
+use fsi_ml::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// How the neighborhood attribute is encoded into classifier columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LocationEncoding {
+    /// Region centroid as two normalized coordinates.
+    #[default]
+    CentroidXY,
+    /// One indicator column per region.
+    OneHot,
+    /// The region id as one numeric column.
+    CellIndex,
+}
+
+/// A design matrix with provenance: which columns are the base features and
+/// which encode the neighborhood.
+#[derive(Debug, Clone)]
+pub struct DesignMatrix {
+    /// The assembled `n × (d + loc)` matrix.
+    pub matrix: Matrix,
+    /// Column names, aligned with the matrix.
+    pub column_names: Vec<String>,
+    /// Range of columns holding the neighborhood encoding.
+    pub location_columns: std::ops::Range<usize>,
+}
+
+impl DesignMatrix {
+    /// Sums a per-column vector (e.g. feature importances) into base-feature
+    /// values plus one aggregated "neighborhood" value — the row layout of
+    /// the paper's Figure 9 heatmaps.
+    pub fn aggregate_location(&self, per_column: &[f64]) -> Result<Vec<f64>, DataError> {
+        if per_column.len() != self.matrix.cols() {
+            return Err(DataError::LengthMismatch {
+                expected: self.matrix.cols(),
+                got: per_column.len(),
+                what: "per-column vector".into(),
+            });
+        }
+        let mut out: Vec<f64> = per_column[..self.location_columns.start].to_vec();
+        out.push(per_column[self.location_columns.clone()].iter().sum());
+        Ok(out)
+    }
+}
+
+/// Builds the design matrix for `dataset` under `partition` with the given
+/// neighborhood encoding. Base features come first, location columns last.
+pub fn build_design_matrix(
+    dataset: &SpatialDataset,
+    partition: &Partition,
+    encoding: LocationEncoding,
+) -> Result<DesignMatrix, DataError> {
+    let regions = dataset.regions_under(partition)?;
+    let n = dataset.len();
+    let mut column_names: Vec<String> = dataset.feature_names().to_vec();
+    let base_cols = column_names.len();
+
+    let location = match encoding {
+        LocationEncoding::CentroidXY => {
+            let centroids = partition.region_centroids(dataset.grid())?;
+            let b = dataset.grid().bounds();
+            let mut m = Matrix::zeros(n, 2);
+            for (i, &r) in regions.iter().enumerate() {
+                let c = centroids[r];
+                m.set(i, 0, (c.x - b.min_x) / b.width());
+                m.set(i, 1, (c.y - b.min_y) / b.height());
+            }
+            column_names.push("neighborhood_x".into());
+            column_names.push("neighborhood_y".into());
+            m
+        }
+        LocationEncoding::OneHot => {
+            let k = partition.num_regions();
+            let mut m = Matrix::zeros(n, k);
+            for (i, &r) in regions.iter().enumerate() {
+                m.set(i, r, 1.0);
+            }
+            for r in 0..k {
+                column_names.push(format!("neighborhood_{r}"));
+            }
+            m
+        }
+        LocationEncoding::CellIndex => {
+            let mut m = Matrix::zeros(n, 1);
+            for (i, &r) in regions.iter().enumerate() {
+                m.set(i, 0, r as f64);
+            }
+            column_names.push("neighborhood_id".into());
+            m
+        }
+    };
+
+    let matrix = dataset
+        .features()
+        .hstack(&location)
+        .map_err(DataError::Ml)?;
+    Ok(DesignMatrix {
+        matrix,
+        column_names,
+        location_columns: base_cols..base_cols + location.cols(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_geo::{Grid, Point, Rect};
+
+    fn tiny() -> SpatialDataset {
+        let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
+        SpatialDataset::new(
+            grid,
+            vec!["income".into()],
+            Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap(),
+            vec![],
+            vec![],
+            vec![
+                Point::new(0.1, 0.1),
+                Point::new(0.9, 0.1),
+                Point::new(0.9, 0.9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn centroid_encoding_shapes() {
+        let d = tiny();
+        let p = Partition::uniform(d.grid(), 1, 2).unwrap();
+        let dm = build_design_matrix(&d, &p, LocationEncoding::CentroidXY).unwrap();
+        assert_eq!(dm.matrix.cols(), 3);
+        assert_eq!(dm.location_columns, 1..3);
+        assert_eq!(
+            dm.column_names,
+            vec!["income", "neighborhood_x", "neighborhood_y"]
+        );
+        // Individual 0 is in the west half: centroid x = 0.25.
+        assert!((dm.matrix.get(0, 1) - 0.25).abs() < 1e-12);
+        assert!((dm.matrix.get(1, 1) - 0.75).abs() < 1e-12);
+        // y centroid of a full-height region is 0.5.
+        assert!((dm.matrix.get(0, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_hot_encoding_rows_sum_to_one() {
+        let d = tiny();
+        let p = Partition::uniform(d.grid(), 2, 2).unwrap();
+        let dm = build_design_matrix(&d, &p, LocationEncoding::OneHot).unwrap();
+        assert_eq!(dm.matrix.cols(), 1 + 4);
+        for i in 0..d.len() {
+            let s: f64 = dm.matrix.row(i)[1..].iter().sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn cell_index_encoding_single_column() {
+        let d = tiny();
+        let p = Partition::uniform(d.grid(), 1, 2).unwrap();
+        let dm = build_design_matrix(&d, &p, LocationEncoding::CellIndex).unwrap();
+        assert_eq!(dm.matrix.cols(), 2);
+        assert_eq!(dm.matrix.column(1), vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn aggregate_location_sums_location_block() {
+        let d = tiny();
+        let p = Partition::uniform(d.grid(), 2, 2).unwrap();
+        let dm = build_design_matrix(&d, &p, LocationEncoding::OneHot).unwrap();
+        let agg = dm
+            .aggregate_location(&[0.5, 0.1, 0.2, 0.3, 0.4])
+            .unwrap();
+        assert_eq!(agg.len(), 2);
+        assert!((agg[0] - 0.5).abs() < 1e-12);
+        assert!((agg[1] - 1.0).abs() < 1e-12);
+        assert!(dm.aggregate_location(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn finer_partitions_move_centroids() {
+        let d = tiny();
+        let coarse = Partition::single(d.grid());
+        let fine = Partition::uniform(d.grid(), 2, 2).unwrap();
+        let a = build_design_matrix(&d, &coarse, LocationEncoding::CentroidXY).unwrap();
+        let b = build_design_matrix(&d, &fine, LocationEncoding::CentroidXY).unwrap();
+        // Under the trivial partition every centroid is the map center.
+        assert!((a.matrix.get(0, 1) - 0.5).abs() < 1e-12);
+        // Under quadrants, individual 0's centroid moved to its quadrant.
+        assert!((b.matrix.get(0, 1) - 0.25).abs() < 1e-12);
+    }
+}

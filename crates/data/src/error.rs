@@ -1,0 +1,108 @@
+//! Error type for dataset construction, generation and I/O.
+
+use fsi_geo::GeoError;
+use fsi_ml::MlError;
+use std::fmt;
+
+/// Errors produced while building, generating or (de)serializing datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A geometry operation failed (e.g. a location outside the grid).
+    Geo(GeoError),
+    /// A matrix/validation operation failed.
+    Ml(MlError),
+    /// Column lengths disagree.
+    LengthMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was received.
+        got: usize,
+        /// Which column disagreed.
+        what: String,
+    },
+    /// A named outcome or feature does not exist.
+    UnknownColumn(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// An I/O error during CSV read/write.
+    Io(std::io::Error),
+    /// A generator configuration value is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Geo(e) => write!(f, "geometry error: {e}"),
+            DataError::Ml(e) => write!(f, "ml error: {e}"),
+            DataError::LengthMismatch {
+                expected,
+                got,
+                what,
+            } => write!(f, "{what}: expected length {expected}, got {got}"),
+            DataError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
+            DataError::DuplicateColumn(name) => write!(f, "duplicate column '{name}'"),
+            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Geo(e) => Some(e),
+            DataError::Ml(e) => Some(e),
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeoError> for DataError {
+    fn from(e: GeoError) -> Self {
+        DataError::Geo(e)
+    }
+}
+
+impl From<MlError> for DataError {
+    fn from(e: MlError) -> Self {
+        DataError::Ml(e)
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_detail() {
+        let e: DataError = GeoError::NoSeeds.into();
+        assert!(e.to_string().contains("seed"));
+        let e: DataError = MlError::EmptyDataset.into();
+        assert!(e.to_string().contains("sample"));
+    }
+
+    #[test]
+    fn csv_error_reports_line() {
+        let e = DataError::Csv {
+            line: 12,
+            message: "bad number".into(),
+        };
+        assert!(e.to_string().contains("12"));
+    }
+}

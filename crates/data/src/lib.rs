@@ -1,0 +1,33 @@
+//! # fsi-data — datasets for fair spatial indexing
+//!
+//! The paper evaluates on two EdGap extracts (Los Angeles, 1153 school
+//! records; Houston, 966) with five socio-economic features and two outcome
+//! variables (average ACT, family employment) joined with NCES school
+//! coordinates. That data is not redistributable, so this crate provides:
+//!
+//! * [`SpatialDataset`](dataset::SpatialDataset) — the columnar dataset
+//!   type: features, outcome variables, map locations and base-grid cells.
+//! * [`synth`] — a synthetic city generator whose latent *affluence field*
+//!   drives spatially correlated socio-economic features, plus latent
+//!   spatial outcome effects that are *not* exposed as features. The latter
+//!   is what makes per-neighborhood residuals autocorrelated — the exact
+//!   phenomenon (Figure 6 of the paper) the index structures mitigate.
+//!   Presets [`synth::edgap::los_angeles`] and [`synth::edgap::houston`]
+//!   mirror the paper's record counts and schema.
+//! * [`csv`] — plain-text round-tripping so real EdGap extracts can be
+//!   dropped in unchanged.
+//! * [`encode`] — design-matrix assembly: socio-economic features plus the
+//!   *neighborhood* attribute under selectable encodings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod encode;
+pub mod error;
+pub mod synth;
+
+pub use dataset::SpatialDataset;
+pub use encode::{build_design_matrix, DesignMatrix, LocationEncoding};
+pub use error::DataError;

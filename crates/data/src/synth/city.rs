@@ -1,0 +1,386 @@
+//! The synthetic city generator.
+//!
+//! Individuals (schools in the EdGap framing) are placed in Gaussian
+//! clusters around urban cores. A latent standardized *affluence* surface
+//! `A` drives all five socio-economic features with feature-specific noise.
+//! Outcome variables depend on `A` **plus latent spatial effects that are
+//! not exposed as features** — the model therefore cannot fully explain
+//! outcomes from the feature set, its residuals are spatially
+//! autocorrelated, and per-neighborhood mis-calibration (paper Figure 6)
+//! emerges on exactly the same code paths real data would exercise.
+
+use crate::dataset::SpatialDataset;
+use crate::error::DataError;
+use crate::synth::field::{
+    standardized_values, LinearGradient, RadialKernel, SumField, ValueNoise,
+};
+use fsi_geo::{Grid, Point, Rect};
+use fsi_ml::rand_util::{normal, rng_from_seed, SeededRng};
+use fsi_ml::Matrix;
+use rand::RngExt;
+
+/// The five EdGap socio-economic feature names, in column order.
+pub const FEATURE_NAMES: [&str; 5] = [
+    "unemployment_pct",
+    "college_degree_pct",
+    "marriage_pct",
+    "median_income_k",
+    "reduced_lunch_pct",
+];
+
+/// Outcome column driving the primary classification task (threshold 22 in
+/// the paper).
+pub const OUTCOME_ACT: &str = "avg_act";
+/// Outcome column driving the secondary task (threshold 10 in the paper).
+pub const OUTCOME_EMPLOYMENT: &str = "family_employment_pct";
+
+/// Configuration of a synthetic city.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Human-readable name ("Los Angeles", ...).
+    pub name: String,
+    /// Master seed; every derived surface/noise stream is seeded from it.
+    pub seed: u64,
+    /// Number of individuals (schools).
+    pub n_individuals: usize,
+    /// Number of urban clusters.
+    pub n_clusters: usize,
+    /// Standard deviation of locations around their cluster center.
+    pub cluster_std: f64,
+    /// Base-grid resolution (`grid_side × grid_side`).
+    pub grid_side: usize,
+    /// Number of signed affluence kernels.
+    pub n_affluence_kernels: usize,
+    /// Amplitude of the value-noise component of the affluence surface.
+    pub affluence_noise_amp: f64,
+    /// Strength of the hidden spatial effect on the ACT outcome, in
+    /// standard deviations. Zero removes spatial residual correlation.
+    pub latent_strength_act: f64,
+    /// Strength of the hidden spatial effect on the employment outcome.
+    pub latent_strength_employment: f64,
+    /// Multiplier on all per-feature observation noise.
+    pub feature_noise: f64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        Self {
+            name: "Synthetic City".into(),
+            seed: 1,
+            n_individuals: 1000,
+            n_clusters: 6,
+            cluster_std: 0.10,
+            grid_side: 64,
+            n_affluence_kernels: 8,
+            affluence_noise_amp: 0.6,
+            latent_strength_act: 1.6,
+            latent_strength_employment: 1.4,
+            feature_noise: 1.0,
+        }
+    }
+}
+
+impl CityConfig {
+    fn validate(&self) -> Result<(), DataError> {
+        if self.n_individuals == 0 {
+            return Err(DataError::InvalidConfig(
+                "n_individuals must be positive".into(),
+            ));
+        }
+        if self.n_clusters == 0 {
+            return Err(DataError::InvalidConfig("n_clusters must be positive".into()));
+        }
+        if self.grid_side < 2 {
+            return Err(DataError::InvalidConfig("grid_side must be at least 2".into()));
+        }
+        if !(self.cluster_std > 0.0 && self.cluster_std.is_finite()) {
+            return Err(DataError::InvalidConfig(
+                "cluster_std must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generates [`SpatialDataset`]s from a [`CityConfig`].
+#[derive(Debug, Clone)]
+pub struct CityGenerator {
+    config: CityConfig,
+}
+
+impl CityGenerator {
+    /// Creates a generator after validating the configuration.
+    pub fn new(config: CityConfig) -> Result<Self, DataError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CityConfig {
+        &self.config
+    }
+
+    /// Samples cluster centers away from the map edge.
+    fn cluster_centers(&self, rng: &mut SeededRng) -> Vec<Point> {
+        (0..self.config.n_clusters)
+            .map(|_| {
+                Point::new(
+                    rng.random_range(0.15..0.85),
+                    rng.random_range(0.15..0.85),
+                )
+            })
+            .collect()
+    }
+
+    /// Samples individual locations: cluster choice by weight, Gaussian
+    /// offset, clamped into the open unit square.
+    fn locations(&self, rng: &mut SeededRng, centers: &[Point]) -> Vec<Point> {
+        let weights: Vec<f64> = (0..centers.len())
+            .map(|_| rng.random_range(0.5..1.5))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w / total;
+                Some(*acc)
+            })
+            .collect();
+        (0..self.config.n_individuals)
+            .map(|_| {
+                let u: f64 = rng.random();
+                let k = cumulative.iter().position(|&c| u <= c).unwrap_or(0);
+                let x = normal(rng, centers[k].x, self.config.cluster_std);
+                let y = normal(rng, centers[k].y, self.config.cluster_std);
+                Point::new(x.clamp(0.001, 0.999), y.clamp(0.001, 0.999))
+            })
+            .collect()
+    }
+
+    /// Builds the latent affluence surface.
+    fn affluence_field(&self, rng: &mut SeededRng, centers: &[Point]) -> SumField {
+        let mut field = SumField::new();
+        for i in 0..self.config.n_affluence_kernels {
+            // Anchor kernels near urban clusters (with jitter) so affluence
+            // structure tracks where people actually are.
+            let anchor = centers[i % centers.len()];
+            let center = Point::new(
+                (anchor.x + rng.random_range(-0.15..0.15)).clamp(0.0, 1.0),
+                (anchor.y + rng.random_range(-0.15..0.15)).clamp(0.0, 1.0),
+            );
+            let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+            field = field.with(RadialKernel {
+                center,
+                amplitude: sign * rng.random_range(0.6..1.4),
+                radius: rng.random_range(0.10..0.30),
+            });
+        }
+        field = field.with(LinearGradient {
+            a: rng.random_range(-0.5..0.5),
+            b: rng.random_range(-0.5..0.5),
+            c: 0.0,
+        });
+        field = field.with(ValueNoise::new(
+            self.config.seed.wrapping_add(101),
+            10,
+            Rect::unit(),
+            self.config.affluence_noise_amp,
+        ));
+        field
+    }
+
+    /// Builds a latent outcome surface (distinct per task).
+    fn latent_field(&self, stream: u64, rng: &mut SeededRng, centers: &[Point]) -> SumField {
+        let mut field = SumField::new().with(ValueNoise::new(
+            self.config.seed.wrapping_add(stream),
+            7,
+            Rect::unit(),
+            1.0,
+        ));
+        // A few task-specific hotspots, again anchored to the city.
+        for _ in 0..3 {
+            let anchor = centers[rng.random_range(0..centers.len())];
+            field = field.with(RadialKernel {
+                center: Point::new(
+                    (anchor.x + rng.random_range(-0.2..0.2)).clamp(0.0, 1.0),
+                    (anchor.y + rng.random_range(-0.2..0.2)).clamp(0.0, 1.0),
+                ),
+                amplitude: rng.random_range(-1.0..1.0),
+                radius: rng.random_range(0.08..0.20),
+            });
+        }
+        field
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Result<SpatialDataset, DataError> {
+        let cfg = &self.config;
+        let mut rng = rng_from_seed(cfg.seed);
+        let centers = self.cluster_centers(&mut rng);
+        let locations = self.locations(&mut rng, &centers);
+
+        let affluence_field = self.affluence_field(&mut rng, &centers);
+        let latent_act_field = self.latent_field(211, &mut rng, &centers);
+        let latent_emp_field = self.latent_field(307, &mut rng, &centers);
+
+        let a = standardized_values(&affluence_field, &locations);
+        let eta_act = standardized_values(&latent_act_field, &locations);
+        let eta_emp = standardized_values(&latent_emp_field, &locations);
+
+        let fnoise = cfg.feature_noise;
+        let n = cfg.n_individuals;
+        let mut rows = Vec::with_capacity(n);
+        let mut act = Vec::with_capacity(n);
+        let mut emp = Vec::with_capacity(n);
+        for i in 0..n {
+            let ai = a[i];
+            let unemployment =
+                (7.5 - 3.5 * ai + normal(&mut rng, 0.0, 1.6 * fnoise)).clamp(0.5, 35.0);
+            let college =
+                (36.0 + 17.0 * ai + normal(&mut rng, 0.0, 6.0 * fnoise)).clamp(2.0, 95.0);
+            let marriage =
+                (52.0 + 9.0 * ai + normal(&mut rng, 0.0, 7.0 * fnoise)).clamp(10.0, 92.0);
+            let income =
+                (62.0 + 24.0 * ai + normal(&mut rng, 0.0, 6.0 * fnoise)).clamp(12.0, 250.0);
+            let lunch =
+                (45.0 - 21.0 * ai + normal(&mut rng, 0.0, 8.0 * fnoise)).clamp(1.0, 99.0);
+            rows.push(vec![unemployment, college, marriage, income, lunch]);
+
+            act.push(
+                (21.3 + 2.3 * ai
+                    + cfg.latent_strength_act * eta_act[i]
+                    + normal(&mut rng, 0.0, 0.9))
+                .clamp(10.0, 36.0),
+            );
+            emp.push(
+                (10.5 + 2.2 * ai
+                    + cfg.latent_strength_employment * eta_emp[i]
+                    + normal(&mut rng, 0.0, 0.8))
+                .clamp(0.0, 60.0),
+            );
+        }
+
+        let grid = Grid::new(Rect::unit(), cfg.grid_side, cfg.grid_side)?;
+        SpatialDataset::new(
+            grid,
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+            Matrix::from_rows(&rows).map_err(DataError::Ml)?,
+            vec![OUTCOME_ACT.into(), OUTCOME_EMPLOYMENT.into()],
+            vec![act, emp],
+            locations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CityConfig {
+        CityConfig {
+            n_individuals: 300,
+            grid_side: 16,
+            seed: 42,
+            ..CityConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = small_config();
+        c.n_individuals = 0;
+        assert!(CityGenerator::new(c).is_err());
+        let mut c = small_config();
+        c.n_clusters = 0;
+        assert!(CityGenerator::new(c).is_err());
+        let mut c = small_config();
+        c.grid_side = 1;
+        assert!(CityGenerator::new(c).is_err());
+        let mut c = small_config();
+        c.cluster_std = 0.0;
+        assert!(CityGenerator::new(c).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = CityGenerator::new(small_config()).unwrap();
+        let a = gen.generate().unwrap();
+        let b = gen.generate().unwrap();
+        assert_eq!(a.features(), b.features());
+        assert_eq!(a.outcome(OUTCOME_ACT).unwrap(), b.outcome(OUTCOME_ACT).unwrap());
+        assert_eq!(a.cells(), b.cells());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small_config();
+        let a = CityGenerator::new(cfg.clone()).unwrap().generate().unwrap();
+        cfg.seed = 43;
+        let b = CityGenerator::new(cfg).unwrap().generate().unwrap();
+        assert_ne!(a.features(), b.features());
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let d = CityGenerator::new(small_config()).unwrap().generate().unwrap();
+        assert_eq!(d.len(), 300);
+        assert_eq!(d.feature_names().len(), 5);
+        assert_eq!(d.features().cols(), 5);
+        for i in 0..d.len() {
+            let row = d.features().row(i);
+            assert!((0.5..=35.0).contains(&row[0]), "unemployment {}", row[0]);
+            assert!((2.0..=95.0).contains(&row[1]));
+            assert!((10.0..=92.0).contains(&row[2]));
+            assert!((12.0..=250.0).contains(&row[3]));
+            assert!((1.0..=99.0).contains(&row[4]));
+        }
+        let act = d.outcome(OUTCOME_ACT).unwrap();
+        assert!(act.iter().all(|v| (10.0..=36.0).contains(v)));
+    }
+
+    #[test]
+    fn act_threshold_gives_a_non_degenerate_task() {
+        let d = CityGenerator::new(small_config()).unwrap().generate().unwrap();
+        let labels = d.threshold_labels(OUTCOME_ACT, 22.0).unwrap();
+        let pos = labels.iter().filter(|&&b| b).count() as f64 / labels.len() as f64;
+        assert!((0.15..=0.85).contains(&pos), "positive rate {pos}");
+        let labels = d.threshold_labels(OUTCOME_EMPLOYMENT, 10.0).unwrap();
+        let pos = labels.iter().filter(|&&b| b).count() as f64 / labels.len() as f64;
+        assert!((0.15..=0.85).contains(&pos), "employment positive rate {pos}");
+    }
+
+    #[test]
+    fn features_correlate_with_affluence_signal() {
+        // Income and college degree should be positively correlated;
+        // income and reduced lunch negatively.
+        let d = CityGenerator::new(small_config()).unwrap().generate().unwrap();
+        let income = d.features().column(3);
+        let college = d.features().column(1);
+        let lunch = d.features().column(4);
+        let corr = |a: &[f64], b: &[f64]| {
+            let n = a.len() as f64;
+            let ma = a.iter().sum::<f64>() / n;
+            let mb = b.iter().sum::<f64>() / n;
+            let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+            let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
+            let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        assert!(corr(&income, &college) > 0.4);
+        assert!(corr(&income, &lunch) < -0.4);
+    }
+
+    #[test]
+    fn locations_cluster_rather_than_spread_uniformly() {
+        // With few clusters and small std, the occupied-cell fraction
+        // should be well below uniform coverage.
+        let d = CityGenerator::new(small_config()).unwrap().generate().unwrap();
+        let occupied = d
+            .cell_populations()
+            .iter()
+            .filter(|&&c| c > 0.0)
+            .count() as f64;
+        let frac = occupied / d.grid().len() as f64;
+        assert!(frac < 0.75, "occupied fraction {frac}");
+    }
+}

@@ -1,0 +1,144 @@
+//! EdGap-like presets mirroring the paper's two evaluation datasets.
+//!
+//! The paper (§5.1) uses EdGap socio-economic records of US high-school
+//! students: 1153 records for Los Angeles, CA and 966 for Houston, TX.
+//! These presets reproduce the record counts, feature schema, outcome
+//! variables and thresholds. The urban geometry differs per preset (more,
+//! tighter clusters for LA's polycentric sprawl; fewer, looser ones for
+//! Houston) so the two "cities" exercise genuinely different spatial
+//! distributions, as the paper's two datasets do.
+
+use crate::dataset::SpatialDataset;
+use crate::error::DataError;
+use crate::synth::city::{CityConfig, CityGenerator};
+use fsi_geo::Point;
+use fsi_ml::rand_util::rng_from_seed;
+use rand::RngExt;
+
+/// The paper's ACT label threshold (§5.2): label = `avg_act >= 22`.
+pub const ACT_THRESHOLD: f64 = 22.0;
+/// The paper's family-employment label threshold (§5.4): `>= 10` percent.
+pub const EMPLOYMENT_THRESHOLD: f64 = 10.0;
+
+/// Configuration for the Los Angeles preset (1153 records).
+pub fn los_angeles() -> CityConfig {
+    CityConfig {
+        name: "Los Angeles".into(),
+        seed: 0x1A_2302,
+        n_individuals: 1153,
+        n_clusters: 7,
+        cluster_std: 0.09,
+        grid_side: 64,
+        n_affluence_kernels: 9,
+        affluence_noise_amp: 0.6,
+        latent_strength_act: 1.6,
+        latent_strength_employment: 1.4,
+        feature_noise: 1.0,
+    }
+}
+
+/// Configuration for the Houston preset (966 records).
+pub fn houston() -> CityConfig {
+    CityConfig {
+        name: "Houston".into(),
+        seed: 0x40_2306,
+        n_individuals: 966,
+        n_clusters: 5,
+        cluster_std: 0.12,
+        grid_side: 64,
+        n_affluence_kernels: 7,
+        affluence_noise_amp: 0.7,
+        latent_strength_act: 1.7,
+        latent_strength_employment: 1.5,
+        feature_noise: 1.0,
+    }
+}
+
+/// Generates the Los Angeles dataset.
+pub fn generate_los_angeles() -> Result<SpatialDataset, DataError> {
+    CityGenerator::new(los_angeles())?.generate()
+}
+
+/// Generates the Houston dataset.
+pub fn generate_houston() -> Result<SpatialDataset, DataError> {
+    CityGenerator::new(houston())?.generate()
+}
+
+/// Samples `k` zip-code seed points at the locations of randomly chosen
+/// individuals, so the Voronoi "zip codes" are population-weighted: dense
+/// areas get many small zips, sparse areas few large ones — the property
+/// real zip codes have.
+pub fn sample_zip_seeds(dataset: &SpatialDataset, k: usize, seed: u64) -> Vec<Point> {
+    let mut rng = rng_from_seed(seed);
+    let n = dataset.len();
+    (0..k.max(1))
+        .map(|_| dataset.locations()[rng.random_range(0..n)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_record_counts() {
+        let la = generate_los_angeles().unwrap();
+        assert_eq!(la.len(), 1153);
+        let hou = generate_houston().unwrap();
+        assert_eq!(hou.len(), 966);
+    }
+
+    #[test]
+    fn presets_have_the_edgap_schema() {
+        let la = generate_los_angeles().unwrap();
+        assert_eq!(
+            la.feature_names(),
+            &[
+                "unemployment_pct",
+                "college_degree_pct",
+                "marriage_pct",
+                "median_income_k",
+                "reduced_lunch_pct"
+            ]
+        );
+        assert_eq!(la.outcome_names(), &["avg_act", "family_employment_pct"]);
+    }
+
+    #[test]
+    fn cities_differ() {
+        let la = generate_los_angeles().unwrap();
+        let hou = generate_houston().unwrap();
+        assert_ne!(la.len(), hou.len());
+        assert_ne!(
+            la.features().row(0),
+            hou.features().row(0),
+            "different seeds must give different data"
+        );
+    }
+
+    #[test]
+    fn both_tasks_are_learnable_splits() {
+        for d in [generate_los_angeles().unwrap(), generate_houston().unwrap()] {
+            for (outcome, threshold) in
+                [("avg_act", ACT_THRESHOLD), ("family_employment_pct", EMPLOYMENT_THRESHOLD)]
+            {
+                let labels = d.threshold_labels(outcome, threshold).unwrap();
+                let pos = labels.iter().filter(|&&b| b).count();
+                assert!(pos > d.len() / 10, "{outcome}: too few positives");
+                assert!(pos < d.len() * 9 / 10, "{outcome}: too few negatives");
+            }
+        }
+    }
+
+    #[test]
+    fn zip_seeds_are_at_individual_locations() {
+        let la = generate_los_angeles().unwrap();
+        let seeds = sample_zip_seeds(&la, 30, 5);
+        assert_eq!(seeds.len(), 30);
+        for s in &seeds {
+            assert!(la.locations().iter().any(|p| p == s));
+        }
+        // Deterministic.
+        assert_eq!(seeds, sample_zip_seeds(&la, 30, 5));
+    }
+}

@@ -1,0 +1,290 @@
+//! Smooth scalar fields over the map.
+//!
+//! The generator models a city's socio-economic geography as a latent
+//! *affluence* surface: a sum of signed Gaussian bumps (wealthy cores,
+//! struggling corridors), a coarse linear gradient, and band-limited value
+//! noise. The same machinery produces the *latent outcome fields* that are
+//! deliberately withheld from the feature set — they are what give model
+//! residuals their spatial autocorrelation.
+
+use fsi_geo::{Point, Rect};
+use fsi_ml::rand_util::{rng_from_seed, SeededRng};
+use rand::RngExt;
+
+/// A deterministic scalar field over map coordinates.
+pub trait ScalarField {
+    /// Field value at a point.
+    fn value(&self, p: &Point) -> f64;
+}
+
+/// A signed Gaussian bump: `amplitude · exp(−‖p − center‖² / (2·radius²))`.
+#[derive(Debug, Clone)]
+pub struct RadialKernel {
+    /// Bump center.
+    pub center: Point,
+    /// Signed peak value.
+    pub amplitude: f64,
+    /// Length scale.
+    pub radius: f64,
+}
+
+impl ScalarField for RadialKernel {
+    fn value(&self, p: &Point) -> f64 {
+        let d2 = p.distance_sq(&self.center);
+        self.amplitude * (-d2 / (2.0 * self.radius * self.radius)).exp()
+    }
+}
+
+/// A linear trend `ax + by + c`.
+#[derive(Debug, Clone)]
+pub struct LinearGradient {
+    /// Coefficient on `x`.
+    pub a: f64,
+    /// Coefficient on `y`.
+    pub b: f64,
+    /// Offset.
+    pub c: f64,
+}
+
+impl ScalarField for LinearGradient {
+    fn value(&self, p: &Point) -> f64 {
+        self.a * p.x + self.b * p.y + self.c
+    }
+}
+
+/// Band-limited value noise: random values on a coarse lattice, smoothly
+/// interpolated (bilinear with smoothstep easing). Deterministic in the
+/// seed; values lie in `[-amplitude, amplitude]`.
+#[derive(Debug, Clone)]
+pub struct ValueNoise {
+    lattice: Vec<f64>,
+    side: usize,
+    bounds: Rect,
+    amplitude: f64,
+}
+
+impl ValueNoise {
+    /// Creates noise on a `side × side` lattice over `bounds`.
+    pub fn new(seed: u64, side: usize, bounds: Rect, amplitude: f64) -> Self {
+        let side = side.max(2);
+        let mut rng: SeededRng = rng_from_seed(seed);
+        let lattice = (0..side * side)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
+        Self {
+            lattice,
+            side,
+            bounds,
+            amplitude,
+        }
+    }
+
+    #[inline]
+    fn smoothstep(t: f64) -> f64 {
+        t * t * (3.0 - 2.0 * t)
+    }
+
+    #[inline]
+    fn at(&self, ix: usize, iy: usize) -> f64 {
+        self.lattice[iy * self.side + ix]
+    }
+}
+
+impl ScalarField for ValueNoise {
+    fn value(&self, p: &Point) -> f64 {
+        // Map into lattice coordinates, clamped to the boundary.
+        let fx = ((p.x - self.bounds.min_x) / self.bounds.width()).clamp(0.0, 1.0)
+            * (self.side - 1) as f64;
+        let fy = ((p.y - self.bounds.min_y) / self.bounds.height()).clamp(0.0, 1.0)
+            * (self.side - 1) as f64;
+        let ix = (fx as usize).min(self.side - 2);
+        let iy = (fy as usize).min(self.side - 2);
+        let tx = Self::smoothstep(fx - ix as f64);
+        let ty = Self::smoothstep(fy - iy as f64);
+        let v00 = self.at(ix, iy);
+        let v10 = self.at(ix + 1, iy);
+        let v01 = self.at(ix, iy + 1);
+        let v11 = self.at(ix + 1, iy + 1);
+        let v0 = v00 + (v10 - v00) * tx;
+        let v1 = v01 + (v11 - v01) * tx;
+        self.amplitude * (v0 + (v1 - v0) * ty)
+    }
+}
+
+/// Sum of component fields.
+pub struct SumField {
+    components: Vec<Box<dyn ScalarField + Send + Sync>>,
+}
+
+impl SumField {
+    /// Creates an empty sum (value 0 everywhere).
+    pub fn new() -> Self {
+        Self {
+            components: Vec::new(),
+        }
+    }
+
+    /// Adds a component field.
+    pub fn with(mut self, field: impl ScalarField + Send + Sync + 'static) -> Self {
+        self.components.push(Box::new(field));
+        self
+    }
+
+    /// Number of component fields.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl Default for SumField {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScalarField for SumField {
+    fn value(&self, p: &Point) -> f64 {
+        self.components.iter().map(|f| f.value(p)).sum()
+    }
+}
+
+/// Evaluates `field` at `points` and standardizes the sample to zero mean
+/// and unit variance (constant fields come back as all zeros). The synth
+/// pipeline standardizes every latent surface so feature equations can use
+/// interpretable coefficients.
+pub fn standardized_values(field: &dyn ScalarField, points: &[Point]) -> Vec<f64> {
+    let raw: Vec<f64> = points.iter().map(|p| field.value(p)).collect();
+    let n = raw.len() as f64;
+    if raw.is_empty() {
+        return raw;
+    }
+    let mean = raw.iter().sum::<f64>() / n;
+    let var = raw.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        return vec![0.0; raw.len()];
+    }
+    raw.into_iter().map(|v| (v - mean) / std).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radial_kernel_peaks_at_center_and_decays() {
+        let k = RadialKernel {
+            center: Point::new(0.5, 0.5),
+            amplitude: 2.0,
+            radius: 0.1,
+        };
+        assert!((k.value(&Point::new(0.5, 0.5)) - 2.0).abs() < 1e-12);
+        let near = k.value(&Point::new(0.55, 0.5));
+        let far = k.value(&Point::new(0.9, 0.5));
+        assert!(near < 2.0 && near > far && far >= 0.0);
+    }
+
+    #[test]
+    fn negative_amplitude_makes_a_sink() {
+        let k = RadialKernel {
+            center: Point::new(0.0, 0.0),
+            amplitude: -1.0,
+            radius: 0.2,
+        };
+        assert!(k.value(&Point::new(0.0, 0.0)) < -0.99);
+    }
+
+    #[test]
+    fn gradient_is_linear() {
+        let g = LinearGradient {
+            a: 2.0,
+            b: -1.0,
+            c: 0.5,
+        };
+        assert_eq!(g.value(&Point::new(1.0, 1.0)), 1.5);
+        assert_eq!(g.value(&Point::new(0.0, 0.0)), 0.5);
+    }
+
+    #[test]
+    fn value_noise_is_deterministic_and_bounded() {
+        let n1 = ValueNoise::new(9, 8, Rect::unit(), 1.5);
+        let n2 = ValueNoise::new(9, 8, Rect::unit(), 1.5);
+        for i in 0..50 {
+            let p = Point::new((i as f64 * 0.37).fract(), (i as f64 * 0.61).fract());
+            let v = n1.value(&p);
+            assert_eq!(v, n2.value(&p));
+            assert!(v.abs() <= 1.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn value_noise_differs_across_seeds() {
+        let a = ValueNoise::new(1, 8, Rect::unit(), 1.0);
+        let b = ValueNoise::new(2, 8, Rect::unit(), 1.0);
+        let p = Point::new(0.33, 0.77);
+        assert_ne!(a.value(&p), b.value(&p));
+    }
+
+    #[test]
+    fn value_noise_is_continuous() {
+        let n = ValueNoise::new(4, 6, Rect::unit(), 1.0);
+        // Tiny steps should produce tiny value changes.
+        let mut prev = n.value(&Point::new(0.0, 0.4));
+        let mut x: f64 = 0.0;
+        while x < 1.0 {
+            x += 1e-3;
+            let v = n.value(&Point::new(x.min(1.0), 0.4));
+            assert!((v - prev).abs() < 0.05, "jump at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn sum_field_adds_components() {
+        let s = SumField::new()
+            .with(LinearGradient {
+                a: 1.0,
+                b: 0.0,
+                c: 0.0,
+            })
+            .with(LinearGradient {
+                a: 0.0,
+                b: 1.0,
+                c: 1.0,
+            });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value(&Point::new(0.25, 0.5)), 1.75);
+        assert_eq!(SumField::new().value(&Point::new(0.5, 0.5)), 0.0);
+    }
+
+    #[test]
+    fn standardization_yields_unit_moments() {
+        let g = LinearGradient {
+            a: 3.0,
+            b: 0.0,
+            c: 10.0,
+        };
+        let points: Vec<Point> = (0..100).map(|i| Point::new(i as f64 / 100.0, 0.0)).collect();
+        let vals = standardized_values(&g, &points);
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var: f64 = vals.iter().map(|v| v * v).sum::<f64>() / vals.len() as f64 - mean * mean;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardization_of_constant_field_is_zero() {
+        let g = LinearGradient {
+            a: 0.0,
+            b: 0.0,
+            c: 5.0,
+        };
+        let points = vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9)];
+        assert_eq!(standardized_values(&g, &points), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Synthetic city generation.
+//!
+//! See [`field`] for the spatial scalar fields, [`city`] for the generator,
+//! and [`edgap`] for the Los Angeles / Houston presets that mirror the
+//! paper's datasets.
+
+pub mod city;
+pub mod edgap;
+pub mod field;
+
+pub use city::{CityConfig, CityGenerator};
+pub use field::{LinearGradient, RadialKernel, ScalarField, SumField, ValueNoise};

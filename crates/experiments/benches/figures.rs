@@ -1,0 +1,22 @@
+//! `cargo bench -p fsi-experiments` regenerates every figure (reduced
+//! sweep: one split seed) so the full benchmark run reproduces the
+//! evaluation end-to-end.
+
+use fsi_experiments::{ablations, fig10, fig6, fig7, fig8, fig9, report, timing, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::quick().expect("dataset generation");
+    for (name, f) in [
+        ("fig6", fig6::run as fn(&ExperimentContext) -> _),
+        ("fig7", fig7::run),
+        ("fig8", fig8::run),
+        ("fig9", fig9::run),
+        ("fig10", fig10::run),
+        ("timing", timing::run),
+        ("ablations", ablations::run),
+    ] {
+        eprintln!("[figures] {name}");
+        let tables: Vec<fsi_experiments::Table> = f(&ctx).expect(name);
+        report::emit(&tables);
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's ablations artifact. Run with `--release`.
+
+use fsi_experiments::{ablations, report, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::standard().expect("dataset generation");
+    let tables = ablations::run(&ctx).expect("ablations run");
+    report::emit(&tables);
+}

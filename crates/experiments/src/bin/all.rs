@@ -1,0 +1,34 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```sh
+//! cargo run --release -p fsi-experiments --bin all
+//! ```
+
+use fsi_experiments::{ablations, fig10, fig6, fig7, fig8, fig9, report, timing, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::standard().expect("dataset generation");
+    let runs: Vec<(&str, fn(&ExperimentContext) -> Result<Vec<fsi_experiments::Table>, fsi_pipeline::PipelineError>)> = vec![
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig8::run),
+        ("fig9", fig9::run),
+        ("fig10", fig10::run),
+        ("timing", timing::run),
+        ("ablations", ablations::run),
+    ];
+    for (name, f) in runs {
+        eprintln!("[all] running {name} ...");
+        let started = std::time::Instant::now();
+        match f(&ctx) {
+            Ok(tables) => {
+                report::emit(&tables);
+                eprintln!("[all] {name} done in {:.1}s", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("[all] {name} FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

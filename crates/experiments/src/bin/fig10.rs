@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig10 artifact. Run with `--release`.
+
+use fsi_experiments::{fig10, report, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::standard().expect("dataset generation");
+    let tables = fig10::run(&ctx).expect("fig10 run");
+    report::emit(&tables);
+}

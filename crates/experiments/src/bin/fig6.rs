@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig6 artifact. Run with `--release`.
+
+use fsi_experiments::{fig6, report, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::standard().expect("dataset generation");
+    let tables = fig6::run(&ctx).expect("fig6 run");
+    report::emit(&tables);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig7 artifact. Run with `--release`.
+
+use fsi_experiments::{fig7, report, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::standard().expect("dataset generation");
+    let tables = fig7::run(&ctx).expect("fig7 run");
+    report::emit(&tables);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig8 artifact. Run with `--release`.
+
+use fsi_experiments::{fig8, report, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::standard().expect("dataset generation");
+    let tables = fig8::run(&ctx).expect("fig8 run");
+    report::emit(&tables);
+}

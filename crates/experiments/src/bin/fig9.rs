@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig9 artifact. Run with `--release`.
+
+use fsi_experiments::{fig9, report, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::standard().expect("dataset generation");
+    let tables = fig9::run(&ctx).expect("fig9 run");
+    report::emit(&tables);
+}

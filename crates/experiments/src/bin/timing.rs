@@ -1,0 +1,9 @@
+//! Regenerates the paper's timing artifact. Run with `--release`.
+
+use fsi_experiments::{timing, report, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::standard().expect("dataset generation");
+    let tables = timing::run(&ctx).expect("timing run");
+    report::emit(&tables);
+}

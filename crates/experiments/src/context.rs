@@ -1,0 +1,82 @@
+//! Shared experiment context: datasets, seeds and sweep parameters.
+
+use fsi_data::synth::edgap::{generate_houston, generate_los_angeles};
+use fsi_data::SpatialDataset;
+use fsi_pipeline::{PipelineError, RunConfig};
+
+/// The two evaluation cities, generated once and shared by every figure.
+pub struct ExperimentContext {
+    /// `(name, dataset)` pairs: Los Angeles then Houston, as in the paper.
+    pub cities: Vec<(String, SpatialDataset)>,
+    /// Split seeds results are averaged over (the paper plots single runs;
+    /// averaging tames the small-dataset variance of our reproduction).
+    pub split_seeds: Vec<u64>,
+    /// Tree heights swept by Figures 7–9.
+    pub heights: Vec<usize>,
+}
+
+impl ExperimentContext {
+    /// Generates both cities with the default seeds and sweep ranges.
+    pub fn standard() -> Result<Self, PipelineError> {
+        Ok(Self {
+            cities: vec![
+                ("Los Angeles".into(), generate_los_angeles()?),
+                ("Houston".into(), generate_houston()?),
+            ],
+            split_seeds: vec![7, 17, 27],
+            heights: (4..=10).collect(),
+        })
+    }
+
+    /// A reduced context for smoke tests and the `cargo bench` figure
+    /// harness: one split seed, three heights.
+    pub fn quick() -> Result<Self, PipelineError> {
+        Ok(Self {
+            cities: vec![
+                ("Los Angeles".into(), generate_los_angeles()?),
+                ("Houston".into(), generate_houston()?),
+            ],
+            split_seeds: vec![7],
+            heights: vec![4, 6, 8],
+        })
+    }
+
+    /// The run configuration for a given split seed.
+    pub fn config(&self, seed: u64) -> RunConfig {
+        RunConfig {
+            seed,
+            ..RunConfig::default()
+        }
+    }
+
+    /// City name slug for file names (`Los Angeles` → `los_angeles`).
+    pub fn slug(name: &str) -> String {
+        name.to_lowercase().replace(' ', "_")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_context_has_both_cities() {
+        let ctx = ExperimentContext::standard().unwrap();
+        assert_eq!(ctx.cities.len(), 2);
+        assert_eq!(ctx.cities[0].1.len(), 1153);
+        assert_eq!(ctx.cities[1].1.len(), 966);
+        assert_eq!(ctx.heights, vec![4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn slug_normalizes() {
+        assert_eq!(ExperimentContext::slug("Los Angeles"), "los_angeles");
+        assert_eq!(ExperimentContext::slug("Houston"), "houston");
+    }
+
+    #[test]
+    fn config_carries_seed() {
+        let ctx = ExperimentContext::quick().unwrap();
+        assert_eq!(ctx.config(42).seed, 42);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 10 — multi-objective fairness: one districting serving two
+//! tasks.
+//!
+//! The paper partitions with the Multi-Objective Fair KD-tree (α = 0.5
+//! over the ACT and family-employment tasks) and compares per-task ENCE
+//! against Median KD-tree and Grid re-weighting at heights 4, 6, 8, 10.
+//! Paper shape: the multi-objective tree wins on *both* tasks, with the
+//! margin growing with height.
+
+use crate::context::ExperimentContext;
+use crate::report::{fmt, Table};
+use fsi_data::SpatialDataset;
+use fsi_pipeline::{run_multi_objective, Method, PipelineError, RunConfig, TaskSpec};
+
+/// The heights shown in Figure 10.
+pub const HEIGHTS: [usize; 4] = [4, 6, 8, 10];
+
+/// Task priority used by the paper (equal weight).
+pub const ALPHA: f64 = 0.5;
+
+fn mean_task_ence(
+    dataset: &SpatialDataset,
+    tasks: &[TaskSpec],
+    method: Method,
+    height: usize,
+    seeds: &[u64],
+) -> Result<Vec<f64>, PipelineError> {
+    let mut sums = vec![0.0; tasks.len()];
+    for &seed in seeds {
+        let config = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let run = run_multi_objective(dataset, tasks, &[ALPHA, 1.0 - ALPHA], method, height, &config)?;
+        for (s, (_, eval)) in sums.iter_mut().zip(&run.per_task) {
+            *s += eval.full.ence;
+        }
+    }
+    Ok(sums.into_iter().map(|s| s / seeds.len() as f64).collect())
+}
+
+/// Runs the Figure-10 reproduction: one table per (city, height).
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+    let tasks = [TaskSpec::act(), TaskSpec::employment()];
+    let methods = [Method::MedianKd, Method::FairKd, Method::GridReweight];
+    let mut tables = Vec::new();
+
+    for (city, dataset) in &ctx.cities {
+        for &height in &HEIGHTS {
+            let mut t = Table::new(
+                format!(
+                    "fig10_h{}_{}",
+                    height,
+                    ExperimentContext::slug(city)
+                ),
+                format!(
+                    "{city}, height {height}: per-task ENCE of one shared districting \
+                     (Fair KD-tree = multi-objective variant, alpha = {ALPHA})"
+                ),
+                vec![
+                    "method".into(),
+                    "ACT".into(),
+                    "Employment".into(),
+                ],
+            );
+            for &method in &methods {
+                let ences =
+                    mean_task_ence(dataset, &tasks, method, height, &ctx.split_seeds)?;
+                t.push_row(vec![
+                    method.name().to_string(),
+                    fmt(ences[0], 5),
+                    fmt(ences[1], 5),
+                ]);
+            }
+            tables.push(t);
+        }
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(HEIGHTS, [4, 6, 8, 10]);
+        assert!((ALPHA - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 6 — evidence of model disparity on geospatial neighborhoods.
+//!
+//! The paper trains logistic regression over zip-code neighborhoods in LA
+//! and Houston (ACT threshold 22), observes overall train/test calibration
+//! close to 1 — (1.005, 1.033) and (0.999, 0.958) — and then shows the 10
+//! most-populated zip codes suffering severe per-neighborhood
+//! mis-calibration (ratio panels 6a/6c, 15-bin ECE panels 6b/6d).
+
+use crate::context::ExperimentContext;
+use crate::report::{fmt, Table};
+use fsi_fairness::{group_calibration, group_ece, SpatialGroups};
+use fsi_ml::calibration::BinningStrategy;
+use fsi_pipeline::{run_method, Method, PipelineError, TaskSpec};
+
+/// Number of zip codes shown per city (the paper's "top 10").
+pub const TOP_ZIPS: usize = 10;
+/// ECE bin count (the paper uses 15).
+pub const ECE_BINS: usize = 15;
+
+/// Runs the Figure-6 reproduction.
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+    let mut tables = Vec::new();
+    let mut overall = Table::new(
+        "fig6_overall_calibration",
+        "overall train/test calibration ratio of the zip-code model (paper: ~1 overall)",
+        vec![
+            "city".into(),
+            "train_ratio".into(),
+            "test_ratio".into(),
+            "zip_codes".into(),
+        ],
+    );
+
+    let task = TaskSpec::act();
+    for (city, dataset) in &ctx.cities {
+        let config = ctx.config(ctx.split_seeds[0]);
+        // Height is irrelevant for the zip-code method.
+        let run = run_method(dataset, &task, Method::ZipCode, 1, &config)?;
+
+        overall.push_row(vec![
+            city.clone(),
+            run.eval
+                .train
+                .calibration_ratio
+                .map(|r| fmt(r, 3))
+                .unwrap_or_else(|| "n/a".into()),
+            run.eval
+                .test
+                .calibration_ratio
+                .map(|r| fmt(r, 3))
+                .unwrap_or_else(|| "n/a".into()),
+            run.eval.occupied_regions.to_string(),
+        ]);
+
+        // Per-zip statistics over the full population.
+        let groups = SpatialGroups::from_partition(dataset.cells(), &run.partition)
+            .map_err(PipelineError::Fairness)?;
+        let stats =
+            group_calibration(&run.scores, &run.labels, &groups).map_err(PipelineError::Fairness)?;
+        let eces = group_ece(
+            &run.scores,
+            &run.labels,
+            &groups,
+            ECE_BINS,
+            BinningStrategy::EqualWidth,
+        )
+        .map_err(PipelineError::Fairness)?;
+
+        let mut ranked: Vec<usize> = (0..stats.len()).collect();
+        ranked.sort_by_key(|&g| std::cmp::Reverse(stats[g].count));
+
+        let mut t = Table::new(
+            format!("fig6_{}", ExperimentContext::slug(city)),
+            format!(
+                "{city}: calibration of the {TOP_ZIPS} most-populated zip codes \
+                 (ratio far from 1 and large ECE = disparity)"
+            ),
+            vec![
+                "rank".into(),
+                "zip".into(),
+                "population".into(),
+                "calibration_ratio".into(),
+                format!("ece_{ECE_BINS}bin"),
+                "abs_miscal".into(),
+            ],
+        );
+        for (rank, &g) in ranked.iter().take(TOP_ZIPS).enumerate() {
+            t.push_row(vec![
+                format!("N{}", rank + 1),
+                format!("Z{g:03}"),
+                stats[g].count.to_string(),
+                stats[g]
+                    .ratio
+                    .map(|r| fmt(r, 3))
+                    .unwrap_or_else(|| "inf".into()),
+                eces[g].map(|e| fmt(e, 4)).unwrap_or_else(|| "n/a".into()),
+                fmt(stats[g].absolute_error, 4),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables.insert(0, overall);
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_tables_with_top_zips() {
+        let ctx = ExperimentContext::quick().unwrap();
+        let tables = run(&ctx).unwrap();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 2); // overall: one row per city
+        assert_eq!(tables[1].rows.len(), TOP_ZIPS);
+        assert_eq!(tables[2].rows.len(), TOP_ZIPS);
+        // Populations are sorted descending.
+        let pops: Vec<usize> = tables[1]
+            .rows
+            .iter()
+            .map(|r| r[2].parse::<usize>().unwrap())
+            .collect();
+        assert!(pops.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

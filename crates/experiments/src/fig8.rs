@@ -1,0 +1,110 @@
+//! Figure 8 — model accuracy and overall train/test mis-calibration vs
+//! tree height (logistic regression, both cities).
+//!
+//! Paper shape: accuracy rises with height and is similar across methods;
+//! the fair methods pay no material calibration penalty overall — their
+//! advantage is *where* the calibration error sits, not how much of it
+//! there is.
+
+use crate::context::ExperimentContext;
+use crate::fig7::mean_cell;
+use crate::report::{fmt, Table};
+use fsi_pipeline::{Method, ModelKind, PipelineError, TaskSpec};
+
+/// Which Figure-8 panel a table reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Panel {
+    Accuracy,
+    TrainMiscal,
+    TestMiscal,
+}
+
+impl Panel {
+    fn slug(&self) -> &'static str {
+        match self {
+            Panel::Accuracy => "accuracy",
+            Panel::TrainMiscal => "train_miscalibration",
+            Panel::TestMiscal => "test_miscalibration",
+        }
+    }
+
+    fn caption(&self) -> &'static str {
+        match self {
+            Panel::Accuracy => "test accuracy vs height (logistic regression)",
+            Panel::TrainMiscal => "overall training mis-calibration |e-o| vs height",
+            Panel::TestMiscal => "overall test mis-calibration |e-o| vs height",
+        }
+    }
+}
+
+/// Runs the Figure-8 reproduction: three tables per city.
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+    let task = TaskSpec::act();
+    let methods = Method::figure7_set();
+    let mut tables = Vec::new();
+
+    for (city, dataset) in &ctx.cities {
+        // Compute every cell once, reuse across the three panels.
+        let mut cells = Vec::new();
+        for &h in &ctx.heights {
+            let mut row = Vec::new();
+            for &m in &methods {
+                row.push(mean_cell(
+                    dataset,
+                    &task,
+                    m,
+                    h,
+                    ModelKind::Logistic,
+                    &ctx.split_seeds,
+                )?);
+            }
+            cells.push((h, row));
+        }
+
+        for panel in [Panel::Accuracy, Panel::TrainMiscal, Panel::TestMiscal] {
+            let mut t = Table::new(
+                format!(
+                    "fig8_{}_{}",
+                    panel.slug(),
+                    ExperimentContext::slug(city)
+                ),
+                format!("{city}: {}", panel.caption()),
+                std::iter::once("height".to_string())
+                    .chain(methods.iter().map(|m| m.name().to_string()))
+                    .collect(),
+            );
+            for (h, row) in &cells {
+                let mut cells_out = vec![h.to_string()];
+                for cell in row {
+                    let v = match panel {
+                        Panel::Accuracy => cell.accuracy_test,
+                        Panel::TrainMiscal => cell.miscal_train,
+                        Panel::TestMiscal => cell.miscal_test,
+                    };
+                    cells_out.push(fmt(v, 5));
+                }
+                t.push_row(cells_out);
+            }
+            tables.push(t);
+        }
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_slugs_are_distinct() {
+        let slugs = [
+            Panel::Accuracy.slug(),
+            Panel::TrainMiscal.slug(),
+            Panel::TestMiscal.slug(),
+        ];
+        assert_eq!(
+            slugs.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 9 — feature-importance heatmaps across tree heights.
+//!
+//! For each tree-based method and city, the paper renders the relative
+//! contribution of each feature (five socio-economic features plus the
+//! neighborhood attribute) to the final model's decisions, at heights
+//! 1–10. The heatmap explains the calibration fluctuations of Figure 8:
+//! the model shifts attention between features as granularity changes.
+//! We emit the same matrix numerically: rows = features, columns =
+//! heights, values = normalized logistic-regression importances.
+
+use crate::context::ExperimentContext;
+use crate::report::{fmt, Table};
+use fsi_pipeline::{run_method, Method, PipelineError, TaskSpec};
+
+/// Heights of the heatmap columns (the paper uses 1–10).
+pub fn heatmap_heights() -> Vec<usize> {
+    (1..=10).collect()
+}
+
+/// Runs the Figure-9 reproduction: one table per (method, city).
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+    let task = TaskSpec::act();
+    let methods = [Method::MedianKd, Method::FairKd, Method::IterativeFairKd];
+    let heights = heatmap_heights();
+    let mut tables = Vec::new();
+
+    for (city, dataset) in &ctx.cities {
+        for method in methods {
+            // One matrix: rows = importance entries, columns = heights.
+            let mut matrix: Vec<Vec<f64>> = Vec::new();
+            let mut names: Vec<String> = Vec::new();
+            for &h in &heights {
+                let run = run_method(
+                    dataset,
+                    &task,
+                    method,
+                    h,
+                    &ctx.config(ctx.split_seeds[0]),
+                )?;
+                let imp = run.importances.ok_or_else(|| {
+                    PipelineError::InvalidConfig(
+                        "logistic regression must expose importances".into(),
+                    )
+                })?;
+                if names.is_empty() {
+                    names = run.importance_names.clone();
+                    matrix = vec![Vec::with_capacity(heights.len()); names.len()];
+                }
+                for (row, v) in matrix.iter_mut().zip(&imp) {
+                    row.push(*v);
+                }
+            }
+
+            let mut t = Table::new(
+                format!(
+                    "fig9_{}_{}",
+                    match method {
+                        Method::MedianKd => "median",
+                        Method::FairKd => "fair",
+                        Method::IterativeFairKd => "iterative",
+                        _ => "other",
+                    },
+                    ExperimentContext::slug(city)
+                ),
+                format!(
+                    "{city} / {}: normalized feature importance by height",
+                    method.name()
+                ),
+                std::iter::once("feature".to_string())
+                    .chain(heights.iter().map(|h| format!("h{h}")))
+                    .collect(),
+            );
+            for (name, row) in names.iter().zip(&matrix) {
+                let mut cells = vec![name.clone()];
+                cells.extend(row.iter().map(|v| fmt(*v, 3)));
+                t.push_row(cells);
+            }
+            tables.push(t);
+        }
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_run_one_to_ten() {
+        let h = heatmap_heights();
+        assert_eq!(h.first(), Some(&1));
+        assert_eq!(h.last(), Some(&10));
+    }
+}

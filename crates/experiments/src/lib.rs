@@ -1,0 +1,32 @@
+//! # fsi-experiments — regenerating the paper's evaluation
+//!
+//! One module per figure of *Fair Spatial Indexing* (EDBT 2024), plus the
+//! in-text timing comparison and our own ablations. Each module exposes a
+//! `run(&ExperimentContext) -> Vec<Table>` function; the binaries print
+//! the tables and write CSV artifacts under `reports/`.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig6`] | Figure 6 — per-zip-code calibration disparity |
+//! | [`fig7`] | Figure 7 — ENCE vs tree height, 4 methods × 3 models |
+//! | [`fig8`] | Figure 8 — accuracy and train/test mis-calibration |
+//! | [`fig9`] | Figure 9 — feature-importance heatmaps |
+//! | [`fig10`] | Figure 10 — multi-objective ENCE per task |
+//! | [`timing`] | §5.3.1 — Fair vs Iterative construction cost |
+//! | [`ablations`] | our design-choice ablations (tie-break, encoding, quadtree) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod context;
+pub mod fig10;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod timing;
+
+pub use context::ExperimentContext;
+pub use report::Table;

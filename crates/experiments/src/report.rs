@@ -1,0 +1,186 @@
+//! Table formatting and CSV emission for experiment results.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rendered experiment table: the rows/series a paper figure reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title (e.g. `fig7_los_angeles_logistic`).
+    pub name: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        name: impl Into<String>,
+        caption: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            caption: caption.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; pads/truncates to the column count.
+    pub fn push_row(&mut self, mut row: Vec<String>) {
+        row.resize(self.columns.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.name, self.caption);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells are numeric/simple, quoted when
+    /// they contain separators).
+    pub fn to_csv(&self) -> String {
+        fn quote(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.csv`, creating the directory if needed.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Prints tables to stdout and writes their CSVs under `reports/`.
+pub fn emit(tables: &[Table]) {
+    let dir = Path::new("reports");
+    for t in tables {
+        println!("{}", t.render());
+        match t.write_csv(dir) {
+            Ok(path) => println!("[csv] {}\n", path.display()),
+            Err(e) => eprintln!("[warn] could not write csv for {}: {e}", t.name),
+        }
+    }
+}
+
+/// Formats a float with fixed precision for table cells.
+pub fn fmt(v: f64, precision: usize) -> String {
+    format!("{v:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "t1",
+            "a test table",
+            vec!["h".into(), "ence".into()],
+        );
+        t.push_row(vec!["4".into(), "0.0123".into()]);
+        t.push_row(vec!["6".into()]); // short row gets padded
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        assert!(r.contains("## t1 — a test table"));
+        assert!(r.contains("ence"));
+        assert!(r.contains("0.0123"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "h,ence");
+        assert_eq!(lines[1], "4,0.0123");
+        assert_eq!(lines[2], "6,");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("q", "", vec!["a".into()]);
+        t.push_row(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("fsi_report_test");
+        let path = sample().write_csv(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(0.123456, 3), "0.123");
+        assert_eq!(fmt(2.0, 1), "2.0");
+    }
+}

@@ -1,0 +1,140 @@
+//! Bootstrap confidence intervals for ENCE.
+//!
+//! Our evaluation datasets are paper-scale (≈1000 individuals), so a
+//! single ENCE value carries real sampling variance — enough to flip
+//! close method orderings between split seeds (see EXPERIMENTS.md). This
+//! module resamples individuals with replacement and reports percentile
+//! intervals, letting reports state *how sure* a comparison is.
+
+use crate::ence::ence;
+use crate::error::FairnessError;
+use crate::group::SpatialGroups;
+use fsi_ml::rand_util::rng_from_seed;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// A percentile bootstrap interval for ENCE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnceInterval {
+    /// Point estimate on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+    /// Two-sided confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Computes a percentile bootstrap CI for ENCE by resampling individuals
+/// (keeping each resampled individual's group).
+pub fn ence_bootstrap(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<EnceInterval, FairnessError> {
+    if replicates < 10 {
+        return Err(FairnessError::Ml(fsi_ml::MlError::InvalidHyperparameter(
+            "bootstrap needs at least 10 replicates".into(),
+        )));
+    }
+    if !(0.5..1.0).contains(&level) {
+        return Err(FairnessError::Ml(fsi_ml::MlError::InvalidHyperparameter(
+            format!("confidence level must be in [0.5, 1), got {level}"),
+        )));
+    }
+    let point = ence(scores, labels, groups)?;
+    let n = scores.len();
+    let mut rng = rng_from_seed(seed);
+    let mut draws = Vec::with_capacity(replicates);
+    let mut s = vec![0.0; n];
+    let mut y = vec![false; n];
+    let mut g = vec![0usize; n];
+    for _ in 0..replicates {
+        for j in 0..n {
+            let i = rng.random_range(0..n);
+            s[j] = scores[i];
+            y[j] = labels[i];
+            g[j] = groups.group_of(i);
+        }
+        let resampled = SpatialGroups::new(g.clone(), groups.num_groups())?;
+        draws.push(ence(&s, &y, &resampled)?);
+    }
+    draws.sort_by(|a, b| a.partial_cmp(b).expect("ENCE is finite"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> usize {
+        ((q * (replicates - 1) as f64).round() as usize).min(replicates - 1)
+    };
+    Ok(EnceInterval {
+        point,
+        lower: draws[idx(alpha)],
+        upper: draws[idx(1.0 - alpha)],
+        replicates,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<f64>, Vec<bool>, SpatialGroups) {
+        let n = 200;
+        let scores: Vec<f64> = (0..n).map(|i| 0.2 + 0.6 * ((i % 10) as f64 / 10.0)).collect();
+        let labels: Vec<bool> = (0..n).map(|i| (i * 13) % 7 < 3).collect();
+        let groups = SpatialGroups::new((0..n).map(|i| i % 5).collect(), 5).unwrap();
+        (scores, labels, groups)
+    }
+
+    #[test]
+    fn interval_brackets_the_point_estimate() {
+        let (s, y, g) = sample();
+        let ci = ence_bootstrap(&s, &y, &g, 200, 0.95, 1).unwrap();
+        assert!(ci.lower <= ci.point + 0.05, "{ci:?}");
+        assert!(ci.upper >= ci.point - 0.05, "{ci:?}");
+        assert!(ci.lower <= ci.upper);
+        assert!(ci.lower >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (s, y, g) = sample();
+        let a = ence_bootstrap(&s, &y, &g, 100, 0.9, 7).unwrap();
+        let b = ence_bootstrap(&s, &y, &g, 100, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+        let c = ence_bootstrap(&s, &y, &g, 100, 0.9, 8).unwrap();
+        assert_ne!(a.lower, c.lower);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let (s, y, g) = sample();
+        let narrow = ence_bootstrap(&s, &y, &g, 400, 0.8, 3).unwrap();
+        let wide = ence_bootstrap(&s, &y, &g, 400, 0.99, 3).unwrap();
+        assert!(wide.upper - wide.lower >= narrow.upper - narrow.lower);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let (s, y, g) = sample();
+        assert!(ence_bootstrap(&s, &y, &g, 5, 0.95, 1).is_err());
+        assert!(ence_bootstrap(&s, &y, &g, 100, 1.0, 1).is_err());
+        assert!(ence_bootstrap(&s, &y, &g, 100, 0.2, 1).is_err());
+    }
+
+    #[test]
+    fn zero_variance_data_gives_tight_interval() {
+        // Perfectly calibrated constant groups: every resample has the
+        // same per-group structure, ENCE ~ 0 throughout.
+        let scores = vec![0.5; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let groups = SpatialGroups::new(vec![0; 100], 1).unwrap();
+        let ci = ence_bootstrap(&scores, &labels, &groups, 100, 0.95, 2).unwrap();
+        assert!(ci.upper < 0.15);
+    }
+}

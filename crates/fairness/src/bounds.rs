@@ -1,0 +1,134 @@
+//! Numeric forms of the paper's Theorems 1 and 2.
+//!
+//! * **Theorem 1.** For any complete non-overlapping partitioning,
+//!   `Σ_i |N_i| · |e(N_i) − o(N_i)|  ≥  |D| · |e(h) − o(h)|`, i.e.
+//!   `ENCE ≥ |e(h) − o(h)|` — ENCE can never beat the overall model
+//!   mis-calibration.
+//! * **Theorem 2.** If `N₂` is a sub-partitioning (refinement) of `N₁`
+//!   then `ENCE(N₁) ≤ ENCE(N₂)` — refining can only worsen ENCE.
+//!
+//! Both follow from the triangle inequality on net residuals; the
+//! functions below compute both sides so property tests can assert the
+//! inequalities on arbitrary inputs.
+
+use crate::ence::ence;
+use crate::error::FairnessError;
+use crate::group::SpatialGroups;
+use fsi_ml::calibration::miscalibration;
+
+/// Both sides of Theorem 1: `(ence, overall_miscalibration)`, with the
+/// guarantee `ence >= overall_miscalibration` (up to float rounding).
+pub fn theorem1_sides(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+) -> Result<(f64, f64), FairnessError> {
+    let e = ence(scores, labels, groups)?;
+    let overall = miscalibration(scores, labels)?;
+    Ok((e, overall))
+}
+
+/// Checks Theorem 1 with a small numerical tolerance.
+pub fn theorem1_holds(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+) -> Result<bool, FairnessError> {
+    let (e, overall) = theorem1_sides(scores, labels, groups)?;
+    Ok(e >= overall - 1e-9)
+}
+
+/// Both sides of Theorem 2 for a coarse partition and one of its
+/// refinements: `(ence_coarse, ence_fine)`, with the guarantee
+/// `ence_coarse <= ence_fine` **when `fine` actually refines `coarse`**
+/// (the caller asserts that relationship; see
+/// [`fsi_geo::Partition::refines`]).
+pub fn theorem2_sides(
+    scores: &[f64],
+    labels: &[bool],
+    coarse: &SpatialGroups,
+    fine: &SpatialGroups,
+) -> Result<(f64, f64), FairnessError> {
+    Ok((ence(scores, labels, coarse)?, ence(scores, labels, fine)?))
+}
+
+/// Checks Theorem 2 with a small numerical tolerance.
+pub fn theorem2_holds(
+    scores: &[f64],
+    labels: &[bool],
+    coarse: &SpatialGroups,
+    fine: &SpatialGroups,
+) -> Result<bool, FairnessError> {
+    let (c, f) = theorem2_sides(scores, labels, coarse, fine)?;
+    Ok(c <= f + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn theorem1_on_a_hand_case() {
+        let scores = [0.9, 0.1, 0.8, 0.2];
+        let labels = [false, true, true, false];
+        let g = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        let (e, overall) = theorem1_sides(&scores, &labels, &g).unwrap();
+        assert!(e >= overall);
+        assert!(theorem1_holds(&scores, &labels, &g).unwrap());
+    }
+
+    #[test]
+    fn theorem2_on_a_hand_case() {
+        // Fine groups split each coarse group in two.
+        let scores = [0.9, 0.1, 0.8, 0.2];
+        let labels = [false, true, true, false];
+        let coarse = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        let fine = SpatialGroups::new(vec![0, 1, 2, 3], 4).unwrap();
+        assert!(theorem2_holds(&scores, &labels, &coarse, &fine).unwrap());
+    }
+
+    proptest! {
+        /// Theorem 1 holds for arbitrary scores, labels and groupings.
+        #[test]
+        fn theorem1_universal(
+            data in proptest::collection::vec((0.0f64..=1.0, any::<bool>(), 0usize..6), 1..80)
+        ) {
+            let scores: Vec<f64> = data.iter().map(|d| d.0).collect();
+            let labels: Vec<bool> = data.iter().map(|d| d.1).collect();
+            let assignment: Vec<usize> = data.iter().map(|d| d.2).collect();
+            let groups = SpatialGroups::new(assignment, 6).unwrap();
+            prop_assert!(theorem1_holds(&scores, &labels, &groups).unwrap());
+        }
+
+        /// Theorem 2 holds whenever the fine grouping refines the coarse
+        /// one. We construct refinement by construction: fine group id
+        /// determines coarse group id via integer division.
+        #[test]
+        fn theorem2_universal(
+            data in proptest::collection::vec((0.0f64..=1.0, any::<bool>(), 0usize..8), 1..80)
+        ) {
+            let scores: Vec<f64> = data.iter().map(|d| d.0).collect();
+            let labels: Vec<bool> = data.iter().map(|d| d.1).collect();
+            let fine_assignment: Vec<usize> = data.iter().map(|d| d.2).collect();
+            let coarse_assignment: Vec<usize> =
+                fine_assignment.iter().map(|g| g / 2).collect();
+            let fine = SpatialGroups::new(fine_assignment, 8).unwrap();
+            let coarse = SpatialGroups::new(coarse_assignment, 4).unwrap();
+            prop_assert!(theorem2_holds(&scores, &labels, &coarse, &fine).unwrap());
+        }
+
+        /// The trivial single-group partition achieves the Theorem-1 lower
+        /// bound with equality.
+        #[test]
+        fn single_group_attains_bound(
+            data in proptest::collection::vec((0.0f64..=1.0, any::<bool>()), 1..50)
+        ) {
+            let scores: Vec<f64> = data.iter().map(|d| d.0).collect();
+            let labels: Vec<bool> = data.iter().map(|d| d.1).collect();
+            let groups = SpatialGroups::new(vec![0; scores.len()], 1).unwrap();
+            let (e, overall) = theorem1_sides(&scores, &labels, &groups).unwrap();
+            prop_assert!((e - overall).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! ENCE and per-neighborhood calibration (paper Definitions 2 and 3).
+
+use crate::error::FairnessError;
+use crate::group::SpatialGroups;
+use fsi_ml::calibration::BinningStrategy;
+use fsi_ml::metrics::validate_scores;
+use serde::{Deserialize, Serialize};
+
+/// Calibration summary of one neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupCalibration {
+    /// Number of resident individuals `|N_i|`.
+    pub count: usize,
+    /// Expected confidence score `e(h | N = N_i)` (paper Eq. 7).
+    pub mean_score: f64,
+    /// True positive fraction `o(h | N = N_i)` (paper Eq. 8).
+    pub positive_fraction: f64,
+    /// Absolute mis-calibration `|e − o|` (the paper's adopted form).
+    pub absolute_error: f64,
+    /// Calibration ratio `e / o` (paper Eq. 4, first form); `None` when the
+    /// neighborhood has no positive labels — the division-by-zero case the
+    /// paper's absolute form avoids.
+    pub ratio: Option<f64>,
+}
+
+/// Per-neighborhood calibration statistics. Empty neighborhoods yield a
+/// zero-count entry with zeroed statistics.
+pub fn group_calibration(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+) -> Result<Vec<GroupCalibration>, FairnessError> {
+    validate_scores(scores, labels)?;
+    groups.check_len(scores.len())?;
+    let k = groups.num_groups();
+    let mut count = vec![0usize; k];
+    let mut sum_s = vec![0.0f64; k];
+    let mut sum_y = vec![0.0f64; k];
+    for (i, (&s, &y)) in scores.iter().zip(labels).enumerate() {
+        let g = groups.group_of(i);
+        count[g] += 1;
+        sum_s[g] += s;
+        sum_y[g] += f64::from(u8::from(y));
+    }
+    Ok((0..k)
+        .map(|g| {
+            if count[g] == 0 {
+                return GroupCalibration {
+                    count: 0,
+                    mean_score: 0.0,
+                    positive_fraction: 0.0,
+                    absolute_error: 0.0,
+                    ratio: None,
+                };
+            }
+            let n = count[g] as f64;
+            let e = sum_s[g] / n;
+            let o = sum_y[g] / n;
+            GroupCalibration {
+                count: count[g],
+                mean_score: e,
+                positive_fraction: o,
+                absolute_error: (e - o).abs(),
+                ratio: if o > 0.0 { Some(e / o) } else { None },
+            }
+        })
+        .collect())
+}
+
+/// Expected Neighborhood Calibration Error (paper Definition 3):
+///
+/// `ENCE = Σ_i (|N_i|/|D|) · |o(N_i) − e(N_i)|`
+///
+/// Empty neighborhoods contribute zero. Equivalently this is
+/// `(1/|D|) Σ_i |net residual of N_i|`, the identity the fair split
+/// objective exploits.
+pub fn ence(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+) -> Result<f64, FairnessError> {
+    let stats = group_calibration(scores, labels, groups)?;
+    let n = scores.len() as f64;
+    Ok(stats
+        .iter()
+        .map(|s| (s.count as f64 / n) * s.absolute_error)
+        .sum())
+}
+
+/// Total absolute net residual `Σ_i |Σ_{u∈N_i} (s_u − y_u)| = ENCE · |D|` —
+/// the un-normalized mass used in the Theorem 1/2 statements.
+pub fn residual_mass(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+) -> Result<f64, FairnessError> {
+    Ok(ence(scores, labels, groups)? * scores.len() as f64)
+}
+
+/// Per-neighborhood Expected Calibration Error (paper Figure 6b/6d; 15
+/// bins in the paper's setup). Empty neighborhoods yield `None`.
+pub fn group_ece(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+    bins: usize,
+    strategy: BinningStrategy,
+) -> Result<Vec<Option<f64>>, FairnessError> {
+    validate_scores(scores, labels)?;
+    groups.check_len(scores.len())?;
+    let members = groups.members();
+    members
+        .iter()
+        .map(|member| {
+            if member.is_empty() {
+                return Ok(None);
+            }
+            let s: Vec<f64> = member.iter().map(|&i| scores[i]).collect();
+            let y: Vec<bool> = member.iter().map(|&i| labels[i]).collect();
+            fsi_ml::calibration::expected_calibration_error(&s, &y, bins, strategy)
+                .map(Some)
+                .map_err(FairnessError::Ml)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups2() -> SpatialGroups {
+        // Individuals 0..4 in group 0, 4..8 in group 1.
+        SpatialGroups::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn per_group_statistics() {
+        let scores = [0.8, 0.8, 0.8, 0.8, 0.2, 0.2, 0.2, 0.2];
+        let labels = [true, true, false, false, false, false, false, true];
+        let stats = group_calibration(&scores, &labels, &groups2()).unwrap();
+        assert_eq!(stats[0].count, 4);
+        assert!((stats[0].mean_score - 0.8).abs() < 1e-12);
+        assert!((stats[0].positive_fraction - 0.5).abs() < 1e-12);
+        assert!((stats[0].absolute_error - 0.3).abs() < 1e-12);
+        assert!((stats[0].ratio.unwrap() - 1.6).abs() < 1e-12);
+        assert!((stats[1].absolute_error - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ence_weights_by_population() {
+        let scores = [0.8, 0.8, 0.8, 0.8, 0.2, 0.2, 0.2, 0.2];
+        let labels = [true, true, false, false, false, false, false, true];
+        // ENCE = (4/8)*0.3 + (4/8)*0.05 = 0.175
+        let v = ence(&scores, &labels, &groups2()).unwrap();
+        assert!((v - 0.175).abs() < 1e-12);
+        assert!((residual_mass(&scores, &labels, &groups2()).unwrap() - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_calibrated_groups_have_zero_ence() {
+        let scores = [0.5, 0.5, 1.0, 1.0];
+        let labels = [true, false, true, true];
+        let g = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        assert!(ence(&scores, &labels, &g).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn empty_groups_contribute_zero() {
+        let scores = [0.9, 0.9];
+        let labels = [true, false];
+        let g = SpatialGroups::new(vec![2, 2], 5).unwrap();
+        let stats = group_calibration(&scores, &labels, &g).unwrap();
+        assert_eq!(stats.len(), 5);
+        assert_eq!(stats[0].count, 0);
+        assert_eq!(stats[0].ratio, None);
+        let v = ence(&scores, &labels, &g).unwrap();
+        assert!((v - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_none_without_positives() {
+        let scores = [0.3, 0.3];
+        let labels = [false, false];
+        let g = SpatialGroups::new(vec![0, 0], 1).unwrap();
+        let stats = group_calibration(&scores, &labels, &g).unwrap();
+        assert_eq!(stats[0].ratio, None);
+        assert!((stats[0].absolute_error - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_ece_matches_global_for_one_group() {
+        let scores = [0.9, 0.9, 0.1, 0.3];
+        let labels = [true, false, false, true];
+        let g = SpatialGroups::new(vec![0, 0, 0, 0], 1).unwrap();
+        let per_group = group_ece(&scores, &labels, &g, 15, BinningStrategy::EqualWidth).unwrap();
+        let global = fsi_ml::calibration::expected_calibration_error(
+            &scores,
+            &labels,
+            15,
+            BinningStrategy::EqualWidth,
+        )
+        .unwrap();
+        assert!((per_group[0].unwrap() - global).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_ece_empty_group_is_none() {
+        let scores = [0.5];
+        let labels = [true];
+        let g = SpatialGroups::new(vec![1], 2).unwrap();
+        let per_group = group_ece(&scores, &labels, &g, 5, BinningStrategy::EqualWidth).unwrap();
+        assert_eq!(per_group[0], None);
+        assert!(per_group[1].is_some());
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let g = SpatialGroups::new(vec![0], 1).unwrap();
+        assert!(ence(&[0.5, 0.5], &[true, false], &g).is_err());
+    }
+
+    #[test]
+    fn single_group_ence_equals_overall_miscalibration() {
+        let scores = [0.9, 0.8, 0.7, 0.2];
+        let labels = [true, false, true, false];
+        let g = SpatialGroups::new(vec![0; 4], 1).unwrap();
+        let v = ence(&scores, &labels, &g).unwrap();
+        let overall = fsi_ml::calibration::miscalibration(&scores, &labels).unwrap();
+        assert!((v - overall).abs() < 1e-12);
+    }
+}

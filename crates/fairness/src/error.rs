@@ -1,0 +1,84 @@
+//! Error type for fairness computations.
+
+use fsi_geo::GeoError;
+use fsi_ml::MlError;
+use std::fmt;
+
+/// Errors produced by spatial-fairness metrics.
+#[derive(Debug)]
+pub enum FairnessError {
+    /// An underlying score/label validation failed.
+    Ml(MlError),
+    /// An underlying partition/grid lookup failed.
+    Geo(GeoError),
+    /// The group assignment disagrees in length with scores/labels.
+    GroupMismatch {
+        /// Number of individuals implied by scores/labels.
+        expected: usize,
+        /// Number of group assignments supplied.
+        got: usize,
+    },
+    /// A group id is out of range.
+    GroupOutOfRange {
+        /// The offending group id.
+        group: usize,
+        /// Number of groups.
+        num_groups: usize,
+    },
+}
+
+impl fmt::Display for FairnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FairnessError::Ml(e) => write!(f, "{e}"),
+            FairnessError::Geo(e) => write!(f, "{e}"),
+            FairnessError::GroupMismatch { expected, got } => {
+                write!(f, "group assignment: expected length {expected}, got {got}")
+            }
+            FairnessError::GroupOutOfRange { group, num_groups } => {
+                write!(f, "group id {group} out of range for {num_groups} groups")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FairnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FairnessError::Ml(e) => Some(e),
+            FairnessError::Geo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for FairnessError {
+    fn from(e: MlError) -> Self {
+        FairnessError::Ml(e)
+    }
+}
+
+impl From<GeoError> for FairnessError {
+    fn from(e: GeoError) -> Self {
+        FairnessError::Geo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FairnessError::GroupMismatch {
+            expected: 5,
+            got: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        let e = FairnessError::GroupOutOfRange {
+            group: 9,
+            num_groups: 4,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

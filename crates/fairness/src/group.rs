@@ -1,0 +1,150 @@
+//! Spatial group assignments.
+
+use crate::error::FairnessError;
+use fsi_geo::{CellId, Partition};
+use serde::{Deserialize, Serialize};
+
+/// Assignment of individuals to spatial groups (neighborhoods).
+///
+/// Group ids are dense `0..num_groups`; groups may be empty (a neighborhood
+/// with no resident individuals), which matters for ENCE where empty
+/// neighborhoods contribute zero weight.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialGroups {
+    group_of: Vec<usize>,
+    num_groups: usize,
+}
+
+impl SpatialGroups {
+    /// Creates a group assignment, validating ids against `num_groups`.
+    pub fn new(group_of: Vec<usize>, num_groups: usize) -> Result<Self, FairnessError> {
+        if let Some(&bad) = group_of.iter().find(|&&g| g >= num_groups) {
+            return Err(FairnessError::GroupOutOfRange {
+                group: bad,
+                num_groups,
+            });
+        }
+        Ok(Self {
+            group_of,
+            num_groups,
+        })
+    }
+
+    /// Derives groups from each individual's base-grid cell under a
+    /// partition of that grid — the paper's "all individuals whose
+    /// locations belong to a certain region are assigned to the
+    /// corresponding group".
+    pub fn from_partition(cells: &[CellId], partition: &Partition) -> Result<Self, FairnessError> {
+        let group_of = cells
+            .iter()
+            .map(|&c| partition.try_region_of(c).map_err(FairnessError::Geo))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            group_of,
+            num_groups: partition.num_regions(),
+        })
+    }
+
+    /// Number of individuals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// `true` when there are no individuals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.group_of.is_empty()
+    }
+
+    /// Number of groups (including empty ones).
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Group of individual `i`.
+    #[inline]
+    pub fn group_of(&self, i: usize) -> usize {
+        self.group_of[i]
+    }
+
+    /// The raw per-individual assignment.
+    #[inline]
+    pub fn assignments(&self) -> &[usize] {
+        &self.group_of
+    }
+
+    /// Individuals of each group.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_groups];
+        for (i, &g) in self.group_of.iter().enumerate() {
+            out[g].push(i);
+        }
+        out
+    }
+
+    /// Population of each group.
+    pub fn populations(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.num_groups];
+        for &g in &self.group_of {
+            out[g] += 1;
+        }
+        out
+    }
+
+    /// Validates that `values` has one entry per individual.
+    pub(crate) fn check_len(&self, len: usize) -> Result<(), FairnessError> {
+        if len != self.group_of.len() {
+            return Err(FairnessError::GroupMismatch {
+                expected: len,
+                got: self.group_of.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_geo::Grid;
+
+    #[test]
+    fn new_validates_ids() {
+        assert!(SpatialGroups::new(vec![0, 1, 2], 3).is_ok());
+        assert!(matches!(
+            SpatialGroups::new(vec![0, 3], 3),
+            Err(FairnessError::GroupOutOfRange { group: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn from_partition_maps_cells() {
+        let grid = Grid::unit(4).unwrap();
+        let p = Partition::uniform(&grid, 2, 1).unwrap(); // south / north halves
+        // Individuals in cells 0 (row 0) and 15 (row 3).
+        let g = SpatialGroups::from_partition(&[0, 15, 1], &p).unwrap();
+        assert_eq!(g.assignments(), &[0, 1, 0]);
+        assert_eq!(g.num_groups(), 2);
+        // Bad cell id.
+        assert!(SpatialGroups::from_partition(&[99], &p).is_err());
+    }
+
+    #[test]
+    fn members_and_populations() {
+        let g = SpatialGroups::new(vec![0, 2, 0, 2], 4).unwrap();
+        assert_eq!(g.populations(), vec![2, 0, 2, 0]);
+        let members = g.members();
+        assert_eq!(members[0], vec![0, 2]);
+        assert!(members[1].is_empty());
+        assert_eq!(members[2], vec![1, 3]);
+    }
+
+    #[test]
+    fn check_len_guards() {
+        let g = SpatialGroups::new(vec![0, 0], 1).unwrap();
+        assert!(g.check_len(2).is_ok());
+        assert!(g.check_len(3).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # fsi-fairness — spatial group fairness metrics and baselines
+//!
+//! Implements the paper's fairness machinery over *spatial groups*
+//! (neighborhoods):
+//!
+//! * [`SpatialGroups`](group::SpatialGroups) — the assignment of
+//!   individuals to neighborhoods induced by a grid partition.
+//! * [`ence`](ence::ence) — Expected Neighborhood Calibration Error
+//!   (Definition 3): `Σ_i (|N_i|/|D|) · |o(N_i) − e(N_i)|`.
+//! * [`group_calibration`](ence::group_calibration) — per-neighborhood
+//!   `e`, `o`, `|e−o|` and `e/o` (Figure 6a/6c).
+//! * [`group_ece`](ence::group_ece) — per-neighborhood binned ECE
+//!   (Figure 6b/6d; the paper uses 15 bins).
+//! * [`parity`] — statistical parity and equalized-odds gaps across
+//!   neighborhoods, the additional group-fairness notions surveyed in §3.
+//! * [`reweigh`] — the Kamiran–Calders re-weighting baseline ("Grid
+//!   (Reweighting)" in Figures 7, 8 and 10).
+//! * [`bounds`] — numeric forms of Theorems 1 and 2, used by the
+//!   property-based test-suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod bounds;
+pub mod ence;
+pub mod error;
+pub mod group;
+pub mod parity;
+pub mod reweigh;
+
+pub use ence::{ence, group_calibration, group_ece, GroupCalibration};
+pub use error::FairnessError;
+pub use group::SpatialGroups;

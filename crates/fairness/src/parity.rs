@@ -1,0 +1,210 @@
+//! Additional group-fairness notions over spatial groups.
+//!
+//! The paper's related work (§3) surveys statistical parity and equalized
+//! odds; this module provides them over neighborhoods so downstream users
+//! can audit a partitioning against several notions at once.
+
+use crate::error::FairnessError;
+use crate::group::SpatialGroups;
+use fsi_ml::metrics::validate_scores;
+use serde::{Deserialize, Serialize};
+
+/// Positive-prediction rate per group and the overall rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParityReport {
+    /// Positive-prediction rate per group (`None` for empty groups).
+    pub group_rates: Vec<Option<f64>>,
+    /// Overall positive-prediction rate.
+    pub overall_rate: f64,
+    /// Largest absolute gap between any non-empty group and the overall
+    /// rate (the *statistical parity difference*).
+    pub max_gap: f64,
+}
+
+/// Computes statistical parity of thresholded predictions across groups.
+pub fn statistical_parity(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+    threshold: f64,
+) -> Result<ParityReport, FairnessError> {
+    validate_scores(scores, labels)?;
+    groups.check_len(scores.len())?;
+    let k = groups.num_groups();
+    let mut pos = vec![0usize; k];
+    let mut count = vec![0usize; k];
+    let mut total_pos = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        let g = groups.group_of(i);
+        count[g] += 1;
+        if s >= threshold {
+            pos[g] += 1;
+            total_pos += 1;
+        }
+    }
+    let overall_rate = total_pos as f64 / scores.len() as f64;
+    let group_rates: Vec<Option<f64>> = (0..k)
+        .map(|g| {
+            if count[g] == 0 {
+                None
+            } else {
+                Some(pos[g] as f64 / count[g] as f64)
+            }
+        })
+        .collect();
+    let max_gap = group_rates
+        .iter()
+        .flatten()
+        .map(|r| (r - overall_rate).abs())
+        .fold(0.0, f64::max);
+    Ok(ParityReport {
+        group_rates,
+        overall_rate,
+        max_gap,
+    })
+}
+
+/// True/false positive rates per group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OddsReport {
+    /// Per-group TPR (`None` when the group has no positive labels).
+    pub group_tpr: Vec<Option<f64>>,
+    /// Per-group FPR (`None` when the group has no negative labels).
+    pub group_fpr: Vec<Option<f64>>,
+    /// Overall TPR (`None` when there are no positive labels at all).
+    pub overall_tpr: Option<f64>,
+    /// Overall FPR (`None` when there are no negative labels at all).
+    pub overall_fpr: Option<f64>,
+    /// Max |group TPR − overall TPR| over defined groups.
+    pub max_tpr_gap: f64,
+    /// Max |group FPR − overall FPR| over defined groups.
+    pub max_fpr_gap: f64,
+}
+
+/// Computes equalized-odds gaps of thresholded predictions across groups.
+pub fn equalized_odds(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+    threshold: f64,
+) -> Result<OddsReport, FairnessError> {
+    validate_scores(scores, labels)?;
+    groups.check_len(scores.len())?;
+    let k = groups.num_groups();
+    // [group][label]: counts and positive predictions.
+    let mut n = vec![[0usize; 2]; k];
+    let mut p = vec![[0usize; 2]; k];
+    for (i, (&s, &y)) in scores.iter().zip(labels).enumerate() {
+        let g = groups.group_of(i);
+        let cls = usize::from(y);
+        n[g][cls] += 1;
+        if s >= threshold {
+            p[g][cls] += 1;
+        }
+    }
+    let total_n = [
+        n.iter().map(|a| a[0]).sum::<usize>(),
+        n.iter().map(|a| a[1]).sum::<usize>(),
+    ];
+    let total_p = [
+        p.iter().map(|a| a[0]).sum::<usize>(),
+        p.iter().map(|a| a[1]).sum::<usize>(),
+    ];
+    let rate = |pos: usize, cnt: usize| -> Option<f64> {
+        if cnt == 0 {
+            None
+        } else {
+            Some(pos as f64 / cnt as f64)
+        }
+    };
+    let overall_tpr = rate(total_p[1], total_n[1]);
+    let overall_fpr = rate(total_p[0], total_n[0]);
+    let group_tpr: Vec<Option<f64>> = (0..k).map(|g| rate(p[g][1], n[g][1])).collect();
+    let group_fpr: Vec<Option<f64>> = (0..k).map(|g| rate(p[g][0], n[g][0])).collect();
+    let gap = |per: &[Option<f64>], overall: Option<f64>| -> f64 {
+        match overall {
+            None => 0.0,
+            Some(o) => per
+                .iter()
+                .flatten()
+                .map(|r| (r - o).abs())
+                .fold(0.0, f64::max),
+        }
+    };
+    Ok(OddsReport {
+        max_tpr_gap: gap(&group_tpr, overall_tpr),
+        max_fpr_gap: gap(&group_fpr, overall_fpr),
+        group_tpr,
+        group_fpr,
+        overall_tpr,
+        overall_fpr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_detects_group_rate_gap() {
+        // Group 0 always predicted positive, group 1 never.
+        let scores = [0.9, 0.9, 0.1, 0.1];
+        let labels = [true, false, true, false];
+        let g = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        let r = statistical_parity(&scores, &labels, &g, 0.5).unwrap();
+        assert_eq!(r.overall_rate, 0.5);
+        assert_eq!(r.group_rates, vec![Some(1.0), Some(0.0)]);
+        assert_eq!(r.max_gap, 0.5);
+    }
+
+    #[test]
+    fn parity_zero_for_identical_groups() {
+        let scores = [0.9, 0.1, 0.9, 0.1];
+        let labels = [true, false, true, false];
+        let g = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        let r = statistical_parity(&scores, &labels, &g, 0.5).unwrap();
+        assert_eq!(r.max_gap, 0.0);
+    }
+
+    #[test]
+    fn parity_empty_group_is_none() {
+        let scores = [0.9];
+        let labels = [true];
+        let g = SpatialGroups::new(vec![1], 3).unwrap();
+        let r = statistical_parity(&scores, &labels, &g, 0.5).unwrap();
+        assert_eq!(r.group_rates[0], None);
+        assert_eq!(r.group_rates[1], Some(1.0));
+    }
+
+    #[test]
+    fn odds_gaps() {
+        // Group 0: perfect. Group 1: always positive (FPR 1).
+        let scores = [0.9, 0.1, 0.9, 0.9];
+        let labels = [true, false, true, false];
+        let g = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        let r = equalized_odds(&scores, &labels, &g, 0.5).unwrap();
+        assert_eq!(r.overall_tpr, Some(1.0));
+        assert_eq!(r.overall_fpr, Some(0.5));
+        assert_eq!(r.group_fpr, vec![Some(0.0), Some(1.0)]);
+        assert_eq!(r.max_fpr_gap, 0.5);
+        assert_eq!(r.max_tpr_gap, 0.0);
+    }
+
+    #[test]
+    fn odds_all_one_class_has_no_tpr() {
+        let scores = [0.9, 0.2];
+        let labels = [false, false];
+        let g = SpatialGroups::new(vec![0, 0], 1).unwrap();
+        let r = equalized_odds(&scores, &labels, &g, 0.5).unwrap();
+        assert_eq!(r.overall_tpr, None);
+        assert_eq!(r.max_tpr_gap, 0.0);
+        assert_eq!(r.overall_fpr, Some(0.5));
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let g = SpatialGroups::new(vec![0], 1).unwrap();
+        assert!(statistical_parity(&[0.5, 0.6], &[true, true], &g, 0.5).is_err());
+        assert!(equalized_odds(&[0.5, 0.6], &[true, true], &g, 0.5).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! The Kamiran–Calders re-weighting baseline.
+//!
+//! "Reweighting over grid — an adaptation of the re-weighting approach used
+//! in [Kamiran & Calders 2012] and deployed in geospatial tools such as IBM
+//! AI Fairness 360" (paper §5.1). Each individual receives weight
+//!
+//! `w(g, y) = P(g) · P(y) / P(g, y)`
+//!
+//! which makes label frequency statistically independent of the (spatial)
+//! group in the re-weighted sample. The weights feed into the weighted
+//! trainers of `fsi-ml`.
+
+use crate::error::FairnessError;
+use crate::group::SpatialGroups;
+use serde::{Deserialize, Serialize};
+
+/// Re-weighting result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reweighing {
+    /// Per-individual training weight.
+    pub weights: Vec<f64>,
+    /// Weight assigned to each `(group, label)` combination, indexed
+    /// `[group][label as usize]`; `None` for empty combinations.
+    pub table: Vec<[Option<f64>; 2]>,
+}
+
+/// Computes Kamiran–Calders weights for spatial groups.
+pub fn reweigh(labels: &[bool], groups: &SpatialGroups) -> Result<Reweighing, FairnessError> {
+    groups.check_len(labels.len())?;
+    if labels.is_empty() {
+        return Err(FairnessError::Ml(fsi_ml::MlError::EmptyDataset));
+    }
+    let n = labels.len() as f64;
+    let k = groups.num_groups();
+    let mut n_group = vec![0usize; k];
+    let mut n_label = [0usize; 2];
+    let mut n_joint = vec![[0usize; 2]; k];
+    for (i, &y) in labels.iter().enumerate() {
+        let g = groups.group_of(i);
+        let cls = usize::from(y);
+        n_group[g] += 1;
+        n_label[cls] += 1;
+        n_joint[g][cls] += 1;
+    }
+    let table: Vec<[Option<f64>; 2]> = (0..k)
+        .map(|g| {
+            [0usize, 1].map(|cls| {
+                if n_joint[g][cls] == 0 {
+                    None
+                } else {
+                    // P(g)P(y)/P(g,y) = (n_g/n)(n_y/n)/(n_gy/n)
+                    Some(
+                        (n_group[g] as f64 / n) * (n_label[cls] as f64 / n)
+                            / (n_joint[g][cls] as f64 / n),
+                    )
+                }
+            })
+        })
+        .collect();
+    let weights = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| {
+            table[groups.group_of(i)][usize::from(y)]
+                .expect("occupied combination has a weight")
+        })
+        .collect();
+    Ok(Reweighing { weights, table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_data_gets_unit_weights() {
+        // Two groups, both 50% positive: every weight is 1.
+        let labels = [true, false, true, false];
+        let g = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        let r = reweigh(&labels, &g).unwrap();
+        for w in &r.weights {
+            assert!((w - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skewed_group_is_corrected() {
+        // Group 0: 3 positives, 1 negative. Group 1: 1 positive, 3 negatives.
+        let labels = [true, true, true, false, true, false, false, false];
+        let g = SpatialGroups::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        let r = reweigh(&labels, &g).unwrap();
+        // P(g0)=0.5, P(+)=0.5, P(g0,+)=3/8 -> w = 0.25/0.375 = 2/3.
+        assert!((r.table[0][1].unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // P(g0,-)=1/8 -> w = 0.25/0.125 = 2.
+        assert!((r.table[0][0].unwrap() - 2.0).abs() < 1e-12);
+        // Weighted positive mass in group 0: 3*(2/3) = 2 equals weighted
+        // negative mass 1*2 = 2 — label balance restored.
+        let pos_mass: f64 = labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &y)| g.group_of(i) == 0 && y)
+            .map(|(i, _)| r.weights[i])
+            .sum();
+        let neg_mass: f64 = labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &y)| g.group_of(i) == 0 && !y)
+            .map(|(i, _)| r.weights[i])
+            .sum();
+        assert!((pos_mass - neg_mass).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reweighting_makes_label_independent_of_group() {
+        // After reweighting, P_w(y=1 | g) should equal P_w(y=1) for all g.
+        let labels = [true, true, false, true, false, false, false, true, true];
+        let g = SpatialGroups::new(vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3).unwrap();
+        let r = reweigh(&labels, &g).unwrap();
+        let total_w: f64 = r.weights.iter().sum();
+        let total_pos: f64 = r
+            .weights
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &y)| y)
+            .map(|(w, _)| w)
+            .sum();
+        let overall = total_pos / total_w;
+        for grp in 0..3 {
+            let gw: f64 = (0..labels.len())
+                .filter(|&i| g.group_of(i) == grp)
+                .map(|i| r.weights[i])
+                .sum();
+            let gpos: f64 = (0..labels.len())
+                .filter(|&i| g.group_of(i) == grp && labels[i])
+                .map(|i| r.weights[i])
+                .sum();
+            assert!(
+                ((gpos / gw) - overall).abs() < 1e-9,
+                "group {grp} not balanced"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_combination_is_none() {
+        let labels = [true, true]; // group 0 has no negatives
+        let g = SpatialGroups::new(vec![0, 0], 1).unwrap();
+        let r = reweigh(&labels, &g).unwrap();
+        assert_eq!(r.table[0][0], None);
+        assert!(r.table[0][1].is_some());
+    }
+
+    #[test]
+    fn weights_are_positive_and_finite() {
+        let labels = [true, false, true, true, false];
+        let g = SpatialGroups::new(vec![0, 1, 1, 0, 0], 2).unwrap();
+        let r = reweigh(&labels, &g).unwrap();
+        assert!(r.weights.iter().all(|w| w.is_finite() && *w > 0.0));
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let g = SpatialGroups::new(vec![], 1).unwrap();
+        assert!(reweigh(&[], &g).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Rectangular blocks of grid cells.
+//!
+//! A KD-tree over the base grid only ever produces regions that are
+//! contiguous rectangular blocks of cells; [`CellRect`] is that region type.
+//! Ranges are half-open: `rows ∈ [row_start, row_end)`,
+//! `cols ∈ [col_start, col_end)`.
+
+use serde::{Deserialize, Serialize};
+
+/// The axis a KD-tree split runs along.
+///
+/// Splitting on [`Axis::Row`] groups *rows* (a horizontal cut line);
+/// splitting on [`Axis::Col`] groups *columns* (a vertical cut line).
+/// Algorithm 1 of the paper alternates axes with the tree height
+/// (`axis = th mod 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// Split between rows (the paper's default orientation).
+    Row,
+    /// Split between columns (the paper's "transpose" case).
+    Col,
+}
+
+impl Axis {
+    /// The other axis.
+    #[inline]
+    pub fn other(self) -> Axis {
+        match self {
+            Axis::Row => Axis::Col,
+            Axis::Col => Axis::Row,
+        }
+    }
+
+    /// Axis used at tree height `th` per Algorithm 1 (`th mod 2`):
+    /// even heights split rows, odd heights split columns.
+    #[inline]
+    pub fn for_height(th: usize) -> Axis {
+        if th % 2 == 0 {
+            Axis::Row
+        } else {
+            Axis::Col
+        }
+    }
+}
+
+/// A half-open rectangular block of grid cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellRect {
+    /// First row (inclusive).
+    pub row_start: usize,
+    /// Last row (exclusive).
+    pub row_end: usize,
+    /// First column (inclusive).
+    pub col_start: usize,
+    /// Last column (exclusive).
+    pub col_end: usize,
+}
+
+impl CellRect {
+    /// Creates a block; empty blocks (`start == end`) are allowed and
+    /// reported by [`CellRect::is_empty`].
+    pub const fn new(row_start: usize, row_end: usize, col_start: usize, col_end: usize) -> Self {
+        Self {
+            row_start,
+            row_end,
+            col_start,
+            col_end,
+        }
+    }
+
+    /// Number of rows spanned.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.row_end.saturating_sub(self.row_start)
+    }
+
+    /// Number of columns spanned.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.col_end.saturating_sub(self.col_start)
+    }
+
+    /// Number of cells covered.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.num_rows() * self.num_cols()
+    }
+
+    /// `true` when the block covers no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_cells() == 0
+    }
+
+    /// Extent along `axis` (rows for [`Axis::Row`], columns for
+    /// [`Axis::Col`]).
+    #[inline]
+    pub fn extent(&self, axis: Axis) -> usize {
+        match axis {
+            Axis::Row => self.num_rows(),
+            Axis::Col => self.num_cols(),
+        }
+    }
+
+    /// `true` when `(row, col)` lies inside the block.
+    #[inline]
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        row >= self.row_start && row < self.row_end && col >= self.col_start && col < self.col_end
+    }
+
+    /// Splits the block after `offset` units along `axis`
+    /// (`offset ∈ 1..extent`), returning `(low, high)`. This is the
+    /// `L_k / R_k` division of Algorithm 2 with `k = offset`.
+    ///
+    /// Returns `None` when the offset would produce an empty side.
+    pub fn split_at(&self, axis: Axis, offset: usize) -> Option<(CellRect, CellRect)> {
+        if offset == 0 || offset >= self.extent(axis) {
+            return None;
+        }
+        Some(match axis {
+            Axis::Row => {
+                let mid = self.row_start + offset;
+                (
+                    CellRect::new(self.row_start, mid, self.col_start, self.col_end),
+                    CellRect::new(mid, self.row_end, self.col_start, self.col_end),
+                )
+            }
+            Axis::Col => {
+                let mid = self.col_start + offset;
+                (
+                    CellRect::new(self.row_start, self.row_end, self.col_start, mid),
+                    CellRect::new(self.row_start, self.row_end, mid, self.col_end),
+                )
+            }
+        })
+    }
+
+    /// Splits into four quadrants at the given row/column (used by the
+    /// fair-quadtree extension). Any empty quadrant is omitted.
+    pub fn split_quad(&self, row_mid: usize, col_mid: usize) -> Vec<CellRect> {
+        let rows = [(self.row_start, row_mid), (row_mid, self.row_end)];
+        let cols = [(self.col_start, col_mid), (col_mid, self.col_end)];
+        let mut out = Vec::with_capacity(4);
+        for &(r0, r1) in &rows {
+            for &(c0, c1) in &cols {
+                let q = CellRect::new(r0, r1, c0, c1);
+                if !q.is_empty() {
+                    out.push(q);
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` when `other` lies entirely within `self`.
+    pub fn contains_rect(&self, other: &CellRect) -> bool {
+        other.is_empty()
+            || (other.row_start >= self.row_start
+                && other.row_end <= self.row_end
+                && other.col_start >= self.col_start
+                && other.col_end <= self.col_end)
+    }
+
+    /// `true` when the blocks share at least one cell.
+    pub fn intersects(&self, other: &CellRect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.row_start < other.row_end
+            && other.row_start < self.row_end
+            && self.col_start < other.col_end
+            && other.col_start < self.col_end
+    }
+
+    /// Iterates over all `(row, col)` pairs in the block, row-major.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.col_start..self.col_end;
+        (self.row_start..self.row_end)
+            .flat_map(move |r| cols.clone().map(move |c| (r, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_alternation_matches_algorithm_1() {
+        assert_eq!(Axis::for_height(0), Axis::Row);
+        assert_eq!(Axis::for_height(1), Axis::Col);
+        assert_eq!(Axis::for_height(2), Axis::Row);
+        assert_eq!(Axis::Row.other(), Axis::Col);
+        assert_eq!(Axis::Col.other(), Axis::Row);
+    }
+
+    #[test]
+    fn counts_and_emptiness() {
+        let r = CellRect::new(2, 5, 1, 4);
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.num_cols(), 3);
+        assert_eq!(r.num_cells(), 9);
+        assert!(!r.is_empty());
+        assert!(CellRect::new(2, 2, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn split_at_partitions_cells() {
+        let r = CellRect::new(0, 4, 0, 6);
+        let (lo, hi) = r.split_at(Axis::Row, 1).unwrap();
+        assert_eq!(lo, CellRect::new(0, 1, 0, 6));
+        assert_eq!(hi, CellRect::new(1, 4, 0, 6));
+        assert_eq!(lo.num_cells() + hi.num_cells(), r.num_cells());
+
+        let (lo, hi) = r.split_at(Axis::Col, 5).unwrap();
+        assert_eq!(lo.num_cols(), 5);
+        assert_eq!(hi.num_cols(), 1);
+    }
+
+    #[test]
+    fn split_at_rejects_empty_sides() {
+        let r = CellRect::new(0, 4, 0, 6);
+        assert!(r.split_at(Axis::Row, 0).is_none());
+        assert!(r.split_at(Axis::Row, 4).is_none());
+        assert!(r.split_at(Axis::Col, 6).is_none());
+    }
+
+    #[test]
+    fn quad_split_covers_all_cells() {
+        let r = CellRect::new(0, 4, 0, 4);
+        let quads = r.split_quad(2, 2);
+        assert_eq!(quads.len(), 4);
+        let total: usize = quads.iter().map(CellRect::num_cells).sum();
+        assert_eq!(total, r.num_cells());
+        // Degenerate quad split keeps only non-empty quadrants.
+        let quads = r.split_quad(0, 2);
+        assert_eq!(quads.len(), 2);
+        let total: usize = quads.iter().map(CellRect::num_cells).sum();
+        assert_eq!(total, r.num_cells());
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let outer = CellRect::new(0, 10, 0, 10);
+        let inner = CellRect::new(2, 5, 3, 7);
+        let disjoint = CellRect::new(10, 12, 0, 10);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.intersects(&inner));
+        assert!(!outer.intersects(&disjoint));
+        // Empty rect contained everywhere, intersects nothing.
+        let empty = CellRect::new(3, 3, 0, 0);
+        assert!(inner.contains_rect(&empty));
+        assert!(!inner.intersects(&empty));
+    }
+
+    #[test]
+    fn cells_iterator_is_row_major_and_complete() {
+        let r = CellRect::new(1, 3, 4, 6);
+        let cells: Vec<_> = r.cells().collect();
+        assert_eq!(cells, vec![(1, 4), (1, 5), (2, 4), (2, 5)]);
+    }
+
+    #[test]
+    fn extent_respects_axis() {
+        let r = CellRect::new(0, 3, 0, 7);
+        assert_eq!(r.extent(Axis::Row), 3);
+        assert_eq!(r.extent(Axis::Col), 7);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for geometry operations.
+
+use std::fmt;
+
+/// Errors produced by grid / partition construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A grid was requested with a zero dimension.
+    EmptyGrid {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+    },
+    /// A rectangle with non-positive extent was supplied.
+    DegenerateRect {
+        /// Minimum corner.
+        min: (f64, f64),
+        /// Maximum corner.
+        max: (f64, f64),
+    },
+    /// A point lies outside the grid bounds.
+    PointOutOfBounds {
+        /// Offending coordinate.
+        point: (f64, f64),
+    },
+    /// A cell index exceeds the grid extent.
+    CellOutOfBounds {
+        /// Offending flat cell id.
+        cell: usize,
+        /// Number of cells in the grid.
+        len: usize,
+    },
+    /// A partition does not cover every cell exactly once.
+    IncompletePartition {
+        /// First cell found without a region.
+        missing_cell: usize,
+    },
+    /// A region id referenced by a cell does not exist.
+    UnknownRegion {
+        /// Offending region id.
+        region: usize,
+    },
+    /// A Voronoi partition was requested with no seeds.
+    NoSeeds,
+    /// A `CellRect` with zero area was used where a non-empty one is needed.
+    EmptyCellRect,
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::EmptyGrid { rows, cols } => {
+                write!(f, "grid must have positive dimensions, got {rows}x{cols}")
+            }
+            GeoError::DegenerateRect { min, max } => {
+                write!(
+                    f,
+                    "rectangle must have positive extent: min={min:?} max={max:?}"
+                )
+            }
+            GeoError::PointOutOfBounds { point } => {
+                write!(f, "point {point:?} lies outside the grid bounds")
+            }
+            GeoError::CellOutOfBounds { cell, len } => {
+                write!(f, "cell {cell} out of bounds for grid of {len} cells")
+            }
+            GeoError::IncompletePartition { missing_cell } => {
+                write!(f, "partition leaves cell {missing_cell} unassigned")
+            }
+            GeoError::UnknownRegion { region } => {
+                write!(f, "cell references unknown region {region}")
+            }
+            GeoError::NoSeeds => write!(f, "Voronoi partition requires at least one seed"),
+            GeoError::EmptyCellRect => write!(f, "operation requires a non-empty cell rectangle"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GeoError::EmptyGrid { rows: 0, cols: 4 };
+        assert!(e.to_string().contains("0x4"));
+        let e = GeoError::CellOutOfBounds { cell: 99, len: 10 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("10"));
+        let e = GeoError::PointOutOfBounds { point: (2.0, 3.0) };
+        assert!(e.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GeoError::NoSeeds);
+    }
+}

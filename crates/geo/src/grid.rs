@@ -1,0 +1,252 @@
+//! The `U × V` base grid overlaid on the map (paper §2.1).
+//!
+//! The paper assumes "a `U × V` grid overlaid on the map ... selected such
+//! that its resolution captures adequate spatial accuracy". Rows index the
+//! `y` axis (northing) and columns the `x` axis (easting); cells are stored
+//! row-major.
+
+use crate::cell_rect::CellRect;
+use crate::error::GeoError;
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Flat, row-major index of a grid cell: `cell = row * cols + col`.
+pub type CellId = usize;
+
+/// A fixed-resolution rectangular grid over a map rectangle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    bounds: Rect,
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// Creates a grid with `rows × cols` cells over `bounds`.
+    pub fn new(bounds: Rect, rows: usize, cols: usize) -> Result<Self, GeoError> {
+        if rows == 0 || cols == 0 {
+            return Err(GeoError::EmptyGrid { rows, cols });
+        }
+        Ok(Self { bounds, rows, cols })
+    }
+
+    /// A `side × side` grid over the unit square — the workspace default
+    /// (the experiments use 64×64).
+    pub fn unit(side: usize) -> Result<Self, GeoError> {
+        Self::new(Rect::unit(), side, side)
+    }
+
+    /// Map bounds covered by the grid.
+    #[inline]
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    /// Number of rows (`U` in the paper).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`V` in the paper).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the grid has no cells. Construction forbids this, so it
+    /// always returns `false`; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell width in map units.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.bounds.width() / self.cols as f64
+    }
+
+    /// Cell height in map units.
+    #[inline]
+    pub fn cell_height(&self) -> f64 {
+        self.bounds.height() / self.rows as f64
+    }
+
+    /// Converts `(row, col)` to a flat [`CellId`].
+    #[inline]
+    pub fn cell_id(&self, row: usize, col: usize) -> CellId {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Converts a flat [`CellId`] back to `(row, col)`.
+    #[inline]
+    pub fn row_col(&self, cell: CellId) -> (usize, usize) {
+        debug_assert!(cell < self.len());
+        (cell / self.cols, cell % self.cols)
+    }
+
+    /// Locates the cell containing `p`. Points on shared edges are assigned
+    /// to the north/east cell; points on the outer max edges are clamped
+    /// into the last row/column so the grid covers the *closed* bounds.
+    pub fn locate(&self, p: &Point) -> Result<CellId, GeoError> {
+        if !p.is_finite() || !self.bounds.contains(p) {
+            return Err(GeoError::PointOutOfBounds { point: (p.x, p.y) });
+        }
+        let fx = (p.x - self.bounds.min_x) / self.cell_width();
+        let fy = (p.y - self.bounds.min_y) / self.cell_height();
+        let col = (fx as usize).min(self.cols - 1);
+        let row = (fy as usize).min(self.rows - 1);
+        Ok(self.cell_id(row, col))
+    }
+
+    /// Centroid of a cell in map coordinates.
+    pub fn centroid(&self, cell: CellId) -> Result<Point, GeoError> {
+        self.check_cell(cell)?;
+        let (row, col) = self.row_col(cell);
+        Ok(Point::new(
+            self.bounds.min_x + (col as f64 + 0.5) * self.cell_width(),
+            self.bounds.min_y + (row as f64 + 0.5) * self.cell_height(),
+        ))
+    }
+
+    /// Map rectangle covered by a cell.
+    pub fn cell_bounds(&self, cell: CellId) -> Result<Rect, GeoError> {
+        self.check_cell(cell)?;
+        let (row, col) = self.row_col(cell);
+        Rect::new(
+            self.bounds.min_x + col as f64 * self.cell_width(),
+            self.bounds.min_y + row as f64 * self.cell_height(),
+            self.bounds.min_x + (col + 1) as f64 * self.cell_width(),
+            self.bounds.min_y + (row + 1) as f64 * self.cell_height(),
+        )
+    }
+
+    /// Map rectangle covered by a block of cells.
+    pub fn cell_rect_bounds(&self, rect: &CellRect) -> Result<Rect, GeoError> {
+        if rect.is_empty() {
+            return Err(GeoError::EmptyCellRect);
+        }
+        Rect::new(
+            self.bounds.min_x + rect.col_start as f64 * self.cell_width(),
+            self.bounds.min_y + rect.row_start as f64 * self.cell_height(),
+            self.bounds.min_x + rect.col_end as f64 * self.cell_width(),
+            self.bounds.min_y + rect.row_end as f64 * self.cell_height(),
+        )
+    }
+
+    /// The [`CellRect`] covering the entire grid — the KD-tree root region.
+    pub fn full_rect(&self) -> CellRect {
+        CellRect::new(0, self.rows, 0, self.cols)
+    }
+
+    /// Validates a cell id.
+    pub fn check_cell(&self, cell: CellId) -> Result<(), GeoError> {
+        if cell >= self.len() {
+            return Err(GeoError::CellOutOfBounds {
+                cell,
+                len: self.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Iterates over all cell ids in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> {
+        0..self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> Grid {
+        Grid::unit(4).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_zero_dims() {
+        assert!(Grid::new(Rect::unit(), 0, 4).is_err());
+        assert!(Grid::new(Rect::unit(), 4, 0).is_err());
+    }
+
+    #[test]
+    fn id_round_trip() {
+        let g = Grid::new(Rect::unit(), 3, 5).unwrap();
+        for row in 0..3 {
+            for col in 0..5 {
+                let id = g.cell_id(row, col);
+                assert_eq!(g.row_col(id), (row, col));
+            }
+        }
+        assert_eq!(g.len(), 15);
+    }
+
+    #[test]
+    fn locate_center_of_each_cell() {
+        let g = grid4();
+        for cell in g.cells() {
+            let c = g.centroid(cell).unwrap();
+            assert_eq!(g.locate(&c).unwrap(), cell);
+        }
+    }
+
+    #[test]
+    fn locate_handles_max_edges() {
+        let g = grid4();
+        // North-east corner belongs to the last cell, not out of bounds.
+        assert_eq!(g.locate(&Point::new(1.0, 1.0)).unwrap(), g.len() - 1);
+        assert_eq!(g.locate(&Point::new(0.0, 0.0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn locate_rejects_outside_and_nan() {
+        let g = grid4();
+        assert!(g.locate(&Point::new(1.5, 0.5)).is_err());
+        assert!(g.locate(&Point::new(f64::NAN, 0.5)).is_err());
+    }
+
+    #[test]
+    fn cell_bounds_partition_the_map() {
+        let g = grid4();
+        let total: f64 = g
+            .cells()
+            .map(|c| g.cell_bounds(c).unwrap().area())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_is_inside_cell_bounds() {
+        let g = Grid::new(Rect::new(-2.0, 3.0, 6.0, 11.0).unwrap(), 7, 3).unwrap();
+        for cell in g.cells() {
+            let b = g.cell_bounds(cell).unwrap();
+            assert!(b.contains(&g.centroid(cell).unwrap()));
+        }
+    }
+
+    #[test]
+    fn full_rect_covers_grid() {
+        let g = grid4();
+        let r = g.full_rect();
+        assert_eq!(r.num_cells(), g.len());
+        let bounds = g.cell_rect_bounds(&r).unwrap();
+        assert_eq!(&bounds, g.bounds());
+    }
+
+    #[test]
+    fn check_cell_bounds() {
+        let g = grid4();
+        assert!(g.check_cell(15).is_ok());
+        assert!(g.check_cell(16).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! # fsi-geo — grid and geometry substrate for fair spatial indexing
+//!
+//! This crate provides the spatial primitives the rest of the `fsi`
+//! workspace is built on:
+//!
+//! * [`Point`] — a 2-D location in map coordinates.
+//! * [`Rect`] — an axis-aligned rectangle in map coordinates.
+//! * [`Grid`] — the `U × V` base grid the paper overlays on the map
+//!   (Section 2.1 of *Fair Spatial Indexing*, EDBT 2024). It maps points to
+//!   cells and cells to centroids.
+//! * [`CellRect`] — a rectangular block of grid cells; every node of a
+//!   KD-tree over the grid covers exactly one `CellRect`.
+//! * [`Partition`] — a complete, non-overlapping assignment of grid cells to
+//!   regions ("neighborhoods" in the paper), with validation and a
+//!   refinement test used by the Theorem-2 machinery.
+//! * [`voronoi`] — a seeded Voronoi tessellation used as the zip-code
+//!   partitioning surrogate.
+//! * [`metrics`] — spatial quality of partitions: per-region area,
+//!   perimeter, compactness and population balance.
+//! * [`SummedAreaTable`](sat::SummedAreaTable) — O(1) rectangle sums over
+//!   per-cell aggregates, the workhorse behind the split-index search.
+//!
+//! The crate is deliberately free of any ML or fairness concepts: it only
+//! knows about space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell_rect;
+pub mod error;
+pub mod grid;
+pub mod metrics;
+pub mod partition;
+pub mod point;
+pub mod rect;
+pub mod sat;
+pub mod voronoi;
+
+pub use cell_rect::{Axis, CellRect};
+pub use error::GeoError;
+pub use grid::{CellId, Grid};
+pub use partition::{Partition, RegionId};
+pub use point::Point;
+pub use rect::Rect;
+pub use sat::SummedAreaTable;

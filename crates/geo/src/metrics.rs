@@ -1,0 +1,236 @@
+//! Spatial quality metrics for partitions.
+//!
+//! The paper (§1) notes that spatial indexes partition "according to
+//! varying criteria, such as area, perimeter, data point count" and that a
+//! fair index should still preserve "the useful spatial properties of
+//! indexing structures (e.g., fine-level clustering)". This module
+//! quantifies those properties so fairness gains can be weighed against
+//! spatial quality: per-region area/perimeter/compactness and the
+//! population balance of a districting.
+
+use crate::error::GeoError;
+use crate::grid::Grid;
+use crate::partition::Partition;
+use serde::{Deserialize, Serialize};
+
+/// Spatial quality of one region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionShape {
+    /// Number of grid cells.
+    pub cells: usize,
+    /// Area in map units.
+    pub area: f64,
+    /// Perimeter in map units (outer boundary, counting internal partition
+    /// boundaries once).
+    pub perimeter: f64,
+    /// Isoperimetric compactness `4π·area / perimeter²` (1 for a disc,
+    /// `π/4 ≈ 0.785` for a square; long slivers approach 0).
+    pub compactness: f64,
+}
+
+/// Computes the shape metrics of every region of a partition.
+///
+/// Perimeter is measured by counting cell edges that face a different
+/// region (or the map boundary), so it is exact for the rectilinear
+/// geometry of grid partitions.
+pub fn region_shapes(grid: &Grid, partition: &Partition) -> Result<Vec<RegionShape>, GeoError> {
+    let (rows, cols) = partition.grid_shape();
+    if rows != grid.rows() || cols != grid.cols() {
+        return Err(GeoError::EmptyGrid {
+            rows: grid.rows(),
+            cols: grid.cols(),
+        });
+    }
+    let cw = grid.cell_width();
+    let ch = grid.cell_height();
+    let k = partition.num_regions();
+    let mut cells = vec![0usize; k];
+    let mut perimeter = vec![0.0f64; k];
+
+    for cell in grid.cells() {
+        let r = partition.region_of(cell);
+        cells[r] += 1;
+        let (row, col) = grid.row_col(cell);
+        // West/east edges have length ch, north/south edges length cw.
+        let neighbors: [(Option<(usize, usize)>, f64); 4] = [
+            (row.checked_sub(1).map(|rr| (rr, col)), cw),
+            ((row + 1 < rows).then_some((row + 1, col)), cw),
+            (col.checked_sub(1).map(|cc| (row, cc)), ch),
+            ((col + 1 < cols).then_some((row, col + 1)), ch),
+        ];
+        for (n, edge) in neighbors {
+            let foreign = match n {
+                None => true, // map boundary
+                Some((nr, nc)) => partition.region_of(grid.cell_id(nr, nc)) != r,
+            };
+            if foreign {
+                perimeter[r] += edge;
+            }
+        }
+    }
+
+    Ok((0..k)
+        .map(|r| {
+            let area = cells[r] as f64 * cw * ch;
+            let p = perimeter[r];
+            RegionShape {
+                cells: cells[r],
+                area,
+                perimeter: p,
+                compactness: if p > 0.0 {
+                    4.0 * std::f64::consts::PI * area / (p * p)
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect())
+}
+
+/// Population-balance summary of a districting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalanceSummary {
+    /// Number of regions with at least one resident.
+    pub occupied: usize,
+    /// Smallest / largest region population.
+    pub min_population: usize,
+    /// Largest region population.
+    pub max_population: usize,
+    /// Coefficient of variation of occupied-region populations
+    /// (std/mean; 0 = perfectly balanced).
+    pub population_cv: f64,
+    /// Mean compactness of occupied regions.
+    pub mean_compactness: f64,
+}
+
+/// Summarizes balance and compactness given per-region populations.
+pub fn balance_summary(
+    shapes: &[RegionShape],
+    populations: &[usize],
+) -> Result<BalanceSummary, GeoError> {
+    if shapes.len() != populations.len() {
+        return Err(GeoError::UnknownRegion {
+            region: shapes.len().min(populations.len()),
+        });
+    }
+    let occupied: Vec<usize> = (0..shapes.len())
+        .filter(|&r| populations[r] > 0)
+        .collect();
+    if occupied.is_empty() {
+        return Ok(BalanceSummary {
+            occupied: 0,
+            min_population: 0,
+            max_population: 0,
+            population_cv: 0.0,
+            mean_compactness: 0.0,
+        });
+    }
+    let pops: Vec<f64> = occupied.iter().map(|&r| populations[r] as f64).collect();
+    let n = pops.len() as f64;
+    let mean = pops.iter().sum::<f64>() / n;
+    let var = pops.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+    let mean_compactness =
+        occupied.iter().map(|&r| shapes[r].compactness).sum::<f64>() / n;
+    Ok(BalanceSummary {
+        occupied: occupied.len(),
+        min_population: occupied
+            .iter()
+            .map(|&r| populations[r])
+            .min()
+            .unwrap_or(0),
+        max_population: occupied
+            .iter()
+            .map(|&r| populations[r])
+            .max()
+            .unwrap_or(0),
+        population_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        mean_compactness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_single_region() {
+        let g = Grid::unit(4).unwrap();
+        let p = Partition::single(&g);
+        let shapes = region_shapes(&g, &p).unwrap();
+        assert_eq!(shapes.len(), 1);
+        assert_eq!(shapes[0].cells, 16);
+        assert!((shapes[0].area - 1.0).abs() < 1e-12);
+        assert!((shapes[0].perimeter - 4.0).abs() < 1e-12);
+        // Unit square compactness = 4π/16 = π/4.
+        assert!((shapes[0].compactness - std::f64::consts::PI / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halves_have_expected_perimeter() {
+        let g = Grid::unit(4).unwrap();
+        let p = Partition::uniform(&g, 2, 1).unwrap();
+        let shapes = region_shapes(&g, &p).unwrap();
+        for s in &shapes {
+            assert_eq!(s.cells, 8);
+            assert!((s.area - 0.5).abs() < 1e-12);
+            // A 1 x 0.5 rectangle: perimeter 3 (internal edge counted once
+            // per region).
+            assert!((s.perimeter - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slivers_are_less_compact_than_squares() {
+        let g = Grid::unit(8).unwrap();
+        let quadrants = Partition::uniform(&g, 2, 2).unwrap();
+        let strips = Partition::uniform(&g, 8, 1).unwrap();
+        let qc = region_shapes(&g, &quadrants).unwrap()[0].compactness;
+        let sc = region_shapes(&g, &strips).unwrap()[0].compactness;
+        assert!(qc > sc, "square {qc} should beat strip {sc}");
+    }
+
+    #[test]
+    fn perimeters_tile_consistently() {
+        // Sum of perimeters = map boundary + 2x internal boundary length;
+        // for 2x2 quadrants of the unit square: 4 + 2*2 = 8.
+        let g = Grid::unit(4).unwrap();
+        let p = Partition::uniform(&g, 2, 2).unwrap();
+        let total: f64 = region_shapes(&g, &p)
+            .unwrap()
+            .iter()
+            .map(|s| s.perimeter)
+            .sum();
+        assert!((total - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_summary_statistics() {
+        let g = Grid::unit(4).unwrap();
+        let p = Partition::uniform(&g, 2, 2).unwrap();
+        let shapes = region_shapes(&g, &p).unwrap();
+        let summary = balance_summary(&shapes, &[10, 10, 10, 0]).unwrap();
+        assert_eq!(summary.occupied, 3);
+        assert_eq!(summary.min_population, 10);
+        assert_eq!(summary.max_population, 10);
+        assert!(summary.population_cv.abs() < 1e-12);
+        assert!(balance_summary(&shapes, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn empty_population_summary_is_zeroed() {
+        let g = Grid::unit(2).unwrap();
+        let p = Partition::single(&g);
+        let shapes = region_shapes(&g, &p).unwrap();
+        let summary = balance_summary(&shapes, &[0]).unwrap();
+        assert_eq!(summary.occupied, 0);
+        assert_eq!(summary.population_cv, 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = Grid::unit(4).unwrap();
+        let other = Grid::unit(5).unwrap();
+        let p = Partition::single(&g);
+        assert!(region_shapes(&other, &p).is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! Complete, non-overlapping partitions of the grid into neighborhoods.
+//!
+//! A *set of neighborhoods* in the paper is "a non-overlapping partitioning
+//! of the map that covers the entire space" (§2.1). [`Partition`] encodes
+//! that as a region id per grid cell, validates completeness, and provides
+//! the refinement relation used by Theorem 2.
+
+use crate::cell_rect::CellRect;
+use crate::error::GeoError;
+use crate::grid::{CellId, Grid};
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a region (neighborhood) within a [`Partition`].
+pub type RegionId = usize;
+
+/// A complete, non-overlapping assignment of grid cells to regions.
+///
+/// Region ids are dense: `0..num_regions()`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// `region[cell]` is the region id of `cell`; length = grid len.
+    region_of_cell: Vec<u32>,
+    num_regions: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+}
+
+impl Partition {
+    /// Builds a partition from an explicit per-cell assignment.
+    ///
+    /// Region ids must form the dense range `0..=max`; every id must be used
+    /// by at least one cell.
+    pub fn from_assignment(grid: &Grid, assignment: Vec<u32>) -> Result<Self, GeoError> {
+        if assignment.len() != grid.len() {
+            return Err(GeoError::IncompletePartition {
+                missing_cell: assignment.len().min(grid.len()),
+            });
+        }
+        let max = assignment.iter().copied().max().unwrap_or(0) as usize;
+        let num_regions = max + 1;
+        let mut seen = vec![false; num_regions];
+        for &r in &assignment {
+            seen[r as usize] = true;
+        }
+        if let Some(hole) = seen.iter().position(|s| !s) {
+            return Err(GeoError::UnknownRegion { region: hole });
+        }
+        Ok(Self {
+            region_of_cell: assignment,
+            num_regions,
+            grid_rows: grid.rows(),
+            grid_cols: grid.cols(),
+        })
+    }
+
+    /// Builds a partition from a set of cell rectangles that must tile the
+    /// grid exactly (the KD-tree leaf set).
+    pub fn from_rects(grid: &Grid, rects: &[CellRect]) -> Result<Self, GeoError> {
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut assignment = vec![UNASSIGNED; grid.len()];
+        for (id, rect) in rects.iter().enumerate() {
+            for (row, col) in rect.cells() {
+                if row >= grid.rows() || col >= grid.cols() {
+                    return Err(GeoError::CellOutOfBounds {
+                        cell: row * grid.cols() + col,
+                        len: grid.len(),
+                    });
+                }
+                let cell = grid.cell_id(row, col);
+                if assignment[cell] != UNASSIGNED {
+                    // Overlap: the cell already belongs to another rect.
+                    return Err(GeoError::UnknownRegion {
+                        region: assignment[cell] as usize,
+                    });
+                }
+                assignment[cell] = id as u32;
+            }
+        }
+        if let Some(missing) = assignment.iter().position(|&r| r == UNASSIGNED) {
+            return Err(GeoError::IncompletePartition {
+                missing_cell: missing,
+            });
+        }
+        Ok(Self {
+            region_of_cell: assignment,
+            num_regions: rects.len(),
+            grid_rows: grid.rows(),
+            grid_cols: grid.cols(),
+        })
+    }
+
+    /// The trivial partition: the whole grid is one neighborhood (`N₁` in
+    /// Algorithm 1, line 9).
+    pub fn single(grid: &Grid) -> Self {
+        Self {
+            region_of_cell: vec![0; grid.len()],
+            num_regions: 1,
+            grid_rows: grid.rows(),
+            grid_cols: grid.cols(),
+        }
+    }
+
+    /// A uniform partition into `block_rows × block_cols` rectangular
+    /// regions of (near-)equal size — the "grid" baseline used by the
+    /// re-weighting comparison. Blocks differ by at most one row/column
+    /// when the grid does not divide evenly.
+    pub fn uniform(grid: &Grid, block_rows: usize, block_cols: usize) -> Result<Self, GeoError> {
+        if block_rows == 0 || block_cols == 0 {
+            return Err(GeoError::EmptyGrid {
+                rows: block_rows,
+                cols: block_cols,
+            });
+        }
+        let block_rows = block_rows.min(grid.rows());
+        let block_cols = block_cols.min(grid.cols());
+        let row_edges = split_edges(grid.rows(), block_rows);
+        let col_edges = split_edges(grid.cols(), block_cols);
+        let mut rects = Vec::with_capacity(block_rows * block_cols);
+        for r in 0..block_rows {
+            for c in 0..block_cols {
+                rects.push(CellRect::new(
+                    row_edges[r],
+                    row_edges[r + 1],
+                    col_edges[c],
+                    col_edges[c + 1],
+                ));
+            }
+        }
+        Self::from_rects(grid, &rects)
+    }
+
+    /// Number of regions.
+    #[inline]
+    pub fn num_regions(&self) -> usize {
+        self.num_regions
+    }
+
+    /// Region of a cell.
+    #[inline]
+    pub fn region_of(&self, cell: CellId) -> RegionId {
+        self.region_of_cell[cell] as RegionId
+    }
+
+    /// Region of a cell, with bounds checking.
+    pub fn try_region_of(&self, cell: CellId) -> Result<RegionId, GeoError> {
+        self.region_of_cell
+            .get(cell)
+            .map(|&r| r as RegionId)
+            .ok_or(GeoError::CellOutOfBounds {
+                cell,
+                len: self.region_of_cell.len(),
+            })
+    }
+
+    /// Per-cell region ids (length = grid len).
+    #[inline]
+    pub fn assignments(&self) -> &[u32] {
+        &self.region_of_cell
+    }
+
+    /// Collects the cells of every region. `O(cells)`.
+    pub fn cells_by_region(&self) -> Vec<Vec<CellId>> {
+        let mut out = vec![Vec::new(); self.num_regions];
+        for (cell, &r) in self.region_of_cell.iter().enumerate() {
+            out[r as usize].push(cell);
+        }
+        out
+    }
+
+    /// Number of cells per region.
+    pub fn cell_counts(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.num_regions];
+        for &r in &self.region_of_cell {
+            out[r as usize] += 1;
+        }
+        out
+    }
+
+    /// Centroid of each region in map coordinates (mean of covered cell
+    /// centroids) — used by the `CentroidXY` location encoding.
+    pub fn region_centroids(&self, grid: &Grid) -> Result<Vec<Point>, GeoError> {
+        if grid.rows() != self.grid_rows || grid.cols() != self.grid_cols {
+            return Err(GeoError::EmptyGrid {
+                rows: grid.rows(),
+                cols: grid.cols(),
+            });
+        }
+        let mut sx = vec![0.0f64; self.num_regions];
+        let mut sy = vec![0.0f64; self.num_regions];
+        let mut n = vec![0usize; self.num_regions];
+        for cell in grid.cells() {
+            let c = grid.centroid(cell)?;
+            let r = self.region_of(cell);
+            sx[r] += c.x;
+            sy[r] += c.y;
+            n[r] += 1;
+        }
+        Ok((0..self.num_regions)
+            .map(|r| Point::new(sx[r] / n[r] as f64, sy[r] / n[r] as f64))
+            .collect())
+    }
+
+    /// `true` when `self` is a *sub-partitioning* (refinement) of `coarse`:
+    /// every region of `self` lies entirely inside one region of `coarse`
+    /// (Theorem 2's premise). Every partition refines the single-region
+    /// partition, and refines itself.
+    pub fn refines(&self, coarse: &Partition) -> bool {
+        if self.region_of_cell.len() != coarse.region_of_cell.len() {
+            return false;
+        }
+        // parent[r] = the coarse region that fine region r maps into.
+        let mut parent: Vec<Option<u32>> = vec![None; self.num_regions];
+        for (cell, &fine) in self.region_of_cell.iter().enumerate() {
+            let c = coarse.region_of_cell[cell];
+            match parent[fine as usize] {
+                None => parent[fine as usize] = Some(c),
+                Some(p) if p == c => {}
+                Some(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Merges this partition's regions according to `group_of_region`,
+    /// producing a coarser partition. Useful for constructing Theorem-2
+    /// test pairs.
+    pub fn coarsen(&self, group_of_region: &[u32]) -> Result<Partition, GeoError> {
+        if group_of_region.len() != self.num_regions {
+            return Err(GeoError::UnknownRegion {
+                region: group_of_region.len(),
+            });
+        }
+        let assignment: Vec<u32> = self
+            .region_of_cell
+            .iter()
+            .map(|&r| group_of_region[r as usize])
+            .collect();
+        let grid = Grid::new(
+            crate::rect::Rect::unit(),
+            self.grid_rows,
+            self.grid_cols,
+        )?;
+        // Re-densify ids in case some groups are unused.
+        let max = assignment.iter().copied().max().unwrap_or(0) as usize;
+        let mut remap = vec![u32::MAX; max + 1];
+        let mut next = 0u32;
+        let dense: Vec<u32> = assignment
+            .iter()
+            .map(|&g| {
+                if remap[g as usize] == u32::MAX {
+                    remap[g as usize] = next;
+                    next += 1;
+                }
+                remap[g as usize]
+            })
+            .collect();
+        Partition::from_assignment(&grid, dense)
+    }
+
+    /// Grid shape this partition was built over.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.grid_rows, self.grid_cols)
+    }
+}
+
+/// Splits `n` units into `k` contiguous chunks differing by at most one,
+/// returning the `k + 1` edge offsets.
+fn split_edges(n: usize, k: usize) -> Vec<usize> {
+    let base = n / k;
+    let extra = n % k;
+    let mut edges = Vec::with_capacity(k + 1);
+    let mut pos = 0;
+    edges.push(0);
+    for i in 0..k {
+        pos += base + usize::from(i < extra);
+        edges.push(pos);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> Grid {
+        Grid::unit(4).unwrap()
+    }
+
+    #[test]
+    fn single_partition_has_one_region() {
+        let g = grid4();
+        let p = Partition::single(&g);
+        assert_eq!(p.num_regions(), 1);
+        assert!(g.cells().all(|c| p.region_of(c) == 0));
+    }
+
+    #[test]
+    fn from_rects_tiles_exactly() {
+        let g = grid4();
+        let rects = [CellRect::new(0, 2, 0, 4), CellRect::new(2, 4, 0, 4)];
+        let p = Partition::from_rects(&g, &rects).unwrap();
+        assert_eq!(p.num_regions(), 2);
+        assert_eq!(p.region_of(g.cell_id(0, 0)), 0);
+        assert_eq!(p.region_of(g.cell_id(3, 3)), 1);
+    }
+
+    #[test]
+    fn from_rects_rejects_gaps_and_overlaps() {
+        let g = grid4();
+        // Gap: bottom half missing.
+        assert!(matches!(
+            Partition::from_rects(&g, &[CellRect::new(0, 2, 0, 4)]),
+            Err(GeoError::IncompletePartition { .. })
+        ));
+        // Overlap.
+        let rects = [CellRect::new(0, 3, 0, 4), CellRect::new(2, 4, 0, 4)];
+        assert!(Partition::from_rects(&g, &rects).is_err());
+        // Out of grid bounds.
+        let rects = [CellRect::new(0, 5, 0, 4)];
+        assert!(Partition::from_rects(&g, &rects).is_err());
+    }
+
+    #[test]
+    fn from_assignment_requires_dense_ids() {
+        let g = grid4();
+        let mut a = vec![0u32; 16];
+        a[3] = 2; // id 1 unused
+        assert!(matches!(
+            Partition::from_assignment(&g, a),
+            Err(GeoError::UnknownRegion { region: 1 })
+        ));
+    }
+
+    #[test]
+    fn uniform_partition_counts() {
+        let g = grid4();
+        let p = Partition::uniform(&g, 2, 2).unwrap();
+        assert_eq!(p.num_regions(), 4);
+        assert_eq!(p.cell_counts(), vec![4, 4, 4, 4]);
+        // Uneven division: 4 rows into 3 blocks -> 2,1,1.
+        let p = Partition::uniform(&g, 3, 1).unwrap();
+        assert_eq!(p.num_regions(), 3);
+        let counts = p.cell_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 16);
+        assert_eq!(counts, vec![8, 4, 4]);
+    }
+
+    #[test]
+    fn uniform_caps_blocks_at_grid_size() {
+        let g = grid4();
+        let p = Partition::uniform(&g, 100, 100).unwrap();
+        assert_eq!(p.num_regions(), 16);
+    }
+
+    #[test]
+    fn refinement_relation() {
+        let g = grid4();
+        let coarse = Partition::uniform(&g, 2, 1).unwrap();
+        let fine = Partition::uniform(&g, 4, 2).unwrap();
+        let cross = Partition::uniform(&g, 1, 4).unwrap();
+        assert!(fine.refines(&coarse));
+        assert!(!coarse.refines(&fine));
+        assert!(!cross.refines(&coarse));
+        assert!(coarse.refines(&coarse));
+        assert!(fine.refines(&Partition::single(&g)));
+    }
+
+    #[test]
+    fn coarsen_produces_refinement_parent() {
+        let g = grid4();
+        let fine = Partition::uniform(&g, 2, 2).unwrap();
+        let coarse = fine.coarsen(&[0, 0, 1, 1]).unwrap();
+        assert_eq!(coarse.num_regions(), 2);
+        assert!(fine.refines(&coarse));
+    }
+
+    #[test]
+    fn coarsen_densifies_ids() {
+        let g = grid4();
+        let fine = Partition::uniform(&g, 2, 2).unwrap();
+        // Groups 5 and 9: sparse ids must be re-densified.
+        let coarse = fine.coarsen(&[5, 5, 9, 9]).unwrap();
+        assert_eq!(coarse.num_regions(), 2);
+    }
+
+    #[test]
+    fn centroids_of_uniform_quadrants() {
+        let g = grid4();
+        let p = Partition::uniform(&g, 2, 2).unwrap();
+        let cents = p.region_centroids(&g).unwrap();
+        assert_eq!(cents.len(), 4);
+        // Region 0 is the south-west quadrant.
+        assert!((cents[0].x - 0.25).abs() < 1e-12);
+        assert!((cents[0].y - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_region_of_bounds_check() {
+        let g = grid4();
+        let p = Partition::single(&g);
+        assert!(p.try_region_of(15).is_ok());
+        assert!(p.try_region_of(16).is_err());
+    }
+
+    #[test]
+    fn split_edges_balance() {
+        assert_eq!(split_edges(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(split_edges(4, 4), vec![0, 1, 2, 3, 4]);
+        assert_eq!(split_edges(4, 1), vec![0, 4]);
+    }
+}

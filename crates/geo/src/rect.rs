@@ -1,0 +1,177 @@
+//! Axis-aligned rectangles in map coordinates.
+
+use crate::error::GeoError;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A closed axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// West edge.
+    pub min_x: f64,
+    /// South edge.
+    pub min_y: f64,
+    /// East edge.
+    pub max_x: f64,
+    /// North edge.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle, validating that it has positive extent on both
+    /// axes and finite coordinates.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Result<Self, GeoError> {
+        let ok = min_x.is_finite()
+            && min_y.is_finite()
+            && max_x.is_finite()
+            && max_y.is_finite()
+            && max_x > min_x
+            && max_y > min_y;
+        if !ok {
+            return Err(GeoError::DegenerateRect {
+                min: (min_x, min_y),
+                max: (max_x, max_y),
+            });
+        }
+        Ok(Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
+    }
+
+    /// The unit square `[0,1]²`, the default domain of the synthetic cities.
+    pub fn unit() -> Self {
+        Self {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 1.0,
+            max_y: 1.0,
+        }
+    }
+
+    /// Width (east–west extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height (north–south extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Perimeter.
+    #[inline]
+    pub fn perimeter(&self) -> f64 {
+        2.0 * (self.width() + self.height())
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// `true` when the two rectangles share any area (boundary contact counts).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Clamps a point into the rectangle (used when snapping jittered
+    /// synthetic locations back onto the map).
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min_x, self.max_x),
+            p.y.clamp(self.min_y, self.max_y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_degenerate() {
+        assert!(Rect::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 0.0, -1.0, 1.0).is_err());
+        assert!(Rect::new(0.0, f64::NAN, 1.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 0.0, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn geometry_measures() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0).unwrap();
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.perimeter(), 12.0);
+        assert_eq!(r.center(), Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn containment_includes_boundary() {
+        let r = Rect::unit();
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(1.0, 1.0)));
+        assert!(r.contains(&Point::new(0.5, 0.5)));
+        assert!(!r.contains(&Point::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0).unwrap();
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0).unwrap();
+        let c = Rect::new(5.0, 5.0, 6.0, 6.0).unwrap();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert_eq!((u.min_x, u.min_y, u.max_x, u.max_y), (0.0, 0.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn touching_rects_intersect() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0).unwrap();
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn clamp_snaps_outside_points() {
+        let r = Rect::unit();
+        assert_eq!(r.clamp(Point::new(2.0, -1.0)), Point::new(1.0, 0.0));
+        assert_eq!(r.clamp(Point::new(0.3, 0.7)), Point::new(0.3, 0.7));
+    }
+}

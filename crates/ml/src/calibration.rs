@@ -1,0 +1,350 @@
+//! Calibration measurement and post-processing.
+//!
+//! Implements the paper's calibration notions (§2.2, Appendix A.1):
+//!
+//! * `e(h)` — expected confidence score ([`mean_score`]).
+//! * `o(h)` — true fraction of positives ([`positive_fraction`]).
+//! * `|e − o|` — absolute mis-calibration ([`miscalibration`]), the form the
+//!   paper adopts because it "eliminates the division by zero problem".
+//! * `e / o` — the ratio form ([`calibration_ratio`]), used in Figure 6.
+//! * ECE over `M` score bins ([`expected_calibration_error`], Eq. 15; the
+//!   paper uses 15 bins).
+//! * Reliability curves ([`reliability_curve`]).
+//! * Platt scaling ([`PlattScaler`]) — the post-processing mitigation cited
+//!   in the related work (§3).
+
+use crate::error::MlError;
+use crate::metrics::validate_scores;
+use serde::{Deserialize, Serialize};
+
+/// Mean confidence score: `e(h)` in the paper.
+pub fn mean_score(scores: &[f64]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().sum::<f64>() / scores.len() as f64
+}
+
+/// Fraction of positive labels: `o(h)` in the paper.
+pub fn positive_fraction(labels: &[bool]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    labels.iter().filter(|&&y| y).count() as f64 / labels.len() as f64
+}
+
+/// Absolute mis-calibration `|e(h) − o(h)|` (paper §2.2, second form).
+pub fn miscalibration(scores: &[f64], labels: &[bool]) -> Result<f64, MlError> {
+    validate_scores(scores, labels)?;
+    Ok((mean_score(scores) - positive_fraction(labels)).abs())
+}
+
+/// Calibration ratio `e(h) / o(h)` (paper Eq. 2); `None` when there are no
+/// positive labels (the division-by-zero case the paper calls out).
+pub fn calibration_ratio(scores: &[f64], labels: &[bool]) -> Result<Option<f64>, MlError> {
+    validate_scores(scores, labels)?;
+    let o = positive_fraction(labels);
+    if o == 0.0 {
+        return Ok(None);
+    }
+    Ok(Some(mean_score(scores) / o))
+}
+
+/// How scores are assigned to ECE bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinningStrategy {
+    /// `M` equal-width bins over `[0, 1]` (the paper's setting).
+    EqualWidth,
+    /// `M` bins each holding (nearly) the same number of samples.
+    EqualFrequency,
+}
+
+/// One bin of a reliability analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBin {
+    /// Number of samples in the bin.
+    pub count: usize,
+    /// Mean confidence score in the bin (`e(B)`).
+    pub mean_score: f64,
+    /// Positive-label fraction in the bin (`o(B)`).
+    pub positive_fraction: f64,
+}
+
+/// Assigns each sample to a bin and summarizes the bins. Empty bins are
+/// retained (with `count == 0`) so bin indices are stable.
+pub fn reliability_curve(
+    scores: &[f64],
+    labels: &[bool],
+    bins: usize,
+    strategy: BinningStrategy,
+) -> Result<Vec<CalibrationBin>, MlError> {
+    validate_scores(scores, labels)?;
+    if bins == 0 {
+        return Err(MlError::InvalidHyperparameter(
+            "number of bins must be at least 1".into(),
+        ));
+    }
+    let n = scores.len();
+    let mut count = vec![0usize; bins];
+    let mut sum_s = vec![0.0f64; bins];
+    let mut sum_y = vec![0.0f64; bins];
+
+    match strategy {
+        BinningStrategy::EqualWidth => {
+            for (&s, &y) in scores.iter().zip(labels) {
+                let b = ((s * bins as f64) as usize).min(bins - 1);
+                count[b] += 1;
+                sum_s[b] += s;
+                sum_y[b] += f64::from(u8::from(y));
+            }
+        }
+        BinningStrategy::EqualFrequency => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("validated finite"));
+            for (pos, &idx) in order.iter().enumerate() {
+                let b = (pos * bins) / n;
+                count[b] += 1;
+                sum_s[b] += scores[idx];
+                sum_y[b] += f64::from(u8::from(labels[idx]));
+            }
+        }
+    }
+
+    Ok((0..bins)
+        .map(|b| CalibrationBin {
+            count: count[b],
+            mean_score: if count[b] == 0 {
+                0.0
+            } else {
+                sum_s[b] / count[b] as f64
+            },
+            positive_fraction: if count[b] == 0 {
+                0.0
+            } else {
+                sum_y[b] / count[b] as f64
+            },
+        })
+        .collect())
+}
+
+/// Expected Calibration Error over `M` bins (paper Eq. 15):
+/// `ECE = Σ_m (|B_m|/n) · |o(B_m) − e(B_m)|`.
+pub fn expected_calibration_error(
+    scores: &[f64],
+    labels: &[bool],
+    bins: usize,
+    strategy: BinningStrategy,
+) -> Result<f64, MlError> {
+    let curve = reliability_curve(scores, labels, bins, strategy)?;
+    let n: usize = curve.iter().map(|b| b.count).sum();
+    Ok(curve
+        .iter()
+        .map(|b| {
+            (b.count as f64 / n as f64) * (b.positive_fraction - b.mean_score).abs()
+        })
+        .sum())
+}
+
+/// Maximum Calibration Error: the worst per-bin gap.
+pub fn max_calibration_error(
+    scores: &[f64],
+    labels: &[bool],
+    bins: usize,
+    strategy: BinningStrategy,
+) -> Result<f64, MlError> {
+    let curve = reliability_curve(scores, labels, bins, strategy)?;
+    Ok(curve
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| (b.positive_fraction - b.mean_score).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Platt scaling: fits `sigmoid(a·logit(s) + b)` to labels by gradient
+/// descent on log-loss, mapping raw scores to calibrated probabilities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlattScaler {
+    a: f64,
+    b: f64,
+    fitted: bool,
+}
+
+impl Default for PlattScaler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlattScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self {
+            a: 1.0,
+            b: 0.0,
+            fitted: false,
+        }
+    }
+
+    fn logit(s: f64) -> f64 {
+        let s = s.clamp(1e-7, 1.0 - 1e-7);
+        (s / (1.0 - s)).ln()
+    }
+
+    /// Fits the two scaling parameters.
+    pub fn fit(&mut self, scores: &[f64], labels: &[bool]) -> Result<(), MlError> {
+        validate_scores(scores, labels)?;
+        let z: Vec<f64> = scores.iter().map(|&s| Self::logit(s)).collect();
+        let n = z.len() as f64;
+        let (mut a, mut b) = (1.0f64, 0.0f64);
+        let lr = 0.1;
+        for _ in 0..2000 {
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            for (&zi, &yi) in z.iter().zip(labels) {
+                let p = 1.0 / (1.0 + (-(a * zi + b)).exp());
+                let err = p - f64::from(u8::from(yi));
+                ga += err * zi;
+                gb += err;
+            }
+            ga /= n;
+            gb /= n;
+            a -= lr * ga;
+            b -= lr * gb;
+            if ga.abs().max(gb.abs()) < 1e-9 {
+                break;
+            }
+        }
+        self.a = a;
+        self.b = b;
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Applies the learned mapping.
+    pub fn transform(&self, scores: &[f64]) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        Ok(scores
+            .iter()
+            .map(|&s| 1.0 / (1.0 + (-(self.a * Self::logit(s) + self.b)).exp()))
+            .collect())
+    }
+
+    /// Learned `(a, b)` parameters.
+    pub fn parameters(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_and_fractions() {
+        assert!((mean_score(&[0.2, 0.4, 0.6]) - 0.4).abs() < 1e-12);
+        assert_eq!(positive_fraction(&[true, false, true, true]), 0.75);
+        assert_eq!(mean_score(&[]), 0.0);
+        assert_eq!(positive_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn paper_equation_2_example() {
+        // Figure 1b: Σŝ = 5.2 over 11 individuals, 7 positives.
+        // e/o = (5.2/11) / (7/11) ≈ 0.742.
+        let mut scores = vec![0.4727272727; 11]; // sums to 5.2
+        scores[0] = 5.2 - 0.4727272727 * 10.0;
+        let labels: Vec<bool> = (0..11).map(|i| i < 7).collect();
+        let r = calibration_ratio(&scores, &labels).unwrap().unwrap();
+        assert!((r - 5.2 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_none_when_no_positives() {
+        assert_eq!(
+            calibration_ratio(&[0.5, 0.5], &[false, false]).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn miscalibration_of_perfect_scores_is_zero() {
+        let scores = [1.0, 1.0, 0.0, 0.0];
+        let labels = [true, true, false, false];
+        assert_eq!(miscalibration(&scores, &labels).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated_bins() {
+        // Bin [0.6, 0.667): 10 samples at 0.6, 6 positive.
+        let scores = vec![0.6; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 6).collect();
+        let ece =
+            expected_calibration_error(&scores, &labels, 15, BinningStrategy::EqualWidth)
+                .unwrap();
+        assert!(ece < 1e-12);
+    }
+
+    #[test]
+    fn ece_detects_overconfidence() {
+        let scores = vec![0.9; 10];
+        let labels: Vec<bool> = (0..10).map(|i| i < 5).collect();
+        let ece =
+            expected_calibration_error(&scores, &labels, 15, BinningStrategy::EqualWidth)
+                .unwrap();
+        assert!((ece - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_of_one_lands_in_last_bin() {
+        let scores = [1.0, 0.999];
+        let labels = [true, true];
+        let curve =
+            reliability_curve(&scores, &labels, 15, BinningStrategy::EqualWidth).unwrap();
+        assert_eq!(curve.last().unwrap().count, 2);
+    }
+
+    #[test]
+    fn equal_frequency_bins_balance_counts() {
+        let scores: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let labels = vec![true; 100];
+        let curve =
+            reliability_curve(&scores, &labels, 4, BinningStrategy::EqualFrequency).unwrap();
+        assert!(curve.iter().all(|b| b.count == 25));
+    }
+
+    #[test]
+    fn zero_bins_rejected() {
+        assert!(reliability_curve(&[0.5], &[true], 0, BinningStrategy::EqualWidth).is_err());
+    }
+
+    #[test]
+    fn mce_at_least_ece() {
+        let scores = [0.9, 0.9, 0.1, 0.1, 0.5, 0.5];
+        let labels = [true, false, false, false, true, false];
+        let ece =
+            expected_calibration_error(&scores, &labels, 5, BinningStrategy::EqualWidth).unwrap();
+        let mce =
+            max_calibration_error(&scores, &labels, 5, BinningStrategy::EqualWidth).unwrap();
+        assert!(mce >= ece);
+    }
+
+    #[test]
+    fn platt_improves_miscalibrated_scores() {
+        // Systematically over-confident scores for a 30%-positive stream.
+        let scores: Vec<f64> = (0..200).map(|i| 0.7 + 0.2 * ((i % 10) as f64 / 10.0)).collect();
+        let labels: Vec<bool> = (0..200).map(|i| i % 10 < 3).collect();
+        let before = miscalibration(&scores, &labels).unwrap();
+        let mut p = PlattScaler::new();
+        p.fit(&scores, &labels).unwrap();
+        let after = miscalibration(&p.transform(&scores).unwrap(), &labels).unwrap();
+        assert!(after < before / 2.0, "before {before} after {after}");
+    }
+
+    #[test]
+    fn platt_transform_before_fit_errors() {
+        let p = PlattScaler::new();
+        assert!(matches!(p.transform(&[0.5]), Err(MlError::NotFitted)));
+    }
+}

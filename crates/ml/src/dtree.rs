@@ -1,0 +1,531 @@
+//! Weighted CART decision tree with Gini impurity.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use crate::model::{validate_fit_inputs, Classifier};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in each child.
+    pub min_samples_leaf: usize,
+    /// Minimum weighted impurity decrease to accept a split. The default of
+    /// `0.0` matches scikit-learn: zero-gain splits are accepted, which lets
+    /// the tree work through XOR-like patterns where no single split helps
+    /// immediately.
+    pub min_impurity_decrease: f64,
+    /// Laplace smoothing added to leaf positive/total counts when turning a
+    /// leaf into a confidence score; keeps scores off the hard 0/1 edges.
+    pub leaf_smoothing: f64,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            min_samples_split: 10,
+            min_samples_leaf: 5,
+            min_impurity_decrease: 0.0,
+            leaf_smoothing: 1.0,
+        }
+    }
+}
+
+impl DecisionTreeConfig {
+    fn validate(&self) -> Result<(), MlError> {
+        if self.min_samples_leaf == 0 {
+            return Err(MlError::InvalidHyperparameter(
+                "min_samples_leaf must be at least 1".into(),
+            ));
+        }
+        if self.min_samples_split < 2 {
+            return Err(MlError::InvalidHyperparameter(
+                "min_samples_split must be at least 2".into(),
+            ));
+        }
+        if !(self.leaf_smoothing >= 0.0 && self.leaf_smoothing.is_finite()) {
+            return Err(MlError::InvalidHyperparameter(
+                "leaf_smoothing must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        score: f64,
+    },
+    Internal {
+        feature: usize,
+        /// Samples with `value <= threshold` go left.
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A CART binary classifier. Splits maximize weighted Gini impurity
+/// decrease; leaf scores are Laplace-smoothed weighted positive fractions.
+///
+/// Tie-breaking is deterministic: the lowest feature index, then the lowest
+/// threshold, wins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Accumulated weighted impurity decrease per feature.
+    importances: Vec<f64>,
+}
+
+struct BuildCtx<'a> {
+    x: &'a Matrix,
+    y: &'a [bool],
+    w: &'a [f64],
+    config: &'a DecisionTreeConfig,
+    importances: Vec<f64>,
+}
+
+/// Gini impurity of a weighted binary sample: `2·p·(1−p)` scaled to the
+/// usual `1 − Σ p²` form for two classes.
+#[inline]
+fn gini(pos_w: f64, total_w: f64) -> f64 {
+    if total_w <= 0.0 {
+        return 0.0;
+    }
+    let p = pos_w / total_w;
+    2.0 * p * (1.0 - p)
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    decrease: f64,
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+impl<'a> BuildCtx<'a> {
+    fn leaf_score(&self, indices: &[usize]) -> f64 {
+        let alpha = self.config.leaf_smoothing;
+        let mut pos = 0.0;
+        let mut tot = 0.0;
+        for &i in indices {
+            tot += self.w[i];
+            if self.y[i] {
+                pos += self.w[i];
+            }
+        }
+        (pos + alpha) / (tot + 2.0 * alpha)
+    }
+
+    fn best_split(&self, indices: &[usize]) -> Option<BestSplit> {
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, decrease)
+        let total_w: f64 = indices.iter().map(|&i| self.w[i]).sum();
+        let total_pos: f64 = indices
+            .iter()
+            .filter(|&&i| self.y[i])
+            .map(|&i| self.w[i])
+            .sum();
+        let parent_impurity = gini(total_pos, total_w);
+        if parent_impurity <= 0.0 {
+            return None; // pure node
+        }
+
+        // Reusable sort buffer: (value, weight, weighted label).
+        let mut order: Vec<usize> = Vec::with_capacity(indices.len());
+        for feature in 0..self.x.cols() {
+            order.clear();
+            order.extend_from_slice(indices);
+            order.sort_by(|&a, &b| {
+                self.x
+                    .get(a, feature)
+                    .partial_cmp(&self.x.get(b, feature))
+                    .expect("features validated finite")
+            });
+
+            let mut left_w = 0.0;
+            let mut left_pos = 0.0;
+            let mut left_n = 0usize;
+            for k in 0..order.len() - 1 {
+                let i = order[k];
+                left_w += self.w[i];
+                if self.y[i] {
+                    left_pos += self.w[i];
+                }
+                left_n += 1;
+                let v = self.x.get(i, feature);
+                let v_next = self.x.get(order[k + 1], feature);
+                if v == v_next {
+                    continue; // can't split between equal values
+                }
+                let right_n = order.len() - left_n;
+                if left_n < self.config.min_samples_leaf
+                    || right_n < self.config.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_w = total_w - left_w;
+                let right_pos = total_pos - left_pos;
+                let weighted_child = (left_w * gini(left_pos, left_w)
+                    + right_w * gini(right_pos, right_w))
+                    / total_w;
+                let decrease = parent_impurity - weighted_child;
+                let threshold = v.midpoint(v_next);
+                let better = match &best {
+                    None => decrease >= self.config.min_impurity_decrease,
+                    Some((_, _, best_dec)) => decrease > *best_dec + 1e-15,
+                };
+                if better {
+                    best = Some((feature, threshold, decrease));
+                }
+            }
+        }
+
+        best.map(|(feature, threshold, decrease)| {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for &i in indices {
+                if self.x.get(i, feature) <= threshold {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            BestSplit {
+                feature,
+                threshold,
+                decrease: decrease * total_w,
+                left,
+                right,
+            }
+        })
+    }
+
+    fn build(&mut self, nodes: &mut Vec<Node>, indices: &[usize], depth: usize) -> u32 {
+        let make_leaf = |nodes: &mut Vec<Node>, score: f64| -> u32 {
+            nodes.push(Node::Leaf { score });
+            (nodes.len() - 1) as u32
+        };
+
+        if depth >= self.config.max_depth || indices.len() < self.config.min_samples_split {
+            return make_leaf(nodes, self.leaf_score(indices));
+        }
+        match self.best_split(indices) {
+            None => make_leaf(nodes, self.leaf_score(indices)),
+            Some(split) => {
+                self.importances[split.feature] += split.decrease;
+                let id = nodes.len();
+                nodes.push(Node::Leaf { score: 0.0 }); // placeholder
+                let left = self.build(nodes, &split.left, depth + 1);
+                let right = self.build(nodes, &split.right, depth + 1);
+                nodes[id] = Node::Internal {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                id as u32
+            }
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree with the given configuration.
+    pub fn new(config: DecisionTreeConfig) -> Result<Self, MlError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+            importances: Vec::new(),
+        })
+    }
+
+    /// Creates an unfitted tree with default hyper-parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(DecisionTreeConfig::default()).expect("default config is valid")
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: u32) -> usize {
+            match &nodes[id as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Normalized total weighted impurity decrease per feature (sums to 1
+    /// when any split occurred).
+    pub fn feature_importances(&self) -> Result<Vec<f64>, MlError> {
+        if self.nodes.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return Ok(vec![0.0; self.n_features]);
+        }
+        Ok(self.importances.iter().map(|v| v / total).collect())
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        let mut id = 0u32;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Leaf { score } => return *score,
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(
+        &mut self,
+        x: &Matrix,
+        y: &[bool],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), MlError> {
+        let w = validate_fit_inputs(x, y, sample_weight)?;
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let mut ctx = BuildCtx {
+            x,
+            y,
+            w: &w,
+            config: &self.config,
+            importances: vec![0.0; x.cols()],
+        };
+        let mut nodes = Vec::new();
+        ctx.build(&mut nodes, &indices, 0);
+        self.nodes = nodes;
+        self.n_features = x.cols();
+        self.importances = ctx.importances;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        if self.nodes.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.cols(),
+                what: "feature columns",
+            });
+        }
+        x.ensure_finite()?;
+        Ok(x.iter_rows().map(|row| self.score_row(row)).collect())
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<bool>) {
+        // XOR-ish 2-D pattern, 25 points per quadrant cluster.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let x0 = i as f64 / 10.0;
+                let x1 = j as f64 / 10.0;
+                rows.push(vec![x0, x1]);
+                y.push((x0 < 0.5) != (x1 < 0.5));
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = DecisionTreeConfig::default();
+        c.min_samples_leaf = 0;
+        assert!(DecisionTree::new(c).is_err());
+        let mut c = DecisionTreeConfig::default();
+        c.min_samples_split = 1;
+        assert!(DecisionTree::new(c).is_err());
+        let mut c = DecisionTreeConfig::default();
+        c.leaf_smoothing = -1.0;
+        assert!(DecisionTree::new(c).is_err());
+    }
+
+    #[test]
+    fn learns_xor_unlike_a_linear_model() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &y, None).unwrap();
+        let preds = t.predict(&x, 0.5).unwrap();
+        let acc = preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        assert!(acc >= 0.95, "accuracy {acc}");
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![true, true, true, true];
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &y, None).unwrap();
+        assert_eq!(t.node_count(), 1);
+        let s = t.predict_proba(&x).unwrap();
+        // Laplace smoothing keeps the score off 1.0: (4+1)/(4+2).
+        assert!((s[0] - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = xor_data();
+        let mut cfg = DecisionTreeConfig::default();
+        cfg.min_samples_leaf = 30;
+        cfg.max_depth = 10;
+        let mut t = DecisionTree::new(cfg).unwrap();
+        t.fit(&x, &y, None).unwrap();
+        // Count samples reaching each leaf.
+        let scores = t.predict_proba(&x).unwrap();
+        let _ = scores;
+        fn leaf_counts(t: &DecisionTree, x: &Matrix) -> std::collections::HashMap<usize, usize> {
+            let mut counts = std::collections::HashMap::new();
+            for r in 0..x.rows() {
+                let mut id = 0u32;
+                loop {
+                    match &t.nodes[id as usize] {
+                        Node::Leaf { .. } => {
+                            *counts.entry(id as usize).or_insert(0) += 1;
+                            break;
+                        }
+                        Node::Internal {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        } => {
+                            id = if x.get(r, *feature) <= *threshold {
+                                *left
+                            } else {
+                                *right
+                            };
+                        }
+                    }
+                }
+            }
+            counts
+        }
+        for (_, c) in leaf_counts(&t, &x) {
+            assert!(c >= 30);
+        }
+    }
+
+    #[test]
+    fn max_depth_zero_gives_single_leaf() {
+        let (x, y) = xor_data();
+        let mut cfg = DecisionTreeConfig::default();
+        cfg.max_depth = 0;
+        let mut t = DecisionTree::new(cfg).unwrap();
+        t.fit(&x, &y, None).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn weights_tilt_leaf_scores() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        let y = vec![true, true, false, false];
+        let mut cfg = DecisionTreeConfig::default();
+        cfg.leaf_smoothing = 0.0;
+        let mut t = DecisionTree::new(cfg).unwrap();
+        t.fit(&x, &y, Some(&[3.0, 3.0, 1.0, 1.0])).unwrap();
+        let s = t.predict_proba(&x).unwrap();
+        assert!((s[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn importances_concentrate_on_informative_feature() {
+        // Feature 0 decides the label, feature 1 is constant noise.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![i as f64, 0.5]);
+            y.push(i >= 30);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &y, None).unwrap();
+        let imp = t.feature_importances().unwrap();
+        assert!(imp[0] > 0.99);
+        assert!(imp[1] < 0.01);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (x, y) = xor_data();
+        let mut a = DecisionTree::with_defaults();
+        let mut b = DecisionTree::with_defaults();
+        a.fit(&x, &y, None).unwrap();
+        b.fit(&x, &y, None).unwrap();
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn predict_errors() {
+        let t = DecisionTree::with_defaults();
+        assert!(matches!(
+            t.predict_proba(&Matrix::zeros(1, 1)),
+            Err(MlError::NotFitted)
+        ));
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &y, None).unwrap();
+        assert!(t.predict_proba(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &y, None).unwrap();
+        assert!(t
+            .predict_proba(&x)
+            .unwrap()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(s)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// Errors produced by model training, scoring and metric computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// A dataset with zero rows (or zero columns where features are
+    /// required) was supplied.
+    EmptyDataset,
+    /// Two inputs that must agree in length/shape do not.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was received.
+        got: usize,
+        /// Which input disagreed.
+        what: &'static str,
+    },
+    /// A feature value is NaN or infinite.
+    NonFiniteValue {
+        /// Row of the offending value.
+        row: usize,
+        /// Column of the offending value.
+        col: usize,
+    },
+    /// A sample weight is negative, NaN or infinite, or all weights are zero.
+    InvalidWeights,
+    /// A hyper-parameter is out of its valid range.
+    InvalidHyperparameter(String),
+    /// `predict`/`transform` called before `fit`.
+    NotFitted,
+    /// Training data contains a single class, so a discriminative score is
+    /// undefined for some models.
+    SingleClass,
+    /// A probability/score outside `[0, 1]` was passed to a calibration or
+    /// metric routine.
+    InvalidScore {
+        /// Index of the offending score.
+        index: usize,
+        /// The score value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => write!(f, "dataset must contain at least one sample"),
+            MlError::DimensionMismatch {
+                expected,
+                got,
+                what,
+            } => write!(f, "{what}: expected length {expected}, got {got}"),
+            MlError::NonFiniteValue { row, col } => {
+                write!(f, "non-finite feature value at row {row}, column {col}")
+            }
+            MlError::InvalidWeights => {
+                write!(f, "sample weights must be finite, non-negative, not all zero")
+            }
+            MlError::InvalidHyperparameter(msg) => write!(f, "invalid hyper-parameter: {msg}"),
+            MlError::NotFitted => write!(f, "model must be fitted before use"),
+            MlError::SingleClass => write!(f, "training data contains a single class"),
+            MlError::InvalidScore { index, value } => {
+                write!(f, "score at index {index} is {value}, outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_details() {
+        let e = MlError::DimensionMismatch {
+            expected: 10,
+            got: 7,
+            what: "labels",
+        };
+        let s = e.to_string();
+        assert!(s.contains("labels") && s.contains("10") && s.contains('7'));
+        assert!(MlError::NotFitted.to_string().contains("fitted"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Isotonic-regression calibration (pool-adjacent-violators).
+//!
+//! The second classic post-processing calibrator next to Platt scaling
+//! (§3's post-processing family): fit the best *monotone* map from raw
+//! scores to probabilities by the PAV algorithm, then interpolate
+//! piecewise-linearly between block centers. Non-parametric, so it fixes
+//! calibration distortions a sigmoid cannot.
+
+use crate::error::MlError;
+use crate::metrics::validate_scores;
+use serde::{Deserialize, Serialize};
+
+/// A fitted isotonic calibration map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IsotonicCalibrator {
+    /// Block centers in score space (ascending).
+    xs: Vec<f64>,
+    /// Calibrated values per block (non-decreasing).
+    ys: Vec<f64>,
+    fitted: bool,
+}
+
+impl Default for IsotonicCalibrator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IsotonicCalibrator {
+    /// Creates an unfitted calibrator.
+    pub fn new() -> Self {
+        Self {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Fits the monotone map with pool-adjacent-violators.
+    pub fn fit(&mut self, scores: &[f64], labels: &[bool]) -> Result<(), MlError> {
+        validate_scores(scores, labels)?;
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("validated finite"));
+
+        // Blocks: (sum_y, weight, x_sum). Merge while monotonicity is
+        // violated.
+        struct Block {
+            sum_y: f64,
+            weight: f64,
+            sum_x: f64,
+        }
+        let mut blocks: Vec<Block> = Vec::with_capacity(order.len());
+        for &i in &order {
+            blocks.push(Block {
+                sum_y: f64::from(u8::from(labels[i])),
+                weight: 1.0,
+                sum_x: scores[i],
+            });
+            while blocks.len() >= 2 {
+                let n = blocks.len();
+                let mean_last = blocks[n - 1].sum_y / blocks[n - 1].weight;
+                let mean_prev = blocks[n - 2].sum_y / blocks[n - 2].weight;
+                if mean_prev <= mean_last {
+                    break;
+                }
+                let last = blocks.pop().expect("len >= 2");
+                let prev = blocks.last_mut().expect("len >= 1");
+                prev.sum_y += last.sum_y;
+                prev.weight += last.weight;
+                prev.sum_x += last.sum_x;
+            }
+        }
+        self.xs = blocks.iter().map(|b| b.sum_x / b.weight).collect();
+        self.ys = blocks.iter().map(|b| b.sum_y / b.weight).collect();
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Applies the fitted map with piecewise-linear interpolation between
+    /// block centers (clamped at the ends).
+    pub fn transform(&self, scores: &[f64]) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        Ok(scores.iter().map(|&s| self.transform_one(s)).collect())
+    }
+
+    fn transform_one(&self, s: f64) -> f64 {
+        let xs = &self.xs;
+        let ys = &self.ys;
+        if xs.is_empty() {
+            return s;
+        }
+        if s <= xs[0] {
+            return ys[0];
+        }
+        if s >= xs[xs.len() - 1] {
+            return ys[ys.len() - 1];
+        }
+        // Binary search for the straddling pair.
+        let mut lo = 0;
+        let mut hi = xs.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if xs[mid] <= s {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = if xs[hi] > xs[lo] {
+            (s - xs[lo]) / (xs[hi] - xs[lo])
+        } else {
+            0.0
+        };
+        ys[lo] + t * (ys[hi] - ys[lo])
+    }
+
+    /// Number of monotone blocks after pooling.
+    pub fn num_blocks(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::miscalibration;
+
+    #[test]
+    fn transform_before_fit_errors() {
+        let c = IsotonicCalibrator::new();
+        assert!(matches!(c.transform(&[0.5]), Err(MlError::NotFitted)));
+    }
+
+    #[test]
+    fn already_monotone_data_is_preserved() {
+        // Scores perfectly ordered with labels: blocks stay separate at
+        // the extremes.
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        let mut c = IsotonicCalibrator::new();
+        c.fit(&scores, &labels).unwrap();
+        let out = c.transform(&scores).unwrap();
+        assert!(out[0] < 0.5 && out[3] > 0.5);
+        assert!(out.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn violators_are_pooled() {
+        // Decreasing label means violate monotonicity and must merge:
+        // means 1.0 then 0.0 pool into a single block of 0.5.
+        let scores = [0.2, 0.8];
+        let labels = [true, false];
+        let mut c = IsotonicCalibrator::new();
+        c.fit(&scores, &labels).unwrap();
+        assert_eq!(c.num_blocks(), 1);
+        assert!(c
+            .transform(&scores)
+            .unwrap()
+            .iter()
+            .all(|&v| (v - 0.5).abs() < 1e-12));
+        // Constant labels produce constant output regardless of pooling.
+        let mut c = IsotonicCalibrator::new();
+        c.fit(&[0.1, 0.5, 0.9], &[true, true, true]).unwrap();
+        assert!(c
+            .transform(&[0.0, 0.3, 1.0])
+            .unwrap()
+            .iter()
+            .all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn output_is_monotone_in_input() {
+        // Noisy labels: calibrated outputs must still be monotone in the
+        // raw score.
+        let scores: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let labels: Vec<bool> = (0..100).map(|i| (i * 7) % 10 < i / 12).collect();
+        let mut c = IsotonicCalibrator::new();
+        c.fit(&scores, &labels).unwrap();
+        let out = c.transform(&scores).unwrap();
+        assert!(out.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(out.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn improves_miscalibrated_scores() {
+        // Systematically over-confident scores.
+        let scores: Vec<f64> = (0..200)
+            .map(|i| 0.6 + 0.35 * ((i % 20) as f64 / 20.0))
+            .collect();
+        let labels: Vec<bool> = (0..200).map(|i| i % 5 == 0).collect();
+        let before = miscalibration(&scores, &labels).unwrap();
+        let mut c = IsotonicCalibrator::new();
+        c.fit(&scores, &labels).unwrap();
+        let after = miscalibration(&c.transform(&scores).unwrap(), &labels).unwrap();
+        assert!(after < before / 4.0, "before {before} after {after}");
+    }
+
+    #[test]
+    fn extremes_are_clamped() {
+        let scores = [0.4, 0.6];
+        let labels = [false, true];
+        let mut c = IsotonicCalibrator::new();
+        c.fit(&scores, &labels).unwrap();
+        let out = c.transform(&[0.0, 1.0]).unwrap();
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 1.0);
+    }
+}

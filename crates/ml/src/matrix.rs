@@ -1,0 +1,274 @@
+//! Dense row-major design matrix.
+
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// A dense `rows × cols` matrix of `f64`, stored row-major.
+///
+/// This is intentionally a small, purpose-built type: the workspace needs
+/// design-matrix assembly, row access and a handful of reductions — not a
+/// linear-algebra library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data; `data.len()` must equal
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MlError> {
+        if data.len() != rows * cols {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * cols,
+                got: data.len(),
+                what: "matrix data",
+            });
+        }
+        Ok(Self { data, rows, cols })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(MlError::DimensionMismatch {
+                    expected: cols,
+                    got: r.len(),
+                    what: "row length",
+                });
+            }
+            let _ = i;
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            data,
+            rows: rows.len(),
+            cols,
+        })
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows (samples).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let start = i * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutable access to row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        let start = i * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies column `c` out of the matrix.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Returns the index of the first non-finite entry, if any.
+    pub fn find_non_finite(&self) -> Option<(usize, usize)> {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if !self.get(r, c).is_finite() {
+                    return Some((r, c));
+                }
+            }
+        }
+        None
+    }
+
+    /// Validates that every entry is finite.
+    pub fn ensure_finite(&self) -> Result<(), MlError> {
+        match self.find_non_finite() {
+            Some((row, col)) => Err(MlError::NonFiniteValue { row, col }),
+            None => Ok(()),
+        }
+    }
+
+    /// Horizontally concatenates two matrices with equal row counts.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix, MlError> {
+        if self.rows != other.rows {
+            return Err(MlError::DimensionMismatch {
+                expected: self.rows,
+                got: other.rows,
+                what: "hstack rows",
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Ok(Matrix {
+            data,
+            rows: self.rows,
+            cols,
+        })
+    }
+
+    /// Selects a subset of rows by index (indices may repeat).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix, MlError> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            if i >= self.rows {
+                return Err(MlError::DimensionMismatch {
+                    expected: self.rows,
+                    got: i,
+                    what: "row index",
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        Ok(Matrix {
+            data,
+            rows: indices.len(),
+            cols: self.cols,
+        })
+    }
+
+    /// Dot product of row `i` with `weights` (`weights.len() == cols`).
+    #[inline]
+    pub fn row_dot(&self, i: usize, weights: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), self.cols);
+        self.row(i)
+            .iter()
+            .zip(weights)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_shape_checked() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_rows_checks_lengths() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(m.column(1), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn set_and_row_mut() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 7.0);
+        m.row_mut(0)[1] = 3.0;
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn finite_validation() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.ensure_finite().is_ok());
+        m.set(1, 0, f64::NAN);
+        assert_eq!(m.find_non_finite(), Some((1, 0)));
+        assert!(matches!(
+            m.ensure_finite(),
+            Err(MlError::NonFiniteValue { row: 1, col: 0 })
+        ));
+    }
+
+    #[test]
+    fn hstack_concatenates_columns() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let c = a.hstack(&b).unwrap();
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+        let bad = Matrix::zeros(3, 1);
+        assert!(a.hstack(&bad).is_err());
+    }
+
+    #[test]
+    fn select_rows_subsets_and_repeats() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let s = m.select_rows(&[2, 0, 2]).unwrap();
+        assert_eq!(s.column(0), vec![3.0, 1.0, 3.0]);
+        assert!(m.select_rows(&[3]).is_err());
+    }
+
+    #[test]
+    fn row_dot_matches_manual() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(m.row_dot(0, &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn iter_rows_yields_all() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[3.0, 4.0]);
+    }
+}

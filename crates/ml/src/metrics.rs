@@ -1,0 +1,254 @@
+//! Classification metrics: accuracy, precision/recall/F1, ROC-AUC, Brier
+//! score and log-loss.
+
+use crate::error::MlError;
+
+/// Validates that scores and labels have equal, non-zero length and that
+/// every score lies in `[0, 1]`.
+pub fn validate_scores(scores: &[f64], labels: &[bool]) -> Result<(), MlError> {
+    if scores.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    if scores.len() != labels.len() {
+        return Err(MlError::DimensionMismatch {
+            expected: scores.len(),
+            got: labels.len(),
+            what: "labels",
+        });
+    }
+    for (i, &s) in scores.iter().enumerate() {
+        if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+            return Err(MlError::InvalidScore { index: i, value: s });
+        }
+    }
+    Ok(())
+}
+
+/// A 2×2 confusion matrix at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from scores at `threshold`.
+    pub fn at_threshold(
+        scores: &[f64],
+        labels: &[bool],
+        threshold: f64,
+    ) -> Result<Self, MlError> {
+        validate_scores(scores, labels)?;
+        let mut c = Confusion::default();
+        for (&s, &y) in scores.iter().zip(labels) {
+            match (s >= threshold, y) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// Precision (`tp / (tp + fp)`); 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall (`tp / (tp + fn)`); 0 when no positive labels.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Accuracy at a 0.5 threshold.
+pub fn accuracy(scores: &[f64], labels: &[bool]) -> Result<f64, MlError> {
+    Ok(Confusion::at_threshold(scores, labels, 0.5)?.accuracy())
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with average
+/// ranks for ties. Returns an error when only one class is present.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Result<f64, MlError> {
+    validate_scores(scores, labels)?;
+    let n_pos = labels.iter().filter(|&&y| y).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(MlError::SingleClass);
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("validated finite"));
+    // Average ranks over tie groups (1-based ranks).
+    let mut rank = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            rank[idx] = avg;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&rank)
+        .filter(|(&y, _)| y)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Ok(u / (n_pos as f64 * n_neg as f64))
+}
+
+/// Mean squared error between scores and 0/1 labels.
+pub fn brier_score(scores: &[f64], labels: &[bool]) -> Result<f64, MlError> {
+    validate_scores(scores, labels)?;
+    let sum: f64 = scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &y)| {
+            let t = f64::from(u8::from(y));
+            (s - t) * (s - t)
+        })
+        .sum();
+    Ok(sum / scores.len() as f64)
+}
+
+/// Negative log-likelihood with scores clamped to `[eps, 1-eps]`.
+pub fn log_loss(scores: &[f64], labels: &[bool]) -> Result<f64, MlError> {
+    validate_scores(scores, labels)?;
+    const EPS: f64 = 1e-15;
+    let sum: f64 = scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &y)| {
+            let s = s.clamp(EPS, 1.0 - EPS);
+            if y {
+                -s.ln()
+            } else {
+                -(1.0 - s).ln()
+            }
+        })
+        .sum();
+    Ok(sum / scores.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_problems() {
+        assert!(validate_scores(&[], &[]).is_err());
+        assert!(validate_scores(&[0.5], &[true, false]).is_err());
+        assert!(validate_scores(&[1.5], &[true]).is_err());
+        assert!(validate_scores(&[f64::NAN], &[true]).is_err());
+        assert!(validate_scores(&[0.0, 1.0], &[true, false]).is_ok());
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.8, 0.3, 0.2];
+        let labels = [true, false, true, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5).unwrap();
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_precision_recall() {
+        let c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 5,
+            fn_: 0,
+        };
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [false, false, true, true];
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels).unwrap(), 1.0);
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn auc_handles_ties_as_half() {
+        let labels = [false, true, false, true];
+        let auc = roc_auc(&[0.5, 0.5, 0.5, 0.5], &labels).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_errors() {
+        assert!(matches!(
+            roc_auc(&[0.5, 0.6], &[true, true]),
+            Err(MlError::SingleClass)
+        ));
+    }
+
+    #[test]
+    fn brier_bounds() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]).unwrap(), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]).unwrap(), 1.0);
+        let mid = brier_score(&[0.5, 0.5], &[true, false]).unwrap();
+        assert!((mid - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_is_finite_at_extremes() {
+        let l = log_loss(&[0.0, 1.0], &[true, false]).unwrap();
+        assert!(l.is_finite());
+        assert!(l > 10.0); // confidently wrong is heavily penalized
+        let good = log_loss(&[0.99, 0.01], &[true, false]).unwrap();
+        assert!(good < 0.05);
+    }
+
+    #[test]
+    fn accuracy_matches_confusion() {
+        let scores = [0.7, 0.6, 0.4, 0.3];
+        let labels = [true, true, false, false];
+        assert_eq!(accuracy(&scores, &labels).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The common classifier interface.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+
+/// A binary classifier that produces confidence scores in `[0, 1]`.
+///
+/// All trainers accept optional per-sample weights: `None` means uniform.
+/// Weights are what the Kamiran–Calders re-weighting baseline feeds in, so
+/// supporting them everywhere is a hard requirement of the reproduction.
+pub trait Classifier {
+    /// Fits the model on a design matrix, boolean labels and optional
+    /// sample weights.
+    fn fit(&mut self, x: &Matrix, y: &[bool], sample_weight: Option<&[f64]>)
+        -> Result<(), MlError>;
+
+    /// Confidence score (estimated probability of the positive class) per
+    /// row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError>;
+
+    /// Hard labels at the given decision threshold.
+    fn predict(&self, x: &Matrix, threshold: f64) -> Result<Vec<bool>, MlError> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|s| s >= threshold)
+            .collect())
+    }
+
+    /// `true` once `fit` has succeeded.
+    fn is_fitted(&self) -> bool;
+}
+
+/// A fitted model together with its training scores — the `(Ŷ, Ŝ)` pair of
+/// paper §2.1.
+#[derive(Debug, Clone)]
+pub struct FittedModel<M> {
+    /// The trained classifier.
+    pub model: M,
+    /// Confidence scores on the training design matrix.
+    pub train_scores: Vec<f64>,
+}
+
+/// Validates labels/weights against the design matrix and produces an
+/// owned, normalized weight vector (mean 1). Shared by every trainer.
+pub(crate) fn validate_fit_inputs(
+    x: &Matrix,
+    y: &[bool],
+    sample_weight: Option<&[f64]>,
+) -> Result<Vec<f64>, MlError> {
+    if x.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    x.ensure_finite()?;
+    if y.len() != x.rows() {
+        return Err(MlError::DimensionMismatch {
+            expected: x.rows(),
+            got: y.len(),
+            what: "labels",
+        });
+    }
+    let w = match sample_weight {
+        None => vec![1.0; x.rows()],
+        Some(w) => {
+            if w.len() != x.rows() {
+                return Err(MlError::DimensionMismatch {
+                    expected: x.rows(),
+                    got: w.len(),
+                    what: "sample weights",
+                });
+            }
+            if w.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return Err(MlError::InvalidWeights);
+            }
+            let total: f64 = w.iter().sum();
+            if total <= 0.0 {
+                return Err(MlError::InvalidWeights);
+            }
+            let scale = w.len() as f64 / total;
+            w.iter().map(|v| v * scale).collect()
+        }
+    };
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let y = [true, false];
+        assert!(validate_fit_inputs(&x, &y, None).is_ok());
+        assert!(validate_fit_inputs(&x, &[true], None).is_err());
+        assert!(validate_fit_inputs(&x, &y, Some(&[1.0])).is_err());
+        assert!(validate_fit_inputs(&x, &y, Some(&[1.0, -2.0])).is_err());
+        assert!(validate_fit_inputs(&x, &y, Some(&[0.0, 0.0])).is_err());
+        assert!(validate_fit_inputs(&x, &y, Some(&[f64::NAN, 1.0])).is_err());
+        let empty = Matrix::zeros(0, 1);
+        assert!(matches!(
+            validate_fit_inputs(&empty, &[], None),
+            Err(MlError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn weights_are_normalized_to_mean_one() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let y = [true, false, true, false];
+        let w = validate_fit_inputs(&x, &y, Some(&[2.0, 2.0, 2.0, 2.0])).unwrap();
+        assert_eq!(w, vec![1.0, 1.0, 1.0, 1.0]);
+        let w = validate_fit_inputs(&x, &y, Some(&[1.0, 3.0, 0.0, 0.0])).unwrap();
+        assert!((w.iter().sum::<f64>() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_features_rejected() {
+        let x = Matrix::from_rows(&[vec![f64::INFINITY]]).unwrap();
+        assert!(matches!(
+            validate_fit_inputs(&x, &[true], None),
+            Err(MlError::NonFiniteValue { .. })
+        ));
+    }
+}

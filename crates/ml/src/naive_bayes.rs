@@ -1,0 +1,310 @@
+//! Weighted Gaussian naive Bayes.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use crate::model::{validate_fit_inputs, Classifier};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`GaussianNb`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianNbConfig {
+    /// Portion of the largest feature variance added to every variance for
+    /// numerical stability (sklearn's `var_smoothing`).
+    pub var_smoothing: f64,
+}
+
+impl Default for GaussianNbConfig {
+    fn default() -> Self {
+        Self {
+            var_smoothing: 1e-9,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClassStats {
+    log_prior: f64,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+/// Gaussian naive Bayes with per-sample weights.
+///
+/// Each feature is modeled as an independent Gaussian per class with
+/// weighted means/variances; scores are posterior probabilities of the
+/// positive class. If the training data contains a single class the model
+/// degrades to a constant prior score rather than erroring, matching how
+/// the iterative pipeline must behave on degenerate re-districting states.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianNb {
+    config: GaussianNbConfig,
+    /// `stats[0]` = negative class, `stats[1]` = positive class; a missing
+    /// entry means the class was absent from training data.
+    stats: [Option<ClassStats>; 2],
+    n_features: usize,
+    fitted: bool,
+}
+
+impl GaussianNb {
+    /// Creates an unfitted model.
+    pub fn new(config: GaussianNbConfig) -> Result<Self, MlError> {
+        if !(config.var_smoothing >= 0.0 && config.var_smoothing.is_finite()) {
+            return Err(MlError::InvalidHyperparameter(
+                "var_smoothing must be non-negative".into(),
+            ));
+        }
+        Ok(Self {
+            config,
+            stats: [None, None],
+            n_features: 0,
+            fitted: false,
+        })
+    }
+
+    /// Creates an unfitted model with default hyper-parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(GaussianNbConfig::default()).expect("default config is valid")
+    }
+
+    fn class_stats(
+        x: &Matrix,
+        members: &[usize],
+        w: &[f64],
+        log_prior: f64,
+        floor: f64,
+    ) -> ClassStats {
+        let d = x.cols();
+        let total_w: f64 = members.iter().map(|&i| w[i]).sum();
+        let mut means = vec![0.0; d];
+        for &i in members {
+            for (m, v) in means.iter_mut().zip(x.row(i)) {
+                *m += w[i] * v;
+            }
+        }
+        for m in &mut means {
+            *m /= total_w;
+        }
+        let mut vars = vec![0.0; d];
+        for &i in members {
+            for ((s, m), v) in vars.iter_mut().zip(&means).zip(x.row(i)) {
+                let diff = v - m;
+                *s += w[i] * diff * diff;
+            }
+        }
+        for s in &mut vars {
+            *s = *s / total_w + floor;
+        }
+        ClassStats {
+            log_prior,
+            means,
+            vars,
+        }
+    }
+
+    fn log_likelihood(stats: &ClassStats, row: &[f64]) -> f64 {
+        let mut ll = stats.log_prior;
+        for ((v, m), var) in row.iter().zip(&stats.means).zip(&stats.vars) {
+            let diff = v - m;
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(
+        &mut self,
+        x: &Matrix,
+        y: &[bool],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), MlError> {
+        let w = validate_fit_inputs(x, y, sample_weight)?;
+        let (mut neg, mut pos) = (Vec::new(), Vec::new());
+        for (i, &label) in y.iter().enumerate() {
+            if label {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        let total_w: f64 = w.iter().sum();
+        let pos_w: f64 = pos.iter().map(|&i| w[i]).sum();
+        let neg_w = total_w - pos_w;
+
+        // Variance floor: var_smoothing times the largest overall variance.
+        let n = x.rows() as f64;
+        let mut max_var = 0.0f64;
+        for c in 0..x.cols() {
+            let col = x.column(c);
+            let mean: f64 = col.iter().sum::<f64>() / n;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            max_var = max_var.max(var);
+        }
+        let floor = (self.config.var_smoothing * max_var).max(1e-12);
+
+        self.stats = [None, None];
+        if !neg.is_empty() && neg_w > 0.0 {
+            self.stats[0] = Some(Self::class_stats(
+                x,
+                &neg,
+                &w,
+                (neg_w / total_w).ln(),
+                floor,
+            ));
+        }
+        if !pos.is_empty() && pos_w > 0.0 {
+            self.stats[1] = Some(Self::class_stats(
+                x,
+                &pos,
+                &w,
+                (pos_w / total_w).ln(),
+                floor,
+            ));
+        }
+        self.n_features = x.cols();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.cols(),
+                what: "feature columns",
+            });
+        }
+        x.ensure_finite()?;
+        let scores = x
+            .iter_rows()
+            .map(|row| match (&self.stats[0], &self.stats[1]) {
+                (Some(neg), Some(pos)) => {
+                    let ln = Self::log_likelihood(neg, row);
+                    let lp = Self::log_likelihood(pos, row);
+                    // Softmax over two log-likelihoods, stable form.
+                    let m = ln.max(lp);
+                    let en = (ln - m).exp();
+                    let ep = (lp - m).exp();
+                    ep / (en + ep)
+                }
+                (None, Some(_)) => 1.0,
+                (Some(_), None) => 0.0,
+                (None, None) => 0.5,
+            })
+            .collect();
+        Ok(scores)
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 2-D.
+    fn blobs() -> (Matrix, Vec<bool>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let jitter = (i as f64 * 0.618).fract() - 0.5;
+            rows.push(vec![-2.0 + jitter, -2.0 - jitter]);
+            y.push(false);
+            rows.push(vec![2.0 - jitter, 2.0 + jitter]);
+            y.push(true);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn config_validation() {
+        let cfg = GaussianNbConfig {
+            var_smoothing: -1.0,
+        };
+        assert!(GaussianNb::new(cfg).is_err());
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = blobs();
+        let mut m = GaussianNb::with_defaults();
+        m.fit(&x, &y, None).unwrap();
+        let preds = m.predict(&x, 0.5).unwrap();
+        assert_eq!(preds, y);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (x, y) = blobs();
+        let mut m = GaussianNb::with_defaults();
+        m.fit(&x, &y, None).unwrap();
+        assert!(m
+            .predict_proba(&x)
+            .unwrap()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn single_class_returns_constant_prior() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let mut m = GaussianNb::with_defaults();
+        m.fit(&x, &[true, true], None).unwrap();
+        assert_eq!(m.predict_proba(&x).unwrap(), vec![1.0, 1.0]);
+        let mut m = GaussianNb::with_defaults();
+        m.fit(&x, &[false, false], None).unwrap();
+        assert_eq!(m.predict_proba(&x).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn weights_shift_the_prior() {
+        // Same feature value for both classes: posterior = prior.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        let y = vec![true, false, false, false];
+        let mut m = GaussianNb::with_defaults();
+        m.fit(&x, &y, Some(&[9.0, 3.0, 3.0, 3.0])).unwrap();
+        let s = m.predict_proba(&x).unwrap();
+        // prior(pos) = 9/18 = 0.5
+        assert!((s[0] - 0.5).abs() < 1e-9, "score {}", s[0]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (x, y) = blobs();
+        let mut a = GaussianNb::with_defaults();
+        let mut b = GaussianNb::with_defaults();
+        a.fit(&x, &y, None).unwrap();
+        b.fit(&x, &y, None).unwrap();
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn predict_errors() {
+        let m = GaussianNb::with_defaults();
+        assert!(matches!(
+            m.predict_proba(&Matrix::zeros(1, 1)),
+            Err(MlError::NotFitted)
+        ));
+        let (x, y) = blobs();
+        let mut m = GaussianNb::with_defaults();
+        m.fit(&x, &y, None).unwrap();
+        assert!(m.predict_proba(&Matrix::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn zero_variance_feature_is_floored_not_nan() {
+        let x = Matrix::from_rows(&[vec![1.0, 5.0], vec![1.0, -5.0], vec![1.0, 5.0], vec![1.0, -5.0]])
+            .unwrap();
+        let y = vec![true, false, true, false];
+        let mut m = GaussianNb::with_defaults();
+        m.fit(&x, &y, None).unwrap();
+        let s = m.predict_proba(&x).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+        assert!(s[0] > 0.5 && s[1] < 0.5);
+    }
+}

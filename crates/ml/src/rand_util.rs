@@ -1,0 +1,83 @@
+//! Deterministic random-number helpers shared across the workspace.
+//!
+//! `rand` 0.10 no longer ships a normal distribution (it moved to the
+//! `rand_distr` crate, which is not part of our dependency budget), so we
+//! provide a Box–Muller implementation here, plus a seeded shuffle.
+
+use rand::{Rng, RngExt, SeedableRng};
+
+/// The workspace's deterministic RNG.
+pub type SeededRng = rand::rngs::StdRng;
+
+/// Creates the workspace RNG from a `u64` seed.
+pub fn rng_from_seed(seed: u64) -> SeededRng {
+    SeededRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] so ln(u1) is finite; u2 ∈ [0, 1).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal deviate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Fisher–Yates shuffle of `indices` in place.
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = rng_from_seed(7);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = rng_from_seed(11);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn draws_are_finite() {
+        let mut rng = rng_from_seed(0);
+        assert!((0..10_000).all(|_| standard_normal(&mut rng).is_finite()));
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        shuffle(&mut rng_from_seed(3), &mut a);
+        shuffle(&mut rng_from_seed(3), &mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // A different seed gives a different order (overwhelmingly likely).
+        let mut c: Vec<u32> = (0..50).collect();
+        shuffle(&mut rng_from_seed(4), &mut c);
+        assert_ne!(a, c);
+    }
+}

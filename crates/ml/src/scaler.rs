@@ -1,0 +1,162 @@
+//! Z-score standardization of design matrices.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Standardizes each column to zero mean and unit variance.
+///
+/// Constant columns (zero variance) are centered but left unscaled, so
+/// one-hot blocks and intercept-like columns pass through safely.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learns per-column means and standard deviations.
+    pub fn fit(&mut self, x: &Matrix) -> Result<(), MlError> {
+        if x.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        x.ensure_finite()?;
+        let n = x.rows() as f64;
+        let cols = x.cols();
+        let mut means = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for ((v, m), x) in vars.iter_mut().zip(&means).zip(row) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        self.means = means;
+        self.stds = stds;
+        Ok(())
+    }
+
+    /// Applies the learned transform.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if self.means.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.means.len(),
+                got: x.cols(),
+                what: "scaler columns",
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[c]) / self.stds[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fits and transforms in one step.
+    pub fn fit_transform(&mut self, x: &Matrix) -> Result<Matrix, MlError> {
+        self.fit(x)?;
+        self.transform(x)
+    }
+
+    /// Learned means (empty before fitting).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Learned standard deviations (empty before fitting).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_columns() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]).unwrap();
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&x).unwrap();
+        for c in 0..2 {
+            let col = t.column(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_centered_not_scaled() {
+        let x = Matrix::from_rows(&[vec![4.0], vec![4.0], vec![4.0]]).unwrap();
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&x).unwrap();
+        assert!(t.column(0).iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn transform_before_fit_errors() {
+        let s = StandardScaler::new();
+        assert!(matches!(
+            s.transform(&Matrix::zeros(1, 1)),
+            Err(MlError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn transform_checks_columns() {
+        let mut s = StandardScaler::new();
+        s.fit(&Matrix::zeros(2, 3)).unwrap();
+        assert!(s.transform(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn transform_applies_training_statistics_to_new_data() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![2.0]]).unwrap();
+        let mut s = StandardScaler::new();
+        s.fit(&train).unwrap();
+        // mean 1, std 1
+        let test = Matrix::from_rows(&[vec![3.0]]).unwrap();
+        let t = s.transform(&test).unwrap();
+        assert!((t.get(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let x = Matrix::from_rows(&[vec![f64::NAN]]).unwrap();
+        let mut s = StandardScaler::new();
+        assert!(s.fit(&x).is_err());
+    }
+}

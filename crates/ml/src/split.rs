@@ -1,0 +1,144 @@
+//! Seeded dataset splitting: train/test and k-fold.
+
+use crate::error::MlError;
+use crate::rand_util::{rng_from_seed, shuffle};
+
+/// Index sets of a train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Row indices of the training set.
+    pub train: Vec<usize>,
+    /// Row indices of the test set.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` samples into train/test index sets with the given test
+/// fraction, shuffled deterministically by `seed`. The test set receives
+/// `round(n · test_fraction)` samples, but both sides always get at least
+/// one sample when `n >= 2`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Result<TrainTestSplit, MlError> {
+    if n == 0 {
+        return Err(MlError::EmptyDataset);
+    }
+    if !(0.0..1.0).contains(&test_fraction) {
+        return Err(MlError::InvalidHyperparameter(format!(
+            "test_fraction must be in [0, 1), got {test_fraction}"
+        )));
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    shuffle(&mut rng_from_seed(seed), &mut indices);
+    let mut n_test = (n as f64 * test_fraction).round() as usize;
+    if n >= 2 {
+        n_test = n_test.clamp(usize::from(test_fraction > 0.0), n - 1);
+    } else {
+        n_test = 0;
+    }
+    let test = indices.split_off(n - n_test);
+    Ok(TrainTestSplit {
+        train: indices,
+        test,
+    })
+}
+
+/// Yields `k` (train, validation) folds over `n` samples, shuffled by
+/// `seed`. Fold sizes differ by at most one.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<TrainTestSplit>, MlError> {
+    if n == 0 {
+        return Err(MlError::EmptyDataset);
+    }
+    if k < 2 || k > n {
+        return Err(MlError::InvalidHyperparameter(format!(
+            "k must be in [2, n={n}], got {k}"
+        )));
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    shuffle(&mut rng_from_seed(seed), &mut indices);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = indices[start..start + size].to_vec();
+        let train: Vec<usize> = indices[..start]
+            .iter()
+            .chain(&indices[start + size..])
+            .copied()
+            .collect();
+        folds.push(TrainTestSplit { train, test });
+        start += size;
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_covers_all_indices_once() {
+        let s = train_test_split(100, 0.3, 42).unwrap();
+        assert_eq!(s.test.len(), 30);
+        assert_eq!(s.train.len(), 70);
+        let all: HashSet<usize> = s.train.iter().chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = train_test_split(50, 0.2, 7).unwrap();
+        let b = train_test_split(50, 0.2, 7).unwrap();
+        let c = train_test_split(50, 0.2, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_validates_inputs() {
+        assert!(train_test_split(0, 0.3, 1).is_err());
+        assert!(train_test_split(10, 1.0, 1).is_err());
+        assert!(train_test_split(10, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn tiny_datasets_keep_a_training_sample() {
+        let s = train_test_split(2, 0.9, 1).unwrap();
+        assert_eq!(s.train.len(), 1);
+        assert_eq!(s.test.len(), 1);
+        let s = train_test_split(1, 0.5, 1).unwrap();
+        assert_eq!(s.train.len(), 1);
+        assert!(s.test.is_empty());
+    }
+
+    #[test]
+    fn zero_fraction_gives_empty_test() {
+        let s = train_test_split(10, 0.0, 3).unwrap();
+        assert!(s.test.is_empty());
+        assert_eq!(s.train.len(), 10);
+    }
+
+    #[test]
+    fn k_fold_partitions_validation_sets() {
+        let folds = k_fold(10, 3, 5).unwrap();
+        assert_eq!(folds.len(), 3);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+        let mut seen = HashSet::new();
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 10);
+            for &i in &f.test {
+                assert!(seen.insert(i), "index {i} appears in two validation sets");
+            }
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn k_fold_validates_inputs() {
+        assert!(k_fold(0, 2, 1).is_err());
+        assert!(k_fold(10, 1, 1).is_err());
+        assert!(k_fold(10, 11, 1).is_err());
+    }
+}

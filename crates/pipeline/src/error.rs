@@ -1,0 +1,92 @@
+//! Error type for the pipeline.
+
+use fsi_core::CoreError;
+use fsi_data::DataError;
+use fsi_fairness::FairnessError;
+use fsi_geo::GeoError;
+use fsi_ml::MlError;
+use std::fmt;
+
+/// Errors produced by end-to-end pipeline runs.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Index construction failed.
+    Core(CoreError),
+    /// Dataset handling failed.
+    Data(DataError),
+    /// Fairness metric computation failed.
+    Fairness(FairnessError),
+    /// Geometry failed.
+    Geo(GeoError),
+    /// Model training/scoring failed.
+    Ml(MlError),
+    /// A run configuration value is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Core(e) => write!(f, "index construction: {e}"),
+            PipelineError::Data(e) => write!(f, "data: {e}"),
+            PipelineError::Fairness(e) => write!(f, "fairness: {e}"),
+            PipelineError::Geo(e) => write!(f, "geometry: {e}"),
+            PipelineError::Ml(e) => write!(f, "model: {e}"),
+            PipelineError::InvalidConfig(msg) => write!(f, "invalid run config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Core(e) => Some(e),
+            PipelineError::Data(e) => Some(e),
+            PipelineError::Fairness(e) => Some(e),
+            PipelineError::Geo(e) => Some(e),
+            PipelineError::Ml(e) => Some(e),
+            PipelineError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for PipelineError {
+    fn from(e: CoreError) -> Self {
+        PipelineError::Core(e)
+    }
+}
+impl From<DataError> for PipelineError {
+    fn from(e: DataError) -> Self {
+        PipelineError::Data(e)
+    }
+}
+impl From<FairnessError> for PipelineError {
+    fn from(e: FairnessError) -> Self {
+        PipelineError::Fairness(e)
+    }
+}
+impl From<GeoError> for PipelineError {
+    fn from(e: GeoError) -> Self {
+        PipelineError::Geo(e)
+    }
+}
+impl From<MlError> for PipelineError {
+    fn from(e: MlError) -> Self {
+        PipelineError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PipelineError = MlError::EmptyDataset.into();
+        assert!(e.to_string().contains("model"));
+        let e: PipelineError = GeoError::NoSeeds.into();
+        assert!(e.to_string().contains("geometry"));
+        let e = PipelineError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Evaluation reports for a finished run.
+
+use crate::error::PipelineError;
+use fsi_fairness::{ence, group_calibration, GroupCalibration, SpatialGroups};
+use fsi_ml::calibration::{mean_score, positive_fraction};
+use fsi_ml::metrics::accuracy;
+use fsi_ml::split::TrainTestSplit;
+use serde::{Deserialize, Serialize};
+
+/// Metrics over one slice (full / train / test) of the population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceMetrics {
+    /// Number of individuals in the slice.
+    pub n: usize,
+    /// ENCE over the slice (Definition 3).
+    pub ence: f64,
+    /// Overall mis-calibration `|e − o|` of the slice.
+    pub miscalibration: f64,
+    /// Calibration ratio `e / o`; `None` when the slice has no positives.
+    pub calibration_ratio: Option<f64>,
+    /// Accuracy at threshold 0.5.
+    pub accuracy: f64,
+}
+
+impl SliceMetrics {
+    fn empty() -> Self {
+        Self {
+            n: 0,
+            ence: 0.0,
+            miscalibration: 0.0,
+            calibration_ratio: None,
+            accuracy: 0.0,
+        }
+    }
+}
+
+/// The evaluation of one `(method, height)` run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Number of regions of the partition (including unpopulated ones).
+    pub num_regions: usize,
+    /// Regions with at least one resident individual.
+    pub occupied_regions: usize,
+    /// Metrics over all individuals.
+    pub full: SliceMetrics,
+    /// Metrics over the training slice.
+    pub train: SliceMetrics,
+    /// Metrics over the held-out slice (zeroed when there is none).
+    pub test: SliceMetrics,
+    /// Per-neighborhood calibration over all individuals.
+    pub per_group: Vec<GroupCalibration>,
+}
+
+fn slice_metrics(
+    scores: &[f64],
+    labels: &[bool],
+    groups: &SpatialGroups,
+    indices: Option<&[usize]>,
+) -> Result<SliceMetrics, PipelineError> {
+    let (s, y, g): (Vec<f64>, Vec<bool>, Vec<usize>) = match indices {
+        None => (
+            scores.to_vec(),
+            labels.to_vec(),
+            groups.assignments().to_vec(),
+        ),
+        Some(idx) => (
+            idx.iter().map(|&i| scores[i]).collect(),
+            idx.iter().map(|&i| labels[i]).collect(),
+            idx.iter().map(|&i| groups.group_of(i)).collect(),
+        ),
+    };
+    if s.is_empty() {
+        return Ok(SliceMetrics::empty());
+    }
+    let sub_groups =
+        SpatialGroups::new(g, groups.num_groups()).map_err(PipelineError::Fairness)?;
+    let e = mean_score(&s);
+    let o = positive_fraction(&y);
+    Ok(SliceMetrics {
+        n: s.len(),
+        ence: ence(&s, &y, &sub_groups).map_err(PipelineError::Fairness)?,
+        miscalibration: (e - o).abs(),
+        calibration_ratio: (o > 0.0).then(|| e / o),
+        accuracy: accuracy(&s, &y).map_err(PipelineError::Ml)?,
+    })
+}
+
+impl EvalReport {
+    /// Computes the report for final-model scores under a neighborhood
+    /// assignment and a train/test split.
+    pub fn compute(
+        scores: &[f64],
+        labels: &[bool],
+        groups: &SpatialGroups,
+        split: &TrainTestSplit,
+    ) -> Result<Self, PipelineError> {
+        let per_group =
+            group_calibration(scores, labels, groups).map_err(PipelineError::Fairness)?;
+        let occupied = per_group.iter().filter(|g| g.count > 0).count();
+        Ok(Self {
+            num_regions: groups.num_groups(),
+            occupied_regions: occupied,
+            full: slice_metrics(scores, labels, groups, None)?,
+            train: slice_metrics(scores, labels, groups, Some(&split.train))?,
+            test: slice_metrics(scores, labels, groups, Some(&split.test))?,
+            per_group,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_on_a_hand_case() {
+        let scores = [0.9, 0.8, 0.4, 0.1];
+        let labels = [true, true, false, false];
+        let groups = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        let split = TrainTestSplit {
+            train: vec![0, 2],
+            test: vec![1, 3],
+        };
+        let r = EvalReport::compute(&scores, &labels, &groups, &split).unwrap();
+        assert_eq!(r.num_regions, 2);
+        assert_eq!(r.occupied_regions, 2);
+        assert_eq!(r.full.n, 4);
+        assert_eq!(r.train.n, 2);
+        assert_eq!(r.test.n, 2);
+        assert_eq!(r.full.accuracy, 1.0);
+        // Full slice: group 0 |e-o| = |0.85-1| = 0.15; group 1 = 0.25.
+        assert!((r.full.ence - 0.2).abs() < 1e-12);
+        assert_eq!(r.per_group.len(), 2);
+    }
+
+    #[test]
+    fn empty_test_slice_is_zeroed() {
+        let scores = [0.9, 0.1];
+        let labels = [true, false];
+        let groups = SpatialGroups::new(vec![0, 0], 1).unwrap();
+        let split = TrainTestSplit {
+            train: vec![0, 1],
+            test: vec![],
+        };
+        let r = EvalReport::compute(&scores, &labels, &groups, &split).unwrap();
+        assert_eq!(r.test.n, 0);
+        assert_eq!(r.test.ence, 0.0);
+        assert_eq!(r.test.calibration_ratio, None);
+    }
+
+    #[test]
+    fn unpopulated_regions_counted() {
+        let scores = [0.5];
+        let labels = [true];
+        let groups = SpatialGroups::new(vec![3], 8).unwrap();
+        let split = TrainTestSplit {
+            train: vec![0],
+            test: vec![],
+        };
+        let r = EvalReport::compute(&scores, &labels, &groups, &split).unwrap();
+        assert_eq!(r.num_regions, 8);
+        assert_eq!(r.occupied_regions, 1);
+    }
+
+    #[test]
+    fn slice_ence_uses_slice_population() {
+        // Train slice contains only group-0 members that are perfectly
+        // calibrated; the test slice carries all the error.
+        let scores = [0.5, 0.5, 0.9, 0.9];
+        let labels = [true, false, false, false];
+        let groups = SpatialGroups::new(vec![0, 0, 1, 1], 2).unwrap();
+        let split = TrainTestSplit {
+            train: vec![0, 1],
+            test: vec![2, 3],
+        };
+        let r = EvalReport::compute(&scores, &labels, &groups, &split).unwrap();
+        assert!(r.train.ence < 1e-12);
+        assert!((r.test.ence - 0.9).abs() < 1e-12);
+    }
+}

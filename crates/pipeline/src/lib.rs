@@ -1,0 +1,30 @@
+//! # fsi-pipeline — the end-to-end fair spatial indexing pipeline
+//!
+//! Wires the workspace together: datasets (`fsi-data`) are encoded into
+//! design matrices, classifiers (`fsi-ml`) produce confidence scores,
+//! per-cell aggregates feed the index builders (`fsi-core`), and the
+//! resulting partitions are scored with the fairness metrics
+//! (`fsi-fairness`).
+//!
+//! The central entry point is [`run_method`](runner::run_method), which
+//! executes one `(dataset, task, method, height)` cell of the paper's
+//! evaluation matrix and returns a [`MethodRun`](runner::MethodRun) with
+//! the partition, the final model's scores and an
+//! [`EvalReport`](eval::EvalReport). [`run_multi_objective`] covers the
+//! two-task experiments of Figure 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod eval;
+pub mod methods;
+pub mod retrainer;
+pub mod runner;
+pub mod trainer;
+
+pub use error::PipelineError;
+pub use eval::EvalReport;
+pub use methods::Method;
+pub use runner::{run_method, run_multi_objective, MethodRun, MultiObjectiveRun, RunConfig, TaskSpec};
+pub use trainer::ModelKind;

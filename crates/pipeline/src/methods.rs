@@ -1,0 +1,113 @@
+//! The partitioning methods of the paper's evaluation.
+
+use fsi_geo::{Grid, Partition};
+use serde::{Deserialize, Serialize};
+
+/// A partitioning method from the paper's evaluation matrix (§5.1), plus
+/// the quadtree extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Standard median KD-tree (benchmark i).
+    MedianKd,
+    /// Fair KD-tree (Algorithm 1).
+    FairKd,
+    /// Iterative Fair KD-tree (Algorithm 3).
+    IterativeFairKd,
+    /// Kamiran–Calders re-weighting over a uniform grid (benchmark ii).
+    GridReweight,
+    /// Zip-code partitioning via population-seeded Voronoi (benchmark iii).
+    ZipCode,
+    /// Fair quadtree (future-work extension, §6).
+    FairQuad,
+}
+
+impl Method {
+    /// Legend label matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::MedianKd => "Median KD-tree",
+            Method::FairKd => "Fair KD-tree",
+            Method::IterativeFairKd => "Iterative Fair KD-tree",
+            Method::GridReweight => "Grid (Reweighting)",
+            Method::ZipCode => "Zip-code partitioning",
+            Method::FairQuad => "Fair Quadtree",
+        }
+    }
+
+    /// The four methods compared in Figures 7 and 8, in legend order.
+    pub fn figure7_set() -> [Method; 4] {
+        [
+            Method::MedianKd,
+            Method::FairKd,
+            Method::IterativeFairKd,
+            Method::GridReweight,
+        ]
+    }
+
+    /// `true` when the method trains with Kamiran–Calders sample weights.
+    pub fn uses_reweighting(&self) -> bool {
+        matches!(self, Method::GridReweight)
+    }
+
+    /// `true` when partition construction needs an initial model training.
+    pub fn needs_initial_training(&self) -> bool {
+        matches!(self, Method::FairKd | Method::FairQuad)
+    }
+}
+
+/// The finest-grained districting: every base-grid cell is its own
+/// neighborhood. This is the "base grid" input of Algorithm 1's step 1 —
+/// the initial classifier sees each individual's own cell as its location
+/// attribute.
+pub fn per_cell_partition(grid: &Grid) -> Partition {
+    let assignment: Vec<u32> = (0..grid.len() as u32).collect();
+    Partition::from_assignment(grid, assignment).expect("identity assignment is dense")
+}
+
+/// Block shape for the re-weighting baseline at tree height `h`:
+/// `2^⌈h/2⌉ × 2^⌊h/2⌋` uniform blocks, i.e. the same `2^h` region count a
+/// height-`h` tree produces.
+pub fn reweight_blocks(height: usize) -> (usize, usize) {
+    (1usize << height.div_ceil(2), 1usize << (height / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Method::MedianKd.name(), "Median KD-tree");
+        assert_eq!(Method::GridReweight.name(), "Grid (Reweighting)");
+        assert_eq!(Method::figure7_set().len(), 4);
+    }
+
+    #[test]
+    fn per_cell_partition_is_identity() {
+        let g = Grid::unit(4).unwrap();
+        let p = per_cell_partition(&g);
+        assert_eq!(p.num_regions(), 16);
+        for cell in g.cells() {
+            assert_eq!(p.region_of(cell), cell);
+        }
+    }
+
+    #[test]
+    fn reweight_blocks_match_tree_leaf_counts() {
+        for h in 1..=12 {
+            let (r, c) = reweight_blocks(h);
+            assert_eq!(r * c, 1 << h, "height {h}");
+        }
+        assert_eq!(reweight_blocks(4), (4, 4));
+        assert_eq!(reweight_blocks(5), (8, 4));
+    }
+
+    #[test]
+    fn flags() {
+        assert!(Method::GridReweight.uses_reweighting());
+        assert!(!Method::FairKd.uses_reweighting());
+        assert!(Method::FairKd.needs_initial_training());
+        assert!(Method::FairQuad.needs_initial_training());
+        assert!(!Method::MedianKd.needs_initial_training());
+    }
+}

@@ -1,0 +1,198 @@
+//! The ML-backed [`Retrainer`] driving Algorithm 3, plus the shared
+//! aggregate-assembly helpers.
+
+use crate::error::PipelineError;
+use crate::trainer::{train_and_score, ModelKind};
+use fsi_core::{CellStats, CoreError, Retrainer};
+use fsi_data::{build_design_matrix, LocationEncoding, SpatialDataset};
+use fsi_geo::Partition;
+
+/// Builds [`CellStats`] from per-individual scores/labels restricted to the
+/// training subset (`train_mask[i]` = row `i` participates). Restricting to
+/// training rows keeps the partitioning decision free of test leakage.
+pub fn training_cell_stats(
+    dataset: &SpatialDataset,
+    scores: &[f64],
+    labels: &[bool],
+    train_mask: &[bool],
+) -> Result<CellStats, PipelineError> {
+    let n = dataset.len();
+    if scores.len() != n || labels.len() != n || train_mask.len() != n {
+        return Err(PipelineError::InvalidConfig(format!(
+            "scores/labels/mask must have dataset length {n}"
+        )));
+    }
+    let counts: Vec<f64> = train_mask.iter().map(|&m| f64::from(u8::from(m))).collect();
+    let masked_scores: Vec<f64> = scores
+        .iter()
+        .zip(train_mask)
+        .map(|(&s, &m)| if m { s } else { 0.0 })
+        .collect();
+    let masked_labels: Vec<f64> = labels
+        .iter()
+        .zip(train_mask)
+        .map(|(&y, &m)| if m && y { 1.0 } else { 0.0 })
+        .collect();
+    let cell_counts = dataset.cell_sums(&counts)?;
+    let cell_scores = dataset.cell_sums(&masked_scores)?;
+    let cell_labels = dataset.cell_sums(&masked_labels)?;
+    CellStats::new(dataset.grid(), &cell_counts, &cell_scores, &cell_labels)
+        .map_err(PipelineError::Core)
+}
+
+/// Converts a train-index list to a boolean membership mask.
+pub fn mask_from_indices(n: usize, indices: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &i in indices {
+        if i < n {
+            mask[i] = true;
+        }
+    }
+    mask
+}
+
+/// A [`Retrainer`] that re-encodes the neighborhood attribute for the
+/// current partition, re-trains the classifier and returns fresh per-cell
+/// aggregates — the paper's Algorithm 3 inner loop.
+pub struct MlRetrainer<'a> {
+    dataset: &'a SpatialDataset,
+    labels: &'a [bool],
+    kind: ModelKind,
+    encoding: LocationEncoding,
+    train_idx: &'a [usize],
+    train_mask: Vec<bool>,
+    /// Number of model trainings performed so far (Theorem 4 audits).
+    pub trainings: usize,
+    /// Scores from the most recent retraining (all individuals).
+    pub last_scores: Option<Vec<f64>>,
+}
+
+impl<'a> MlRetrainer<'a> {
+    /// Creates a retrainer for the given dataset/task/model.
+    pub fn new(
+        dataset: &'a SpatialDataset,
+        labels: &'a [bool],
+        kind: ModelKind,
+        encoding: LocationEncoding,
+        train_idx: &'a [usize],
+    ) -> Self {
+        let train_mask = mask_from_indices(dataset.len(), train_idx);
+        Self {
+            dataset,
+            labels,
+            kind,
+            encoding,
+            train_idx,
+            train_mask,
+            trainings: 0,
+            last_scores: None,
+        }
+    }
+}
+
+impl Retrainer for MlRetrainer<'_> {
+    fn retrain(&mut self, partition: &Partition) -> Result<CellStats, CoreError> {
+        let to_core = |e: PipelineError| CoreError::Retrain(Box::new(e));
+        // The paper's "initial execution of the classifier" (Figure 3a)
+        // runs over the *base grid*: each individual's location attribute
+        // is its enclosing cell. A literal single-region districting would
+        // give the level-0 model a constant location column, so its
+        // residual field would still contain the linear spatial trend the
+        // final model removes — mis-aligning the root cut. We therefore
+        // substitute the per-cell districting for the trivial partition.
+        let base;
+        let effective = if partition.num_regions() == 1 {
+            base = crate::methods::per_cell_partition(self.dataset.grid());
+            &base
+        } else {
+            partition
+        };
+        let design = build_design_matrix(self.dataset, effective, self.encoding)
+            .map_err(|e| to_core(PipelineError::Data(e)))?;
+        let outcome = train_and_score(
+            self.kind,
+            &design.matrix,
+            self.labels,
+            self.train_idx,
+            None,
+        )
+        .map_err(to_core)?;
+        self.trainings += 1;
+        let stats =
+            training_cell_stats(self.dataset, &outcome.scores, self.labels, &self.train_mask)
+                .map_err(to_core)?;
+        self.last_scores = Some(outcome.scores);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::{BuildConfig, FairSplit, IterativeBuilder};
+    use fsi_data::synth::city::{CityConfig, CityGenerator};
+
+    fn small_dataset() -> SpatialDataset {
+        CityGenerator::new(CityConfig {
+            n_individuals: 200,
+            grid_side: 16,
+            seed: 5,
+            ..CityConfig::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn training_cell_stats_masks_test_rows() {
+        let d = small_dataset();
+        let labels = d.threshold_labels("avg_act", 22.0).unwrap();
+        let scores = vec![0.5; d.len()];
+        let all_mask = vec![true; d.len()];
+        let half_mask: Vec<bool> = (0..d.len()).map(|i| i % 2 == 0).collect();
+        let full = training_cell_stats(&d, &scores, &labels, &all_mask).unwrap();
+        let half = training_cell_stats(&d, &scores, &labels, &half_mask).unwrap();
+        let all_rect = d.grid().full_rect();
+        assert_eq!(full.count(&all_rect), d.len() as f64);
+        assert_eq!(half.count(&all_rect), (d.len() as f64 / 2.0).ceil());
+        assert!(half.score_sum(&all_rect) < full.score_sum(&all_rect));
+    }
+
+    #[test]
+    fn training_cell_stats_validates_lengths() {
+        let d = small_dataset();
+        let labels = d.threshold_labels("avg_act", 22.0).unwrap();
+        assert!(training_cell_stats(&d, &[0.5], &labels, &vec![true; d.len()]).is_err());
+    }
+
+    #[test]
+    fn mask_from_indices_ignores_out_of_range() {
+        let m = mask_from_indices(4, &[0, 2, 9]);
+        assert_eq!(m, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn iterative_build_with_ml_retrainer_runs() {
+        let d = small_dataset();
+        let labels = d.threshold_labels("avg_act", 22.0).unwrap();
+        let train_idx: Vec<usize> = (0..d.len()).collect();
+        let mut rt = MlRetrainer::new(
+            &d,
+            &labels,
+            ModelKind::Logistic,
+            LocationEncoding::CentroidXY,
+            &train_idx,
+        );
+        let cfg = BuildConfig::with_height(3);
+        let tree = IterativeBuilder::new(cfg)
+            .unwrap()
+            .build(d.grid(), &FairSplit, &mut rt)
+            .unwrap();
+        assert_eq!(rt.trainings, 3);
+        assert!(tree.num_leaves() <= 8);
+        assert!(rt.last_scores.is_some());
+        let p = tree.partition(d.grid()).unwrap();
+        assert_eq!(p.num_regions(), tree.num_leaves());
+    }
+}

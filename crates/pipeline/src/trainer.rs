@@ -1,0 +1,175 @@
+//! Model training and scoring over design matrices.
+
+use crate::error::PipelineError;
+use fsi_ml::dtree::DecisionTreeConfig;
+use fsi_ml::logreg::LogisticRegressionConfig;
+use fsi_ml::naive_bayes::GaussianNbConfig;
+use fsi_ml::{Classifier, DecisionTree, GaussianNb, LogisticRegression, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// The classifier families evaluated in the paper (§5.3.1): logistic
+/// regression, decision tree and naive Bayes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ModelKind {
+    /// Logistic regression (the paper's §5.3.2 focus).
+    #[default]
+    Logistic,
+    /// CART decision tree.
+    DecisionTree,
+    /// Gaussian naive Bayes.
+    NaiveBayes,
+}
+
+impl ModelKind {
+    /// Human-readable name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Logistic => "Logistic Regression",
+            ModelKind::DecisionTree => "Decision Tree",
+            ModelKind::NaiveBayes => "Naive Bayes",
+        }
+    }
+
+    /// All three kinds, in the paper's presentation order.
+    pub fn all() -> [ModelKind; 3] {
+        [
+            ModelKind::Logistic,
+            ModelKind::DecisionTree,
+            ModelKind::NaiveBayes,
+        ]
+    }
+}
+
+/// Result of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Confidence scores for **every** row of the full design matrix
+    /// (training rows included).
+    pub scores: Vec<f64>,
+    /// Per-design-column importances when the model exposes them
+    /// (logistic regression: |standardized coefficient|; decision tree:
+    /// normalized impurity decrease; naive Bayes: none).
+    pub importances: Option<Vec<f64>>,
+}
+
+/// Trains `kind` on the `train_idx` rows of `design` (with optional
+/// per-row weights aligned to `train_idx`) and scores all rows.
+pub fn train_and_score(
+    kind: ModelKind,
+    design: &Matrix,
+    labels: &[bool],
+    train_idx: &[usize],
+    train_weights: Option<&[f64]>,
+) -> Result<TrainOutcome, PipelineError> {
+    if labels.len() != design.rows() {
+        return Err(PipelineError::Ml(fsi_ml::MlError::DimensionMismatch {
+            expected: design.rows(),
+            got: labels.len(),
+            what: "labels",
+        }));
+    }
+    if let Some(w) = train_weights {
+        if w.len() != train_idx.len() {
+            return Err(PipelineError::Ml(fsi_ml::MlError::DimensionMismatch {
+                expected: train_idx.len(),
+                got: w.len(),
+                what: "training weights",
+            }));
+        }
+    }
+    let x_train = design.select_rows(train_idx).map_err(PipelineError::Ml)?;
+    let y_train: Vec<bool> = train_idx.iter().map(|&i| labels[i]).collect();
+
+    match kind {
+        ModelKind::Logistic => {
+            let mut m = LogisticRegression::new(LogisticRegressionConfig::default())
+                .map_err(PipelineError::Ml)?;
+            m.fit(&x_train, &y_train, train_weights)
+                .map_err(PipelineError::Ml)?;
+            let scores = m.predict_proba(design).map_err(PipelineError::Ml)?;
+            let importances = m.feature_importances().map_err(PipelineError::Ml)?;
+            Ok(TrainOutcome {
+                scores,
+                importances: Some(importances),
+            })
+        }
+        ModelKind::DecisionTree => {
+            let mut m =
+                DecisionTree::new(DecisionTreeConfig::default()).map_err(PipelineError::Ml)?;
+            m.fit(&x_train, &y_train, train_weights)
+                .map_err(PipelineError::Ml)?;
+            let scores = m.predict_proba(design).map_err(PipelineError::Ml)?;
+            let importances = m.feature_importances().map_err(PipelineError::Ml)?;
+            Ok(TrainOutcome {
+                scores,
+                importances: Some(importances),
+            })
+        }
+        ModelKind::NaiveBayes => {
+            let mut m = GaussianNb::new(GaussianNbConfig::default()).map_err(PipelineError::Ml)?;
+            m.fit(&x_train, &y_train, train_weights)
+                .map_err(PipelineError::Ml)?;
+            let scores = m.predict_proba(design).map_err(PipelineError::Ml)?;
+            Ok(TrainOutcome {
+                scores,
+                importances: None,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Vec<bool>) {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 60.0]).collect();
+        let y: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn all_models_score_every_row() {
+        let (x, y) = toy();
+        let train: Vec<usize> = (0..40).collect();
+        for kind in ModelKind::all() {
+            let out = train_and_score(kind, &x, &y, &train, None).unwrap();
+            assert_eq!(out.scores.len(), 60, "{kind:?}");
+            assert!(out.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        }
+    }
+
+    #[test]
+    fn importances_present_where_expected() {
+        let (x, y) = toy();
+        let train: Vec<usize> = (0..60).collect();
+        let lr = train_and_score(ModelKind::Logistic, &x, &y, &train, None).unwrap();
+        assert_eq!(lr.importances.unwrap().len(), 1);
+        let dt = train_and_score(ModelKind::DecisionTree, &x, &y, &train, None).unwrap();
+        assert_eq!(dt.importances.unwrap().len(), 1);
+        let nb = train_and_score(ModelKind::NaiveBayes, &x, &y, &train, None).unwrap();
+        assert!(nb.importances.is_none());
+    }
+
+    #[test]
+    fn weights_must_align_with_train_idx() {
+        let (x, y) = toy();
+        let train: Vec<usize> = (0..40).collect();
+        let w = vec![1.0; 39];
+        assert!(train_and_score(ModelKind::Logistic, &x, &y, &train, Some(&w)).is_err());
+    }
+
+    #[test]
+    fn label_length_checked() {
+        let (x, _) = toy();
+        let train: Vec<usize> = (0..40).collect();
+        assert!(train_and_score(ModelKind::Logistic, &x, &[true; 3], &train, None).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ModelKind::Logistic.name(), "Logistic Regression");
+        assert_eq!(ModelKind::DecisionTree.name(), "Decision Tree");
+        assert_eq!(ModelKind::NaiveBayes.name(), "Naive Bayes");
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end integration: dataset → encoding → training → index →
+//! partition → fairness metrics, across every method and model.
+
+use fsi_data::synth::city::{CityConfig, CityGenerator};
+use fsi_data::SpatialDataset;
+use fsi_fairness::{ence, SpatialGroups};
+use fsi_pipeline::{run_method, run_multi_objective, Method, ModelKind, RunConfig, TaskSpec};
+
+fn dataset() -> SpatialDataset {
+    CityGenerator::new(CityConfig {
+        n_individuals: 400,
+        grid_side: 32,
+        seed: 21,
+        ..CityConfig::default()
+    })
+    .unwrap()
+    .generate()
+    .unwrap()
+}
+
+const ALL_METHODS: [Method; 6] = [
+    Method::MedianKd,
+    Method::FairKd,
+    Method::IterativeFairKd,
+    Method::GridReweight,
+    Method::ZipCode,
+    Method::FairQuad,
+];
+
+#[test]
+fn every_method_and_model_completes() {
+    let d = dataset();
+    let task = TaskSpec::act();
+    for model in ModelKind::all() {
+        let config = RunConfig {
+            model,
+            ..RunConfig::default()
+        };
+        for method in ALL_METHODS {
+            let run = run_method(&d, &task, method, 4, &config)
+                .unwrap_or_else(|e| panic!("{method:?}/{model:?}: {e}"));
+            assert_eq!(run.scores.len(), d.len());
+            assert!(run.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+            assert!(run.eval.full.ence.is_finite());
+            assert!(run.eval.full.ence >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn reported_ence_matches_recomputation() {
+    let d = dataset();
+    let run = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::FairKd,
+        4,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    let groups = SpatialGroups::from_partition(d.cells(), &run.partition).unwrap();
+    let recomputed = ence(&run.scores, &run.labels, &groups).unwrap();
+    assert!(
+        (recomputed - run.eval.full.ence).abs() < 1e-12,
+        "pipeline ENCE {} != recomputed {}",
+        run.eval.full.ence,
+        recomputed
+    );
+}
+
+#[test]
+fn per_group_populations_sum_to_dataset() {
+    let d = dataset();
+    for method in ALL_METHODS {
+        let run = run_method(&d, &TaskSpec::act(), method, 3, &RunConfig::default()).unwrap();
+        let total: usize = run.eval.per_group.iter().map(|g| g.count).sum();
+        assert_eq!(total, d.len(), "{method:?}");
+    }
+}
+
+#[test]
+fn partitions_cover_the_grid_exactly() {
+    let d = dataset();
+    for method in ALL_METHODS {
+        let run = run_method(&d, &TaskSpec::act(), method, 4, &RunConfig::default()).unwrap();
+        // Partition::from_assignment invariants: every cell assigned, ids
+        // dense. Verify against the grid size and region count.
+        assert_eq!(run.partition.assignments().len(), d.grid().len());
+        let max = *run.partition.assignments().iter().max().unwrap() as usize;
+        assert_eq!(max + 1, run.partition.num_regions(), "{method:?}");
+    }
+}
+
+#[test]
+fn tree_methods_respect_region_budget() {
+    let d = dataset();
+    for (method, height) in [
+        (Method::MedianKd, 5),
+        (Method::FairKd, 5),
+        (Method::IterativeFairKd, 5),
+        (Method::FairQuad, 5),
+    ] {
+        let run = run_method(&d, &TaskSpec::act(), method, height, &RunConfig::default()).unwrap();
+        // A KD-tree of height h has at most 2^h leaves; the quadtree runs
+        // ceil(h/2) four-way levels, so its budget is 4^ceil(h/2).
+        let budget = if method == Method::FairQuad {
+            1usize << (2 * height.div_ceil(2))
+        } else {
+            1usize << height
+        };
+        assert!(
+            run.eval.num_regions <= budget,
+            "{method:?} produced {} regions for height {height}",
+            run.eval.num_regions
+        );
+    }
+}
+
+#[test]
+fn train_and_test_slices_partition_the_population() {
+    let d = dataset();
+    let run = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::MedianKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(run.eval.train.n + run.eval.test.n, run.eval.full.n);
+    assert_eq!(run.split.train.len(), run.eval.train.n);
+    assert_eq!(run.split.test.len(), run.eval.test.n);
+}
+
+#[test]
+fn multi_objective_end_to_end() {
+    let d = dataset();
+    let tasks = [TaskSpec::act(), TaskSpec::employment()];
+    for method in [Method::FairKd, Method::MedianKd, Method::GridReweight] {
+        let run =
+            run_multi_objective(&d, &tasks, &[0.5, 0.5], method, 4, &RunConfig::default())
+                .unwrap();
+        assert_eq!(run.per_task.len(), 2);
+        for (_, eval) in &run.per_task {
+            assert!(eval.full.ence.is_finite());
+            assert_eq!(eval.num_regions, run.partition.num_regions());
+        }
+    }
+}
+
+#[test]
+fn zero_test_fraction_is_supported() {
+    let d = dataset();
+    let config = RunConfig {
+        test_fraction: 0.0,
+        ..RunConfig::default()
+    };
+    let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 3, &config).unwrap();
+    assert_eq!(run.eval.test.n, 0);
+    assert_eq!(run.eval.train.n, d.len());
+}
+
+#[test]
+fn iterative_trainings_scale_with_height() {
+    let d = dataset();
+    let h3 = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::IterativeFairKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    let h5 = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::IterativeFairKd,
+        5,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    assert!(h5.trainings > h3.trainings);
+    assert_eq!(h3.trainings, 4); // 3 levels + final
+}

@@ -1,0 +1,138 @@
+//! The paper's headline comparative claims, asserted as integration tests
+//! on both city presets (logistic regression, seed-averaged).
+
+use fsi_data::synth::edgap::{generate_houston, generate_los_angeles};
+use fsi_data::SpatialDataset;
+use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
+
+fn mean_ence(d: &SpatialDataset, method: Method, height: usize, seeds: &[u64]) -> f64 {
+    let task = TaskSpec::act();
+    seeds
+        .iter()
+        .map(|&seed| {
+            run_method(
+                d,
+                &task,
+                method,
+                height,
+                &RunConfig {
+                    seed,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap()
+            .eval
+            .full
+            .ence
+        })
+        .sum::<f64>()
+        / seeds.len() as f64
+}
+
+const SEEDS: [u64; 2] = [7, 17];
+
+#[test]
+fn fair_beats_median_on_both_cities() {
+    for d in [generate_los_angeles().unwrap(), generate_houston().unwrap()] {
+        for height in [4usize, 6, 8] {
+            let median = mean_ence(&d, Method::MedianKd, height, &SEEDS);
+            let fair = mean_ence(&d, Method::FairKd, height, &SEEDS);
+            assert!(
+                fair < median,
+                "height {height}: fair {fair} should beat median {median}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fair_beats_grid_reweighting() {
+    for d in [generate_los_angeles().unwrap(), generate_houston().unwrap()] {
+        for height in [4usize, 6, 8] {
+            let reweight = mean_ence(&d, Method::GridReweight, height, &SEEDS);
+            let fair = mean_ence(&d, Method::FairKd, height, &SEEDS);
+            assert!(
+                fair < reweight,
+                "height {height}: fair {fair} should beat reweighting {reweight}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ence_grows_with_height_for_median_trees() {
+    // Theorem 2's practical consequence (paper §5.3.1): finer granularity
+    // worsens ENCE. Assert the trend over the full sweep ends higher than
+    // it starts.
+    for d in [generate_los_angeles().unwrap(), generate_houston().unwrap()] {
+        let coarse = mean_ence(&d, Method::MedianKd, 4, &SEEDS);
+        let fine = mean_ence(&d, Method::MedianKd, 10, &SEEDS);
+        assert!(
+            fine > coarse,
+            "median ENCE should grow with height: {coarse} -> {fine}"
+        );
+    }
+}
+
+#[test]
+fn accuracy_is_not_sacrificed() {
+    // Paper Figure 8a/8d: all methods track each other on accuracy.
+    let d = generate_los_angeles().unwrap();
+    let task = TaskSpec::act();
+    let config = RunConfig::default();
+    let median = run_method(&d, &task, Method::MedianKd, 6, &config).unwrap();
+    let fair = run_method(&d, &task, Method::FairKd, 6, &config).unwrap();
+    let gap = (median.eval.test.accuracy - fair.eval.test.accuracy).abs();
+    assert!(
+        gap < 0.08,
+        "accuracy gap {gap} too large (median {}, fair {})",
+        median.eval.test.accuracy,
+        fair.eval.test.accuracy
+    );
+}
+
+#[test]
+fn fair_construction_is_cheaper_than_iterative() {
+    // Theorems 3 vs 4: the iterative variant must train once per level.
+    let d = generate_los_angeles().unwrap();
+    let task = TaskSpec::act();
+    let config = RunConfig::default();
+    let fair = run_method(&d, &task, Method::FairKd, 8, &config).unwrap();
+    let iter = run_method(&d, &task, Method::IterativeFairKd, 8, &config).unwrap();
+    assert!(iter.trainings > fair.trainings);
+    assert_eq!(fair.trainings, 2);
+    assert_eq!(iter.trainings, 9);
+}
+
+#[test]
+fn zip_code_districting_shows_disparity() {
+    // Figure 6: overall calibration close to 1, per-neighborhood ratios
+    // spread far from 1.
+    let d = generate_los_angeles().unwrap();
+    let run = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::ZipCode,
+        1,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    let overall = run.eval.full.calibration_ratio.unwrap();
+    assert!(
+        (overall - 1.0).abs() < 0.15,
+        "overall ratio {overall} should be near 1"
+    );
+    let spread: Vec<f64> = run
+        .eval
+        .per_group
+        .iter()
+        .filter(|g| g.count >= 20)
+        .filter_map(|g| g.ratio)
+        .collect();
+    let min = spread.iter().cloned().fold(f64::MAX, f64::min);
+    let max = spread.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        max / min > 1.5,
+        "per-zip ratios should spread well beyond the overall ({min}..{max})"
+    );
+}

@@ -1,0 +1,104 @@
+//! Persistence round-trips: trees, partitions and datasets survive
+//! serialization and re-evaluate identically.
+
+use fsi_core::{build_kd_tree, BuildConfig, CellStats, FairSplit, KdTree};
+use fsi_data::synth::city::{CityConfig, CityGenerator};
+use fsi_data::SpatialDataset;
+use fsi_fairness::{ence, SpatialGroups};
+use fsi_geo::Partition;
+use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
+use std::io::BufReader;
+
+fn dataset() -> SpatialDataset {
+    CityGenerator::new(CityConfig {
+        n_individuals: 250,
+        grid_side: 16,
+        seed: 31,
+        ..CityConfig::default()
+    })
+    .unwrap()
+    .generate()
+    .unwrap()
+}
+
+#[test]
+fn kd_tree_json_round_trip_preserves_locate() {
+    let d = dataset();
+    let labels = d.threshold_labels("avg_act", 22.0).unwrap();
+    let scores = vec![0.5; d.len()];
+    let stats = CellStats::new(
+        d.grid(),
+        &d.cell_populations(),
+        &d.cell_sums(&scores).unwrap(),
+        &d.cell_label_sums(&labels).unwrap(),
+    )
+    .unwrap();
+    let tree = build_kd_tree(&stats, &FairSplit, &BuildConfig::with_height(4)).unwrap();
+    let json = serde_json::to_string(&tree).unwrap();
+    let back: KdTree = serde_json::from_str(&json).unwrap();
+    assert_eq!(tree, back);
+    for row in 0..16 {
+        for col in 0..16 {
+            assert_eq!(tree.locate(row, col).unwrap(), back.locate(row, col).unwrap());
+        }
+    }
+}
+
+#[test]
+fn partition_json_round_trip_reevaluates_identically() {
+    let d = dataset();
+    let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 4, &RunConfig::default()).unwrap();
+    let json = serde_json::to_string(&run.partition).unwrap();
+    let back: Partition = serde_json::from_str(&json).unwrap();
+    assert_eq!(run.partition, back);
+    let groups = SpatialGroups::from_partition(d.cells(), &back).unwrap();
+    let e = ence(&run.scores, &run.labels, &groups).unwrap();
+    assert_eq!(e, run.eval.full.ence);
+}
+
+#[test]
+fn dataset_csv_round_trip_reproduces_runs() {
+    let d = dataset();
+    let mut buf = Vec::new();
+    fsi_data::csv::write_csv(&d, &mut buf).unwrap();
+    let back = fsi_data::csv::read_csv(BufReader::new(buf.as_slice()), d.grid().clone()).unwrap();
+
+    let a = run_method(&d, &TaskSpec::act(), Method::FairKd, 3, &RunConfig::default()).unwrap();
+    let b = run_method(&back, &TaskSpec::act(), Method::FairKd, 3, &RunConfig::default()).unwrap();
+    assert_eq!(a.scores, b.scores);
+    assert_eq!(a.partition, b.partition);
+    assert_eq!(a.eval.full.ence, b.eval.full.ence);
+}
+
+#[test]
+fn eval_report_serializes() {
+    let d = dataset();
+    let run = run_method(&d, &TaskSpec::act(), Method::MedianKd, 3, &RunConfig::default()).unwrap();
+    let json = serde_json::to_string(&run.eval).unwrap();
+    let back: fsi_pipeline::EvalReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.full.n, run.eval.full.n);
+    assert_eq!(back.per_group.len(), run.eval.per_group.len());
+}
+
+#[test]
+fn quadtree_json_round_trip() {
+    use fsi_core::{FairQuadtree, QuadConfig};
+    let d = dataset();
+    let labels = d.threshold_labels("avg_act", 22.0).unwrap();
+    let scores = vec![0.4; d.len()];
+    let stats = CellStats::new(
+        d.grid(),
+        &d.cell_populations(),
+        &d.cell_sums(&scores).unwrap(),
+        &d.cell_label_sums(&labels).unwrap(),
+    )
+    .unwrap();
+    let quad = FairQuadtree::build(&stats, &QuadConfig::default()).unwrap();
+    let json = serde_json::to_string(&quad).unwrap();
+    let back: FairQuadtree = serde_json::from_str(&json).unwrap();
+    assert_eq!(quad, back);
+    assert_eq!(
+        quad.partition(d.grid()).unwrap(),
+        back.partition(d.grid()).unwrap()
+    );
+}

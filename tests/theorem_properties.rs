@@ -1,0 +1,134 @@
+//! Property-based verification of the paper's Theorems 1 and 2 against
+//! real pipeline partitions (not just synthetic groupings).
+
+use fsi_data::synth::city::{CityConfig, CityGenerator};
+use fsi_data::SpatialDataset;
+use fsi_fairness::bounds::{theorem1_sides, theorem2_sides};
+use fsi_fairness::SpatialGroups;
+use fsi_geo::Partition;
+use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
+use proptest::prelude::*;
+
+fn dataset(seed: u64) -> SpatialDataset {
+    CityGenerator::new(CityConfig {
+        n_individuals: 300,
+        grid_side: 16,
+        seed,
+        ..CityConfig::default()
+    })
+    .unwrap()
+    .generate()
+    .unwrap()
+}
+
+#[test]
+fn theorem1_holds_for_every_method_partition() {
+    let d = dataset(3);
+    for method in [
+        Method::MedianKd,
+        Method::FairKd,
+        Method::IterativeFairKd,
+        Method::GridReweight,
+        Method::ZipCode,
+        Method::FairQuad,
+    ] {
+        let run = run_method(&d, &TaskSpec::act(), method, 4, &RunConfig::default()).unwrap();
+        let groups = SpatialGroups::from_partition(d.cells(), &run.partition).unwrap();
+        let (e, overall) = theorem1_sides(&run.scores, &run.labels, &groups).unwrap();
+        assert!(
+            e >= overall - 1e-9,
+            "{method:?}: ENCE {e} below overall mis-calibration {overall}"
+        );
+    }
+}
+
+#[test]
+fn theorem2_holds_for_uniform_refinements_of_real_scores() {
+    let d = dataset(4);
+    let run = run_method(&d, &TaskSpec::act(), Method::MedianKd, 3, &RunConfig::default()).unwrap();
+    // Uniform partitions at increasing granularity form a refinement chain.
+    let granularities = [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16)];
+    let mut prev: Option<(Partition, f64)> = None;
+    for (r, c) in granularities {
+        let p = Partition::uniform(d.grid(), r, c).unwrap();
+        let groups = SpatialGroups::from_partition(d.cells(), &p).unwrap();
+        let e = fsi_fairness::ence(&run.scores, &run.labels, &groups).unwrap();
+        if let Some((coarse, coarse_e)) = &prev {
+            assert!(p.refines(coarse), "{r}x{c} must refine the previous level");
+            assert!(
+                *coarse_e <= e + 1e-9,
+                "refinement decreased ENCE: {coarse_e} -> {e}"
+            );
+        }
+        prev = Some((p, e));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 2 against arbitrary coarsenings of a real tree partition.
+    #[test]
+    fn theorem2_holds_for_random_coarsenings(seed in 0u64..500) {
+        let d = dataset(5);
+        let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 4, &RunConfig::default())
+            .unwrap();
+        let fine = run.partition.clone();
+        // Random grouping of fine regions into at most 4 buckets.
+        let k = fine.num_regions();
+        let grouping: Vec<u32> = (0..k).map(|i| {
+            let x = seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            ((x >> 33) % 4) as u32
+        }).collect();
+        let coarse = fine.coarsen(&grouping).unwrap();
+        prop_assert!(fine.refines(&coarse));
+        let fine_groups = SpatialGroups::from_partition(d.cells(), &fine).unwrap();
+        let coarse_groups = SpatialGroups::from_partition(d.cells(), &coarse).unwrap();
+        let (coarse_e, fine_e) =
+            theorem2_sides(&run.scores, &run.labels, &coarse_groups, &fine_groups).unwrap();
+        prop_assert!(coarse_e <= fine_e + 1e-9);
+    }
+
+    /// The fair split objective value reported by the splitter equals the
+    /// brute-force Eq. 9 computation on the underlying individuals.
+    #[test]
+    fn split_objective_matches_brute_force(offset_seed in 0u64..100) {
+        use fsi_core::{split, BuildConfig, CellStats, FairSplit};
+        use fsi_geo::Axis;
+
+        let d = dataset(6);
+        let labels = d.threshold_labels("avg_act", 22.0).unwrap();
+        let scores: Vec<f64> = d
+            .locations()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let jitter = ((offset_seed.wrapping_add(i as u64) % 97) as f64) / 97.0;
+                (0.25 + 0.5 * p.x * jitter).clamp(0.0, 1.0)
+            })
+            .collect();
+        let stats = CellStats::new(
+            d.grid(),
+            &d.cell_populations(),
+            &d.cell_sums(&scores).unwrap(),
+            &d.cell_label_sums(&labels).unwrap(),
+        )
+        .unwrap();
+        let region = d.grid().full_rect();
+        let candidates = split::enumerate_candidates(
+            &FairSplit, &stats, &region, Axis::Row, &BuildConfig::default()).unwrap();
+
+        // Brute force Eq. 9 for a sampled candidate.
+        let cand = &candidates[(offset_seed as usize) % candidates.len()];
+        let k = cand.offset;
+        let (mut l_res, mut r_res) = (0.0f64, 0.0f64);
+        for (i, &cell) in d.cells().iter().enumerate() {
+            let (row, _) = d.grid().row_col(cell);
+            let resid = scores[i] - f64::from(u8::from(labels[i]));
+            if row < k { l_res += resid; } else { r_res += resid; }
+        }
+        let expected = (l_res.abs() - r_res.abs()).abs();
+        prop_assert!((cand.objective - expected).abs() < 1e-9,
+            "offset {k}: splitter {} vs brute force {expected}", cand.objective);
+    }
+}
