@@ -40,17 +40,12 @@ fn construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("fair_kd_by_height");
     group.sample_size(10);
     for height in [4usize, 6, 8, 10] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(height),
-            &height,
-            |b, &h| {
-                b.iter(|| {
-                    let run =
-                        run_method(&dataset, &task, Method::FairKd, h, &config).expect("run");
-                    black_box(run.eval.full.ence)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(height), &height, |b, &h| {
+            b.iter(|| {
+                let run = run_method(&dataset, &task, Method::FairKd, h, &config).expect("run");
+                black_box(run.eval.full.ence)
+            })
+        });
     }
     group.finish();
 }

@@ -21,11 +21,9 @@ fn metrics(c: &mut Criterion) {
         let side = (regions as f64).sqrt() as usize;
         let partition = Partition::uniform(dataset.grid(), side, side).unwrap();
         let groups = SpatialGroups::from_partition(dataset.cells(), &partition).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("ence", regions),
-            &groups,
-            |b, g| b.iter(|| black_box(ence(&scores, &labels, g).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("ence", regions), &groups, |b, g| {
+            b.iter(|| black_box(ence(&scores, &labels, g).unwrap()))
+        });
         group.bench_with_input(
             BenchmarkId::new("group_calibration", regions),
             &groups,

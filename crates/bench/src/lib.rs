@@ -45,8 +45,7 @@ pub fn bench_stats(dataset: &SpatialDataset) -> CellStats {
     let counts = dataset.cell_populations();
     let score_sums = dataset.cell_sums(&scores).expect("lengths match");
     let label_sums = dataset.cell_label_sums(&labels).expect("lengths match");
-    CellStats::new(dataset.grid(), &counts, &score_sums, &label_sums)
-        .expect("stats build")
+    CellStats::new(dataset.grid(), &counts, &score_sums, &label_sums).expect("stats build")
 }
 
 #[cfg(test)]

@@ -158,9 +158,7 @@ mod tests {
         let g = Grid::unit(4).unwrap();
         // All residual sits in row 0: +8 split as 4|4 across columns, etc.
         let mut scores = vec![0.0; 16];
-        for c in 0..4 {
-            scores[c] = 2.0; // row 0 cells contribute residual 2 each
-        }
+        scores[..4].fill(2.0); // row 0 cells contribute residual 2 each
         let stats = CellStats::new(&g, &[1.0; 16], &scores, &[0.0; 16]).unwrap();
         let t = build_kd_tree(&stats, &FairSplit, &BuildConfig::with_height(2)).unwrap();
         let total_mass: f64 = t

@@ -60,9 +60,7 @@ impl BuildConfig {
     /// Validates field ranges.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.height == 0 {
-            return Err(CoreError::InvalidConfig(
-                "height must be at least 1".into(),
-            ));
+            return Err(CoreError::InvalidConfig("height must be at least 1".into()));
         }
         if self.height > 32 {
             return Err(CoreError::InvalidConfig(format!(
@@ -96,17 +94,25 @@ mod tests {
 
     #[test]
     fn invalid_values_rejected() {
-        let mut c = BuildConfig::default();
-        c.height = 0;
+        let c = BuildConfig {
+            height: 0,
+            ..BuildConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = BuildConfig::default();
-        c.height = 33;
+        let c = BuildConfig {
+            height: 33,
+            ..BuildConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = BuildConfig::default();
-        c.tie_epsilon = f64::NAN;
+        let c = BuildConfig {
+            tie_epsilon: f64::NAN,
+            ..BuildConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = BuildConfig::default();
-        c.min_child_population = -1.0;
+        let c = BuildConfig {
+            min_child_population: -1.0,
+            ..BuildConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

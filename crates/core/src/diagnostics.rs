@@ -89,10 +89,7 @@ pub fn tree_diagnostics(tree: &KdTree, stats: &CellStats) -> Result<TreeDiagnost
             0.0
         },
         lower_bound: if total_pop > 0.0 {
-            stats
-                .residual(&CellRect::new(0, rows, 0, cols))
-                .abs()
-                / total_pop
+            stats.residual(&CellRect::new(0, rows, 0, cols)).abs() / total_pop
         } else {
             0.0
         },
@@ -113,7 +110,9 @@ mod tests {
         let g = Grid::unit(8).unwrap();
         let n = 64;
         let counts = vec![1.0; n];
-        let scores: Vec<f64> = (0..n).map(|i| 0.25 + 0.5 * ((i % 8) as f64 / 8.0)).collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| 0.25 + 0.5 * ((i % 8) as f64 / 8.0))
+            .collect();
         let labels: Vec<f64> = (0..n).map(|i| f64::from(u8::from(i % 3 == 0))).collect();
         CellStats::new(&g, &counts, &scores, &labels).unwrap()
     }
@@ -127,12 +126,7 @@ mod tests {
         let share: f64 = d.leaves.iter().map(|l| l.ence_share).sum();
         assert!((share - 1.0).abs() < 1e-9);
         // ENCE equals the population-weighted residual-mass identity.
-        let manual: f64 = d
-            .leaves
-            .iter()
-            .map(|l| l.net_residual.abs())
-            .sum::<f64>()
-            / 64.0;
+        let manual: f64 = d.leaves.iter().map(|l| l.net_residual.abs()).sum::<f64>() / 64.0;
         assert!((d.ence - manual).abs() < 1e-12);
         assert!(d.ence >= d.lower_bound - 1e-12, "Theorem 1");
         assert_eq!(d.occupied, tree.num_leaves());
@@ -172,7 +166,7 @@ mod tests {
             counts[c] = 2.0;
             score_sums[c] = 1.0;
         }
-        let s = CellStats::new(&g, &counts, &score_sums, &vec![0.0; 16]).unwrap();
+        let s = CellStats::new(&g, &counts, &score_sums, &[0.0; 16]).unwrap();
         let tree = build_kd_tree(&s, &MedianSplit, &BuildConfig::with_height(2)).unwrap();
         let d = tree_diagnostics(&tree, &s).unwrap();
         assert!(d.occupied < d.leaves.len());

@@ -219,8 +219,7 @@ mod tests {
         }
         let g = Grid::unit(8).unwrap();
         let cfg = BuildConfig::with_height(3);
-        let dfs =
-            crate::builder::build_kd_tree(&diagonal_stats(8, 0), &FairSplit, &cfg).unwrap();
+        let dfs = crate::builder::build_kd_tree(&diagonal_stats(8, 0), &FairSplit, &cfg).unwrap();
         let mut rt = MovingRetrainer { side: 8, round: 0 };
         let bfs = IterativeBuilder::new(cfg)
             .unwrap()

@@ -9,19 +9,19 @@
 //!
 //! * [`CellStats`] — per-cell population/score/label aggregates backed by
 //!   summed-area tables, so any candidate split is scored in O(1).
-//! * [`SplitPolicy`](split::SplitPolicy) implementations:
-//!   [`MedianSplit`](split::MedianSplit) (the baseline),
-//!   [`FairSplit`](split::FairSplit) (Eq. 9) and
-//!   [`MultiObjectiveSplit`](split::MultiObjectiveSplit) (Eq. 13).
-//! * [`build_kd_tree`](builder::build_kd_tree) — Algorithm 1's DFS
+//! * [`SplitPolicy`] implementations:
+//!   [`MedianSplit`] (the baseline),
+//!   [`FairSplit`] (Eq. 9) and
+//!   [`MultiObjectiveSplit`] (Eq. 13).
+//! * [`build_kd_tree`] — Algorithm 1's DFS
 //!   construction, generic over the split policy (this single entry point
 //!   covers Fair KD-tree, Median KD-tree and Multi-Objective Fair KD-tree).
-//! * [`IterativeBuilder`](iterative::IterativeBuilder) — Algorithm 3's BFS
+//! * [`IterativeBuilder`] — Algorithm 3's BFS
 //!   construction with model retraining between levels, via the
-//!   [`Retrainer`](iterative::Retrainer) trait.
+//!   [`Retrainer`] trait.
 //! * [`aggregate_tasks`](multiobjective::aggregate_tasks) — the Eq. 11/12
 //!   residual-vector aggregation for multi-task fairness.
-//! * [`FairQuadtree`](quadtree::FairQuadtree) — the paper's future-work
+//! * [`FairQuadtree`] — the paper's future-work
 //!   direction (§6): an alternative four-way index with a fairness-aware
 //!   split rule.
 //!

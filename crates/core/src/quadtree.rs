@@ -309,7 +309,7 @@ mod tests {
                 &QuadConfig {
                     levels,
                     rule: QuadSplitRule::Fair,
-                ..QuadConfig::default()
+                    ..QuadConfig::default()
                 },
             )
             .unwrap();

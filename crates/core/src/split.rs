@@ -221,9 +221,7 @@ mod tests {
         // Populations concentrated in the top row: the median split should
         // cut right below it.
         let mut counts = [1.0; 16];
-        for c in 0..4 {
-            counts[c] = 10.0;
-        }
+        counts[..4].fill(10.0);
         let stats = stats_from(counts, [0.0; 16], [0.0; 16]);
         let cfg = BuildConfig::default();
         let d = choose_split(&MedianSplit, &stats, &full(), Axis::Row, &cfg)
@@ -323,9 +321,7 @@ mod tests {
         // child along rows is unsatisfiable (any row cut isolates all 4 on
         // one side).
         let mut counts = [0.0; 16];
-        for c in 0..4 {
-            counts[c] = 1.0;
-        }
+        counts[..4].fill(1.0);
         let stats = stats_from(counts, [0.0; 16], [0.0; 16]);
         let cfg = BuildConfig {
             min_child_population: 2.0,

@@ -88,9 +88,7 @@ impl KdTree {
         fn rec(nodes: &[KdNode], i: u32) -> usize {
             match &nodes[i as usize].kind {
                 NodeKind::Leaf { .. } => 0,
-                NodeKind::Internal { low, high, .. } => {
-                    1 + rec(nodes, *low).max(rec(nodes, *high))
-                }
+                NodeKind::Internal { low, high, .. } => 1 + rec(nodes, *low).max(rec(nodes, *high)),
             }
         }
         if self.nodes.is_empty() {

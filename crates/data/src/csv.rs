@@ -23,7 +23,15 @@ pub fn write_csv<W: Write>(dataset: &SpatialDataset, mut out: W) -> Result<(), D
     let mut header = vec!["x".to_string(), "y".to_string()];
     header.extend(dataset.feature_names().iter().map(|n| format!("f:{n}")));
     header.extend(dataset.outcome_names().iter().map(|n| format!("o:{n}")));
-    writeln!(out, "{}", header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        out,
+        "{}",
+        header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
 
     let outcomes: Vec<&[f64]> = dataset
         .outcome_names()
@@ -85,11 +93,7 @@ pub fn read_csv<R: BufRead>(reader: R, grid: Grid) -> Result<SpatialDataset, Dat
         if record.len() != header.len() {
             return Err(DataError::Csv {
                 line: line_no,
-                message: format!(
-                    "expected {} fields, found {}",
-                    header.len(),
-                    record.len()
-                ),
+                message: format!("expected {} fields, found {}", header.len(), record.len()),
             });
         }
         let parse = |s: &str| -> Result<f64, DataError> {
@@ -211,7 +215,10 @@ mod tests {
         assert_eq!(back.feature_names(), d.feature_names());
         assert_eq!(back.outcome_names(), d.outcome_names());
         assert_eq!(back.features(), d.features());
-        assert_eq!(back.outcome("avg_act").unwrap(), d.outcome("avg_act").unwrap());
+        assert_eq!(
+            back.outcome("avg_act").unwrap(),
+            d.outcome("avg_act").unwrap()
+        );
         assert_eq!(back.cells(), d.cells());
     }
 

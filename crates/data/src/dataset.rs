@@ -225,12 +225,8 @@ mod tests {
 
     fn tiny() -> SpatialDataset {
         let grid = Grid::new(Rect::unit(), 2, 2).unwrap();
-        let features = Matrix::from_rows(&[
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-        ])
-        .unwrap();
+        let features =
+            Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap();
         SpatialDataset::new(
             grid,
             vec!["income".into(), "unemployment".into()],

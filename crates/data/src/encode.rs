@@ -189,9 +189,7 @@ mod tests {
         let d = tiny();
         let p = Partition::uniform(d.grid(), 2, 2).unwrap();
         let dm = build_design_matrix(&d, &p, LocationEncoding::OneHot).unwrap();
-        let agg = dm
-            .aggregate_location(&[0.5, 0.1, 0.2, 0.3, 0.4])
-            .unwrap();
+        let agg = dm.aggregate_location(&[0.5, 0.1, 0.2, 0.3, 0.4]).unwrap();
         assert_eq!(agg.len(), 2);
         assert!((agg[0] - 0.5).abs() < 1e-12);
         assert!((agg[1] - 1.0).abs() < 1e-12);

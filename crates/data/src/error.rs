@@ -49,7 +49,9 @@ impl fmt::Display for DataError {
             } => write!(f, "{what}: expected length {expected}, got {got}"),
             DataError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
             DataError::DuplicateColumn(name) => write!(f, "duplicate column '{name}'"),
-            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             DataError::Io(e) => write!(f, "io error: {e}"),
             DataError::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
         }

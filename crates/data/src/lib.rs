@@ -5,7 +5,7 @@
 //! variables (average ACT, family employment) joined with NCES school
 //! coordinates. That data is not redistributable, so this crate provides:
 //!
-//! * [`SpatialDataset`](dataset::SpatialDataset) — the columnar dataset
+//! * [`SpatialDataset`] — the columnar dataset
 //!   type: features, outcome variables, map locations and base-grid cells.
 //! * [`synth`] — a synthetic city generator whose latent *affluence field*
 //!   drives spatially correlated socio-economic features, plus latent

@@ -88,10 +88,14 @@ impl CityConfig {
             ));
         }
         if self.n_clusters == 0 {
-            return Err(DataError::InvalidConfig("n_clusters must be positive".into()));
+            return Err(DataError::InvalidConfig(
+                "n_clusters must be positive".into(),
+            ));
         }
         if self.grid_side < 2 {
-            return Err(DataError::InvalidConfig("grid_side must be at least 2".into()));
+            return Err(DataError::InvalidConfig(
+                "grid_side must be at least 2".into(),
+            ));
         }
         if !(self.cluster_std > 0.0 && self.cluster_std.is_finite()) {
             return Err(DataError::InvalidConfig(
@@ -123,12 +127,7 @@ impl CityGenerator {
     /// Samples cluster centers away from the map edge.
     fn cluster_centers(&self, rng: &mut SeededRng) -> Vec<Point> {
         (0..self.config.n_clusters)
-            .map(|_| {
-                Point::new(
-                    rng.random_range(0.15..0.85),
-                    rng.random_range(0.15..0.85),
-                )
-            })
+            .map(|_| Point::new(rng.random_range(0.15..0.85), rng.random_range(0.15..0.85)))
             .collect()
     }
 
@@ -236,24 +235,24 @@ impl CityGenerator {
             let ai = a[i];
             let unemployment =
                 (7.5 - 3.5 * ai + normal(&mut rng, 0.0, 1.6 * fnoise)).clamp(0.5, 35.0);
-            let college =
-                (36.0 + 17.0 * ai + normal(&mut rng, 0.0, 6.0 * fnoise)).clamp(2.0, 95.0);
+            let college = (36.0 + 17.0 * ai + normal(&mut rng, 0.0, 6.0 * fnoise)).clamp(2.0, 95.0);
             let marriage =
                 (52.0 + 9.0 * ai + normal(&mut rng, 0.0, 7.0 * fnoise)).clamp(10.0, 92.0);
             let income =
                 (62.0 + 24.0 * ai + normal(&mut rng, 0.0, 6.0 * fnoise)).clamp(12.0, 250.0);
-            let lunch =
-                (45.0 - 21.0 * ai + normal(&mut rng, 0.0, 8.0 * fnoise)).clamp(1.0, 99.0);
+            let lunch = (45.0 - 21.0 * ai + normal(&mut rng, 0.0, 8.0 * fnoise)).clamp(1.0, 99.0);
             rows.push(vec![unemployment, college, marriage, income, lunch]);
 
             act.push(
-                (21.3 + 2.3 * ai
+                (21.3
+                    + 2.3 * ai
                     + cfg.latent_strength_act * eta_act[i]
                     + normal(&mut rng, 0.0, 0.9))
                 .clamp(10.0, 36.0),
             );
             emp.push(
-                (10.5 + 2.2 * ai
+                (10.5
+                    + 2.2 * ai
                     + cfg.latent_strength_employment * eta_emp[i]
                     + normal(&mut rng, 0.0, 0.8))
                 .clamp(0.0, 60.0),
@@ -307,7 +306,10 @@ mod tests {
         let a = gen.generate().unwrap();
         let b = gen.generate().unwrap();
         assert_eq!(a.features(), b.features());
-        assert_eq!(a.outcome(OUTCOME_ACT).unwrap(), b.outcome(OUTCOME_ACT).unwrap());
+        assert_eq!(
+            a.outcome(OUTCOME_ACT).unwrap(),
+            b.outcome(OUTCOME_ACT).unwrap()
+        );
         assert_eq!(a.cells(), b.cells());
     }
 
@@ -322,7 +324,10 @@ mod tests {
 
     #[test]
     fn shapes_and_ranges() {
-        let d = CityGenerator::new(small_config()).unwrap().generate().unwrap();
+        let d = CityGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
         assert_eq!(d.len(), 300);
         assert_eq!(d.feature_names().len(), 5);
         assert_eq!(d.features().cols(), 5);
@@ -340,20 +345,29 @@ mod tests {
 
     #[test]
     fn act_threshold_gives_a_non_degenerate_task() {
-        let d = CityGenerator::new(small_config()).unwrap().generate().unwrap();
+        let d = CityGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
         let labels = d.threshold_labels(OUTCOME_ACT, 22.0).unwrap();
         let pos = labels.iter().filter(|&&b| b).count() as f64 / labels.len() as f64;
         assert!((0.15..=0.85).contains(&pos), "positive rate {pos}");
         let labels = d.threshold_labels(OUTCOME_EMPLOYMENT, 10.0).unwrap();
         let pos = labels.iter().filter(|&&b| b).count() as f64 / labels.len() as f64;
-        assert!((0.15..=0.85).contains(&pos), "employment positive rate {pos}");
+        assert!(
+            (0.15..=0.85).contains(&pos),
+            "employment positive rate {pos}"
+        );
     }
 
     #[test]
     fn features_correlate_with_affluence_signal() {
         // Income and college degree should be positively correlated;
         // income and reduced lunch negatively.
-        let d = CityGenerator::new(small_config()).unwrap().generate().unwrap();
+        let d = CityGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
         let income = d.features().column(3);
         let college = d.features().column(1);
         let lunch = d.features().column(4);
@@ -361,7 +375,12 @@ mod tests {
             let n = a.len() as f64;
             let ma = a.iter().sum::<f64>() / n;
             let mb = b.iter().sum::<f64>() / n;
-            let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+            let cov: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - ma) * (y - mb))
+                .sum::<f64>()
+                / n;
             let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
             let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
             cov / (va.sqrt() * vb.sqrt())
@@ -374,12 +393,11 @@ mod tests {
     fn locations_cluster_rather_than_spread_uniformly() {
         // With few clusters and small std, the occupied-cell fraction
         // should be well below uniform coverage.
-        let d = CityGenerator::new(small_config()).unwrap().generate().unwrap();
-        let occupied = d
-            .cell_populations()
-            .iter()
-            .filter(|&&c| c > 0.0)
-            .count() as f64;
+        let d = CityGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
+        let occupied = d.cell_populations().iter().filter(|&&c| c > 0.0).count() as f64;
         let frac = occupied / d.grid().len() as f64;
         assert!(frac < 0.75, "occupied fraction {frac}");
     }

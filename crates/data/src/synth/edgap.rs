@@ -119,9 +119,10 @@ mod tests {
     #[test]
     fn both_tasks_are_learnable_splits() {
         for d in [generate_los_angeles().unwrap(), generate_houston().unwrap()] {
-            for (outcome, threshold) in
-                [("avg_act", ACT_THRESHOLD), ("family_employment_pct", EMPLOYMENT_THRESHOLD)]
-            {
+            for (outcome, threshold) in [
+                ("avg_act", ACT_THRESHOLD),
+                ("family_employment_pct", EMPLOYMENT_THRESHOLD),
+            ] {
                 let labels = d.threshold_labels(outcome, threshold).unwrap();
                 let pos = labels.iter().filter(|&&b| b).count();
                 assert!(pos > d.len() / 10, "{outcome}: too few positives");

@@ -269,7 +269,9 @@ mod tests {
             b: 0.0,
             c: 10.0,
         };
-        let points: Vec<Point> = (0..100).map(|i| Point::new(i as f64 / 100.0, 0.0)).collect();
+        let points: Vec<Point> = (0..100)
+            .map(|i| Point::new(i as f64 / 100.0, 0.0))
+            .collect();
         let vals = standardized_values(&g, &points);
         let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
         let var: f64 = vals.iter().map(|v| v * v).sum::<f64>() / vals.len() as f64 - mean * mean;

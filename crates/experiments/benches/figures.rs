@@ -2,7 +2,9 @@
 //! sweep: one split seed) so the full benchmark run reproduces the
 //! evaluation end-to-end.
 
-use fsi_experiments::{ablations, fig10, fig6, fig7, fig8, fig9, report, timing, ExperimentContext};
+use fsi_experiments::{
+    ablations, fig10, fig6, fig7, fig8, fig9, report, timing, ExperimentContext,
+};
 
 fn main() {
     let ctx = ExperimentContext::quick().expect("dataset generation");

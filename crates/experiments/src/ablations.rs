@@ -59,7 +59,13 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
                     ..base.clone()
                 },
             )?;
-            let max_pop = run.eval.per_group.iter().map(|g| g.count).max().unwrap_or(0);
+            let max_pop = run
+                .eval
+                .per_group
+                .iter()
+                .map(|g| g.count)
+                .max()
+                .unwrap_or(0);
             cells.push(fmt(run.eval.full.ence, 5));
             cells.push(run.eval.occupied_regions.to_string());
             cells.push(max_pop.to_string());

@@ -4,11 +4,16 @@
 //! cargo run --release -p fsi-experiments --bin all
 //! ```
 
-use fsi_experiments::{ablations, fig10, fig6, fig7, fig8, fig9, report, timing, ExperimentContext};
+use fsi_experiments::{
+    ablations, fig10, fig6, fig7, fig8, fig9, report, timing, ExperimentContext,
+};
+
+type RunFn =
+    fn(&ExperimentContext) -> Result<Vec<fsi_experiments::Table>, fsi_pipeline::PipelineError>;
 
 fn main() {
     let ctx = ExperimentContext::standard().expect("dataset generation");
-    let runs: Vec<(&str, fn(&ExperimentContext) -> Result<Vec<fsi_experiments::Table>, fsi_pipeline::PipelineError>)> = vec![
+    let runs: Vec<(&str, RunFn)> = vec![
         ("fig6", fig6::run),
         ("fig7", fig7::run),
         ("fig8", fig8::run),
@@ -23,7 +28,10 @@ fn main() {
         match f(&ctx) {
             Ok(tables) => {
                 report::emit(&tables);
-                eprintln!("[all] {name} done in {:.1}s", started.elapsed().as_secs_f64());
+                eprintln!(
+                    "[all] {name} done in {:.1}s",
+                    started.elapsed().as_secs_f64()
+                );
             }
             Err(e) => {
                 eprintln!("[all] {name} FAILED: {e}");

@@ -1,6 +1,6 @@
 //! Regenerates the paper's timing artifact. Run with `--release`.
 
-use fsi_experiments::{timing, report, ExperimentContext};
+use fsi_experiments::{report, timing, ExperimentContext};
 
 fn main() {
     let ctx = ExperimentContext::standard().expect("dataset generation");

@@ -31,7 +31,14 @@ fn mean_task_ence(
             seed,
             ..RunConfig::default()
         };
-        let run = run_multi_objective(dataset, tasks, &[ALPHA, 1.0 - ALPHA], method, height, &config)?;
+        let run = run_multi_objective(
+            dataset,
+            tasks,
+            &[ALPHA, 1.0 - ALPHA],
+            method,
+            height,
+            &config,
+        )?;
         for (s, (_, eval)) in sums.iter_mut().zip(&run.per_task) {
             *s += eval.full.ence;
         }
@@ -48,24 +55,15 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
     for (city, dataset) in &ctx.cities {
         for &height in &HEIGHTS {
             let mut t = Table::new(
-                format!(
-                    "fig10_h{}_{}",
-                    height,
-                    ExperimentContext::slug(city)
-                ),
+                format!("fig10_h{}_{}", height, ExperimentContext::slug(city)),
                 format!(
                     "{city}, height {height}: per-task ENCE of one shared districting \
                      (Fair KD-tree = multi-objective variant, alpha = {ALPHA})"
                 ),
-                vec![
-                    "method".into(),
-                    "ACT".into(),
-                    "Employment".into(),
-                ],
+                vec!["method".into(), "ACT".into(), "Employment".into()],
             );
             for &method in &methods {
-                let ences =
-                    mean_task_ence(dataset, &tasks, method, height, &ctx.split_seeds)?;
+                let ences = mean_task_ence(dataset, &tasks, method, height, &ctx.split_seeds)?;
                 t.push_row(vec![
                     method.name().to_string(),
                     fmt(ences[0], 5),

@@ -55,8 +55,8 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
         // Per-zip statistics over the full population.
         let groups = SpatialGroups::from_partition(dataset.cells(), &run.partition)
             .map_err(PipelineError::Fairness)?;
-        let stats =
-            group_calibration(&run.scores, &run.labels, &groups).map_err(PipelineError::Fairness)?;
+        let stats = group_calibration(&run.scores, &run.labels, &groups)
+            .map_err(PipelineError::Fairness)?;
         let eces = group_ece(
             &run.scores,
             &run.labels,

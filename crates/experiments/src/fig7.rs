@@ -102,8 +102,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
                     for &h in &ctx_ref.heights {
                         let mut row = vec![h.to_string()];
                         for &m in &methods {
-                            let cell =
-                                mean_cell(dataset, task, m, h, model, &ctx_ref.split_seeds)?;
+                            let cell = mean_cell(dataset, task, m, h, model, &ctx_ref.split_seeds)?;
                             row.push(fmt(cell.ence_full, 5));
                         }
                         t.push_row(row);

@@ -63,11 +63,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
 
         for panel in [Panel::Accuracy, Panel::TrainMiscal, Panel::TestMiscal] {
             let mut t = Table::new(
-                format!(
-                    "fig8_{}_{}",
-                    panel.slug(),
-                    ExperimentContext::slug(city)
-                ),
+                format!("fig8_{}_{}", panel.slug(), ExperimentContext::slug(city)),
                 format!("{city}: {}", panel.caption()),
                 std::iter::once("height".to_string())
                     .chain(methods.iter().map(|m| m.name().to_string()))

@@ -30,13 +30,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
             let mut matrix: Vec<Vec<f64>> = Vec::new();
             let mut names: Vec<String> = Vec::new();
             for &h in &heights {
-                let run = run_method(
-                    dataset,
-                    &task,
-                    method,
-                    h,
-                    &ctx.config(ctx.split_seeds[0]),
-                )?;
+                let run = run_method(dataset, &task, method, h, &ctx.config(ctx.split_seeds[0]))?;
                 let imp = run.importances.ok_or_else(|| {
                     PipelineError::InvalidConfig(
                         "logistic regression must expose importances".into(),

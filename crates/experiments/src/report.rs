@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        name: impl Into<String>,
-        caption: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, caption: impl Into<String>, columns: Vec<String>) -> Self {
         Self {
             name: name.into(),
             caption: caption.into(),
@@ -135,11 +131,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let mut t = Table::new(
-            "t1",
-            "a test table",
-            vec!["h".into(), "ence".into()],
-        );
+        let mut t = Table::new("t1", "a test table", vec!["h".into(), "ence".into()]);
         t.push_row(vec!["4".into(), "0.0123".into()]);
         t.push_row(vec!["6".into()]); // short row gets padded
         t

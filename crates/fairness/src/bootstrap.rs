@@ -67,9 +67,8 @@ pub fn ence_bootstrap(
     }
     draws.sort_by(|a, b| a.partial_cmp(b).expect("ENCE is finite"));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| -> usize {
-        ((q * (replicates - 1) as f64).round() as usize).min(replicates - 1)
-    };
+    let idx =
+        |q: f64| -> usize { ((q * (replicates - 1) as f64).round() as usize).min(replicates - 1) };
     Ok(EnceInterval {
         point,
         lower: draws[idx(alpha)],
@@ -85,7 +84,9 @@ mod tests {
 
     fn sample() -> (Vec<f64>, Vec<bool>, SpatialGroups) {
         let n = 200;
-        let scores: Vec<f64> = (0..n).map(|i| 0.2 + 0.6 * ((i % 10) as f64 / 10.0)).collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| 0.2 + 0.6 * ((i % 10) as f64 / 10.0))
+            .collect();
         let labels: Vec<bool> = (0..n).map(|i| (i * 13) % 7 < 3).collect();
         let groups = SpatialGroups::new((0..n).map(|i| i % 5).collect(), 5).unwrap();
         (scores, labels, groups)

@@ -74,11 +74,7 @@ pub fn group_calibration(
 /// Empty neighborhoods contribute zero. Equivalently this is
 /// `(1/|D|) Σ_i |net residual of N_i|`, the identity the fair split
 /// objective exploits.
-pub fn ence(
-    scores: &[f64],
-    labels: &[bool],
-    groups: &SpatialGroups,
-) -> Result<f64, FairnessError> {
+pub fn ence(scores: &[f64], labels: &[bool], groups: &SpatialGroups) -> Result<f64, FairnessError> {
     let stats = group_calibration(scores, labels, groups)?;
     let n = scores.len() as f64;
     Ok(stats

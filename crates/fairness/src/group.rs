@@ -123,7 +123,7 @@ mod tests {
     fn from_partition_maps_cells() {
         let grid = Grid::unit(4).unwrap();
         let p = Partition::uniform(&grid, 2, 1).unwrap(); // south / north halves
-        // Individuals in cells 0 (row 0) and 15 (row 3).
+                                                          // Individuals in cells 0 (row 0) and 15 (row 3).
         let g = SpatialGroups::from_partition(&[0, 15, 1], &p).unwrap();
         assert_eq!(g.assignments(), &[0, 1, 0]);
         assert_eq!(g.num_groups(), 2);

@@ -3,13 +3,13 @@
 //! Implements the paper's fairness machinery over *spatial groups*
 //! (neighborhoods):
 //!
-//! * [`SpatialGroups`](group::SpatialGroups) — the assignment of
+//! * [`SpatialGroups`] — the assignment of
 //!   individuals to neighborhoods induced by a grid partition.
-//! * [`ence`](ence::ence) — Expected Neighborhood Calibration Error
+//! * [`ence()`] — Expected Neighborhood Calibration Error
 //!   (Definition 3): `Σ_i (|N_i|/|D|) · |o(N_i) − e(N_i)|`.
-//! * [`group_calibration`](ence::group_calibration) — per-neighborhood
+//! * [`group_calibration`] — per-neighborhood
 //!   `e`, `o`, `|e−o|` and `e/o` (Figure 6a/6c).
-//! * [`group_ece`](ence::group_ece) — per-neighborhood binned ECE
+//! * [`group_ece`] — per-neighborhood binned ECE
 //!   (Figure 6b/6d; the paper uses 15 bins).
 //! * [`parity`] — statistical parity and equalized-odds gaps across
 //!   neighborhoods, the additional group-fairness notions surveyed in §3.

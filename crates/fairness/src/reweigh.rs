@@ -61,8 +61,7 @@ pub fn reweigh(labels: &[bool], groups: &SpatialGroups) -> Result<Reweighing, Fa
         .iter()
         .enumerate()
         .map(|(i, &y)| {
-            table[groups.group_of(i)][usize::from(y)]
-                .expect("occupied combination has a weight")
+            table[groups.group_of(i)][usize::from(y)].expect("occupied combination has a weight")
         })
         .collect();
     Ok(Reweighing { weights, table })

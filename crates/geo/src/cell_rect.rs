@@ -35,7 +35,7 @@ impl Axis {
     /// even heights split rows, odd heights split columns.
     #[inline]
     pub fn for_height(th: usize) -> Axis {
-        if th % 2 == 0 {
+        if th.is_multiple_of(2) {
             Axis::Row
         } else {
             Axis::Col
@@ -174,8 +174,7 @@ impl CellRect {
     /// Iterates over all `(row, col)` pairs in the block, row-major.
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let cols = self.col_start..self.col_end;
-        (self.row_start..self.row_end)
-            .flat_map(move |r| cols.clone().map(move |c| (r, c)))
+        (self.row_start..self.row_end).flat_map(move |r| cols.clone().map(move |c| (r, c)))
     }
 }
 

@@ -218,10 +218,7 @@ mod tests {
     #[test]
     fn cell_bounds_partition_the_map() {
         let g = grid4();
-        let total: f64 = g
-            .cells()
-            .map(|c| g.cell_bounds(c).unwrap().area())
-            .sum();
+        let total: f64 = g.cells().map(|c| g.cell_bounds(c).unwrap().area()).sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 

@@ -17,7 +17,7 @@
 //!   partitioning surrogate.
 //! * [`metrics`] — spatial quality of partitions: per-region area,
 //!   perimeter, compactness and population balance.
-//! * [`SummedAreaTable`](sat::SummedAreaTable) — O(1) rectangle sums over
+//! * [`SummedAreaTable`] — O(1) rectangle sums over
 //!   per-cell aggregates, the workhorse behind the split-index search.
 //!
 //! The crate is deliberately free of any ML or fairness concepts: it only

@@ -113,9 +113,7 @@ pub fn balance_summary(
             region: shapes.len().min(populations.len()),
         });
     }
-    let occupied: Vec<usize> = (0..shapes.len())
-        .filter(|&r| populations[r] > 0)
-        .collect();
+    let occupied: Vec<usize> = (0..shapes.len()).filter(|&r| populations[r] > 0).collect();
     if occupied.is_empty() {
         return Ok(BalanceSummary {
             occupied: 0,
@@ -129,20 +127,11 @@ pub fn balance_summary(
     let n = pops.len() as f64;
     let mean = pops.iter().sum::<f64>() / n;
     let var = pops.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
-    let mean_compactness =
-        occupied.iter().map(|&r| shapes[r].compactness).sum::<f64>() / n;
+    let mean_compactness = occupied.iter().map(|&r| shapes[r].compactness).sum::<f64>() / n;
     Ok(BalanceSummary {
         occupied: occupied.len(),
-        min_population: occupied
-            .iter()
-            .map(|&r| populations[r])
-            .min()
-            .unwrap_or(0),
-        max_population: occupied
-            .iter()
-            .map(|&r| populations[r])
-            .max()
-            .unwrap_or(0),
+        min_population: occupied.iter().map(|&r| populations[r]).min().unwrap_or(0),
+        max_population: occupied.iter().map(|&r| populations[r]).max().unwrap_or(0),
         population_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
         mean_compactness,
     })

@@ -236,11 +236,7 @@ impl Partition {
             .iter()
             .map(|&r| group_of_region[r as usize])
             .collect();
-        let grid = Grid::new(
-            crate::rect::Rect::unit(),
-            self.grid_rows,
-            self.grid_cols,
-        )?;
+        let grid = Grid::new(crate::rect::Rect::unit(), self.grid_rows, self.grid_cols)?;
         // Re-densify ids in case some groups are unused.
         let max = assignment.iter().copied().max().unwrap_or(0) as usize;
         let mut remap = vec![u32::MAX; max + 1];

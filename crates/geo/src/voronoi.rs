@@ -86,11 +86,7 @@ mod tests {
     #[test]
     fn two_seeds_split_halves() {
         let g = Grid::unit(4).unwrap();
-        let p = voronoi_partition(
-            &g,
-            &[Point::new(0.25, 0.5), Point::new(0.75, 0.5)],
-        )
-        .unwrap();
+        let p = voronoi_partition(&g, &[Point::new(0.25, 0.5), Point::new(0.75, 0.5)]).unwrap();
         assert_eq!(p.num_regions(), 2);
         // West column belongs to seed 0, east column to seed 1.
         assert_eq!(p.region_of(g.cell_id(0, 0)), 0);

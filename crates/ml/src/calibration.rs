@@ -139,9 +139,7 @@ pub fn expected_calibration_error(
     let n: usize = curve.iter().map(|b| b.count).sum();
     Ok(curve
         .iter()
-        .map(|b| {
-            (b.count as f64 / n as f64) * (b.positive_fraction - b.mean_score).abs()
-        })
+        .map(|b| (b.count as f64 / n as f64) * (b.positive_fraction - b.mean_score).abs())
         .sum())
 }
 
@@ -281,8 +279,7 @@ mod tests {
         let scores = vec![0.6; 10];
         let labels: Vec<bool> = (0..10).map(|i| i < 6).collect();
         let ece =
-            expected_calibration_error(&scores, &labels, 15, BinningStrategy::EqualWidth)
-                .unwrap();
+            expected_calibration_error(&scores, &labels, 15, BinningStrategy::EqualWidth).unwrap();
         assert!(ece < 1e-12);
     }
 
@@ -291,8 +288,7 @@ mod tests {
         let scores = vec![0.9; 10];
         let labels: Vec<bool> = (0..10).map(|i| i < 5).collect();
         let ece =
-            expected_calibration_error(&scores, &labels, 15, BinningStrategy::EqualWidth)
-                .unwrap();
+            expected_calibration_error(&scores, &labels, 15, BinningStrategy::EqualWidth).unwrap();
         assert!((ece - 0.4).abs() < 1e-12);
     }
 
@@ -300,8 +296,7 @@ mod tests {
     fn score_of_one_lands_in_last_bin() {
         let scores = [1.0, 0.999];
         let labels = [true, true];
-        let curve =
-            reliability_curve(&scores, &labels, 15, BinningStrategy::EqualWidth).unwrap();
+        let curve = reliability_curve(&scores, &labels, 15, BinningStrategy::EqualWidth).unwrap();
         assert_eq!(curve.last().unwrap().count, 2);
     }
 
@@ -325,15 +320,16 @@ mod tests {
         let labels = [true, false, false, false, true, false];
         let ece =
             expected_calibration_error(&scores, &labels, 5, BinningStrategy::EqualWidth).unwrap();
-        let mce =
-            max_calibration_error(&scores, &labels, 5, BinningStrategy::EqualWidth).unwrap();
+        let mce = max_calibration_error(&scores, &labels, 5, BinningStrategy::EqualWidth).unwrap();
         assert!(mce >= ece);
     }
 
     #[test]
     fn platt_improves_miscalibrated_scores() {
         // Systematically over-confident scores for a 30%-positive stream.
-        let scores: Vec<f64> = (0..200).map(|i| 0.7 + 0.2 * ((i % 10) as f64 / 10.0)).collect();
+        let scores: Vec<f64> = (0..200)
+            .map(|i| 0.7 + 0.2 * ((i % 10) as f64 / 10.0))
+            .collect();
         let labels: Vec<bool> = (0..200).map(|i| i % 10 < 3).collect();
         let before = miscalibration(&scores, &labels).unwrap();
         let mut p = PlattScaler::new();

@@ -167,9 +167,7 @@ impl<'a> BuildCtx<'a> {
                     continue; // can't split between equal values
                 }
                 let right_n = order.len() - left_n;
-                if left_n < self.config.min_samples_leaf
-                    || right_n < self.config.min_samples_leaf
-                {
+                if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf {
                     continue;
                 }
                 let right_w = total_w - left_w;
@@ -377,14 +375,20 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut c = DecisionTreeConfig::default();
-        c.min_samples_leaf = 0;
+        let c = DecisionTreeConfig {
+            min_samples_leaf: 0,
+            ..DecisionTreeConfig::default()
+        };
         assert!(DecisionTree::new(c).is_err());
-        let mut c = DecisionTreeConfig::default();
-        c.min_samples_split = 1;
+        let c = DecisionTreeConfig {
+            min_samples_split: 1,
+            ..DecisionTreeConfig::default()
+        };
         assert!(DecisionTree::new(c).is_err());
-        let mut c = DecisionTreeConfig::default();
-        c.leaf_smoothing = -1.0;
+        let c = DecisionTreeConfig {
+            leaf_smoothing: -1.0,
+            ..DecisionTreeConfig::default()
+        };
         assert!(DecisionTree::new(c).is_err());
     }
 
@@ -414,9 +418,11 @@ mod tests {
     #[test]
     fn min_samples_leaf_is_respected() {
         let (x, y) = xor_data();
-        let mut cfg = DecisionTreeConfig::default();
-        cfg.min_samples_leaf = 30;
-        cfg.max_depth = 10;
+        let cfg = DecisionTreeConfig {
+            min_samples_leaf: 30,
+            max_depth: 10,
+            ..DecisionTreeConfig::default()
+        };
         let mut t = DecisionTree::new(cfg).unwrap();
         t.fit(&x, &y, None).unwrap();
         // Count samples reaching each leaf.
@@ -457,8 +463,10 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_single_leaf() {
         let (x, y) = xor_data();
-        let mut cfg = DecisionTreeConfig::default();
-        cfg.max_depth = 0;
+        let cfg = DecisionTreeConfig {
+            max_depth: 0,
+            ..DecisionTreeConfig::default()
+        };
         let mut t = DecisionTree::new(cfg).unwrap();
         t.fit(&x, &y, None).unwrap();
         assert_eq!(t.node_count(), 1);
@@ -469,8 +477,10 @@ mod tests {
     fn weights_tilt_leaf_scores() {
         let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
         let y = vec![true, true, false, false];
-        let mut cfg = DecisionTreeConfig::default();
-        cfg.leaf_smoothing = 0.0;
+        let cfg = DecisionTreeConfig {
+            leaf_smoothing: 0.0,
+            ..DecisionTreeConfig::default()
+        };
         let mut t = DecisionTree::new(cfg).unwrap();
         t.fit(&x, &y, Some(&[3.0, 3.0, 1.0, 1.0])).unwrap();
         let s = t.predict_proba(&x).unwrap();

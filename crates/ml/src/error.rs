@@ -56,7 +56,10 @@ impl fmt::Display for MlError {
                 write!(f, "non-finite feature value at row {row}, column {col}")
             }
             MlError::InvalidWeights => {
-                write!(f, "sample weights must be finite, non-negative, not all zero")
+                write!(
+                    f,
+                    "sample weights must be finite, non-negative, not all zero"
+                )
             }
             MlError::InvalidHyperparameter(msg) => write!(f, "invalid hyper-parameter: {msg}"),
             MlError::NotFitted => write!(f, "model must be fitted before use"),

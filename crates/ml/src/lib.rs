@@ -6,15 +6,15 @@
 //! dependency-free, together with the supporting machinery:
 //!
 //! * [`Matrix`] — a dense row-major `f64` design matrix.
-//! * [`StandardScaler`](scaler::StandardScaler) — z-score standardization.
-//! * [`Classifier`](model::Classifier) — the common fit/score interface;
+//! * [`StandardScaler`] — z-score standardization.
+//! * [`Classifier`] — the common fit/score interface;
 //!   every trainer supports **per-sample weights**, which is what the
 //!   re-weighting baseline (Kamiran–Calders) requires.
-//! * [`LogisticRegression`](logreg::LogisticRegression) — weighted batch
+//! * [`LogisticRegression`] — weighted batch
 //!   gradient descent with L2 regularization.
-//! * [`DecisionTree`](dtree::DecisionTree) — weighted CART with Gini
+//! * [`DecisionTree`] — weighted CART with Gini
 //!   impurity; leaf scores are (Laplace-smoothed) positive fractions.
-//! * [`GaussianNb`](naive_bayes::GaussianNb) — weighted Gaussian naive
+//! * [`GaussianNb`] — weighted Gaussian naive
 //!   Bayes.
 //! * [`metrics`] — accuracy, precision/recall/F1, ROC-AUC, Brier, log-loss.
 //! * [`calibration`] — mis-calibration `|e−o|`, calibration ratio `e/o`,
@@ -30,8 +30,8 @@
 
 pub mod calibration;
 pub mod dtree;
-pub mod isotonic;
 pub mod error;
+pub mod isotonic;
 pub mod logreg;
 pub mod matrix;
 pub mod metrics;

@@ -172,12 +172,7 @@ impl Classifier for LogisticRegression {
             grad.iter_mut().for_each(|g| *g = 0.0);
             for i in 0..n {
                 let row = xs.row(i);
-                let z = theta[0]
-                    + row
-                        .iter()
-                        .zip(&theta[1..])
-                        .map(|(a, b)| a * b)
-                        .sum::<f64>();
+                let z = theta[0] + row.iter().zip(&theta[1..]).map(|(a, b)| a * b).sum::<f64>();
                 let err = (sigmoid(z) - f64::from(u8::from(y[i]))) * w[i];
                 grad[0] += err;
                 for (g, v) in grad[1..].iter_mut().zip(row) {
@@ -244,23 +239,27 @@ mod tests {
 
     /// A linearly separable toy problem in one dimension.
     fn toy() -> (Matrix, Vec<bool>) {
-        let xs: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![i as f64 / 40.0])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
         let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
         (Matrix::from_rows(&xs).unwrap(), y)
     }
 
     #[test]
     fn config_validation() {
-        let mut c = LogisticRegressionConfig::default();
-        c.learning_rate = 0.0;
+        let c = LogisticRegressionConfig {
+            learning_rate: 0.0,
+            ..LogisticRegressionConfig::default()
+        };
         assert!(LogisticRegression::new(c).is_err());
-        let mut c = LogisticRegressionConfig::default();
-        c.max_epochs = 0;
+        let c = LogisticRegressionConfig {
+            max_epochs: 0,
+            ..LogisticRegressionConfig::default()
+        };
         assert!(LogisticRegression::new(c).is_err());
-        let mut c = LogisticRegressionConfig::default();
-        c.l2 = -1.0;
+        let c = LogisticRegressionConfig {
+            l2: -1.0,
+            ..LogisticRegressionConfig::default()
+        };
         assert!(LogisticRegression::new(c).is_err());
     }
 
@@ -287,9 +286,11 @@ mod tests {
         // With an intercept, converged logistic regression satisfies
         // mean(score) ~= mean(label) on the training set.
         let (x, y) = toy();
-        let mut cfg = LogisticRegressionConfig::default();
-        cfg.max_epochs = 5000;
-        cfg.l2 = 0.0;
+        let cfg = LogisticRegressionConfig {
+            max_epochs: 5000,
+            l2: 0.0,
+            ..LogisticRegressionConfig::default()
+        };
         let mut m = LogisticRegression::new(cfg).unwrap();
         m.fit(&x, &y, None).unwrap();
         let scores = m.predict_proba(&x).unwrap();

@@ -183,11 +183,7 @@ impl Matrix {
     #[inline]
     pub fn row_dot(&self, i: usize, weights: &[f64]) -> f64 {
         debug_assert_eq!(weights.len(), self.cols);
-        self.row(i)
-            .iter()
-            .zip(weights)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.row(i).iter().zip(weights).map(|(a, b)| a * b).sum()
     }
 }
 

@@ -39,11 +39,7 @@ pub struct Confusion {
 
 impl Confusion {
     /// Builds a confusion matrix from scores at `threshold`.
-    pub fn at_threshold(
-        scores: &[f64],
-        labels: &[bool],
-        threshold: f64,
-    ) -> Result<Self, MlError> {
+    pub fn at_threshold(scores: &[f64], labels: &[bool], threshold: f64) -> Result<Self, MlError> {
         validate_scores(scores, labels)?;
         let mut c = Confusion::default();
         for (&s, &y) in scores.iter().zip(labels) {

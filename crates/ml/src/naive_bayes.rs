@@ -298,8 +298,13 @@ mod tests {
 
     #[test]
     fn zero_variance_feature_is_floored_not_nan() {
-        let x = Matrix::from_rows(&[vec![1.0, 5.0], vec![1.0, -5.0], vec![1.0, 5.0], vec![1.0, -5.0]])
-            .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 5.0],
+            vec![1.0, -5.0],
+            vec![1.0, 5.0],
+            vec![1.0, -5.0],
+        ])
+        .unwrap();
         let y = vec![true, false, true, false];
         let mut m = GaussianNb::with_defaults();
         m.fit(&x, &y, None).unwrap();

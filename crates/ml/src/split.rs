@@ -16,7 +16,11 @@ pub struct TrainTestSplit {
 /// fraction, shuffled deterministically by `seed`. The test set receives
 /// `round(n · test_fraction)` samples, but both sides always get at least
 /// one sample when `n >= 2`.
-pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Result<TrainTestSplit, MlError> {
+pub fn train_test_split(
+    n: usize,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<TrainTestSplit, MlError> {
     if n == 0 {
         return Err(MlError::EmptyDataset);
     }

@@ -72,8 +72,7 @@ fn slice_metrics(
     if s.is_empty() {
         return Ok(SliceMetrics::empty());
     }
-    let sub_groups =
-        SpatialGroups::new(g, groups.num_groups()).map_err(PipelineError::Fairness)?;
+    let sub_groups = SpatialGroups::new(g, groups.num_groups()).map_err(PipelineError::Fairness)?;
     let e = mean_score(&s);
     let o = positive_fraction(&y);
     Ok(SliceMetrics {

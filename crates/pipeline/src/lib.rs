@@ -6,12 +6,11 @@
 //! resulting partitions are scored with the fairness metrics
 //! (`fsi-fairness`).
 //!
-//! The central entry point is [`run_method`](runner::run_method), which
-//! executes one `(dataset, task, method, height)` cell of the paper's
-//! evaluation matrix and returns a [`MethodRun`](runner::MethodRun) with
-//! the partition, the final model's scores and an
-//! [`EvalReport`](eval::EvalReport). [`run_multi_objective`] covers the
-//! two-task experiments of Figure 10.
+//! The central entry point is [`run_method`], which executes one
+//! `(dataset, task, method, height)` cell of the paper's evaluation matrix
+//! and returns a [`MethodRun`] with the partition, the final model's scores
+//! and an [`EvalReport`]. [`run_multi_objective`] covers the two-task
+//! experiments of Figure 10.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,5 +25,7 @@ pub mod trainer;
 pub use error::PipelineError;
 pub use eval::EvalReport;
 pub use methods::Method;
-pub use runner::{run_method, run_multi_objective, MethodRun, MultiObjectiveRun, RunConfig, TaskSpec};
+pub use runner::{
+    run_method, run_multi_objective, MethodRun, MultiObjectiveRun, RunConfig, TaskSpec,
+};
 pub use trainer::ModelKind;

@@ -109,14 +109,8 @@ impl Retrainer for MlRetrainer<'_> {
         };
         let design = build_design_matrix(self.dataset, effective, self.encoding)
             .map_err(|e| to_core(PipelineError::Data(e)))?;
-        let outcome = train_and_score(
-            self.kind,
-            &design.matrix,
-            self.labels,
-            self.train_idx,
-            None,
-        )
-        .map_err(to_core)?;
+        let outcome = train_and_score(self.kind, &design.matrix, self.labels, self.train_idx, None)
+            .map_err(to_core)?;
         self.trainings += 1;
         let stats =
             training_cell_stats(self.dataset, &outcome.scores, self.labels, &self.train_mask)

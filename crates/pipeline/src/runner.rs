@@ -115,13 +115,9 @@ fn kd_config(height: usize, config: &RunConfig) -> BuildConfig {
 }
 
 /// Counts-only statistics (median splits ignore scores and labels).
-fn count_stats(
-    dataset: &SpatialDataset,
-    train_mask: &[bool],
-) -> Result<CellStats, PipelineError> {
+fn count_stats(dataset: &SpatialDataset, train_mask: &[bool]) -> Result<CellStats, PipelineError> {
     let zeros = vec![0.0; dataset.len()];
     let labels = vec![false; dataset.len()];
-    let _ = &zeros;
     training_cell_stats(dataset, &zeros, &labels, train_mask)
 }
 
@@ -164,18 +160,10 @@ fn build_partition(
             Ok((tree.partition(grid)?, 1))
         }
         Method::IterativeFairKd => {
-            let mut rt = MlRetrainer::new(
-                dataset,
-                labels,
-                config.model,
-                config.encoding,
-                &split.train,
-            );
-            let tree = IterativeBuilder::new(kd_config(height, config))?.build(
-                grid,
-                &FairSplit,
-                &mut rt,
-            )?;
+            let mut rt =
+                MlRetrainer::new(dataset, labels, config.model, config.encoding, &split.train);
+            let tree = IterativeBuilder::new(kd_config(height, config))?
+                .build(grid, &FairSplit, &mut rt)?;
             let trainings = rt.trainings;
             Ok((tree.partition(grid)?, trainings))
         }
@@ -194,7 +182,7 @@ fn build_partition(
                 &QuadConfig {
                     levels: height.div_ceil(2),
                     rule: QuadSplitRule::Fair,
-                ..QuadConfig::default()
+                    ..QuadConfig::default()
                 },
             )?;
             Ok((quad.partition(grid)?, 1))
@@ -355,18 +343,10 @@ pub fn run_multi_objective(
                 .zip(&train_mask)
                 .map(|(&v, &m)| if m { v } else { 0.0 })
                 .collect();
-            let counts: Vec<f64> = train_mask
-                .iter()
-                .map(|&m| f64::from(u8::from(m)))
-                .collect();
+            let counts: Vec<f64> = train_mask.iter().map(|&m| f64::from(u8::from(m))).collect();
             let zeros = vec![0.0; grid.len()];
-            let stats = CellStats::new(
-                grid,
-                &dataset.cell_sums(&counts)?,
-                &zeros,
-                &zeros,
-            )?
-            .with_aux(grid, &dataset.cell_sums(&masked_v)?)?;
+            let stats = CellStats::new(grid, &dataset.cell_sums(&counts)?, &zeros, &zeros)?
+                .with_aux(grid, &dataset.cell_sums(&masked_v)?)?;
             let tree = build_kd_tree(&stats, &MultiObjectiveSplit, &kd_config(height, config))?;
             (tree.partition(grid)?, tasks.len())
         }
@@ -523,15 +503,8 @@ mod tests {
     fn multi_objective_shares_one_partition() {
         let d = small_dataset();
         let tasks = [TaskSpec::act(), TaskSpec::employment()];
-        let run = run_multi_objective(
-            &d,
-            &tasks,
-            &[0.5, 0.5],
-            Method::FairKd,
-            3,
-            &quick_config(),
-        )
-        .unwrap();
+        let run = run_multi_objective(&d, &tasks, &[0.5, 0.5], Method::FairKd, 3, &quick_config())
+            .unwrap();
         assert_eq!(run.per_task.len(), 2);
         // Two initial trainings + two final trainings.
         assert_eq!(run.trainings, 4);
@@ -545,15 +518,9 @@ mod tests {
     fn multi_objective_rejects_unsupported_methods() {
         let d = small_dataset();
         let tasks = [TaskSpec::act()];
-        assert!(run_multi_objective(
-            &d,
-            &tasks,
-            &[1.0],
-            Method::ZipCode,
-            3,
-            &quick_config()
-        )
-        .is_err());
+        assert!(
+            run_multi_objective(&d, &tasks, &[1.0], Method::ZipCode, 3, &quick_config()).is_err()
+        );
         assert!(run_multi_objective(&d, &[], &[], Method::FairKd, 3, &quick_config()).is_err());
     }
 
@@ -561,15 +528,10 @@ mod tests {
     fn bad_alphas_are_rejected() {
         let d = small_dataset();
         let tasks = [TaskSpec::act(), TaskSpec::employment()];
-        assert!(run_multi_objective(
-            &d,
-            &tasks,
-            &[0.9, 0.9],
-            Method::FairKd,
-            3,
-            &quick_config()
-        )
-        .is_err());
+        assert!(
+            run_multi_objective(&d, &tasks, &[0.9, 0.9], Method::FairKd, 3, &quick_config())
+                .is_err()
+        );
     }
 
     #[test]

@@ -33,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "{:<28} ACT ENCE {:.4} | Employment ENCE {:.4}",
-        "Median KD-tree:",
-        median.per_task[0].1.full.ence,
-        median.per_task[1].1.full.ence
+        "Median KD-tree:", median.per_task[0].1.full.ence, median.per_task[1].1.full.ence
     );
 
     // Sweep the task priority: alpha = weight of the ACT task.

@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.eval.full.miscalibration,
         run.eval.test.accuracy
     );
-    println!("\n{:>6} {:>6} {:>8} {:>8} {:>8}", "region", "pop", "e", "o", "|e-o|");
+    println!(
+        "\n{:>6} {:>6} {:>8} {:>8} {:>8}",
+        "region", "pop", "e", "o", "|e-o|"
+    );
     for (id, g) in run.eval.per_group.iter().enumerate() {
         if g.count > 0 {
             println!(

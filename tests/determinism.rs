@@ -37,7 +37,10 @@ fn identical_runs_are_bit_identical() {
             let a = run_method(&d, &task, method, 3, &config).unwrap();
             let b = run_method(&d, &task, method, 3, &config).unwrap();
             assert_eq!(a.scores, b.scores, "{method:?}/{model:?} scores differ");
-            assert_eq!(a.partition, b.partition, "{method:?}/{model:?} partitions differ");
+            assert_eq!(
+                a.partition, b.partition,
+                "{method:?}/{model:?} partitions differ"
+            );
             assert_eq!(a.eval.full.ence, b.eval.full.ence);
             assert_eq!(a.importances, b.importances);
         }
@@ -69,8 +72,22 @@ fn data_seed_changes_dataset_but_pipeline_stays_deterministic() {
     let d1 = dataset(8);
     let d2 = dataset(9);
     assert_ne!(d1.features(), d2.features());
-    let r1 = run_method(&d1, &TaskSpec::act(), Method::FairKd, 3, &RunConfig::default()).unwrap();
-    let r2 = run_method(&d2, &TaskSpec::act(), Method::FairKd, 3, &RunConfig::default()).unwrap();
+    let r1 = run_method(
+        &d1,
+        &TaskSpec::act(),
+        Method::FairKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    let r2 = run_method(
+        &d2,
+        &TaskSpec::act(),
+        Method::FairKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
     assert_ne!(r1.eval.full.ence, r2.eval.full.ence);
 }
 
@@ -78,10 +95,24 @@ fn data_seed_changes_dataset_but_pipeline_stays_deterministic() {
 fn multi_objective_is_deterministic() {
     let d = dataset(8);
     let tasks = [TaskSpec::act(), TaskSpec::employment()];
-    let a = run_multi_objective(&d, &tasks, &[0.5, 0.5], Method::FairKd, 3, &RunConfig::default())
-        .unwrap();
-    let b = run_multi_objective(&d, &tasks, &[0.5, 0.5], Method::FairKd, 3, &RunConfig::default())
-        .unwrap();
+    let a = run_multi_objective(
+        &d,
+        &tasks,
+        &[0.5, 0.5],
+        Method::FairKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    let b = run_multi_objective(
+        &d,
+        &tasks,
+        &[0.5, 0.5],
+        Method::FairKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
     assert_eq!(a.partition, b.partition);
     assert_eq!(a.per_task[0].1.full.ence, b.per_task[0].1.full.ence);
     assert_eq!(a.per_task[1].1.full.ence, b.per_task[1].1.full.ence);

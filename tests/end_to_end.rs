@@ -138,8 +138,7 @@ fn multi_objective_end_to_end() {
     let tasks = [TaskSpec::act(), TaskSpec::employment()];
     for method in [Method::FairKd, Method::MedianKd, Method::GridReweight] {
         let run =
-            run_multi_objective(&d, &tasks, &[0.5, 0.5], method, 4, &RunConfig::default())
-                .unwrap();
+            run_multi_objective(&d, &tasks, &[0.5, 0.5], method, 4, &RunConfig::default()).unwrap();
         assert_eq!(run.per_task.len(), 2);
         for (_, eval) in &run.per_task {
             assert!(eval.full.ence.is_finite());

@@ -39,7 +39,10 @@ fn kd_tree_json_round_trip_preserves_locate() {
     assert_eq!(tree, back);
     for row in 0..16 {
         for col in 0..16 {
-            assert_eq!(tree.locate(row, col).unwrap(), back.locate(row, col).unwrap());
+            assert_eq!(
+                tree.locate(row, col).unwrap(),
+                back.locate(row, col).unwrap()
+            );
         }
     }
 }
@@ -47,7 +50,14 @@ fn kd_tree_json_round_trip_preserves_locate() {
 #[test]
 fn partition_json_round_trip_reevaluates_identically() {
     let d = dataset();
-    let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 4, &RunConfig::default()).unwrap();
+    let run = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::FairKd,
+        4,
+        &RunConfig::default(),
+    )
+    .unwrap();
     let json = serde_json::to_string(&run.partition).unwrap();
     let back: Partition = serde_json::from_str(&json).unwrap();
     assert_eq!(run.partition, back);
@@ -63,8 +73,22 @@ fn dataset_csv_round_trip_reproduces_runs() {
     fsi_data::csv::write_csv(&d, &mut buf).unwrap();
     let back = fsi_data::csv::read_csv(BufReader::new(buf.as_slice()), d.grid().clone()).unwrap();
 
-    let a = run_method(&d, &TaskSpec::act(), Method::FairKd, 3, &RunConfig::default()).unwrap();
-    let b = run_method(&back, &TaskSpec::act(), Method::FairKd, 3, &RunConfig::default()).unwrap();
+    let a = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::FairKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
+    let b = run_method(
+        &back,
+        &TaskSpec::act(),
+        Method::FairKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
     assert_eq!(a.scores, b.scores);
     assert_eq!(a.partition, b.partition);
     assert_eq!(a.eval.full.ence, b.eval.full.ence);
@@ -73,7 +97,14 @@ fn dataset_csv_round_trip_reproduces_runs() {
 #[test]
 fn eval_report_serializes() {
     let d = dataset();
-    let run = run_method(&d, &TaskSpec::act(), Method::MedianKd, 3, &RunConfig::default()).unwrap();
+    let run = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::MedianKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
     let json = serde_json::to_string(&run.eval).unwrap();
     let back: fsi_pipeline::EvalReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.full.n, run.eval.full.n);

@@ -45,7 +45,14 @@ fn theorem1_holds_for_every_method_partition() {
 #[test]
 fn theorem2_holds_for_uniform_refinements_of_real_scores() {
     let d = dataset(4);
-    let run = run_method(&d, &TaskSpec::act(), Method::MedianKd, 3, &RunConfig::default()).unwrap();
+    let run = run_method(
+        &d,
+        &TaskSpec::act(),
+        Method::MedianKd,
+        3,
+        &RunConfig::default(),
+    )
+    .unwrap();
     // Uniform partitions at increasing granularity form a refinement chain.
     let granularities = [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16)];
     let mut prev: Option<(Partition, f64)> = None;

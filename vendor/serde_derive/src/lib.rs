@@ -1,0 +1,406 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the derive input by walking the raw token stream (the real
+//! `syn`/`quote` stack is unavailable offline) and emits `Serialize` /
+//! `Deserialize` impls against the `Value` data model. Supported shapes —
+//! everything this workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs
+//! * enums with unit, tuple and struct variants (externally tagged)
+//!
+//! Generic types are intentionally rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives `serde::Serialize` (the vendored, `Value`-based trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored, `Value`-based trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &shape),
+                Mode::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- token-stream parsing ---------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None | Some(TokenTree::Punct(_)) => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(field_names(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_items(g.stream()))))
+            }
+            other => Err(format!("unexpected token in struct `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(variants(g.stream())?)))
+            }
+            other => Err(format!("expected enum body for `{name}`, got {other:?}")),
+        },
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream at top-level commas, treating `<...>` generic
+/// argument lists as nested (they are bare puncts, not groups). `->` is
+/// recognized so return-type arrows don't unbalance the depth count.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    let mut prev_char = ' ';
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => angle_depth += 1,
+                    '>' if prev_char != '-' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        prev_char = ',';
+                        segments.push(Vec::new());
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_char = c;
+            }
+            _ => prev_char = ' ',
+        }
+        segments.last_mut().unwrap().push(tt);
+    }
+    segments.retain(|seg| !seg.is_empty());
+    segments
+}
+
+fn count_items(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Extracts field names from a named-fields body (`a: T, pub b: U, ...`).
+fn field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                other => Err(format!("expected field name, got {other:?}")),
+            }
+        })
+        .collect()
+}
+
+/// Extracts variants from an enum body.
+fn variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected variant name, got {other:?}")),
+            };
+            i += 1;
+            let kind = match seg.get(i) {
+                None | Some(TokenTree::Punct(_)) => VariantKind::Unit, // unit or `= discr`
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(field_names(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_items(g.stream()))
+                }
+                other => return Err(format!("unexpected token in variant `{name}`: {other:?}")),
+            };
+            Ok(Variant { name, kind })
+        })
+        .collect()
+}
+
+// ---- code generation ---------------------------------------------------
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    let mut out = String::from("::serde::Value::Object(::std::vec![");
+    for (key, expr) in pairs {
+        let _ = write!(out, "(::std::string::String::from({key:?}), {expr}),");
+    }
+    out.push_str("])");
+    out
+}
+
+fn array_literal(exprs: &[String]) -> String {
+    format!("::serde::Value::Array(::std::vec![{}])", exprs.join(","))
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(arity) => {
+            let exprs: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            array_literal(&exprs)
+        }
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
+                .collect();
+            object_literal(&pairs)
+        }
+        Shape::Enum(vars) => {
+            let mut arms = String::new();
+            for v in vars {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__v{i}")).collect();
+                        let exprs: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let inner = array_literal(&exprs);
+                        let tagged = object_literal(&[(vn.clone(), inner)]);
+                        let _ = write!(arms, "{name}::{vn}({}) => {tagged},", binds.join(","));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pairs: Vec<(String, String)> = fields
+                            .iter()
+                            .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        let inner = object_literal(&pairs);
+                        let tagged = object_literal(&[(vn.clone(), inner)]);
+                        let _ =
+                            write!(arms, "{name}::{vn} {{ {} }} => {tagged},", fields.join(","));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_ctor(path: &str, fields: &[String], entries_var: &str) -> String {
+    let mut out = format!("::std::result::Result::Ok({path} {{");
+    for f in fields {
+        let _ = write!(
+            out,
+            "{f}: ::serde::Deserialize::from_value(::serde::get_field({entries_var}, {f:?})?)?,"
+        );
+    }
+    out.push_str("})");
+    out
+}
+
+fn tuple_ctor(path: &str, arity: usize, items_var: &str) -> String {
+    let exprs: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&{items_var}[{i}])?"))
+        .collect();
+    format!(
+        "if {items_var}.len() != {arity} {{\n\
+             return ::std::result::Result::Err(::serde::Error::custom(\n\
+                 format!(\"expected {arity} elements for `{path}`, got {{}}\", {items_var}.len())));\n\
+         }}\n\
+         ::std::result::Result::Ok({path}({}))",
+        exprs.join(",")
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!(
+            "match value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                     format!(\"expected null for unit struct `{name}`, got {{}}\", other.kind()))),\n\
+             }}"
+        ),
+        Shape::TupleStruct(arity) => format!(
+            "let items = value.as_array().ok_or_else(|| ::serde::Error::custom(\n\
+                 format!(\"expected array for `{name}`, got {{}}\", value.kind())))?;\n\
+             {}",
+            tuple_ctor(name, *arity, "items")
+        ),
+        Shape::NamedStruct(fields) => format!(
+            "let entries = value.as_object().ok_or_else(|| ::serde::Error::custom(\n\
+                 format!(\"expected object for `{name}`, got {{}}\", value.kind())))?;\n\
+             {}",
+            named_fields_ctor(name, fields, "entries")
+        ),
+        Shape::Enum(vars) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in vars {
+                let vn = &v.name;
+                let path = format!("{name}::{vn}");
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vn:?} => ::std::result::Result::Ok({path}),"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "{vn:?} => {{\n\
+                                 let items = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\n\
+                                     format!(\"expected array for `{path}`, got {{}}\", __inner.kind())))?;\n\
+                                 {}\n\
+                             }}",
+                            tuple_ctor(&path, *arity, "items")
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "{vn:?} => {{\n\
+                                 let entries = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\n\
+                                     format!(\"expected object for `{path}`, got {{}}\", __inner.kind())))?;\n\
+                                 {}\n\
+                             }}",
+                            named_fields_ctor(&path, fields, "entries")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                             format!(\"unknown unit variant `{{other}}` for enum `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 format!(\"unknown variant `{{other}}` for enum `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                         format!(\"expected enum `{name}`, got {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
