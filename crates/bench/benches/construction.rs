@@ -1,54 +1,12 @@
-//! End-to-end partition construction cost per method.
-//!
-//! Reproduces the paper's §5.3.1 comparison: Fair KD-tree construction
-//! (one model training) vs Iterative Fair KD-tree (one training per
-//! level). The paper measured 102 s vs 189 s at height 10 in Python; we
-//! compare the same ratio on the Rust pipeline.
+//! `cargo bench` harness for the construction suite at full size; the
+//! measurement code lives in [`fsi_bench::suites::construction`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fsi_bench::bench_dataset;
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{construction, Profile};
 
-fn construction(c: &mut Criterion) {
-    let dataset = bench_dataset(1153, 64);
-    let task = TaskSpec::act();
-    let config = RunConfig::default();
-
-    let mut group = c.benchmark_group("construction_h10");
-    group.sample_size(10);
-    for method in [
-        Method::MedianKd,
-        Method::FairKd,
-        Method::IterativeFairKd,
-        Method::GridReweight,
-        Method::FairQuad,
-    ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{method:?}")),
-            &method,
-            |b, &m| {
-                b.iter(|| {
-                    let run = run_method(&dataset, &task, m, 10, &config).expect("run");
-                    black_box(run.eval.full.ence)
-                })
-            },
-        );
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("fair_kd_by_height");
-    group.sample_size(10);
-    for height in [4usize, 6, 8, 10] {
-        group.bench_with_input(BenchmarkId::from_parameter(height), &height, |b, &h| {
-            b.iter(|| {
-                let run = run_method(&dataset, &task, Method::FairKd, h, &config).expect("run");
-                black_box(run.eval.full.ence)
-            })
-        });
-    }
-    group.finish();
+fn benches_full(c: &mut Criterion) {
+    construction::register(c, &Profile::full());
 }
 
-criterion_group!(benches, construction);
+criterion_group!(benches, benches_full);
 criterion_main!(benches);

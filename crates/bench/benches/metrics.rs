@@ -1,50 +1,12 @@
-//! Fairness-metric throughput: ENCE, grouped calibration, grouped ECE.
+//! `cargo bench` harness for the fairness-metric throughput suite at
+//! full size; the measurement code lives in [`fsi_bench::suites::metrics`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fsi_bench::bench_dataset;
-use fsi_fairness::{ence, group_calibration, group_ece, SpatialGroups};
-use fsi_geo::Partition;
-use fsi_ml::calibration::BinningStrategy;
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{metrics, Profile};
 
-fn metrics(c: &mut Criterion) {
-    let dataset = bench_dataset(1153, 64);
-    let labels = dataset.threshold_labels("avg_act", 22.0).unwrap();
-    let scores: Vec<f64> = dataset
-        .locations()
-        .iter()
-        .map(|p| (0.3 + 0.4 * p.x + 0.2 * p.y).clamp(0.0, 1.0))
-        .collect();
-
-    let mut group = c.benchmark_group("fairness_metrics");
-    for regions in [16usize, 256, 1024] {
-        let side = (regions as f64).sqrt() as usize;
-        let partition = Partition::uniform(dataset.grid(), side, side).unwrap();
-        let groups = SpatialGroups::from_partition(dataset.cells(), &partition).unwrap();
-        group.bench_with_input(BenchmarkId::new("ence", regions), &groups, |b, g| {
-            b.iter(|| black_box(ence(&scores, &labels, g).unwrap()))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("group_calibration", regions),
-            &groups,
-            |b, g| b.iter(|| black_box(group_calibration(&scores, &labels, g).unwrap().len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("group_ece_15bin", regions),
-            &groups,
-            |b, g| {
-                b.iter(|| {
-                    black_box(
-                        group_ece(&scores, &labels, g, 15, BinningStrategy::EqualWidth)
-                            .unwrap()
-                            .len(),
-                    )
-                })
-            },
-        );
-    }
-    group.finish();
+fn benches_full(c: &mut Criterion) {
+    metrics::register(c, &Profile::full());
 }
 
-criterion_group!(benches, metrics);
+criterion_group!(benches, benches_full);
 criterion_main!(benches);

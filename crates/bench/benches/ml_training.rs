@@ -1,37 +1,12 @@
-//! Classifier fit/score throughput on the paper-scale workload
-//! (1153 rows, 7 design columns under the centroid encoding).
+//! `cargo bench` harness for the classifier-training suite at full size;
+//! the measurement code lives in [`fsi_bench::suites::ml_training`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fsi_bench::bench_dataset;
-use fsi_data::{build_design_matrix, LocationEncoding};
-use fsi_geo::Partition;
-use fsi_pipeline::trainer::{train_and_score, ModelKind};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{ml_training, Profile};
 
-fn ml_training(c: &mut Criterion) {
-    let dataset = bench_dataset(1153, 64);
-    let labels = dataset.threshold_labels("avg_act", 22.0).unwrap();
-    let partition = Partition::uniform(dataset.grid(), 8, 8).unwrap();
-    let design = build_design_matrix(&dataset, &partition, LocationEncoding::CentroidXY).unwrap();
-    let train_idx: Vec<usize> = (0..dataset.len()).collect();
-
-    let mut group = c.benchmark_group("fit_and_score_1153x7");
-    group.sample_size(10);
-    for kind in ModelKind::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{kind:?}")),
-            &kind,
-            |b, &k| {
-                b.iter(|| {
-                    let out = train_and_score(k, &design.matrix, &labels, &train_idx, None)
-                        .expect("training succeeds");
-                    black_box(out.scores.len())
-                })
-            },
-        );
-    }
-    group.finish();
+fn benches_full(c: &mut Criterion) {
+    ml_training::register(c, &Profile::full());
 }
 
-criterion_group!(benches, ml_training);
+criterion_group!(benches, benches_full);
 criterion_main!(benches);

@@ -1,76 +1,12 @@
-//! The Eq. 9 split-index scan: summed-area tables vs a naive rescan.
-//!
-//! Scoring one candidate needs the residual of both sides. With SATs that
-//! is O(1) per candidate (O(extent) per node); recomputing per-cell sums
-//! for every candidate is O(extent · cells). This ablation bench
-//! quantifies why `CellStats` exists.
+//! `cargo bench` harness for the SAT-vs-naive split-scan suite at full
+//! size; the measurement code lives in [`fsi_bench::suites::split_search`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fsi_bench::{bench_dataset, bench_stats};
-use fsi_core::{split, BuildConfig, FairSplit};
-use fsi_geo::{Axis, CellRect};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{split_search, Profile};
 
-/// Naive candidate scan: per-cell sums recomputed for every offset.
-fn naive_scan(
-    counts: &[f64],
-    scores: &[f64],
-    labels: &[f64],
-    cols: usize,
-    region: &CellRect,
-) -> (usize, f64) {
-    let residual = |rect: &CellRect| -> f64 {
-        let mut r = 0.0;
-        for (row, col) in rect.cells() {
-            let i = row * cols + col;
-            let _ = counts[i];
-            r += scores[i] - labels[i];
-        }
-        r
-    };
-    let mut best = (1usize, f64::INFINITY);
-    for k in 1..region.num_rows() {
-        let (lo, hi) = region.split_at(Axis::Row, k).expect("valid offset");
-        let z = (residual(&lo).abs() - residual(&hi).abs()).abs();
-        if z < best.1 {
-            best = (k, z);
-        }
-    }
-    best
+fn benches_full(c: &mut Criterion) {
+    split_search::register(c, &Profile::full());
 }
 
-fn split_search(c: &mut Criterion) {
-    let dataset = bench_dataset(1153, 64);
-    let stats = bench_stats(&dataset);
-    let labels = dataset.threshold_labels("avg_act", 22.0).unwrap();
-    let scores: Vec<f64> = dataset
-        .locations()
-        .iter()
-        .map(|p| (0.3 + 0.4 * p.x + 0.2 * p.y).clamp(0.0, 1.0))
-        .collect();
-    let counts = dataset.cell_populations();
-    let score_sums = dataset.cell_sums(&scores).unwrap();
-    let label_sums = dataset.cell_label_sums(&labels).unwrap();
-    let region = dataset.grid().full_rect();
-    let config = BuildConfig::default();
-
-    let mut group = c.benchmark_group("split_search_full_grid");
-    group.bench_function(BenchmarkId::from_parameter("sat"), |b| {
-        b.iter(|| {
-            let d = split::choose_split(&FairSplit, &stats, &region, Axis::Row, &config)
-                .expect("no error")
-                .expect("grid is splittable");
-            black_box(d.offset)
-        })
-    });
-    group.bench_function(BenchmarkId::from_parameter("naive"), |b| {
-        b.iter(|| {
-            let best = naive_scan(&counts, &score_sums, &label_sums, 64, &region);
-            black_box(best.0)
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(benches, split_search);
+criterion_group!(benches, benches_full);
 criterion_main!(benches);

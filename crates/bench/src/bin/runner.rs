@@ -1,0 +1,191 @@
+//! `fsi-bench` runner: all four benchmark suites in one process, with a
+//! machine-readable perf baseline at the repo root.
+//!
+//! ```text
+//! cargo run -p fsi-bench --release --bin runner -- --smoke|--full [OPTIONS]
+//!
+//!   --smoke                 tiny datasets, seconds end-to-end (CI profile)
+//!   --full                  paper-scale datasets (the recorded baseline)
+//!   --save-baseline [PATH]  merge results into PATH
+//!                           (default <repo root>/BENCH_baseline.json;
+//!                           this is also the default action when
+//!                           --baseline is not given)
+//!   --baseline [PATH]       compare against PATH instead of saving; exit
+//!                           1 when any benchmark regressed past the
+//!                           threshold. Current results are still written
+//!                           to target/criterion/BENCH_current.json.
+//!   --threshold-pct N       regression threshold in percent (default 15;
+//!                           CI uses 200, i.e. fail only beyond 3x)
+//!   --filter SUBSTR         only run benchmarks whose id contains SUBSTR
+//! ```
+//!
+//! Per-bench JSON artifacts always land under `target/criterion/<group>/`.
+//! Smoke and full benchmark ids encode their dataset sizes, so one
+//! baseline file can hold both profiles side by side; comparison is
+//! strictly by id, and ids absent from the baseline are reported as new,
+//! never as failures.
+
+use criterion::report::BenchRecord;
+use criterion::Criterion;
+use fsi_bench::suites::{register_all, Profile};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    profile: Profile,
+    baseline: Option<PathBuf>,
+    save_baseline: PathBuf,
+    explicit_save: bool,
+    threshold_pct: f64,
+    filter: Option<String>,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("runner: {err}");
+    eprintln!(
+        "usage: runner --smoke|--full [--save-baseline [PATH]] [--baseline [PATH]] \
+         [--threshold-pct N] [--filter SUBSTR]"
+    );
+    std::process::exit(2);
+}
+
+/// The workspace root: the parent of the `target` directory the runner
+/// executable lives in.
+fn repo_root() -> PathBuf {
+    criterion::target_dir()
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn parse_args() -> Args {
+    let default_baseline = repo_root().join("BENCH_baseline.json");
+    let mut profile: Option<Profile> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut save_baseline = default_baseline.clone();
+    let mut explicit_save = false;
+    let mut threshold_pct = 15.0;
+    let mut filter = None;
+
+    let mut args = std::env::args().skip(1).peekable();
+    // A PATH following --baseline / --save-baseline is optional; a bare
+    // flag (or one followed by another flag) means the default path.
+    let optional_path = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>| {
+        if args.peek().is_some_and(|v| !v.starts_with("--")) {
+            args.next().map(PathBuf::from)
+        } else {
+            None
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Some(Profile::smoke()),
+            "--full" => profile = Some(Profile::full()),
+            "--baseline" => {
+                baseline =
+                    Some(optional_path(&mut args).unwrap_or_else(|| default_baseline.clone()))
+            }
+            "--save-baseline" => {
+                if let Some(path) = optional_path(&mut args) {
+                    save_baseline = path;
+                }
+                explicit_save = true;
+            }
+            "--threshold-pct" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--threshold-pct requires a value"));
+                threshold_pct = value
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threshold-pct takes a percentage"));
+            }
+            "--filter" => {
+                filter = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--filter requires a value")),
+                );
+            }
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let profile = profile.unwrap_or_else(|| usage("pick a profile: --smoke or --full"));
+    if explicit_save && baseline.is_some() {
+        usage("--save-baseline and --baseline are mutually exclusive");
+    }
+    Args {
+        profile,
+        baseline,
+        save_baseline,
+        explicit_save,
+        threshold_pct,
+        filter,
+    }
+}
+
+fn run_suites(args: &Args) -> Vec<BenchRecord> {
+    let mut criterion = args.profile.configure(Criterion::default());
+    if let Some(filter) = &args.filter {
+        criterion = criterion.filter(filter.clone());
+    }
+    println!(
+        "fsi-bench runner — profile {} (n={}, grid={}x{}, h={})",
+        args.profile.name,
+        args.profile.n_individuals,
+        args.profile.grid_side,
+        args.profile.grid_side,
+        args.profile.method_height,
+    );
+    let started = std::time::Instant::now();
+    register_all(&mut criterion, &args.profile);
+    let records = criterion::take_records();
+    println!(
+        "{} benchmarks measured in {:.1?} (artifacts under {})",
+        records.len(),
+        started.elapsed(),
+        criterion::default_output_dir().display(),
+    );
+    records
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let records = run_suites(&args);
+    if records.is_empty() {
+        eprintln!("runner: no benchmarks matched");
+        return ExitCode::from(2);
+    }
+
+    let code = match &args.baseline {
+        Some(baseline_path) => {
+            // Keep this run's numbers inspectable (CI uploads the whole
+            // target/criterion directory) without touching the baseline.
+            // Written fresh — never merged — so it only ever holds this
+            // run's results even when target/ was restored from a cache.
+            let current_path = criterion::default_output_dir().join("BENCH_current.json");
+            let mut current = criterion::report::Baseline::default();
+            current.merge_records(&records);
+            if let Err(err) = current.save(&current_path) {
+                eprintln!("runner: cannot write {}: {err}", current_path.display());
+            }
+            // Unfiltered runs must also account for every baseline entry
+            // of this profile: a vanished benchmark fails the gate.
+            let expected_profile = if args.filter.is_none() {
+                Some(args.profile.name)
+            } else {
+                None
+            };
+            criterion::compare_against(
+                baseline_path,
+                &records,
+                args.threshold_pct,
+                expected_profile,
+            )
+        }
+        None => {
+            let _ = args.explicit_save; // saving is also the default action
+            criterion::save_baseline_at(&args.save_baseline, &records)
+        }
+    };
+    ExitCode::from(u8::try_from(code).unwrap_or(2))
+}

@@ -1,17 +1,27 @@
-//! # fsi-bench — benchmark fixtures
+//! # fsi-bench — benchmark fixtures, suites, and the perf-gate runner
 //!
-//! Shared fixtures for the Criterion benchmarks. The benchmarks themselves
-//! live in `benches/`:
+//! The measurement code for all four suites lives in [`suites`], driven
+//! from two entry points:
 //!
-//! * `construction` — end-to-end partition construction per method
-//!   (reproduces the §5.3.1 Fair-vs-Iterative cost comparison as a ratio).
-//! * `split_search` — the Eq. 9 split scan: summed-area-table O(extent)
-//!   implementation vs a naive per-cell rescan.
-//! * `ml_training` — classifier fit/score throughput.
-//! * `metrics` — ENCE and grouped-calibration throughput.
+//! * the classic per-suite `cargo bench` harnesses in `benches/*.rs`;
+//! * the `runner` binary (`cargo run -p fsi-bench --release --bin runner
+//!   -- --smoke|--full`), which runs everything in one process and
+//!   saves/compares the repo-root `BENCH_baseline.json` perf baseline.
+//!
+//! The suites:
+//!
+//! * [`suites::construction`] — end-to-end partition construction per
+//!   method (reproduces the §5.3.1 Fair-vs-Iterative cost comparison as
+//!   a ratio) plus a Fair KD-tree height sweep.
+//! * [`suites::split_search`] — the Eq. 9 split scan: summed-area-table
+//!   O(extent) implementation vs a naive per-cell rescan.
+//! * [`suites::ml_training`] — classifier fit/score throughput.
+//! * [`suites::metrics`] — ENCE and grouped-calibration throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod suites;
 
 use fsi_core::CellStats;
 use fsi_data::synth::city::{CityConfig, CityGenerator};

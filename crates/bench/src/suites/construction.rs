@@ -1,0 +1,62 @@
+//! End-to-end partition construction cost per method.
+//!
+//! Reproduces the paper's §5.3.1 comparison: Fair KD-tree construction
+//! (one model training) vs Iterative Fair KD-tree (one training per
+//! level). The paper measured 102 s vs 189 s at height 10 in Python; we
+//! compare the same ratio on the Rust pipeline, plus a height sweep for
+//! the Fair KD-tree.
+
+use super::Profile;
+use crate::bench_dataset;
+use criterion::{black_box, BenchmarkId, Criterion};
+use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
+
+/// The construction methods compared at the profile's full height.
+pub const METHODS: [Method; 5] = [
+    Method::MedianKd,
+    Method::FairKd,
+    Method::IterativeFairKd,
+    Method::GridReweight,
+    Method::FairQuad,
+];
+
+/// Registers the construction suite under `construction/…` ids.
+pub fn register(c: &mut Criterion, p: &Profile) {
+    let dataset = bench_dataset(p.n_individuals, p.grid_side);
+    let task = TaskSpec::act();
+    let config = RunConfig::default();
+
+    let mut group = c.benchmark_group(format!(
+        "construction/n{}_h{}",
+        p.n_individuals, p.method_height
+    ));
+    for method in METHODS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &method,
+            |b, &m| {
+                b.iter(|| {
+                    let run =
+                        run_method(&dataset, &task, m, p.method_height, &config).expect("run");
+                    black_box(run.eval.full.ence)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group(format!("construction/fair_kd_heights_n{}", p.n_individuals));
+    for &height in p.heights {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("h{height}")),
+            &height,
+            |b, &h| {
+                b.iter(|| {
+                    let run = run_method(&dataset, &task, Method::FairKd, h, &config).expect("run");
+                    black_box(run.eval.full.ence)
+                })
+            },
+        );
+    }
+    group.finish();
+}

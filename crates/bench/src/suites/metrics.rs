@@ -1,0 +1,48 @@
+//! Fairness-metric throughput: ENCE, grouped calibration, grouped ECE.
+
+use super::Profile;
+use crate::bench_dataset;
+use criterion::{black_box, BenchmarkId, Criterion};
+use fsi_fairness::{ence, group_calibration, group_ece, SpatialGroups};
+use fsi_geo::Partition;
+use fsi_ml::calibration::BinningStrategy;
+
+/// Registers the metrics suite under `metrics/…` ids.
+pub fn register(c: &mut Criterion, p: &Profile) {
+    let dataset = bench_dataset(p.n_individuals, p.grid_side);
+    let labels = dataset.threshold_labels("avg_act", 22.0).unwrap();
+    let scores: Vec<f64> = dataset
+        .locations()
+        .iter()
+        .map(|pt| (0.3 + 0.4 * pt.x + 0.2 * pt.y).clamp(0.0, 1.0))
+        .collect();
+
+    let mut group = c.benchmark_group(format!("metrics/n{}", p.n_individuals));
+    for &regions in p.metric_regions {
+        let side = (regions as f64).sqrt() as usize;
+        let partition = Partition::uniform(dataset.grid(), side, side).unwrap();
+        let groups = SpatialGroups::from_partition(dataset.cells(), &partition).unwrap();
+        group.bench_with_input(BenchmarkId::new("ence", regions), &groups, |b, g| {
+            b.iter(|| black_box(ence(&scores, &labels, g).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("group_calibration", regions),
+            &groups,
+            |b, g| b.iter(|| black_box(group_calibration(&scores, &labels, g).unwrap().len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("group_ece_15bin", regions),
+            &groups,
+            |b, g| {
+                b.iter(|| {
+                    black_box(
+                        group_ece(&scores, &labels, g, 15, BinningStrategy::EqualWidth)
+                            .unwrap()
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}

@@ -1,0 +1,38 @@
+//! Classifier fit/score throughput on the profile's workload
+//! (7 design columns under the centroid encoding).
+
+use super::Profile;
+use crate::bench_dataset;
+use criterion::{black_box, BenchmarkId, Criterion};
+use fsi_data::{build_design_matrix, LocationEncoding};
+use fsi_geo::Partition;
+use fsi_pipeline::trainer::{train_and_score, ModelKind};
+
+/// Registers the training suite under `ml_training/…` ids.
+pub fn register(c: &mut Criterion, p: &Profile) {
+    let dataset = bench_dataset(p.n_individuals, p.grid_side);
+    let labels = dataset.threshold_labels("avg_act", 22.0).unwrap();
+    let partition = Partition::uniform(dataset.grid(), 8, 8).unwrap();
+    let design = build_design_matrix(&dataset, &partition, LocationEncoding::CentroidXY).unwrap();
+    let train_idx: Vec<usize> = (0..dataset.len()).collect();
+
+    let mut group = c.benchmark_group(format!(
+        "ml_training/fit_and_score_{}x{}",
+        p.n_individuals,
+        design.matrix.cols()
+    ));
+    for kind in ModelKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    let out = train_and_score(k, &design.matrix, &labels, &train_idx, None)
+                        .expect("training succeeds");
+                    black_box(out.scores.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}

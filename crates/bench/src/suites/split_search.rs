@@ -1,0 +1,74 @@
+//! The Eq. 9 split-index scan: summed-area tables vs a naive rescan.
+//!
+//! Scoring one candidate needs the residual of both sides. With SATs that
+//! is O(1) per candidate (O(extent) per node); recomputing per-cell sums
+//! for every candidate is O(extent · cells). This ablation bench
+//! quantifies why `CellStats` exists.
+
+use super::Profile;
+use crate::{bench_dataset, bench_stats};
+use criterion::{black_box, BenchmarkId, Criterion};
+use fsi_core::{split, BuildConfig, FairSplit};
+use fsi_geo::{Axis, CellRect};
+
+/// Naive candidate scan: per-cell sums recomputed for every offset.
+fn naive_scan(
+    counts: &[f64],
+    scores: &[f64],
+    labels: &[f64],
+    cols: usize,
+    region: &CellRect,
+) -> (usize, f64) {
+    let residual = |rect: &CellRect| -> f64 {
+        let mut r = 0.0;
+        for (row, col) in rect.cells() {
+            let i = row * cols + col;
+            let _ = counts[i];
+            r += scores[i] - labels[i];
+        }
+        r
+    };
+    let mut best = (1usize, f64::INFINITY);
+    for k in 1..region.num_rows() {
+        let (lo, hi) = region.split_at(Axis::Row, k).expect("valid offset");
+        let z = (residual(&lo).abs() - residual(&hi).abs()).abs();
+        if z < best.1 {
+            best = (k, z);
+        }
+    }
+    best
+}
+
+/// Registers the split-scan suite under `split_search/…` ids.
+pub fn register(c: &mut Criterion, p: &Profile) {
+    let dataset = bench_dataset(p.n_individuals, p.grid_side);
+    let stats = bench_stats(&dataset);
+    let labels = dataset.threshold_labels("avg_act", 22.0).unwrap();
+    let scores: Vec<f64> = dataset
+        .locations()
+        .iter()
+        .map(|pt| (0.3 + 0.4 * pt.x + 0.2 * pt.y).clamp(0.0, 1.0))
+        .collect();
+    let counts = dataset.cell_populations();
+    let score_sums = dataset.cell_sums(&scores).unwrap();
+    let label_sums = dataset.cell_label_sums(&labels).unwrap();
+    let region = dataset.grid().full_rect();
+    let config = BuildConfig::default();
+
+    let mut group = c.benchmark_group(format!("split_search/grid{}", p.grid_side));
+    group.bench_function(BenchmarkId::from_parameter("sat"), |b| {
+        b.iter(|| {
+            let d = split::choose_split(&FairSplit, &stats, &region, Axis::Row, &config)
+                .expect("no error")
+                .expect("grid is splittable");
+            black_box(d.offset)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+        b.iter(|| {
+            let best = naive_scan(&counts, &score_sums, &label_sums, p.grid_side, &region);
+            black_box(best.0)
+        })
+    });
+    group.finish();
+}

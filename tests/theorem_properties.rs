@@ -1,5 +1,9 @@
 //! Property-based verification of the paper's Theorems 1 and 2 against
 //! real pipeline partitions (not just synthetic groupings).
+//!
+//! The properties that execute the full pipeline many times are marked
+//! `#[ignore]` to keep the default `cargo test` fast; CI's `full-tests`
+//! job (and `cargo test --release -- --ignored` locally) still runs them.
 
 use fsi_data::synth::city::{CityConfig, CityGenerator};
 use fsi_data::SpatialDataset;
@@ -22,6 +26,7 @@ fn dataset(seed: u64) -> SpatialDataset {
 }
 
 #[test]
+#[ignore = "runs the full pipeline for all six methods; covered by CI's full-tests job"]
 fn theorem1_holds_for_every_method_partition() {
     let d = dataset(3);
     for method in [
@@ -76,6 +81,7 @@ proptest! {
 
     /// Theorem 2 against arbitrary coarsenings of a real tree partition.
     #[test]
+    #[ignore = "16 full pipeline runs; covered by CI's full-tests job"]
     fn theorem2_holds_for_random_coarsenings(seed in 0u64..500) {
         let d = dataset(5);
         let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 4, &RunConfig::default())

@@ -1,42 +1,268 @@
-//! Offline vendored stand-in for `criterion`.
+//! Offline vendored stand-in for `criterion` — now a real statistical
+//! harness rather than a stopwatch.
 //!
 //! Implements the benchmark-facing API the workspace's benches use
 //! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
 //! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
-//! [`criterion_group!`], [`criterion_main!`]) with a simple wall-clock
-//! measurement loop: a short warm-up, then `sample_size` timed samples,
-//! reporting min/median/mean per benchmark on stdout.
+//! [`criterion_group!`], [`criterion_main!`]) on top of:
 //!
-//! No statistical analysis, HTML reports or `target/criterion` artifacts —
-//! numbers land on stdout and that's it. Good enough to compare the SAT
-//! split scan against the naive rescan, or Fair vs Iterative construction.
+//! * a configurable **warm-up** phase that also estimates the routine's
+//!   per-iteration cost;
+//! * **adaptive iteration batching**: each benchmark targets a per-bench
+//!   measurement-time budget, so microsecond routines batch thousands of
+//!   iterations per sample while second-scale routines run one;
+//! * **statistics** (mean/median/std-dev/p95) with Tukey IQR outlier
+//!   rejection ([`stats`]);
+//! * **JSON artifacts** per benchmark under
+//!   `target/criterion/<group>/<bench>.json` ([`report`]);
+//! * **baseline save/compare** (`--save-baseline` / `--baseline`) with a
+//!   percentage regression threshold and a nonzero exit code on
+//!   regression.
+//!
+//! Command line (after `cargo bench -- …`):
+//!
+//! ```text
+//! [FILTER]                    only run benchmarks whose id contains FILTER
+//! --sample-size N             timed samples per benchmark (default 20)
+//! --warm-up-ms N              warm-up duration (default 300)
+//! --measurement-ms N          per-bench measurement budget (default 1000)
+//! --save-baseline NAME        record results under NAME after the run
+//! --baseline NAME             compare against NAME; exit 1 on regression
+//! --regression-threshold PCT  regression threshold in percent (default 15)
+//! --output-dir PATH           artifact root (default target/criterion)
+//! --profile NAME              label recorded into artifacts/baselines
+//! ```
+//!
+//! A baseline NAME containing a path separator or ending in `.json` is
+//! used as a file path verbatim; otherwise it lives at
+//! `<output-dir>/baseline-<NAME>.json`. Saving merges into an existing
+//! file so filtered runs update only the benchmarks they ran.
+//!
+//! Still intentionally absent vs the real crate: HTML reports, bootstrap
+//! confidence intervals, and plotting.
 
 #![forbid(unsafe_code)]
 
+pub mod report;
+pub mod stats;
+
+use report::BenchRecord;
+use stats::fmt_ns;
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Top-level benchmark driver; one per `criterion_group!`.
-pub struct Criterion {
+// ---- configuration -----------------------------------------------------
+
+/// Resolved harness configuration (CLI flags + builder overrides).
+#[derive(Debug, Clone)]
+struct BenchConfig {
     sample_size: usize,
+    warm_up: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    output_dir: PathBuf,
+    profile: String,
+    baseline: Option<String>,
+    save_baseline: Option<String>,
+    threshold_pct: f64,
 }
 
-impl Default for Criterion {
+impl Default for BenchConfig {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        BenchConfig {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            filter: None,
+            output_dir: default_output_dir(),
+            profile: "bench".to_string(),
+            baseline: None,
+            save_baseline: None,
+            threshold_pct: 15.0,
+        }
     }
 }
 
+impl BenchConfig {
+    fn from_args<I: Iterator<Item = String>>(args: I) -> BenchConfig {
+        let mut cfg = BenchConfig::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let take_value = |name: &str, args: &mut std::iter::Peekable<I>| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--sample-size" => {
+                    cfg.sample_size = take_value("--sample-size", &mut args)
+                        .parse()
+                        .expect("--sample-size takes an integer");
+                    assert!(cfg.sample_size >= 2, "sample size must be at least 2");
+                }
+                "--warm-up-ms" => {
+                    cfg.warm_up = Duration::from_millis(
+                        take_value("--warm-up-ms", &mut args)
+                            .parse()
+                            .expect("--warm-up-ms takes milliseconds"),
+                    );
+                }
+                "--measurement-ms" => {
+                    cfg.measurement_time = Duration::from_millis(
+                        take_value("--measurement-ms", &mut args)
+                            .parse()
+                            .expect("--measurement-ms takes milliseconds"),
+                    );
+                }
+                "--save-baseline" => {
+                    cfg.save_baseline = Some(take_value("--save-baseline", &mut args));
+                }
+                "--baseline" => {
+                    cfg.baseline = Some(take_value("--baseline", &mut args));
+                }
+                "--regression-threshold" => {
+                    cfg.threshold_pct = take_value("--regression-threshold", &mut args)
+                        .parse()
+                        .expect("--regression-threshold takes a percentage");
+                }
+                "--output-dir" => {
+                    cfg.output_dir = PathBuf::from(take_value("--output-dir", &mut args));
+                }
+                "--profile" => {
+                    cfg.profile = take_value("--profile", &mut args);
+                }
+                // Cargo passes `--bench` to harness=false bench binaries.
+                "--bench" => {}
+                other if other.starts_with("--") => {
+                    eprintln!("criterion: ignoring unknown flag `{other}`");
+                    // Swallow a value that clearly belongs to the flag.
+                    if args.peek().is_some_and(|v| !v.starts_with("--")) {
+                        args.next();
+                    }
+                }
+                positional => {
+                    cfg.filter = Some(positional.to_string());
+                }
+            }
+        }
+        cfg
+    }
+
+    /// Resolves a baseline name to its file path.
+    fn baseline_path(&self, name: &str) -> PathBuf {
+        if name.ends_with(".json") || name.contains(std::path::MAIN_SEPARATOR) {
+            PathBuf::from(name)
+        } else {
+            self.output_dir.join(format!("baseline-{name}.json"))
+        }
+    }
+}
+
+/// The artifact root for this process: `<target dir>/criterion`, located
+/// by walking up from the running executable (bench binaries live under
+/// `target/<profile>/deps/`). Falls back to `./target/criterion`.
+pub fn default_output_dir() -> PathBuf {
+    target_dir().join("criterion")
+}
+
+/// The Cargo target directory containing the running executable, or
+/// `./target` when it cannot be located.
+pub fn target_dir() -> PathBuf {
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from("target")
+}
+
+// ---- registry ----------------------------------------------------------
+
+static REGISTRY: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn push_record(record: BenchRecord) {
+    REGISTRY.lock().expect("registry poisoned").push(record);
+}
+
+/// Drains every benchmark result recorded in this process so far, in run
+/// order. Used by [`criterion_main!`]'s finalizer and by external runners
+/// (the `fsi-bench` runner binary) that post-process results themselves.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut *REGISTRY.lock().expect("registry poisoned"))
+}
+
+// ---- driver ------------------------------------------------------------
+
+/// Top-level benchmark driver; one per [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    config: BenchConfig,
+}
+
 impl Criterion {
+    /// Applies the process's command-line flags on top of the defaults
+    /// (called by [`criterion_group!`]).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.config = BenchConfig::from_args(std::env::args().skip(1));
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement-time budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the artifact root directory.
+    #[must_use]
+    pub fn output_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.output_dir = dir.into();
+        self
+    }
+
+    /// Sets the profile label recorded in artifacts and baselines.
+    #[must_use]
+    pub fn profile(mut self, label: impl Into<String>) -> Self {
+        self.config.profile = label.into();
+        self
+    }
+
+    /// Restricts the run to benchmarks whose id contains `substring`.
+    #[must_use]
+    pub fn filter(mut self, substring: impl Into<String>) -> Self {
+        self.config.filter = Some(substring.into());
+        self
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let sample_size = self.sample_size;
+        let config = self.config.clone();
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
-            sample_size,
+            config,
         }
     }
 
@@ -45,8 +271,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let sample_size = self.sample_size;
-        run_benchmark(&id.into().0, sample_size, f);
+        run_benchmark(&id.into().0, &self.config, f);
         self
     }
 }
@@ -78,18 +303,31 @@ impl From<String> for BenchmarkId {
     }
 }
 
-/// A group of related benchmarks sharing a name prefix and sample size.
+/// A group of related benchmarks sharing a name prefix and measurement
+/// settings.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
-    sample_size: usize,
+    config: BenchConfig,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Overrides the number of timed samples for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n >= 2, "sample_size must be at least 2");
-        self.sample_size = n;
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Overrides the measurement-time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
         self
     }
 
@@ -99,7 +337,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into().0);
-        run_benchmark(&full, self.sample_size, f);
+        run_benchmark(&full, &self.config, f);
         self
     }
 
@@ -122,52 +360,195 @@ impl BenchmarkGroup<'_> {
 
 /// Passed to the benchmark closure; runs the measurement loop.
 pub struct Bencher {
-    samples: Vec<Duration>,
+    warm_up: Duration,
+    measurement_time: Duration,
     sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
 }
 
 impl Bencher {
-    /// Times `routine`, collecting one duration per sample.
+    /// Times `routine`: warms up for the configured duration (estimating
+    /// per-iteration cost), picks an iteration batch size so the timed
+    /// samples fill the measurement budget, then records `sample_size`
+    /// per-iteration timings.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up: until ~50 ms or 3 iterations, whichever first.
-        let warmup_start = Instant::now();
-        for _ in 0..3 {
-            black_box(routine());
-            if warmup_start.elapsed() > Duration::from_millis(50) {
+        // Warm-up with doubling batches; the elapsed total estimates the
+        // per-iteration cost without per-call `Instant` overhead.
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        let mut warm_iters = 0u64;
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            warm_iters += batch;
+            if warm_start.elapsed() >= self.warm_up {
                 break;
             }
+            batch = batch.saturating_mul(2).min(1 << 20);
         }
-        self.samples.clear();
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.1);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((budget_ns / est_ns).round() as u64).clamp(1, 1 << 30);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
         for _ in 0..self.sample_size {
             let start = Instant::now();
-            black_box(routine());
-            self.samples.push(start.elapsed());
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
         }
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, config: &BenchConfig, mut f: F) {
+    if let Some(filter) = &config.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
     let mut bencher = Bencher {
-        samples: Vec::new(),
-        sample_size,
+        warm_up: config.warm_up,
+        measurement_time: config.measurement_time,
+        sample_size: config.sample_size,
+        samples_ns: Vec::new(),
+        iters_per_sample: 0,
     };
     f(&mut bencher);
-    if bencher.samples.is_empty() {
-        println!("{name:<50} (no samples — closure never called iter)");
+    let Some(stats) = stats::compute(&bencher.samples_ns) else {
+        println!("{id:<55} (no samples — closure never called iter)");
         return;
-    }
-    let mut sorted = bencher.samples.clone();
-    sorted.sort();
-    let min = sorted[0];
-    let median = sorted[sorted.len() / 2];
-    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    };
     println!(
-        "{name:<50} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
-        min,
-        median,
-        mean,
-        sorted.len()
+        "{id:<55} median {:>9}  mean {:>9} ± {:>9}  p95 {:>9}  ({}/{} samples, {} iters/sample)",
+        fmt_ns(stats.median_ns),
+        fmt_ns(stats.mean_ns),
+        fmt_ns(stats.std_dev_ns),
+        fmt_ns(stats.p95_ns),
+        stats.kept,
+        stats.kept + stats.rejected,
+        bencher.iters_per_sample,
     );
+    let record = BenchRecord {
+        id: id.to_string(),
+        profile: config.profile.clone(),
+        stats,
+        iters_per_sample: bencher.iters_per_sample,
+        samples_ns: bencher.samples_ns.clone(),
+    };
+    if let Err(err) = report::write_artifact(&config.output_dir, &record) {
+        eprintln!("criterion: cannot write artifact for `{id}`: {err}");
+    }
+    push_record(record);
+}
+
+// ---- finalization ------------------------------------------------------
+
+/// Handles `--save-baseline` / `--baseline` for a standalone bench binary
+/// after all groups ran (called by [`criterion_main!`]). Returns the
+/// process exit code: `1` when any benchmark regressed past the
+/// threshold, `2` on a baseline usage/parse error, `0` otherwise.
+pub fn finalize_from_args() -> i32 {
+    let config = BenchConfig::from_args(std::env::args().skip(1));
+    let records = take_records();
+    finalize(&config, &records)
+}
+
+fn finalize(config: &BenchConfig, records: &[BenchRecord]) -> i32 {
+    match (&config.save_baseline, &config.baseline) {
+        (Some(_), Some(_)) => {
+            eprintln!("criterion: --save-baseline and --baseline are mutually exclusive");
+            2
+        }
+        (Some(name), None) => {
+            let path = config.baseline_path(name);
+            save_baseline_at(&path, records)
+        }
+        (None, Some(name)) => {
+            let path = config.baseline_path(name);
+            // With a filter active, benchmarks were skipped on purpose —
+            // only an unfiltered run can assert completeness.
+            let expected_profile = if config.filter.is_some() {
+                None
+            } else {
+                Some(config.profile.as_str())
+            };
+            compare_against(&path, records, config.threshold_pct, expected_profile)
+        }
+        (None, None) => 0,
+    }
+}
+
+/// Merges `records` into the baseline file at `path` (creating it when
+/// absent) and reports the result. Returns a process exit code.
+pub fn save_baseline_at(path: &Path, records: &[BenchRecord]) -> i32 {
+    let mut baseline = if path.exists() {
+        match report::Baseline::load(path) {
+            Ok(b) => b,
+            Err(err) => {
+                eprintln!("criterion: {err}");
+                return 2;
+            }
+        }
+    } else {
+        report::Baseline::default()
+    };
+    baseline.merge_records(records);
+    match baseline.save(path) {
+        Ok(()) => {
+            println!(
+                "saved baseline ({} entries, {} updated) to {}",
+                baseline.entries.len(),
+                records.len(),
+                path.display()
+            );
+            0
+        }
+        Err(err) => {
+            eprintln!("criterion: cannot save baseline {}: {err}", path.display());
+            2
+        }
+    }
+}
+
+/// Compares `records` against the baseline file at `path`, printing a
+/// verdict table. When `expected_profile` is given, baseline entries
+/// recorded under that profile must all be present in `records` — a
+/// vanished benchmark fails the gate like a regression; pass `None` on
+/// filtered runs, where absences are intentional. Returns a process
+/// exit code (1 on any regression or missing benchmark).
+pub fn compare_against(
+    path: &Path,
+    records: &[BenchRecord],
+    threshold_pct: f64,
+    expected_profile: Option<&str>,
+) -> i32 {
+    let baseline = match report::Baseline::load(path) {
+        Ok(b) => b,
+        Err(err) => {
+            eprintln!("criterion: {err}");
+            return 2;
+        }
+    };
+    let rows = report::compare(records, &baseline, threshold_pct);
+    let regressions = report::print_comparison(&rows, threshold_pct);
+    // `None` (filtered run) skips the completeness check entirely —
+    // benchmarks were excluded on purpose.
+    let missing = match expected_profile {
+        Some(profile) => report::missing_ids(records, &baseline, Some(profile)),
+        None => Vec::new(),
+    };
+    for id in &missing {
+        println!("  MISSING   {id:<55} in baseline but did not run");
+    }
+    if regressions > 0 || !missing.is_empty() {
+        1
+    } else {
+        0
+    }
 }
 
 /// Declares a bench group function callable from [`criterion_main!`].
@@ -175,18 +556,93 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: 
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         fn $group() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::default().configure_from_args();
             $( $target(&mut criterion); )+
         }
     };
 }
 
-/// Declares the bench binary's `main`, running each group in order.
+/// Declares the bench binary's `main`: runs each group in order, then
+/// applies baseline save/compare from the command line, exiting nonzero
+/// on regression.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            std::process::exit($crate::finalize_from_args());
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchConfig {
+        BenchConfig::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn args_parse_into_config() {
+        let cfg = parse(&[
+            "--sample-size",
+            "7",
+            "--warm-up-ms",
+            "10",
+            "--measurement-ms",
+            "250",
+            "--regression-threshold",
+            "200",
+            "--profile",
+            "smoke",
+            "split_search",
+        ]);
+        assert_eq!(cfg.sample_size, 7);
+        assert_eq!(cfg.warm_up, Duration::from_millis(10));
+        assert_eq!(cfg.measurement_time, Duration::from_millis(250));
+        assert_eq!(cfg.threshold_pct, 200.0);
+        assert_eq!(cfg.profile, "smoke");
+        assert_eq!(cfg.filter.as_deref(), Some("split_search"));
+    }
+
+    #[test]
+    fn cargo_bench_flag_is_ignored() {
+        let cfg = parse(&["--bench"]);
+        assert_eq!(cfg.filter, None);
+        assert_eq!(cfg.sample_size, 20);
+    }
+
+    #[test]
+    fn baseline_names_resolve_to_output_dir_paths() {
+        let cfg = parse(&["--output-dir", "/tmp/crit"]);
+        assert_eq!(
+            cfg.baseline_path("main"),
+            PathBuf::from("/tmp/crit/baseline-main.json")
+        );
+        assert_eq!(
+            cfg.baseline_path("BENCH_baseline.json"),
+            PathBuf::from("BENCH_baseline.json")
+        );
+        assert_eq!(cfg.baseline_path("a/b"), PathBuf::from("a/b"));
+    }
+
+    #[test]
+    fn bencher_iter_collects_requested_samples() {
+        let mut bencher = Bencher {
+            warm_up: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(10),
+            sample_size: 5,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        let mut x = 0u64;
+        bencher.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(x)
+        });
+        assert_eq!(bencher.samples_ns.len(), 5);
+        assert!(bencher.iters_per_sample >= 1);
+        assert!(bencher.samples_ns.iter().all(|&s| s >= 0.0));
+    }
 }

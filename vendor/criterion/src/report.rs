@@ -1,0 +1,510 @@
+//! Machine-readable benchmark artifacts and baseline comparison.
+//!
+//! Two JSON shapes live here:
+//!
+//! * **Per-bench artifacts** — one file per benchmark under
+//!   `target/criterion/<group>/<bench>.json`, holding that run's
+//!   [`Stats`] plus the raw samples.
+//! * **Baselines** — a single file mapping full benchmark ids to their
+//!   recorded statistics, written by `--save-baseline` and read by
+//!   `--baseline`. The `fsi-bench` runner reuses the same shape for the
+//!   repo-root `BENCH_baseline.json`.
+//!
+//! Comparison is median-vs-median with a percentage threshold: a run
+//! regresses when `median > baseline_median · (1 + threshold/100)` and
+//! improves when it is faster by the mirrored factor.
+
+use crate::stats::{fmt_ns, Stats};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finished benchmark: its full id plus measured statistics.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/bench`).
+    pub id: String,
+    /// Profile label the run was measured under (e.g. `smoke`, `full`).
+    pub profile: String,
+    /// Summary statistics (post IQR rejection).
+    pub stats: Stats,
+    /// Iterations batched per timed sample.
+    pub iters_per_sample: u64,
+    /// Raw per-iteration samples (ns), pre-rejection, in collection order.
+    pub samples_ns: Vec<f64>,
+}
+
+// ---- per-bench artifacts -----------------------------------------------
+
+/// The artifact path for a benchmark id: the segment before the first `/`
+/// becomes the directory, the rest (with `/` → `_`) the file stem.
+pub fn artifact_path(output_dir: &Path, id: &str) -> PathBuf {
+    let (group, bench) = match id.split_once('/') {
+        Some((g, b)) => (g, b.replace('/', "_")),
+        None => ("ungrouped", id.to_string()),
+    };
+    output_dir
+        .join(sanitize(group))
+        .join(format!("{}.json", sanitize(&bench)))
+}
+
+fn sanitize(part: &str) -> String {
+    part.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '=') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes the per-bench JSON artifact for `record`, creating directories
+/// as needed. Returns the path written.
+pub fn write_artifact(output_dir: &Path, record: &BenchRecord) -> io::Result<PathBuf> {
+    let path = artifact_path(output_dir, &record.id);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut fields = record_fields(record);
+    fields.push((
+        "samples_ns".to_string(),
+        Value::Array(record.samples_ns.iter().map(|&s| Value::F64(s)).collect()),
+    ));
+    let json = serde_json::to_string_pretty(&Value::Object(fields))
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    std::fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+fn record_fields(record: &BenchRecord) -> Vec<(String, Value)> {
+    let s = &record.stats;
+    vec![
+        ("id".to_string(), Value::Str(record.id.clone())),
+        ("profile".to_string(), Value::Str(record.profile.clone())),
+        ("mean_ns".to_string(), Value::F64(s.mean_ns)),
+        ("median_ns".to_string(), Value::F64(s.median_ns)),
+        ("std_dev_ns".to_string(), Value::F64(s.std_dev_ns)),
+        ("p95_ns".to_string(), Value::F64(s.p95_ns)),
+        ("min_ns".to_string(), Value::F64(s.min_ns)),
+        ("max_ns".to_string(), Value::F64(s.max_ns)),
+        ("samples_kept".to_string(), Value::U64(s.kept as u64)),
+        (
+            "outliers_rejected".to_string(),
+            Value::U64(s.rejected as u64),
+        ),
+        (
+            "iters_per_sample".to_string(),
+            Value::U64(record.iters_per_sample),
+        ),
+    ]
+}
+
+// ---- baselines ---------------------------------------------------------
+
+/// One benchmark's recorded statistics inside a [`Baseline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Profile label the entry was measured under.
+    pub profile: String,
+    /// Mean per-iteration time (ns).
+    pub mean_ns: f64,
+    /// Median per-iteration time (ns) — the comparison statistic.
+    pub median_ns: f64,
+    /// Sample standard deviation (ns).
+    pub std_dev_ns: f64,
+    /// 95th percentile (ns).
+    pub p95_ns: f64,
+    /// Samples kept after outlier rejection.
+    pub samples_kept: u64,
+    /// Samples rejected as outliers.
+    pub outliers_rejected: u64,
+    /// Iterations batched per timed sample.
+    pub iters_per_sample: u64,
+}
+
+/// A named collection of recorded benchmark statistics, keyed by full id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Id → recorded statistics, sorted for stable serialization.
+    pub entries: BTreeMap<String, BaselineEntry>,
+}
+
+impl Baseline {
+    /// Reads a baseline file. Returns the parse/io error message on failure.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let value: Value = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse baseline {}: {e}", path.display()))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| format!("baseline {} is not a JSON object", path.display()))?;
+        let entries_value = obj
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("baseline {} has no `entries` key", path.display()))?;
+        let entries_obj = entries_value
+            .as_object()
+            .ok_or_else(|| "`entries` is not an object".to_string())?;
+        let mut entries = BTreeMap::new();
+        for (id, entry) in entries_obj {
+            entries.insert(id.clone(), parse_entry(id, entry)?);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Inserts (or overwrites) one entry per record.
+    pub fn merge_records(&mut self, records: &[BenchRecord]) {
+        for r in records {
+            self.entries.insert(
+                r.id.clone(),
+                BaselineEntry {
+                    profile: r.profile.clone(),
+                    mean_ns: r.stats.mean_ns,
+                    median_ns: r.stats.median_ns,
+                    std_dev_ns: r.stats.std_dev_ns,
+                    p95_ns: r.stats.p95_ns,
+                    samples_kept: r.stats.kept as u64,
+                    outliers_rejected: r.stats.rejected as u64,
+                    iters_per_sample: r.iters_per_sample,
+                },
+            );
+        }
+    }
+
+    /// Writes the baseline as pretty JSON, creating parent directories.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let entries = Value::Object(
+            self.entries
+                .iter()
+                .map(|(id, e)| (id.clone(), entry_to_value(e)))
+                .collect(),
+        );
+        let root = Value::Object(vec![
+            ("format_version".to_string(), Value::U64(1)),
+            ("entries".to_string(), entries),
+        ]);
+        let json =
+            serde_json::to_string_pretty(&root).map_err(|e| io::Error::other(e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+}
+
+fn entry_to_value(e: &BaselineEntry) -> Value {
+    Value::Object(vec![
+        ("profile".to_string(), Value::Str(e.profile.clone())),
+        ("mean_ns".to_string(), Value::F64(e.mean_ns)),
+        ("median_ns".to_string(), Value::F64(e.median_ns)),
+        ("std_dev_ns".to_string(), Value::F64(e.std_dev_ns)),
+        ("p95_ns".to_string(), Value::F64(e.p95_ns)),
+        ("samples_kept".to_string(), Value::U64(e.samples_kept)),
+        (
+            "outliers_rejected".to_string(),
+            Value::U64(e.outliers_rejected),
+        ),
+        (
+            "iters_per_sample".to_string(),
+            Value::U64(e.iters_per_sample),
+        ),
+    ])
+}
+
+fn parse_entry(id: &str, value: &Value) -> Result<BaselineEntry, String> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| format!("entry `{id}` is not an object"))?;
+    let num = |key: &str| -> Result<f64, String> {
+        let v = obj
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("entry `{id}` is missing `{key}`"))?;
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            other => Err(format!("entry `{id}`.`{key}` is {}", other.kind())),
+        }
+    };
+    let profile = obj
+        .iter()
+        .find(|(k, _)| k == "profile")
+        .and_then(|(_, v)| v.as_str())
+        .unwrap_or("unknown")
+        .to_string();
+    Ok(BaselineEntry {
+        profile,
+        mean_ns: num("mean_ns")?,
+        median_ns: num("median_ns")?,
+        std_dev_ns: num("std_dev_ns")?,
+        p95_ns: num("p95_ns")?,
+        samples_kept: num("samples_kept")? as u64,
+        outliers_rejected: num("outliers_rejected")? as u64,
+        iters_per_sample: num("iters_per_sample")? as u64,
+    })
+}
+
+// ---- comparison --------------------------------------------------------
+
+/// Outcome of comparing one benchmark against its baseline entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Slower than baseline by more than the threshold.
+    Regressed,
+    /// Faster than baseline by more than the threshold.
+    Improved,
+    /// Within the threshold either way.
+    Within,
+    /// Not present in the baseline.
+    New,
+}
+
+/// Classifies `current_ns` against `baseline_ns` with a percentage
+/// threshold: regression above `1 + pct/100`×, improvement below its
+/// reciprocal.
+pub fn verdict(current_ns: f64, baseline_ns: f64, threshold_pct: f64) -> Verdict {
+    let factor = 1.0 + threshold_pct / 100.0;
+    if current_ns > baseline_ns * factor {
+        Verdict::Regressed
+    } else if current_ns < baseline_ns / factor {
+        Verdict::Improved
+    } else {
+        Verdict::Within
+    }
+}
+
+/// One row of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Benchmark id.
+    pub id: String,
+    /// This run's median (ns).
+    pub current_ns: f64,
+    /// The baseline median (ns), when the id was recorded.
+    pub baseline_ns: Option<f64>,
+    /// Classification against the threshold.
+    pub verdict: Verdict,
+}
+
+/// Baseline ids with no record in this run, optionally restricted to
+/// entries recorded under `profile`. A benchmark that silently vanishes
+/// is worse than a regression, so gates must check this alongside
+/// [`compare`]; the profile restriction keeps a smoke run from flagging
+/// full-profile entries that were never supposed to run.
+pub fn missing_ids(
+    records: &[BenchRecord],
+    baseline: &Baseline,
+    profile: Option<&str>,
+) -> Vec<String> {
+    let have: std::collections::BTreeSet<&str> = records.iter().map(|r| r.id.as_str()).collect();
+    baseline
+        .entries
+        .iter()
+        .filter(|(id, entry)| {
+            profile.is_none_or(|p| entry.profile == p) && !have.contains(id.as_str())
+        })
+        .map(|(id, _)| id.clone())
+        .collect()
+}
+
+/// Compares every record against `baseline`, in record order.
+pub fn compare(
+    records: &[BenchRecord],
+    baseline: &Baseline,
+    threshold_pct: f64,
+) -> Vec<CompareRow> {
+    records
+        .iter()
+        .map(|r| match baseline.entries.get(&r.id) {
+            Some(entry) => CompareRow {
+                id: r.id.clone(),
+                current_ns: r.stats.median_ns,
+                baseline_ns: Some(entry.median_ns),
+                verdict: verdict(r.stats.median_ns, entry.median_ns, threshold_pct),
+            },
+            None => CompareRow {
+                id: r.id.clone(),
+                current_ns: r.stats.median_ns,
+                baseline_ns: None,
+                verdict: Verdict::New,
+            },
+        })
+        .collect()
+}
+
+/// Prints the comparison table and returns the number of regressions.
+pub fn print_comparison(rows: &[CompareRow], threshold_pct: f64) -> usize {
+    let mut regressions = 0;
+    println!("\nbaseline comparison (threshold {threshold_pct}%):");
+    for row in rows {
+        let (label, detail) = match (row.verdict, row.baseline_ns) {
+            (Verdict::New, _) | (_, None) => ("NEW      ", "not in baseline".to_string()),
+            (v, Some(base)) => {
+                let ratio = row.current_ns / base;
+                if v == Verdict::Regressed {
+                    regressions += 1;
+                }
+                let label = match v {
+                    Verdict::Regressed => "REGRESSED",
+                    Verdict::Improved => "improved ",
+                    _ => "ok       ",
+                };
+                (
+                    label,
+                    format!(
+                        "{} vs {} ({:+.1}%)",
+                        fmt_ns(row.current_ns),
+                        fmt_ns(base),
+                        (ratio - 1.0) * 100.0
+                    ),
+                )
+            }
+        };
+        println!("  {label} {:<55} {detail}", row.id);
+    }
+    let new = rows.iter().filter(|r| r.verdict == Verdict::New).count();
+    println!(
+        "  {} compared, {regressions} regressed, {new} new",
+        rows.len() - new
+    );
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, median: f64) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            profile: "test".to_string(),
+            stats: Stats {
+                kept: 5,
+                rejected: 0,
+                mean_ns: median,
+                median_ns: median,
+                std_dev_ns: 1.0,
+                p95_ns: median * 1.1,
+                min_ns: median * 0.9,
+                max_ns: median * 1.2,
+            },
+            iters_per_sample: 3,
+            samples_ns: vec![median; 5],
+        }
+    }
+
+    #[test]
+    fn verdict_thresholds_are_symmetric_ratios() {
+        // 15% threshold: regression above 1.15x, improvement below 1/1.15.
+        assert_eq!(verdict(116.0, 100.0, 15.0), Verdict::Regressed);
+        assert_eq!(verdict(114.9, 100.0, 15.0), Verdict::Within);
+        assert_eq!(verdict(100.0, 100.0, 15.0), Verdict::Within);
+        assert_eq!(verdict(87.0, 100.0, 15.0), Verdict::Within);
+        assert_eq!(verdict(86.0, 100.0, 15.0), Verdict::Improved);
+        // Generous CI threshold: 3x is 200%.
+        assert_eq!(verdict(299.0, 100.0, 200.0), Verdict::Within);
+        assert_eq!(verdict(301.0, 100.0, 200.0), Verdict::Regressed);
+    }
+
+    #[test]
+    fn compare_flags_missing_ids_as_new() {
+        let mut baseline = Baseline::default();
+        baseline.merge_records(&[record("suite/a", 100.0)]);
+        let rows = compare(
+            &[record("suite/a", 90.0), record("suite/b", 50.0)],
+            &baseline,
+            15.0,
+        );
+        assert_eq!(rows[0].verdict, Verdict::Within);
+        assert_eq!(rows[1].verdict, Verdict::New);
+        assert_eq!(rows[1].baseline_ns, None);
+    }
+
+    #[test]
+    fn missing_ids_respects_profile_scope() {
+        let mut baseline = Baseline::default();
+        baseline.merge_records(&[record("suite/a", 100.0), record("suite/b", 200.0)]);
+        baseline.entries.get_mut("suite/b").unwrap().profile = "other".to_string();
+        let current = [record("suite/a", 100.0)];
+        // Scoped to this run's profile: suite/b belongs to another
+        // profile and was never supposed to run.
+        assert!(missing_ids(&current, &baseline, Some("test")).is_empty());
+        // Unscoped: suite/b counts as missing.
+        assert_eq!(
+            missing_ids(&current, &baseline, None),
+            vec!["suite/b".to_string()]
+        );
+        // A vanished same-profile benchmark is reported.
+        assert_eq!(
+            missing_ids(&[], &baseline, Some("test")),
+            vec!["suite/a".to_string()]
+        );
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let mut baseline = Baseline::default();
+        baseline.merge_records(&[record("suite/a", 123.5), record("suite/b/c", 42.0)]);
+        let dir = std::env::temp_dir().join("criterion-baseline-test");
+        let path = dir.join("roundtrip.json");
+        baseline.save(&path).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        assert_eq!(loaded, baseline);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_overwrites_existing_entries_and_keeps_others() {
+        let mut baseline = Baseline::default();
+        baseline.merge_records(&[record("suite/a", 100.0), record("suite/b", 200.0)]);
+        baseline.merge_records(&[record("suite/a", 50.0)]);
+        assert_eq!(baseline.entries["suite/a"].median_ns, 50.0);
+        assert_eq!(baseline.entries["suite/b"].median_ns, 200.0);
+    }
+
+    #[test]
+    fn artifact_path_splits_group_and_sanitizes() {
+        let dir = Path::new("/tmp/out");
+        assert_eq!(
+            artifact_path(dir, "construction/n1153_h10/FairKd"),
+            dir.join("construction").join("n1153_h10_FairKd.json")
+        );
+        assert_eq!(
+            artifact_path(dir, "loose"),
+            dir.join("ungrouped").join("loose.json")
+        );
+        assert_eq!(
+            artifact_path(dir, "g/we ird:name"),
+            dir.join("g").join("we_ird_name.json")
+        );
+    }
+
+    #[test]
+    fn artifact_file_is_valid_json_with_expected_fields() {
+        let dir = std::env::temp_dir().join("criterion-artifact-test");
+        let rec = record("grp/bench", 77.0);
+        let path = write_artifact(&dir, &rec).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: Value = serde_json::from_str(&text).unwrap();
+        let obj = value.as_object().unwrap();
+        for key in [
+            "id",
+            "median_ns",
+            "p95_ns",
+            "samples_ns",
+            "iters_per_sample",
+        ] {
+            assert!(obj.iter().any(|(k, _)| k == key), "missing {key}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

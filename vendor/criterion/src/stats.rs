@@ -1,0 +1,192 @@
+//! Sample statistics for benchmark timings.
+//!
+//! All inputs are per-iteration durations in nanoseconds. Summary
+//! statistics are computed after Tukey IQR outlier rejection: samples
+//! outside `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are discarded (but counted),
+//! which keeps a stray page fault or scheduler preemption from skewing
+//! the mean and standard deviation on a noisy runner.
+
+/// Summary statistics over one benchmark's samples, post-rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Samples kept after IQR outlier rejection.
+    pub kept: usize,
+    /// Samples rejected as IQR outliers.
+    pub rejected: usize,
+    /// Arithmetic mean of the kept samples (ns).
+    pub mean_ns: f64,
+    /// Median of the kept samples (ns).
+    pub median_ns: f64,
+    /// Sample standard deviation of the kept samples (ns); 0 when `kept < 2`.
+    pub std_dev_ns: f64,
+    /// 95th percentile of the kept samples (ns).
+    pub p95_ns: f64,
+    /// Smallest kept sample (ns).
+    pub min_ns: f64,
+    /// Largest kept sample (ns).
+    pub max_ns: f64,
+}
+
+/// Linear-interpolation percentile (the numpy `linear` method).
+///
+/// `sorted` must be ascending and non-empty; `p` is in `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+/// The Tukey fence `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` for an ascending sample set.
+pub fn tukey_fences(sorted: &[f64]) -> (f64, f64) {
+    let q1 = percentile(sorted, 25.0);
+    let q3 = percentile(sorted, 75.0);
+    let iqr = q3 - q1;
+    (q1 - 1.5 * iqr, q3 + 1.5 * iqr)
+}
+
+/// Computes [`Stats`] over `samples` (per-iteration ns), rejecting IQR
+/// outliers first. Returns `None` for an empty input.
+pub fn compute(samples: &[f64]) -> Option<Stats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let (lo, hi) = tukey_fences(&sorted);
+    let kept: Vec<f64> = sorted
+        .iter()
+        .copied()
+        .filter(|&x| x >= lo && x <= hi)
+        .collect();
+    // The fences always contain the quartiles, so `kept` is non-empty.
+    let rejected = sorted.len() - kept.len();
+    let n = kept.len();
+    let mean = kept.iter().sum::<f64>() / n as f64;
+    let var = if n < 2 {
+        0.0
+    } else {
+        kept.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    };
+    Some(Stats {
+        kept: n,
+        rejected,
+        mean_ns: mean,
+        median_ns: percentile(&kept, 50.0),
+        std_dev_ns: var.sqrt(),
+        p95_ns: percentile(&kept, 95.0),
+        min_ns: kept[0],
+        max_ns: kept[n - 1],
+    })
+}
+
+/// Formats a nanosecond quantity with an adaptive unit (`ns`/`µs`/`ms`/`s`).
+pub fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        return format!("{ns}");
+    }
+    let (value, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else if ns < 1_000_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else {
+        (ns / 1_000_000_000.0, "s")
+    };
+    if value < 10.0 {
+        format!("{value:.3}{unit}")
+    } else if value < 100.0 {
+        format!("{value:.2}{unit}")
+    } else {
+        format!("{value:.1}{unit}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let s = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        assert_eq!(percentile(&s, 100.0), 40.0);
+        assert_eq!(percentile(&s, 50.0), 25.0);
+        // rank = 0.95 * 3 = 2.85 → 30 + 0.85 * 10.
+        assert!((percentile(&s, 95.0) - 38.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_constant() {
+        let s = [7.0];
+        for p in [0.0, 37.0, 50.0, 95.0, 100.0] {
+            assert_eq!(percentile(&s, p), 7.0);
+        }
+    }
+
+    #[test]
+    fn stats_on_known_array() {
+        // 1..=5: mean 3, median 3, sample std dev sqrt(2.5), no outliers.
+        let stats = compute(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(stats.kept, 5);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.mean_ns, 3.0);
+        assert_eq!(stats.median_ns, 3.0);
+        assert!((stats.std_dev_ns - 2.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(stats.min_ns, 1.0);
+        assert_eq!(stats.max_ns, 5.0);
+        // rank = 0.95 * 4 = 3.8 → 4 + 0.8 * 1.
+        assert!((stats.p95_ns - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iqr_rejects_a_spike_but_keeps_the_bulk() {
+        // Nine tight samples plus one 100x spike (a GC pause, say).
+        let mut samples = vec![10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9];
+        samples.push(1000.0);
+        let stats = compute(&samples).unwrap();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.kept, 9);
+        assert!(stats.max_ns <= 11.0, "spike survived: {}", stats.max_ns);
+        assert!((stats.mean_ns - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn iqr_keeps_everything_when_samples_are_uniformly_spread() {
+        let samples: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let stats = compute(&samples).unwrap();
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.kept, 20);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(compute(&[]).is_none());
+        let one = compute(&[42.0]).unwrap();
+        assert_eq!(one.kept, 1);
+        assert_eq!(one.mean_ns, 42.0);
+        assert_eq!(one.median_ns, 42.0);
+        assert_eq!(one.std_dev_ns, 0.0);
+        assert_eq!(one.p95_ns, 42.0);
+        // All-identical samples: IQR = 0, fence collapses to the value.
+        let same = compute(&[5.0; 8]).unwrap();
+        assert_eq!(same.kept, 8);
+        assert_eq!(same.rejected, 0);
+        assert_eq!(same.std_dev_ns, 0.0);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(512.0), "512.0ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500µs");
+        assert_eq!(fmt_ns(23_400_000.0), "23.40ms");
+        assert_eq!(fmt_ns(2_650_000_000.0), "2.650s");
+    }
+}
