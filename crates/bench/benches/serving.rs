@@ -1,0 +1,12 @@
+//! `cargo bench` harness for the online-serving throughput suite at
+//! full size; the measurement code lives in [`fsi_bench::suites::serving`].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{serving, Profile};
+
+fn benches_full(c: &mut Criterion) {
+    serving::register(c, &Profile::full());
+}
+
+criterion_group!(benches, benches_full);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! # fsi-bench — benchmark fixtures, suites, and the perf-gate runner
 //!
-//! The measurement code for all four suites lives in [`suites`], driven
+//! The measurement code for all five suites lives in [`suites`], driven
 //! from two entry points:
 //!
 //! * the classic per-suite `cargo bench` harnesses in `benches/*.rs`;
@@ -17,6 +17,9 @@
 //!   O(extent) implementation vs a naive per-cell rescan.
 //! * [`suites::ml_training`] — classifier fit/score throughput.
 //! * [`suites::metrics`] — ENCE and grouped-calibration throughput.
+//! * [`suites::serving`] — online `FrozenIndex` serving: compile, point
+//!   and batch lookups, range queries, hot-swap publishing, and
+//!   multi-threaded driver scaling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,4 +1,4 @@
-//! The four benchmark suites, parameterized by a size [`Profile`].
+//! The five benchmark suites, parameterized by a size [`Profile`].
 //!
 //! Each suite exposes `register(c, profile)` so the same measurement code
 //! drives both entry points:
@@ -6,7 +6,7 @@
 //! * the classic `cargo bench` harnesses in `benches/*.rs` (one binary
 //!   per suite, full-size datasets);
 //! * the `fsi-bench` runner binary (`cargo run -p fsi-bench --bin
-//!   runner`), which runs all four suites in one process under either
+//!   runner`), which runs all five suites in one process under either
 //!   the `--smoke` or `--full` profile and records the repo's perf
 //!   baseline.
 //!
@@ -19,6 +19,7 @@ use std::time::Duration;
 pub mod construction;
 pub mod metrics;
 pub mod ml_training;
+pub mod serving;
 pub mod split_search;
 
 /// Dataset sizes and measurement settings for one benchmark run.
@@ -43,6 +44,12 @@ pub struct Profile {
     pub warm_up: Duration,
     /// Measurement-time budget per benchmark.
     pub measurement_time: Duration,
+    /// Query points per iteration in the serving lookup benchmarks.
+    pub serve_batch: usize,
+    /// Query points swept per multi-threaded serving iteration.
+    pub serve_points: usize,
+    /// Worker-thread counts for the serving scaling benchmarks.
+    pub serve_threads: &'static [usize],
 }
 
 impl Profile {
@@ -59,6 +66,9 @@ impl Profile {
             sample_size: 15,
             warm_up: Duration::from_millis(200),
             measurement_time: Duration::from_millis(1000),
+            serve_batch: 4096,
+            serve_points: 262_144,
+            serve_threads: &[1, 2, 4],
         }
     }
 
@@ -74,6 +84,9 @@ impl Profile {
             sample_size: 10,
             warm_up: Duration::from_millis(20),
             measurement_time: Duration::from_millis(100),
+            serve_batch: 1024,
+            serve_points: 16_384,
+            serve_threads: &[2],
         }
     }
 
@@ -89,12 +102,13 @@ impl Profile {
     }
 }
 
-/// Registers all four suites on one driver, in baseline order.
+/// Registers all five suites on one driver, in baseline order.
 pub fn register_all(c: &mut Criterion, profile: &Profile) {
     construction::register(c, profile);
     split_search::register(c, profile);
     ml_training::register(c, profile);
     metrics::register(c, profile);
+    serving::register(c, profile);
 }
 
 #[cfg(test)]
@@ -106,6 +120,9 @@ mod tests {
         for p in [Profile::smoke(), Profile::full()] {
             assert!(p.sample_size >= 2);
             assert!(p.heights.contains(&p.method_height));
+            assert!(p.serve_batch > 0 && p.serve_points >= p.serve_batch);
+            assert!(!p.serve_threads.is_empty());
+            assert!(p.serve_threads.windows(2).all(|w| w[0] < w[1]));
             for &r in p.metric_regions {
                 let side = (r as f64).sqrt() as usize;
                 assert_eq!(side * side, r, "{}: {r} is not a perfect square", p.name);

@@ -1,0 +1,134 @@
+//! Online-serving throughput: `FrozenIndex` compile, single and batch
+//! point lookups, map-space range queries, hot-swap publishing, and
+//! multi-threaded scaling of the serving driver.
+//!
+//! The headline number is `lookup_x{N}`: `N` single-point lookups per
+//! iteration on the profile's Fair KD-tree, so `N / median` is the
+//! sustained single-thread points-per-second rate the acceptance
+//! criterion (≥ 1M/s on the full-profile h10 tree) is checked against.
+
+use super::Profile;
+use crate::bench_dataset;
+use criterion::{black_box, Criterion};
+use fsi_geo::{Point, Rect};
+use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
+use fsi_serve::{driver, FrozenIndex, IndexHandle};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic uniform query points over the map bounds.
+fn query_points(bounds: &Rect, n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                bounds.min_x + rng.random::<f64>() * bounds.width(),
+                bounds.min_y + rng.random::<f64>() * bounds.height(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic small query rectangles (~1/8 of the map per side).
+fn query_rects(bounds: &Rect, n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let w = bounds.width() * (0.02 + 0.1 * rng.random::<f64>());
+            let h = bounds.height() * (0.02 + 0.1 * rng.random::<f64>());
+            let x0 = bounds.min_x + rng.random::<f64>() * (bounds.width() - w);
+            let y0 = bounds.min_y + rng.random::<f64>() * (bounds.height() - h);
+            Rect::new(x0, y0, x0 + w, y0 + h).expect("positive extent")
+        })
+        .collect()
+}
+
+/// Registers the serving suite under `serving/…` ids.
+pub fn register(c: &mut Criterion, p: &Profile) {
+    let dataset = bench_dataset(p.n_individuals, p.grid_side);
+    let run = run_method(
+        &dataset,
+        &TaskSpec::act(),
+        Method::FairKd,
+        p.method_height,
+        &RunConfig::default(),
+    )
+    .expect("pipeline run for serving fixtures");
+    let tree = run.tree.as_ref().expect("FairKd builds a tree");
+    let snapshot = run.model_snapshot().expect("snapshot extracts");
+    let index = FrozenIndex::compile(tree, dataset.grid(), &snapshot).expect("index compiles");
+
+    let points = query_points(dataset.grid().bounds(), p.serve_points, 4242);
+    let lookup_points = &points[..p.serve_batch];
+    let rects = query_rects(dataset.grid().bounds(), 64, 77);
+
+    let mut group = c.benchmark_group(format!("serving/n{}_h{}", p.n_individuals, p.method_height));
+
+    // Compile cost: train-time artifacts → frozen read structure.
+    group.bench_function("compile", |b| {
+        b.iter(|| {
+            black_box(
+                FrozenIndex::compile(tree, dataset.grid(), &snapshot)
+                    .expect("index compiles")
+                    .num_leaves(),
+            )
+        })
+    });
+
+    // Single-point lookups, the serving hot path.
+    group.bench_function(format!("lookup_x{}", p.serve_batch), |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in lookup_points {
+                acc = acc.wrapping_add(index.lookup(q).expect("in bounds").leaf_id);
+            }
+            black_box(acc)
+        })
+    });
+
+    // Batch API over the same points (amortized transform + buffer reuse).
+    group.bench_function(format!("lookup_batch_x{}", p.serve_batch), |b| {
+        let mut out = Vec::with_capacity(lookup_points.len());
+        b.iter(|| {
+            index
+                .lookup_batch(lookup_points, &mut out)
+                .expect("in bounds");
+            black_box(out.len())
+        })
+    });
+
+    // Map-space rectangle range queries.
+    group.bench_function("range_query_x64", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for r in &rects {
+                acc = acc.wrapping_add(index.range_query(r).len());
+            }
+            black_box(acc)
+        })
+    });
+
+    // End-to-end cost of installing a prebuilt replacement: one deep
+    // FrozenIndex clone + Arc allocation + publish. The clone dominates;
+    // the publish itself is two pointer writes under a mutex. Named for
+    // what it measures so a clone regression is not misread as swap
+    // latency.
+    group.bench_function("publish_clone", |b| {
+        let handle = IndexHandle::new(index.clone());
+        b.iter(|| black_box(handle.publish(index.clone()).0))
+    });
+
+    // Multi-threaded scaling of the serving driver.
+    for &threads in p.serve_threads {
+        group.bench_function(format!("mt_sweep_x{}_t{threads}", p.serve_points), |b| {
+            let handle = IndexHandle::new(index.clone());
+            b.iter(|| {
+                let report = driver::sweep(&handle, &points, threads, 1);
+                assert_eq!(report.out_of_bounds, 0);
+                black_box(report.checksum)
+            })
+        });
+    }
+
+    group.finish();
+}

@@ -98,14 +98,29 @@ impl Grid {
     /// to the north/east cell; points on the outer max edges are clamped
     /// into the last row/column so the grid covers the *closed* bounds.
     pub fn locate(&self, p: &Point) -> Result<CellId, GeoError> {
+        match self.cell_of(p) {
+            Some((row, col)) => Ok(self.cell_id(row, col)),
+            None => Err(GeoError::PointOutOfBounds { point: (p.x, p.y) }),
+        }
+    }
+
+    /// Continuous-coordinate → cell mapping: the `(row, col)` of the cell
+    /// containing `p`, or `None` when `p` is non-finite or outside the
+    /// closed bounds.
+    ///
+    /// Boundary semantics match [`Grid::locate`] exactly (it is implemented
+    /// on top of this): a point on a shared interior edge belongs to the
+    /// north/east cell, and points on the outer max edges are clamped into
+    /// the last row/column.
+    pub fn cell_of(&self, p: &Point) -> Option<(usize, usize)> {
         if !p.is_finite() || !self.bounds.contains(p) {
-            return Err(GeoError::PointOutOfBounds { point: (p.x, p.y) });
+            return None;
         }
         let fx = (p.x - self.bounds.min_x) / self.cell_width();
         let fy = (p.y - self.bounds.min_y) / self.cell_height();
         let col = (fx as usize).min(self.cols - 1);
         let row = (fy as usize).min(self.rows - 1);
-        Ok(self.cell_id(row, col))
+        Some((row, col))
     }
 
     /// Centroid of a cell in map coordinates.
@@ -213,6 +228,42 @@ mod tests {
         let g = grid4();
         assert!(g.locate(&Point::new(1.5, 0.5)).is_err());
         assert!(g.locate(&Point::new(f64::NAN, 0.5)).is_err());
+    }
+
+    #[test]
+    fn cell_of_edges_and_corners() {
+        // Non-unit bounds to exercise the offset/scale arithmetic.
+        let g = Grid::new(Rect::new(-2.0, 1.0, 6.0, 5.0).unwrap(), 4, 4).unwrap();
+        // All four corners land in their corner cells (max edges clamp).
+        assert_eq!(g.cell_of(&Point::new(-2.0, 1.0)), Some((0, 0)));
+        assert_eq!(g.cell_of(&Point::new(6.0, 1.0)), Some((0, 3)));
+        assert_eq!(g.cell_of(&Point::new(-2.0, 5.0)), Some((3, 0)));
+        assert_eq!(g.cell_of(&Point::new(6.0, 5.0)), Some((3, 3)));
+        // A point on a shared interior edge belongs to the north/east cell.
+        assert_eq!(g.cell_of(&Point::new(0.0, 2.0)), Some((1, 1)));
+        // Points on the outer max edges clamp into the last row/column.
+        assert_eq!(g.cell_of(&Point::new(6.0, 3.5)), Some((2, 3)));
+        assert_eq!(g.cell_of(&Point::new(1.0, 5.0)), Some((3, 1)));
+        // Outside or non-finite points map to no cell.
+        assert_eq!(g.cell_of(&Point::new(6.0001, 3.0)), None);
+        assert_eq!(g.cell_of(&Point::new(0.0, 0.9999)), None);
+        assert_eq!(g.cell_of(&Point::new(f64::NAN, 3.0)), None);
+        assert_eq!(g.cell_of(&Point::new(0.0, f64::INFINITY)), None);
+    }
+
+    #[test]
+    fn cell_of_agrees_with_locate() {
+        let g = Grid::new(Rect::new(0.25, 0.5, 1.75, 3.5).unwrap(), 5, 3).unwrap();
+        for i in 0..=20 {
+            for j in 0..=20 {
+                let p = Point::new(
+                    0.25 + 1.5 * (i as f64 / 20.0),
+                    0.5 + 3.0 * (j as f64 / 20.0),
+                );
+                let (row, col) = g.cell_of(&p).unwrap();
+                assert_eq!(g.locate(&p).unwrap(), g.cell_id(row, col));
+            }
+        }
     }
 
     #[test]

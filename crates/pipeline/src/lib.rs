@@ -20,6 +20,7 @@ pub mod eval;
 pub mod methods;
 pub mod retrainer;
 pub mod runner;
+pub mod snapshot;
 pub mod trainer;
 
 pub use error::PipelineError;
@@ -28,4 +29,5 @@ pub use methods::Method;
 pub use runner::{
     run_method, run_multi_objective, MethodRun, MultiObjectiveRun, RunConfig, TaskSpec,
 };
+pub use snapshot::{snapshot_for_partition, ModelSnapshot, PartitionModel};
 pub use trainer::ModelKind;

@@ -8,8 +8,8 @@ use crate::retrainer::{mask_from_indices, training_cell_stats, MlRetrainer};
 use crate::trainer::{train_and_score, ModelKind};
 use fsi_core::multiobjective::{aggregate_tasks, TaskOutput};
 use fsi_core::{
-    build_kd_tree, BuildConfig, CellStats, FairQuadtree, FairSplit, IterativeBuilder, MedianSplit,
-    MultiObjectiveSplit, QuadConfig, QuadSplitRule, TieBreak,
+    build_kd_tree, BuildConfig, CellStats, FairQuadtree, FairSplit, IterativeBuilder, KdTree,
+    MedianSplit, MultiObjectiveSplit, QuadConfig, QuadSplitRule, TieBreak,
 };
 use fsi_data::synth::edgap::sample_zip_seeds;
 use fsi_data::{build_design_matrix, LocationEncoding, SpatialDataset};
@@ -86,6 +86,11 @@ pub struct MethodRun {
     pub height: usize,
     /// The generated neighborhoods.
     pub partition: Partition,
+    /// The KD-tree behind the partition, for methods that build one
+    /// (`MedianKd`, `FairKd`, `IterativeFairKd`); `None` for the
+    /// reweighting/Voronoi/quadtree baselines. Online serving
+    /// (`fsi-serve`) compiles this into a `FrozenIndex`.
+    pub tree: Option<KdTree>,
     /// Final-model confidence scores for every individual.
     pub scores: Vec<f64>,
     /// Task labels for every individual.
@@ -136,8 +141,9 @@ fn initial_fair_stats(
     training_cell_stats(dataset, &outcome.scores, labels, train_mask)
 }
 
-/// Builds the partition for `method` at `height`. Returns the partition
-/// and the number of model trainings construction needed.
+/// Builds the partition for `method` at `height`. Returns the partition,
+/// the number of model trainings construction needed, and the KD-tree for
+/// tree-backed methods.
 fn build_partition(
     dataset: &SpatialDataset,
     labels: &[bool],
@@ -145,19 +151,19 @@ fn build_partition(
     method: Method,
     height: usize,
     config: &RunConfig,
-) -> Result<(Partition, usize), PipelineError> {
+) -> Result<(Partition, usize, Option<KdTree>), PipelineError> {
     let grid = dataset.grid();
     let train_mask = mask_from_indices(dataset.len(), &split.train);
     match method {
         Method::MedianKd => {
             let stats = count_stats(dataset, &train_mask)?;
             let tree = build_kd_tree(&stats, &MedianSplit, &kd_config(height, config))?;
-            Ok((tree.partition(grid)?, 0))
+            Ok((tree.partition(grid)?, 0, Some(tree)))
         }
         Method::FairKd => {
             let stats = initial_fair_stats(dataset, labels, split, &train_mask, config)?;
             let tree = build_kd_tree(&stats, &FairSplit, &kd_config(height, config))?;
-            Ok((tree.partition(grid)?, 1))
+            Ok((tree.partition(grid)?, 1, Some(tree)))
         }
         Method::IterativeFairKd => {
             let mut rt =
@@ -165,15 +171,15 @@ fn build_partition(
             let tree = IterativeBuilder::new(kd_config(height, config))?
                 .build(grid, &FairSplit, &mut rt)?;
             let trainings = rt.trainings;
-            Ok((tree.partition(grid)?, trainings))
+            Ok((tree.partition(grid)?, trainings, Some(tree)))
         }
         Method::GridReweight => {
             let (rows, cols) = reweight_blocks(height);
-            Ok((Partition::uniform(grid, rows, cols)?, 0))
+            Ok((Partition::uniform(grid, rows, cols)?, 0, None))
         }
         Method::ZipCode => {
             let seeds = sample_zip_seeds(dataset, config.zip_seeds, config.seed);
-            Ok((voronoi_partition(grid, &seeds)?, 0))
+            Ok((voronoi_partition(grid, &seeds)?, 0, None))
         }
         Method::FairQuad => {
             let stats = initial_fair_stats(dataset, labels, split, &train_mask, config)?;
@@ -185,7 +191,7 @@ fn build_partition(
                     ..QuadConfig::default()
                 },
             )?;
-            Ok((quad.partition(grid)?, 1))
+            Ok((quad.partition(grid)?, 1, None))
         }
     }
 }
@@ -216,7 +222,7 @@ pub fn run_method(
         .map_err(PipelineError::Ml)?;
 
     let started = Instant::now();
-    let (partition, build_trainings) =
+    let (partition, build_trainings, tree) =
         build_partition(dataset, &labels, &split, method, height, config)?;
     let build_time = started.elapsed();
 
@@ -261,6 +267,7 @@ pub fn run_method(
         method,
         height,
         partition,
+        tree,
         scores: outcome.scores,
         labels,
         split,
@@ -453,6 +460,23 @@ mod tests {
             assert!(run.trainings >= 1);
             // Partition covers the grid.
             assert_eq!(run.partition.assignments().len(), d.grid().len());
+        }
+    }
+
+    #[test]
+    fn tree_backed_methods_expose_their_tree() {
+        let d = small_dataset();
+        let task = TaskSpec::act();
+        for method in [Method::MedianKd, Method::FairKd, Method::IterativeFairKd] {
+            let run = run_method(&d, &task, method, 3, &quick_config()).unwrap();
+            let tree = run.tree.as_ref().unwrap_or_else(|| panic!("{method:?}"));
+            assert_eq!(tree.num_leaves(), run.partition.num_regions());
+            // The exported tree is the partition's tree.
+            assert_eq!(tree.partition(d.grid()).unwrap(), run.partition);
+        }
+        for method in [Method::GridReweight, Method::ZipCode, Method::FairQuad] {
+            let run = run_method(&d, &task, method, 3, &quick_config()).unwrap();
+            assert!(run.tree.is_none(), "{method:?}");
         }
     }
 

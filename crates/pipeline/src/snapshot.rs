@@ -1,0 +1,286 @@
+//! Per-leaf model snapshots: the trained pipeline state an online server
+//! needs, decoupled from the training machinery.
+//!
+//! A deployed fair index answers point queries with a *locally calibrated*
+//! score: the final model's mean confidence in the query's neighborhood,
+//! corrected by that neighborhood's observed calibration offset `o − e`
+//! (the per-group quantities behind the paper's ENCE, Definition 3).
+//! [`ModelSnapshot`] freezes exactly that per-leaf state — raw score, offset,
+//! and fairness-group id — so `fsi-serve` can compile it into an immutable
+//! index without dragging datasets or classifiers along.
+
+use crate::error::PipelineError;
+use crate::eval::EvalReport;
+use crate::runner::{MethodRun, RunConfig, TaskSpec};
+use crate::trainer::train_and_score;
+use fsi_data::{build_design_matrix, SpatialDataset};
+use fsi_fairness::{GroupCalibration, SpatialGroups};
+use fsi_geo::Partition;
+use fsi_ml::calibration::mean_score;
+use fsi_ml::split::train_test_split;
+use serde::{Deserialize, Serialize};
+
+/// Frozen per-leaf model state: what a server needs to turn a leaf id
+/// into a decision.
+///
+/// All three vectors are aligned by leaf (= region) id:
+///
+/// * `raw_score[l]` — the final model's mean confidence over leaf `l`'s
+///   residents (the global mean score for unpopulated leaves);
+/// * `offset[l]` — the leaf's calibration correction `o − e` (observed
+///   positive fraction minus mean score; `0` for unpopulated leaves);
+/// * `group_of_leaf[l]` — the spatial fairness group the leaf belongs
+///   to. Leaves *are* the groups in this release, so the mapping is the
+///   identity, but it is stored explicitly so coarser calibration groups
+///   can be introduced without an API break.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    raw_score: Vec<f64>,
+    offset: Vec<f64>,
+    group_of_leaf: Vec<u32>,
+}
+
+impl ModelSnapshot {
+    /// Builds a snapshot from explicit per-leaf vectors.
+    pub fn new(
+        raw_score: Vec<f64>,
+        offset: Vec<f64>,
+        group_of_leaf: Vec<u32>,
+    ) -> Result<Self, PipelineError> {
+        if raw_score.is_empty() {
+            return Err(PipelineError::InvalidConfig(
+                "a model snapshot needs at least one leaf".into(),
+            ));
+        }
+        if offset.len() != raw_score.len() || group_of_leaf.len() != raw_score.len() {
+            return Err(PipelineError::InvalidConfig(format!(
+                "snapshot vectors disagree: {} raw scores, {} offsets, {} groups",
+                raw_score.len(),
+                offset.len(),
+                group_of_leaf.len()
+            )));
+        }
+        Ok(Self {
+            raw_score,
+            offset,
+            group_of_leaf,
+        })
+    }
+
+    /// A snapshot with the same `raw` score, zero offsets and identity
+    /// groups in every leaf — useful for tests and cold-start serving.
+    pub fn uniform(num_leaves: usize, raw: f64) -> Result<Self, PipelineError> {
+        Self::new(
+            vec![raw; num_leaves],
+            vec![0.0; num_leaves],
+            (0..num_leaves as u32).collect(),
+        )
+    }
+
+    /// Builds a snapshot from the per-group calibration table of an
+    /// evaluation report. `fallback_score` (typically the global mean
+    /// score) fills unpopulated leaves.
+    pub fn from_group_calibration(
+        per_group: &[GroupCalibration],
+        fallback_score: f64,
+    ) -> Result<Self, PipelineError> {
+        let mut raw = Vec::with_capacity(per_group.len());
+        let mut offset = Vec::with_capacity(per_group.len());
+        for g in per_group {
+            if g.count > 0 {
+                raw.push(g.mean_score);
+                offset.push(g.positive_fraction - g.mean_score);
+            } else {
+                raw.push(fallback_score);
+                offset.push(0.0);
+            }
+        }
+        let groups = (0..per_group.len() as u32).collect();
+        Self::new(raw, offset, groups)
+    }
+
+    /// Number of leaves covered.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.raw_score.len()
+    }
+
+    /// Per-leaf raw (uncalibrated) scores.
+    #[inline]
+    pub fn raw_scores(&self) -> &[f64] {
+        &self.raw_score
+    }
+
+    /// Per-leaf calibration offsets `o − e`.
+    #[inline]
+    pub fn offsets(&self) -> &[f64] {
+        &self.offset
+    }
+
+    /// Per-leaf fairness-group ids.
+    #[inline]
+    pub fn groups(&self) -> &[u32] {
+        &self.group_of_leaf
+    }
+
+    /// The locally calibrated score of a leaf: `raw + offset`, clamped
+    /// into `[0, 1]`.
+    #[inline]
+    pub fn calibrated(&self, leaf: usize) -> f64 {
+        (self.raw_score[leaf] + self.offset[leaf]).clamp(0.0, 1.0)
+    }
+}
+
+impl MethodRun {
+    /// Extracts the per-leaf model snapshot of this run: mean model score
+    /// and calibration offset per neighborhood, with the run's global mean
+    /// score as the unpopulated-leaf fallback.
+    pub fn model_snapshot(&self) -> Result<ModelSnapshot, PipelineError> {
+        ModelSnapshot::from_group_calibration(&self.eval.per_group, mean_score(&self.scores))
+    }
+}
+
+/// A model trained for a *given* partition (rather than one built by
+/// [`crate::run_method`]): the snapshot, its evaluation, and the raw
+/// scores. This is the serving path for partitions restored from disk.
+#[derive(Debug, Clone)]
+pub struct PartitionModel {
+    /// The frozen per-leaf state.
+    pub snapshot: ModelSnapshot,
+    /// Full evaluation of the trained model under the partition.
+    pub eval: EvalReport,
+    /// Final-model confidence scores for every individual.
+    pub scores: Vec<f64>,
+    /// Task labels for every individual.
+    pub labels: Vec<bool>,
+}
+
+/// Trains the final classifier of Algorithm 1 step 3 on an *existing*
+/// partition (e.g. one deserialized from `reports/partition.json`) and
+/// extracts the per-leaf [`ModelSnapshot`] for serving.
+pub fn snapshot_for_partition(
+    dataset: &SpatialDataset,
+    task: &TaskSpec,
+    partition: &Partition,
+    config: &RunConfig,
+) -> Result<PartitionModel, PipelineError> {
+    if dataset.is_empty() {
+        return Err(PipelineError::Ml(fsi_ml::MlError::EmptyDataset));
+    }
+    let labels = dataset.threshold_labels(&task.outcome, task.threshold)?;
+    let split = train_test_split(dataset.len(), config.test_fraction, config.seed)
+        .map_err(PipelineError::Ml)?;
+    let design = build_design_matrix(dataset, partition, config.encoding)?;
+    let groups = SpatialGroups::from_partition(dataset.cells(), partition)
+        .map_err(PipelineError::Fairness)?;
+    let outcome = train_and_score(config.model, &design.matrix, &labels, &split.train, None)?;
+    let eval = EvalReport::compute(&outcome.scores, &labels, &groups, &split)?;
+    let snapshot =
+        ModelSnapshot::from_group_calibration(&eval.per_group, mean_score(&outcome.scores))?;
+    Ok(PartitionModel {
+        snapshot,
+        eval,
+        scores: outcome.scores,
+        labels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::Method;
+    use crate::runner::run_method;
+    use fsi_data::synth::city::{CityConfig, CityGenerator};
+
+    fn small_dataset() -> SpatialDataset {
+        CityGenerator::new(CityConfig {
+            n_individuals: 250,
+            grid_side: 16,
+            seed: 11,
+            ..CityConfig::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        assert!(ModelSnapshot::new(vec![], vec![], vec![]).is_err());
+        assert!(ModelSnapshot::new(vec![0.5], vec![0.1, 0.2], vec![0]).is_err());
+        assert!(ModelSnapshot::new(vec![0.5], vec![0.1], vec![0, 1]).is_err());
+        let s = ModelSnapshot::new(vec![0.5, 0.4], vec![0.1, -0.2], vec![0, 1]).unwrap();
+        assert_eq!(s.num_leaves(), 2);
+        assert!((s.calibrated(0) - 0.6).abs() < 1e-12);
+        // Calibration clamps into [0, 1].
+        assert_eq!(
+            ModelSnapshot::new(vec![0.9], vec![0.5], vec![0])
+                .unwrap()
+                .calibrated(0),
+            1.0
+        );
+    }
+
+    #[test]
+    fn uniform_snapshot_shape() {
+        let s = ModelSnapshot::uniform(4, 0.25).unwrap();
+        assert_eq!(s.num_leaves(), 4);
+        assert_eq!(s.raw_scores(), &[0.25; 4]);
+        assert_eq!(s.offsets(), &[0.0; 4]);
+        assert_eq!(s.groups(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_snapshot_matches_group_calibration() {
+        let d = small_dataset();
+        let run = run_method(
+            &d,
+            &TaskSpec::act(),
+            Method::FairKd,
+            3,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let snap = run.model_snapshot().unwrap();
+        assert_eq!(snap.num_leaves(), run.eval.num_regions);
+        let global = mean_score(&run.scores);
+        for (leaf, g) in run.eval.per_group.iter().enumerate() {
+            if g.count > 0 {
+                assert!((snap.raw_scores()[leaf] - g.mean_score).abs() < 1e-12);
+                assert!(
+                    (snap.offsets()[leaf] - (g.positive_fraction - g.mean_score)).abs() < 1e-12
+                );
+            } else {
+                assert_eq!(snap.raw_scores()[leaf], global);
+                assert_eq!(snap.offsets()[leaf], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_for_partition_round_trips_through_json() {
+        let d = small_dataset();
+        let run = run_method(
+            &d,
+            &TaskSpec::act(),
+            Method::MedianKd,
+            3,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        // Serialize the partition like redistricting_cli does, reload it,
+        // and train a model for the restored boundaries.
+        let json = serde_json::to_string(&run.partition).unwrap();
+        let restored: Partition = serde_json::from_str(&json).unwrap();
+        let model =
+            snapshot_for_partition(&d, &TaskSpec::act(), &restored, &RunConfig::default()).unwrap();
+        assert_eq!(model.snapshot.num_leaves(), restored.num_regions());
+        assert_eq!(model.scores.len(), d.len());
+        // Same seed, same partition, same encoding → same training as the
+        // original run's final model.
+        assert_eq!(model.scores, run.scores);
+        let snap_json = serde_json::to_string(&model.snapshot).unwrap();
+        let back: ModelSnapshot = serde_json::from_str(&snap_json).unwrap();
+        assert_eq!(back, model.snapshot);
+    }
+}

@@ -1,0 +1,147 @@
+//! Multi-threaded throughput driver: saturate an [`IndexHandle`] with
+//! point lookups from `std::thread` workers and report aggregate rates.
+//!
+//! This is both the measurement harness behind the `serving` benchmark
+//! suite and a miniature model of a real serving deployment: every worker
+//! owns an [`crate::IndexReader`], so a concurrent rebuild hot-swaps
+//! under the sweep without stopping it.
+
+use crate::handle::IndexHandle;
+use fsi_geo::Point;
+use std::time::{Duration, Instant};
+
+/// Aggregate result of one throughput sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total lookups attempted (in-bounds and out).
+    pub lookups: usize,
+    /// Points that fell outside the index bounds.
+    pub out_of_bounds: usize,
+    /// Wall-clock of the whole sweep.
+    pub elapsed: Duration,
+    /// `lookups / elapsed`, in points per second.
+    pub lookups_per_sec: f64,
+    /// Sum of served leaf ids — keeps the work observable so the
+    /// optimizer cannot discard the lookups, and doubles as a cheap
+    /// cross-run determinism check.
+    pub checksum: u64,
+}
+
+/// Sweeps `passes` rounds of `points` through the live index using
+/// `threads` workers (clamped to at least 1).
+///
+/// Points are split into contiguous per-worker chunks; each worker
+/// refreshes its [`crate::IndexReader`] snapshot once per pass, which is
+/// how a long-lived server would batch its generation checks.
+pub fn sweep(
+    handle: &IndexHandle,
+    points: &[Point],
+    threads: usize,
+    passes: usize,
+) -> ThroughputReport {
+    let requested = threads.max(1).min(points.len().max(1));
+    let chunk = points.len().div_ceil(requested).max(1);
+    // Ceil division can need fewer workers than requested; report reality.
+    let threads = points.len().div_ceil(chunk).max(1);
+    let started = Instant::now();
+    let (checksum, out_of_bounds) = std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(threads);
+        for slice in points.chunks(chunk) {
+            let mut reader = handle.reader();
+            workers.push(scope.spawn(move || {
+                let mut sum = 0u64;
+                let mut oob = 0usize;
+                for _ in 0..passes {
+                    let index = reader.snapshot();
+                    for p in slice {
+                        match index.lookup(p) {
+                            Some(d) => sum = sum.wrapping_add(d.leaf_id as u64),
+                            None => oob += 1,
+                        }
+                    }
+                }
+                (sum, oob)
+            }));
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("throughput worker panicked"))
+            .fold((0u64, 0usize), |(s, o), (ws, wo)| {
+                (s.wrapping_add(ws), o + wo)
+            })
+    });
+    let elapsed = started.elapsed();
+    let lookups = points.len() * passes;
+    ThroughputReport {
+        threads,
+        lookups,
+        out_of_bounds,
+        elapsed,
+        lookups_per_sec: lookups as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::FrozenIndex;
+    use fsi_geo::{Grid, Partition};
+    use fsi_pipeline::ModelSnapshot;
+
+    fn handle() -> IndexHandle {
+        let grid = Grid::unit(8).unwrap();
+        let partition = Partition::uniform(&grid, 4, 4).unwrap();
+        let snapshot = ModelSnapshot::uniform(16, 0.5).unwrap();
+        IndexHandle::new(FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap())
+    }
+
+    fn grid_points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i % 97) as f64 / 97.0, ((i * 31) % 89) as f64 / 89.0))
+            .collect()
+    }
+
+    #[test]
+    fn sweep_counts_every_lookup() {
+        let h = handle();
+        let points = grid_points(1000);
+        let r = sweep(&h, &points, 4, 3);
+        assert_eq!(r.lookups, 3000);
+        assert_eq!(r.out_of_bounds, 0);
+        assert!(r.lookups_per_sec > 0.0);
+        assert_eq!(r.threads, 4);
+    }
+
+    #[test]
+    fn checksum_is_thread_count_invariant() {
+        let h = handle();
+        let points = grid_points(512);
+        let a = sweep(&h, &points, 1, 2);
+        let b = sweep(&h, &points, 4, 2);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_counted_not_fatal() {
+        let h = handle();
+        let mut points = grid_points(100);
+        points.push(Point::new(7.0, 7.0));
+        let r = sweep(&h, &points, 2, 1);
+        assert_eq!(r.out_of_bounds, 1);
+        assert_eq!(r.lookups, 101);
+    }
+
+    #[test]
+    fn degenerate_thread_counts_clamp() {
+        let h = handle();
+        let points = grid_points(10);
+        let r = sweep(&h, &points, 0, 1);
+        assert_eq!(r.threads, 1);
+        // More threads than points also works.
+        let r = sweep(&h, &points, 64, 1);
+        assert_eq!(r.lookups, 10);
+    }
+}

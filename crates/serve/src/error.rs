@@ -1,0 +1,109 @@
+//! Error type for the serving subsystem.
+
+use fsi_pipeline::PipelineError;
+use std::fmt;
+
+/// Errors produced while compiling, querying or rebuilding a served index.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The index, snapshot or partition was built over a different grid.
+    GridMismatch {
+        /// Grid shape `(rows, cols)` the index expects.
+        expected: (usize, usize),
+        /// Grid shape that was supplied.
+        got: (usize, usize),
+    },
+    /// The model snapshot does not cover the index's leaves.
+    SnapshotMismatch {
+        /// Number of leaves in the spatial structure.
+        leaves: usize,
+        /// Number of leaves in the snapshot.
+        snapshot: usize,
+    },
+    /// An index would exceed the compiled leaf-id capacity.
+    TooManyLeaves {
+        /// Requested number of leaves.
+        leaves: usize,
+        /// Maximum representable number of leaves.
+        max: usize,
+    },
+    /// A batch lookup hit a point outside the index bounds.
+    PointOutOfBounds {
+        /// Index of the offending point within the batch.
+        index: usize,
+        /// The offending coordinates.
+        point: (f64, f64),
+    },
+    /// A rebuild was requested with a method that does not produce a
+    /// KD-tree (e.g. the Voronoi or reweighting baselines).
+    NotTreeBacked {
+        /// Human-readable method name.
+        method: &'static str,
+    },
+    /// The underlying pipeline run failed.
+    Pipeline(PipelineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::GridMismatch { expected, got } => write!(
+                f,
+                "grid shape mismatch: index expects {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            ServeError::SnapshotMismatch { leaves, snapshot } => write!(
+                f,
+                "model snapshot covers {snapshot} leaves but the index has {leaves}"
+            ),
+            ServeError::TooManyLeaves { leaves, max } => {
+                write!(f, "index has {leaves} leaves; at most {max} are supported")
+            }
+            ServeError::PointOutOfBounds { index, point } => write!(
+                f,
+                "point #{index} at ({}, {}) is outside the index bounds",
+                point.0, point.1
+            ),
+            ServeError::NotTreeBacked { method } => {
+                write!(f, "method {method} does not build a KD-tree to serve")
+            }
+            ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ServeError::GridMismatch {
+            expected: (64, 64),
+            got: (16, 16),
+        };
+        assert!(e.to_string().contains("64x64"));
+        let e = ServeError::PointOutOfBounds {
+            index: 7,
+            point: (2.0, -1.0),
+        };
+        assert!(e.to_string().contains("#7"));
+        let e = ServeError::NotTreeBacked { method: "Zip Code" };
+        assert!(e.to_string().contains("Zip Code"));
+    }
+}

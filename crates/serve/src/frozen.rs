@@ -1,0 +1,649 @@
+//! The compiled, immutable, query-optimized index.
+//!
+//! [`FrozenIndex`] fuses three training-time artifacts into one flat
+//! structure sized for the read path:
+//!
+//! * the spatial structure — either a [`KdTree`] flattened into a
+//!   breadth-first arena of 24-byte nodes traversed branchlessly, or an
+//!   arbitrary [`Partition`] compiled into a per-cell leaf table;
+//! * the grid geometry, so queries are *continuous* [`Point`]s rather
+//!   than grid coordinates;
+//! * a [`ModelSnapshot`] of per-leaf raw scores and calibration offsets,
+//!   with calibrated scores precomputed at compile time.
+//!
+//! A lookup is two subtractions, two divisions and (for the tree backend)
+//! one comparison per tree level; the per-level child select is a
+//! branch-free index into a two-element array, so the only unpredictable
+//! branch in the whole traversal is the loop exit. Cell-to-leaf parity
+//! with [`Grid::locate`] + [`KdTree::locate`] is exact, not approximate:
+//! the fractional cell coordinates are computed with the same operations
+//! `Grid::locate` uses, and comparing them against integer cut boundaries
+//! is equivalent to comparing the floored cell indices.
+
+use crate::error::ServeError;
+use fsi_core::KdTree;
+use fsi_geo::{Axis, CellRect, Grid, Partition, Point, Rect};
+use fsi_pipeline::ModelSnapshot;
+
+/// Child/root reference: high bit set ⇒ leaf (low bits = leaf id),
+/// otherwise an index into the flat internal-node arena.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// One flattened internal node (24 bytes).
+#[derive(Debug, Clone, Copy)]
+struct FlatNode {
+    /// Cut boundary in fractional cell units along `axis`.
+    split: f64,
+    /// Coordinate compared: `0` ⇒ fractional column (x), `1` ⇒ fractional
+    /// row (y).
+    axis: u32,
+    /// `[low, high]` child references (`LEAF_BIT` encoding).
+    children: [u32; 2],
+}
+
+/// Flattened KD-tree: internal nodes in breadth-first order, so the top
+/// of the tree — visited by every lookup — occupies one cache line run.
+#[derive(Debug, Clone)]
+struct FlatTree {
+    nodes: Vec<FlatNode>,
+    root: u32,
+}
+
+/// The spatial backend of a frozen index.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// Branchless flattened KD-tree (compiled from a [`KdTree`]).
+    Tree(FlatTree),
+    /// Per-cell leaf table (compiled from an arbitrary [`Partition`]).
+    Cells(Vec<u32>),
+}
+
+/// The decision returned for one query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Leaf (= region) id of the neighborhood containing the point.
+    pub leaf_id: usize,
+    /// Spatial fairness group the decision is calibrated against (equal
+    /// to `leaf_id` under the identity group mapping).
+    pub group: usize,
+    /// The model's raw (uncalibrated) score for the neighborhood.
+    pub raw_score: f64,
+    /// The locally calibrated score: `raw + offset`, clamped to `[0, 1]`.
+    pub calibrated_score: f64,
+}
+
+/// An immutable, compiled spatial decision index.
+///
+/// Build one with [`FrozenIndex::compile`] (from a KD-tree) or
+/// [`FrozenIndex::from_partition`] (from any partition), then serve
+/// [`FrozenIndex::lookup`] / [`FrozenIndex::lookup_batch`] /
+/// [`FrozenIndex::range_query`] from as many threads as you like — every
+/// method takes `&self` and the structure never mutates. Swapping in a
+/// freshly built index without blocking readers is the job of
+/// [`crate::IndexHandle`].
+#[derive(Debug, Clone)]
+pub struct FrozenIndex {
+    backend: Backend,
+    /// The grid geometry — the single authority on point → cell
+    /// semantics (cold paths delegate to [`Grid::cell_of`]).
+    grid: Grid,
+    /// Cached `grid.cell_width()` / `grid.cell_height()`, so the hot
+    /// path pays no divisions beyond the two in `fractional`.
+    cell_w: f64,
+    cell_h: f64,
+    /// Per-leaf raw scores (from the snapshot).
+    raw: Vec<f64>,
+    /// Per-leaf calibration offsets (kept for introspection).
+    offset: Vec<f64>,
+    /// Per-leaf calibrated scores, precomputed at compile time.
+    calibrated: Vec<f64>,
+    /// Per-leaf fairness-group ids.
+    group: Vec<u32>,
+}
+
+impl FrozenIndex {
+    /// Compiles a KD-tree, its grid geometry and a model snapshot into a
+    /// frozen index with the branchless flattened-tree backend.
+    pub fn compile(
+        tree: &KdTree,
+        grid: &Grid,
+        snapshot: &ModelSnapshot,
+    ) -> Result<Self, ServeError> {
+        if tree.grid_shape() != (grid.rows(), grid.cols()) {
+            return Err(ServeError::GridMismatch {
+                expected: tree.grid_shape(),
+                got: (grid.rows(), grid.cols()),
+            });
+        }
+        let flat = flatten(tree);
+        Self::with_backend(Backend::Tree(flat), grid, tree.num_leaves(), snapshot)
+    }
+
+    /// Compiles an arbitrary partition (KD-leaf, Voronoi, uniform, …)
+    /// into a frozen index with the per-cell leaf-table backend.
+    pub fn from_partition(
+        partition: &Partition,
+        grid: &Grid,
+        snapshot: &ModelSnapshot,
+    ) -> Result<Self, ServeError> {
+        if partition.grid_shape() != (grid.rows(), grid.cols()) {
+            return Err(ServeError::GridMismatch {
+                expected: partition.grid_shape(),
+                got: (grid.rows(), grid.cols()),
+            });
+        }
+        let cells = partition.assignments().to_vec();
+        Self::with_backend(
+            Backend::Cells(cells),
+            grid,
+            partition.num_regions(),
+            snapshot,
+        )
+    }
+
+    fn with_backend(
+        backend: Backend,
+        grid: &Grid,
+        num_leaves: usize,
+        snapshot: &ModelSnapshot,
+    ) -> Result<Self, ServeError> {
+        if num_leaves >= LEAF_BIT as usize {
+            return Err(ServeError::TooManyLeaves {
+                leaves: num_leaves,
+                max: LEAF_BIT as usize - 1,
+            });
+        }
+        if snapshot.num_leaves() != num_leaves {
+            return Err(ServeError::SnapshotMismatch {
+                leaves: num_leaves,
+                snapshot: snapshot.num_leaves(),
+            });
+        }
+        let calibrated = (0..num_leaves).map(|l| snapshot.calibrated(l)).collect();
+        Ok(Self {
+            backend,
+            grid: grid.clone(),
+            cell_w: grid.cell_width(),
+            cell_h: grid.cell_height(),
+            raw: snapshot.raw_scores().to_vec(),
+            offset: snapshot.offsets().to_vec(),
+            calibrated,
+            group: snapshot.groups().to_vec(),
+        })
+    }
+
+    /// Fractional cell coordinates of a point, or `None` when the point
+    /// is non-finite or outside the closed map bounds. Uses the exact
+    /// arithmetic of [`Grid::locate`] so cell assignment is bit-identical.
+    #[inline]
+    fn fractional(&self, p: &Point) -> Option<(f64, f64)> {
+        let b = self.grid.bounds();
+        if !p.is_finite() || !b.contains(p) {
+            return None;
+        }
+        Some(((p.x - b.min_x) / self.cell_w, (p.y - b.min_y) / self.cell_h))
+    }
+
+    /// Leaf id of a point given its fractional cell coordinates.
+    ///
+    /// Tree backend: comparing the fractional coordinate against an
+    /// integer boundary `b` is equivalent to comparing the floored cell
+    /// index (`fy ≥ b ⇔ ⌊fy⌋ ≥ b` for integral `b`), and the max-edge
+    /// clamp of `Grid::locate` only affects `fy = rows`, which every cut
+    /// (`b ≤ rows − 1`) already sends high — so the traversal agrees with
+    /// `Grid::locate` + `KdTree::locate` exactly.
+    #[inline]
+    fn leaf_of(&self, fx: f64, fy: f64) -> u32 {
+        match &self.backend {
+            Backend::Tree(ft) => {
+                let coords = [fx, fy];
+                let mut cur = ft.root;
+                while cur & LEAF_BIT == 0 {
+                    let n = &ft.nodes[cur as usize];
+                    let hi = usize::from(coords[n.axis as usize] >= n.split);
+                    cur = n.children[hi];
+                }
+                cur & !LEAF_BIT
+            }
+            Backend::Cells(map) => {
+                // Same floor-and-clamp as `Grid::cell_of`, on the
+                // already-computed fractional coordinates.
+                let col = (fx as usize).min(self.grid.cols() - 1);
+                let row = (fy as usize).min(self.grid.rows() - 1);
+                map[row * self.grid.cols() + col]
+            }
+        }
+    }
+
+    #[inline]
+    fn decision(&self, leaf: u32) -> Decision {
+        let l = leaf as usize;
+        Decision {
+            leaf_id: l,
+            group: self.group[l] as usize,
+            raw_score: self.raw[l],
+            calibrated_score: self.calibrated[l],
+        }
+    }
+
+    /// Maps a point to its fair-neighborhood decision. Returns `None`
+    /// when the point is non-finite or outside the map bounds.
+    #[inline]
+    pub fn lookup(&self, p: &Point) -> Option<Decision> {
+        let (fx, fy) = self.fractional(p)?;
+        Some(self.decision(self.leaf_of(fx, fy)))
+    }
+
+    /// Batch lookup: slice in, decisions out. Clears and refills `out`,
+    /// so reusing the buffer across calls amortizes allocation over the
+    /// whole request stream. Fails on the first out-of-bounds point,
+    /// reporting its batch index; `out` is left empty on error so a
+    /// failed batch can never leak partial decisions to the caller.
+    pub fn lookup_batch(
+        &self,
+        points: &[Point],
+        out: &mut Vec<Decision>,
+    ) -> Result<(), ServeError> {
+        out.clear();
+        out.reserve(points.len());
+        for (index, p) in points.iter().enumerate() {
+            let Some((fx, fy)) = self.fractional(p) else {
+                out.clear();
+                return Err(ServeError::PointOutOfBounds {
+                    index,
+                    point: (p.x, p.y),
+                });
+            };
+            out.push(self.decision(self.leaf_of(fx, fy)));
+        }
+        Ok(())
+    }
+
+    /// Leaf ids of every neighborhood a point of the closed query
+    /// rectangle could map to, ascending. Agrees with
+    /// [`KdTree::range_query`] over the covered cell block; a query
+    /// entirely outside the map returns an empty vector.
+    pub fn range_query(&self, query: &Rect) -> Vec<usize> {
+        let Some(cells) = self.covered_cells(query) else {
+            return Vec::new();
+        };
+        match &self.backend {
+            Backend::Tree(ft) => {
+                let mut out = Vec::new();
+                let mut stack = vec![ft.root];
+                while let Some(r) = stack.pop() {
+                    if r & LEAF_BIT != 0 {
+                        out.push((r & !LEAF_BIT) as usize);
+                        continue;
+                    }
+                    let n = &ft.nodes[r as usize];
+                    let (lo, hi) = if n.axis == 0 {
+                        (cells.col_start, cells.col_end)
+                    } else {
+                        (cells.row_start, cells.row_end)
+                    };
+                    let s = n.split as usize;
+                    if lo < s {
+                        stack.push(n.children[0]);
+                    }
+                    if hi > s {
+                        stack.push(n.children[1]);
+                    }
+                }
+                out.sort_unstable();
+                out
+            }
+            Backend::Cells(map) => {
+                let mut seen = vec![false; self.num_leaves()];
+                for row in cells.row_start..cells.row_end {
+                    for col in cells.col_start..cells.col_end {
+                        seen[map[row * self.grid.cols() + col] as usize] = true;
+                    }
+                }
+                (0..self.num_leaves()).filter(|&l| seen[l]).collect()
+            }
+        }
+    }
+
+    /// The block of cells the closed `query` rectangle touches under
+    /// point-lookup semantics (a cell is included iff some point of the
+    /// query maps to it), or `None` when the query misses the map.
+    fn covered_cells(&self, query: &Rect) -> Option<CellRect> {
+        // `Rect::new` validates finiteness, but the fields are public, so
+        // reject NaN/infinite queries before min/max (which ignore NaN).
+        let finite = [query.min_x, query.min_y, query.max_x, query.max_y]
+            .iter()
+            .all(|v| v.is_finite());
+        if !finite {
+            return None;
+        }
+        let b = self.grid.bounds();
+        let lo_x = query.min_x.max(b.min_x);
+        let hi_x = query.max_x.min(b.max_x);
+        let lo_y = query.min_y.max(b.min_y);
+        let hi_y = query.max_y.min(b.max_y);
+        if lo_x > hi_x || lo_y > hi_y {
+            return None;
+        }
+        // Cold path: delegate the corner → cell mapping to the single
+        // authority on boundary semantics. Both corners are clamped into
+        // the bounds above, so `cell_of` cannot miss.
+        let (row_lo, col_lo) = self.grid.cell_of(&Point::new(lo_x, lo_y))?;
+        let (row_hi, col_hi) = self.grid.cell_of(&Point::new(hi_x, hi_y))?;
+        Some(CellRect::new(row_lo, row_hi + 1, col_lo, col_hi + 1))
+    }
+
+    /// Number of leaves (neighborhoods) served.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Grid shape `(rows, cols)` the index was compiled over.
+    #[inline]
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.grid.rows(), self.grid.cols())
+    }
+
+    /// Map bounds accepted by lookups.
+    #[inline]
+    pub fn bounds(&self) -> &Rect {
+        self.grid.bounds()
+    }
+
+    /// `"tree"` or `"cells"`: which compiled backend answers lookups.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            Backend::Tree(_) => "tree",
+            Backend::Cells(_) => "cells",
+        }
+    }
+
+    /// Per-leaf calibration offsets (introspection / diagnostics).
+    #[inline]
+    pub fn offsets(&self) -> &[f64] {
+        &self.offset
+    }
+
+    /// Approximate heap footprint in bytes — the whole read working set.
+    pub fn heap_bytes(&self) -> usize {
+        let backend = match &self.backend {
+            Backend::Tree(ft) => ft.nodes.len() * std::mem::size_of::<FlatNode>(),
+            Backend::Cells(map) => map.len() * std::mem::size_of::<u32>(),
+        };
+        backend
+            + (self.raw.len() + self.offset.len() + self.calibrated.len())
+                * std::mem::size_of::<f64>()
+            + self.group.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Flattens a [`KdTree`] arena into breadth-first [`FlatNode`]s.
+///
+/// Leaf ids are OR-ed with [`LEAF_BIT`], so callers must enforce the
+/// leaf-count cap; `with_backend` does, and discards this result when it
+/// fails, so an oversized tree never reaches a served index.
+fn flatten(tree: &KdTree) -> FlatTree {
+    let arena = tree.nodes();
+    let leaf_or = |idx: u32, flat_of: &[u32]| -> u32 {
+        match arena[idx as usize].split_boundary() {
+            None => match arena[idx as usize].kind {
+                fsi_core::tree::NodeKind::Leaf { region_id } => LEAF_BIT | region_id as u32,
+                _ => unreachable!("split_boundary is None only for leaves"),
+            },
+            Some(_) => flat_of[idx as usize],
+        }
+    };
+
+    // Pass 1: breadth-first order over internal nodes.
+    let mut flat_of = vec![u32::MAX; arena.len()];
+    let mut order = Vec::new();
+    let root = KdTree::ROOT;
+    if arena.is_empty() || arena[root as usize].split_boundary().is_none() {
+        // Single-leaf tree (or the degenerate empty arena): the root
+        // reference itself is a leaf.
+        return FlatTree {
+            nodes: Vec::new(),
+            root: LEAF_BIT,
+        };
+    }
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(i) = queue.pop_front() {
+        flat_of[i as usize] = order.len() as u32;
+        order.push(i);
+        if let fsi_core::tree::NodeKind::Internal { low, high, .. } = arena[i as usize].kind {
+            for c in [low, high] {
+                if arena[c as usize].split_boundary().is_some() {
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+
+    // Pass 2: emit nodes with resolved child references.
+    let mut nodes = Vec::with_capacity(order.len());
+    for &i in &order {
+        let node = &arena[i as usize];
+        let (axis, boundary) = node
+            .split_boundary()
+            .expect("pass 1 only enqueues internal nodes");
+        let axis_code = match axis {
+            Axis::Col => 0, // vertical cut: compare the x (column) coordinate
+            Axis::Row => 1, // horizontal cut: compare the y (row) coordinate
+        };
+        let fsi_core::tree::NodeKind::Internal { low, high, .. } = node.kind else {
+            unreachable!("pass 1 only enqueues internal nodes");
+        };
+        nodes.push(FlatNode {
+            split: boundary as f64,
+            axis: axis_code,
+            children: [leaf_or(low, &flat_of), leaf_or(high, &flat_of)],
+        });
+    }
+    FlatTree { nodes, root: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_core::{build_kd_tree, BuildConfig, CellStats};
+
+    fn grid8() -> Grid {
+        Grid::unit(8).unwrap()
+    }
+
+    /// A height-3 median tree over uniform counts: 8 equal leaves.
+    fn median_tree(grid: &Grid) -> KdTree {
+        let counts = vec![1.0; grid.len()];
+        let zeros = vec![0.0; grid.len()];
+        let stats = CellStats::new(grid, &counts, &zeros, &zeros).unwrap();
+        build_kd_tree(
+            &stats,
+            &fsi_core::MedianSplit,
+            &BuildConfig {
+                height: 3,
+                ..BuildConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_backend_matches_locate_on_every_cell_centroid() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let idx = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        assert_eq!(idx.backend_name(), "tree");
+        for cell in grid.cells() {
+            let c = grid.centroid(cell).unwrap();
+            let (row, col) = grid.cell_of(&c).unwrap();
+            assert_eq!(
+                idx.lookup(&c).unwrap().leaf_id,
+                tree.locate(row, col).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cells_backend_matches_partition() {
+        let grid = grid8();
+        let partition = Partition::uniform(&grid, 2, 4).unwrap();
+        let snapshot = ModelSnapshot::uniform(partition.num_regions(), 0.5).unwrap();
+        let idx = FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap();
+        assert_eq!(idx.backend_name(), "cells");
+        for cell in grid.cells() {
+            let c = grid.centroid(cell).unwrap();
+            assert_eq!(idx.lookup(&c).unwrap().leaf_id, partition.region_of(cell));
+        }
+    }
+
+    #[test]
+    fn boundary_points_follow_grid_semantics() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let idx = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        // Corners, edge midpoints and interior cut lines.
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.5, 0.5),
+            Point::new(0.5, 0.0),
+            Point::new(1.0, 0.5),
+            Point::new(0.25, 0.75),
+        ] {
+            let cell = grid.locate(&p).unwrap();
+            let (row, col) = grid.row_col(cell);
+            assert_eq!(
+                idx.lookup(&p).unwrap().leaf_id,
+                tree.locate(row, col).unwrap(),
+                "at {p:?}"
+            );
+        }
+        assert!(idx.lookup(&Point::new(1.0001, 0.5)).is_none());
+        assert!(idx.lookup(&Point::new(f64::NAN, 0.5)).is_none());
+    }
+
+    #[test]
+    fn decisions_surface_snapshot_scores() {
+        let grid = grid8();
+        let partition = Partition::uniform(&grid, 1, 2).unwrap();
+        let snapshot = ModelSnapshot::new(vec![0.2, 0.9], vec![0.3, -0.1], vec![0, 1]).unwrap();
+        let idx = FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap();
+        let west = idx.lookup(&Point::new(0.1, 0.5)).unwrap();
+        assert_eq!(west.leaf_id, 0);
+        assert_eq!(west.group, 0);
+        assert!((west.raw_score - 0.2).abs() < 1e-12);
+        assert!((west.calibrated_score - 0.5).abs() < 1e-12);
+        let east = idx.lookup(&Point::new(0.9, 0.5)).unwrap();
+        assert_eq!(east.leaf_id, 1);
+        assert!((east.calibrated_score - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_singles_and_reports_bad_index() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let idx = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        let points: Vec<Point> = (0..50)
+            .map(|i| Point::new((i as f64 * 0.02) % 1.0, (i as f64 * 0.07) % 1.0))
+            .collect();
+        let mut out = Vec::new();
+        idx.lookup_batch(&points, &mut out).unwrap();
+        assert_eq!(out.len(), points.len());
+        for (p, d) in points.iter().zip(&out) {
+            assert_eq!(idx.lookup(p).unwrap(), *d);
+        }
+        let mut bad = points.clone();
+        bad[17] = Point::new(5.0, 5.0);
+        match idx.lookup_batch(&bad, &mut out) {
+            Err(ServeError::PointOutOfBounds { index: 17, .. }) => {}
+            other => panic!("expected PointOutOfBounds at 17, got {other:?}"),
+        }
+        // A failed batch never leaks partial decisions.
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_query_agrees_with_kd_tree() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let idx = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        // Whole map → every leaf.
+        let all = idx.range_query(&Rect::unit());
+        assert_eq!(all, (0..tree.num_leaves()).collect::<Vec<_>>());
+        // A strictly interior sliver inside one leaf column.
+        let sliver = Rect::new(0.01, 0.01, 0.02, 0.02).unwrap();
+        let got = idx.range_query(&sliver);
+        assert_eq!(got.len(), 1);
+        let cell = grid.locate(&Point::new(0.015, 0.015)).unwrap();
+        let (row, col) = grid.row_col(cell);
+        assert_eq!(got[0], tree.locate(row, col).unwrap());
+        // Off-map queries return nothing.
+        assert!(idx
+            .range_query(&Rect::new(2.0, 2.0, 3.0, 3.0).unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn single_leaf_tree_serves_the_whole_map() {
+        // A 1×1 grid admits no split, so even height 1 yields a lone
+        // leaf — exercising the leaf-root encoding of the flat tree.
+        let grid = Grid::unit(1).unwrap();
+        let stats = CellStats::new(&grid, &[5.0], &[0.0], &[0.0]).unwrap();
+        let tree = build_kd_tree(
+            &stats,
+            &fsi_core::MedianSplit,
+            &BuildConfig {
+                height: 1,
+                ..BuildConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(tree.num_leaves(), 1);
+        let snapshot = ModelSnapshot::uniform(1, 0.7).unwrap();
+        let idx = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        assert_eq!(idx.lookup(&Point::new(0.3, 0.8)).unwrap().leaf_id, 0);
+        assert_eq!(idx.range_query(&Rect::unit()), vec![0]);
+    }
+
+    #[test]
+    fn compile_validates_inputs() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let other_grid = Grid::unit(4).unwrap();
+        let good = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        assert!(matches!(
+            FrozenIndex::compile(&tree, &other_grid, &good),
+            Err(ServeError::GridMismatch { .. })
+        ));
+        let short = ModelSnapshot::uniform(tree.num_leaves() - 1, 0.5).unwrap();
+        assert!(matches!(
+            FrozenIndex::compile(&tree, &grid, &short),
+            Err(ServeError::SnapshotMismatch { .. })
+        ));
+        let partition = Partition::uniform(&grid, 2, 2).unwrap();
+        assert!(matches!(
+            FrozenIndex::from_partition(&partition, &other_grid, &good),
+            Err(ServeError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn footprint_is_reported() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let idx = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        // 7 internal nodes * 24B + 8 leaves * (3*8B + 4B) = 392.
+        assert_eq!(idx.heap_bytes(), 7 * 24 + 8 * 28);
+        assert_eq!(idx.grid_shape(), (8, 8));
+        assert_eq!(idx.num_leaves(), 8);
+        assert_eq!(idx.offsets(), &[0.0; 8]);
+    }
+}

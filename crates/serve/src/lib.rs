@@ -1,0 +1,67 @@
+//! # fsi-serve — online query serving for fair spatial indexes
+//!
+//! The rest of the workspace *builds* fair KD-trees; this crate *serves*
+//! them. A trained `(KdTree, model, grid)` triple is compiled into a
+//! [`FrozenIndex`] — a flat, arena-ordered, immutable structure with
+//! branchless continuous-point → leaf traversal — and queried online:
+//!
+//! * [`FrozenIndex::lookup`] maps one [`fsi_geo::Point`] to a
+//!   [`Decision`]: leaf id, raw model score, locally calibrated score and
+//!   fairness group.
+//! * [`FrozenIndex::lookup_batch`] is the slice-in/slice-out path for
+//!   request batches.
+//! * [`FrozenIndex::range_query`] returns every neighborhood a map-space
+//!   rectangle touches.
+//!
+//! Deployment pieces:
+//!
+//! * [`IndexHandle`] / [`IndexReader`] — lock-free reads with atomic
+//!   snapshot hot-swap (std-only `Arc` + atomics), so a rebuild never
+//!   blocks a query.
+//! * [`Rebuilder`] — re-runs the `fsi-pipeline` trainer (optionally on a
+//!   background thread) and publishes the freshly compiled index.
+//! * [`driver`] — a multi-threaded throughput harness, also used by the
+//!   `serving` benchmark suite in `fsi-bench`.
+//!
+//! ```
+//! use fsi_pipeline::{Method, RunConfig, TaskSpec};
+//! use fsi_serve::{build_index, IndexHandle};
+//!
+//! let dataset = fsi_data::synth::city::CityGenerator::new(
+//!     fsi_data::synth::city::CityConfig {
+//!         n_individuals: 200,
+//!         grid_side: 16,
+//!         seed: 1,
+//!         ..Default::default()
+//!     },
+//! )
+//! .unwrap()
+//! .generate()
+//! .unwrap();
+//! let (index, _run) = build_index(
+//!     &dataset,
+//!     &TaskSpec::act(),
+//!     Method::FairKd,
+//!     3,
+//!     &RunConfig::default(),
+//! )
+//! .unwrap();
+//! let handle = IndexHandle::new(index);
+//! let decision = handle.load().lookup(&fsi_geo::Point::new(0.5, 0.5)).unwrap();
+//! assert!((0.0..=1.0).contains(&decision.calibrated_score));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod error;
+pub mod frozen;
+pub mod handle;
+pub mod rebuild;
+
+pub use driver::{sweep, ThroughputReport};
+pub use error::ServeError;
+pub use frozen::{Decision, FrozenIndex};
+pub use handle::{IndexHandle, IndexReader};
+pub use rebuild::{build_index, compile_run, RebuildReport, Rebuilder};

@@ -1,0 +1,212 @@
+//! Background rebuilds: re-run the training pipeline and hot-swap the
+//! result into a live [`IndexHandle`] without pausing readers.
+
+use crate::error::ServeError;
+use crate::frozen::FrozenIndex;
+use crate::handle::IndexHandle;
+use fsi_data::SpatialDataset;
+use fsi_pipeline::{run_method, MethodRun, RunConfig, TaskSpec};
+use fsi_pipeline::{Method, ModelSnapshot};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Builds a [`FrozenIndex`] from scratch for `(dataset, task, method,
+/// height)`: runs the full training pipeline, extracts the model
+/// snapshot, and compiles the KD-tree. Returns the index together with
+/// the pipeline run (for its evaluation report).
+///
+/// Only the tree-backed methods (`MedianKd`, `FairKd`,
+/// `IterativeFairKd`) can be compiled; the others return
+/// [`ServeError::NotTreeBacked`].
+pub fn build_index(
+    dataset: &SpatialDataset,
+    task: &TaskSpec,
+    method: Method,
+    height: usize,
+    config: &RunConfig,
+) -> Result<(FrozenIndex, MethodRun), ServeError> {
+    let run = run_method(dataset, task, method, height, config)?;
+    let index = compile_run(&run, dataset)?;
+    Ok((index, run))
+}
+
+/// Compiles an already finished pipeline run into a [`FrozenIndex`].
+pub fn compile_run(run: &MethodRun, dataset: &SpatialDataset) -> Result<FrozenIndex, ServeError> {
+    let tree = run.tree.as_ref().ok_or(ServeError::NotTreeBacked {
+        method: run.method.name(),
+    })?;
+    let snapshot: ModelSnapshot = run.model_snapshot()?;
+    FrozenIndex::compile(tree, dataset.grid(), &snapshot)
+}
+
+/// What a finished rebuild did.
+#[derive(Debug, Clone)]
+pub struct RebuildReport {
+    /// The method the new index was built with.
+    pub method: Method,
+    /// Requested tree height.
+    pub height: usize,
+    /// Generation the new snapshot serves at.
+    pub generation: u64,
+    /// Leaves in the new index.
+    pub num_leaves: usize,
+    /// ENCE of the retrained model over the full population.
+    pub ence: f64,
+    /// Wall-clock of partition construction inside the pipeline.
+    pub build_time: Duration,
+    /// End-to-end wall-clock: training + evaluation + compile + publish.
+    pub total_time: Duration,
+}
+
+/// Rebuilds indexes against a live [`IndexHandle`].
+///
+/// A rebuild runs the whole `fsi-pipeline` trainer — seconds of work —
+/// while readers keep serving the old snapshot; the swap at the end is
+/// two pointer writes. Clone the rebuilder (or use
+/// [`Rebuilder::spawn_rebuild`]) to run it from a background thread.
+#[derive(Clone)]
+pub struct Rebuilder {
+    handle: IndexHandle,
+}
+
+impl Rebuilder {
+    /// Creates a rebuilder publishing into `handle`.
+    pub fn new(handle: IndexHandle) -> Self {
+        Self { handle }
+    }
+
+    /// The handle this rebuilder publishes into.
+    pub fn handle(&self) -> &IndexHandle {
+        &self.handle
+    }
+
+    /// Trains, compiles and publishes a new index, returning what
+    /// happened. Readers never block; they observe the new snapshot on
+    /// their next [`crate::IndexReader::snapshot`] call.
+    pub fn rebuild(
+        &self,
+        dataset: &SpatialDataset,
+        task: &TaskSpec,
+        method: Method,
+        height: usize,
+        config: &RunConfig,
+    ) -> Result<RebuildReport, ServeError> {
+        let started = Instant::now();
+        let (index, run) = build_index(dataset, task, method, height, config)?;
+        let num_leaves = index.num_leaves();
+        // publish() returns the generation computed under its lock, so
+        // concurrent rebuilds each report their own publish correctly.
+        let (generation, _old) = self.handle.publish(index);
+        Ok(RebuildReport {
+            method,
+            height,
+            generation,
+            num_leaves,
+            ence: run.eval.full.ence,
+            build_time: run.build_time,
+            total_time: started.elapsed(),
+        })
+    }
+
+    /// Runs [`Rebuilder::rebuild`] on a background `std::thread`,
+    /// returning its join handle. The dataset is moved into the thread;
+    /// clone it at the call site if you still need it.
+    pub fn spawn_rebuild(
+        &self,
+        dataset: SpatialDataset,
+        task: TaskSpec,
+        method: Method,
+        height: usize,
+        config: RunConfig,
+    ) -> JoinHandle<Result<RebuildReport, ServeError>> {
+        let rebuilder = self.clone();
+        std::thread::spawn(move || rebuilder.rebuild(&dataset, &task, method, height, &config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_data::synth::city::{CityConfig, CityGenerator};
+    use fsi_geo::Point;
+
+    fn small_dataset() -> SpatialDataset {
+        CityGenerator::new(CityConfig {
+            n_individuals: 250,
+            grid_side: 16,
+            seed: 11,
+            ..CityConfig::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn build_index_serves_the_run_partition() {
+        let d = small_dataset();
+        let (index, run) = build_index(
+            &d,
+            &TaskSpec::act(),
+            Method::MedianKd,
+            3,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(index.num_leaves(), run.partition.num_regions());
+        for (i, p) in d.locations().iter().enumerate().take(50) {
+            let expected = run.partition.region_of(d.cells()[i]);
+            assert_eq!(index.lookup(p).unwrap().leaf_id, expected);
+        }
+    }
+
+    #[test]
+    fn non_tree_methods_are_rejected() {
+        let d = small_dataset();
+        let err = build_index(
+            &d,
+            &TaskSpec::act(),
+            Method::ZipCode,
+            3,
+            &RunConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::NotTreeBacked { .. }));
+    }
+
+    #[test]
+    fn rebuild_publishes_a_new_generation() {
+        let d = small_dataset();
+        let cfg = RunConfig::default();
+        let task = TaskSpec::act();
+        let (initial, _) = build_index(&d, &task, Method::MedianKd, 2, &cfg).unwrap();
+        let handle = IndexHandle::new(initial);
+        let mut reader = handle.reader();
+        assert_eq!(reader.snapshot().num_leaves(), 4);
+
+        let rebuilder = Rebuilder::new(handle.clone());
+        let report = rebuilder
+            .rebuild(&d, &task, Method::FairKd, 4, &cfg)
+            .unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.num_leaves, 16);
+        assert!(report.total_time >= report.build_time);
+        // The reader sees the fair index on its next snapshot call.
+        assert_eq!(reader.snapshot().num_leaves(), 16);
+        assert!(reader.snapshot().lookup(&Point::new(0.5, 0.5)).is_some());
+    }
+
+    #[test]
+    fn spawned_rebuild_joins_with_report() {
+        let d = small_dataset();
+        let cfg = RunConfig::default();
+        let task = TaskSpec::act();
+        let (initial, _) = build_index(&d, &task, Method::MedianKd, 2, &cfg).unwrap();
+        let handle = IndexHandle::new(initial);
+        let rebuilder = Rebuilder::new(handle.clone());
+        let join = rebuilder.spawn_rebuild(d, task, Method::MedianKd, 3, cfg);
+        let report = join.join().expect("rebuild thread panicked").unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(handle.load().num_leaves(), report.num_leaves);
+    }
+}

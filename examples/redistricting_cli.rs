@@ -1,22 +1,34 @@
-//! A small CLI: fair re-districting of a CSV dataset.
+//! A small CLI: fair re-districting of a CSV dataset, and an online
+//! query server over the saved districting.
 //!
-//! Reads a dataset in the `fsi-data` CSV layout (or generates the LA
-//! preset when no path is given), builds a districting with the requested
-//! method and height, prints the per-neighborhood calibration table, and
-//! writes the partition to JSON so downstream tools can consume the
-//! boundaries.
+//! Build mode (default) reads a dataset in the `fsi-data` CSV layout (or
+//! generates the LA preset when no path is given), builds a districting
+//! with the requested method and height, prints the per-neighborhood
+//! calibration table, and writes the partition to JSON so downstream
+//! tools can consume the boundaries.
+//!
+//! Serve mode loads `reports/partition.json` (building it first if
+//! absent), retrains the final model for those boundaries, compiles a
+//! `fsi-serve` `FrozenIndex`, and answers point queries from stdin.
 //!
 //! ```sh
 //! cargo run --release --example redistricting_cli -- [CSV_PATH] [METHOD] [HEIGHT]
 //! # METHOD: median | fair | iterative | reweight | zip | quad  (default fair)
 //! # HEIGHT: tree height (default 6)
+//!
+//! cargo run --release --example redistricting_cli -- serve [CSV_PATH]
+//! # then on stdin:   X Y         → one decision per line
+//! #                  rect X0 Y0 X1 Y1 → neighborhoods touching the box
 //! ```
 
 use fsi_data::synth::edgap::generate_los_angeles;
 use fsi_data::SpatialDataset;
-use fsi_geo::{Grid, Rect};
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
-use std::io::BufReader;
+use fsi_geo::{Grid, Partition, Point, Rect};
+use fsi_pipeline::{run_method, snapshot_for_partition, Method, MethodRun, RunConfig, TaskSpec};
+use fsi_serve::FrozenIndex;
+use std::io::{BufRead, BufReader};
+
+const PARTITION_PATH: &str = "reports/partition.json";
 
 fn parse_method(s: &str) -> Option<Method> {
     Some(match s {
@@ -30,38 +42,32 @@ fn parse_method(s: &str) -> Option<Method> {
     })
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let dataset: SpatialDataset = match args.first().map(String::as_str) {
-        Some(path) if !path.is_empty() && parse_method(path).is_none() => {
-            let file = std::fs::File::open(path)?;
+fn load_dataset(path: Option<&str>) -> Result<SpatialDataset, Box<dyn std::error::Error>> {
+    match path {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open dataset CSV `{path}`: {e}"))?;
             let grid = Grid::new(Rect::unit(), 64, 64)?;
-            fsi_data::csv::read_csv(BufReader::new(file), grid)?
+            Ok(fsi_data::csv::read_csv(BufReader::new(file), grid)?)
         }
-        _ => generate_los_angeles()?,
-    };
-    // Method/height may appear at position 0 (no CSV) or 1 (after CSV).
-    let rest: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| parse_method(a).is_some() || a.parse::<usize>().is_ok())
-        .collect();
-    let method = rest
-        .iter()
-        .find_map(|a| parse_method(a))
-        .unwrap_or(Method::FairKd);
-    let height = rest
-        .iter()
-        .find_map(|a| a.parse::<usize>().ok())
-        .unwrap_or(6);
+        None => Ok(generate_los_angeles()?),
+    }
+}
 
+/// Builds a districting, prints its calibration table, and persists the
+/// partition for downstream consumers (including serve mode).
+fn build(
+    dataset: &SpatialDataset,
+    method: Method,
+    height: usize,
+) -> Result<MethodRun, Box<dyn std::error::Error>> {
     println!(
         "re-districting {} individuals with {} at height {height}",
         dataset.len(),
         method.name()
     );
     let run = run_method(
-        &dataset,
+        dataset,
         &TaskSpec::act(),
         method,
         height,
@@ -90,9 +96,136 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Persist the districting for downstream consumers.
-    let out = "reports/partition.json";
     std::fs::create_dir_all("reports")?;
-    std::fs::write(out, serde_json::to_string_pretty(&run.partition)?)?;
-    println!("\npartition written to {out}");
+    std::fs::write(
+        PARTITION_PATH,
+        serde_json::to_string_pretty(&run.partition)?,
+    )?;
+    println!("\npartition written to {PARTITION_PATH}");
+    Ok(run)
+}
+
+/// Loads the saved partition (building the default districting first
+/// when it is missing), compiles a `FrozenIndex`, and answers queries
+/// from stdin until EOF.
+fn serve(dataset: &SpatialDataset) -> Result<(), Box<dyn std::error::Error>> {
+    let grid = dataset.grid();
+    let (partition, snapshot, ence) = match std::fs::read_to_string(PARTITION_PATH) {
+        Ok(json) => {
+            let partition: Partition = serde_json::from_str(&json)?;
+            if partition.grid_shape() != (grid.rows(), grid.cols()) {
+                return Err(format!(
+                    "saved partition is over a {:?} grid but the dataset uses {}x{} — rebuild it",
+                    partition.grid_shape(),
+                    grid.rows(),
+                    grid.cols()
+                )
+                .into());
+            }
+            println!(
+                "training the final model for {} saved neighborhoods…",
+                partition.num_regions()
+            );
+            let model = snapshot_for_partition(
+                dataset,
+                &TaskSpec::act(),
+                &partition,
+                &RunConfig::default(),
+            )?;
+            (partition, model.snapshot, model.eval.full.ence)
+        }
+        // Only a genuinely absent file triggers the bootstrap build;
+        // permission or I/O errors must not overwrite a saved partition.
+        // The bootstrap run already trained the final model, so its
+        // snapshot is reused rather than retraining.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("{PARTITION_PATH} missing — building the default fair districting first");
+            let run = build(dataset, Method::FairKd, 6)?;
+            let snapshot = run.model_snapshot()?;
+            (run.partition, snapshot, run.eval.full.ence)
+        }
+        Err(e) => return Err(format!("cannot read {PARTITION_PATH}: {e}").into()),
+    };
+
+    let index = FrozenIndex::from_partition(&partition, grid, &snapshot)?;
+    let b = index.bounds();
+    println!(
+        "serving {} neighborhoods over [{}, {}]×[{}, {}] ({} backend, {} B working set, ENCE {:.4})",
+        index.num_leaves(),
+        b.min_x,
+        b.max_x,
+        b.min_y,
+        b.max_y,
+        index.backend_name(),
+        index.heap_bytes(),
+        ence,
+    );
+    println!("query format: `X Y` or `rect X0 Y0 X1 Y1`; EOF (ctrl-d) exits");
+
+    for line in std::io::stdin().lock().lines() {
+        let line = line?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            [] => continue,
+            ["rect", x0, y0, x1, y1] => match (x0.parse(), y0.parse(), x1.parse(), y1.parse()) {
+                (Ok(x0), Ok(y0), Ok(x1), Ok(y1)) => match Rect::new(x0, y0, x1, y1) {
+                    Ok(rect) => println!("neighborhoods: {:?}", index.range_query(&rect)),
+                    Err(e) => println!("bad rect: {e}"),
+                },
+                _ => println!("bad rect: expected `rect X0 Y0 X1 Y1`"),
+            },
+            [x, y] => match (x.parse(), y.parse()) {
+                (Ok(x), Ok(y)) => match index.lookup(&Point::new(x, y)) {
+                    Some(d) => println!(
+                        "leaf={} group={} raw={:.4} calibrated={:.4}",
+                        d.leaf_id, d.group, d.raw_score, d.calibrated_score
+                    ),
+                    None => println!("point ({x}, {y}) is outside the map"),
+                },
+                _ => println!("bad point: expected `X Y`"),
+            },
+            _ => println!("unrecognized query: `{line}`"),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `serve [CSV_PATH]` switches to online mode.
+    if args.first().map(String::as_str) == Some("serve") {
+        let dataset = load_dataset(args.get(1).map(String::as_str))?;
+        return serve(&dataset);
+    }
+
+    let dataset = match args.first().map(String::as_str) {
+        // The first arg is a CSV path only when it is neither a method
+        // name nor a bare height number.
+        Some(path)
+            if !path.is_empty()
+                && parse_method(path).is_none()
+                && path.parse::<usize>().is_err() =>
+        {
+            load_dataset(Some(path))?
+        }
+        _ => load_dataset(None)?,
+    };
+    // Method/height may appear at position 0 (no CSV) or 1 (after CSV).
+    let rest: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| parse_method(a).is_some() || a.parse::<usize>().is_ok())
+        .collect();
+    let method = rest
+        .iter()
+        .find_map(|a| parse_method(a))
+        .unwrap_or(Method::FairKd);
+    let height = rest
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(6);
+
+    build(&dataset, method, height)?;
     Ok(())
 }
