@@ -9,7 +9,7 @@
 use super::Profile;
 use crate::bench_dataset;
 use criterion::{black_box, BenchmarkId, Criterion};
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
+use fsi::{Method, Pipeline, TaskSpec};
 
 /// The construction methods compared at the profile's full height.
 pub const METHODS: [Method; 5] = [
@@ -23,8 +23,6 @@ pub const METHODS: [Method; 5] = [
 /// Registers the construction suite under `construction/…` ids.
 pub fn register(c: &mut Criterion, p: &Profile) {
     let dataset = bench_dataset(p.n_individuals, p.grid_side);
-    let task = TaskSpec::act();
-    let config = RunConfig::default();
 
     let mut group = c.benchmark_group(format!(
         "construction/n{}_h{}",
@@ -36,8 +34,12 @@ pub fn register(c: &mut Criterion, p: &Profile) {
             &method,
             |b, &m| {
                 b.iter(|| {
-                    let run =
-                        run_method(&dataset, &task, m, p.method_height, &config).expect("run");
+                    let run = Pipeline::on(&dataset)
+                        .task(TaskSpec::act())
+                        .method(m)
+                        .height(p.method_height)
+                        .run()
+                        .expect("run");
                     black_box(run.eval.full.ence)
                 })
             },
@@ -52,7 +54,12 @@ pub fn register(c: &mut Criterion, p: &Profile) {
             &height,
             |b, &h| {
                 b.iter(|| {
-                    let run = run_method(&dataset, &task, Method::FairKd, h, &config).expect("run");
+                    let run = Pipeline::on(&dataset)
+                        .task(TaskSpec::act())
+                        .method(Method::FairKd)
+                        .height(h)
+                        .run()
+                        .expect("run");
                     black_box(run.eval.full.ence)
                 })
             },

@@ -10,8 +10,8 @@
 use super::Profile;
 use crate::bench_dataset;
 use criterion::{black_box, Criterion};
+use fsi::{Method, Pipeline, TaskSpec};
 use fsi_geo::{Point, Rect};
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
 use fsi_serve::{driver, FrozenIndex, IndexHandle};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -46,14 +46,12 @@ fn query_rects(bounds: &Rect, n: usize, seed: u64) -> Vec<Rect> {
 /// Registers the serving suite under `serving/…` ids.
 pub fn register(c: &mut Criterion, p: &Profile) {
     let dataset = bench_dataset(p.n_individuals, p.grid_side);
-    let run = run_method(
-        &dataset,
-        &TaskSpec::act(),
-        Method::FairKd,
-        p.method_height,
-        &RunConfig::default(),
-    )
-    .expect("pipeline run for serving fixtures");
+    let run = Pipeline::on(&dataset)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(p.method_height)
+        .run()
+        .expect("pipeline run for serving fixtures");
     let tree = run.tree.as_ref().expect("FairKd builds a tree");
     let snapshot = run.model_snapshot().expect("snapshot extracts");
     let index = FrozenIndex::compile(tree, dataset.grid(), &snapshot).expect("index compiles");

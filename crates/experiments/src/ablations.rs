@@ -14,12 +14,11 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{fmt, Table};
-use fsi_core::TieBreak;
+use fsi::{FsiError, Method, Pipeline, TaskSpec, TieBreak};
 use fsi_data::LocationEncoding;
-use fsi_pipeline::{run_method, Method, PipelineError, RunConfig, TaskSpec};
 
 /// Runs all three ablations on the Los Angeles preset.
-pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, FsiError> {
     let (city, dataset) = &ctx.cities[0];
     let task = TaskSpec::act();
     let base = ctx.config(ctx.split_seeds[0]);
@@ -49,16 +48,13 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
     for &h in &ctx.heights {
         let mut cells = vec![h.to_string()];
         for tie_break in [TieBreak::PreferBalanced, TieBreak::FirstIndex] {
-            let run = run_method(
-                dataset,
-                &task,
-                Method::FairKd,
-                h,
-                &RunConfig {
-                    tie_break,
-                    ..base.clone()
-                },
-            )?;
+            let run = Pipeline::on(dataset)
+                .task(task.clone())
+                .method(Method::FairKd)
+                .height(h)
+                .config(base.clone())
+                .tie_break(tie_break)
+                .run()?;
             let max_pop = run
                 .eval
                 .per_group
@@ -90,16 +86,13 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
         ("one_hot", LocationEncoding::OneHot),
         ("cell_index", LocationEncoding::CellIndex),
     ] {
-        let run = run_method(
-            dataset,
-            &task,
-            Method::FairKd,
-            6,
-            &RunConfig {
-                encoding,
-                ..base.clone()
-            },
-        )?;
+        let run = Pipeline::on(dataset)
+            .task(task.clone())
+            .method(Method::FairKd)
+            .height(6)
+            .config(base.clone())
+            .encoding(encoding)
+            .run()?;
         t.push_row(vec![
             name.into(),
             fmt(run.eval.full.ence, 5),
@@ -125,8 +118,16 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
         ],
     );
     for &h in &[4usize, 6, 8] {
-        let kd = run_method(dataset, &task, Method::FairKd, h, &base)?;
-        let quad = run_method(dataset, &task, Method::FairQuad, h, &base)?;
+        let cell = |method: Method| {
+            Pipeline::on(dataset)
+                .task(task.clone())
+                .method(method)
+                .height(h)
+                .config(base.clone())
+                .run()
+        };
+        let kd = cell(Method::FairKd)?;
+        let quad = cell(Method::FairQuad)?;
         t.push_row(vec![
             h.to_string(),
             fmt(kd.eval.full.ence, 5),

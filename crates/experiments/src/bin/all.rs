@@ -8,8 +8,7 @@ use fsi_experiments::{
     ablations, fig10, fig6, fig7, fig8, fig9, report, timing, ExperimentContext,
 };
 
-type RunFn =
-    fn(&ExperimentContext) -> Result<Vec<fsi_experiments::Table>, fsi_pipeline::PipelineError>;
+type RunFn = fn(&ExperimentContext) -> Result<Vec<fsi_experiments::Table>, fsi::FsiError>;
 
 fn main() {
     let ctx = ExperimentContext::standard().expect("dataset generation");

@@ -1,8 +1,8 @@
 //! Shared experiment context: datasets, seeds and sweep parameters.
 
+use fsi::{FsiError, RunConfig};
 use fsi_data::synth::edgap::{generate_houston, generate_los_angeles};
 use fsi_data::SpatialDataset;
-use fsi_pipeline::{PipelineError, RunConfig};
 
 /// The two evaluation cities, generated once and shared by every figure.
 pub struct ExperimentContext {
@@ -17,7 +17,7 @@ pub struct ExperimentContext {
 
 impl ExperimentContext {
     /// Generates both cities with the default seeds and sweep ranges.
-    pub fn standard() -> Result<Self, PipelineError> {
+    pub fn standard() -> Result<Self, FsiError> {
         Ok(Self {
             cities: vec![
                 ("Los Angeles".into(), generate_los_angeles()?),
@@ -30,7 +30,7 @@ impl ExperimentContext {
 
     /// A reduced context for smoke tests and the `cargo bench` figure
     /// harness: one split seed, three heights.
-    pub fn quick() -> Result<Self, PipelineError> {
+    pub fn quick() -> Result<Self, FsiError> {
         Ok(Self {
             cities: vec![
                 ("Los Angeles".into(), generate_los_angeles()?),

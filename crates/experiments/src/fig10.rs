@@ -9,8 +9,8 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{fmt, Table};
+use fsi::{FsiError, Method, MultiPipeline, TaskSpec};
 use fsi_data::SpatialDataset;
-use fsi_pipeline::{run_multi_objective, Method, PipelineError, RunConfig, TaskSpec};
 
 /// The heights shown in Figure 10.
 pub const HEIGHTS: [usize; 4] = [4, 6, 8, 10];
@@ -24,21 +24,16 @@ fn mean_task_ence(
     method: Method,
     height: usize,
     seeds: &[u64],
-) -> Result<Vec<f64>, PipelineError> {
+) -> Result<Vec<f64>, FsiError> {
     let mut sums = vec![0.0; tasks.len()];
     for &seed in seeds {
-        let config = RunConfig {
-            seed,
-            ..RunConfig::default()
-        };
-        let run = run_multi_objective(
-            dataset,
-            tasks,
-            &[ALPHA, 1.0 - ALPHA],
-            method,
-            height,
-            &config,
-        )?;
+        let run = MultiPipeline::on(dataset)
+            .tasks(tasks.to_vec())
+            .alphas(vec![ALPHA, 1.0 - ALPHA])
+            .method(method)
+            .height(height)
+            .seed(seed)
+            .run()?;
         for (s, (_, eval)) in sums.iter_mut().zip(&run.per_task) {
             *s += eval.full.ence;
         }
@@ -47,7 +42,7 @@ fn mean_task_ence(
 }
 
 /// Runs the Figure-10 reproduction: one table per (city, height).
-pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, FsiError> {
     let tasks = [TaskSpec::act(), TaskSpec::employment()];
     let methods = [Method::MedianKd, Method::FairKd, Method::GridReweight];
     let mut tables = Vec::new();

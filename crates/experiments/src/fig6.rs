@@ -8,9 +8,9 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{fmt, Table};
+use fsi::{FsiError, Method, Pipeline, TaskSpec};
 use fsi_fairness::{group_calibration, group_ece, SpatialGroups};
 use fsi_ml::calibration::BinningStrategy;
-use fsi_pipeline::{run_method, Method, PipelineError, TaskSpec};
 
 /// Number of zip codes shown per city (the paper's "top 10").
 pub const TOP_ZIPS: usize = 10;
@@ -18,7 +18,7 @@ pub const TOP_ZIPS: usize = 10;
 pub const ECE_BINS: usize = 15;
 
 /// Runs the Figure-6 reproduction.
-pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, FsiError> {
     let mut tables = Vec::new();
     let mut overall = Table::new(
         "fig6_overall_calibration",
@@ -33,9 +33,13 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
 
     let task = TaskSpec::act();
     for (city, dataset) in &ctx.cities {
-        let config = ctx.config(ctx.split_seeds[0]);
         // Height is irrelevant for the zip-code method.
-        let run = run_method(dataset, &task, Method::ZipCode, 1, &config)?;
+        let run = Pipeline::on(dataset)
+            .task(task.clone())
+            .method(Method::ZipCode)
+            .height(1)
+            .config(ctx.config(ctx.split_seeds[0]))
+            .run()?;
 
         overall.push_row(vec![
             city.clone(),
@@ -53,18 +57,15 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
         ]);
 
         // Per-zip statistics over the full population.
-        let groups = SpatialGroups::from_partition(dataset.cells(), &run.partition)
-            .map_err(PipelineError::Fairness)?;
-        let stats = group_calibration(&run.scores, &run.labels, &groups)
-            .map_err(PipelineError::Fairness)?;
+        let groups = SpatialGroups::from_partition(dataset.cells(), &run.partition)?;
+        let stats = group_calibration(&run.scores, &run.labels, &groups)?;
         let eces = group_ece(
             &run.scores,
             &run.labels,
             &groups,
             ECE_BINS,
             BinningStrategy::EqualWidth,
-        )
-        .map_err(PipelineError::Fairness)?;
+        )?;
 
         let mut ranked: Vec<usize> = (0..stats.len()).collect();
         ranked.sort_by_key(|&g| std::cmp::Reverse(stats[g].count));

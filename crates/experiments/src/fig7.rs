@@ -8,8 +8,8 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{fmt, Table};
+use fsi::{FsiError, Method, ModelKind, Pipeline, TaskSpec};
 use fsi_data::SpatialDataset;
-use fsi_pipeline::{run_method, Method, ModelKind, PipelineError, RunConfig, TaskSpec};
 
 /// Aggregated metrics of one `(method, height)` cell, averaged over split
 /// seeds.
@@ -37,15 +37,16 @@ pub fn mean_cell(
     height: usize,
     model: ModelKind,
     seeds: &[u64],
-) -> Result<CellSummary, PipelineError> {
+) -> Result<CellSummary, FsiError> {
     let mut acc = CellSummary::default();
     for &seed in seeds {
-        let config = RunConfig {
-            model,
-            seed,
-            ..RunConfig::default()
-        };
-        let run = run_method(dataset, task, method, height, &config)?;
+        let run = Pipeline::on(dataset)
+            .task(task.clone())
+            .method(method)
+            .height(height)
+            .model(model)
+            .seed(seed)
+            .run()?;
         acc.ence_full += run.eval.full.ence;
         acc.ence_train += run.eval.train.ence;
         acc.ence_test += run.eval.test.ence;
@@ -73,20 +74,20 @@ fn model_slug(model: ModelKind) -> &'static str {
 
 /// Runs the Figure-7 reproduction: one table per (city, model) panel.
 /// Panels run in parallel across threads.
-pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, FsiError> {
     let task = TaskSpec::act();
     let methods = Method::figure7_set();
     let panels: Vec<(usize, ModelKind)> = (0..ctx.cities.len())
         .flat_map(|c| ModelKind::all().map(|m| (c, m)))
         .collect();
 
-    let results: Vec<Result<Table, PipelineError>> = std::thread::scope(|scope| {
+    let results: Vec<Result<Table, FsiError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = panels
             .iter()
             .map(|&(city_idx, model)| {
                 let task = &task;
                 let ctx_ref = ctx;
-                scope.spawn(move || -> Result<Table, PipelineError> {
+                scope.spawn(move || -> Result<Table, FsiError> {
                     let (city, dataset) = &ctx_ref.cities[city_idx];
                     let mut t = Table::new(
                         format!(

@@ -9,7 +9,7 @@
 use crate::context::ExperimentContext;
 use crate::fig7::mean_cell;
 use crate::report::{fmt, Table};
-use fsi_pipeline::{Method, ModelKind, PipelineError, TaskSpec};
+use fsi::{FsiError, Method, ModelKind, TaskSpec};
 
 /// Which Figure-8 panel a table reproduces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,7 @@ impl Panel {
 }
 
 /// Runs the Figure-8 reproduction: three tables per city.
-pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, FsiError> {
     let task = TaskSpec::act();
     let methods = Method::figure7_set();
     let mut tables = Vec::new();

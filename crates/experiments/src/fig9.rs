@@ -10,7 +10,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{fmt, Table};
-use fsi_pipeline::{run_method, Method, PipelineError, TaskSpec};
+use fsi::{FsiError, Method, Pipeline, TaskSpec};
 
 /// Heights of the heatmap columns (the paper uses 1–10).
 pub fn heatmap_heights() -> Vec<usize> {
@@ -18,7 +18,7 @@ pub fn heatmap_heights() -> Vec<usize> {
 }
 
 /// Runs the Figure-9 reproduction: one table per (method, city).
-pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, FsiError> {
     let task = TaskSpec::act();
     let methods = [Method::MedianKd, Method::FairKd, Method::IterativeFairKd];
     let heights = heatmap_heights();
@@ -30,11 +30,15 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
             let mut matrix: Vec<Vec<f64>> = Vec::new();
             let mut names: Vec<String> = Vec::new();
             for &h in &heights {
-                let run = run_method(dataset, &task, method, h, &ctx.config(ctx.split_seeds[0]))?;
+                let run = Pipeline::on(dataset)
+                    .task(task.clone())
+                    .method(method)
+                    .height(h)
+                    .config(ctx.config(ctx.split_seeds[0]))
+                    .run()?
+                    .into_inner();
                 let imp = run.importances.ok_or_else(|| {
-                    PipelineError::InvalidConfig(
-                        "logistic regression must expose importances".into(),
-                    )
+                    FsiError::InvalidSpec("logistic regression must expose importances".into())
                 })?;
                 if names.is_empty() {
                     names = run.importance_names.clone();

@@ -10,13 +10,13 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{fmt, Table};
-use fsi_pipeline::{run_method, Method, PipelineError, TaskSpec};
+use fsi::{FsiError, Method, Pipeline, TaskSpec};
 
 /// Height of the timing comparison (the paper's 10-level setting).
 pub const HEIGHT: usize = 10;
 
 /// Runs the timing comparison.
-pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
+pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, FsiError> {
     let task = TaskSpec::act();
     let mut t = Table::new(
         "timing_construction",
@@ -34,17 +34,24 @@ pub fn run(ctx: &ExperimentContext) -> Result<Vec<Table>, PipelineError> {
         ],
     );
     for (city, dataset) in &ctx.cities {
-        let config = ctx.config(ctx.split_seeds[0]);
+        let cell = |method: Method| {
+            Pipeline::on(dataset)
+                .task(task.clone())
+                .method(method)
+                .height(HEIGHT)
+                .config(ctx.config(ctx.split_seeds[0]))
+                .run()
+        };
         // Best-of-3 to suppress scheduler noise.
         let mut fair_ms = f64::INFINITY;
         let mut iter_ms = f64::INFINITY;
         let mut fair_trainings = 0;
         let mut iter_trainings = 0;
         for _ in 0..3 {
-            let fair = run_method(dataset, &task, Method::FairKd, HEIGHT, &config)?;
+            let fair = cell(Method::FairKd)?;
             fair_ms = fair_ms.min(fair.build_time.as_secs_f64() * 1e3);
             fair_trainings = fair.trainings;
-            let iter = run_method(dataset, &task, Method::IterativeFairKd, HEIGHT, &config)?;
+            let iter = cell(Method::IterativeFairKd)?;
             iter_ms = iter_ms.min(iter.build_time.as_secs_f64() * 1e3);
             iter_trainings = iter.trainings;
         }

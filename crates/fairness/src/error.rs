@@ -1,4 +1,9 @@
 //! Error type for fairness computations.
+//!
+//! Part of the workspace error hierarchy: each crate keeps a focused
+//! enum, and the `fsi` facade unifies them all under `fsi::FsiError`
+//! (with source-chaining back to this type). Application code should
+//! match on `FsiError`; match here only when using this crate directly.
 
 use fsi_geo::GeoError;
 use fsi_ml::MlError;

@@ -1,0 +1,55 @@
+//! # fsi — the fair spatial indexing facade
+//!
+//! One fluent, validated API for the whole lifecycle the paper describes
+//! — dataset → fair index → calibrated decisions → served index:
+//!
+//! ```text
+//! Pipeline::on(&dataset)        // fsi-data
+//!     .task(TaskSpec::act())    // what to predict
+//!     .method(Method::FairKd)   // how to partition (Algorithm 1)
+//!     .height(10)               // region budget 2^h
+//!     .model(ModelKind::Logistic)
+//!     .seed(7)
+//!     .run()?                   // validate, build, train, evaluate
+//!     .serve()?                 // freeze + hot-swappable handle
+//! ```
+//!
+//! [`Pipeline::run`] yields a [`Run`]: its [`Run::eval`] carries the
+//! fairness metrics (ENCE et al.), [`Run::partition`] the generated
+//! neighborhoods, [`Run::freeze`] compiles the immutable serving index,
+//! [`Run::serve`] wires it into a lock-free [`IndexHandle`] with a
+//! [`Rebuilder`], and [`Run::save_report`] persists the whole cell as
+//! one JSON value. [`MultiPipeline`] is the multi-objective counterpart
+//! (one districting, several tasks). Everything returns the single
+//! [`FsiError`] type.
+//!
+//! Under the hood each stage lives in a focused crate (`fsi-geo`,
+//! `fsi-core`, `fsi-ml`, `fsi-data`, `fsi-fairness`, `fsi-pipeline`,
+//! `fsi-serve`); this crate re-exports the types an application needs so
+//! most callers depend on `fsi` alone. A builder chain is just sugar
+//! over a serde-round-trippable [`PipelineSpec`], so a whole experiment
+//! cell can be stored, diffed and replayed as one JSON object
+//! ([`Pipeline::from_spec`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod multi;
+pub mod pipeline;
+pub mod repl;
+
+pub use error::FsiError;
+pub use multi::{MultiPipeline, MultiRun};
+pub use pipeline::{Pipeline, Run, RunReport, Serving};
+
+// The vocabulary types of the builder surface, re-exported so callers
+// need only this crate.
+pub use fsi_core::TieBreak;
+pub use fsi_data::{LocationEncoding, SpatialDataset};
+pub use fsi_geo::{Partition, Point, Rect};
+pub use fsi_pipeline::{
+    snapshot_for_partition, EvalReport, Method, MethodRun, ModelKind, ModelSnapshot,
+    MultiObjectiveRun, MultiObjectiveSpec, PartitionModel, PipelineSpec, RunConfig, TaskSpec,
+};
+pub use fsi_serve::{Decision, FrozenIndex, IndexHandle, IndexReader, RebuildReport, Rebuilder};

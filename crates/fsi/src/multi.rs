@@ -1,0 +1,229 @@
+//! Multi-objective pipelines: one districting serving several tasks.
+//!
+//! [`MultiPipeline`] is the fluent counterpart of
+//! [`fsi_pipeline::run_multi_spec`]: it assembles a validated
+//! [`MultiObjectiveSpec`] (tasks, priorities, method, height) and
+//! executes it into a [`MultiRun`].
+
+use crate::error::FsiError;
+use fsi_data::SpatialDataset;
+use fsi_geo::Partition;
+use fsi_pipeline::{
+    run_multi_spec, EvalReport, Method, ModelKind, MultiObjectiveRun, MultiObjectiveSpec,
+    RunConfig, TaskSpec,
+};
+
+/// Fluent builder for one multi-objective execution (Figure 10's
+/// Multi-Objective Fair KD-tree and its baselines).
+///
+/// ```
+/// use fsi::{Method, MultiPipeline, TaskSpec};
+///
+/// let dataset = fsi_data::synth::city::CityGenerator::new(
+///     fsi_data::synth::city::CityConfig {
+///         n_individuals: 200,
+///         grid_side: 16,
+///         seed: 1,
+///         ..Default::default()
+///     },
+/// )
+/// .unwrap()
+/// .generate()
+/// .unwrap();
+///
+/// let run = MultiPipeline::on(&dataset)
+///     .task(TaskSpec::act(), 0.5)
+///     .task(TaskSpec::employment(), 0.5)
+///     .method(Method::FairKd)
+///     .height(3)
+///     .run()
+///     .unwrap();
+/// assert_eq!(run.per_task().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiPipeline<'d> {
+    dataset: &'d SpatialDataset,
+    spec: MultiObjectiveSpec,
+}
+
+impl<'d> MultiPipeline<'d> {
+    /// Starts a multi-objective pipeline over `dataset` with no tasks
+    /// yet (add at least one with [`MultiPipeline::task`]).
+    pub fn on(dataset: &'d SpatialDataset) -> Self {
+        Self {
+            dataset,
+            spec: MultiObjectiveSpec::new(Vec::new(), Vec::new(), Method::FairKd, 6),
+        }
+    }
+
+    /// Starts from a fully assembled spec (e.g. one restored from JSON).
+    pub fn from_spec(dataset: &'d SpatialDataset, spec: MultiObjectiveSpec) -> Self {
+        Self { dataset, spec }
+    }
+
+    /// Appends a task with its priority weight `alpha` (all alphas must
+    /// sum to 1).
+    pub fn task(mut self, task: TaskSpec, alpha: f64) -> Self {
+        self.spec.tasks.push(task);
+        self.spec.alphas.push(alpha);
+        self
+    }
+
+    /// Replaces the whole task list (pair with
+    /// [`MultiPipeline::alphas`]).
+    pub fn tasks(mut self, tasks: Vec<TaskSpec>) -> Self {
+        self.spec.tasks = tasks;
+        self
+    }
+
+    /// Replaces the whole priority vector, aligned with the tasks.
+    pub fn alphas(mut self, alphas: Vec<f64>) -> Self {
+        self.spec.alphas = alphas;
+        self
+    }
+
+    /// Sets the partitioning method (`FairKd` runs the multi-objective
+    /// tree; `MedianKd` / `GridReweight` are the baselines).
+    pub fn method(mut self, method: Method) -> Self {
+        self.spec.method = method;
+        self
+    }
+
+    /// Sets the tree height.
+    pub fn height(mut self, height: usize) -> Self {
+        self.spec.height = height;
+        self
+    }
+
+    /// Sets the classifier family.
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.spec.config.model = model;
+        self
+    }
+
+    /// Sets the seed for the train/test split.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.config.seed = seed;
+        self
+    }
+
+    /// Replaces the whole shared [`RunConfig`] at once.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.spec.config = config;
+        self
+    }
+
+    /// The spec assembled so far.
+    pub fn spec(&self) -> &MultiObjectiveSpec {
+        &self.spec
+    }
+
+    /// Validates the assembled spec without running anything.
+    pub fn validate(&self) -> Result<(), FsiError> {
+        self.spec.validate().map_err(FsiError::from)
+    }
+
+    /// Executes the multi-objective pipeline: validate, build one shared
+    /// districting, train and evaluate one model per task.
+    pub fn run(self) -> Result<MultiRun, FsiError> {
+        let inner = run_multi_spec(self.dataset, &self.spec)?;
+        Ok(MultiRun {
+            spec: self.spec,
+            inner,
+        })
+    }
+}
+
+/// A finished multi-objective execution. Dereferences to the underlying
+/// [`MultiObjectiveRun`].
+#[derive(Debug, Clone)]
+pub struct MultiRun {
+    spec: MultiObjectiveSpec,
+    inner: MultiObjectiveRun,
+}
+
+impl std::ops::Deref for MultiRun {
+    type Target = MultiObjectiveRun;
+
+    fn deref(&self) -> &MultiObjectiveRun {
+        &self.inner
+    }
+}
+
+impl MultiRun {
+    /// Per-task evaluations, aligned with the spec's task order.
+    pub fn per_task(&self) -> &[(TaskSpec, EvalReport)] {
+        &self.inner.per_task
+    }
+
+    /// The single districting shared by all tasks.
+    pub fn partition(&self) -> &Partition {
+        &self.inner.partition
+    }
+
+    /// The spec this run executed.
+    pub fn spec(&self) -> &MultiObjectiveSpec {
+        &self.spec
+    }
+
+    /// The underlying run.
+    pub fn inner(&self) -> &MultiObjectiveRun {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the raw [`MultiObjectiveRun`].
+    pub fn into_inner(self) -> MultiObjectiveRun {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_data::synth::city::{CityConfig, CityGenerator};
+
+    fn dataset() -> SpatialDataset {
+        CityGenerator::new(CityConfig {
+            n_individuals: 250,
+            grid_side: 16,
+            seed: 11,
+            ..CityConfig::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_runs_two_tasks_over_one_partition() {
+        let d = dataset();
+        let run = MultiPipeline::on(&d)
+            .task(TaskSpec::act(), 0.5)
+            .task(TaskSpec::employment(), 0.5)
+            .method(Method::FairKd)
+            .height(3)
+            .run()
+            .unwrap();
+        assert_eq!(run.per_task().len(), 2);
+        for (_, eval) in run.per_task() {
+            assert_eq!(eval.num_regions, run.partition().num_regions());
+        }
+        assert_eq!(run.spec().alphas, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn invalid_multis_are_rejected_before_work() {
+        let d = dataset();
+        assert!(MultiPipeline::on(&d).run().is_err()); // no tasks
+        assert!(MultiPipeline::on(&d)
+            .task(TaskSpec::act(), 0.9)
+            .task(TaskSpec::employment(), 0.9)
+            .validate()
+            .is_err());
+        assert!(MultiPipeline::on(&d)
+            .task(TaskSpec::act(), 1.0)
+            .method(Method::ZipCode)
+            .run()
+            .is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! The fluent pipeline builder: dataset → fair index → decisions.
+//!
+//! [`Pipeline`] assembles a validated [`PipelineSpec`] step by step and
+//! executes it; the resulting [`Run`] carries the evaluation, exposes
+//! the partition, and continues into the serving layer
+//! ([`Run::freeze`], [`Run::serve`]) or onto disk ([`Run::save_report`]).
+
+use crate::error::FsiError;
+use fsi_core::TieBreak;
+use fsi_data::{LocationEncoding, SpatialDataset};
+use fsi_geo::Partition;
+use fsi_pipeline::{
+    run_spec, EvalReport, Method, MethodRun, ModelKind, ModelSnapshot, PipelineSpec, RunConfig,
+    TaskSpec,
+};
+use fsi_serve::{compile_run, FrozenIndex, IndexHandle, IndexReader, RebuildReport, Rebuilder};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Fluent builder for one pipeline execution.
+///
+/// Starts from a dataset with the paper's defaults (ACT task, Fair
+/// KD-tree, height 6, logistic regression, seed 7) and lets each call
+/// override one knob. [`Pipeline::run`] validates the assembled
+/// [`PipelineSpec`] before any work happens.
+///
+/// ```
+/// use fsi::{Method, ModelKind, Pipeline, TaskSpec};
+///
+/// let dataset = fsi_data::synth::city::CityGenerator::new(
+///     fsi_data::synth::city::CityConfig {
+///         n_individuals: 200,
+///         grid_side: 16,
+///         seed: 1,
+///         ..Default::default()
+///     },
+/// )
+/// .unwrap()
+/// .generate()
+/// .unwrap();
+///
+/// let run = Pipeline::on(&dataset)
+///     .task(TaskSpec::act())
+///     .method(Method::FairKd)
+///     .height(4)
+///     .model(ModelKind::Logistic)
+///     .seed(7)
+///     .run()
+///     .unwrap();
+/// assert!(run.eval().full.ence.is_finite());
+/// let index = run.freeze().unwrap();
+/// assert_eq!(index.num_leaves(), run.partition().num_regions());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline<'d> {
+    dataset: &'d SpatialDataset,
+    spec: PipelineSpec,
+}
+
+impl<'d> Pipeline<'d> {
+    /// Starts a pipeline over `dataset` with the paper's defaults.
+    pub fn on(dataset: &'d SpatialDataset) -> Self {
+        Self {
+            dataset,
+            spec: PipelineSpec::new(TaskSpec::act(), Method::FairKd, 6),
+        }
+    }
+
+    /// Starts a pipeline from a fully assembled spec (e.g. one restored
+    /// from JSON).
+    pub fn from_spec(dataset: &'d SpatialDataset, spec: PipelineSpec) -> Self {
+        Self { dataset, spec }
+    }
+
+    /// Sets the classification task.
+    pub fn task(mut self, task: TaskSpec) -> Self {
+        self.spec.task = task;
+        self
+    }
+
+    /// Sets the partitioning method.
+    pub fn method(mut self, method: Method) -> Self {
+        self.spec.method = method;
+        self
+    }
+
+    /// Sets the tree height (region budget `2^height`).
+    pub fn height(mut self, height: usize) -> Self {
+        self.spec.height = height;
+        self
+    }
+
+    /// Sets the classifier family.
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.spec.config.model = model;
+        self
+    }
+
+    /// Sets the seed for the train/test split and zip-code seeds.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.config.seed = seed;
+        self
+    }
+
+    /// Sets the held-out fraction (must lie in `[0, 1)`).
+    pub fn test_fraction(mut self, fraction: f64) -> Self {
+        self.spec.config.test_fraction = fraction;
+        self
+    }
+
+    /// Sets the neighborhood encoding fed to the classifier.
+    pub fn encoding(mut self, encoding: LocationEncoding) -> Self {
+        self.spec.config.encoding = encoding;
+        self
+    }
+
+    /// Sets the tie-break rule for split plateaus.
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.spec.config.tie_break = tie_break;
+        self
+    }
+
+    /// Sets the number of Voronoi seeds for the zip-code baseline.
+    pub fn zip_seeds(mut self, seeds: usize) -> Self {
+        self.spec.config.zip_seeds = seeds;
+        self
+    }
+
+    /// Overrides the `(rows, cols)` block shape of the
+    /// [`Method::GridReweight`] baseline (rejected for other methods).
+    pub fn reweight_blocks(mut self, rows: usize, cols: usize) -> Self {
+        self.spec.reweight_blocks = Some((rows, cols));
+        self
+    }
+
+    /// Replaces the whole shared [`RunConfig`] at once.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.spec.config = config;
+        self
+    }
+
+    /// The spec assembled so far.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Validates the assembled spec without running anything.
+    pub fn validate(&self) -> Result<(), FsiError> {
+        self.spec.validate().map_err(FsiError::from)
+    }
+
+    /// Executes the pipeline: validate, build the partition, train the
+    /// final model, evaluate.
+    pub fn run(self) -> Result<Run<'d>, FsiError> {
+        let inner = run_spec(self.dataset, &self.spec)?;
+        Ok(Run {
+            dataset: self.dataset,
+            spec: self.spec,
+            inner,
+        })
+    }
+}
+
+/// A finished pipeline execution.
+///
+/// Dereferences to the underlying [`MethodRun`], so every field of the
+/// raw run (`scores`, `labels`, `importances`, `build_time`, …) remains
+/// reachable. On top of that it carries the spec it was built from and
+/// the downstream transitions: [`Run::freeze`] compiles the run into an
+/// immutable [`FrozenIndex`], [`Run::serve`] additionally wires it into
+/// a hot-swappable [`IndexHandle`] with a [`Rebuilder`], and
+/// [`Run::save_report`] persists the whole cell as one JSON value.
+#[derive(Debug, Clone)]
+pub struct Run<'d> {
+    dataset: &'d SpatialDataset,
+    spec: PipelineSpec,
+    inner: MethodRun,
+}
+
+impl std::ops::Deref for Run<'_> {
+    type Target = MethodRun;
+
+    fn deref(&self) -> &MethodRun {
+        &self.inner
+    }
+}
+
+/// A whole experiment cell as one serializable value: the spec that
+/// produced it, the evaluation, and the generated partition. This is the
+/// persistence format behind [`Run::save_report`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The spec the run executed.
+    pub spec: PipelineSpec,
+    /// The run's full evaluation.
+    pub eval: EvalReport,
+    /// The generated neighborhoods.
+    pub partition: Partition,
+}
+
+impl<'d> Run<'d> {
+    /// The evaluation report (metrics over full/train/test slices and
+    /// per neighborhood).
+    pub fn eval(&self) -> &EvalReport {
+        &self.inner.eval
+    }
+
+    /// The generated neighborhoods.
+    pub fn partition(&self) -> &Partition {
+        &self.inner.partition
+    }
+
+    /// The spec this run executed.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// The dataset the run was built over.
+    pub fn dataset(&self) -> &'d SpatialDataset {
+        self.dataset
+    }
+
+    /// The underlying pipeline run.
+    pub fn inner(&self) -> &MethodRun {
+        &self.inner
+    }
+
+    /// Consumes the facade wrapper, returning the raw [`MethodRun`].
+    pub fn into_inner(self) -> MethodRun {
+        self.inner
+    }
+
+    /// The per-leaf model snapshot of this run (serving state).
+    pub fn snapshot(&self) -> Result<ModelSnapshot, FsiError> {
+        self.inner.model_snapshot().map_err(FsiError::from)
+    }
+
+    /// Compiles the run into an immutable [`FrozenIndex`].
+    ///
+    /// Tree-backed methods (`MedianKd`, `FairKd`, `IterativeFairKd`)
+    /// compile the KD-tree directly — bit-identical to calling
+    /// [`FrozenIndex::compile`] by hand; the other methods use the
+    /// per-cell partition backend ([`FrozenIndex::from_partition`]).
+    /// The same rule applies to rebuilds, so every served method can
+    /// hot-rebuild with its own spec.
+    pub fn freeze(&self) -> Result<FrozenIndex, FsiError> {
+        compile_run(&self.inner, self.dataset).map_err(FsiError::from)
+    }
+
+    /// Freezes the run and wires it for online serving: a hot-swappable
+    /// [`IndexHandle`] plus a [`Rebuilder`] publishing into it.
+    pub fn serve(&self) -> Result<Serving<'d>, FsiError> {
+        let handle = IndexHandle::new(self.freeze()?);
+        let rebuilder = Rebuilder::new(handle.clone());
+        Ok(Serving {
+            dataset: self.dataset,
+            spec: self.spec.clone(),
+            handle,
+            rebuilder,
+        })
+    }
+
+    /// The whole cell as a serializable [`RunReport`].
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            spec: self.spec.clone(),
+            eval: self.inner.eval.clone(),
+            partition: self.inner.partition.clone(),
+        }
+    }
+
+    /// Writes the [`RunReport`] as pretty-printed JSON to `path`,
+    /// creating parent directories as needed.
+    pub fn save_report<P: AsRef<Path>>(&self, path: P) -> Result<(), FsiError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let json = serde_json::to_string_pretty(&self.report())?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+}
+
+/// A live serving deployment produced by [`Run::serve`]: the handle
+/// readers query, and the rebuilder that retrains and hot-swaps.
+pub struct Serving<'d> {
+    dataset: &'d SpatialDataset,
+    spec: PipelineSpec,
+    handle: IndexHandle,
+    rebuilder: Rebuilder,
+}
+
+impl Serving<'_> {
+    /// The hot-swappable handle serving the compiled index.
+    pub fn handle(&self) -> &IndexHandle {
+        &self.handle
+    }
+
+    /// A per-thread reader over the live index (one atomic load per
+    /// snapshot check).
+    pub fn reader(&self) -> IndexReader {
+        self.handle.reader()
+    }
+
+    /// The rebuilder wired into [`Serving::handle`].
+    pub fn rebuilder(&self) -> &Rebuilder {
+        &self.rebuilder
+    }
+
+    /// The spec rebuilds re-execute by default.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Retrains with the original spec on the original dataset and
+    /// hot-swaps the result in. Readers never block.
+    ///
+    /// With the original (immutable) dataset this reproduces the served
+    /// index bit-identically; the interesting rebuilds pass fresh data
+    /// via [`Serving::rebuild_on`] or a new spec via
+    /// [`Serving::rebuild_with`].
+    pub fn rebuild(&self) -> Result<RebuildReport, FsiError> {
+        self.rebuilder
+            .rebuild(self.dataset, &self.spec)
+            .map_err(FsiError::from)
+    }
+
+    /// Retrains the original spec on *fresh* data (the data-drift path)
+    /// and hot-swaps the result in. The dataset must share the grid the
+    /// deployment was built over.
+    pub fn rebuild_on(&self, dataset: &SpatialDataset) -> Result<RebuildReport, FsiError> {
+        self.rebuilder
+            .rebuild(dataset, &self.spec)
+            .map_err(FsiError::from)
+    }
+
+    /// Retrains with a different spec (e.g. a new height after data
+    /// drift) and hot-swaps the result in.
+    pub fn rebuild_with(&self, spec: &PipelineSpec) -> Result<RebuildReport, FsiError> {
+        self.rebuilder
+            .rebuild(self.dataset, spec)
+            .map_err(FsiError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_data::synth::city::{CityConfig, CityGenerator};
+    use fsi_geo::Point;
+
+    fn dataset() -> SpatialDataset {
+        CityGenerator::new(CityConfig {
+            n_individuals: 250,
+            grid_side: 16,
+            seed: 11,
+            ..CityConfig::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_chain_runs_and_derefs() {
+        let d = dataset();
+        let run = Pipeline::on(&d)
+            .task(TaskSpec::act())
+            .method(Method::MedianKd)
+            .height(3)
+            .model(ModelKind::Logistic)
+            .seed(7)
+            .run()
+            .unwrap();
+        // Facade accessors and Deref both reach the run.
+        assert_eq!(run.eval().full.n, d.len());
+        assert_eq!(run.scores.len(), d.len());
+        assert_eq!(run.partition().num_regions(), run.eval.num_regions);
+        assert_eq!(run.spec().method, Method::MedianKd);
+    }
+
+    #[test]
+    fn invalid_chains_fail_on_run_without_work() {
+        let d = dataset();
+        assert!(Pipeline::on(&d).height(0).run().is_err());
+        assert!(Pipeline::on(&d).test_fraction(1.0).validate().is_err());
+        assert!(Pipeline::on(&d)
+            .method(Method::FairKd)
+            .reweight_blocks(4, 4)
+            .run()
+            .is_err());
+    }
+
+    #[test]
+    fn freeze_serves_the_run_partition_for_every_method() {
+        let d = dataset();
+        for method in [Method::FairKd, Method::GridReweight, Method::ZipCode] {
+            let run = Pipeline::on(&d).method(method).height(3).run().unwrap();
+            let index = run.freeze().unwrap();
+            assert_eq!(index.num_leaves(), run.partition().num_regions());
+            for (i, p) in d.locations().iter().enumerate().take(40) {
+                let expected = run.partition().region_of(d.cells()[i]);
+                assert_eq!(index.lookup(p).unwrap().leaf_id, expected, "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_tree_deployments_can_rebuild_with_their_own_spec() {
+        let d = dataset();
+        let serving = Pipeline::on(&d)
+            .method(Method::GridReweight)
+            .height(4)
+            .run()
+            .unwrap()
+            .serve()
+            .unwrap();
+        assert_eq!(serving.handle().load().backend_name(), "cells");
+        let report = serving.rebuild().unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.num_leaves, 16);
+        assert!(serving
+            .reader()
+            .snapshot()
+            .lookup(&Point::new(0.5, 0.5))
+            .is_some());
+    }
+
+    #[test]
+    fn serve_wires_a_rebuilder_over_the_same_spec() {
+        let d = dataset();
+        let run = Pipeline::on(&d).height(3).run().unwrap();
+        let serving = run.serve().unwrap();
+        assert_eq!(serving.handle().generation(), 1);
+        let before = serving.handle().load().num_leaves();
+        let report = serving.rebuild().unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.num_leaves, before);
+        assert_eq!(&report.spec, serving.spec());
+        // A different spec hot-swaps a different shape in.
+        let taller = PipelineSpec {
+            height: 4,
+            ..serving.spec().clone()
+        };
+        let report = serving.rebuild_with(&taller).unwrap();
+        assert_eq!(report.generation, 3);
+        assert!(report.num_leaves > before);
+        assert!(serving
+            .reader()
+            .snapshot()
+            .lookup(&Point::new(0.5, 0.5))
+            .is_some());
+    }
+
+    #[test]
+    fn rebuild_on_fresh_data_changes_the_served_scores() {
+        let d = dataset();
+        let serving = Pipeline::on(&d).height(3).run().unwrap().serve().unwrap();
+        let p = Point::new(0.5, 0.5);
+        let before = serving.handle().load().lookup(&p).unwrap();
+        // Fresh data over the same grid shape: a different city draw.
+        let drifted = CityGenerator::new(CityConfig {
+            n_individuals: 250,
+            grid_side: 16,
+            seed: 12,
+            ..CityConfig::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap();
+        let report = serving.rebuild_on(&drifted).unwrap();
+        assert_eq!(report.generation, 2);
+        let after = serving.handle().load().lookup(&p).unwrap();
+        assert_ne!(before.raw_score, after.raw_score);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let d = dataset();
+        let run = Pipeline::on(&d).height(3).run().unwrap();
+        let json = serde_json::to_string(&run.report()).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.spec, *run.spec());
+        assert_eq!(back.partition, *run.partition());
+        assert_eq!(back.eval.full.n, run.eval().full.n);
+    }
+}

@@ -1,0 +1,155 @@
+//! The serve-mode query protocol: parse text queries against a
+//! [`FrozenIndex`], never panicking on malformed input.
+//!
+//! One query per line:
+//!
+//! * `X Y` — a point lookup; answers
+//!   `leaf=<id> group=<g> raw=<r> calibrated=<c>`;
+//! * `rect X0 Y0 X1 Y1` — a map-space range query; answers
+//!   `neighborhoods: [..]`.
+//!
+//! Anything else — wrong arity, unparsable numbers, degenerate
+//! rectangles, invalid UTF-8 — produces an `error: …` response line and
+//! the loop keeps serving. The `redistricting_cli serve` subcommand is a
+//! thin wrapper around [`serve_queries`] over stdin/stdout; tests drive
+//! the same function through an OS pipe.
+
+use fsi_geo::{Point, Rect};
+use fsi_serve::FrozenIndex;
+use std::io::{BufRead, Write};
+
+/// Answers one query line. Returns `None` for blank lines (no response
+/// is owed), `Some(response)` otherwise — malformed queries answer with
+/// a line starting `error:` instead of failing.
+pub fn answer_line(index: &FrozenIndex, line: &str) -> Option<String> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    Some(match fields.as_slice() {
+        [] => return None,
+        ["rect", x0, y0, x1, y1] => match (x0.parse(), y0.parse(), x1.parse(), y1.parse()) {
+            (Ok(x0), Ok(y0), Ok(x1), Ok(y1)) => match Rect::new(x0, y0, x1, y1) {
+                Ok(rect) => format!("neighborhoods: {:?}", index.range_query(&rect)),
+                Err(e) => format!("error: bad rect: {e}"),
+            },
+            _ => "error: bad rect: expected `rect X0 Y0 X1 Y1` with numeric bounds".into(),
+        },
+        [x, y] => match (x.parse(), y.parse()) {
+            (Ok(x), Ok(y)) => match index.lookup(&Point::new(x, y)) {
+                Some(d) => format!(
+                    "leaf={} group={} raw={:.4} calibrated={:.4}",
+                    d.leaf_id, d.group, d.raw_score, d.calibrated_score
+                ),
+                None => format!("error: point ({x}, {y}) is outside the map"),
+            },
+            _ => "error: bad point: expected `X Y` with numeric coordinates".into(),
+        },
+        _ => format!("error: unrecognized query: `{line}`"),
+    })
+}
+
+/// What a [`serve_queries`] session did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries answered successfully.
+    pub answered: usize,
+    /// Lines answered with an `error:` response (malformed queries,
+    /// out-of-bounds points, undecodable input).
+    pub errors: usize,
+}
+
+/// Serves queries from `input` to `output` until EOF.
+///
+/// Malformed query lines — including lines that are not valid UTF-8 —
+/// get an `error: …` response and the loop continues; only a genuine
+/// I/O failure of the streams ends the session early.
+pub fn serve_queries<R: BufRead, W: Write>(
+    index: &FrozenIndex,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<ServeStats> {
+    let mut stats = ServeStats::default();
+    for line in input.lines() {
+        let response = match line {
+            Ok(line) => match answer_line(index, &line) {
+                Some(r) => r,
+                None => continue,
+            },
+            // Invalid UTF-8 surfaces as InvalidData with the offending
+            // bytes already consumed — answer and keep serving.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                "error: input line is not valid UTF-8".into()
+            }
+            Err(e) => return Err(e),
+        };
+        if response.starts_with("error:") {
+            stats.errors += 1;
+        } else {
+            stats.answered += 1;
+        }
+        writeln!(output, "{response}")?;
+    }
+    output.flush()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_geo::{Grid, Partition};
+    use fsi_pipeline::ModelSnapshot;
+
+    fn index() -> FrozenIndex {
+        let grid = Grid::unit(4).unwrap();
+        let partition = Partition::uniform(&grid, 2, 2).unwrap();
+        let snapshot = ModelSnapshot::uniform(4, 0.25).unwrap();
+        FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap()
+    }
+
+    #[test]
+    fn well_formed_queries_answer() {
+        let idx = index();
+        let a = answer_line(&idx, "0.1 0.1").unwrap();
+        assert!(a.starts_with("leaf="), "{a}");
+        let a = answer_line(&idx, "rect 0.0 0.0 1.0 1.0").unwrap();
+        assert!(a.starts_with("neighborhoods:"), "{a}");
+        assert_eq!(answer_line(&idx, "   "), None);
+    }
+
+    #[test]
+    fn malformed_queries_answer_with_error_lines() {
+        let idx = index();
+        for bad in [
+            "nonsense",
+            "1.0",
+            "a b",
+            "rect a b c d",
+            "rect 1 2 3",
+            "0.5 0.5 0.5",
+            "rect 0.9 0.9 0.1 0.1",
+            "9.0 9.0",
+        ] {
+            let a = answer_line(&idx, bad).unwrap_or_else(|| panic!("{bad} must answer"));
+            assert!(a.starts_with("error:"), "{bad} -> {a}");
+        }
+    }
+
+    #[test]
+    fn serve_loop_survives_invalid_utf8_and_keeps_serving() {
+        let idx = index();
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"0.1 0.1\n");
+        input.extend_from_slice(&[0xFF, 0xFE, b'\n']); // not UTF-8
+        input.extend_from_slice(b"bogus query\n");
+        input.extend_from_slice(b"0.9 0.9\n");
+        let mut out = Vec::new();
+        let stats = serve_queries(&idx, &input[..], &mut out).unwrap();
+        assert_eq!(stats.answered, 2);
+        assert_eq!(stats.errors, 2);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("leaf="));
+        assert!(lines[1].starts_with("error:"));
+        assert!(lines[2].starts_with("error:"));
+        assert!(lines[3].starts_with("leaf="));
+    }
+}

@@ -1,4 +1,11 @@
 //! Error type for the pipeline.
+//!
+//! [`PipelineError`] wraps every lower-layer error (`fsi-core`,
+//! `fsi-data`, `fsi-fairness`, `fsi-geo`, `fsi-ml`) with source-chaining,
+//! and is itself wrapped by the workspace-wide `fsi::FsiError` — the one
+//! error type the `fsi` facade returns. Match on `FsiError` in
+//! application code; match here only when working against this crate
+//! directly.
 
 use fsi_core::CoreError;
 use fsi_data::DataError;

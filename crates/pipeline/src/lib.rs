@@ -6,11 +6,19 @@
 //! resulting partitions are scored with the fairness metrics
 //! (`fsi-fairness`).
 //!
-//! The central entry point is [`run_method`], which executes one
-//! `(dataset, task, method, height)` cell of the paper's evaluation matrix
-//! and returns a [`MethodRun`] with the partition, the final model's scores
-//! and an [`EvalReport`]. [`run_multi_objective`] covers the two-task
-//! experiments of Figure 10.
+//! The central entry point is [`run_spec`], which executes one
+//! [`PipelineSpec`] — a serde-round-trippable `(task, method, height,
+//! config)` cell of the paper's evaluation matrix — and returns a
+//! [`MethodRun`] with the partition, the final model's scores and an
+//! [`EvalReport`]. [`run_multi_spec`] covers the two-task experiments of
+//! Figure 10 via [`MultiObjectiveSpec`]. Every spec is validated before
+//! any work runs.
+//!
+//! Most callers should not use this crate directly: the `fsi` facade
+//! crate wraps these entry points in a fluent `Pipeline` builder that
+//! carries the run through freezing (`fsi-serve`) and serving. The
+//! historical free functions [`run_method`] and [`run_multi_objective`]
+//! are deprecated shims over the spec path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,13 +29,15 @@ pub mod methods;
 pub mod retrainer;
 pub mod runner;
 pub mod snapshot;
+pub mod spec;
 pub mod trainer;
 
 pub use error::PipelineError;
 pub use eval::EvalReport;
 pub use methods::Method;
-pub use runner::{
-    run_method, run_multi_objective, MethodRun, MultiObjectiveRun, RunConfig, TaskSpec,
-};
+#[allow(deprecated)]
+pub use runner::{run_method, run_multi_objective};
+pub use runner::{run_multi_spec, run_spec, MethodRun, MultiObjectiveRun, RunConfig, TaskSpec};
 pub use snapshot::{snapshot_for_partition, ModelSnapshot, PartitionModel};
+pub use spec::{MultiObjectiveSpec, PipelineSpec};
 pub use trainer::ModelKind;

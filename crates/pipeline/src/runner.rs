@@ -1,15 +1,23 @@
 //! One-call execution of a `(dataset, task, method, height)` evaluation
 //! cell.
+//!
+//! The primary entry points are [`run_spec`] and [`run_multi_spec`],
+//! which execute a validated [`PipelineSpec`] / [`MultiObjectiveSpec`].
+//! The historical free functions [`run_method`] and
+//! [`run_multi_objective`] survive as deprecated shims over the spec
+//! path; new code should go through the `fsi` facade crate's `Pipeline`
+//! builder, which assembles specs fluently.
 
 use crate::error::PipelineError;
 use crate::eval::EvalReport;
 use crate::methods::{per_cell_partition, reweight_blocks, Method};
 use crate::retrainer::{mask_from_indices, training_cell_stats, MlRetrainer};
+use crate::spec::{MultiObjectiveSpec, PipelineSpec};
 use crate::trainer::{train_and_score, ModelKind};
 use fsi_core::multiobjective::{aggregate_tasks, TaskOutput};
 use fsi_core::{
-    build_kd_tree, BuildConfig, CellStats, FairQuadtree, FairSplit, IterativeBuilder, KdTree,
-    MedianSplit, MultiObjectiveSplit, QuadConfig, QuadSplitRule, TieBreak,
+    build_kd_tree, CellStats, FairQuadtree, FairSplit, IterativeBuilder, KdTree, MedianSplit,
+    MultiObjectiveSplit, QuadConfig, QuadSplitRule, TieBreak,
 };
 use fsi_data::synth::edgap::sample_zip_seeds;
 use fsi_data::{build_design_matrix, LocationEncoding, SpatialDataset};
@@ -48,7 +56,7 @@ impl TaskSpec {
 }
 
 /// Shared run configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Classifier family.
     pub model: ModelKind,
@@ -111,14 +119,6 @@ pub struct MethodRun {
     pub trainings: usize,
 }
 
-fn kd_config(height: usize, config: &RunConfig) -> BuildConfig {
-    BuildConfig {
-        height,
-        tie_break: config.tie_break,
-        ..BuildConfig::default()
-    }
-}
-
 /// Counts-only statistics (median splits ignore scores and labels).
 fn count_stats(dataset: &SpatialDataset, train_mask: &[bool]) -> Result<CellStats, PipelineError> {
     let zeros = vec![0.0; dataset.len()];
@@ -141,40 +141,41 @@ fn initial_fair_stats(
     training_cell_stats(dataset, &outcome.scores, labels, train_mask)
 }
 
-/// Builds the partition for `method` at `height`. Returns the partition,
-/// the number of model trainings construction needed, and the KD-tree for
-/// tree-backed methods.
+/// Builds the partition for the spec's `(method, height)`. Returns the
+/// partition, the number of model trainings construction needed, and the
+/// KD-tree for tree-backed methods.
 fn build_partition(
     dataset: &SpatialDataset,
     labels: &[bool],
     split: &TrainTestSplit,
-    method: Method,
-    height: usize,
-    config: &RunConfig,
+    spec: &PipelineSpec,
 ) -> Result<(Partition, usize, Option<KdTree>), PipelineError> {
     let grid = dataset.grid();
+    let config = &spec.config;
     let train_mask = mask_from_indices(dataset.len(), &split.train);
-    match method {
+    match spec.method {
         Method::MedianKd => {
             let stats = count_stats(dataset, &train_mask)?;
-            let tree = build_kd_tree(&stats, &MedianSplit, &kd_config(height, config))?;
+            let tree = build_kd_tree(&stats, &MedianSplit, &spec.build_config())?;
             Ok((tree.partition(grid)?, 0, Some(tree)))
         }
         Method::FairKd => {
             let stats = initial_fair_stats(dataset, labels, split, &train_mask, config)?;
-            let tree = build_kd_tree(&stats, &FairSplit, &kd_config(height, config))?;
+            let tree = build_kd_tree(&stats, &FairSplit, &spec.build_config())?;
             Ok((tree.partition(grid)?, 1, Some(tree)))
         }
         Method::IterativeFairKd => {
             let mut rt =
                 MlRetrainer::new(dataset, labels, config.model, config.encoding, &split.train);
-            let tree = IterativeBuilder::new(kd_config(height, config))?
-                .build(grid, &FairSplit, &mut rt)?;
+            let tree =
+                IterativeBuilder::new(spec.build_config())?.build(grid, &FairSplit, &mut rt)?;
             let trainings = rt.trainings;
             Ok((tree.partition(grid)?, trainings, Some(tree)))
         }
         Method::GridReweight => {
-            let (rows, cols) = reweight_blocks(height);
+            let (rows, cols) = spec
+                .reweight_blocks
+                .unwrap_or_else(|| reweight_blocks(spec.height));
             Ok((Partition::uniform(grid, rows, cols)?, 0, None))
         }
         Method::ZipCode => {
@@ -186,7 +187,7 @@ fn build_partition(
             let quad = FairQuadtree::build(
                 &stats,
                 &QuadConfig {
-                    levels: height.div_ceil(2),
+                    levels: spec.height.div_ceil(2),
                     rule: QuadSplitRule::Fair,
                     ..QuadConfig::default()
                 },
@@ -205,25 +206,24 @@ fn normalize_importances(values: Vec<f64>) -> Vec<f64> {
     }
 }
 
-/// Executes one evaluation cell: construct the partition, re-district,
-/// train the final model, and measure.
-pub fn run_method(
-    dataset: &SpatialDataset,
-    task: &TaskSpec,
-    method: Method,
-    height: usize,
-    config: &RunConfig,
-) -> Result<MethodRun, PipelineError> {
+/// Executes one evaluation cell described by a validated
+/// [`PipelineSpec`]: construct the partition, re-district, train the
+/// final model, and measure.
+///
+/// Calls [`PipelineSpec::validate`] first, so malformed cells fail
+/// before any dataset work runs.
+pub fn run_spec(dataset: &SpatialDataset, spec: &PipelineSpec) -> Result<MethodRun, PipelineError> {
+    spec.validate()?;
+    let config = &spec.config;
     if dataset.is_empty() {
         return Err(PipelineError::Ml(fsi_ml::MlError::EmptyDataset));
     }
-    let labels = dataset.threshold_labels(&task.outcome, task.threshold)?;
+    let labels = dataset.threshold_labels(&spec.task.outcome, spec.task.threshold)?;
     let split = train_test_split(dataset.len(), config.test_fraction, config.seed)
         .map_err(PipelineError::Ml)?;
 
     let started = Instant::now();
-    let (partition, build_trainings, tree) =
-        build_partition(dataset, &labels, &split, method, height, config)?;
+    let (partition, build_trainings, tree) = build_partition(dataset, &labels, &split, spec)?;
     let build_time = started.elapsed();
 
     // Step 3 of Algorithm 1: update each individual's neighborhood and
@@ -231,7 +231,7 @@ pub fn run_method(
     let design = build_design_matrix(dataset, &partition, config.encoding)?;
     let groups = SpatialGroups::from_partition(dataset.cells(), &partition)
         .map_err(PipelineError::Fairness)?;
-    let weights = if method.uses_reweighting() {
+    let weights = if spec.method.uses_reweighting() {
         let train_assignment: Vec<usize> =
             split.train.iter().map(|&i| groups.group_of(i)).collect();
         let train_groups = SpatialGroups::new(train_assignment, groups.num_groups())
@@ -264,8 +264,8 @@ pub fn run_method(
     };
 
     Ok(MethodRun {
-        method,
-        height,
+        method: spec.method,
+        height: spec.height,
         partition,
         tree,
         scores: outcome.scores,
@@ -277,6 +277,34 @@ pub fn run_method(
         build_time,
         trainings: build_trainings + 1,
     })
+}
+
+/// Executes one evaluation cell from loose arguments.
+///
+/// Thin shim over [`run_spec`]; kept so historical call sites diff
+/// cleanly. New code should build a [`PipelineSpec`] — most conveniently
+/// through the `fsi` facade crate's `Pipeline` builder.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run_spec` or the `fsi::Pipeline` builder"
+)]
+pub fn run_method(
+    dataset: &SpatialDataset,
+    task: &TaskSpec,
+    method: Method,
+    height: usize,
+    config: &RunConfig,
+) -> Result<MethodRun, PipelineError> {
+    run_spec(
+        dataset,
+        &PipelineSpec {
+            task: task.clone(),
+            method,
+            height,
+            reweight_blocks: None,
+            config: config.clone(),
+        },
+    )
 }
 
 /// Result of a multi-objective run: one shared partition, one evaluation
@@ -297,23 +325,20 @@ pub struct MultiObjectiveRun {
     pub trainings: usize,
 }
 
-/// Executes the Figure-10 experiment: build one districting that serves
-/// `m` tasks simultaneously (Multi-Objective Fair KD-tree for
-/// [`Method::FairKd`]; Median KD-tree and Grid re-weighting as the
-/// baselines), then evaluate ENCE per task.
-pub fn run_multi_objective(
+/// Executes the Figure-10 experiment described by a validated
+/// [`MultiObjectiveSpec`]: build one districting that serves `m` tasks
+/// simultaneously (Multi-Objective Fair KD-tree for [`Method::FairKd`];
+/// Median KD-tree and Grid re-weighting as the baselines), then evaluate
+/// ENCE per task.
+///
+/// Calls [`MultiObjectiveSpec::validate`] first, so malformed cells fail
+/// before any dataset work runs.
+pub fn run_multi_spec(
     dataset: &SpatialDataset,
-    tasks: &[TaskSpec],
-    alphas: &[f64],
-    method: Method,
-    height: usize,
-    config: &RunConfig,
+    spec: &MultiObjectiveSpec,
 ) -> Result<MultiObjectiveRun, PipelineError> {
-    if tasks.is_empty() {
-        return Err(PipelineError::InvalidConfig(
-            "at least one task is required".into(),
-        ));
-    }
+    spec.validate()?;
+    let (tasks, alphas, config) = (&spec.tasks, &spec.alphas, &spec.config);
     let labels_per_task: Vec<Vec<bool>> = tasks
         .iter()
         .map(|t| dataset.threshold_labels(&t.outcome, t.threshold))
@@ -324,7 +349,7 @@ pub fn run_multi_objective(
     let grid = dataset.grid();
 
     let started = Instant::now();
-    let (partition, build_trainings) = match method {
+    let (partition, build_trainings) = match spec.method {
         Method::FairKd => {
             // Eq. 11–12: one initial classifier per task over the base grid,
             // residual vectors blended by alpha.
@@ -354,16 +379,16 @@ pub fn run_multi_objective(
             let zeros = vec![0.0; grid.len()];
             let stats = CellStats::new(grid, &dataset.cell_sums(&counts)?, &zeros, &zeros)?
                 .with_aux(grid, &dataset.cell_sums(&masked_v)?)?;
-            let tree = build_kd_tree(&stats, &MultiObjectiveSplit, &kd_config(height, config))?;
+            let tree = build_kd_tree(&stats, &MultiObjectiveSplit, &spec.build_config())?;
             (tree.partition(grid)?, tasks.len())
         }
         Method::MedianKd => {
             let stats = count_stats(dataset, &train_mask)?;
-            let tree = build_kd_tree(&stats, &MedianSplit, &kd_config(height, config))?;
+            let tree = build_kd_tree(&stats, &MedianSplit, &spec.build_config())?;
             (tree.partition(grid)?, 0)
         }
         Method::GridReweight => {
-            let (rows, cols) = reweight_blocks(height);
+            let (rows, cols) = reweight_blocks(spec.height);
             (Partition::uniform(grid, rows, cols)?, 0)
         }
         other => {
@@ -381,7 +406,7 @@ pub fn run_multi_objective(
     let mut per_task = Vec::with_capacity(tasks.len());
     let mut trainings = build_trainings;
     for (task, labels) in tasks.iter().zip(&labels_per_task) {
-        let weights = if method.uses_reweighting() {
+        let weights = if spec.method.uses_reweighting() {
             let train_assignment: Vec<usize> =
                 split.train.iter().map(|&i| groups.group_of(i)).collect();
             let train_groups = SpatialGroups::new(train_assignment, groups.num_groups())
@@ -410,13 +435,42 @@ pub fn run_multi_objective(
     }
 
     Ok(MultiObjectiveRun {
-        method,
-        height,
+        method: spec.method,
+        height: spec.height,
         partition,
         per_task,
         build_time,
         trainings,
     })
+}
+
+/// Executes a multi-objective cell from loose arguments.
+///
+/// Thin shim over [`run_multi_spec`]; kept so historical call sites diff
+/// cleanly. New code should build a [`MultiObjectiveSpec`] — most
+/// conveniently through the `fsi` facade crate's `MultiPipeline` builder.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `run_multi_spec` or the `fsi::MultiPipeline` builder"
+)]
+pub fn run_multi_objective(
+    dataset: &SpatialDataset,
+    tasks: &[TaskSpec],
+    alphas: &[f64],
+    method: Method,
+    height: usize,
+    config: &RunConfig,
+) -> Result<MultiObjectiveRun, PipelineError> {
+    run_multi_spec(
+        dataset,
+        &MultiObjectiveSpec {
+            tasks: tasks.to_vec(),
+            alphas: alphas.to_vec(),
+            method,
+            height,
+            config: config.clone(),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -436,14 +490,22 @@ mod tests {
         .unwrap()
     }
 
-    fn quick_config() -> RunConfig {
-        RunConfig::default()
+    fn cell(method: Method, height: usize) -> PipelineSpec {
+        PipelineSpec::new(TaskSpec::act(), method, height)
+    }
+
+    fn multi_cell(method: Method, height: usize) -> MultiObjectiveSpec {
+        MultiObjectiveSpec::new(
+            vec![TaskSpec::act(), TaskSpec::employment()],
+            vec![0.5, 0.5],
+            method,
+            height,
+        )
     }
 
     #[test]
     fn every_method_produces_a_complete_run() {
         let d = small_dataset();
-        let task = TaskSpec::act();
         for method in [
             Method::MedianKd,
             Method::FairKd,
@@ -452,7 +514,7 @@ mod tests {
             Method::ZipCode,
             Method::FairQuad,
         ] {
-            let run = run_method(&d, &task, method, 3, &quick_config()).unwrap();
+            let run = run_spec(&d, &cell(method, 3)).unwrap();
             assert_eq!(run.scores.len(), d.len(), "{method:?}");
             assert_eq!(run.labels.len(), d.len());
             assert!(run.eval.full.n == d.len());
@@ -466,16 +528,15 @@ mod tests {
     #[test]
     fn tree_backed_methods_expose_their_tree() {
         let d = small_dataset();
-        let task = TaskSpec::act();
         for method in [Method::MedianKd, Method::FairKd, Method::IterativeFairKd] {
-            let run = run_method(&d, &task, method, 3, &quick_config()).unwrap();
+            let run = run_spec(&d, &cell(method, 3)).unwrap();
             let tree = run.tree.as_ref().unwrap_or_else(|| panic!("{method:?}"));
             assert_eq!(tree.num_leaves(), run.partition.num_regions());
             // The exported tree is the partition's tree.
             assert_eq!(tree.partition(d.grid()).unwrap(), run.partition);
         }
         for method in [Method::GridReweight, Method::ZipCode, Method::FairQuad] {
-            let run = run_method(&d, &task, method, 3, &quick_config()).unwrap();
+            let run = run_spec(&d, &cell(method, 3)).unwrap();
             assert!(run.tree.is_none(), "{method:?}");
         }
     }
@@ -483,52 +544,83 @@ mod tests {
     #[test]
     fn training_counts_match_theorems() {
         let d = small_dataset();
-        let task = TaskSpec::act();
-        let cfg = quick_config();
         // Fair KD-tree: 1 initial + 1 final (Theorem 3: one O(h) term).
-        let fair = run_method(&d, &task, Method::FairKd, 3, &cfg).unwrap();
+        let fair = run_spec(&d, &cell(Method::FairKd, 3)).unwrap();
         assert_eq!(fair.trainings, 2);
         // Iterative: one per level + final (Theorem 4).
-        let iter = run_method(&d, &task, Method::IterativeFairKd, 3, &cfg).unwrap();
+        let iter = run_spec(&d, &cell(Method::IterativeFairKd, 3)).unwrap();
         assert_eq!(iter.trainings, 4);
         // Median: construction is model-free.
-        let median = run_method(&d, &task, Method::MedianKd, 3, &cfg).unwrap();
+        let median = run_spec(&d, &cell(Method::MedianKd, 3)).unwrap();
         assert_eq!(median.trainings, 1);
     }
 
     #[test]
     fn region_budgets_match_heights() {
         let d = small_dataset();
-        let task = TaskSpec::act();
-        let run = run_method(&d, &task, Method::MedianKd, 4, &quick_config()).unwrap();
+        let run = run_spec(&d, &cell(Method::MedianKd, 4)).unwrap();
         assert_eq!(run.eval.num_regions, 16);
-        let run = run_method(&d, &task, Method::GridReweight, 4, &quick_config()).unwrap();
+        let run = run_spec(&d, &cell(Method::GridReweight, 4)).unwrap();
         assert_eq!(run.eval.num_regions, 16);
+    }
+
+    #[test]
+    fn reweight_block_override_changes_the_grid() {
+        let d = small_dataset();
+        let spec = PipelineSpec {
+            reweight_blocks: Some((2, 8)),
+            ..cell(Method::GridReweight, 4)
+        };
+        let run = run_spec(&d, &spec).unwrap();
+        assert_eq!(run.eval.num_regions, 16);
+        // Same region count, different block shape than the derived 4x4.
+        let derived = run_spec(&d, &cell(Method::GridReweight, 4)).unwrap();
+        assert_ne!(run.partition, derived.partition);
+    }
+
+    #[test]
+    fn invalid_specs_fail_before_any_work() {
+        let d = small_dataset();
+        assert!(run_spec(&d, &cell(Method::FairKd, 0)).is_err());
+        let spec = PipelineSpec {
+            reweight_blocks: Some((4, 4)),
+            ..cell(Method::FairKd, 3)
+        };
+        assert!(run_spec(&d, &spec).is_err());
+        let spec = PipelineSpec {
+            config: RunConfig {
+                test_fraction: 1.0,
+                ..RunConfig::default()
+            },
+            ..cell(Method::FairKd, 3)
+        };
+        assert!(run_spec(&d, &spec).is_err());
     }
 
     #[test]
     fn importances_cover_features_plus_neighborhood() {
         let d = small_dataset();
-        let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 3, &quick_config()).unwrap();
+        let run = run_spec(&d, &cell(Method::FairKd, 3)).unwrap();
         let imp = run.importances.unwrap();
         assert_eq!(imp.len(), d.feature_names().len() + 1);
         assert_eq!(run.importance_names.last().unwrap(), "neighborhood");
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Naive Bayes exposes no importances.
-        let cfg = RunConfig {
-            model: ModelKind::NaiveBayes,
-            ..quick_config()
+        let spec = PipelineSpec {
+            config: RunConfig {
+                model: ModelKind::NaiveBayes,
+                ..RunConfig::default()
+            },
+            ..cell(Method::FairKd, 3)
         };
-        let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 3, &cfg).unwrap();
+        let run = run_spec(&d, &spec).unwrap();
         assert!(run.importances.is_none());
     }
 
     #[test]
     fn multi_objective_shares_one_partition() {
         let d = small_dataset();
-        let tasks = [TaskSpec::act(), TaskSpec::employment()];
-        let run = run_multi_objective(&d, &tasks, &[0.5, 0.5], Method::FairKd, 3, &quick_config())
-            .unwrap();
+        let run = run_multi_spec(&d, &multi_cell(Method::FairKd, 3)).unwrap();
         assert_eq!(run.per_task.len(), 2);
         // Two initial trainings + two final trainings.
         assert_eq!(run.trainings, 4);
@@ -541,41 +633,67 @@ mod tests {
     #[test]
     fn multi_objective_rejects_unsupported_methods() {
         let d = small_dataset();
-        let tasks = [TaskSpec::act()];
-        assert!(
-            run_multi_objective(&d, &tasks, &[1.0], Method::ZipCode, 3, &quick_config()).is_err()
-        );
-        assert!(run_multi_objective(&d, &[], &[], Method::FairKd, 3, &quick_config()).is_err());
+        let spec = MultiObjectiveSpec {
+            tasks: vec![TaskSpec::act()],
+            alphas: vec![1.0],
+            ..multi_cell(Method::ZipCode, 3)
+        };
+        assert!(run_multi_spec(&d, &spec).is_err());
+        let spec = MultiObjectiveSpec {
+            tasks: vec![],
+            alphas: vec![],
+            ..multi_cell(Method::FairKd, 3)
+        };
+        assert!(run_multi_spec(&d, &spec).is_err());
     }
 
     #[test]
     fn bad_alphas_are_rejected() {
         let d = small_dataset();
-        let tasks = [TaskSpec::act(), TaskSpec::employment()];
-        assert!(
-            run_multi_objective(&d, &tasks, &[0.9, 0.9], Method::FairKd, 3, &quick_config())
-                .is_err()
-        );
+        let spec = MultiObjectiveSpec {
+            alphas: vec![0.9, 0.9],
+            ..multi_cell(Method::FairKd, 3)
+        };
+        assert!(run_multi_spec(&d, &spec).is_err());
     }
 
     #[test]
     fn unknown_outcome_errors() {
         let d = small_dataset();
-        let task = TaskSpec {
-            outcome: "nope".into(),
-            threshold: 0.0,
+        let spec = PipelineSpec {
+            task: TaskSpec {
+                outcome: "nope".into(),
+                threshold: 0.0,
+            },
+            ..cell(Method::MedianKd, 3)
         };
-        assert!(run_method(&d, &task, Method::MedianKd, 3, &quick_config()).is_err());
+        assert!(run_spec(&d, &spec).is_err());
     }
 
     #[test]
     fn determinism_end_to_end() {
         let d = small_dataset();
-        let task = TaskSpec::act();
-        let a = run_method(&d, &task, Method::IterativeFairKd, 3, &quick_config()).unwrap();
-        let b = run_method(&d, &task, Method::IterativeFairKd, 3, &quick_config()).unwrap();
+        let a = run_spec(&d, &cell(Method::IterativeFairKd, 3)).unwrap();
+        let b = run_spec(&d, &cell(Method::IterativeFairKd, 3)).unwrap();
         assert_eq!(a.scores, b.scores);
         assert_eq!(a.partition, b.partition);
         assert_eq!(a.eval.full.ence, b.eval.full.ence);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_spec_path() {
+        let d = small_dataset();
+        let config = RunConfig::default();
+        let via_shim = run_method(&d, &TaskSpec::act(), Method::FairKd, 3, &config).unwrap();
+        let via_spec = run_spec(&d, &cell(Method::FairKd, 3)).unwrap();
+        assert_eq!(via_shim.scores, via_spec.scores);
+        assert_eq!(via_shim.partition, via_spec.partition);
+
+        let tasks = [TaskSpec::act(), TaskSpec::employment()];
+        let mo_shim =
+            run_multi_objective(&d, &tasks, &[0.5, 0.5], Method::FairKd, 3, &config).unwrap();
+        let mo_spec = run_multi_spec(&d, &multi_cell(Method::FairKd, 3)).unwrap();
+        assert_eq!(mo_shim.partition, mo_spec.partition);
     }
 }

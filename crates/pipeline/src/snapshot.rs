@@ -141,7 +141,7 @@ impl MethodRun {
 }
 
 /// A model trained for a *given* partition (rather than one built by
-/// [`crate::run_method`]): the snapshot, its evaluation, and the raw
+/// [`crate::run_spec`]): the snapshot, its evaluation, and the raw
 /// scores. This is the serving path for partitions restored from disk.
 #[derive(Debug, Clone)]
 pub struct PartitionModel {
@@ -164,6 +164,8 @@ pub fn snapshot_for_partition(
     partition: &Partition,
     config: &RunConfig,
 ) -> Result<PartitionModel, PipelineError> {
+    task.validate()?;
+    config.validate()?;
     if dataset.is_empty() {
         return Err(PipelineError::Ml(fsi_ml::MlError::EmptyDataset));
     }
@@ -189,7 +191,8 @@ pub fn snapshot_for_partition(
 mod tests {
     use super::*;
     use crate::methods::Method;
-    use crate::runner::run_method;
+    use crate::runner::run_spec;
+    use crate::spec::PipelineSpec;
     use fsi_data::synth::city::{CityConfig, CityGenerator};
 
     fn small_dataset() -> SpatialDataset {
@@ -233,14 +236,7 @@ mod tests {
     #[test]
     fn run_snapshot_matches_group_calibration() {
         let d = small_dataset();
-        let run = run_method(
-            &d,
-            &TaskSpec::act(),
-            Method::FairKd,
-            3,
-            &RunConfig::default(),
-        )
-        .unwrap();
+        let run = run_spec(&d, &PipelineSpec::new(TaskSpec::act(), Method::FairKd, 3)).unwrap();
         let snap = run.model_snapshot().unwrap();
         assert_eq!(snap.num_leaves(), run.eval.num_regions);
         let global = mean_score(&run.scores);
@@ -260,14 +256,7 @@ mod tests {
     #[test]
     fn snapshot_for_partition_round_trips_through_json() {
         let d = small_dataset();
-        let run = run_method(
-            &d,
-            &TaskSpec::act(),
-            Method::MedianKd,
-            3,
-            &RunConfig::default(),
-        )
-        .unwrap();
+        let run = run_spec(&d, &PipelineSpec::new(TaskSpec::act(), Method::MedianKd, 3)).unwrap();
         // Serialize the partition like redistricting_cli does, reload it,
         // and train a model for the restored boundaries.
         let json = serde_json::to_string(&run.partition).unwrap();

@@ -1,0 +1,446 @@
+//! Declarative run specifications: one serde value per evaluation cell.
+//!
+//! A [`PipelineSpec`] (and its multi-task sibling [`MultiObjectiveSpec`])
+//! captures *everything* a pipeline execution depends on — task, method,
+//! height and the shared [`RunConfig`] — as one serde-round-trippable
+//! value, so a whole experiment cell can be persisted, diffed and replayed
+//! as a single JSON object. [`PipelineSpec::validate`] rejects malformed
+//! cells (height 0, test fraction outside `[0, 1)`, reweighting block
+//! overrides on non-reweighting methods, …) *before* any dataset work
+//! runs; every build path in this crate calls it first.
+//!
+//! The `fsi` facade crate's `Pipeline` builder assembles these specs
+//! fluently; [`crate::run_spec`] and [`crate::run_multi_spec`] execute
+//! them.
+
+use crate::error::PipelineError;
+use crate::methods::Method;
+use crate::runner::{RunConfig, TaskSpec};
+use fsi_core::BuildConfig;
+use serde::{Deserialize, Serialize};
+
+impl TaskSpec {
+    /// Validates the task definition: a named outcome column and a finite
+    /// threshold.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.outcome.trim().is_empty() {
+            return Err(PipelineError::InvalidConfig(
+                "task outcome column name must not be empty".into(),
+            ));
+        }
+        if !self.threshold.is_finite() {
+            return Err(PipelineError::InvalidConfig(format!(
+                "task threshold must be finite, got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl RunConfig {
+    /// Validates field ranges shared by every run.
+    ///
+    /// `test_fraction` must lie in `[0, 1)`: `0` trains on the full
+    /// population (supported for the paper's full-population metrics),
+    /// while `1` or more would leave nothing to train on.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if !(self.test_fraction >= 0.0 && self.test_fraction < 1.0) {
+            return Err(PipelineError::InvalidConfig(format!(
+                "test_fraction must lie in [0, 1), got {}",
+                self.test_fraction
+            )));
+        }
+        Ok(())
+    }
+
+    /// The KD-tree construction config this run config implies at
+    /// `height` — the single derivation point shared by both spec
+    /// kinds.
+    pub fn build_config(&self, height: usize) -> BuildConfig {
+        BuildConfig {
+            height,
+            tie_break: self.tie_break,
+            ..BuildConfig::default()
+        }
+    }
+}
+
+/// One fully specified `(task, method, height, config)` evaluation cell.
+///
+/// Serializes to a single JSON object (field names are stable), so specs
+/// double as the persistence format for experiment cells:
+///
+/// ```
+/// use fsi_pipeline::{Method, PipelineSpec, TaskSpec};
+/// let spec = PipelineSpec::new(TaskSpec::act(), Method::FairKd, 6);
+/// let json = serde_json::to_string(&spec).unwrap();
+/// let back: PipelineSpec = serde_json::from_str(&json).unwrap();
+/// assert_eq!(spec, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// The binary classification task.
+    pub task: TaskSpec,
+    /// The partitioning method.
+    pub method: Method,
+    /// Requested tree height (region budget `2^height`).
+    pub height: usize,
+    /// Optional `(rows, cols)` block-shape override for the
+    /// [`Method::GridReweight`] baseline. `None` (default) derives the
+    /// shape from `height` via [`crate::methods::reweight_blocks`]. An
+    /// override reshapes the blocks but must keep the same `2^height`
+    /// region budget (`rows * cols == 2^height`); setting it for any
+    /// other method is rejected by [`PipelineSpec::validate`].
+    pub reweight_blocks: Option<(usize, usize)>,
+    /// Shared run configuration (model, encoding, seed, split, …).
+    pub config: RunConfig,
+}
+
+impl PipelineSpec {
+    /// Creates a spec with the default [`RunConfig`] and no reweighting
+    /// override.
+    pub fn new(task: TaskSpec, method: Method, height: usize) -> Self {
+        Self {
+            task,
+            method,
+            height,
+            reweight_blocks: None,
+            config: RunConfig::default(),
+        }
+    }
+
+    /// The KD-tree construction config this spec implies.
+    pub fn build_config(&self) -> BuildConfig {
+        self.config.build_config(self.height)
+    }
+
+    /// Validates the whole cell before any work runs: the task, the run
+    /// config, the implied [`BuildConfig`] (so `height == 0` or absurd
+    /// heights fail here, not deep inside construction), and
+    /// method-specific constraints.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        self.task.validate()?;
+        self.config.validate()?;
+        // Re-labelled as an invalid-config report so every spec-level
+        // rejection presents uniformly (the facade maps these to
+        // `InvalidSpec`), rather than as a construction failure.
+        self.build_config()
+            .validate()
+            .map_err(|e| PipelineError::InvalidConfig(e.to_string()))?;
+        if let Some((rows, cols)) = self.reweight_blocks {
+            if !self.method.uses_reweighting() {
+                return Err(PipelineError::InvalidConfig(format!(
+                    "reweight_blocks is only meaningful for reweighting \
+                     methods, not {:?}",
+                    self.method
+                )));
+            }
+            if rows == 0 || cols == 0 {
+                return Err(PipelineError::InvalidConfig(format!(
+                    "reweight_blocks must be positive in both dimensions, \
+                     got {rows}x{cols}"
+                )));
+            }
+            // The override reshapes the blocks; the region budget stays
+            // the one `height` advertises, as for every other method.
+            if rows.checked_mul(cols) != Some(1usize << self.height) {
+                return Err(PipelineError::InvalidConfig(format!(
+                    "reweight_blocks {rows}x{cols} yields {} regions but \
+                     height {} budgets {}",
+                    rows.saturating_mul(cols),
+                    self.height,
+                    1usize << self.height
+                )));
+            }
+        }
+        if self.method == Method::ZipCode && self.config.zip_seeds == 0 {
+            return Err(PipelineError::InvalidConfig(
+                "the zip-code baseline needs at least one Voronoi seed".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One multi-objective evaluation cell: `m` tasks blended by `alphas`
+/// share a single districting (Figure 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiObjectiveSpec {
+    /// The tasks sharing the districting (at least one).
+    pub tasks: Vec<TaskSpec>,
+    /// Task priorities, aligned with `tasks`; must be non-negative and
+    /// sum to 1 (Eq. 12).
+    pub alphas: Vec<f64>,
+    /// The partitioning method (`FairKd` runs the Multi-Objective Fair
+    /// KD-tree; `MedianKd` and `GridReweight` are the baselines).
+    pub method: Method,
+    /// Requested tree height.
+    pub height: usize,
+    /// Shared run configuration.
+    pub config: RunConfig,
+}
+
+impl MultiObjectiveSpec {
+    /// Creates a spec with the default [`RunConfig`].
+    pub fn new(tasks: Vec<TaskSpec>, alphas: Vec<f64>, method: Method, height: usize) -> Self {
+        Self {
+            tasks,
+            alphas,
+            method,
+            height,
+            config: RunConfig::default(),
+        }
+    }
+
+    /// The KD-tree construction config this spec implies.
+    pub fn build_config(&self) -> BuildConfig {
+        self.config.build_config(self.height)
+    }
+
+    /// Validates the whole cell: every task, the alphas (aligned,
+    /// non-negative, summing to 1), the run config, the implied
+    /// [`BuildConfig`], and that the method supports multi-objective
+    /// construction at all.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.tasks.is_empty() {
+            return Err(PipelineError::InvalidConfig(
+                "at least one task is required".into(),
+            ));
+        }
+        for task in &self.tasks {
+            task.validate()?;
+        }
+        if self.alphas.len() != self.tasks.len() {
+            return Err(PipelineError::InvalidConfig(format!(
+                "{} alphas for {} tasks",
+                self.alphas.len(),
+                self.tasks.len()
+            )));
+        }
+        if self.alphas.iter().any(|a| !(a.is_finite() && *a >= 0.0)) {
+            return Err(PipelineError::InvalidConfig(
+                "alphas must be non-negative and finite".into(),
+            ));
+        }
+        let total: f64 = self.alphas.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(PipelineError::InvalidConfig(format!(
+                "alphas must sum to 1 (Eq. 12), got {total}"
+            )));
+        }
+        self.config.validate()?;
+        self.build_config()
+            .validate()
+            .map_err(|e| PipelineError::InvalidConfig(e.to_string()))?;
+        match self.method {
+            Method::FairKd | Method::MedianKd | Method::GridReweight => Ok(()),
+            other => Err(PipelineError::InvalidConfig(format!(
+                "method {other:?} does not support multi-objective runs"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::ModelKind;
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec::new(TaskSpec::act(), Method::FairKd, 6)
+    }
+
+    #[test]
+    fn default_specs_are_valid() {
+        assert!(spec().validate().is_ok());
+        let multi = MultiObjectiveSpec::new(
+            vec![TaskSpec::act(), TaskSpec::employment()],
+            vec![0.5, 0.5],
+            Method::FairKd,
+            6,
+        );
+        assert!(multi.validate().is_ok());
+    }
+
+    #[test]
+    fn height_zero_is_rejected_before_any_work() {
+        let s = PipelineSpec {
+            height: 0,
+            ..spec()
+        };
+        assert!(s.validate().is_err());
+        let s = PipelineSpec {
+            height: 33,
+            ..spec()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn test_fraction_outside_unit_interval_is_rejected() {
+        for bad in [1.0, 1.5, -0.1, f64::NAN] {
+            let s = PipelineSpec {
+                config: RunConfig {
+                    test_fraction: bad,
+                    ..RunConfig::default()
+                },
+                ..spec()
+            };
+            assert!(s.validate().is_err(), "test_fraction {bad} must fail");
+        }
+        // Zero is explicitly supported: train on the full population.
+        let s = PipelineSpec {
+            config: RunConfig {
+                test_fraction: 0.0,
+                ..RunConfig::default()
+            },
+            ..spec()
+        };
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn reweight_blocks_rejected_on_non_reweighting_methods() {
+        for method in [
+            Method::MedianKd,
+            Method::FairKd,
+            Method::IterativeFairKd,
+            Method::ZipCode,
+            Method::FairQuad,
+        ] {
+            let s = PipelineSpec {
+                method,
+                reweight_blocks: Some((4, 4)),
+                ..spec()
+            };
+            assert!(s.validate().is_err(), "{method:?} must reject the override");
+        }
+        let s = PipelineSpec {
+            method: Method::GridReweight,
+            height: 4,
+            reweight_blocks: Some((4, 4)),
+            ..spec()
+        };
+        assert!(s.validate().is_ok());
+        let s = PipelineSpec {
+            method: Method::GridReweight,
+            height: 4,
+            reweight_blocks: Some((0, 4)),
+            ..spec()
+        };
+        assert!(s.validate().is_err());
+        // The override may reshape but not change the 2^height budget.
+        let s = PipelineSpec {
+            method: Method::GridReweight,
+            height: 4,
+            reweight_blocks: Some((3, 5)),
+            ..spec()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn empty_outcome_and_non_finite_threshold_are_rejected() {
+        let s = PipelineSpec {
+            task: TaskSpec {
+                outcome: "  ".into(),
+                threshold: 22.0,
+            },
+            ..spec()
+        };
+        assert!(s.validate().is_err());
+        let s = PipelineSpec {
+            task: TaskSpec {
+                outcome: "avg_act".into(),
+                threshold: f64::INFINITY,
+            },
+            ..spec()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn zip_code_requires_seeds() {
+        let s = PipelineSpec {
+            method: Method::ZipCode,
+            config: RunConfig {
+                zip_seeds: 0,
+                ..RunConfig::default()
+            },
+            ..spec()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn multi_objective_rejections() {
+        let base = MultiObjectiveSpec::new(
+            vec![TaskSpec::act(), TaskSpec::employment()],
+            vec![0.5, 0.5],
+            Method::FairKd,
+            4,
+        );
+        let s = MultiObjectiveSpec {
+            tasks: vec![],
+            alphas: vec![],
+            ..base.clone()
+        };
+        assert!(s.validate().is_err());
+        let s = MultiObjectiveSpec {
+            alphas: vec![0.9, 0.9],
+            ..base.clone()
+        };
+        assert!(s.validate().is_err());
+        let s = MultiObjectiveSpec {
+            alphas: vec![1.0],
+            ..base.clone()
+        };
+        assert!(s.validate().is_err());
+        let s = MultiObjectiveSpec {
+            alphas: vec![-0.5, 1.5],
+            ..base.clone()
+        };
+        assert!(s.validate().is_err());
+        let s = MultiObjectiveSpec {
+            method: Method::ZipCode,
+            ..base.clone()
+        };
+        assert!(s.validate().is_err());
+        let s = MultiObjectiveSpec {
+            height: 0,
+            ..base.clone()
+        };
+        assert!(s.validate().is_err());
+        assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let s = PipelineSpec {
+            task: TaskSpec::employment(),
+            method: Method::GridReweight,
+            height: 5,
+            reweight_blocks: Some((8, 4)),
+            config: RunConfig {
+                model: ModelKind::DecisionTree,
+                seed: 99,
+                test_fraction: 0.25,
+                ..RunConfig::default()
+            },
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PipelineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+
+        let m = MultiObjectiveSpec::new(
+            vec![TaskSpec::act(), TaskSpec::employment()],
+            vec![0.25, 0.75],
+            Method::MedianKd,
+            7,
+        );
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MultiObjectiveSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,4 +1,10 @@
 //! Error type for the serving subsystem.
+//!
+//! [`ServeError`] wraps [`fsi_pipeline::PipelineError`] with
+//! source-chaining and is itself wrapped by the workspace-wide
+//! `fsi::FsiError` — the one error type the `fsi` facade returns. Match
+//! on `FsiError` in application code; match here only when working
+//! against this crate directly.
 
 use fsi_pipeline::PipelineError;
 use std::fmt;
@@ -34,12 +40,6 @@ pub enum ServeError {
         /// The offending coordinates.
         point: (f64, f64),
     },
-    /// A rebuild was requested with a method that does not produce a
-    /// KD-tree (e.g. the Voronoi or reweighting baselines).
-    NotTreeBacked {
-        /// Human-readable method name.
-        method: &'static str,
-    },
     /// The underlying pipeline run failed.
     Pipeline(PipelineError),
 }
@@ -64,9 +64,6 @@ impl fmt::Display for ServeError {
                 "point #{index} at ({}, {}) is outside the index bounds",
                 point.0, point.1
             ),
-            ServeError::NotTreeBacked { method } => {
-                write!(f, "method {method} does not build a KD-tree to serve")
-            }
             ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
@@ -103,7 +100,10 @@ mod tests {
             point: (2.0, -1.0),
         };
         assert!(e.to_string().contains("#7"));
-        let e = ServeError::NotTreeBacked { method: "Zip Code" };
-        assert!(e.to_string().contains("Zip Code"));
+        let e = ServeError::TooManyLeaves {
+            leaves: 70000,
+            max: 65535,
+        };
+        assert!(e.to_string().contains("70000"));
     }
 }

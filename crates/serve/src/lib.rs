@@ -24,7 +24,7 @@
 //!   `serving` benchmark suite in `fsi-bench`.
 //!
 //! ```
-//! use fsi_pipeline::{Method, RunConfig, TaskSpec};
+//! use fsi_pipeline::{Method, PipelineSpec, TaskSpec};
 //! use fsi_serve::{build_index, IndexHandle};
 //!
 //! let dataset = fsi_data::synth::city::CityGenerator::new(
@@ -38,14 +38,8 @@
 //! .unwrap()
 //! .generate()
 //! .unwrap();
-//! let (index, _run) = build_index(
-//!     &dataset,
-//!     &TaskSpec::act(),
-//!     Method::FairKd,
-//!     3,
-//!     &RunConfig::default(),
-//! )
-//! .unwrap();
+//! let spec = PipelineSpec::new(TaskSpec::act(), Method::FairKd, 3);
+//! let (index, _run) = build_index(&dataset, &spec).unwrap();
 //! let handle = IndexHandle::new(index);
 //! let decision = handle.load().lookup(&fsi_geo::Point::new(0.5, 0.5)).unwrap();
 //! assert!((0.0..=1.0).contains(&decision.calibrated_score));

@@ -5,47 +5,43 @@ use crate::error::ServeError;
 use crate::frozen::FrozenIndex;
 use crate::handle::IndexHandle;
 use fsi_data::SpatialDataset;
-use fsi_pipeline::{run_method, MethodRun, RunConfig, TaskSpec};
-use fsi_pipeline::{Method, ModelSnapshot};
+use fsi_pipeline::{run_spec, MethodRun, ModelSnapshot, PipelineSpec};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Builds a [`FrozenIndex`] from scratch for `(dataset, task, method,
-/// height)`: runs the full training pipeline, extracts the model
-/// snapshot, and compiles the KD-tree. Returns the index together with
-/// the pipeline run (for its evaluation report).
-///
-/// Only the tree-backed methods (`MedianKd`, `FairKd`,
-/// `IterativeFairKd`) can be compiled; the others return
-/// [`ServeError::NotTreeBacked`].
+/// Builds a [`FrozenIndex`] from scratch for one [`PipelineSpec`]: runs
+/// the full training pipeline, extracts the model snapshot, and compiles
+/// the index. Returns the index together with the pipeline run (for its
+/// evaluation report).
 pub fn build_index(
     dataset: &SpatialDataset,
-    task: &TaskSpec,
-    method: Method,
-    height: usize,
-    config: &RunConfig,
+    spec: &PipelineSpec,
 ) -> Result<(FrozenIndex, MethodRun), ServeError> {
-    let run = run_method(dataset, task, method, height, config)?;
+    let run = run_spec(dataset, spec)?;
     let index = compile_run(&run, dataset)?;
     Ok((index, run))
 }
 
 /// Compiles an already finished pipeline run into a [`FrozenIndex`].
+///
+/// Tree-backed methods (`MedianKd`, `FairKd`, `IterativeFairKd`)
+/// compile their KD-tree into the flat branchless backend; the other
+/// methods fall back to the per-cell partition backend
+/// ([`FrozenIndex::from_partition`]), which the differential tests prove
+/// lookup-equivalent wherever both exist.
 pub fn compile_run(run: &MethodRun, dataset: &SpatialDataset) -> Result<FrozenIndex, ServeError> {
-    let tree = run.tree.as_ref().ok_or(ServeError::NotTreeBacked {
-        method: run.method.name(),
-    })?;
     let snapshot: ModelSnapshot = run.model_snapshot()?;
-    FrozenIndex::compile(tree, dataset.grid(), &snapshot)
+    match run.tree.as_ref() {
+        Some(tree) => FrozenIndex::compile(tree, dataset.grid(), &snapshot),
+        None => FrozenIndex::from_partition(&run.partition, dataset.grid(), &snapshot),
+    }
 }
 
 /// What a finished rebuild did.
 #[derive(Debug, Clone)]
 pub struct RebuildReport {
-    /// The method the new index was built with.
-    pub method: Method,
-    /// Requested tree height.
-    pub height: usize,
+    /// The spec the new index was built from.
+    pub spec: PipelineSpec,
     /// Generation the new snapshot serves at.
     pub generation: u64,
     /// Leaves in the new index.
@@ -86,20 +82,16 @@ impl Rebuilder {
     pub fn rebuild(
         &self,
         dataset: &SpatialDataset,
-        task: &TaskSpec,
-        method: Method,
-        height: usize,
-        config: &RunConfig,
+        spec: &PipelineSpec,
     ) -> Result<RebuildReport, ServeError> {
         let started = Instant::now();
-        let (index, run) = build_index(dataset, task, method, height, config)?;
+        let (index, run) = build_index(dataset, spec)?;
         let num_leaves = index.num_leaves();
         // publish() returns the generation computed under its lock, so
         // concurrent rebuilds each report their own publish correctly.
         let (generation, _old) = self.handle.publish(index);
         Ok(RebuildReport {
-            method,
-            height,
+            spec: spec.clone(),
             generation,
             num_leaves,
             ence: run.eval.full.ence,
@@ -114,13 +106,10 @@ impl Rebuilder {
     pub fn spawn_rebuild(
         &self,
         dataset: SpatialDataset,
-        task: TaskSpec,
-        method: Method,
-        height: usize,
-        config: RunConfig,
+        spec: PipelineSpec,
     ) -> JoinHandle<Result<RebuildReport, ServeError>> {
         let rebuilder = self.clone();
-        std::thread::spawn(move || rebuilder.rebuild(&dataset, &task, method, height, &config))
+        std::thread::spawn(move || rebuilder.rebuild(&dataset, &spec))
     }
 }
 
@@ -129,6 +118,7 @@ mod tests {
     use super::*;
     use fsi_data::synth::city::{CityConfig, CityGenerator};
     use fsi_geo::Point;
+    use fsi_pipeline::{Method, TaskSpec};
 
     fn small_dataset() -> SpatialDataset {
         CityGenerator::new(CityConfig {
@@ -142,17 +132,14 @@ mod tests {
         .unwrap()
     }
 
+    fn spec(method: Method, height: usize) -> PipelineSpec {
+        PipelineSpec::new(TaskSpec::act(), method, height)
+    }
+
     #[test]
     fn build_index_serves_the_run_partition() {
         let d = small_dataset();
-        let (index, run) = build_index(
-            &d,
-            &TaskSpec::act(),
-            Method::MedianKd,
-            3,
-            &RunConfig::default(),
-        )
-        .unwrap();
+        let (index, run) = build_index(&d, &spec(Method::MedianKd, 3)).unwrap();
         assert_eq!(index.num_leaves(), run.partition.num_regions());
         for (i, p) in d.locations().iter().enumerate().take(50) {
             let expected = run.partition.region_of(d.cells()[i]);
@@ -161,35 +148,34 @@ mod tests {
     }
 
     #[test]
-    fn non_tree_methods_are_rejected() {
+    fn non_tree_methods_fall_back_to_the_cells_backend() {
         let d = small_dataset();
-        let err = build_index(
-            &d,
-            &TaskSpec::act(),
-            Method::ZipCode,
-            3,
-            &RunConfig::default(),
-        )
-        .unwrap_err();
-        assert!(matches!(err, ServeError::NotTreeBacked { .. }));
+        let (index, run) = build_index(&d, &spec(Method::ZipCode, 3)).unwrap();
+        assert_eq!(index.backend_name(), "cells");
+        assert_eq!(index.num_leaves(), run.partition.num_regions());
+        for (i, p) in d.locations().iter().enumerate().take(50) {
+            let expected = run.partition.region_of(d.cells()[i]);
+            assert_eq!(index.lookup(p).unwrap().leaf_id, expected);
+        }
+        // Tree-backed methods still get the flat tree backend.
+        let (index, _) = build_index(&d, &spec(Method::MedianKd, 3)).unwrap();
+        assert_eq!(index.backend_name(), "tree");
     }
 
     #[test]
     fn rebuild_publishes_a_new_generation() {
         let d = small_dataset();
-        let cfg = RunConfig::default();
-        let task = TaskSpec::act();
-        let (initial, _) = build_index(&d, &task, Method::MedianKd, 2, &cfg).unwrap();
+        let (initial, _) = build_index(&d, &spec(Method::MedianKd, 2)).unwrap();
         let handle = IndexHandle::new(initial);
         let mut reader = handle.reader();
         assert_eq!(reader.snapshot().num_leaves(), 4);
 
         let rebuilder = Rebuilder::new(handle.clone());
-        let report = rebuilder
-            .rebuild(&d, &task, Method::FairKd, 4, &cfg)
-            .unwrap();
+        let fair = spec(Method::FairKd, 4);
+        let report = rebuilder.rebuild(&d, &fair).unwrap();
         assert_eq!(report.generation, 2);
         assert_eq!(report.num_leaves, 16);
+        assert_eq!(report.spec, fair);
         assert!(report.total_time >= report.build_time);
         // The reader sees the fair index on its next snapshot call.
         assert_eq!(reader.snapshot().num_leaves(), 16);
@@ -199,12 +185,10 @@ mod tests {
     #[test]
     fn spawned_rebuild_joins_with_report() {
         let d = small_dataset();
-        let cfg = RunConfig::default();
-        let task = TaskSpec::act();
-        let (initial, _) = build_index(&d, &task, Method::MedianKd, 2, &cfg).unwrap();
+        let (initial, _) = build_index(&d, &spec(Method::MedianKd, 2)).unwrap();
         let handle = IndexHandle::new(initial);
         let rebuilder = Rebuilder::new(handle.clone());
-        let join = rebuilder.spawn_rebuild(d, task, Method::MedianKd, 3, cfg);
+        let join = rebuilder.spawn_rebuild(d, spec(Method::MedianKd, 3));
         let report = join.join().expect("rebuild thread panicked").unwrap();
         assert_eq!(report.generation, 2);
         assert_eq!(handle.load().num_leaves(), report.num_leaves);

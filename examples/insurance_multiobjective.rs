@@ -11,29 +11,27 @@
 //! cargo run --release --example insurance_multiobjective
 //! ```
 
+use fsi::{Method, MultiPipeline, TaskSpec};
 use fsi_data::synth::edgap::generate_los_angeles;
-use fsi_pipeline::{run_multi_objective, Method, RunConfig, TaskSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = generate_los_angeles()?;
-    let tasks = [TaskSpec::act(), TaskSpec::employment()];
-    let config = RunConfig::default();
     let height = 6;
 
     println!("One districting, two tasks, height {height} (up to 64 neighborhoods).\n");
 
     // Baseline: a median KD-tree serves both tasks without fairness input.
-    let median = run_multi_objective(
-        &dataset,
-        &tasks,
-        &[0.5, 0.5],
-        Method::MedianKd,
-        height,
-        &config,
-    )?;
+    let median = MultiPipeline::on(&dataset)
+        .task(TaskSpec::act(), 0.5)
+        .task(TaskSpec::employment(), 0.5)
+        .method(Method::MedianKd)
+        .height(height)
+        .run()?;
     println!(
         "{:<28} ACT ENCE {:.4} | Employment ENCE {:.4}",
-        "Median KD-tree:", median.per_task[0].1.full.ence, median.per_task[1].1.full.ence
+        "Median KD-tree:",
+        median.per_task()[0].1.full.ence,
+        median.per_task()[1].1.full.ence
     );
 
     // Sweep the task priority: alpha = weight of the ACT task.
@@ -43,17 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "alpha", "ACT ENCE", "Employment ENCE"
     );
     for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let run = run_multi_objective(
-            &dataset,
-            &tasks,
-            &[alpha, 1.0 - alpha],
-            Method::FairKd,
-            height,
-            &config,
-        )?;
+        let run = MultiPipeline::on(&dataset)
+            .task(TaskSpec::act(), alpha)
+            .task(TaskSpec::employment(), 1.0 - alpha)
+            .method(Method::FairKd)
+            .height(height)
+            .run()?;
         println!(
             "{alpha:>7.2} {:>12.4} {:>18.4}",
-            run.per_task[0].1.full.ence, run.per_task[1].1.full.ence
+            run.per_task()[0].1.full.ence,
+            run.per_task()[1].1.full.ence
         );
     }
 

@@ -11,39 +11,43 @@
 //! cargo run --release --example loan_screening
 //! ```
 
+use fsi::{FsiError, Method, Pipeline, TaskSpec};
 use fsi_data::synth::edgap::generate_houston;
 use fsi_fairness::{group_calibration, SpatialGroups};
-use fsi_pipeline::{run_method, Method, PipelineError, RunConfig, TaskSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Houston stands in for the lender's service area; the ACT outcome
     // plays the role of the repayment outcome.
     let dataset = generate_houston()?;
-    let task = TaskSpec::act();
-    let config = RunConfig::default();
 
     println!("=== 1. Business-as-usual: zip-code districting ===");
-    let zip = run_method(&dataset, &task, Method::ZipCode, 1, &config)?;
+    let zip = Pipeline::on(&dataset)
+        .task(TaskSpec::act())
+        .method(Method::ZipCode)
+        .height(1)
+        .run()?;
     describe(&zip, &dataset)?;
 
     println!("\n=== 2. Re-districted with the Fair KD-tree (height 6) ===");
-    let fair = run_method(&dataset, &task, Method::FairKd, 6, &config)?;
+    let fair = Pipeline::on(&dataset)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(6)
+        .run()?;
     describe(&fair, &dataset)?;
 
-    let improvement = zip.eval.full.ence / fair.eval.full.ence;
+    let improvement = zip.eval().full.ence / fair.eval().full.ence;
     println!(
         "\nFair re-districting reduced neighborhood-level mis-calibration \
          (ENCE) by {improvement:.1}x at comparable accuracy \
          ({:.3} -> {:.3}).",
-        zip.eval.test.accuracy, fair.eval.test.accuracy
+        zip.eval().test.accuracy,
+        fair.eval().test.accuracy
     );
     Ok(())
 }
 
-fn describe(
-    run: &fsi_pipeline::MethodRun,
-    dataset: &fsi_data::SpatialDataset,
-) -> Result<(), PipelineError> {
+fn describe(run: &fsi::Run<'_>, dataset: &fsi_data::SpatialDataset) -> Result<(), FsiError> {
     println!(
         "{}: {} neighborhoods ({} populated), overall calibration ratio {:.3}",
         run.method.name(),
@@ -57,10 +61,8 @@ fn describe(
     );
 
     // The five worst-served populous neighborhoods.
-    let groups = SpatialGroups::from_partition(dataset.cells(), &run.partition)
-        .map_err(PipelineError::Fairness)?;
-    let stats =
-        group_calibration(&run.scores, &run.labels, &groups).map_err(PipelineError::Fairness)?;
+    let groups = SpatialGroups::from_partition(dataset.cells(), run.partition())?;
+    let stats = group_calibration(&run.scores, &run.labels, &groups)?;
     let mut populous: Vec<_> = stats.iter().filter(|s| s.count >= 20).collect();
     populous.sort_by(|a, b| {
         b.absolute_error

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use fsi::{Method, Pipeline, TaskSpec};
 use fsi_data::synth::edgap::generate_los_angeles;
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A dataset: the synthetic Los Angeles preset (1153 school records,
@@ -19,25 +19,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.grid().cols()
     );
 
-    // 2. A task: predict whether a school's average ACT reaches 22.
-    let task = TaskSpec::act();
-    let config = RunConfig::default(); // logistic regression, 70/30 split
-
-    // 3. Build districtings at height 6 (up to 64 neighborhoods) with the
-    //    standard median KD-tree and the paper's fair variants.
+    // 2. Build districtings at height 6 (up to 64 neighborhoods) with the
+    //    standard median KD-tree and the paper's fair variants. The
+    //    pipeline defaults match the paper: predict ACT >= 22 with
+    //    logistic regression over a 70/30 split.
     println!(
         "\n{:<24} {:>8} {:>12} {:>12} {:>10}",
         "method", "regions", "ENCE", "miscal", "accuracy"
     );
     for method in [Method::MedianKd, Method::FairKd, Method::IterativeFairKd] {
-        let run = run_method(&dataset, &task, method, 6, &config)?;
+        let run = Pipeline::on(&dataset)
+            .task(TaskSpec::act())
+            .method(method)
+            .height(6)
+            .run()?;
         println!(
             "{:<24} {:>8} {:>12.5} {:>12.5} {:>10.3}",
             method.name(),
-            run.eval.occupied_regions,
-            run.eval.full.ence,
-            run.eval.full.miscalibration,
-            run.eval.test.accuracy,
+            run.eval().occupied_regions,
+            run.eval().full.ence,
+            run.eval().full.miscalibration,
+            run.eval().test.accuracy,
         );
     }
 

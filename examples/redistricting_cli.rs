@@ -3,30 +3,33 @@
 //!
 //! Build mode (default) reads a dataset in the `fsi-data` CSV layout (or
 //! generates the LA preset when no path is given), builds a districting
-//! with the requested method and height, prints the per-neighborhood
-//! calibration table, and writes the partition to JSON so downstream
-//! tools can consume the boundaries.
+//! with the requested method and height through `fsi::Pipeline`, prints
+//! the per-neighborhood calibration table, and writes the partition to
+//! JSON so downstream tools can consume the boundaries.
 //!
 //! Serve mode loads `reports/partition.json` (building it first if
 //! absent), retrains the final model for those boundaries, compiles a
-//! `fsi-serve` `FrozenIndex`, and answers point queries from stdin.
+//! `FrozenIndex`, and answers point queries from stdin via `fsi::repl`
+//! (malformed lines get an `error:` response; the loop never dies).
 //!
 //! ```sh
-//! cargo run --release --example redistricting_cli -- [CSV_PATH] [METHOD] [HEIGHT]
+//! cargo run --release -p fsi --example redistricting_cli -- [CSV_PATH] [METHOD] [HEIGHT]
 //! # METHOD: median | fair | iterative | reweight | zip | quad  (default fair)
 //! # HEIGHT: tree height (default 6)
 //!
-//! cargo run --release --example redistricting_cli -- serve [CSV_PATH]
+//! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH]
 //! # then on stdin:   X Y         → one decision per line
 //! #                  rect X0 Y0 X1 Y1 → neighborhoods touching the box
 //! ```
 
+use fsi::{
+    repl, snapshot_for_partition, FrozenIndex, Method, Partition, Pipeline, Run, RunConfig,
+    TaskSpec,
+};
 use fsi_data::synth::edgap::generate_los_angeles;
 use fsi_data::SpatialDataset;
-use fsi_geo::{Grid, Partition, Point, Rect};
-use fsi_pipeline::{run_method, snapshot_for_partition, Method, MethodRun, RunConfig, TaskSpec};
-use fsi_serve::FrozenIndex;
-use std::io::{BufRead, BufReader};
+use fsi_geo::{Grid, Rect};
+use std::io::BufReader;
 
 const PARTITION_PATH: &str = "reports/partition.json";
 
@@ -60,33 +63,31 @@ fn build(
     dataset: &SpatialDataset,
     method: Method,
     height: usize,
-) -> Result<MethodRun, Box<dyn std::error::Error>> {
+) -> Result<Run<'_>, Box<dyn std::error::Error>> {
     println!(
         "re-districting {} individuals with {} at height {height}",
         dataset.len(),
         method.name()
     );
-    let run = run_method(
-        dataset,
-        &TaskSpec::act(),
-        method,
-        height,
-        &RunConfig::default(),
-    )?;
+    let run = Pipeline::on(dataset)
+        .task(TaskSpec::act())
+        .method(method)
+        .height(height)
+        .run()?;
 
     println!(
         "\n{} neighborhoods ({} populated) | ENCE {:.4} | overall miscal {:.4} | test acc {:.3}",
-        run.eval.num_regions,
-        run.eval.occupied_regions,
-        run.eval.full.ence,
-        run.eval.full.miscalibration,
-        run.eval.test.accuracy
+        run.eval().num_regions,
+        run.eval().occupied_regions,
+        run.eval().full.ence,
+        run.eval().full.miscalibration,
+        run.eval().test.accuracy
     );
     println!(
         "\n{:>6} {:>6} {:>8} {:>8} {:>8}",
         "region", "pop", "e", "o", "|e-o|"
     );
-    for (id, g) in run.eval.per_group.iter().enumerate() {
+    for (id, g) in run.eval().per_group.iter().enumerate() {
         if g.count > 0 {
             println!(
                 "{id:>6} {:>6} {:>8.3} {:>8.3} {:>8.3}",
@@ -99,7 +100,7 @@ fn build(
     std::fs::create_dir_all("reports")?;
     std::fs::write(
         PARTITION_PATH,
-        serde_json::to_string_pretty(&run.partition)?,
+        serde_json::to_string_pretty(run.partition())?,
     )?;
     println!("\npartition written to {PARTITION_PATH}");
     Ok(run)
@@ -141,8 +142,9 @@ fn serve(dataset: &SpatialDataset) -> Result<(), Box<dyn std::error::Error>> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             println!("{PARTITION_PATH} missing — building the default fair districting first");
             let run = build(dataset, Method::FairKd, 6)?;
-            let snapshot = run.model_snapshot()?;
-            (run.partition, snapshot, run.eval.full.ence)
+            let snapshot = run.snapshot()?;
+            let ence = run.eval().full.ence;
+            (run.into_inner().partition, snapshot, ence)
         }
         Err(e) => return Err(format!("cannot read {PARTITION_PATH}: {e}").into()),
     };
@@ -162,31 +164,14 @@ fn serve(dataset: &SpatialDataset) -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("query format: `X Y` or `rect X0 Y0 X1 Y1`; EOF (ctrl-d) exits");
 
-    for line in std::io::stdin().lock().lines() {
-        let line = line?;
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        match fields.as_slice() {
-            [] => continue,
-            ["rect", x0, y0, x1, y1] => match (x0.parse(), y0.parse(), x1.parse(), y1.parse()) {
-                (Ok(x0), Ok(y0), Ok(x1), Ok(y1)) => match Rect::new(x0, y0, x1, y1) {
-                    Ok(rect) => println!("neighborhoods: {:?}", index.range_query(&rect)),
-                    Err(e) => println!("bad rect: {e}"),
-                },
-                _ => println!("bad rect: expected `rect X0 Y0 X1 Y1`"),
-            },
-            [x, y] => match (x.parse(), y.parse()) {
-                (Ok(x), Ok(y)) => match index.lookup(&Point::new(x, y)) {
-                    Some(d) => println!(
-                        "leaf={} group={} raw={:.4} calibrated={:.4}",
-                        d.leaf_id, d.group, d.raw_score, d.calibrated_score
-                    ),
-                    None => println!("point ({x}, {y}) is outside the map"),
-                },
-                _ => println!("bad point: expected `X Y`"),
-            },
-            _ => println!("unrecognized query: `{line}`"),
-        }
-    }
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let stats = repl::serve_queries(&index, stdin.lock(), &mut stdout)?;
+    eprintln!(
+        "served {} queries ({} answered with errors)",
+        stats.answered + stats.errors,
+        stats.errors
+    );
     Ok(())
 }
 

@@ -1,9 +1,9 @@
 //! Reproducibility: identical seeds give bit-identical results; distinct
 //! seeds actually change things.
 
+use fsi::{Method, ModelKind, MultiPipeline, Pipeline, TaskSpec};
 use fsi_data::synth::city::{CityConfig, CityGenerator};
 use fsi_data::SpatialDataset;
-use fsi_pipeline::{run_method, run_multi_objective, Method, ModelKind, RunConfig, TaskSpec};
 
 fn dataset(seed: u64) -> SpatialDataset {
     CityGenerator::new(CityConfig {
@@ -20,7 +20,6 @@ fn dataset(seed: u64) -> SpatialDataset {
 #[test]
 fn identical_runs_are_bit_identical() {
     let d = dataset(8);
-    let task = TaskSpec::act();
     for method in [
         Method::MedianKd,
         Method::FairKd,
@@ -30,12 +29,17 @@ fn identical_runs_are_bit_identical() {
         Method::FairQuad,
     ] {
         for model in ModelKind::all() {
-            let config = RunConfig {
-                model,
-                ..RunConfig::default()
+            let cell = || {
+                Pipeline::on(&d)
+                    .task(TaskSpec::act())
+                    .method(method)
+                    .height(3)
+                    .model(model)
+                    .run()
+                    .unwrap()
             };
-            let a = run_method(&d, &task, method, 3, &config).unwrap();
-            let b = run_method(&d, &task, method, 3, &config).unwrap();
+            let a = cell();
+            let b = cell();
             assert_eq!(a.scores, b.scores, "{method:?}/{model:?} scores differ");
             assert_eq!(
                 a.partition, b.partition,
@@ -50,19 +54,17 @@ fn identical_runs_are_bit_identical() {
 #[test]
 fn split_seed_changes_outputs() {
     let d = dataset(8);
-    let task = TaskSpec::act();
-    let a = run_method(&d, &task, Method::FairKd, 4, &RunConfig::default()).unwrap();
-    let b = run_method(
-        &d,
-        &task,
-        Method::FairKd,
-        4,
-        &RunConfig {
-            seed: 1234,
-            ..RunConfig::default()
-        },
-    )
-    .unwrap();
+    let a = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(4)
+        .run()
+        .unwrap();
+    let b = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(4)
+        .seed(1234)
+        .run()
+        .unwrap();
     // A different train/test split must change the trained model's scores.
     assert_ne!(a.scores, b.scores);
 }
@@ -72,47 +74,33 @@ fn data_seed_changes_dataset_but_pipeline_stays_deterministic() {
     let d1 = dataset(8);
     let d2 = dataset(9);
     assert_ne!(d1.features(), d2.features());
-    let r1 = run_method(
-        &d1,
-        &TaskSpec::act(),
-        Method::FairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
-    let r2 = run_method(
-        &d2,
-        &TaskSpec::act(),
-        Method::FairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let r1 = Pipeline::on(&d1)
+        .method(Method::FairKd)
+        .height(3)
+        .run()
+        .unwrap();
+    let r2 = Pipeline::on(&d2)
+        .method(Method::FairKd)
+        .height(3)
+        .run()
+        .unwrap();
     assert_ne!(r1.eval.full.ence, r2.eval.full.ence);
 }
 
 #[test]
 fn multi_objective_is_deterministic() {
     let d = dataset(8);
-    let tasks = [TaskSpec::act(), TaskSpec::employment()];
-    let a = run_multi_objective(
-        &d,
-        &tasks,
-        &[0.5, 0.5],
-        Method::FairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
-    let b = run_multi_objective(
-        &d,
-        &tasks,
-        &[0.5, 0.5],
-        Method::FairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let cell = || {
+        MultiPipeline::on(&d)
+            .task(TaskSpec::act(), 0.5)
+            .task(TaskSpec::employment(), 0.5)
+            .method(Method::FairKd)
+            .height(3)
+            .run()
+            .unwrap()
+    };
+    let a = cell();
+    let b = cell();
     assert_eq!(a.partition, b.partition);
     assert_eq!(a.per_task[0].1.full.ence, b.per_task[0].1.full.ence);
     assert_eq!(a.per_task[1].1.full.ence, b.per_task[1].1.full.ence);
@@ -122,25 +110,19 @@ fn multi_objective_is_deterministic() {
 fn alpha_order_symmetry() {
     // Swapping tasks and alphas must give the same partition.
     let d = dataset(8);
-    let t_act = TaskSpec::act();
-    let t_emp = TaskSpec::employment();
-    let a = run_multi_objective(
-        &d,
-        &[t_act.clone(), t_emp.clone()],
-        &[0.3, 0.7],
-        Method::FairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
-    let b = run_multi_objective(
-        &d,
-        &[t_emp, t_act],
-        &[0.7, 0.3],
-        Method::FairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let a = MultiPipeline::on(&d)
+        .task(TaskSpec::act(), 0.3)
+        .task(TaskSpec::employment(), 0.7)
+        .method(Method::FairKd)
+        .height(3)
+        .run()
+        .unwrap();
+    let b = MultiPipeline::on(&d)
+        .task(TaskSpec::employment(), 0.7)
+        .task(TaskSpec::act(), 0.3)
+        .method(Method::FairKd)
+        .height(3)
+        .run()
+        .unwrap();
     assert_eq!(a.partition, b.partition);
 }

@@ -1,10 +1,10 @@
 //! End-to-end integration: dataset → encoding → training → index →
 //! partition → fairness metrics, across every method and model.
 
+use fsi::{Method, ModelKind, MultiPipeline, Pipeline, TaskSpec};
 use fsi_data::synth::city::{CityConfig, CityGenerator};
 use fsi_data::SpatialDataset;
 use fsi_fairness::{ence, SpatialGroups};
-use fsi_pipeline::{run_method, run_multi_objective, Method, ModelKind, RunConfig, TaskSpec};
 
 fn dataset() -> SpatialDataset {
     CityGenerator::new(CityConfig {
@@ -30,14 +30,14 @@ const ALL_METHODS: [Method; 6] = [
 #[test]
 fn every_method_and_model_completes() {
     let d = dataset();
-    let task = TaskSpec::act();
     for model in ModelKind::all() {
-        let config = RunConfig {
-            model,
-            ..RunConfig::default()
-        };
         for method in ALL_METHODS {
-            let run = run_method(&d, &task, method, 4, &config)
+            let run = Pipeline::on(&d)
+                .task(TaskSpec::act())
+                .method(method)
+                .height(4)
+                .model(model)
+                .run()
                 .unwrap_or_else(|e| panic!("{method:?}/{model:?}: {e}"));
             assert_eq!(run.scores.len(), d.len());
             assert!(run.scores.iter().all(|s| (0.0..=1.0).contains(s)));
@@ -50,14 +50,11 @@ fn every_method_and_model_completes() {
 #[test]
 fn reported_ence_matches_recomputation() {
     let d = dataset();
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::FairKd,
-        4,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(4)
+        .run()
+        .unwrap();
     let groups = SpatialGroups::from_partition(d.cells(), &run.partition).unwrap();
     let recomputed = ence(&run.scores, &run.labels, &groups).unwrap();
     assert!(
@@ -72,7 +69,7 @@ fn reported_ence_matches_recomputation() {
 fn per_group_populations_sum_to_dataset() {
     let d = dataset();
     for method in ALL_METHODS {
-        let run = run_method(&d, &TaskSpec::act(), method, 3, &RunConfig::default()).unwrap();
+        let run = Pipeline::on(&d).method(method).height(3).run().unwrap();
         let total: usize = run.eval.per_group.iter().map(|g| g.count).sum();
         assert_eq!(total, d.len(), "{method:?}");
     }
@@ -82,7 +79,7 @@ fn per_group_populations_sum_to_dataset() {
 fn partitions_cover_the_grid_exactly() {
     let d = dataset();
     for method in ALL_METHODS {
-        let run = run_method(&d, &TaskSpec::act(), method, 4, &RunConfig::default()).unwrap();
+        let run = Pipeline::on(&d).method(method).height(4).run().unwrap();
         // Partition::from_assignment invariants: every cell assigned, ids
         // dense. Verify against the grid size and region count.
         assert_eq!(run.partition.assignments().len(), d.grid().len());
@@ -100,7 +97,11 @@ fn tree_methods_respect_region_budget() {
         (Method::IterativeFairKd, 5),
         (Method::FairQuad, 5),
     ] {
-        let run = run_method(&d, &TaskSpec::act(), method, height, &RunConfig::default()).unwrap();
+        let run = Pipeline::on(&d)
+            .method(method)
+            .height(height)
+            .run()
+            .unwrap();
         // A KD-tree of height h has at most 2^h leaves; the quadtree runs
         // ceil(h/2) four-way levels, so its budget is 4^ceil(h/2).
         let budget = if method == Method::FairQuad {
@@ -119,14 +120,11 @@ fn tree_methods_respect_region_budget() {
 #[test]
 fn train_and_test_slices_partition_the_population() {
     let d = dataset();
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::MedianKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(3)
+        .run()
+        .unwrap();
     assert_eq!(run.eval.train.n + run.eval.test.n, run.eval.full.n);
     assert_eq!(run.split.train.len(), run.eval.train.n);
     assert_eq!(run.split.test.len(), run.eval.test.n);
@@ -135,10 +133,14 @@ fn train_and_test_slices_partition_the_population() {
 #[test]
 fn multi_objective_end_to_end() {
     let d = dataset();
-    let tasks = [TaskSpec::act(), TaskSpec::employment()];
     for method in [Method::FairKd, Method::MedianKd, Method::GridReweight] {
-        let run =
-            run_multi_objective(&d, &tasks, &[0.5, 0.5], method, 4, &RunConfig::default()).unwrap();
+        let run = MultiPipeline::on(&d)
+            .task(TaskSpec::act(), 0.5)
+            .task(TaskSpec::employment(), 0.5)
+            .method(method)
+            .height(4)
+            .run()
+            .unwrap();
         assert_eq!(run.per_task.len(), 2);
         for (_, eval) in &run.per_task {
             assert!(eval.full.ence.is_finite());
@@ -150,11 +152,12 @@ fn multi_objective_end_to_end() {
 #[test]
 fn zero_test_fraction_is_supported() {
     let d = dataset();
-    let config = RunConfig {
-        test_fraction: 0.0,
-        ..RunConfig::default()
-    };
-    let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 3, &config).unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(3)
+        .test_fraction(0.0)
+        .run()
+        .unwrap();
     assert_eq!(run.eval.test.n, 0);
     assert_eq!(run.eval.train.n, d.len());
 }
@@ -162,22 +165,15 @@ fn zero_test_fraction_is_supported() {
 #[test]
 fn iterative_trainings_scale_with_height() {
     let d = dataset();
-    let h3 = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::IterativeFairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
-    let h5 = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::IterativeFairKd,
-        5,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let at_height = |h: usize| {
+        Pipeline::on(&d)
+            .method(Method::IterativeFairKd)
+            .height(h)
+            .run()
+            .unwrap()
+    };
+    let h3 = at_height(3);
+    let h5 = at_height(5);
     assert!(h5.trainings > h3.trainings);
     assert_eq!(h3.trainings, 4); // 3 levels + final
 }

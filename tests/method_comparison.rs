@@ -1,29 +1,24 @@
 //! The paper's headline comparative claims, asserted as integration tests
 //! on both city presets (logistic regression, seed-averaged).
 
+use fsi::{Method, Pipeline, TaskSpec};
 use fsi_data::synth::edgap::{generate_houston, generate_los_angeles};
 use fsi_data::SpatialDataset;
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
 
 fn mean_ence(d: &SpatialDataset, method: Method, height: usize, seeds: &[u64]) -> f64 {
-    let task = TaskSpec::act();
     seeds
         .iter()
         .map(|&seed| {
-            run_method(
-                d,
-                &task,
-                method,
-                height,
-                &RunConfig {
-                    seed,
-                    ..RunConfig::default()
-                },
-            )
-            .unwrap()
-            .eval
-            .full
-            .ence
+            Pipeline::on(d)
+                .task(TaskSpec::act())
+                .method(method)
+                .height(height)
+                .seed(seed)
+                .run()
+                .unwrap()
+                .eval()
+                .full
+                .ence
         })
         .sum::<f64>()
         / seeds.len() as f64
@@ -78,10 +73,16 @@ fn ence_grows_with_height_for_median_trees() {
 fn accuracy_is_not_sacrificed() {
     // Paper Figure 8a/8d: all methods track each other on accuracy.
     let d = generate_los_angeles().unwrap();
-    let task = TaskSpec::act();
-    let config = RunConfig::default();
-    let median = run_method(&d, &task, Method::MedianKd, 6, &config).unwrap();
-    let fair = run_method(&d, &task, Method::FairKd, 6, &config).unwrap();
+    let median = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(6)
+        .run()
+        .unwrap();
+    let fair = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(6)
+        .run()
+        .unwrap();
     let gap = (median.eval.test.accuracy - fair.eval.test.accuracy).abs();
     assert!(
         gap < 0.08,
@@ -95,10 +96,16 @@ fn accuracy_is_not_sacrificed() {
 fn fair_construction_is_cheaper_than_iterative() {
     // Theorems 3 vs 4: the iterative variant must train once per level.
     let d = generate_los_angeles().unwrap();
-    let task = TaskSpec::act();
-    let config = RunConfig::default();
-    let fair = run_method(&d, &task, Method::FairKd, 8, &config).unwrap();
-    let iter = run_method(&d, &task, Method::IterativeFairKd, 8, &config).unwrap();
+    let fair = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(8)
+        .run()
+        .unwrap();
+    let iter = Pipeline::on(&d)
+        .method(Method::IterativeFairKd)
+        .height(8)
+        .run()
+        .unwrap();
     assert!(iter.trainings > fair.trainings);
     assert_eq!(fair.trainings, 2);
     assert_eq!(iter.trainings, 9);
@@ -109,14 +116,11 @@ fn zip_code_districting_shows_disparity() {
     // Figure 6: overall calibration close to 1, per-neighborhood ratios
     // spread far from 1.
     let d = generate_los_angeles().unwrap();
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::ZipCode,
-        1,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::ZipCode)
+        .height(1)
+        .run()
+        .unwrap();
     let overall = run.eval.full.calibration_ratio.unwrap();
     assert!(
         (overall - 1.0).abs() < 0.15,

@@ -1,12 +1,12 @@
 //! Persistence round-trips: trees, partitions and datasets survive
 //! serialization and re-evaluate identically.
 
+use fsi::{Method, Pipeline};
 use fsi_core::{build_kd_tree, BuildConfig, CellStats, FairSplit, KdTree};
 use fsi_data::synth::city::{CityConfig, CityGenerator};
 use fsi_data::SpatialDataset;
 use fsi_fairness::{ence, SpatialGroups};
 use fsi_geo::Partition;
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
 use std::io::BufReader;
 
 fn dataset() -> SpatialDataset {
@@ -50,14 +50,11 @@ fn kd_tree_json_round_trip_preserves_locate() {
 #[test]
 fn partition_json_round_trip_reevaluates_identically() {
     let d = dataset();
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::FairKd,
-        4,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(4)
+        .run()
+        .unwrap();
     let json = serde_json::to_string(&run.partition).unwrap();
     let back: Partition = serde_json::from_str(&json).unwrap();
     assert_eq!(run.partition, back);
@@ -73,22 +70,16 @@ fn dataset_csv_round_trip_reproduces_runs() {
     fsi_data::csv::write_csv(&d, &mut buf).unwrap();
     let back = fsi_data::csv::read_csv(BufReader::new(buf.as_slice()), d.grid().clone()).unwrap();
 
-    let a = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::FairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
-    let b = run_method(
-        &back,
-        &TaskSpec::act(),
-        Method::FairKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let a = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(3)
+        .run()
+        .unwrap();
+    let b = Pipeline::on(&back)
+        .method(Method::FairKd)
+        .height(3)
+        .run()
+        .unwrap();
     assert_eq!(a.scores, b.scores);
     assert_eq!(a.partition, b.partition);
     assert_eq!(a.eval.full.ence, b.eval.full.ence);
@@ -97,18 +88,90 @@ fn dataset_csv_round_trip_reproduces_runs() {
 #[test]
 fn eval_report_serializes() {
     let d = dataset();
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::MedianKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(3)
+        .run()
+        .unwrap();
     let json = serde_json::to_string(&run.eval).unwrap();
-    let back: fsi_pipeline::EvalReport = serde_json::from_str(&json).unwrap();
+    let back: fsi::EvalReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.full.n, run.eval.full.n);
     assert_eq!(back.per_group.len(), run.eval.per_group.len());
+}
+
+#[test]
+fn spec_configs_round_trip_as_identity() {
+    use fsi::{ModelKind, MultiObjectiveSpec, PipelineSpec, RunConfig, TaskSpec, TieBreak};
+
+    // The experiment-cell persistence format: spec → JSON → spec must be
+    // the identity for every field, including non-default ones.
+    let config = RunConfig {
+        model: ModelKind::NaiveBayes,
+        encoding: fsi::LocationEncoding::OneHot,
+        seed: 424242,
+        test_fraction: 0.125,
+        zip_seeds: 17,
+        tie_break: TieBreak::FirstIndex,
+    };
+    let json = serde_json::to_string(&config).unwrap();
+    let back: RunConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(config, back);
+
+    let task = TaskSpec {
+        outcome: "family_employment_pct".into(),
+        threshold: 12.5,
+    };
+    let json = serde_json::to_string(&task).unwrap();
+    let back: TaskSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(task, back);
+
+    let spec = PipelineSpec {
+        task,
+        method: Method::GridReweight,
+        height: 9,
+        reweight_blocks: Some((32, 16)),
+        config: config.clone(),
+    };
+    let json = serde_json::to_string_pretty(&spec).unwrap();
+    let back: PipelineSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+
+    let multi = MultiObjectiveSpec {
+        tasks: vec![TaskSpec::act(), TaskSpec::employment()],
+        alphas: vec![0.125, 0.875],
+        method: Method::MedianKd,
+        height: 4,
+        config,
+    };
+    let json = serde_json::to_string(&multi).unwrap();
+    let back: MultiObjectiveSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(multi, back);
+}
+
+#[test]
+fn saved_run_report_restores_spec_and_partition() {
+    let d = dataset();
+    let run = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(3)
+        .seed(77)
+        .run()
+        .unwrap();
+    // Unique per process so concurrent test runs sharing one TMPDIR
+    // cannot race on the report file.
+    let dir = std::env::temp_dir().join(format!("fsi_persistence_test_{}", std::process::id()));
+    let path = dir.join("report.json");
+    run.save_report(&path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    let report: fsi::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(&report.spec, run.spec());
+    assert_eq!(&report.partition, run.partition());
+    assert_eq!(report.eval.num_regions, run.eval.num_regions);
+    // Replaying the restored spec reproduces the run bit-identically.
+    let replay = fsi::Pipeline::from_spec(&d, report.spec).run().unwrap();
+    assert_eq!(replay.scores, run.scores);
+    assert_eq!(replay.partition, run.partition);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

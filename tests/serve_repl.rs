@@ -1,0 +1,92 @@
+//! The `redistricting_cli serve` query protocol, driven through a real
+//! OS pipe: malformed stdin lines must produce `error:` response lines —
+//! never a panic, never a dead loop — and well-formed queries around
+//! them must still be answered.
+
+use fsi::repl::{answer_line, serve_queries};
+use fsi::{Method, Pipeline, TaskSpec};
+use fsi_data::synth::city::{CityConfig, CityGenerator};
+use fsi_data::SpatialDataset;
+use std::io::{BufReader, Write};
+
+fn dataset() -> SpatialDataset {
+    CityGenerator::new(CityConfig {
+        n_individuals: 250,
+        grid_side: 16,
+        seed: 31,
+        ..CityConfig::default()
+    })
+    .unwrap()
+    .generate()
+    .unwrap()
+}
+
+fn frozen() -> fsi::FrozenIndex {
+    let d = dataset();
+    Pipeline::on(&d)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(4)
+        .run()
+        .unwrap()
+        .freeze()
+        .unwrap()
+}
+
+/// Drives the serve loop the way the CLI does — reader end of an OS pipe
+/// as stdin — while a writer thread feeds a hostile query mix.
+#[test]
+fn malformed_lines_through_a_pipe_get_error_responses_not_panics() {
+    let index = frozen();
+    let (reader, mut writer) = std::io::pipe().expect("os pipe");
+
+    let feeder = std::thread::spawn(move || {
+        writer.write_all(b"0.5 0.5\n").unwrap();
+        writer.write_all(b"utter nonsense\n").unwrap();
+        writer.write_all(b"1.0\n").unwrap(); // wrong arity
+        writer.write_all(b"x y\n").unwrap(); // unparsable numbers
+        writer.write_all(b"rect 0 0 nope 1\n").unwrap();
+        writer.write_all(b"rect 0.9 0.9 0.1 0.1\n").unwrap(); // inverted
+        writer.write_all(&[0xC3, 0x28, b'\n']).unwrap(); // invalid UTF-8
+        writer.write_all(b"\n").unwrap(); // blank: no response owed
+        writer.write_all(b"42 42\n").unwrap(); // out of bounds
+        writer.write_all(b"rect 0.1 0.1 0.9 0.9\n").unwrap();
+        writer.write_all(b"0.25 0.75\n").unwrap();
+        // writer drops here -> EOF ends the session cleanly.
+    });
+
+    let mut out = Vec::new();
+    let stats = serve_queries(&index, BufReader::new(reader), &mut out).expect("loop survives");
+    feeder.join().unwrap();
+
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // 10 non-blank inputs -> 10 responses, in order.
+    assert_eq!(lines.len(), 10, "{text}");
+    assert!(lines[0].starts_with("leaf="), "{}", lines[0]);
+    for (i, line) in lines.iter().enumerate().take(7).skip(1) {
+        assert!(line.starts_with("error:"), "line {i}: {line}");
+    }
+    assert!(lines[7].starts_with("error:"), "{}", lines[7]); // out of bounds
+    assert!(lines[8].starts_with("neighborhoods:"), "{}", lines[8]);
+    assert!(lines[9].starts_with("leaf="), "{}", lines[9]);
+    assert_eq!(stats.answered, 3);
+    assert_eq!(stats.errors, 7);
+}
+
+/// Point answers carry the exact decision the index computes.
+#[test]
+fn point_answers_match_direct_lookups() {
+    let index = frozen();
+    for (x, y) in [(0.1, 0.2), (0.5, 0.5), (0.99, 0.01)] {
+        let d = index.lookup(&fsi::Point::new(x, y)).unwrap();
+        let line = answer_line(&index, &format!("{x} {y}")).unwrap();
+        assert_eq!(
+            line,
+            format!(
+                "leaf={} group={} raw={:.4} calibrated={:.4}",
+                d.leaf_id, d.group, d.raw_score, d.calibrated_score
+            )
+        );
+    }
+}

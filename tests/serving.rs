@@ -1,13 +1,14 @@
 //! Integration tests of the serving subsystem against the rest of the
 //! workspace: differential parity of the compiled read path with the
-//! reference `Grid::locate` + `KdTree::locate` + pipeline scoring, and a
+//! reference `Grid::locate` + `KdTree::locate` + pipeline scoring, parity
+//! of the `fsi::Pipeline` facade with the hand-compiled path, and a
 //! concurrency test proving hot swaps are never observed torn.
 
+use fsi::{FsiError, Method, Pipeline, PipelineSpec, TaskSpec};
 use fsi_data::synth::city::{CityConfig, CityGenerator};
 use fsi_data::SpatialDataset;
 use fsi_geo::{Grid, Point, Rect};
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
-use fsi_serve::{FrozenIndex, IndexHandle, Rebuilder, ServeError};
+use fsi_serve::{FrozenIndex, IndexHandle, Rebuilder};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,11 +69,14 @@ fn query_points(grid: &Grid, n: usize, seed: u64) -> Vec<Point> {
 fn lookup_matches_reference_path_across_methods_and_heights() {
     let d = dataset();
     let grid = d.grid();
-    let cfg = RunConfig::default();
     let points = query_points(grid, 2000, 7);
     for method in [Method::MedianKd, Method::FairKd, Method::IterativeFairKd] {
         for height in [1, 2, 4, 6] {
-            let run = run_method(&d, &TaskSpec::act(), method, height, &cfg).unwrap();
+            let run = Pipeline::on(&d)
+                .method(method)
+                .height(height)
+                .run()
+                .unwrap();
             let tree = run.tree.as_ref().unwrap();
             let snapshot = run.model_snapshot().unwrap();
             let index = FrozenIndex::compile(tree, grid, &snapshot).unwrap();
@@ -94,23 +98,57 @@ fn lookup_matches_reference_path_across_methods_and_heights() {
     }
 }
 
+/// The facade acceptance property: `fsi::Pipeline → .freeze()` and
+/// `.serve()` produce decisions bit-identical to the hand-assembled
+/// `FrozenIndex::compile(tree, grid, snapshot)` path, point for point.
+#[test]
+fn facade_freeze_and_serve_are_bit_identical_to_compile() {
+    let d = dataset();
+    let grid = d.grid();
+    let points = query_points(grid, 2000, 19);
+    for method in [Method::MedianKd, Method::FairKd, Method::IterativeFairKd] {
+        for height in [2, 4, 6] {
+            let run = Pipeline::on(&d)
+                .task(TaskSpec::act())
+                .method(method)
+                .height(height)
+                .run()
+                .unwrap();
+            // The PR 3 path: compile the tree + snapshot by hand.
+            let reference = FrozenIndex::compile(
+                run.tree.as_ref().unwrap(),
+                grid,
+                &run.model_snapshot().unwrap(),
+            )
+            .unwrap();
+            // The facade paths.
+            let frozen = run.freeze().unwrap();
+            let serving = run.serve().unwrap();
+            let served = serving.handle().load();
+            assert_eq!(frozen.num_leaves(), reference.num_leaves());
+            for p in &points {
+                let expected = reference.lookup(p);
+                assert_eq!(frozen.lookup(p), expected, "{method:?} h{height} at {p:?}");
+                assert_eq!(served.lookup(p), expected, "{method:?} h{height} at {p:?}");
+            }
+        }
+    }
+}
+
 /// The cells backend (used for non-tree partitions) must agree with the
 /// tree backend wherever both exist.
 #[test]
 fn partition_backend_agrees_with_tree_backend() {
     let d = dataset();
     let grid = d.grid();
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::FairKd,
-        4,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(4)
+        .run()
+        .unwrap();
     let snapshot = run.model_snapshot().unwrap();
     let from_tree = FrozenIndex::compile(run.tree.as_ref().unwrap(), grid, &snapshot).unwrap();
-    let from_cells = FrozenIndex::from_partition(&run.partition, grid, &snapshot).unwrap();
+    let from_cells = FrozenIndex::from_partition(run.partition(), grid, &snapshot).unwrap();
     assert_eq!(from_tree.backend_name(), "tree");
     assert_eq!(from_cells.backend_name(), "cells");
     for p in query_points(grid, 2000, 11) {
@@ -122,16 +160,12 @@ fn partition_backend_agrees_with_tree_backend() {
 #[test]
 fn batch_equals_singles_over_random_points() {
     let d = dataset();
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::FairKd,
-        5,
-        &RunConfig::default(),
-    )
-    .unwrap();
-    let snapshot = run.model_snapshot().unwrap();
-    let index = FrozenIndex::compile(run.tree.as_ref().unwrap(), d.grid(), &snapshot).unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(5)
+        .run()
+        .unwrap();
+    let index = run.freeze().unwrap();
     let points = query_points(d.grid(), 3000, 13);
     let mut out = Vec::new();
     index.lookup_batch(&points, &mut out).unwrap();
@@ -147,17 +181,13 @@ fn batch_equals_singles_over_random_points() {
 fn range_query_matches_kd_tree_on_random_rects() {
     let d = dataset();
     let grid = d.grid();
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::FairKd,
-        5,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::FairKd)
+        .height(5)
+        .run()
+        .unwrap();
     let tree = run.tree.as_ref().unwrap();
-    let snapshot = run.model_snapshot().unwrap();
-    let index = FrozenIndex::compile(tree, grid, &snapshot).unwrap();
+    let index = run.freeze().unwrap();
     let mut rng = StdRng::seed_from_u64(29);
     for _ in 0..500 {
         let (x0, x1) = (rng.random::<f64>(), rng.random::<f64>());
@@ -248,21 +278,24 @@ fn hot_swap_is_never_observed_torn() {
     assert_eq!(handle.generation(), 201);
 }
 
-/// End-to-end: a background pipeline rebuild hot-swaps under a live
-/// reader, which then serves the new snapshot.
+/// End-to-end through the facade: a background pipeline rebuild
+/// hot-swaps under a live reader, which then serves the new snapshot.
 #[test]
 fn background_rebuild_swaps_under_a_live_reader() {
     let d = dataset();
-    let cfg = RunConfig::default();
-    let task = TaskSpec::act();
-    let (initial, _) = fsi_serve::build_index(&d, &task, Method::MedianKd, 2, &cfg).unwrap();
-    let handle = IndexHandle::new(initial);
-    let mut reader = handle.reader();
+    let run = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(2)
+        .run()
+        .unwrap();
+    let serving = run.serve().unwrap();
+    let mut reader = serving.reader();
     let before = reader.snapshot().num_leaves();
     assert_eq!(before, 4);
 
-    let rebuilder = Rebuilder::new(handle.clone());
-    let join = rebuilder.spawn_rebuild(d.clone(), task, Method::FairKd, 5, cfg);
+    let rebuilder = Rebuilder::new(serving.handle().clone());
+    let spec = PipelineSpec::new(TaskSpec::act(), Method::FairKd, 5);
+    let join = rebuilder.spawn_rebuild(d.clone(), spec);
     // The reader keeps serving the old snapshot while training runs…
     let p = Point::new(0.25, 0.75);
     assert!(reader.snapshot().lookup(&p).is_some());
@@ -274,16 +307,54 @@ fn background_rebuild_swaps_under_a_live_reader() {
         "rebuild did not refine the index"
     );
     assert_eq!(reader.snapshot().num_leaves(), report.num_leaves);
-    assert_eq!(handle.generation(), report.generation);
+    assert_eq!(serving.handle().generation(), report.generation);
 }
 
-/// Serving errors surface cleanly end-to-end.
+/// Non-tree methods serve through the cells backend end-to-end, and a
+/// live deployment can hot-rebuild across backend kinds.
+#[test]
+fn non_tree_methods_serve_and_rebuild() {
+    let d = dataset();
+    let spec = PipelineSpec::new(TaskSpec::act(), Method::GridReweight, 3);
+    let (index, run) = fsi_serve::build_index(&d, &spec).unwrap();
+    assert_eq!(index.backend_name(), "cells");
+    assert_eq!(index.num_leaves(), run.partition.num_regions());
+    // A tree-compiled deployment can rebuild into a non-tree spec: the
+    // swap changes the backend, never the query surface.
+    let serving = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(2)
+        .run()
+        .unwrap()
+        .serve()
+        .unwrap();
+    assert_eq!(serving.handle().load().backend_name(), "tree");
+    let report = serving.rebuild_with(&spec).unwrap();
+    assert_eq!(report.generation, 2);
+    assert_eq!(serving.handle().load().backend_name(), "cells");
+    assert!(serving
+        .reader()
+        .snapshot()
+        .lookup(&Point::new(0.5, 0.5))
+        .is_some());
+}
+
+/// Invalid specs surface cleanly end-to-end as the unified error type.
 #[test]
 fn error_paths_are_reported() {
     let d = dataset();
-    let cfg = RunConfig::default();
-    let err =
-        fsi_serve::build_index(&d, &TaskSpec::act(), Method::GridReweight, 3, &cfg).unwrap_err();
-    assert!(matches!(err, ServeError::NotTreeBacked { .. }));
-    assert!(err.to_string().contains("KD-tree"));
+    let bad = PipelineSpec::new(TaskSpec::act(), Method::FairKd, 0);
+    let err = fsi_serve::build_index(&d, &bad).unwrap_err();
+    assert!(err.to_string().contains("height"));
+    // Through the facade the same failure arrives as one FsiError.
+    let serving = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(2)
+        .run()
+        .unwrap()
+        .serve()
+        .unwrap();
+    let err = serving.rebuild_with(&bad).unwrap_err();
+    assert!(matches!(err, FsiError::InvalidSpec(_)), "{err:?}");
+    assert!(err.to_string().contains("height"));
 }

@@ -5,12 +5,12 @@
 //! `#[ignore]` to keep the default `cargo test` fast; CI's `full-tests`
 //! job (and `cargo test --release -- --ignored` locally) still runs them.
 
+use fsi::{Method, Pipeline};
 use fsi_data::synth::city::{CityConfig, CityGenerator};
 use fsi_data::SpatialDataset;
 use fsi_fairness::bounds::{theorem1_sides, theorem2_sides};
 use fsi_fairness::SpatialGroups;
 use fsi_geo::Partition;
-use fsi_pipeline::{run_method, Method, RunConfig, TaskSpec};
 use proptest::prelude::*;
 
 fn dataset(seed: u64) -> SpatialDataset {
@@ -37,7 +37,7 @@ fn theorem1_holds_for_every_method_partition() {
         Method::ZipCode,
         Method::FairQuad,
     ] {
-        let run = run_method(&d, &TaskSpec::act(), method, 4, &RunConfig::default()).unwrap();
+        let run = Pipeline::on(&d).method(method).height(4).run().unwrap();
         let groups = SpatialGroups::from_partition(d.cells(), &run.partition).unwrap();
         let (e, overall) = theorem1_sides(&run.scores, &run.labels, &groups).unwrap();
         assert!(
@@ -50,14 +50,11 @@ fn theorem1_holds_for_every_method_partition() {
 #[test]
 fn theorem2_holds_for_uniform_refinements_of_real_scores() {
     let d = dataset(4);
-    let run = run_method(
-        &d,
-        &TaskSpec::act(),
-        Method::MedianKd,
-        3,
-        &RunConfig::default(),
-    )
-    .unwrap();
+    let run = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(3)
+        .run()
+        .unwrap();
     // Uniform partitions at increasing granularity form a refinement chain.
     let granularities = [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16)];
     let mut prev: Option<(Partition, f64)> = None;
@@ -84,8 +81,7 @@ proptest! {
     #[ignore = "16 full pipeline runs; covered by CI's full-tests job"]
     fn theorem2_holds_for_random_coarsenings(seed in 0u64..500) {
         let d = dataset(5);
-        let run = run_method(&d, &TaskSpec::act(), Method::FairKd, 4, &RunConfig::default())
-            .unwrap();
+        let run = Pipeline::on(&d).method(Method::FairKd).height(4).run().unwrap();
         let fine = run.partition.clone();
         // Random grouping of fine regions into at most 4 buckets.
         let k = fine.num_regions();
