@@ -1,0 +1,13 @@
+//! `cargo bench` harness for the query-protocol suite (wire
+//! encode/decode, `QueryService` dispatch, HTTP loopback) at full size;
+//! the measurement code lives in [`fsi_bench::suites::proto`].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{proto, Profile};
+
+fn benches_full(c: &mut Criterion) {
+    proto::register(c, &Profile::full());
+}
+
+criterion_group!(benches, benches_full);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! # fsi-bench — benchmark fixtures, suites, and the perf-gate runner
 //!
-//! The measurement code for all five suites lives in [`suites`], driven
+//! The measurement code for all six suites lives in [`suites`], driven
 //! from two entry points:
 //!
 //! * the classic per-suite `cargo bench` harnesses in `benches/*.rs`;
@@ -20,6 +20,8 @@
 //! * [`suites::serving`] — online `FrozenIndex` serving: compile, point
 //!   and batch lookups, range queries, hot-swap publishing, and
 //!   multi-threaded driver scaling.
+//! * [`suites::proto`] — the typed query protocol: wire encode/decode,
+//!   `QueryService` dispatch overhead, and HTTP loopback throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,4 +1,4 @@
-//! The five benchmark suites, parameterized by a size [`Profile`].
+//! The six benchmark suites, parameterized by a size [`Profile`].
 //!
 //! Each suite exposes `register(c, profile)` so the same measurement code
 //! drives both entry points:
@@ -6,7 +6,7 @@
 //! * the classic `cargo bench` harnesses in `benches/*.rs` (one binary
 //!   per suite, full-size datasets);
 //! * the `fsi-bench` runner binary (`cargo run -p fsi-bench --bin
-//!   runner`), which runs all five suites in one process under either
+//!   runner`), which runs all six suites in one process under either
 //!   the `--smoke` or `--full` profile and records the repo's perf
 //!   baseline.
 //!
@@ -19,6 +19,7 @@ use std::time::Duration;
 pub mod construction;
 pub mod metrics;
 pub mod ml_training;
+pub mod proto;
 pub mod serving;
 pub mod split_search;
 
@@ -102,13 +103,14 @@ impl Profile {
     }
 }
 
-/// Registers all five suites on one driver, in baseline order.
+/// Registers all six suites on one driver, in baseline order.
 pub fn register_all(c: &mut Criterion, profile: &Profile) {
     construction::register(c, profile);
     split_search::register(c, profile);
     ml_training::register(c, profile);
     metrics::register(c, profile);
     serving::register(c, profile);
+    proto::register(c, profile);
 }
 
 #[cfg(test)]

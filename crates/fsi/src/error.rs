@@ -42,6 +42,15 @@ pub enum FsiError {
     Serve(ServeError),
     /// A spec or builder chain is invalid (caught before any work runs).
     InvalidSpec(String),
+    /// A protocol message failed to encode, decode or validate.
+    Proto(fsi_proto::ProtoError),
+    /// An HTTP transport round-trip came back non-2xx.
+    Http {
+        /// The HTTP status code.
+        status: u16,
+        /// The response body (usually an error envelope).
+        body: String,
+    },
     /// Reading or writing a report/spec file failed.
     Io(std::io::Error),
     /// Serializing or deserializing a spec/report failed.
@@ -58,6 +67,10 @@ impl fmt::Display for FsiError {
             FsiError::Fairness(e) => write!(f, "fairness: {e}"),
             FsiError::Serve(e) => write!(f, "serving: {e}"),
             FsiError::InvalidSpec(msg) => write!(f, "invalid pipeline spec: {msg}"),
+            FsiError::Proto(e) => write!(f, "protocol: {e}"),
+            FsiError::Http { status, body } => {
+                write!(f, "http status {status}: {body}")
+            }
             FsiError::Io(e) => write!(f, "i/o: {e}"),
             FsiError::Json(e) => write!(f, "json: {e}"),
         }
@@ -74,9 +87,17 @@ impl std::error::Error for FsiError {
             FsiError::Fairness(e) => Some(e),
             FsiError::Serve(e) => Some(e),
             FsiError::InvalidSpec(_) => None,
+            FsiError::Proto(e) => Some(e),
+            FsiError::Http { .. } => None,
             FsiError::Io(e) => Some(e),
             FsiError::Json(e) => Some(e),
         }
+    }
+}
+
+impl From<fsi_proto::ProtoError> for FsiError {
+    fn from(e: fsi_proto::ProtoError) -> Self {
+        FsiError::Proto(e)
     }
 }
 

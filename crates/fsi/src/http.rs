@@ -1,0 +1,771 @@
+//! A dependency-free HTTP/1.1 JSON transport over the typed query
+//! protocol.
+//!
+//! [`HttpServer`] binds a `std::net::TcpListener`, accepts connections
+//! on a small worker thread pool, and answers `POST /query` (or `/`)
+//! requests whose body is one [`fsi_proto::RequestEnvelope`] with the
+//! matching [`fsi_proto::ResponseEnvelope`] — content-length framing,
+//! keep-alive by default, no external crates (consistent with the
+//! workspace's vendored-stubs constraint). Every worker owns a
+//! [`QueryService`] clone, so dispatch runs lock-free against the shared
+//! hot-swappable indexes.
+//!
+//! ```text
+//! POST /query HTTP/1.1
+//! Content-Length: 46
+//!
+//! {"v":1,"body":{"Lookup":{"x":0.31,"y":0.72}}}
+//! ```
+//!
+//! Status mapping: a request that *decodes* — even one answered with a
+//! structured [`fsi_proto::ErrorBody`], like an out-of-bounds point —
+//! is a successful protocol exchange and returns `200`. Only transport
+//! failures map to HTTP errors: undecodable envelopes are `400`,
+//! non-`POST` methods `405`, unknown paths `404`, missing
+//! `Content-Length` `411`, oversized bodies `413`.
+//!
+//! [`HttpClient`] is the matching blocking keep-alive client, used by
+//! the differential transport tests, the benchmark suite and the CI
+//! smoke step.
+
+use crate::error::FsiError;
+use fsi_proto::{
+    decode_request, decode_response, encode_response, ErrorBody, ProtoError, Request, Response,
+};
+use fsi_serve::QueryService;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request body. Far above any sane batch (a 100k-point
+/// `LookupBatch` is ~4 MB) while bounding a malicious content-length.
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Largest accepted request-line or header line. Head parsing enforces
+/// this *while* receiving, so an endless unterminated line cannot grow
+/// a worker's memory.
+const MAX_HEAD_LINE_BYTES: usize = 8 * 1024;
+
+/// Most headers accepted in one request head.
+const MAX_HEADERS: usize = 100;
+
+/// How often blocked I/O wakes up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A running HTTP serving endpoint. Dropping it (or calling
+/// [`HttpServer::shutdown`]) stops the accept loop, drains the workers
+/// and joins every thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `service` with 4 worker threads.
+    pub fn bind(service: QueryService, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_with(service, addr, 4)
+    }
+
+    /// Binds with an explicit worker count. Each worker owns one
+    /// `service` clone and one connection at a time, so `workers` is
+    /// also the maximum number of concurrently served keep-alive
+    /// connections; further connections queue until a worker frees up.
+    pub fn bind_with(
+        service: QueryService,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let stop = Arc::clone(&stop);
+                let mut service = service.clone();
+                std::thread::spawn(move || loop {
+                    // Holding the lock only while receiving: the queue is
+                    // the only shared state between workers.
+                    let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match conn {
+                        Ok(stream) => {
+                            // Connection errors are that connection's
+                            // problem; the worker moves on to the next.
+                            let _ = serve_connection(stream, &mut service, &stop);
+                        }
+                        // Sender dropped: the server is shutting down.
+                        Err(_) => return,
+                    }
+                })
+            })
+            .collect();
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        return; // drops the listener and the sender
+                    }
+                    if let Ok(stream) = stream {
+                        if tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    /// In-flight requests finish; idle keep-alive connections close
+    /// within one poll interval.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads one `\n`-terminated line into `buf`, retrying on read timeouts
+/// until data arrives, EOF, or the stop flag is raised. Returns `Ok(0)`
+/// on EOF/stop, and errors once the line exceeds `max_len` — a head
+/// line that long is an attack on worker memory, not a request.
+fn read_line_polling(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    stop: &AtomicBool,
+    max_len: usize,
+) -> std::io::Result<usize> {
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        // fill_buf (not read_line) so the length cap applies *while*
+        // receiving: one endless unterminated line can never grow past
+        // max_len + one buffer fill.
+        let (done, used) = {
+            let available = match reader.fill_buf() {
+                Ok(available) => available,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if stop.load(Ordering::Acquire) {
+                        return Ok(0);
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                (true, 0) // EOF
+            } else if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+                raw.extend_from_slice(&available[..=pos]);
+                (true, pos + 1)
+            } else {
+                raw.extend_from_slice(available);
+                (false, available.len())
+            }
+        };
+        reader.consume(used);
+        if raw.len() > max_len {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("request head line exceeds {max_len} bytes"),
+            ));
+        }
+        if done {
+            break;
+        }
+    }
+    buf.push_str(&String::from_utf8_lossy(&raw));
+    Ok(raw.len())
+}
+
+/// Reads and discards exactly `len` body bytes — used to keep a
+/// keep-alive connection framed after answering a request whose body is
+/// irrelevant (unknown path, wrong method). Returns `false` on
+/// EOF/shutdown.
+fn drain_body_polling(
+    reader: &mut BufReader<TcpStream>,
+    mut len: usize,
+    stop: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut sink = [0u8; 4096];
+    while len > 0 {
+        let want = len.min(sink.len());
+        match reader.read(&mut sink[..want]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => len -= n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads exactly `len` body bytes, retrying on read timeouts.
+fn read_body_polling(
+    reader: &mut BufReader<TcpStream>,
+    len: usize,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut body = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        match reader.read(&mut body[read..]) {
+            Ok(0) => return Ok(None), // peer hung up mid-body
+            Ok(n) => read += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(body))
+}
+
+/// One parsed request head.
+struct Head {
+    method: String,
+    path: String,
+    content_length: Option<usize>,
+    keep_alive: bool,
+}
+
+/// Serves one connection until the peer closes, requests `Connection:
+/// close`, or the server shuts down.
+fn serve_connection(
+    stream: TcpStream,
+    service: &mut QueryService,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    loop {
+        let head = match read_head(&mut reader, stop)? {
+            Some(head) => head,
+            None => return Ok(()), // EOF or shutdown between requests
+        };
+        // Transport-level validation, most specific failure first. A
+        // rejected request's body must still be consumed, or the next
+        // request on this keep-alive connection would be parsed from
+        // the middle of the leftover body.
+        let reject = if head.method != "POST" {
+            Some((
+                405,
+                "Method Not Allowed",
+                format!(
+                    "method {} not supported; POST a request envelope",
+                    head.method
+                ),
+            ))
+        } else if head.path != "/" && head.path != "/query" {
+            Some((
+                404,
+                "Not Found",
+                format!("unknown path {}; POST to /query", head.path),
+            ))
+        } else {
+            None
+        };
+        if let Some((status, reason, message)) = reject {
+            let body_len = head.content_length.unwrap_or(0);
+            // An absurd declared length is not worth draining: answer
+            // and close instead (keep_alive = false framing).
+            let drainable = body_len <= MAX_BODY_BYTES;
+            let keep_alive = head.keep_alive && drainable;
+            write_http(
+                &mut writer,
+                status,
+                reason,
+                &error_wire(ErrorBody::new(
+                    fsi_proto::ErrorCode::MalformedRequest,
+                    message,
+                )),
+                keep_alive,
+            )?;
+            if !keep_alive || !drain_body_polling(&mut reader, body_len, stop)? {
+                return Ok(());
+            }
+            continue;
+        }
+        let Some(length) = head.content_length else {
+            // Without a length the connection is unframed: answer and close.
+            write_http(
+                &mut writer,
+                411,
+                "Length Required",
+                &error_wire(ErrorBody::new(
+                    fsi_proto::ErrorCode::MalformedRequest,
+                    "a Content-Length header is required",
+                )),
+                false,
+            )?;
+            return Ok(());
+        };
+        if length > MAX_BODY_BYTES {
+            write_http(
+                &mut writer,
+                413,
+                "Content Too Large",
+                &error_wire(ErrorBody::new(
+                    fsi_proto::ErrorCode::MalformedRequest,
+                    format!("request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"),
+                )),
+                false,
+            )?;
+            return Ok(());
+        }
+        let Some(body) = read_body_polling(&mut reader, length, stop)? else {
+            return Ok(());
+        };
+
+        let (status, reason, wire) = match std::str::from_utf8(&body)
+            .map_err(|e| ProtoError::Json(format!("body is not UTF-8: {e}")))
+            .and_then(decode_request)
+        {
+            Ok(request) => {
+                let response = service.dispatch(&request);
+                (200, "OK", encode_response(&response))
+            }
+            Err(e) => (400, "Bad Request", error_wire(ErrorBody::from(&e))),
+        };
+        write_http(&mut writer, status, reason, &wire, head.keep_alive)?;
+        if !head.keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads and parses one request head (request line + headers). `None`
+/// means a clean EOF / shutdown before a request started.
+fn read_head(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<Head>> {
+    let mut line = String::new();
+    if read_line_polling(reader, &mut line, stop, MAX_HEAD_LINE_BYTES)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = None;
+    for headers_seen in 0.. {
+        if headers_seen > MAX_HEADERS {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("request head exceeds {MAX_HEADERS} headers"),
+            ));
+        }
+        let mut header = String::new();
+        if read_line_polling(reader, &mut header, stop, MAX_HEAD_LINE_BYTES)? == 0 {
+            return Ok(None); // EOF mid-head
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse::<usize>().ok();
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    Ok(Some(Head {
+        method,
+        path,
+        content_length,
+        keep_alive,
+    }))
+}
+
+/// The wire form of a transport-level error response.
+fn error_wire(error: ErrorBody) -> String {
+    encode_response(&Response::Error { error })
+}
+
+/// Writes one framed HTTP response.
+fn write_http(
+    writer: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// A blocking keep-alive client for the HTTP transport: one TCP
+/// connection, one in-flight request at a time.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to a running [`HttpServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one typed request and decodes the typed response.
+    ///
+    /// A non-2xx status (the server could not decode the request at
+    /// all) surfaces as [`FsiError::Http`]; a decoded
+    /// [`Response::Error`] is returned as a normal response for the
+    /// caller to match on.
+    pub fn call(&mut self, request: &Request) -> Result<Response, FsiError> {
+        let (status, body) = self.post(&fsi_proto::encode_request(request))?;
+        if !(200..300).contains(&status) {
+            return Err(FsiError::Http { status, body });
+        }
+        Ok(decode_response(&body)?)
+    }
+
+    /// Sends a raw body and returns `(status, response body)` without
+    /// decoding — the escape hatch for protocol tests.
+    pub fn post(&mut self, body: &str) -> Result<(u16, String), FsiError> {
+        write!(
+            self.writer,
+            "POST /query HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(FsiError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                FsiError::Io(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("malformed status line: {status_line:?}"),
+                ))
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(FsiError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed inside the response head",
+                )));
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        FsiError::Io(std::io::Error::new(
+                            ErrorKind::InvalidData,
+                            format!("bad content-length: {value:?}"),
+                        ))
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|e| {
+            FsiError::Io(std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
+        })?;
+        Ok((status, body))
+    }
+}
+
+/// One-shot convenience: connect, send one request, disconnect.
+pub fn query_once(addr: impl ToSocketAddrs, request: &Request) -> Result<Response, FsiError> {
+    HttpClient::connect(addr)?.call(request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_geo::{Grid, Partition};
+    use fsi_pipeline::ModelSnapshot;
+    use fsi_proto::{ErrorCode, WirePoint};
+    use fsi_serve::{FrozenIndex, QueryService};
+
+    fn service() -> QueryService {
+        let grid = Grid::unit(8).unwrap();
+        let partition = Partition::uniform(&grid, 2, 2).unwrap();
+        let snapshot = ModelSnapshot::uniform(4, 0.25).unwrap();
+        QueryService::from(FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap())
+    }
+
+    #[test]
+    fn round_trips_every_request_kind_over_keep_alive() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        match client.call(&Request::Lookup { x: 0.1, y: 0.1 }).unwrap() {
+            Response::Decision { decision } => assert_eq!(decision.leaf_id, 0),
+            other => panic!("expected decision, got {other:?}"),
+        }
+        match client
+            .call(&Request::LookupBatch {
+                points: vec![WirePoint::new(0.1, 0.1), WirePoint::new(0.9, 0.9)],
+            })
+            .unwrap()
+        {
+            Response::Decisions { decisions } => assert_eq!(decisions.len(), 2),
+            other => panic!("expected decisions, got {other:?}"),
+        }
+        match client
+            .call(&Request::RangeQuery {
+                rect: fsi_proto::WireRect::new(0.0, 0.0, 1.0, 1.0),
+            })
+            .unwrap()
+        {
+            Response::Regions { ids } => assert_eq!(ids, vec![0, 1, 2, 3]),
+            other => panic!("expected regions, got {other:?}"),
+        }
+        match client.call(&Request::Stats).unwrap() {
+            Response::Stats { stats } => assert_eq!(stats.shards, 1),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn application_errors_are_200_with_structured_bodies() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        match client.call(&Request::Lookup { x: 9.0, y: 9.0 }).unwrap() {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::OutOfBounds),
+            other => panic!("expected error, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn transport_failures_map_to_http_statuses() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        // Undecodable body → 400 with an error envelope.
+        let (status, body) = client.post("this is not json").unwrap();
+        assert_eq!(status, 400);
+        match decode_response(&body).unwrap() {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::MalformedRequest),
+            other => panic!("expected error body, got {other:?}"),
+        }
+        // Wrong protocol version → 400 UnsupportedVersion.
+        let wire = fsi_proto::encode_request(&Request::Stats).replace("\"v\":1", "\"v\":42");
+        let (status, body) = client.post(&wire).unwrap();
+        assert_eq!(status, 400);
+        match decode_response(&body).unwrap() {
+            Response::Error { error } => {
+                assert_eq!(error.code, ErrorCode::UnsupportedVersion)
+            }
+            other => panic!("expected error body, got {other:?}"),
+        }
+        // The connection survived both failures.
+        assert!(client.call(&Request::Stats).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn wrong_method_and_path_answer_http_errors() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write!(writer, "GET /query HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("405"), "{line}");
+        server.shutdown();
+    }
+
+    /// Reads one framed response (status, body) from a raw connection.
+    fn read_raw_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).unwrap();
+            if header.trim().is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.trim().split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap();
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn rejected_requests_with_bodies_do_not_desync_keep_alive() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let body = fsi_proto::encode_request(&Request::Stats);
+        // Both rejected requests carry bodies the server must consume,
+        // or the valid request behind them would be parsed mid-body.
+        write!(
+            writer,
+            "POST /nope HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        write!(
+            writer,
+            "PUT /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        write!(
+            writer,
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        writer.flush().unwrap();
+
+        let (status, _) = read_raw_response(&mut reader);
+        assert_eq!(status, 404);
+        let (status, _) = read_raw_response(&mut reader);
+        assert_eq!(status, 405);
+        let (status, wire) = read_raw_response(&mut reader);
+        assert_eq!(status, 200, "keep-alive connection desynced: {wire}");
+        assert!(matches!(
+            decode_response(&wire).unwrap(),
+            Response::Stats { .. }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_head_lines_close_the_connection_instead_of_growing() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        // One endless header line, far past the cap: the server must
+        // hang up rather than buffer it.
+        let chunk = [b'a'; 4096];
+        let mut reader = BufReader::new(stream);
+        writer
+            .write_all(b"POST /query HTTP/1.1\r\nX-Flood: ")
+            .unwrap();
+        let mut closed = false;
+        for _ in 0..32 {
+            if writer
+                .write_all(&chunk)
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                closed = true; // server reset the connection mid-flood
+                break;
+            }
+        }
+        if !closed {
+            // The server closes without answering; EOF (or a reset) is
+            // the expected outcome, never a response.
+            let mut line = String::new();
+            closed = match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => true,
+                Ok(_) => false,
+            };
+        }
+        assert!(closed, "server kept buffering an unbounded head line");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_once_works_without_a_persistent_client() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let response = query_once(server.addr(), &Request::Stats).unwrap();
+        assert!(matches!(response, Response::Stats { .. }));
+        server.shutdown();
+    }
+}

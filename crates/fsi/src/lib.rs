@@ -23,6 +23,14 @@
 //! (one districting, several tasks). Everything returns the single
 //! [`FsiError`] type.
 //!
+//! Online queries speak the **typed protocol** (`fsi-proto`): every
+//! transport decodes to a [`Request`], dispatches through a
+//! [`QueryService`] (optionally sharded behind a [`ShardRouter`]), and
+//! encodes the [`Response`]. [`Serving::listen`] attaches the built-in
+//! HTTP/1.1 JSON transport ([`http`]); [`repl`] is the line-oriented
+//! text transport behind `redistricting_cli serve`. All transports are
+//! differentially tested to answer bit-identically.
+//!
 //! Under the hood each stage lives in a focused crate (`fsi-geo`,
 //! `fsi-core`, `fsi-ml`, `fsi-data`, `fsi-fairness`, `fsi-pipeline`,
 //! `fsi-serve`); this crate re-exports the types an application needs so
@@ -35,11 +43,13 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod http;
 pub mod multi;
 pub mod pipeline;
 pub mod repl;
 
 pub use error::FsiError;
+pub use http::{HttpClient, HttpServer};
 pub use multi::{MultiPipeline, MultiRun};
 pub use pipeline::{Pipeline, Run, RunReport, Serving};
 
@@ -52,4 +62,11 @@ pub use fsi_pipeline::{
     snapshot_for_partition, EvalReport, Method, MethodRun, ModelKind, ModelSnapshot,
     MultiObjectiveRun, MultiObjectiveSpec, PartitionModel, PipelineSpec, RunConfig, TaskSpec,
 };
-pub use fsi_serve::{Decision, FrozenIndex, IndexHandle, IndexReader, RebuildReport, Rebuilder};
+pub use fsi_proto::{
+    decode_request, decode_response, encode_request, encode_response, DecisionBody, ErrorBody,
+    ErrorCode, ProtoError, Request, Response, StatsBody, WirePoint, WireRect, PROTO_VERSION,
+};
+pub use fsi_serve::{
+    Decision, FrozenIndex, IndexHandle, IndexReader, QueryService, RebuildReport, Rebuilder,
+    ShardRouter,
+};

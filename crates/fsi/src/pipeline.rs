@@ -13,9 +13,14 @@ use fsi_pipeline::{
     run_spec, EvalReport, Method, MethodRun, ModelKind, ModelSnapshot, PipelineSpec, RunConfig,
     TaskSpec,
 };
-use fsi_serve::{compile_run, FrozenIndex, IndexHandle, IndexReader, RebuildReport, Rebuilder};
+use fsi_serve::{
+    compile_run, FrozenIndex, IndexHandle, IndexReader, QueryService, RebuildReport, Rebuilder,
+    ShardRouter,
+};
 use serde::{Deserialize, Serialize};
+use std::net::ToSocketAddrs;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Fluent builder for one pipeline execution.
 ///
@@ -254,6 +259,7 @@ impl<'d> Run<'d> {
         let rebuilder = Rebuilder::new(handle.clone());
         Ok(Serving {
             dataset: self.dataset,
+            shared_dataset: std::sync::OnceLock::new(),
             spec: self.spec.clone(),
             handle,
             rebuilder,
@@ -288,6 +294,10 @@ impl<'d> Run<'d> {
 /// readers query, and the rebuilder that retrains and hot-swaps.
 pub struct Serving<'d> {
     dataset: &'d SpatialDataset,
+    /// Lazily materialized shared copy of `dataset` handed to
+    /// [`QueryService`]s, so building N services (REPL + HTTP + shards)
+    /// deep-clones the dataset once, not N times.
+    shared_dataset: std::sync::OnceLock<Arc<SpatialDataset>>,
     spec: PipelineSpec,
     handle: IndexHandle,
     rebuilder: Rebuilder,
@@ -343,6 +353,54 @@ impl Serving<'_> {
         self.rebuilder
             .rebuild(self.dataset, spec)
             .map_err(FsiError::from)
+    }
+
+    /// A [`QueryService`] over this deployment's live handle: the typed
+    /// request/response surface every transport (REPL, HTTP, tests)
+    /// dispatches through. Rebuild requests retrain on this deployment's
+    /// dataset; hot-swaps through [`Serving::rebuild`] and through the
+    /// service are visible to each other because they share the handle.
+    pub fn service(&self) -> QueryService {
+        QueryService::new(ShardRouter::single(self.handle.clone()))
+            .with_rebuild(self.shared_dataset())
+    }
+
+    /// The dataset copy services rebuild on — deep-cloned at most once
+    /// per deployment, then shared by `Arc`.
+    fn shared_dataset(&self) -> Arc<SpatialDataset> {
+        self.shared_dataset
+            .get_or_init(|| Arc::new(self.dataset.clone()))
+            .clone()
+    }
+
+    /// A service over a fresh `rows × cols` [`ShardRouter`] seeded with
+    /// replicas of the current snapshot. Lookups route to one shard,
+    /// range queries fan out and merge; `Rebuild` requests publish to
+    /// every shard. The shards are detached from [`Serving::handle`] —
+    /// a deployment that shards its serving plane rebuilds *through the
+    /// service*, not through [`Serving::rebuild`].
+    pub fn service_sharded(&self, rows: usize, cols: usize) -> Result<QueryService, FsiError> {
+        let index = self.handle.load().as_ref().clone();
+        let router = ShardRouter::new(index, rows, cols).map_err(FsiError::from)?;
+        Ok(QueryService::new(router).with_rebuild(self.shared_dataset()))
+    }
+
+    /// Attaches the HTTP/1.1 JSON transport to this deployment: binds
+    /// `addr` (use port `0` for an ephemeral port) and serves
+    /// [`Serving::service`] from a small worker thread pool. This is the
+    /// network frontend plug-in point the roadmap designates.
+    pub fn listen(&self, addr: impl ToSocketAddrs) -> Result<crate::http::HttpServer, FsiError> {
+        crate::http::HttpServer::bind(self.service(), addr).map_err(FsiError::from)
+    }
+
+    /// [`Serving::listen`] with an explicit worker-thread count (= the
+    /// maximum number of concurrently served keep-alive connections).
+    pub fn listen_with(
+        &self,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> Result<crate::http::HttpServer, FsiError> {
+        crate::http::HttpServer::bind_with(self.service(), addr, workers).map_err(FsiError::from)
     }
 }
 

@@ -1,48 +1,126 @@
-//! The serve-mode query protocol: parse text queries against a
-//! [`FrozenIndex`], never panicking on malformed input.
+//! The text transport: a line-oriented REPL over the same
+//! [`QueryService`] (and thus the same typed protocol) the HTTP
+//! listener speaks — parsing never panics, and malformed input answers
+//! an `error: …` line while the loop keeps serving.
 //!
 //! One query per line:
 //!
-//! * `X Y` — a point lookup; answers
-//!   `leaf=<id> group=<g> raw=<r> calibrated=<c>`;
-//! * `rect X0 Y0 X1 Y1` — a map-space range query; answers
-//!   `neighborhoods: [..]`.
+//! * `X Y` — a point lookup ([`Request::Lookup`]); answers
+//!   `leaf=<id> group=<g> raw=<r> calibrated=<c>` with full-precision
+//!   floats, so the text output round-trips the served decision
+//!   bit-identically;
+//! * `batch X1 Y1 X2 Y2 …` — a batched lookup ([`Request::LookupBatch`]);
+//! * `rect X0 Y0 X1 Y1` — a map-space range query
+//!   ([`Request::RangeQuery`]); answers `neighborhoods: [..]`;
+//! * `stats` — service statistics ([`Request::Stats`]);
+//! * `rebuild <spec JSON>` — retrain and hot-swap
+//!   ([`Request::Rebuild`]), e.g. the JSON produced by serializing a
+//!   [`fsi_pipeline::PipelineSpec`].
 //!
 //! Anything else — wrong arity, unparsable numbers, degenerate
 //! rectangles, invalid UTF-8 — produces an `error: …` response line and
 //! the loop keeps serving. The `redistricting_cli serve` subcommand is a
 //! thin wrapper around [`serve_queries`] over stdin/stdout; tests drive
-//! the same function through an OS pipe.
+//! the same function through an OS pipe, and the differential transport
+//! test proves this path answers bit-identically to HTTP and direct
+//! index calls.
 
-use fsi_geo::{Point, Rect};
-use fsi_serve::FrozenIndex;
+use fsi_proto::{Request, Response, WirePoint, WireRect};
+use fsi_serve::QueryService;
 use std::io::{BufRead, Write};
 
-/// Answers one query line. Returns `None` for blank lines (no response
-/// is owed), `Some(response)` otherwise — malformed queries answer with
-/// a line starting `error:` instead of failing.
-pub fn answer_line(index: &FrozenIndex, line: &str) -> Option<String> {
+/// Parses one text line into a typed [`Request`].
+///
+/// Returns `None` for blank lines (no response is owed), `Some(Ok)` for
+/// a valid, fully validated request, and `Some(Err)` with a
+/// human-readable message otherwise.
+pub fn parse_line(line: &str) -> Option<Result<Request, String>> {
     let fields: Vec<&str> = line.split_whitespace().collect();
-    Some(match fields.as_slice() {
+    let request = match fields.as_slice() {
         [] => return None,
+        ["stats"] => Ok(Request::Stats),
         ["rect", x0, y0, x1, y1] => match (x0.parse(), y0.parse(), x1.parse(), y1.parse()) {
-            (Ok(x0), Ok(y0), Ok(x1), Ok(y1)) => match Rect::new(x0, y0, x1, y1) {
-                Ok(rect) => format!("neighborhoods: {:?}", index.range_query(&rect)),
-                Err(e) => format!("error: bad rect: {e}"),
-            },
-            _ => "error: bad rect: expected `rect X0 Y0 X1 Y1` with numeric bounds".into(),
+            (Ok(x0), Ok(y0), Ok(x1), Ok(y1)) => Ok(Request::RangeQuery {
+                rect: WireRect::new(x0, y0, x1, y1),
+            }),
+            _ => Err("bad rect: expected `rect X0 Y0 X1 Y1` with numeric bounds".into()),
         },
+        ["rect", ..] => Err("bad rect: expected `rect X0 Y0 X1 Y1` with numeric bounds".into()),
+        ["batch", coords @ ..] => parse_batch(coords),
+        ["rebuild", ..] => {
+            let json = line.trim_start().trim_start_matches("rebuild").trim();
+            match serde_json::from_str(json) {
+                Ok(spec) => Ok(Request::Rebuild { spec }),
+                Err(e) => Err(format!("bad rebuild spec: {e}")),
+            }
+        }
         [x, y] => match (x.parse(), y.parse()) {
-            (Ok(x), Ok(y)) => match index.lookup(&Point::new(x, y)) {
-                Some(d) => format!(
-                    "leaf={} group={} raw={:.4} calibrated={:.4}",
-                    d.leaf_id, d.group, d.raw_score, d.calibrated_score
-                ),
-                None => format!("error: point ({x}, {y}) is outside the map"),
-            },
-            _ => "error: bad point: expected `X Y` with numeric coordinates".into(),
+            (Ok(x), Ok(y)) => Ok(Request::Lookup { x, y }),
+            _ => Err("bad point: expected `X Y` with numeric coordinates".into()),
         },
-        _ => format!("error: unrecognized query: `{line}`"),
+        _ => Err(format!("unrecognized query: `{line}`")),
+    };
+    // The same validation every transport runs at decode time.
+    Some(request.and_then(|r| r.validate().map(|()| r).map_err(|e| e.to_string())))
+}
+
+fn parse_batch(coords: &[&str]) -> Result<Request, String> {
+    if coords.is_empty() || !coords.len().is_multiple_of(2) {
+        return Err(format!(
+            "bad batch: expected an even number of coordinates, got {}",
+            coords.len()
+        ));
+    }
+    let mut points = Vec::with_capacity(coords.len() / 2);
+    for pair in coords.chunks_exact(2) {
+        match (pair[0].parse(), pair[1].parse()) {
+            (Ok(x), Ok(y)) => points.push(WirePoint::new(x, y)),
+            _ => return Err(format!("bad batch point `{} {}`", pair[0], pair[1])),
+        }
+    }
+    Ok(Request::LookupBatch { points })
+}
+
+/// Renders one decision with full-precision floats (so the text form is
+/// bit-faithful to the served decision).
+fn format_decision(d: &fsi_proto::DecisionBody) -> String {
+    format!(
+        "leaf={} group={} raw={} calibrated={}",
+        d.leaf_id, d.group, d.raw_score, d.calibrated_score
+    )
+}
+
+/// Renders a typed [`Response`] as one text line.
+pub fn format_response(response: &Response) -> String {
+    match response {
+        Response::Decision { decision } => format_decision(decision),
+        Response::Decisions { decisions } => {
+            let items: Vec<String> = decisions.iter().map(format_decision).collect();
+            format!("decisions: [{}]", items.join(", "))
+        }
+        Response::Regions { ids } => format!("neighborhoods: {ids:?}"),
+        Response::Stats { stats } => format!(
+            "stats: shards={} generations={:?} leaves={} heap_bytes={} backend={}",
+            stats.shards, stats.generations, stats.num_leaves, stats.heap_bytes, stats.backend
+        ),
+        Response::Rebuilt { report } => format!(
+            "rebuilt: generation={} leaves={} ence={} total_ms={:.1}",
+            report.generation,
+            report.num_leaves,
+            report.ence,
+            report.total_time.as_secs_f64() * 1e3
+        ),
+        Response::Error { error } => format!("error: {}: {}", error.code, error.message),
+    }
+}
+
+/// Answers one query line against the service. Returns `None` for blank
+/// lines, `Some(response)` otherwise — malformed queries answer with a
+/// line starting `error:` instead of failing.
+pub fn answer_line(service: &mut QueryService, line: &str) -> Option<String> {
+    Some(match parse_line(line)? {
+        Ok(request) => format_response(&service.dispatch(&request)),
+        Err(message) => format!("error: {message}"),
     })
 }
 
@@ -62,14 +140,14 @@ pub struct ServeStats {
 /// get an `error: …` response and the loop continues; only a genuine
 /// I/O failure of the streams ends the session early.
 pub fn serve_queries<R: BufRead, W: Write>(
-    index: &FrozenIndex,
+    service: &mut QueryService,
     input: R,
     output: &mut W,
 ) -> std::io::Result<ServeStats> {
     let mut stats = ServeStats::default();
     for line in input.lines() {
         let response = match line {
-            Ok(line) => match answer_line(index, &line) {
+            Ok(line) => match answer_line(service, &line) {
                 Some(r) => r,
                 None => continue,
             },
@@ -96,27 +174,32 @@ mod tests {
     use super::*;
     use fsi_geo::{Grid, Partition};
     use fsi_pipeline::ModelSnapshot;
+    use fsi_serve::FrozenIndex;
 
-    fn index() -> FrozenIndex {
+    fn service() -> QueryService {
         let grid = Grid::unit(4).unwrap();
         let partition = Partition::uniform(&grid, 2, 2).unwrap();
         let snapshot = ModelSnapshot::uniform(4, 0.25).unwrap();
-        FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap()
+        QueryService::from(FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap())
     }
 
     #[test]
     fn well_formed_queries_answer() {
-        let idx = index();
-        let a = answer_line(&idx, "0.1 0.1").unwrap();
+        let mut svc = service();
+        let a = answer_line(&mut svc, "0.1 0.1").unwrap();
         assert!(a.starts_with("leaf="), "{a}");
-        let a = answer_line(&idx, "rect 0.0 0.0 1.0 1.0").unwrap();
+        let a = answer_line(&mut svc, "rect 0.0 0.0 1.0 1.0").unwrap();
         assert!(a.starts_with("neighborhoods:"), "{a}");
-        assert_eq!(answer_line(&idx, "   "), None);
+        let a = answer_line(&mut svc, "batch 0.1 0.1 0.9 0.9").unwrap();
+        assert!(a.starts_with("decisions:"), "{a}");
+        let a = answer_line(&mut svc, "stats").unwrap();
+        assert!(a.contains("shards=1"), "{a}");
+        assert_eq!(answer_line(&mut svc, "   "), None);
     }
 
     #[test]
     fn malformed_queries_answer_with_error_lines() {
-        let idx = index();
+        let mut svc = service();
         for bad in [
             "nonsense",
             "1.0",
@@ -126,22 +209,34 @@ mod tests {
             "0.5 0.5 0.5",
             "rect 0.9 0.9 0.1 0.1",
             "9.0 9.0",
+            "batch 0.1",
+            "batch 0.1 oops",
+            "rebuild not-json",
         ] {
-            let a = answer_line(&idx, bad).unwrap_or_else(|| panic!("{bad} must answer"));
+            let a = answer_line(&mut svc, bad).unwrap_or_else(|| panic!("{bad} must answer"));
             assert!(a.starts_with("error:"), "{bad} -> {a}");
         }
     }
 
     #[test]
+    fn decisions_are_formatted_with_full_precision() {
+        let mut svc = service();
+        let a = answer_line(&mut svc, "0.1 0.1").unwrap();
+        // raw 0.25, offset 0 → both scores print exactly.
+        assert!(a.contains("raw=0.25"), "{a}");
+        assert!(a.contains("calibrated=0.25"), "{a}");
+    }
+
+    #[test]
     fn serve_loop_survives_invalid_utf8_and_keeps_serving() {
-        let idx = index();
+        let mut svc = service();
         let mut input: Vec<u8> = Vec::new();
         input.extend_from_slice(b"0.1 0.1\n");
         input.extend_from_slice(&[0xFF, 0xFE, b'\n']); // not UTF-8
         input.extend_from_slice(b"bogus query\n");
         input.extend_from_slice(b"0.9 0.9\n");
         let mut out = Vec::new();
-        let stats = serve_queries(&idx, &input[..], &mut out).unwrap();
+        let stats = serve_queries(&mut svc, &input[..], &mut out).unwrap();
         assert_eq!(stats.answered, 2);
         assert_eq!(stats.errors, 2);
         let text = String::from_utf8(out).unwrap();
@@ -151,5 +246,18 @@ mod tests {
         assert!(lines[1].starts_with("error:"));
         assert!(lines[2].starts_with("error:"));
         assert!(lines[3].starts_with("leaf="));
+    }
+
+    #[test]
+    fn rebuild_without_dataset_reports_structured_unavailability() {
+        let mut svc = service();
+        let spec = fsi_pipeline::PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::MedianKd,
+            2,
+        );
+        let line = format!("rebuild {}", serde_json::to_string(&spec).unwrap());
+        let a = answer_line(&mut svc, &line).unwrap();
+        assert!(a.starts_with("error: rebuild_unavailable"), "{a}");
     }
 }

@@ -1,0 +1,71 @@
+//! Protocol-level failures: what can go wrong *before* a request
+//! reaches a service (and after a response leaves one).
+
+use std::fmt;
+
+/// A wire-level failure while encoding, decoding or validating a
+/// protocol message.
+///
+/// These are the transport's errors — a request that fails here never
+/// reaches dispatch. Failures *inside* dispatch (out-of-bounds points,
+/// rejected rebuild specs) are answered as [`crate::Response::Error`]
+/// with a structured [`crate::ErrorBody`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload is not valid JSON, or its shape does not match the
+    /// envelope/message types.
+    Json(String),
+    /// The envelope carries a protocol version this build cannot speak.
+    UnsupportedVersion {
+        /// Version tag found in the envelope.
+        got: u32,
+        /// Version this build speaks ([`crate::PROTO_VERSION`]).
+        expected: u32,
+    },
+    /// The message decoded but fails semantic validation (non-finite
+    /// coordinates, inverted rectangles, malformed rebuild specs, …).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Json(msg) => write!(f, "malformed protocol message: {msg}"),
+            ProtoError::UnsupportedVersion { got, expected } => write!(
+                f,
+                "unsupported protocol version {got} (this build speaks {expected})"
+            ),
+            ProtoError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<serde_json::Error> for ProtoError {
+    fn from(e: serde_json::Error) -> Self {
+        ProtoError::Json(e.to_string())
+    }
+}
+
+impl From<serde::Error> for ProtoError {
+    fn from(e: serde::Error) -> Self {
+        ProtoError::Json(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ProtoError::UnsupportedVersion {
+            got: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        let e = ProtoError::InvalidRequest("x is NaN".into());
+        assert!(e.to_string().contains("NaN"));
+    }
+}

@@ -1,0 +1,398 @@
+//! The request/response messages and their versioned wire envelopes.
+
+use crate::error::ProtoError;
+use crate::wire::{DecisionBody, ErrorBody, RebuildReport, StatsBody, WirePoint, WireRect};
+use fsi_pipeline::PipelineSpec;
+use serde::{Deserialize, Serialize};
+
+/// The protocol version this build speaks. Bumped on any wire-breaking
+/// change; [`decode_request`] / [`decode_response`] reject other
+/// versions instead of misinterpreting them.
+pub const PROTO_VERSION: u32 = 1;
+
+/// One query against a serving deployment.
+///
+/// Externally tagged on the wire: `{"Lookup":{"x":0.3,"y":0.7}}`,
+/// `"Stats"`, … — see the crate docs for full examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Map one point to its fair-neighborhood decision.
+    Lookup {
+        /// Map-space x coordinate.
+        x: f64,
+        /// Map-space y coordinate.
+        y: f64,
+    },
+    /// Map a batch of points in one round-trip (the high-throughput
+    /// path: one envelope, one response, amortized transport cost).
+    LookupBatch {
+        /// The query points, answered in order.
+        points: Vec<WirePoint>,
+    },
+    /// Every neighborhood a closed map-space rectangle touches.
+    RangeQuery {
+        /// The query rectangle.
+        rect: WireRect,
+    },
+    /// Service statistics: shard generations, index size, backend.
+    Stats,
+    /// Retrain with `spec` and hot-swap the result into every shard.
+    Rebuild {
+        /// The pipeline spec the new index is built from.
+        spec: PipelineSpec,
+    },
+}
+
+impl Request {
+    /// Semantic validation, run by [`decode_request`] before a request
+    /// reaches any service: finite coordinates, ordered rectangle
+    /// extents, and a well-formed rebuild spec.
+    pub fn validate(&self) -> Result<(), ProtoError> {
+        match self {
+            Request::Lookup { x, y } => WirePoint::new(*x, *y).validate(),
+            Request::LookupBatch { points } => {
+                for (index, p) in points.iter().enumerate() {
+                    p.validate().map_err(|e| {
+                        ProtoError::InvalidRequest(format!("batch point #{index}: {e}"))
+                    })?;
+                }
+                Ok(())
+            }
+            Request::RangeQuery { rect } => rect.validate(),
+            Request::Stats => Ok(()),
+            Request::Rebuild { spec } => spec
+                .validate()
+                .map_err(|e| ProtoError::InvalidRequest(e.to_string())),
+        }
+    }
+}
+
+/// The answer to one [`Request`].
+///
+/// Every variant wraps a named body struct so the wire shape stays
+/// stable when fields grow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Lookup`].
+    Decision {
+        /// The served decision.
+        decision: DecisionBody,
+    },
+    /// Answer to [`Request::LookupBatch`], in request order.
+    Decisions {
+        /// One decision per query point.
+        decisions: Vec<DecisionBody>,
+    },
+    /// Answer to [`Request::RangeQuery`]: touched neighborhood ids,
+    /// ascending, deduplicated.
+    Regions {
+        /// The neighborhood (leaf) ids.
+        ids: Vec<usize>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// The service statistics. Boxed so the rare, field-heavy
+        /// variants don't widen the whole enum — `Response` rides the
+        /// lookup hot path by value, and the common `Decision` variant
+        /// must stay a small move.
+        stats: Box<StatsBody>,
+    },
+    /// Answer to [`Request::Rebuild`].
+    Rebuilt {
+        /// What the rebuild did (boxed; see [`Response::Stats`]).
+        report: Box<RebuildReport>,
+    },
+    /// Any failure, with a machine-readable code.
+    Error {
+        /// The structured failure.
+        error: ErrorBody,
+    },
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(code: crate::wire::ErrorCode, message: impl Into<String>) -> Self {
+        Response::Error {
+            error: ErrorBody::new(code, message),
+        }
+    }
+
+    /// Whether this response reports a failure.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+}
+
+/// The versioned frame a [`Request`] crosses a transport in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// The request payload.
+    pub body: Request,
+}
+
+/// The versioned frame a [`Response`] crosses a transport in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// The response payload.
+    pub body: Response,
+}
+
+/// Serializes a request into its versioned wire form.
+pub fn encode_request(request: &Request) -> String {
+    serde_json::to_string(&RequestEnvelope {
+        v: PROTO_VERSION,
+        body: request.clone(),
+    })
+    .expect("protocol messages always serialize")
+}
+
+/// Serializes a response into its versioned wire form.
+pub fn encode_response(response: &Response) -> String {
+    serde_json::to_string(&ResponseEnvelope {
+        v: PROTO_VERSION,
+        body: response.clone(),
+    })
+    .expect("protocol messages always serialize")
+}
+
+fn check_version(v: u32) -> Result<(), ProtoError> {
+    if v != PROTO_VERSION {
+        return Err(ProtoError::UnsupportedVersion {
+            got: v,
+            expected: PROTO_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// Decodes and fully validates one wire request: JSON shape, envelope
+/// version, then [`Request::validate`]. A request that passes here is
+/// safe to dispatch.
+pub fn decode_request(wire: &str) -> Result<Request, ProtoError> {
+    let envelope: RequestEnvelope = serde_json::from_str(wire)?;
+    check_version(envelope.v)?;
+    envelope.body.validate()?;
+    Ok(envelope.body)
+}
+
+/// Decodes one wire response, checking the envelope version.
+pub fn decode_response(wire: &str) -> Result<Response, ProtoError> {
+    let envelope: ResponseEnvelope = serde_json::from_str(wire)?;
+    check_version(envelope.v)?;
+    Ok(envelope.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ErrorCode;
+    use fsi_pipeline::{Method, TaskSpec};
+    use proptest::prelude::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Lookup { x: 0.31, y: 0.72 },
+            Request::LookupBatch {
+                points: vec![WirePoint::new(0.1, 0.2), WirePoint::new(0.9, 0.8)],
+            },
+            Request::LookupBatch { points: vec![] },
+            Request::RangeQuery {
+                rect: WireRect::new(0.25, 0.25, 0.75, 0.75),
+            },
+            Request::Stats,
+            Request::Rebuild {
+                spec: PipelineSpec::new(TaskSpec::act(), Method::FairKd, 4),
+            },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Decision {
+                decision: DecisionBody {
+                    leaf_id: 14,
+                    group: 14,
+                    raw_score: 0.1 + 0.2,
+                    calibrated_score: 0.3,
+                },
+            },
+            Response::Decisions { decisions: vec![] },
+            Response::Regions {
+                ids: vec![0, 3, 17],
+            },
+            Response::Stats {
+                stats: Box::new(StatsBody {
+                    shards: 4,
+                    generations: vec![2, 2, 2, 3],
+                    num_leaves: 1024,
+                    heap_bytes: 53200,
+                    backend: "tree".into(),
+                }),
+            },
+            Response::Rebuilt {
+                report: Box::new(RebuildReport {
+                    spec: PipelineSpec::new(TaskSpec::act(), Method::MedianKd, 3),
+                    generation: 2,
+                    num_leaves: 8,
+                    ence: 0.0123,
+                    build_time: std::time::Duration::from_micros(1234),
+                    total_time: std::time::Duration::new(1, 999_999_999),
+                }),
+            },
+            Response::error(ErrorCode::OutOfBounds, "point (2, 2) is outside the map"),
+        ]
+    }
+
+    #[test]
+    fn response_stays_narrow_for_the_lookup_hot_path() {
+        // Dispatch returns Response by value per lookup; the fat
+        // variants are boxed precisely so this move stays cheap.
+        assert!(
+            std::mem::size_of::<Response>() <= 56,
+            "Response grew to {} bytes — box the new variant",
+            std::mem::size_of::<Response>()
+        );
+    }
+
+    #[test]
+    fn every_request_round_trips_through_the_envelope() {
+        for request in sample_requests() {
+            let wire = encode_request(&request);
+            assert!(wire.starts_with("{\"v\":1,"), "{wire}");
+            let back = decode_request(&wire).unwrap();
+            assert_eq!(request, back, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips_through_the_envelope() {
+        for response in sample_responses() {
+            let wire = encode_response(&response);
+            let back = decode_response(&wire).unwrap();
+            assert_eq!(response, back, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected_not_misread() {
+        let wire = encode_request(&Request::Stats).replace("\"v\":1", "\"v\":2");
+        match decode_request(&wire) {
+            Err(ProtoError::UnsupportedVersion {
+                got: 2,
+                expected: 1,
+            }) => {}
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+        let wire =
+            encode_response(&Response::Regions { ids: vec![] }).replace("\"v\":1", "\"v\":0");
+        assert!(matches!(
+            decode_response(&wire),
+            Err(ProtoError::UnsupportedVersion { got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_wire_reports_json_errors() {
+        for wire in [
+            "",
+            "not json",
+            "{\"v\":1}",
+            "{\"v\":1,\"body\":{\"Teleport\":{}}}",
+            "{\"v\":1,\"body\":{\"Lookup\":{\"x\":0.5}}}",
+        ] {
+            assert!(
+                matches!(decode_request(wire), Err(ProtoError::Json(_))),
+                "{wire:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_payloads_fail_validation_on_decode() {
+        // NaN is not expressible in JSON, so craft a null coordinate
+        // (the vendored serde parses null as NaN for floats — exactly
+        // the hole validation has to close).
+        let wire = "{\"v\":1,\"body\":{\"Lookup\":{\"x\":null,\"y\":0.5}}}";
+        assert!(matches!(
+            decode_request(wire),
+            Err(ProtoError::InvalidRequest(_))
+        ));
+        let inverted = Request::RangeQuery {
+            rect: WireRect::new(0.9, 0.0, 0.1, 1.0),
+        };
+        assert!(decode_request(&encode_request(&inverted)).is_err());
+        let bad_spec = Request::Rebuild {
+            spec: PipelineSpec::new(TaskSpec::act(), Method::FairKd, 0),
+        };
+        let err = decode_request(&encode_request(&bad_spec)).unwrap_err();
+        assert!(err.to_string().contains("height"), "{err}");
+        let bad_batch = Request::LookupBatch {
+            points: vec![WirePoint::new(0.5, 0.5), WirePoint::new(f64::NAN, 0.5)],
+        };
+        let err = bad_batch.validate().unwrap_err();
+        assert!(err.to_string().contains("#1"), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Serde identity over randomized lookups: the decoded request
+        /// carries bit-identical coordinates.
+        #[test]
+        fn lookup_round_trip_is_bit_identical(x in -1e9..1e9f64, y in -1e9..1e9f64) {
+            let request = Request::Lookup { x, y };
+            let back = decode_request(&encode_request(&request)).unwrap();
+            let Request::Lookup { x: bx, y: by } = back else {
+                panic!("variant changed in flight");
+            };
+            prop_assert_eq!(x.to_bits(), bx.to_bits());
+            prop_assert_eq!(y.to_bits(), by.to_bits());
+        }
+
+        /// Serde identity over randomized batches and decisions.
+        #[test]
+        fn batch_and_decisions_round_trip(
+            n in 0usize..40,
+            seed in 0.0..1.0f64,
+        ) {
+            let points: Vec<WirePoint> = (0..n)
+                .map(|i| WirePoint::new(seed * i as f64, 1.0 / (1.0 + seed + i as f64)))
+                .collect();
+            let request = Request::LookupBatch { points: points.clone() };
+            prop_assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+
+            let decisions: Vec<DecisionBody> = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| DecisionBody {
+                    leaf_id: i,
+                    group: i % 7,
+                    raw_score: p.x,
+                    calibrated_score: p.y,
+                })
+                .collect();
+            let response = Response::Decisions { decisions };
+            prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);
+        }
+
+        /// Serde identity over randomized stats bodies (u64 generations
+        /// above 2^53 must survive, hence the full u64 range).
+        #[test]
+        fn stats_round_trip(g in 0u64..=u64::MAX, shards in 1usize..8) {
+            let response = Response::Stats {
+                stats: Box::new(StatsBody {
+                    shards,
+                    generations: (0..shards as u64).map(|i| g.wrapping_add(i)).collect(),
+                    num_leaves: shards * 64,
+                    heap_bytes: shards * 4096,
+                    backend: "cells".into(),
+                }),
+            };
+            prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);
+        }
+    }
+}

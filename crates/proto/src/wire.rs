@@ -1,0 +1,247 @@
+//! The protocol's data bodies: plain serde-round-trippable structs with
+//! no behavior beyond validation, shared by every transport.
+
+use crate::error::ProtoError;
+use fsi_pipeline::PipelineSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// A continuous map point on the wire.
+///
+/// Deliberately its own type (rather than reusing `fsi_geo::Point`) so
+/// the wire format is frozen by this crate alone; services convert at
+/// the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WirePoint {
+    /// Map-space x coordinate.
+    pub x: f64,
+    /// Map-space y coordinate.
+    pub y: f64,
+}
+
+impl WirePoint {
+    /// Creates a wire point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Rejects non-finite coordinates.
+    pub fn validate(&self) -> Result<(), ProtoError> {
+        if !(self.x.is_finite() && self.y.is_finite()) {
+            return Err(ProtoError::InvalidRequest(format!(
+                "point ({}, {}) has non-finite coordinates",
+                self.x, self.y
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A closed axis-aligned map rectangle on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WireRect {
+    /// Low x bound.
+    pub min_x: f64,
+    /// Low y bound.
+    pub min_y: f64,
+    /// High x bound (must be ≥ `min_x`).
+    pub max_x: f64,
+    /// High y bound (must be ≥ `min_y`).
+    pub max_y: f64,
+}
+
+impl WireRect {
+    /// Creates a wire rectangle.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// Rejects non-finite bounds and non-positive extents — the same
+    /// rule `fsi_geo::Rect::new` enforces, so a rectangle that decodes
+    /// is always constructible by the service.
+    pub fn validate(&self) -> Result<(), ProtoError> {
+        let finite = [self.min_x, self.min_y, self.max_x, self.max_y]
+            .iter()
+            .all(|v| v.is_finite());
+        if !finite {
+            return Err(ProtoError::InvalidRequest(format!(
+                "rectangle [{}, {}]x[{}, {}] has non-finite bounds",
+                self.min_x, self.max_x, self.min_y, self.max_y
+            )));
+        }
+        if self.min_x >= self.max_x || self.min_y >= self.max_y {
+            return Err(ProtoError::InvalidRequest(format!(
+                "rectangle [{}, {}]x[{}, {}] must have positive extent",
+                self.min_x, self.max_x, self.min_y, self.max_y
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One served decision on the wire — the protocol twin of
+/// `fsi_serve::Decision`, field for field, so conversions are lossless
+/// and serialized floats round-trip bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionBody {
+    /// Leaf (= neighborhood) id the query point maps to.
+    pub leaf_id: usize,
+    /// Fairness group the decision is calibrated against.
+    pub group: usize,
+    /// The model's raw (uncalibrated) score.
+    pub raw_score: f64,
+    /// The locally calibrated score, clamped to `[0, 1]`.
+    pub calibrated_score: f64,
+}
+
+/// Service statistics answered to [`crate::Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Number of shards behind the service.
+    pub shards: usize,
+    /// Per-shard snapshot generation, in shard order. Strictly monotone
+    /// per shard across a client's Stats responses — hot swaps can only
+    /// raise it.
+    pub generations: Vec<u64>,
+    /// Leaves (neighborhoods) in the live index.
+    pub num_leaves: usize,
+    /// Approximate heap footprint of one live index snapshot, in bytes.
+    pub heap_bytes: usize,
+    /// Compiled backend serving lookups (`"tree"` or `"cells"`).
+    pub backend: String,
+}
+
+/// What a finished rebuild did — the body of
+/// [`crate::Response::Rebuilt`], also returned by the `fsi-serve`
+/// rebuild APIs, so the wire protocol and the library reports share one
+/// JSON representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebuildReport {
+    /// The spec the new index was built from.
+    pub spec: PipelineSpec,
+    /// Generation the new snapshot serves at (on a sharded service: the
+    /// highest generation across shards after the publish).
+    pub generation: u64,
+    /// Leaves in the new index.
+    pub num_leaves: usize,
+    /// ENCE of the retrained model over the full population.
+    pub ence: f64,
+    /// Wall-clock of partition construction inside the pipeline.
+    pub build_time: Duration,
+    /// End-to-end wall-clock: training + evaluation + compile + publish.
+    pub total_time: Duration,
+}
+
+/// Machine-readable failure category of an [`ErrorBody`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The request could not be decoded (bad JSON or shape).
+    MalformedRequest,
+    /// The envelope's protocol version is not supported.
+    UnsupportedVersion,
+    /// A query point lies outside the served map bounds.
+    OutOfBounds,
+    /// A rebuild spec failed validation.
+    InvalidSpec,
+    /// The service was built without rebuild support.
+    RebuildUnavailable,
+    /// The service failed internally (training error, …).
+    Internal,
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::MalformedRequest => "malformed_request",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::OutOfBounds => "out_of_bounds",
+            ErrorCode::InvalidSpec => "invalid_spec",
+            ErrorCode::RebuildUnavailable => "rebuild_unavailable",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The structured error every transport reports failures through.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// Creates an error body.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<&ProtoError> for ErrorBody {
+    /// The structured body a transport answers when decoding fails.
+    fn from(e: &ProtoError) -> Self {
+        let code = match e {
+            ProtoError::Json(_) => ErrorCode::MalformedRequest,
+            ProtoError::UnsupportedVersion { .. } => ErrorCode::UnsupportedVersion,
+            ProtoError::InvalidRequest(_) => ErrorCode::MalformedRequest,
+        };
+        ErrorBody::new(code, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_rect_validation() {
+        assert!(WirePoint::new(0.5, 0.5).validate().is_ok());
+        assert!(WirePoint::new(f64::NAN, 0.5).validate().is_err());
+        assert!(WirePoint::new(0.5, f64::INFINITY).validate().is_err());
+        assert!(WireRect::new(0.0, 0.0, 1.0, 1.0).validate().is_ok());
+        // Zero-extent rectangles are rejected, exactly like Rect::new.
+        assert!(WireRect::new(0.5, 0.5, 0.5, 0.5).validate().is_err());
+        assert!(WireRect::new(0.9, 0.0, 0.1, 1.0).validate().is_err());
+        assert!(WireRect::new(0.0, f64::NAN, 1.0, 1.0).validate().is_err());
+    }
+
+    #[test]
+    fn decision_body_round_trips_bit_identically() {
+        let d = DecisionBody {
+            leaf_id: 1023,
+            group: 7,
+            raw_score: 0.1 + 0.2, // deliberately not representable exactly
+            calibrated_score: f64::MIN_POSITIVE,
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DecisionBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(d.raw_score.to_bits(), back.raw_score.to_bits());
+        assert_eq!(
+            d.calibrated_score.to_bits(),
+            back.calibrated_score.to_bits()
+        );
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn error_codes_map_from_proto_errors() {
+        let e = ProtoError::UnsupportedVersion {
+            got: 3,
+            expected: 1,
+        };
+        assert_eq!(ErrorBody::from(&e).code, ErrorCode::UnsupportedVersion);
+        let e = ProtoError::Json("boom".into());
+        assert_eq!(ErrorBody::from(&e).code, ErrorCode::MalformedRequest);
+    }
+}

@@ -8,10 +8,15 @@
 
 use crate::handle::IndexHandle;
 use fsi_geo::Point;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Aggregate result of one throughput sweep.
-#[derive(Debug, Clone)]
+///
+/// Serializable, so bench artifacts and any transport that reports
+/// sweep results share the same JSON representation as the rest of the
+/// serving protocol (`Duration`s as `{secs, nanos}` objects).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputReport {
     /// Worker threads used.
     pub threads: usize,
@@ -132,6 +137,18 @@ mod tests {
         let r = sweep(&h, &points, 2, 1);
         assert_eq!(r.out_of_bounds, 1);
         assert_eq!(r.lookups, 101);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let h = handle();
+        let points = grid_points(100);
+        let r = sweep(&h, &points, 2, 1);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ThroughputReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        assert!(json.contains("\"lookups_per_sec\""));
+        assert!(json.contains("\"secs\""), "Duration as {{secs, nanos}}");
     }
 
     #[test]

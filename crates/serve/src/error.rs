@@ -40,6 +40,13 @@ pub enum ServeError {
         /// The offending coordinates.
         point: (f64, f64),
     },
+    /// A shard router was asked for a degenerate shard grid.
+    InvalidShards {
+        /// Requested shard rows.
+        rows: usize,
+        /// Requested shard columns.
+        cols: usize,
+    },
     /// The underlying pipeline run failed.
     Pipeline(PipelineError),
 }
@@ -63,6 +70,10 @@ impl fmt::Display for ServeError {
                 f,
                 "point #{index} at ({}, {}) is outside the index bounds",
                 point.0, point.1
+            ),
+            ServeError::InvalidShards { rows, cols } => write!(
+                f,
+                "shard grid must have at least one row and one column, got {rows}x{cols}"
             ),
             ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }

@@ -15,6 +15,12 @@
 //!
 //! Deployment pieces:
 //!
+//! * [`QueryService`] — dispatches every typed [`fsi_proto::Request`] to
+//!   an [`fsi_proto::Response`]; the one query surface every transport
+//!   (REPL, HTTP, future RPC) sits on.
+//! * [`ShardRouter`] — spatially partitions the served bounds over a set
+//!   of shard handles: lookups route to one shard, range queries fan out
+//!   and merge.
 //! * [`IndexHandle`] / [`IndexReader`] — lock-free reads with atomic
 //!   snapshot hot-swap (std-only `Arc` + atomics), so a rebuild never
 //!   blocks a query.
@@ -53,9 +59,13 @@ pub mod error;
 pub mod frozen;
 pub mod handle;
 pub mod rebuild;
+pub mod service;
+pub mod shard;
 
 pub use driver::{sweep, ThroughputReport};
 pub use error::ServeError;
 pub use frozen::{Decision, FrozenIndex};
 pub use handle::{IndexHandle, IndexReader};
 pub use rebuild::{build_index, compile_run, RebuildReport, Rebuilder};
+pub use service::QueryService;
+pub use shard::ShardRouter;

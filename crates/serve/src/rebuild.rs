@@ -7,7 +7,7 @@ use crate::handle::IndexHandle;
 use fsi_data::SpatialDataset;
 use fsi_pipeline::{run_spec, MethodRun, ModelSnapshot, PipelineSpec};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Builds a [`FrozenIndex`] from scratch for one [`PipelineSpec`]: runs
 /// the full training pipeline, extracts the model snapshot, and compiles
@@ -38,21 +38,11 @@ pub fn compile_run(run: &MethodRun, dataset: &SpatialDataset) -> Result<FrozenIn
 }
 
 /// What a finished rebuild did.
-#[derive(Debug, Clone)]
-pub struct RebuildReport {
-    /// The spec the new index was built from.
-    pub spec: PipelineSpec,
-    /// Generation the new snapshot serves at.
-    pub generation: u64,
-    /// Leaves in the new index.
-    pub num_leaves: usize,
-    /// ENCE of the retrained model over the full population.
-    pub ence: f64,
-    /// Wall-clock of partition construction inside the pipeline.
-    pub build_time: Duration,
-    /// End-to-end wall-clock: training + evaluation + compile + publish.
-    pub total_time: Duration,
-}
+///
+/// Lives in `fsi-proto` (as the body of a `Rebuild` response) and is
+/// re-exported here, so the wire protocol and the library rebuild APIs
+/// share one serializable representation.
+pub use fsi_proto::RebuildReport;
 
 /// Rebuilds indexes against a live [`IndexHandle`].
 ///

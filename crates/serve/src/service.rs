@@ -1,0 +1,436 @@
+//! The transport-agnostic query service: every serving surface — text
+//! REPL, HTTP, future RPC — decodes to an [`fsi_proto::Request`], calls
+//! [`QueryService::dispatch`], and encodes the returned
+//! [`fsi_proto::Response`]. Nothing else in the system answers queries.
+//!
+//! A service fronts a [`ShardRouter`]: point lookups route to exactly
+//! one shard, range queries fan out to the intersected shards and merge,
+//! stats report per-shard generations, and (when constructed with a
+//! dataset via [`QueryService::with_rebuild`]) a `Rebuild` request
+//! retrains the pipeline and hot-swaps the result into every shard.
+//!
+//! The service is **cheap to clone and single-threaded by design**:
+//! each clone owns its per-shard [`IndexReader`]s and its reusable batch
+//! buffers, while the router (and thus the live indexes) stays shared.
+//! A transport spawns one clone per worker thread and dispatches without
+//! any locking on the hot path.
+
+use crate::frozen::{Decision, FrozenIndex};
+use crate::rebuild::build_index;
+use crate::shard::ShardRouter;
+use crate::{IndexReader, RebuildReport};
+use fsi_data::SpatialDataset;
+use fsi_geo::{Point, Rect};
+use fsi_pipeline::PipelineSpec;
+use fsi_proto::{DecisionBody, ErrorCode, Request, Response, StatsBody, WirePoint};
+use std::sync::Arc;
+use std::time::Instant;
+
+impl From<Decision> for DecisionBody {
+    fn from(d: Decision) -> Self {
+        DecisionBody {
+            leaf_id: d.leaf_id,
+            group: d.group,
+            raw_score: d.raw_score,
+            calibrated_score: d.calibrated_score,
+        }
+    }
+}
+
+impl From<DecisionBody> for Decision {
+    fn from(d: DecisionBody) -> Self {
+        Decision {
+            leaf_id: d.leaf_id,
+            group: d.group,
+            raw_score: d.raw_score,
+            calibrated_score: d.calibrated_score,
+        }
+    }
+}
+
+/// Dispatches typed protocol requests against a sharded set of live
+/// indexes. See the module docs for the design.
+pub struct QueryService {
+    router: Arc<ShardRouter>,
+    readers: Vec<IndexReader>,
+    rebuild_dataset: Option<Arc<SpatialDataset>>,
+    /// Reusable scratch for batch lookups (converted query points).
+    points: Vec<Point>,
+    /// Reusable scratch for batch lookups (decisions out).
+    decisions: Vec<Decision>,
+}
+
+impl QueryService {
+    /// Creates a service over `router`, without rebuild support:
+    /// `Rebuild` requests answer a structured
+    /// [`ErrorCode::RebuildUnavailable`] error.
+    pub fn new(router: ShardRouter) -> Self {
+        Self::over(Arc::new(router), None)
+    }
+
+    /// Enables spec-driven rebuilds: a `Rebuild{spec}` request retrains
+    /// the pipeline on `dataset` and publishes the compiled index to
+    /// every shard.
+    #[must_use]
+    pub fn with_rebuild(mut self, dataset: Arc<SpatialDataset>) -> Self {
+        self.rebuild_dataset = Some(dataset);
+        self
+    }
+
+    fn over(router: Arc<ShardRouter>, rebuild_dataset: Option<Arc<SpatialDataset>>) -> Self {
+        let readers = router.handles().iter().map(|h| h.reader()).collect();
+        Self {
+            router,
+            readers,
+            rebuild_dataset,
+            points: Vec::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The router behind this service.
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.router
+    }
+
+    /// Answers one request. Never panics and never fails at the Rust
+    /// level: every failure becomes a [`Response::Error`] with a
+    /// machine-readable [`ErrorCode`], so transports can stay thin.
+    pub fn dispatch(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Lookup { x, y } => self.lookup(*x, *y),
+            Request::LookupBatch { points } => self.lookup_batch(points),
+            Request::RangeQuery { rect } => self.range_query(rect),
+            Request::Stats => self.stats(),
+            Request::Rebuild { spec } => self.rebuild(spec),
+        }
+    }
+
+    #[inline]
+    fn lookup(&mut self, x: f64, y: f64) -> Response {
+        let p = Point::new(x, y);
+        // Single-shard fast path: the index's own bounds check makes the
+        // router redundant, so the dispatch overhead over a raw
+        // `FrozenIndex::lookup` is one reader generation load plus the
+        // (boxed-slim) Response move.
+        let decision = if self.readers.len() == 1 {
+            self.readers[0].snapshot().lookup(&p)
+        } else {
+            self.router
+                .shard_of(&p)
+                .and_then(|shard| self.readers[shard].snapshot().lookup(&p))
+        };
+        match decision {
+            Some(decision) => Response::Decision {
+                decision: decision.into(),
+            },
+            None => Response::error(
+                ErrorCode::OutOfBounds,
+                format!("point ({x}, {y}) is outside the served map bounds"),
+            ),
+        }
+    }
+
+    fn lookup_batch(&mut self, points: &[WirePoint]) -> Response {
+        // Single shard: feed the whole batch through the frozen index's
+        // buffer-reusing batch path.
+        if self.router.shards() == 1 {
+            self.points.clear();
+            self.points
+                .extend(points.iter().map(|p| Point::new(p.x, p.y)));
+            let index = self.readers[0].snapshot();
+            return match index.lookup_batch(&self.points, &mut self.decisions) {
+                Ok(()) => Response::Decisions {
+                    decisions: self.decisions.iter().map(|&d| d.into()).collect(),
+                },
+                Err(e) => Response::error(ErrorCode::OutOfBounds, e.to_string()),
+            };
+        }
+        // Sharded: route point by point, reusing the decision buffer.
+        self.decisions.clear();
+        self.decisions.reserve(points.len());
+        for (index, wp) in points.iter().enumerate() {
+            let p = Point::new(wp.x, wp.y);
+            let decision = self
+                .router
+                .shard_of(&p)
+                .and_then(|shard| self.readers[shard].snapshot().lookup(&p));
+            match decision {
+                Some(d) => self.decisions.push(d),
+                None => {
+                    self.decisions.clear();
+                    return Response::error(
+                        ErrorCode::OutOfBounds,
+                        format!(
+                            "point #{index} at ({}, {}) is outside the index bounds",
+                            wp.x, wp.y
+                        ),
+                    );
+                }
+            }
+        }
+        Response::Decisions {
+            decisions: self.decisions.iter().map(|&d| d.into()).collect(),
+        }
+    }
+
+    fn range_query(&mut self, rect: &fsi_proto::WireRect) -> Response {
+        let query = match Rect::new(rect.min_x, rect.min_y, rect.max_x, rect.max_y) {
+            Ok(query) => query,
+            Err(e) => return Response::error(ErrorCode::MalformedRequest, e.to_string()),
+        };
+        let shards = self.router.covering(&query);
+        let mut ids: Vec<usize> = Vec::new();
+        for shard in shards {
+            let index = self.readers[shard].snapshot();
+            let mut shard_ids = index.range_query(&query);
+            ids.append(&mut shard_ids);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        Response::Regions { ids }
+    }
+
+    fn stats(&mut self) -> Response {
+        let generations = self.router.generations();
+        let index = self.readers[0].snapshot();
+        Response::Stats {
+            stats: Box::new(StatsBody {
+                shards: self.router.shards(),
+                generations,
+                num_leaves: index.num_leaves(),
+                heap_bytes: index.heap_bytes(),
+                backend: index.backend_name().to_string(),
+            }),
+        }
+    }
+
+    fn rebuild(&mut self, spec: &PipelineSpec) -> Response {
+        let Some(dataset) = self.rebuild_dataset.clone() else {
+            return Response::error(
+                ErrorCode::RebuildUnavailable,
+                "this service was built without a training dataset; rebuilds are disabled",
+            );
+        };
+        let started = Instant::now();
+        let (index, run) = match build_index(&dataset, spec) {
+            Ok(built) => built,
+            Err(crate::ServeError::Pipeline(fsi_pipeline::PipelineError::InvalidConfig(msg))) => {
+                return Response::error(ErrorCode::InvalidSpec, msg)
+            }
+            Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+        };
+        let num_leaves = index.num_leaves();
+        let generation = self.router.publish(index);
+        Response::Rebuilt {
+            report: Box::new(RebuildReport {
+                spec: spec.clone(),
+                generation,
+                num_leaves,
+                ence: run.eval.full.ence,
+                build_time: run.build_time,
+                total_time: started.elapsed(),
+            }),
+        }
+    }
+}
+
+impl Clone for QueryService {
+    /// Clones share the router (and thus the live, hot-swappable
+    /// indexes) but get fresh readers and empty scratch buffers — one
+    /// clone per transport worker thread.
+    fn clone(&self) -> Self {
+        Self::over(Arc::clone(&self.router), self.rebuild_dataset.clone())
+    }
+}
+
+/// Convenience: a single-shard service over a freshly frozen index.
+impl From<FrozenIndex> for QueryService {
+    fn from(index: FrozenIndex) -> Self {
+        QueryService::new(ShardRouter::single(crate::IndexHandle::new(index)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexHandle;
+    use fsi_geo::{Grid, Partition};
+    use fsi_pipeline::ModelSnapshot;
+    use fsi_proto::WireRect;
+
+    fn index() -> FrozenIndex {
+        let grid = Grid::unit(8).unwrap();
+        let partition = Partition::uniform(&grid, 2, 2).unwrap();
+        let snapshot =
+            ModelSnapshot::new(vec![0.2, 0.4, 0.6, 0.8], vec![0.0; 4], vec![0, 1, 2, 3]).unwrap();
+        FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap()
+    }
+
+    fn service(shards: (usize, usize)) -> QueryService {
+        QueryService::new(ShardRouter::new(index(), shards.0, shards.1).unwrap())
+    }
+
+    #[test]
+    fn lookup_routes_to_the_right_decision_on_any_shard_count() {
+        let reference = index();
+        for shape in [(1, 1), (2, 2), (1, 4), (3, 2)] {
+            let mut svc = service(shape);
+            for p in [(0.1, 0.1), (0.9, 0.1), (0.5, 0.5), (1.0, 1.0), (0.0, 0.9)] {
+                let expected: DecisionBody =
+                    reference.lookup(&Point::new(p.0, p.1)).unwrap().into();
+                match svc.dispatch(&Request::Lookup { x: p.0, y: p.1 }) {
+                    Response::Decision { decision } => {
+                        assert_eq!(decision, expected, "{shape:?} at {p:?}")
+                    }
+                    other => panic!("expected decision, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_lookups_answer_structured_errors() {
+        let mut svc = service((2, 2));
+        match svc.dispatch(&Request::Lookup { x: 5.0, y: 0.5 }) {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::OutOfBounds),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_matches_singles_and_reports_offending_index() {
+        for shape in [(1, 1), (2, 2)] {
+            let mut svc = service(shape);
+            let points: Vec<WirePoint> = (0..40)
+                .map(|i| WirePoint::new((i as f64 * 0.13) % 1.0, (i as f64 * 0.37) % 1.0))
+                .collect();
+            let Response::Decisions { decisions } = svc.dispatch(&Request::LookupBatch {
+                points: points.clone(),
+            }) else {
+                panic!("expected decisions");
+            };
+            assert_eq!(decisions.len(), points.len());
+            for (p, d) in points.iter().zip(&decisions) {
+                match svc.dispatch(&Request::Lookup { x: p.x, y: p.y }) {
+                    Response::Decision { decision } => assert_eq!(decision, *d),
+                    other => panic!("expected decision, got {other:?}"),
+                }
+            }
+            let mut bad = points.clone();
+            bad[17] = WirePoint::new(9.0, 9.0);
+            match svc.dispatch(&Request::LookupBatch { points: bad }) {
+                Response::Error { error } => {
+                    assert_eq!(error.code, ErrorCode::OutOfBounds);
+                    assert!(error.message.contains("17"), "{}", error.message);
+                }
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_merges_shards_to_the_single_index_answer() {
+        let reference = index();
+        for shape in [(1, 1), (2, 2), (4, 1)] {
+            let mut svc = service(shape);
+            for rect in [
+                WireRect::new(0.0, 0.0, 1.0, 1.0),
+                WireRect::new(0.1, 0.1, 0.2, 0.2),
+                WireRect::new(0.1, 0.1, 0.9, 0.2),
+                WireRect::new(2.0, 2.0, 3.0, 3.0),
+            ] {
+                let query = Rect::new(rect.min_x, rect.min_y, rect.max_x, rect.max_y).unwrap();
+                let expected = reference.range_query(&query);
+                match svc.dispatch(&Request::RangeQuery { rect }) {
+                    Response::Regions { ids } => assert_eq!(ids, expected, "{shape:?} {rect:?}"),
+                    other => panic!("expected regions, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_shards_generations_and_footprint() {
+        let mut svc = service((2, 2));
+        let Response::Stats { stats } = svc.dispatch(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.generations, vec![1, 1, 1, 1]);
+        assert_eq!(stats.num_leaves, 4);
+        assert_eq!(stats.backend, "cells");
+        assert!(stats.heap_bytes > 0);
+    }
+
+    #[test]
+    fn rebuild_without_a_dataset_is_a_structured_error() {
+        let mut svc = service((1, 1));
+        let spec = PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::MedianKd,
+            2,
+        );
+        match svc.dispatch(&Request::Rebuild { spec }) {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::RebuildUnavailable),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebuild_with_a_dataset_publishes_to_every_shard() {
+        let dataset =
+            fsi_data::synth::city::CityGenerator::new(fsi_data::synth::city::CityConfig {
+                n_individuals: 200,
+                grid_side: 8,
+                seed: 5,
+                ..Default::default()
+            })
+            .unwrap()
+            .generate()
+            .unwrap();
+        let mut svc = QueryService::new(ShardRouter::new(index(), 2, 2).unwrap())
+            .with_rebuild(Arc::new(dataset));
+        let spec = PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::MedianKd,
+            3,
+        );
+        let Response::Rebuilt { report } = svc.dispatch(&Request::Rebuild { spec: spec.clone() })
+        else {
+            panic!("expected rebuild report");
+        };
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.spec, spec);
+        assert_eq!(report.num_leaves, 8);
+        assert_eq!(svc.router().generations(), vec![2, 2, 2, 2]);
+        // Invalid specs come back as structured spec errors.
+        let bad = PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::FairKd,
+            0,
+        );
+        match svc.dispatch(&Request::Rebuild { spec: bad }) {
+            Response::Error { error } => {
+                assert_eq!(error.code, ErrorCode::InvalidSpec);
+                assert!(error.message.contains("height"), "{}", error.message);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clones_share_swaps_but_not_buffers() {
+        let handle = IndexHandle::new(index());
+        let svc = QueryService::new(ShardRouter::single(handle.clone()));
+        let mut a = svc.clone();
+        let mut b = svc;
+        handle.publish(index());
+        for svc in [&mut a, &mut b] {
+            let Response::Stats { stats } = svc.dispatch(&Request::Stats) else {
+                panic!("expected stats");
+            };
+            assert_eq!(stats.generations, vec![2]);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Spatial shard routing: partition the served bounding rectangle into
+//! a `rows × cols` grid of shards, each backed by its own hot-swappable
+//! [`IndexHandle`].
+//!
+//! On one machine every shard serves a replica of the same compiled
+//! index, so routing is a load-distribution (and, later, a
+//! multi-machine placement) concern, never a correctness one: a
+//! [`crate::QueryService`] in front of a router answers bit-identically
+//! to a single [`crate::FrozenIndex`] — the differential transport
+//! tests assert exactly that. Point lookups route to exactly one shard;
+//! range queries fan out to every shard whose sub-rectangle intersects
+//! the query and merge the results.
+
+use crate::error::ServeError;
+use crate::frozen::FrozenIndex;
+use crate::handle::IndexHandle;
+use fsi_geo::{Point, Rect};
+
+/// A spatial partition of the served bounding rectangle over a set of
+/// [`IndexHandle`] shards.
+///
+/// Cheap to share: the router itself is immutable after construction
+/// (the *handles* hot-swap internally), so transports keep it behind an
+/// `Arc` and hammer it from as many threads as they like.
+pub struct ShardRouter {
+    bounds: Rect,
+    rows: usize,
+    cols: usize,
+    /// Cached `cols / width` and `rows / height`, so the routing hot
+    /// path multiplies instead of dividing.
+    inv_w: f64,
+    inv_h: f64,
+    handles: Vec<IndexHandle>,
+}
+
+impl ShardRouter {
+    /// A 1×1 router over an existing handle — the common single-shard
+    /// deployment, sharing hot-swaps with every other user of `handle`.
+    pub fn single(handle: IndexHandle) -> Self {
+        let bounds = *handle.load().bounds();
+        Self {
+            bounds,
+            rows: 1,
+            cols: 1,
+            inv_w: 1.0 / bounds.width(),
+            inv_h: 1.0 / bounds.height(),
+            handles: vec![handle],
+        }
+    }
+
+    /// Builds a `rows × cols` router where every shard starts from a
+    /// replica of `index`. Rejects degenerate shard grids.
+    pub fn new(index: FrozenIndex, rows: usize, cols: usize) -> Result<Self, ServeError> {
+        if rows == 0 || cols == 0 {
+            return Err(ServeError::InvalidShards { rows, cols });
+        }
+        let bounds = *index.bounds();
+        let mut handles = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols - 1 {
+            handles.push(IndexHandle::new(index.clone()));
+        }
+        handles.push(IndexHandle::new(index));
+        Ok(Self {
+            bounds,
+            rows,
+            cols,
+            inv_w: cols as f64 / bounds.width(),
+            inv_h: rows as f64 / bounds.height(),
+            handles,
+        })
+    }
+
+    /// Number of shards (`rows × cols`).
+    pub fn shards(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Shard grid shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The bounding rectangle the shards partition.
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    /// The shard handles, row-major.
+    pub fn handles(&self) -> &[IndexHandle] {
+        &self.handles
+    }
+
+    /// The shard owning `p`, or `None` when the point is non-finite or
+    /// outside the bounds. Uses the same closed-bounds floor-and-clamp
+    /// semantics as `Grid::cell_of`, so every in-bounds point routes to
+    /// exactly one shard.
+    pub fn shard_of(&self, p: &Point) -> Option<usize> {
+        if !p.is_finite() || !self.bounds.contains(p) {
+            return None;
+        }
+        let fx = (p.x - self.bounds.min_x) * self.inv_w;
+        let fy = (p.y - self.bounds.min_y) * self.inv_h;
+        let col = (fx as usize).min(self.cols - 1);
+        let row = (fy as usize).min(self.rows - 1);
+        Some(row * self.cols + col)
+    }
+
+    /// Every shard whose sub-rectangle intersects the closed `query`,
+    /// ascending; empty when the query is non-finite or misses the
+    /// bounds entirely.
+    pub fn covering(&self, query: &Rect) -> Vec<usize> {
+        let finite = [query.min_x, query.min_y, query.max_x, query.max_y]
+            .iter()
+            .all(|v| v.is_finite());
+        if !finite {
+            return Vec::new();
+        }
+        let b = &self.bounds;
+        let lo = Point::new(query.min_x.max(b.min_x), query.min_y.max(b.min_y));
+        let hi = Point::new(query.max_x.min(b.max_x), query.max_y.min(b.max_y));
+        if lo.x > hi.x || lo.y > hi.y {
+            return Vec::new();
+        }
+        let (lo, hi) = match (self.shard_of(&lo), self.shard_of(&hi)) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => return Vec::new(),
+        };
+        let (row_lo, col_lo) = (lo / self.cols, lo % self.cols);
+        let (row_hi, col_hi) = (hi / self.cols, hi % self.cols);
+        let mut out = Vec::with_capacity((row_hi - row_lo + 1) * (col_hi - col_lo + 1));
+        for row in row_lo..=row_hi {
+            for col in col_lo..=col_hi {
+                out.push(row * self.cols + col);
+            }
+        }
+        out
+    }
+
+    /// Publishes a replica of `index` to every shard and returns the
+    /// highest resulting generation. Shards are published in order, so
+    /// a concurrent reader may briefly observe mixed generations across
+    /// shards — but each *individual* shard's generation only ever
+    /// rises.
+    pub fn publish(&self, index: FrozenIndex) -> u64 {
+        let mut newest = 0;
+        let last = self.handles.len() - 1;
+        for handle in &self.handles[..last] {
+            let (generation, _old) = handle.publish(index.clone());
+            newest = newest.max(generation);
+        }
+        // The last shard takes ownership instead of cloning.
+        let (generation, _old) = self.handles[last].publish(index);
+        newest.max(generation)
+    }
+
+    /// Per-shard snapshot generations, in shard order.
+    pub fn generations(&self) -> Vec<u64> {
+        self.handles.iter().map(IndexHandle::generation).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_geo::{Grid, Partition};
+    use fsi_pipeline::ModelSnapshot;
+
+    fn index(raw: f64) -> FrozenIndex {
+        let grid = Grid::unit(8).unwrap();
+        let partition = Partition::uniform(&grid, 2, 2).unwrap();
+        let snapshot = ModelSnapshot::uniform(4, raw).unwrap();
+        FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_the_shard_grid() {
+        assert!(matches!(
+            ShardRouter::new(index(0.5), 0, 3),
+            Err(ServeError::InvalidShards { .. })
+        ));
+        assert!(matches!(
+            ShardRouter::new(index(0.5), 2, 0),
+            Err(ServeError::InvalidShards { .. })
+        ));
+        let r = ShardRouter::new(index(0.5), 2, 3).unwrap();
+        assert_eq!(r.shards(), 6);
+        assert_eq!(r.shape(), (2, 3));
+    }
+
+    #[test]
+    fn every_in_bounds_point_routes_to_exactly_one_shard() {
+        let r = ShardRouter::new(index(0.5), 2, 2).unwrap();
+        // Quadrant interiors.
+        assert_eq!(r.shard_of(&Point::new(0.25, 0.25)), Some(0));
+        assert_eq!(r.shard_of(&Point::new(0.75, 0.25)), Some(1));
+        assert_eq!(r.shard_of(&Point::new(0.25, 0.75)), Some(2));
+        assert_eq!(r.shard_of(&Point::new(0.75, 0.75)), Some(3));
+        // Boundaries follow floor semantics; max edges clamp inward.
+        assert_eq!(r.shard_of(&Point::new(0.5, 0.5)), Some(3));
+        assert_eq!(r.shard_of(&Point::new(1.0, 1.0)), Some(3));
+        assert_eq!(r.shard_of(&Point::new(0.0, 0.0)), Some(0));
+        // Outside / non-finite.
+        assert_eq!(r.shard_of(&Point::new(1.5, 0.5)), None);
+        assert_eq!(r.shard_of(&Point::new(f64::NAN, 0.5)), None);
+    }
+
+    #[test]
+    fn covering_fans_out_to_intersected_shards_only() {
+        let r = ShardRouter::new(index(0.5), 2, 2).unwrap();
+        assert_eq!(r.covering(&Rect::unit()), vec![0, 1, 2, 3]);
+        let sw = Rect::new(0.1, 0.1, 0.4, 0.4).unwrap();
+        assert_eq!(r.covering(&sw), vec![0]);
+        let bottom = Rect::new(0.1, 0.1, 0.9, 0.4).unwrap();
+        assert_eq!(r.covering(&bottom), vec![0, 1]);
+        // Queries poking past the bounds clamp; disjoint ones vanish.
+        let spill = Rect::new(0.6, 0.6, 9.0, 9.0).unwrap();
+        assert_eq!(r.covering(&spill), vec![3]);
+        assert!(r
+            .covering(&Rect::new(2.0, 2.0, 3.0, 3.0).unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn publish_raises_every_shard_generation() {
+        let r = ShardRouter::new(index(0.25), 2, 2).unwrap();
+        assert_eq!(r.generations(), vec![1, 1, 1, 1]);
+        let newest = r.publish(index(0.75));
+        assert_eq!(newest, 2);
+        assert_eq!(r.generations(), vec![2, 2, 2, 2]);
+        for h in r.handles() {
+            let d = h.load().lookup(&Point::new(0.1, 0.1)).unwrap();
+            assert!((d.raw_score - 0.75).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_router_shares_the_callers_handle() {
+        let handle = IndexHandle::new(index(0.25));
+        let r = ShardRouter::single(handle.clone());
+        assert_eq!(r.shards(), 1);
+        handle.publish(index(0.9));
+        assert_eq!(r.generations(), vec![2]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Quickstart for the HTTP serving transport: train a fair index, bind
+//! the std-only HTTP/1.1 JSON listener, and (in smoke mode) round-trip
+//! the whole protocol through a real TCP client.
+//!
+//! ```sh
+//! # Serve the LA preset on a fixed port until ctrl-c:
+//! cargo run --release -p fsi --example http_server -- 127.0.0.1:7878
+//!
+//! # CI smoke mode: ephemeral port, in-process client, exits nonzero on
+//! # any failed round-trip:
+//! cargo run --release -p fsi --example http_server -- --smoke
+//! ```
+//!
+//! Query it with any HTTP client, one request envelope per POST:
+//!
+//! ```sh
+//! curl -s -d '{"v":1,"body":{"Lookup":{"x":0.31,"y":0.72}}}' http://127.0.0.1:7878/query
+//! curl -s -d '{"v":1,"body":{"RangeQuery":{"rect":{"min_x":0.2,"min_y":0.2,"max_x":0.4,"max_y":0.4}}}}' http://127.0.0.1:7878/query
+//! curl -s -d '{"v":1,"body":"Stats"}' http://127.0.0.1:7878/query
+//! ```
+
+use fsi::{HttpClient, Method, Pipeline, Request, Response, TaskSpec, WirePoint, WireRect};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    // Smoke mode shrinks the dataset so CI finishes in seconds.
+    let dataset = if smoke {
+        fsi_data::synth::city::CityGenerator::new(fsi_data::synth::city::CityConfig {
+            n_individuals: 300,
+            grid_side: 16,
+            seed: 7,
+            ..Default::default()
+        })?
+        .generate()?
+    } else {
+        fsi_data::synth::edgap::generate_los_angeles()?
+    };
+
+    let serving = Pipeline::on(&dataset)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(if smoke { 4 } else { 10 })
+        .run()?
+        .serve()?;
+
+    let addr = if smoke {
+        "127.0.0.1:0".to_string() // ephemeral: never collides in CI
+    } else {
+        args.first()
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string())
+    };
+    let server = serving.listen(&addr as &str)?;
+    println!(
+        "serving {} neighborhoods at http://{} (POST a request envelope to /query)",
+        serving.handle().load().num_leaves(),
+        server.addr()
+    );
+
+    if smoke {
+        return smoke_round_trip(&server);
+    }
+
+    println!("examples:");
+    println!(
+        "  {}",
+        fsi::encode_request(&Request::Lookup { x: 0.31, y: 0.72 })
+    );
+    println!("  {}", fsi::encode_request(&Request::Stats));
+    println!("ctrl-c to stop");
+    // Serve until the process is killed; the listener threads do the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// The CI smoke: one client, every request kind, hard failure on any
+/// non-2xx status or unexpected response shape.
+fn smoke_round_trip(server: &fsi::HttpServer) -> Result<(), Box<dyn std::error::Error>> {
+    let mut client = HttpClient::connect(server.addr())?;
+
+    let Response::Decision { decision } = client.call(&Request::Lookup { x: 0.31, y: 0.72 })?
+    else {
+        return Err("lookup did not answer a decision".into());
+    };
+    println!(
+        "lookup   -> leaf {} calibrated {:.4}",
+        decision.leaf_id, decision.calibrated_score
+    );
+
+    let Response::Decisions { decisions } = client.call(&Request::LookupBatch {
+        points: (0..64)
+            .map(|i| WirePoint::new((i as f64 + 0.5) / 64.0, ((i * 7) % 64) as f64 / 64.0))
+            .collect(),
+    })?
+    else {
+        return Err("batch did not answer decisions".into());
+    };
+    println!("batch    -> {} decisions", decisions.len());
+
+    let Response::Regions { ids } = client.call(&Request::RangeQuery {
+        rect: WireRect::new(0.2, 0.2, 0.6, 0.6),
+    })?
+    else {
+        return Err("range query did not answer regions".into());
+    };
+    println!("range    -> {} neighborhoods", ids.len());
+
+    let Response::Stats { stats } = client.call(&Request::Stats)? else {
+        return Err("stats did not answer stats".into());
+    };
+    println!(
+        "stats    -> gen {:?}, {} leaves, {} B, {} backend",
+        stats.generations, stats.num_leaves, stats.heap_bytes, stats.backend
+    );
+
+    // An application-level error must still be a 2xx protocol exchange.
+    let Response::Error { error } = client.call(&Request::Lookup { x: 9.0, y: 9.0 })? else {
+        return Err("out-of-bounds lookup did not answer an error body".into());
+    };
+    println!("oob      -> {}: {}", error.code, error.message);
+
+    println!("smoke ok");
+    Ok(())
+}

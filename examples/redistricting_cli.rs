@@ -9,8 +9,10 @@
 //!
 //! Serve mode loads `reports/partition.json` (building it first if
 //! absent), retrains the final model for those boundaries, compiles a
-//! `FrozenIndex`, and answers point queries from stdin via `fsi::repl`
-//! (malformed lines get an `error:` response; the loop never dies).
+//! `FrozenIndex`, wires it into a `QueryService`, and answers queries
+//! from stdin via `fsi::repl` — the same typed protocol the HTTP
+//! transport speaks, as a line-oriented text surface (malformed lines
+//! get an `error:` response; the loop never dies).
 //!
 //! ```sh
 //! cargo run --release -p fsi --example redistricting_cli -- [CSV_PATH] [METHOD] [HEIGHT]
@@ -18,18 +20,23 @@
 //! # HEIGHT: tree height (default 6)
 //!
 //! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH]
-//! # then on stdin:   X Y         → one decision per line
-//! #                  rect X0 Y0 X1 Y1 → neighborhoods touching the box
+//! # then on stdin:   X Y                  → one decision per line
+//! #                  batch X1 Y1 X2 Y2 …  → batched decisions
+//! #                  rect X0 Y0 X1 Y1     → neighborhoods touching the box
+//! #                  stats                → generations / size / backend
+//! #                  rebuild <spec JSON>  → retrain + hot-swap
 //! ```
 
 use fsi::{
-    repl, snapshot_for_partition, FrozenIndex, Method, Partition, Pipeline, Run, RunConfig,
-    TaskSpec,
+    repl, snapshot_for_partition, FrozenIndex, Method, Partition, Pipeline, QueryService, Run,
+    RunConfig, ShardRouter, TaskSpec,
 };
 use fsi_data::synth::edgap::generate_los_angeles;
 use fsi_data::SpatialDataset;
 use fsi_geo::{Grid, Rect};
+use fsi_serve::IndexHandle;
 use std::io::BufReader;
+use std::sync::Arc;
 
 const PARTITION_PATH: &str = "reports/partition.json";
 
@@ -150,7 +157,7 @@ fn serve(dataset: &SpatialDataset) -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let index = FrozenIndex::from_partition(&partition, grid, &snapshot)?;
-    let b = index.bounds();
+    let b = *index.bounds();
     println!(
         "serving {} neighborhoods over [{}, {}]×[{}, {}] ({} backend, {} B working set, ENCE {:.4})",
         index.num_leaves(),
@@ -162,11 +169,18 @@ fn serve(dataset: &SpatialDataset) -> Result<(), Box<dyn std::error::Error>> {
         index.heap_bytes(),
         ence,
     );
-    println!("query format: `X Y` or `rect X0 Y0 X1 Y1`; EOF (ctrl-d) exits");
+    println!(
+        "query format: `X Y`, `batch X1 Y1 …`, `rect X0 Y0 X1 Y1`, `stats`, \
+         `rebuild <spec JSON>`; EOF (ctrl-d) exits"
+    );
 
+    // The text REPL is a thin transport over the same QueryService the
+    // HTTP listener uses; rebuilds retrain on this dataset.
+    let mut service = QueryService::new(ShardRouter::single(IndexHandle::new(index)))
+        .with_rebuild(Arc::new(dataset.clone()));
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
-    let stats = repl::serve_queries(&index, stdin.lock(), &mut stdout)?;
+    let stats = repl::serve_queries(&mut service, stdin.lock(), &mut stdout)?;
     eprintln!(
         "served {} queries ({} answered with errors)",
         stats.answered + stats.errors,

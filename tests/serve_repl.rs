@@ -1,10 +1,10 @@
-//! The `redistricting_cli serve` query protocol, driven through a real
+//! The `redistricting_cli serve` text transport, driven through a real
 //! OS pipe: malformed stdin lines must produce `error:` response lines —
 //! never a panic, never a dead loop — and well-formed queries around
-//! them must still be answered.
+//! them must still be answered through the typed `QueryService`.
 
 use fsi::repl::{answer_line, serve_queries};
-use fsi::{Method, Pipeline, TaskSpec};
+use fsi::{Method, Pipeline, QueryService, TaskSpec};
 use fsi_data::synth::city::{CityConfig, CityGenerator};
 use fsi_data::SpatialDataset;
 use std::io::{BufReader, Write};
@@ -37,7 +37,7 @@ fn frozen() -> fsi::FrozenIndex {
 /// as stdin — while a writer thread feeds a hostile query mix.
 #[test]
 fn malformed_lines_through_a_pipe_get_error_responses_not_panics() {
-    let index = frozen();
+    let mut service = QueryService::from(frozen());
     let (reader, mut writer) = std::io::pipe().expect("os pipe");
 
     let feeder = std::thread::spawn(move || {
@@ -51,42 +51,77 @@ fn malformed_lines_through_a_pipe_get_error_responses_not_panics() {
         writer.write_all(b"\n").unwrap(); // blank: no response owed
         writer.write_all(b"42 42\n").unwrap(); // out of bounds
         writer.write_all(b"rect 0.1 0.1 0.9 0.9\n").unwrap();
+        writer.write_all(b"batch 0.25 0.75 0.75 0.25\n").unwrap();
+        writer.write_all(b"stats\n").unwrap();
         writer.write_all(b"0.25 0.75\n").unwrap();
         // writer drops here -> EOF ends the session cleanly.
     });
 
     let mut out = Vec::new();
-    let stats = serve_queries(&index, BufReader::new(reader), &mut out).expect("loop survives");
+    let stats =
+        serve_queries(&mut service, BufReader::new(reader), &mut out).expect("loop survives");
     feeder.join().unwrap();
 
     let text = String::from_utf8(out).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    // 10 non-blank inputs -> 10 responses, in order.
-    assert_eq!(lines.len(), 10, "{text}");
+    // 12 non-blank inputs -> 12 responses, in order.
+    assert_eq!(lines.len(), 12, "{text}");
     assert!(lines[0].starts_with("leaf="), "{}", lines[0]);
     for (i, line) in lines.iter().enumerate().take(7).skip(1) {
         assert!(line.starts_with("error:"), "line {i}: {line}");
     }
     assert!(lines[7].starts_with("error:"), "{}", lines[7]); // out of bounds
     assert!(lines[8].starts_with("neighborhoods:"), "{}", lines[8]);
-    assert!(lines[9].starts_with("leaf="), "{}", lines[9]);
-    assert_eq!(stats.answered, 3);
+    assert!(lines[9].starts_with("decisions:"), "{}", lines[9]);
+    assert!(lines[10].starts_with("stats:"), "{}", lines[10]);
+    assert!(lines[11].starts_with("leaf="), "{}", lines[11]);
+    assert_eq!(stats.answered, 5);
     assert_eq!(stats.errors, 7);
 }
 
-/// Point answers carry the exact decision the index computes.
+/// Point answers carry the exact decision the index computes, at full
+/// float precision (the text transport is bit-faithful).
 #[test]
 fn point_answers_match_direct_lookups() {
     let index = frozen();
+    let mut service = QueryService::from(index.clone());
     for (x, y) in [(0.1, 0.2), (0.5, 0.5), (0.99, 0.01)] {
         let d = index.lookup(&fsi::Point::new(x, y)).unwrap();
-        let line = answer_line(&index, &format!("{x} {y}")).unwrap();
+        let line = answer_line(&mut service, &format!("{x} {y}")).unwrap();
         assert_eq!(
             line,
             format!(
-                "leaf={} group={} raw={:.4} calibrated={:.4}",
+                "leaf={} group={} raw={} calibrated={}",
                 d.leaf_id, d.group, d.raw_score, d.calibrated_score
             )
         );
     }
+}
+
+/// A `rebuild <spec JSON>` line retrains and hot-swaps through the text
+/// transport, and the swap is visible in subsequent `stats` lines.
+#[test]
+fn rebuild_line_retrains_and_bumps_the_generation() {
+    let d = dataset();
+    let serving = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(2)
+        .run()
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut service = serving.service();
+    let before = answer_line(&mut service, "stats").unwrap();
+    assert!(before.contains("generations=[1]"), "{before}");
+
+    let spec = fsi::PipelineSpec::new(TaskSpec::act(), Method::MedianKd, 3);
+    let line = format!("rebuild {}", serde_json::to_string(&spec).unwrap());
+    let answer = answer_line(&mut service, &line).unwrap();
+    assert!(answer.starts_with("rebuilt: generation=2"), "{answer}");
+
+    let after = answer_line(&mut service, "stats").unwrap();
+    assert!(after.contains("generations=[2]"), "{after}");
+    assert!(after.contains("leaves=8"), "{after}");
+    // The swap went through the shared handle: Serving sees it too.
+    assert_eq!(serving.handle().generation(), 2);
 }

@@ -423,6 +423,32 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+impl Serialize for std::time::Duration {
+    /// Matches real serde's representation: `{"secs": u64, "nanos": u32}`.
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos().into())),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", value.kind())))?;
+        let secs = u64::from_value(get_field(entries, "secs")?)?;
+        let nanos = u32::from_value(get_field(entries, "nanos")?)?;
+        if nanos >= 1_000_000_000 {
+            return Err(Error::custom(format!(
+                "duration nanos {nanos} out of range (must be < 1e9)"
+            )));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
@@ -450,5 +476,43 @@ impl Deserialize for () {
                 other.kind()
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn duration_round_trips_like_real_serde() {
+        for d in [
+            Duration::ZERO,
+            Duration::from_nanos(1),
+            Duration::new(u64::MAX, 999_999_999),
+            Duration::from_micros(1234),
+        ] {
+            let v = d.to_value();
+            assert_eq!(
+                v,
+                Value::Object(vec![
+                    ("secs".into(), Value::U64(d.as_secs())),
+                    ("nanos".into(), Value::U64(d.subsec_nanos().into())),
+                ])
+            );
+            assert_eq!(Duration::from_value(&v).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn duration_rejects_malformed_values() {
+        assert!(Duration::from_value(&Value::U64(5)).is_err());
+        let overflow = Value::Object(vec![
+            ("secs".into(), Value::U64(0)),
+            ("nanos".into(), Value::U64(1_000_000_000)),
+        ]);
+        assert!(Duration::from_value(&overflow).is_err());
+        let missing = Value::Object(vec![("secs".into(), Value::U64(0))]);
+        assert!(Duration::from_value(&missing).is_err());
     }
 }

@@ -141,12 +141,18 @@ fn write_float(out: &mut String, x: f64) {
     }
 }
 
+/// Escapes exactly like real `serde_json`: the two mandatory escapes
+/// (`"` and `\`), shorthand escapes for the five named control
+/// characters, `\u00XX` for the remaining C0 controls, and everything
+/// else — including DEL and all non-ASCII — emitted verbatim as UTF-8.
 fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
@@ -455,6 +461,109 @@ mod tests {
             out
         };
         assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+
+    /// Serialize-then-parse of a `&str`, via the public API the wire
+    /// protocol uses.
+    fn string_round_trip(s: &str) -> String {
+        let json = to_string(s).unwrap();
+        from_str::<String>(&json).unwrap()
+    }
+
+    #[test]
+    fn every_control_character_escapes_and_round_trips() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let s = format!("a{c}b");
+            let json = to_string(&s).unwrap();
+            // RFC 8259: raw control characters must never appear in a
+            // JSON string.
+            assert!(
+                json.chars().all(|c| c as u32 >= 0x20),
+                "raw control char in {json:?}"
+            );
+            assert_eq!(from_str::<String>(&json).unwrap(), s, "code {code:#x}");
+        }
+        // The five named shorthands, exactly as real serde_json emits them.
+        assert_eq!(to_string("\u{8}\u{c}\n\r\t").unwrap(), r#""\b\f\n\r\t""#);
+        // Remaining C0 controls use \u00XX.
+        assert_eq!(to_string("\u{1}\u{1f}").unwrap(), "\"\\u0001\\u001f\"");
+        // DEL (0x7f) is not a C0 control: emitted raw, like real serde_json.
+        assert_eq!(to_string("\u{7f}").unwrap(), "\"\u{7f}\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_escape() {
+        assert_eq!(to_string(r#"a"b\c"#).unwrap(), r#""a\"b\\c""#);
+        assert_eq!(string_round_trip(r#"\\""#), r#"\\""#);
+        // A backslash right before a quote must not eat the terminator.
+        assert_eq!(string_round_trip("ends with \\"), "ends with \\");
+    }
+
+    #[test]
+    fn non_ascii_round_trips_verbatim() {
+        for s in [
+            "café",
+            "日本語のテキスト",
+            "emoji \u{1F600}\u{1F680} pair",
+            "mixed\n日本\t\"quote\" \u{1}",
+            "\u{10FFFF}\u{FFFD}",
+        ] {
+            assert_eq!(string_round_trip(s), s);
+            // Non-ASCII is emitted as raw UTF-8, not \u escapes.
+            let json = to_string(s).unwrap();
+            if s.is_ascii() {
+                continue;
+            }
+            assert!(
+                !json.contains("\\u") || s.contains('\u{1}'),
+                "unexpected \\u escapes in {json:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unicode_escape_parsing_covers_bmp_and_astral() {
+        // BMP escape, lowercase and uppercase hex digits.
+        assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+        assert_eq!(from_str::<String>("\"\\u00E9\"").unwrap(), "é");
+        // Astral plane via a surrogate pair.
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
+        // Escaped and raw spellings of the same text are equal.
+        assert_eq!(
+            from_str::<String>("\"caf\\u00e9\"").unwrap(),
+            from_str::<String>("\"café\"").unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_escapes_are_rejected() {
+        for bad in [
+            r#""\u12""#,      // truncated
+            r#""\uZZZZ""#,    // non-hex
+            r#""\ud83d""#,    // lone high surrogate
+            r#""\ud83d\n""#,  // high surrogate followed by non-\u escape
+            r#""\ud83dA""#,   // high surrogate + invalid low surrogate
+            r#""\ude00""#,    // lone low surrogate (invalid char::from_u32)
+            r#""\x41""#,      // not a JSON escape
+            "\"unterminated", // no closing quote
+        ] {
+            assert!(from_str::<String>(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn escaped_keys_round_trip_in_objects() {
+        let v = Value::Object(vec![(
+            "line\nbreak \"quoted\" ключ".to_string(),
+            Value::Bool(true),
+        )]);
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0);
+        assert_eq!(parse_value(&out).unwrap(), v);
     }
 
     #[test]
