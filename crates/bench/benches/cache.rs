@@ -1,0 +1,12 @@
+//! `cargo bench` harness for the decision-cache suite at full size; the
+//! measurement code lives in [`fsi_bench::suites::cache`].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{cache, Profile};
+
+fn benches_full(c: &mut Criterion) {
+    cache::register(c, &Profile::full());
+}
+
+criterion_group!(benches, benches_full);
+criterion_main!(benches);

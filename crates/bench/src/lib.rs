@@ -1,6 +1,6 @@
 //! # fsi-bench — benchmark fixtures, suites, and the perf-gate runner
 //!
-//! The measurement code for all six suites lives in [`suites`], driven
+//! The measurement code for all seven suites lives in [`suites`], driven
 //! from two entry points:
 //!
 //! * the classic per-suite `cargo bench` harnesses in `benches/*.rs`;
@@ -22,6 +22,9 @@
 //!   multi-threaded driver scaling.
 //! * [`suites::proto`] — the typed query protocol: wire encode/decode,
 //!   `QueryService` dispatch overhead, and HTTP loopback throughput.
+//! * [`suites::cache`] — the LRU decision cache in front of the
+//!   service: cold, hot and Zipf-skewed dispatch throughput plus the
+//!   uncached twin the ≥ 3x acceptance bar divides against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

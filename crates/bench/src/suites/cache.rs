@@ -1,0 +1,185 @@
+//! The decision-cache suite: `QueryService` dispatch throughput with an
+//! LRU decision cache in front of the index, across the three workload
+//! regimes that bound it:
+//!
+//! * `cache_cold_x{N}` — a cyclic scan over twice the cache capacity's
+//!   worth of distinct cells: every lookup misses and evicts, so this is
+//!   the worst-case miss-path overhead (full lookup + cache bookkeeping).
+//! * `cache_hot_x{N}` — all queries land on 16 hot cells with ample
+//!   capacity: the pure hit path (~100% hit rate).
+//! * `cache_zipf_x{N}` — a Zipf(s = 1.5) skew over every grid cell with
+//!   capacity for only a quarter of them: the realistic regime the
+//!   acceptance bar is checked against (≥ 90% hit rate, ≥ 3x the
+//!   uncached `proto` suite's `dispatch_lookup_x{N}`).
+//! * `uncached_zipf_x{N}` — the identical Zipf point sequence through an
+//!   uncached service: the in-suite denominator for the 3x comparison.
+//!
+//! All point sequences (including the Zipf CDF sampling) are generated
+//! before measurement; iterations only dispatch.
+
+use super::Profile;
+use crate::bench_dataset;
+use criterion::{black_box, Criterion};
+use fsi::{CacheSpec, Method, Pipeline, QueryService, Request, Response, TaskSpec};
+use fsi_geo::{Grid, Point};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The centroid of grid cell `cell` (row-major), the point form every
+/// cache workload queries — decisions are constant within a cell, so
+/// centroids exercise the cache without boundary ambiguity.
+fn centroid(grid: &Grid, cell: usize) -> Point {
+    let b = grid.bounds();
+    let (cols, rows) = (grid.cols(), grid.rows());
+    let (col, row) = (cell % cols, cell / cols);
+    Point::new(
+        b.min_x + (col as f64 + 0.5) / cols as f64 * b.width(),
+        b.min_y + (row as f64 + 0.5) / rows as f64 * b.height(),
+    )
+}
+
+/// `n` cell centroids drawn Zipf(s)-skewed over all `rows × cols` cells,
+/// with ranks scattered spatially (odd-multiplier permutation) so the
+/// hot set is not one contiguous block. Sampling walks a precomputed
+/// CDF; nothing here runs inside the measured loop.
+fn zipf_points(grid: &Grid, n: usize, s: f64, seed: u64) -> Vec<Point> {
+    let cells = grid.rows() * grid.cols();
+    let mut cdf = Vec::with_capacity(cells);
+    let mut acc = 0.0f64;
+    for rank in 1..=cells {
+        acc += (rank as f64).powf(-s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u = rng.random::<f64>() * total;
+            let rank = cdf.partition_point(|&c| c < u);
+            // Odd multiplier → a permutation of the (power-of-two-sided)
+            // cell count, scattering consecutive ranks across the map.
+            let cell = rank.wrapping_mul(0x9E37_79B1) % cells;
+            centroid(grid, cell)
+        })
+        .collect()
+}
+
+/// Dispatches every point through `service` once per iteration, the
+/// same accumulation shape as the proto suite's `dispatch_lookup_x{N}`.
+fn bench_dispatch(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    id: String,
+    service: &mut QueryService,
+    points: &[Point],
+) {
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in points {
+                match service.dispatch(&Request::Lookup { x: q.x, y: q.y }) {
+                    Response::Decision { decision } => acc = acc.wrapping_add(decision.leaf_id),
+                    other => panic!("expected decision, got {other:?}"),
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// The cache's reported hit rate, read over the stats surface every
+/// transport uses. `None` when the cache saw no traffic — a `--filter`
+/// that skips the benchmark leaves the counters at zero, and asserting
+/// on an unexercised cache would abort the whole run.
+fn hit_rate(service: &mut QueryService) -> Option<f64> {
+    match service.dispatch(&Request::Stats) {
+        Response::Stats { stats } => {
+            let cache = stats.cache.expect("cached service");
+            (cache.hits + cache.misses > 0).then(|| cache.hit_rate())
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+/// Registers the cache suite under `serving/cache_…` ids.
+pub fn register(c: &mut Criterion, p: &Profile) {
+    let dataset = bench_dataset(p.n_individuals, p.grid_side);
+    let serving = Pipeline::on(&dataset)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(p.method_height)
+        .run()
+        .expect("pipeline run for cache fixtures")
+        .serve()
+        .expect("serving wires up");
+    let grid = dataset.grid();
+    let cells = grid.rows() * grid.cols();
+    let n = p.serve_batch;
+
+    let mut group = c.benchmark_group(format!(
+        "serving/cache_n{}_h{}",
+        p.n_individuals, p.method_height
+    ));
+
+    // Cold: a cyclic scan over 2× capacity distinct cells. With LRU,
+    // every access misses and evicts — the miss path plus bookkeeping.
+    {
+        let capacity = (cells / 4).max(2);
+        let mut service = serving
+            .service()
+            .with_cache(CacheSpec::per_worker(capacity))
+            .expect("valid spec");
+        let scan: Vec<Point> = (0..n)
+            .map(|i| centroid(grid, (i * (cells / (2 * capacity)).max(1)) % cells))
+            .collect();
+        bench_dispatch(&mut group, format!("cache_cold_x{n}"), &mut service, &scan);
+    }
+
+    // Hot: 16 hot cells, ample capacity — the pure hit path.
+    {
+        let mut service = serving
+            .service()
+            .with_cache(CacheSpec::per_worker(64))
+            .expect("valid spec");
+        let mut rng = StdRng::seed_from_u64(7171);
+        let hot: Vec<Point> = (0..n)
+            .map(|_| centroid(grid, (rng.random_range(0..16usize) * 0x9E37_79B1) % cells))
+            .collect();
+        bench_dispatch(&mut group, format!("cache_hot_x{n}"), &mut service, &hot);
+        if let Some(rate) = hit_rate(&mut service) {
+            assert!(rate > 0.99, "hot workload hit rate {rate:.3} ≤ 0.99");
+        }
+    }
+
+    // Zipf: the acceptance-bar regime. Capacity for a quarter of the
+    // cells; Zipf(1.5) concentrates ≈99% of the mass on that quarter.
+    let zipf = zipf_points(grid, n, 1.5, 4242);
+    {
+        let capacity = (cells / 4).max(2);
+        let mut service = serving
+            .service()
+            .with_cache(CacheSpec::per_worker(capacity))
+            .expect("valid spec");
+        bench_dispatch(&mut group, format!("cache_zipf_x{n}"), &mut service, &zipf);
+        if let Some(rate) = hit_rate(&mut service) {
+            assert!(
+                rate >= 0.90,
+                "zipf workload hit rate {rate:.3} below the 90% acceptance bar"
+            );
+            eprintln!("cache_zipf_x{n}: reported hit rate {:.1}%", rate * 100.0);
+        }
+    }
+
+    // The uncached twin over the identical Zipf sequence: the in-suite
+    // denominator for the ≥ 3x cached-throughput acceptance bar.
+    {
+        let mut service = serving.service();
+        bench_dispatch(
+            &mut group,
+            format!("uncached_zipf_x{n}"),
+            &mut service,
+            &zipf,
+        );
+    }
+
+    group.finish();
+}

@@ -1,4 +1,4 @@
-//! The six benchmark suites, parameterized by a size [`Profile`].
+//! The seven benchmark suites, parameterized by a size [`Profile`].
 //!
 //! Each suite exposes `register(c, profile)` so the same measurement code
 //! drives both entry points:
@@ -16,6 +16,7 @@
 use criterion::Criterion;
 use std::time::Duration;
 
+pub mod cache;
 pub mod construction;
 pub mod metrics;
 pub mod ml_training;
@@ -103,7 +104,7 @@ impl Profile {
     }
 }
 
-/// Registers all six suites on one driver, in baseline order.
+/// Registers all seven suites on one driver, in baseline order.
 pub fn register_all(c: &mut Criterion, profile: &Profile) {
     construction::register(c, profile);
     split_search::register(c, profile);
@@ -111,6 +112,7 @@ pub fn register_all(c: &mut Criterion, profile: &Profile) {
     metrics::register(c, profile);
     serving::register(c, profile);
     proto::register(c, profile);
+    cache::register(c, profile);
 }
 
 #[cfg(test)]

@@ -1,0 +1,51 @@
+//! Structured cache configuration errors.
+
+use std::fmt;
+
+/// Why a [`crate::CacheSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// The capacity must hold at least one entry.
+    ZeroCapacity,
+    /// The shard count must be at least one.
+    ZeroShards,
+    /// The shard count must be a power of two (shard selection is a
+    /// mask, not a division, on the hot path).
+    ShardsNotPowerOfTwo {
+        /// The rejected shard count.
+        shards: usize,
+    },
+    /// The capacity must divide evenly across the shards so every shard
+    /// bounds exactly `capacity / shards` entries.
+    CapacityNotDivisible {
+        /// The rejected capacity.
+        capacity: usize,
+        /// The shard count it does not divide by.
+        shards: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::ZeroCapacity => {
+                write!(f, "cache capacity must be at least 1 entry")
+            }
+            CacheError::ZeroShards => {
+                write!(f, "cache shard count must be at least 1")
+            }
+            CacheError::ShardsNotPowerOfTwo { shards } => {
+                write!(f, "cache shard count must be a power of two, got {shards}")
+            }
+            CacheError::CapacityNotDivisible { capacity, shards } => {
+                write!(
+                    f,
+                    "cache capacity {capacity} must be divisible by the shard count {shards}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}

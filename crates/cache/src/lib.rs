@@ -1,0 +1,107 @@
+//! Generation-invalidated decision caching for the serving layer.
+//!
+//! Lookups against a frozen index are deterministic per *(cell,
+//! generation)*: the index assigns one calibrated decision per leaf per
+//! trained generation, and a cell never straddles leaves. That makes a
+//! decision cache safe by construction — as long as the generation is
+//! part of the key. This crate provides exactly that shape:
+//!
+//! * [`CacheKey`] — a `(cell, generation)` pair. Every hot-swap rebuild
+//!   bumps the publisher's generation, so all previously cached entries
+//!   become unreachable *implicitly*: no flush, no epoch tracking, no
+//!   coordination with readers. Stale entries simply age out of the LRU.
+//! * [`DecisionCache`] — the minimal trait every cache placement speaks:
+//!   `get`, `insert`, and a [`CacheStats`] snapshot of hit/miss/eviction
+//!   counters.
+//! * [`LruCore`] — the single-shard, capacity-bounded, exact-LRU core.
+//!   No locking: a per-worker cache is owned by its worker and accessed
+//!   through `&mut self`, so the hot path pays a hash probe and nothing
+//!   else.
+//! * [`ShardedLru`] — the concurrent placement: cores behind per-shard
+//!   mutexes, selected by cell hash, shared across workers via `Arc`.
+//!   The read path takes exactly one lock — its shard's — and the
+//!   counters aggregate across shards on demand.
+//! * [`CacheSpec`] — the serde-round-trippable configuration
+//!   (capacity, shard count, [`CacheScope`]), validated up front like
+//!   the other specs in this workspace ([`CacheSpec::validate`]).
+
+#![forbid(unsafe_code)]
+
+mod error;
+mod lru;
+mod spec;
+
+pub use error::CacheError;
+pub use lru::{FrontedLru, LruCore, ShardedLru};
+pub use spec::{CacheScope, CacheSpec};
+
+/// The cache key: which cell, under which published index.
+///
+/// `cell` identifies the spatial cell the query point maps to (callers
+/// serving several shards fold the shard id into the high bits — the
+/// cache does not interpret the value). `generation` is the publisher's
+/// snapshot generation; because publishes only ever raise it, a rebuild
+/// strands every older entry behind keys no future lookup constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Opaque cell identity (plus any caller-folded routing bits).
+    pub cell: u64,
+    /// Snapshot generation the cached decision was computed under.
+    pub generation: u64,
+}
+
+impl CacheKey {
+    /// Creates a key.
+    #[inline]
+    pub fn new(cell: u64, generation: u64) -> Self {
+        Self { cell, generation }
+    }
+}
+
+/// Counter snapshot of a cache: how the hit rate is reported everywhere
+/// (`StatsBody`, the REPL `stats` line, benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the index.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub len: usize,
+    /// Maximum entries the cache will hold.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache, in `[0, 1]`; `0.0`
+    /// before any traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// What every decision-cache placement can do.
+///
+/// Methods take `&mut self` so the zero-lock per-worker placement
+/// ([`LruCore`]) and the mutex-sharded shared placement ([`ShardedLru`],
+/// whose interior mutability makes `&mut` a formality) implement one
+/// trait; workers own their placement either way.
+pub trait DecisionCache<V> {
+    /// Returns the cached value for `key`, refreshing its recency;
+    /// counts a hit or a miss.
+    fn get(&mut self, key: CacheKey) -> Option<V>;
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when at capacity.
+    fn insert(&mut self, key: CacheKey, value: V);
+
+    /// Counter snapshot.
+    fn stats(&self) -> CacheStats;
+}

@@ -63,10 +63,11 @@ pub use fsi_pipeline::{
     MultiObjectiveRun, MultiObjectiveSpec, PartitionModel, PipelineSpec, RunConfig, TaskSpec,
 };
 pub use fsi_proto::{
-    decode_request, decode_response, encode_request, encode_response, DecisionBody, ErrorBody,
-    ErrorCode, ProtoError, Request, Response, StatsBody, WirePoint, WireRect, PROTO_VERSION,
+    decode_request, decode_response, encode_request, encode_response, CacheStatsBody, DecisionBody,
+    ErrorBody, ErrorCode, ProtoError, Request, Response, StatsBody, WirePoint, WireRect,
+    PROTO_VERSION,
 };
 pub use fsi_serve::{
-    Decision, FrozenIndex, IndexHandle, IndexReader, QueryService, RebuildReport, Rebuilder,
-    ShardRouter,
+    CacheError, CacheScope, CacheSpec, CacheStats, Decision, FrozenIndex, IndexHandle, IndexReader,
+    QueryService, RebuildReport, Rebuilder, ShardRouter,
 };

@@ -14,8 +14,8 @@ use fsi_pipeline::{
     TaskSpec,
 };
 use fsi_serve::{
-    compile_run, FrozenIndex, IndexHandle, IndexReader, QueryService, RebuildReport, Rebuilder,
-    ShardRouter,
+    compile_run, CacheSpec, FrozenIndex, IndexHandle, IndexReader, QueryService, RebuildReport,
+    Rebuilder, ShardRouter,
 };
 use serde::{Deserialize, Serialize};
 use std::net::ToSocketAddrs;
@@ -263,7 +263,23 @@ impl<'d> Run<'d> {
             spec: self.spec.clone(),
             handle,
             rebuilder,
+            cache_spec: None,
         })
+    }
+
+    /// [`Run::serve`] with a decision cache in front of every service
+    /// the deployment builds ([`Serving::service`],
+    /// [`Serving::service_sharded`], [`Serving::listen`]). The cache
+    /// spec is validated here, up front; decisions are keyed by (cell,
+    /// generation), so hot-swap rebuilds invalidate cached entries
+    /// implicitly.
+    pub fn serve_with_cache(&self, cache: CacheSpec) -> Result<Serving<'d>, FsiError> {
+        cache
+            .validate()
+            .map_err(|e| FsiError::from(fsi_serve::ServeError::Cache(e)))?;
+        let mut serving = self.serve()?;
+        serving.cache_spec = Some(cache);
+        Ok(serving)
     }
 
     /// The whole cell as a serializable [`RunReport`].
@@ -301,6 +317,10 @@ pub struct Serving<'d> {
     spec: PipelineSpec,
     handle: IndexHandle,
     rebuilder: Rebuilder,
+    /// Cache configuration applied to every service this deployment
+    /// builds; `None` serves uncached. Always validated before it lands
+    /// here ([`Run::serve_with_cache`]).
+    cache_spec: Option<CacheSpec>,
 }
 
 impl Serving<'_> {
@@ -361,8 +381,26 @@ impl Serving<'_> {
     /// dataset; hot-swaps through [`Serving::rebuild`] and through the
     /// service are visible to each other because they share the handle.
     pub fn service(&self) -> QueryService {
-        QueryService::new(ShardRouter::single(self.handle.clone()))
-            .with_rebuild(self.shared_dataset())
+        self.apply_cache(
+            QueryService::new(ShardRouter::single(self.handle.clone()))
+                .with_rebuild(self.shared_dataset()),
+        )
+    }
+
+    /// The decision-cache configuration services are built with, when
+    /// the deployment was created via [`Run::serve_with_cache`].
+    pub fn cache_spec(&self) -> Option<&CacheSpec> {
+        self.cache_spec.as_ref()
+    }
+
+    /// Attaches the deployment's cache spec (if any) to a service.
+    fn apply_cache(&self, service: QueryService) -> QueryService {
+        match self.cache_spec {
+            Some(spec) => service
+                .with_cache(spec)
+                .expect("cache spec validated when the deployment was created"),
+            None => service,
+        }
     }
 
     /// The dataset copy services rebuild on — deep-cloned at most once
@@ -382,7 +420,7 @@ impl Serving<'_> {
     pub fn service_sharded(&self, rows: usize, cols: usize) -> Result<QueryService, FsiError> {
         let index = self.handle.load().as_ref().clone();
         let router = ShardRouter::new(index, rows, cols).map_err(FsiError::from)?;
-        Ok(QueryService::new(router).with_rebuild(self.shared_dataset()))
+        Ok(self.apply_cache(QueryService::new(router).with_rebuild(self.shared_dataset())))
     }
 
     /// Attaches the HTTP/1.1 JSON transport to this deployment: binds
@@ -533,6 +571,58 @@ mod tests {
         assert_eq!(report.generation, 2);
         let after = serving.handle().load().lookup(&p).unwrap();
         assert_ne!(before.raw_score, after.raw_score);
+    }
+
+    #[test]
+    fn serve_with_cache_caches_every_service_and_answers_identically() {
+        use fsi_proto::{Request, Response};
+        let d = dataset();
+        let run = Pipeline::on(&d).height(3).run().unwrap();
+        let cached_serving = run.serve_with_cache(CacheSpec::per_worker(256)).unwrap();
+        assert_eq!(cached_serving.cache_spec().unwrap().capacity, 256);
+        let mut cached = cached_serving.service();
+        let mut uncached = run.serve().unwrap().service();
+        assert!(cached.cache_spec().is_some());
+        assert!(uncached.cache_spec().is_none());
+        // Two passes over the same points: identical answers, and the
+        // second pass is served from the cache.
+        for _pass in 0..2 {
+            for p in d.locations().iter().take(32) {
+                let req = Request::Lookup { x: p.x, y: p.y };
+                assert_eq!(cached.dispatch(&req), uncached.dispatch(&req));
+            }
+        }
+        let Response::Stats { stats } = cached.dispatch(&Request::Stats) else {
+            panic!("stats must answer");
+        };
+        let cache = stats.cache.expect("cached service must report cache stats");
+        assert!(cache.hits >= 32, "{cache:?}");
+        assert_eq!(cache.hits + cache.misses, 64, "{cache:?}");
+        let Response::Stats { stats } = uncached.dispatch(&Request::Stats) else {
+            panic!("stats must answer");
+        };
+        assert!(stats.cache.is_none());
+        // The sharded service plane inherits the same cache spec.
+        let mut sharded = cached_serving.service_sharded(2, 2).unwrap();
+        assert_eq!(sharded.cache_spec().unwrap().capacity, 256);
+        for p in d.locations().iter().take(8) {
+            let req = Request::Lookup { x: p.x, y: p.y };
+            assert_eq!(sharded.dispatch(&req), uncached.dispatch(&req));
+        }
+    }
+
+    #[test]
+    fn invalid_cache_specs_fail_at_serve_time() {
+        let d = dataset();
+        let run = Pipeline::on(&d).height(3).run().unwrap();
+        let err = run
+            .serve_with_cache(CacheSpec::per_worker(0))
+            .err()
+            .expect("zero capacity must be rejected");
+        assert!(err.to_string().contains("cache"), "{err}");
+        let mut bad = CacheSpec::shared(64);
+        bad.shards = 3; // not a power of two
+        assert!(run.serve_with_cache(bad).is_err());
     }
 
     #[test]

@@ -99,10 +99,24 @@ pub fn format_response(response: &Response) -> String {
             format!("decisions: [{}]", items.join(", "))
         }
         Response::Regions { ids } => format!("neighborhoods: {ids:?}"),
-        Response::Stats { stats } => format!(
-            "stats: shards={} generations={:?} leaves={} heap_bytes={} backend={}",
-            stats.shards, stats.generations, stats.num_leaves, stats.heap_bytes, stats.backend
-        ),
+        Response::Stats { stats } => {
+            let mut line = format!(
+                "stats: shards={} generations={:?} leaves={} heap_bytes={} backend={}",
+                stats.shards, stats.generations, stats.num_leaves, stats.heap_bytes, stats.backend
+            );
+            if let Some(cache) = &stats.cache {
+                line.push_str(&format!(
+                    " cache: hits={} misses={} hit_rate={:.1}% evictions={} entries={}/{}",
+                    cache.hits,
+                    cache.misses,
+                    cache.hit_rate() * 100.0,
+                    cache.evictions,
+                    cache.entries,
+                    cache.capacity
+                ));
+            }
+            line
+        }
         Response::Rebuilt { report } => format!(
             "rebuilt: generation={} leaves={} ence={} total_ms={:.1}",
             report.generation,
@@ -194,7 +208,21 @@ mod tests {
         assert!(a.starts_with("decisions:"), "{a}");
         let a = answer_line(&mut svc, "stats").unwrap();
         assert!(a.contains("shards=1"), "{a}");
+        // Uncached service: no cache segment on the stats line.
+        assert!(!a.contains("cache:"), "{a}");
         assert_eq!(answer_line(&mut svc, "   "), None);
+    }
+
+    #[test]
+    fn stats_line_reports_cache_counters_when_caching() {
+        let mut svc = service()
+            .with_cache(fsi_serve::CacheSpec::per_worker(64))
+            .unwrap();
+        answer_line(&mut svc, "0.1 0.1").unwrap();
+        answer_line(&mut svc, "0.1 0.1").unwrap();
+        let a = answer_line(&mut svc, "stats").unwrap();
+        assert!(a.contains("cache: hits=1 misses=1 hit_rate=50.0%"), "{a}");
+        assert!(a.contains("entries=1/64"), "{a}");
     }
 
     #[test]

@@ -45,4 +45,7 @@ pub use message::{
     decode_request, decode_response, encode_request, encode_response, Request, RequestEnvelope,
     Response, ResponseEnvelope, PROTO_VERSION,
 };
-pub use wire::{DecisionBody, ErrorBody, ErrorCode, RebuildReport, StatsBody, WirePoint, WireRect};
+pub use wire::{
+    CacheStatsBody, DecisionBody, ErrorBody, ErrorCode, RebuildReport, StatsBody, WirePoint,
+    WireRect,
+};

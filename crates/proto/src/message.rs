@@ -231,6 +231,13 @@ mod tests {
                     num_leaves: 1024,
                     heap_bytes: 53200,
                     backend: "tree".into(),
+                    cache: Some(crate::CacheStatsBody {
+                        hits: 9000,
+                        misses: 1000,
+                        evictions: 42,
+                        entries: 512,
+                        capacity: 512,
+                    }),
                 }),
             },
             Response::Rebuilt {
@@ -382,7 +389,16 @@ mod tests {
         /// Serde identity over randomized stats bodies (u64 generations
         /// above 2^53 must survive, hence the full u64 range).
         #[test]
-        fn stats_round_trip(g in 0u64..=u64::MAX, shards in 1usize..8) {
+        fn stats_round_trip(g in 0u64..=u64::MAX, shards in 1usize..8, hits in any::<u64>()) {
+            // Cache counters present on even shard counts, absent on
+            // odd, so both wire forms stay covered.
+            let cache = (shards % 2 == 0).then(|| crate::CacheStatsBody {
+                hits,
+                misses: hits.wrapping_mul(3),
+                evictions: hits >> 4,
+                entries: shards * 16,
+                capacity: shards * 32,
+            });
             let response = Response::Stats {
                 stats: Box::new(StatsBody {
                     shards,
@@ -390,6 +406,7 @@ mod tests {
                     num_leaves: shards * 64,
                     heap_bytes: shards * 4096,
                     backend: "cells".into(),
+                    cache,
                 }),
             };
             prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);

@@ -100,6 +100,35 @@ pub struct DecisionBody {
     pub calibrated_score: f64,
 }
 
+/// Decision-cache counters inside a [`StatsBody`], present only when
+/// the answering service runs with a cache configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStatsBody {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the index.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Live entries at snapshot time.
+    pub entries: usize,
+    /// Maximum entries the cache holds.
+    pub capacity: usize,
+}
+
+impl CacheStatsBody {
+    /// Fraction of lookups answered from the cache, in `[0, 1]`; `0.0`
+    /// before any traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Service statistics answered to [`crate::Request::Stats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsBody {
@@ -115,6 +144,10 @@ pub struct StatsBody {
     pub heap_bytes: usize,
     /// Compiled backend serving lookups (`"tree"` or `"cells"`).
     pub backend: String,
+    /// Decision-cache counters, when the worker answering this request
+    /// has a cache configured. Optional so v1 envelopes encoded before
+    /// this field existed still decode.
+    pub cache: Option<CacheStatsBody>,
 }
 
 /// What a finished rebuild did — the body of
@@ -232,6 +265,63 @@ mod tests {
             back.calibrated_score.to_bits()
         );
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn stats_body_decodes_old_wire_json_without_cache_fields() {
+        // Captured from a pre-cache peer: the exact object shape v1
+        // StatsBody serialized to before the `cache` field existed.
+        let old_wire = r#"{
+            "shards": 4,
+            "generations": [3, 3, 2, 3],
+            "num_leaves": 1024,
+            "heap_bytes": 49152,
+            "backend": "tree"
+        }"#;
+        let stats: StatsBody = serde_json::from_str(old_wire).unwrap();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.generations, vec![3, 3, 2, 3]);
+        assert_eq!(stats.num_leaves, 1024);
+        assert_eq!(stats.heap_bytes, 49152);
+        assert_eq!(stats.backend, "tree");
+        assert_eq!(stats.cache, None, "missing cache field must decode as None");
+        // Truly required fields still fail loudly when absent.
+        let truncated = r#"{"shards": 1, "generations": [1]}"#;
+        let err = serde_json::from_str::<StatsBody>(truncated).unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn stats_body_with_cache_counters_round_trips() {
+        let stats = StatsBody {
+            shards: 1,
+            generations: vec![7],
+            num_leaves: 64,
+            heap_bytes: 2048,
+            backend: "cells".into(),
+            cache: Some(CacheStatsBody {
+                hits: 900,
+                misses: 100,
+                evictions: 12,
+                entries: 64,
+                capacity: 128,
+            }),
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: StatsBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+        let cache = back.cache.unwrap();
+        assert!((cache.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(
+            CacheStatsBody::hit_rate(&CacheStatsBody {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                entries: 0,
+                capacity: 1,
+            }),
+            0.0
+        );
     }
 
     #[test]

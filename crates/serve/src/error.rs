@@ -47,6 +47,8 @@ pub enum ServeError {
         /// Requested shard columns.
         cols: usize,
     },
+    /// A decision-cache spec failed validation.
+    Cache(fsi_cache::CacheError),
     /// The underlying pipeline run failed.
     Pipeline(PipelineError),
 }
@@ -75,6 +77,7 @@ impl fmt::Display for ServeError {
                 f,
                 "shard grid must have at least one row and one column, got {rows}x{cols}"
             ),
+            ServeError::Cache(e) => write!(f, "cache error: {e}"),
             ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
@@ -83,6 +86,7 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            ServeError::Cache(e) => Some(e),
             ServeError::Pipeline(e) => Some(e),
             _ => None,
         }
@@ -92,6 +96,12 @@ impl std::error::Error for ServeError {
 impl From<PipelineError> for ServeError {
     fn from(e: PipelineError) -> Self {
         ServeError::Pipeline(e)
+    }
+}
+
+impl From<fsi_cache::CacheError> for ServeError {
+    fn from(e: fsi_cache::CacheError) -> Self {
+        ServeError::Cache(e)
     }
 }
 

@@ -91,6 +91,12 @@ pub struct FrozenIndex {
     /// path pays no divisions beyond the two in `fractional`.
     cell_w: f64,
     cell_h: f64,
+    /// Exact reciprocals of `cell_w` / `cell_h` when both are binary
+    /// powers of two (the common normalized-bounds case): multiplying by
+    /// an exact power-of-two reciprocal only shifts the exponent, so it
+    /// is bit-identical to the division and roughly twice as fast on the
+    /// lookup hot path. `None` whenever exactness cannot be proven.
+    inv_wh: Option<(f64, f64)>,
     /// Per-leaf raw scores (from the snapshot).
     raw: Vec<f64>,
     /// Per-leaf calibration offsets (kept for introspection).
@@ -160,11 +166,23 @@ impl FrozenIndex {
             });
         }
         let calibrated = (0..num_leaves).map(|l| snapshot.calibrated(l)).collect();
+        let (cell_w, cell_h) = (grid.cell_width(), grid.cell_height());
+        // A normal positive power of two has an all-zero mantissa; for
+        // such values the reciprocal is also an exact power of two, and
+        // multiplying by it is bit-identical to dividing.
+        let exact_recip = |x: f64| {
+            let normal_pow2 =
+                |v: f64| v.is_normal() && v > 0.0 && v.to_bits() & ((1u64 << 52) - 1) == 0;
+            let inv = 1.0 / x;
+            (normal_pow2(x) && normal_pow2(inv)).then_some(inv)
+        };
+        let inv_wh = exact_recip(cell_w).zip(exact_recip(cell_h));
         Ok(Self {
             backend,
             grid: grid.clone(),
-            cell_w: grid.cell_width(),
-            cell_h: grid.cell_height(),
+            cell_w,
+            cell_h,
+            inv_wh,
             raw: snapshot.raw_scores().to_vec(),
             offset: snapshot.offsets().to_vec(),
             calibrated,
@@ -174,14 +192,20 @@ impl FrozenIndex {
 
     /// Fractional cell coordinates of a point, or `None` when the point
     /// is non-finite or outside the closed map bounds. Uses the exact
-    /// arithmetic of [`Grid::locate`] so cell assignment is bit-identical.
+    /// arithmetic of [`Grid::locate`] so cell assignment is bit-identical
+    /// (the reciprocal-multiply branch fires only when proven exact; see
+    /// `inv_wh`).
     #[inline]
     fn fractional(&self, p: &Point) -> Option<(f64, f64)> {
         let b = self.grid.bounds();
         if !p.is_finite() || !b.contains(p) {
             return None;
         }
-        Some(((p.x - b.min_x) / self.cell_w, (p.y - b.min_y) / self.cell_h))
+        let (dx, dy) = (p.x - b.min_x, p.y - b.min_y);
+        Some(match self.inv_wh {
+            Some((inv_w, inv_h)) => (dx * inv_w, dy * inv_h),
+            None => (dx / self.cell_w, dy / self.cell_h),
+        })
     }
 
     /// Leaf id of a point given its fractional cell coordinates.
@@ -232,6 +256,40 @@ impl FrozenIndex {
     pub fn lookup(&self, p: &Point) -> Option<Decision> {
         let (fx, fy) = self.fractional(p)?;
         Some(self.decision(self.leaf_of(fx, fy)))
+    }
+
+    /// Row-major grid cell index of a point — the spatial half of a
+    /// decision-cache key. `None` under exactly the conditions
+    /// [`FrozenIndex::lookup`] returns `None`, and the floor-and-clamp
+    /// is the same as `Grid::cell_of`, so
+    /// `lookup_cell(cell_index(p)?) == lookup(p)` for every point: one
+    /// cached decision per cell can never disagree with the uncached
+    /// answer, boundary points included.
+    #[inline]
+    pub fn cell_index(&self, p: &Point) -> Option<u64> {
+        let (fx, fy) = self.fractional(p)?;
+        let col = (fx as usize).min(self.grid.cols() - 1);
+        let row = (fy as usize).min(self.grid.rows() - 1);
+        Some((row * self.grid.cols() + col) as u64)
+    }
+
+    /// The decision every point of a (row-major) grid cell maps to, or
+    /// `None` for a cell index outside the grid. For the tree backend
+    /// this re-enters the traversal at the cell's integer coordinates,
+    /// which agrees with any fractional point in the cell because every
+    /// cut boundary is integral (`fx ≥ b ⇔ ⌊fx⌋ ≥ b`).
+    #[inline]
+    pub fn lookup_cell(&self, cell: u64) -> Option<Decision> {
+        let cols = self.grid.cols();
+        let cell = cell as usize;
+        if cell >= self.grid.rows() * cols {
+            return None;
+        }
+        let leaf = match &self.backend {
+            Backend::Tree(_) => self.leaf_of((cell % cols) as f64, (cell / cols) as f64),
+            Backend::Cells(map) => map[cell],
+        };
+        Some(self.decision(leaf))
     }
 
     /// Batch lookup: slice in, decisions out. Clears and refills `out`,
@@ -541,6 +599,88 @@ mod tests {
         let east = idx.lookup(&Point::new(0.9, 0.5)).unwrap();
         assert_eq!(east.leaf_id, 1);
         assert!((east.calibrated_score - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_keyed_lookup_agrees_with_point_lookup_everywhere() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let by_tree = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        let partition = Partition::uniform(&grid, 2, 4).unwrap();
+        let by_cells = FrozenIndex::from_partition(
+            &partition,
+            &grid,
+            &ModelSnapshot::uniform(partition.num_regions(), 0.5).unwrap(),
+        )
+        .unwrap();
+        for idx in [&by_tree, &by_cells] {
+            // Every cell boundary crossing plus the map edges: the
+            // points where a cache key derived differently from the
+            // lookup would hand out a neighbor's decision.
+            for i in 0..=8 {
+                for j in 0..=8 {
+                    for (dx, dy) in [(0.0, 0.0), (1e-12, 0.0), (0.0, 1e-12), (-1e-12, -1e-12)] {
+                        let p = Point::new(
+                            (i as f64 / 8.0 + dx).clamp(0.0, 1.0),
+                            (j as f64 / 8.0 + dy).clamp(0.0, 1.0),
+                        );
+                        let cell = idx.cell_index(&p).unwrap();
+                        assert_eq!(
+                            idx.lookup_cell(cell).unwrap(),
+                            idx.lookup(&p).unwrap(),
+                            "cell {cell} at {p:?}"
+                        );
+                    }
+                }
+            }
+            assert!(idx.cell_index(&Point::new(1.5, 0.5)).is_none());
+            assert!(idx.cell_index(&Point::new(f64::NAN, 0.5)).is_none());
+            assert!(idx.lookup_cell(64).is_none());
+            assert!(idx.lookup_cell(u64::MAX).is_none());
+        }
+    }
+
+    #[test]
+    fn reciprocal_fast_path_is_bit_identical_to_grid_cell_of() {
+        // Power-of-two cell sizes arm the reciprocal multiply; a dense
+        // sweep of awkward fractions must agree with `Grid::cell_of`
+        // bit for bit (both then feed the same floor-and-clamp).
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let index = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        assert!(index.inv_wh.is_some(), "1/8 cells must arm the fast path");
+        for i in 0..=997 {
+            for j in [0, 1, 501, 996, 997] {
+                let p = Point::new(i as f64 / 997.0, j as f64 / 997.0);
+                let (row, col) = grid.cell_of(&p).unwrap();
+                assert_eq!(
+                    index.cell_index(&p),
+                    Some((row * grid.cols() + col) as u64),
+                    "at {p:?}"
+                );
+            }
+        }
+        // Non-power-of-two cell sizes must fall back to the division.
+        let odd = Grid::new(Rect::unit(), 3, 5).unwrap();
+        let partition = Partition::uniform(&odd, 1, 5).unwrap();
+        let by_cells = FrozenIndex::from_partition(
+            &partition,
+            &odd,
+            &ModelSnapshot::uniform(partition.num_regions(), 0.5).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            by_cells.inv_wh.is_none(),
+            "1/3 and 1/5 are not powers of two"
+        );
+        let p = Point::new(0.4, 0.7);
+        let (row, col) = odd.cell_of(&p).unwrap();
+        assert_eq!(
+            by_cells.cell_index(&p),
+            Some((row * odd.cols() + col) as u64)
+        );
     }
 
     #[test]

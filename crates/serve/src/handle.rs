@@ -119,6 +119,15 @@ impl IndexReader {
     /// a newer generation has been published.
     #[inline]
     pub fn snapshot(&mut self) -> &FrozenIndex {
+        self.snapshot_with_generation().0
+    }
+
+    /// The freshest snapshot *and* the generation it serves at, read as
+    /// one consistent pair — what a generation-keyed decision cache
+    /// needs per lookup. Same cost as [`IndexReader::snapshot`]: one
+    /// atomic load unless a swap actually happened.
+    #[inline]
+    pub fn snapshot_with_generation(&mut self) -> (&FrozenIndex, u64) {
         let live = self.shared.generation.load(Ordering::Acquire);
         if live != self.seen {
             let cur = self.shared.lock();
@@ -127,7 +136,7 @@ impl IndexReader {
             // `live` if another publish squeezed in between.
             self.seen = self.shared.generation.load(Ordering::Relaxed);
         }
-        &self.cached
+        (&self.cached, self.seen)
     }
 
     /// Generation of the snapshot this reader currently serves from.

@@ -69,3 +69,6 @@ pub use handle::{IndexHandle, IndexReader};
 pub use rebuild::{build_index, compile_run, RebuildReport, Rebuilder};
 pub use service::QueryService;
 pub use shard::ShardRouter;
+
+// The decision-cache vocabulary callers configure services with.
+pub use fsi_cache::{CacheError, CacheScope, CacheSpec, CacheStats};

@@ -18,11 +18,12 @@
 use crate::frozen::{Decision, FrozenIndex};
 use crate::rebuild::build_index;
 use crate::shard::ShardRouter;
-use crate::{IndexReader, RebuildReport};
+use crate::{IndexReader, RebuildReport, ServeError};
+use fsi_cache::{CacheKey, CacheScope, CacheSpec, CacheStats, FrontedLru, ShardedLru};
 use fsi_data::SpatialDataset;
 use fsi_geo::{Point, Rect};
 use fsi_pipeline::PipelineSpec;
-use fsi_proto::{DecisionBody, ErrorCode, Request, Response, StatsBody, WirePoint};
+use fsi_proto::{CacheStatsBody, DecisionBody, ErrorCode, Request, Response, StatsBody, WirePoint};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,6 +49,61 @@ impl From<DecisionBody> for Decision {
     }
 }
 
+/// How a configured decision cache is placed for one service clone.
+///
+/// Decisions are deterministic per (shard, cell, generation), and a
+/// shard's generation uniquely identifies its published index, so a
+/// cached decision can never go stale: a hot-swap bumps the generation,
+/// which changes every key, and the orphaned entries age out of the LRU.
+enum CacheStore {
+    /// This clone owns its cache outright — the zero-lock placement,
+    /// with a direct-mapped front over the exact LRU (see
+    /// [`FrontedLru`]).
+    PerWorker(FrontedLru<Decision>),
+    /// All clones share one sharded cache behind per-shard mutexes.
+    Shared(Arc<ShardedLru<Decision>>),
+}
+
+impl CacheStore {
+    fn from_spec(spec: &CacheSpec) -> Result<Self, ServeError> {
+        spec.validate()?;
+        Ok(match spec.scope {
+            CacheScope::PerWorker => CacheStore::PerWorker(FrontedLru::new(spec.capacity)?),
+            CacheScope::Shared => CacheStore::Shared(Arc::new(ShardedLru::new(spec)?)),
+        })
+    }
+
+    #[inline]
+    fn get(&mut self, key: CacheKey) -> Option<Decision> {
+        match self {
+            CacheStore::PerWorker(cache) => cache.get(key),
+            CacheStore::Shared(cache) => cache.get(key),
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, decision: Decision) {
+        match self {
+            CacheStore::PerWorker(cache) => cache.insert(key, decision),
+            CacheStore::Shared(cache) => cache.insert(key, decision),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            CacheStore::PerWorker(cache) => cache.stats(),
+            CacheStore::Shared(cache) => cache.stats(),
+        }
+    }
+}
+
+/// The optional decision cache of one service clone: the validated spec
+/// it was built from (clones re-derive per-worker placements from it)
+/// plus the placement itself.
+struct CacheLayer {
+    spec: CacheSpec,
+    store: CacheStore,
+}
+
 /// Dispatches typed protocol requests against a sharded set of live
 /// indexes. See the module docs for the design.
 pub struct QueryService {
@@ -58,6 +114,8 @@ pub struct QueryService {
     points: Vec<Point>,
     /// Reusable scratch for batch lookups (decisions out).
     decisions: Vec<Decision>,
+    /// Optional generation-keyed decision cache over point lookups.
+    cache: Option<CacheLayer>,
 }
 
 impl QueryService {
@@ -77,6 +135,21 @@ impl QueryService {
         self
     }
 
+    /// Puts a decision cache in front of point lookups, validating the
+    /// spec first. Decisions are keyed by (shard, cell, generation), so
+    /// hot-swap rebuilds invalidate implicitly — see [`CacheSpec`] for
+    /// the placement choices.
+    pub fn with_cache(mut self, spec: CacheSpec) -> Result<Self, ServeError> {
+        let store = CacheStore::from_spec(&spec)?;
+        self.cache = Some(CacheLayer { spec, store });
+        Ok(self)
+    }
+
+    /// The cache configuration, when one is attached.
+    pub fn cache_spec(&self) -> Option<&CacheSpec> {
+        self.cache.as_ref().map(|layer| &layer.spec)
+    }
+
     fn over(router: Arc<ShardRouter>, rebuild_dataset: Option<Arc<SpatialDataset>>) -> Self {
         let readers = router.handles().iter().map(|h| h.reader()).collect();
         Self {
@@ -85,6 +158,7 @@ impl QueryService {
             rebuild_dataset,
             points: Vec::new(),
             decisions: Vec::new(),
+            cache: None,
         }
     }
 
@@ -96,6 +170,13 @@ impl QueryService {
     /// Answers one request. Never panics and never fails at the Rust
     /// level: every failure becomes a [`Response::Error`] with a
     /// machine-readable [`ErrorCode`], so transports can stay thin.
+    ///
+    /// `#[inline]` so a caller with a statically known request shape
+    /// (the benches, the batch loops) folds the variant match away and
+    /// builds the `Response` in place instead of memcpying it twice —
+    /// without LTO this call is otherwise an opaque cross-crate boundary
+    /// on the lookup hot path.
+    #[inline]
     pub fn dispatch(&mut self, request: &Request) -> Response {
         match request {
             Request::Lookup { x, y } => self.lookup(*x, *y),
@@ -113,7 +194,9 @@ impl QueryService {
         // router redundant, so the dispatch overhead over a raw
         // `FrozenIndex::lookup` is one reader generation load plus the
         // (boxed-slim) Response move.
-        let decision = if self.readers.len() == 1 {
+        let decision = if self.cache.is_some() {
+            self.cached_decision(&p)
+        } else if self.readers.len() == 1 {
             self.readers[0].snapshot().lookup(&p)
         } else {
             self.router
@@ -131,7 +214,64 @@ impl QueryService {
         }
     }
 
+    /// The decision for `p` through the cache; `None` means out of
+    /// bounds. Only called when a cache is configured.
+    ///
+    /// A hit costs the cell computation (the same two divisions the
+    /// uncached path pays) plus one hash probe — the tree traversal and
+    /// decision assembly are skipped. A miss additionally resolves the
+    /// cell through the index and fills the entry, so cold traffic pays
+    /// one probe over the uncached path.
+    #[inline]
+    fn cached_decision(&mut self, p: &Point) -> Option<Decision> {
+        let shard = if self.readers.len() == 1 {
+            0
+        } else {
+            self.router.shard_of(p)?
+        };
+        let (index, generation) = self.readers[shard].snapshot_with_generation();
+        let cell = index.cell_index(p)?;
+        // The shard id rides in the key's high bits: each shard's handle
+        // numbers its own generations, so (cell, generation) alone could
+        // collide across shards that published different indexes.
+        debug_assert!(cell < 1 << 48, "cell id exceeds the shard-packing range");
+        let key = CacheKey::new((shard as u64) << 48 | cell, generation);
+        let cache = self.cache.as_mut().expect("caller checked cache.is_some()");
+        if let Some(decision) = cache.store.get(key) {
+            return Some(decision);
+        }
+        let decision = index.lookup_cell(cell)?;
+        cache.store.insert(key, decision);
+        Some(decision)
+    }
+
     fn lookup_batch(&mut self, points: &[WirePoint]) -> Response {
+        // Cached: every point goes through the same per-point cache path
+        // as single lookups, so batch and single answers (and counters)
+        // cannot diverge.
+        if self.cache.is_some() {
+            self.decisions.clear();
+            self.decisions.reserve(points.len());
+            for (index, wp) in points.iter().enumerate() {
+                let p = Point::new(wp.x, wp.y);
+                match self.cached_decision(&p) {
+                    Some(d) => self.decisions.push(d),
+                    None => {
+                        self.decisions.clear();
+                        return Response::error(
+                            ErrorCode::OutOfBounds,
+                            format!(
+                                "point #{index} at ({}, {}) is outside the index bounds",
+                                wp.x, wp.y
+                            ),
+                        );
+                    }
+                }
+            }
+            return Response::Decisions {
+                decisions: self.decisions.iter().map(|&d| d.into()).collect(),
+            };
+        }
         // Single shard: feed the whole batch through the frozen index's
         // buffer-reusing batch path.
         if self.router.shards() == 1 {
@@ -193,6 +333,16 @@ impl QueryService {
 
     fn stats(&mut self) -> Response {
         let generations = self.router.generations();
+        let cache = self.cache.as_ref().map(|layer| {
+            let s = layer.store.stats();
+            CacheStatsBody {
+                hits: s.hits,
+                misses: s.misses,
+                evictions: s.evictions,
+                entries: s.len,
+                capacity: s.capacity,
+            }
+        });
         let index = self.readers[0].snapshot();
         Response::Stats {
             stats: Box::new(StatsBody {
@@ -201,6 +351,7 @@ impl QueryService {
                 num_leaves: index.num_leaves(),
                 heap_bytes: index.heap_bytes(),
                 backend: index.backend_name().to_string(),
+                cache,
             }),
         }
     }
@@ -238,9 +389,23 @@ impl QueryService {
 impl Clone for QueryService {
     /// Clones share the router (and thus the live, hot-swappable
     /// indexes) but get fresh readers and empty scratch buffers — one
-    /// clone per transport worker thread.
+    /// clone per transport worker thread. A shared cache is shared with
+    /// the clone; a per-worker cache is re-created empty from its spec.
     fn clone(&self) -> Self {
-        Self::over(Arc::clone(&self.router), self.rebuild_dataset.clone())
+        let mut fresh = Self::over(Arc::clone(&self.router), self.rebuild_dataset.clone());
+        if let Some(layer) = &self.cache {
+            let store = match &layer.store {
+                CacheStore::Shared(shared) => CacheStore::Shared(Arc::clone(shared)),
+                CacheStore::PerWorker(_) => {
+                    CacheStore::from_spec(&layer.spec).expect("spec validated at construction")
+                }
+            };
+            fresh.cache = Some(CacheLayer {
+                spec: layer.spec,
+                store,
+            });
+        }
+        fresh
     }
 }
 
@@ -417,6 +582,143 @@ mod tests {
             }
             other => panic!("expected error, got {other:?}"),
         }
+    }
+
+    /// Every (shape, scope) combination: cached answers must be
+    /// bit-identical to the uncached reference, and the counters must
+    /// add up.
+    #[test]
+    fn cached_lookups_match_uncached_and_count_hits() {
+        let reference = index();
+        let points: Vec<(f64, f64)> = (0..64)
+            .map(|i| (((i % 8) as f64 + 0.5) / 8.0, ((i / 8) as f64 + 0.5) / 8.0))
+            .collect();
+        for shape in [(1, 1), (2, 2)] {
+            // The shared placement splits capacity across 8 shards and
+            // cells hash unevenly, so give each shard room for all 64
+            // distinct cells — this test is about parity and counting,
+            // not eviction.
+            for spec in [CacheSpec::per_worker(64), CacheSpec::shared(512)] {
+                let mut svc = service(shape).with_cache(spec).unwrap();
+                assert_eq!(svc.cache_spec(), Some(&spec));
+                for pass in 0..2 {
+                    for &(x, y) in &points {
+                        let expected: DecisionBody =
+                            reference.lookup(&Point::new(x, y)).unwrap().into();
+                        match svc.dispatch(&Request::Lookup { x, y }) {
+                            Response::Decision { decision } => {
+                                assert_eq!(decision, expected, "{shape:?} {spec:?} pass {pass}")
+                            }
+                            other => panic!("expected decision, got {other:?}"),
+                        }
+                    }
+                }
+                let Response::Stats { stats } = svc.dispatch(&Request::Stats) else {
+                    panic!("expected stats");
+                };
+                let cache = stats.cache.expect("cache stats must be reported");
+                // 64 points over a 4-leaf/64-cell grid: the first pass
+                // populates each distinct cell once, the second hits.
+                assert_eq!(cache.hits + cache.misses, 128);
+                assert_eq!(cache.misses, 64, "{shape:?} {spec:?}");
+                assert_eq!(cache.capacity, spec.capacity);
+                assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_batches_match_singles_and_report_out_of_bounds() {
+        let mut plain = service((2, 2));
+        let mut cached = service((2, 2))
+            .with_cache(CacheSpec::per_worker(16))
+            .unwrap();
+        let points: Vec<WirePoint> = (0..40)
+            .map(|i| WirePoint::new((i as f64 * 0.13) % 1.0, (i as f64 * 0.37) % 1.0))
+            .collect();
+        let expected = plain.dispatch(&Request::LookupBatch {
+            points: points.clone(),
+        });
+        let got = cached.dispatch(&Request::LookupBatch {
+            points: points.clone(),
+        });
+        assert_eq!(format!("{expected:?}"), format!("{got:?}"));
+        let mut bad = points;
+        bad[11] = WirePoint::new(-3.0, 0.5);
+        match cached.dispatch(&Request::LookupBatch { points: bad }) {
+            Response::Error { error } => {
+                assert_eq!(error.code, ErrorCode::OutOfBounds);
+                assert!(error.message.contains("11"), "{}", error.message);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_cache_specs_are_rejected_up_front() {
+        let svc = service((1, 1));
+        match svc.with_cache(CacheSpec::per_worker(0)) {
+            Err(crate::ServeError::Cache(fsi_cache::CacheError::ZeroCapacity)) => {}
+            Err(other) => panic!("expected ZeroCapacity, got {other:?}"),
+            Ok(_) => panic!("zero-capacity spec must be rejected"),
+        }
+    }
+
+    #[test]
+    fn publish_invalidates_cached_decisions_via_the_generation_key() {
+        let handle = IndexHandle::new(index());
+        let mut svc = QueryService::new(ShardRouter::single(handle.clone()))
+            .with_cache(CacheSpec::per_worker(64))
+            .unwrap();
+        let (x, y) = (0.1, 0.1);
+        let Response::Decision { decision: before } = svc.dispatch(&Request::Lookup { x, y })
+        else {
+            panic!("expected decision");
+        };
+        // Same point again: served from cache.
+        svc.dispatch(&Request::Lookup { x, y });
+        // Publish an index with different scores; the very next lookup
+        // must reflect it even though the old entry is still resident.
+        let grid = Grid::unit(8).unwrap();
+        let partition = Partition::uniform(&grid, 2, 2).unwrap();
+        let snapshot =
+            ModelSnapshot::new(vec![0.9, 0.9, 0.9, 0.9], vec![0.0; 4], vec![0, 1, 2, 3]).unwrap();
+        handle.publish(FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap());
+        let Response::Decision { decision: after } = svc.dispatch(&Request::Lookup { x, y }) else {
+            panic!("expected decision");
+        };
+        assert!((before.raw_score - 0.2).abs() < 1e-12);
+        assert!(
+            (after.raw_score - 0.9).abs() < 1e-12,
+            "stale cache entry served"
+        );
+    }
+
+    #[test]
+    fn shared_caches_are_shared_across_clones_but_per_worker_are_not() {
+        let svc = service((1, 1)).with_cache(CacheSpec::shared(64)).unwrap();
+        let mut a = svc.clone();
+        let mut b = svc.clone();
+        a.dispatch(&Request::Lookup { x: 0.1, y: 0.1 }); // miss, fills
+        b.dispatch(&Request::Lookup { x: 0.1, y: 0.1 }); // hit via shared store
+        let Response::Stats { stats } = b.dispatch(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        let cache = stats.cache.unwrap();
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+
+        let svc = service((1, 1))
+            .with_cache(CacheSpec::per_worker(64))
+            .unwrap();
+        let mut a = svc.clone();
+        let mut b = svc.clone();
+        a.dispatch(&Request::Lookup { x: 0.1, y: 0.1 });
+        b.dispatch(&Request::Lookup { x: 0.1, y: 0.1 }); // its own cold cache: miss
+        let Response::Stats { stats } = b.dispatch(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        let cache = stats.cache.unwrap();
+        assert_eq!((cache.hits, cache.misses), (0, 1));
     }
 
     #[test]

@@ -19,17 +19,18 @@
 //! # METHOD: median | fair | iterative | reweight | zip | quad  (default fair)
 //! # HEIGHT: tree height (default 6)
 //!
-//! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH]
+//! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH] [--cache N]
+//! # --cache N: LRU decision-cache capacity (default 4096, 0 disables)
 //! # then on stdin:   X Y                  → one decision per line
 //! #                  batch X1 Y1 X2 Y2 …  → batched decisions
 //! #                  rect X0 Y0 X1 Y1     → neighborhoods touching the box
-//! #                  stats                → generations / size / backend
+//! #                  stats                → generations / size / backend / cache hit rate
 //! #                  rebuild <spec JSON>  → retrain + hot-swap
 //! ```
 
 use fsi::{
-    repl, snapshot_for_partition, FrozenIndex, Method, Partition, Pipeline, QueryService, Run,
-    RunConfig, ShardRouter, TaskSpec,
+    repl, snapshot_for_partition, CacheSpec, FrozenIndex, Method, Partition, Pipeline,
+    QueryService, Run, RunConfig, ShardRouter, TaskSpec,
 };
 use fsi_data::synth::edgap::generate_los_angeles;
 use fsi_data::SpatialDataset;
@@ -116,7 +117,10 @@ fn build(
 /// Loads the saved partition (building the default districting first
 /// when it is missing), compiles a `FrozenIndex`, and answers queries
 /// from stdin until EOF.
-fn serve(dataset: &SpatialDataset) -> Result<(), Box<dyn std::error::Error>> {
+fn serve(
+    dataset: &SpatialDataset,
+    cache_capacity: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let grid = dataset.grid();
     let (partition, snapshot, ence) = match std::fs::read_to_string(PARTITION_PATH) {
         Ok(json) => {
@@ -178,6 +182,10 @@ fn serve(dataset: &SpatialDataset) -> Result<(), Box<dyn std::error::Error>> {
     // HTTP listener uses; rebuilds retrain on this dataset.
     let mut service = QueryService::new(ShardRouter::single(IndexHandle::new(index)))
         .with_rebuild(Arc::new(dataset.clone()));
+    if cache_capacity > 0 {
+        service = service.with_cache(CacheSpec::per_worker(cache_capacity))?;
+        println!("decision cache: per-worker LRU, {cache_capacity} entries (`--cache 0` disables)");
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let stats = repl::serve_queries(&mut service, stdin.lock(), &mut stdout)?;
@@ -192,10 +200,23 @@ fn serve(dataset: &SpatialDataset) -> Result<(), Box<dyn std::error::Error>> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // `serve [CSV_PATH]` switches to online mode.
+    // `serve [CSV_PATH] [--cache N]` switches to online mode.
     if args.first().map(String::as_str) == Some("serve") {
-        let dataset = load_dataset(args.get(1).map(String::as_str))?;
-        return serve(&dataset);
+        let mut cache_capacity = 4096usize;
+        let mut csv_path = None;
+        let mut rest = args[1..].iter().map(String::as_str);
+        while let Some(arg) = rest.next() {
+            if arg == "--cache" {
+                let n = rest
+                    .next()
+                    .ok_or("--cache requires a capacity (0 disables)")?;
+                cache_capacity = n.parse().map_err(|_| format!("bad --cache value `{n}`"))?;
+            } else {
+                csv_path = Some(arg);
+            }
+        }
+        let dataset = load_dataset(csv_path)?;
+        return serve(&dataset, cache_capacity);
     }
 
     let dataset = match args.first().map(String::as_str) {

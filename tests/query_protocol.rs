@@ -186,6 +186,89 @@ fn transports_answer_bit_identically_including_sharded() {
     server.shutdown();
 }
 
+/// The decision cache is invisible in answers: a cached deployment —
+/// in-process, REPL, HTTP loopback and 4-shard — answers bit-identically
+/// to an uncached one and to direct `FrozenIndex::lookup`, on
+/// boundary-biased points queried twice so the second pass exercises the
+/// cache-hit path.
+#[test]
+fn cached_services_answer_bit_identically_across_transports() {
+    let d = dataset();
+    let run = Pipeline::on(&d)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(6)
+        .run()
+        .unwrap();
+    let direct = run.freeze().unwrap();
+    let uncached_serving = run.serve().unwrap();
+    let cached_serving = run
+        .serve_with_cache(fsi::CacheSpec::per_worker(1024))
+        .unwrap();
+
+    let mut uncached = uncached_serving.service();
+    let mut cached = cached_serving.service();
+    let mut cached_sharded = cached_serving.service_sharded(2, 2).unwrap();
+    assert_eq!(cached_sharded.router().shards(), 4);
+    let server = cached_serving.listen("127.0.0.1:0").unwrap();
+    let mut http = fsi::HttpClient::connect(server.addr()).unwrap();
+
+    let points = query_points(d.grid(), 400, 13);
+    // Pass 0 populates the caches; pass 1 re-asks every point so most
+    // answers come from the hit path — both must be bit-identical.
+    for pass in 0..2 {
+        for p in &points {
+            let expected: DecisionBody = direct.lookup(p).unwrap().into();
+            let request = Request::Lookup { x: p.x, y: p.y };
+
+            let got = expect_decision(cached.dispatch(&request));
+            assert_eq!(got, expected, "cached pass {pass} at {p:?}");
+            assert_eq!(got.raw_score.to_bits(), expected.raw_score.to_bits());
+            assert_eq!(
+                got.calibrated_score.to_bits(),
+                expected.calibrated_score.to_bits()
+            );
+            assert_eq!(
+                expect_decision(uncached.dispatch(&request)),
+                expected,
+                "uncached pass {pass} at {p:?}"
+            );
+            assert_eq!(
+                expect_decision(cached_sharded.dispatch(&request)),
+                expected,
+                "cached 4-shard pass {pass} at {p:?}"
+            );
+            assert_eq!(
+                expect_decision(http.call(&request).unwrap()),
+                expected,
+                "cached http pass {pass} at {p:?}"
+            );
+
+            let expected_line = repl::format_response(&Response::Decision { decision: expected });
+            let got_line = repl::answer_line(&mut cached, &format!("{} {}", p.x, p.y)).unwrap();
+            assert_eq!(got_line, expected_line, "cached repl pass {pass} at {p:?}");
+        }
+    }
+
+    // The hit path really ran: two dispatch passes + two REPL passes
+    // over ≤ 256 distinct cells must be mostly hits, and the uncached
+    // service must report no cache at all.
+    match cached.dispatch(&Request::Stats) {
+        Response::Stats { stats } => {
+            let cache = stats.cache.expect("cached service reports cache stats");
+            assert!(cache.misses <= 256, "{cache:?}");
+            assert!(cache.hits > cache.misses, "{cache:?}");
+            assert_eq!(cache.evictions, 0, "{cache:?}");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    match uncached.dispatch(&Request::Stats) {
+        Response::Stats { stats } => assert!(stats.cache.is_none()),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    server.shutdown();
+}
+
 /// A rebuild dispatched through a 4-shard service republishes every
 /// shard, and the post-rebuild decisions equal a freshly built index
 /// (rebuilds are deterministic).
@@ -326,6 +409,150 @@ fn concurrent_http_clients_survive_hot_swap_rebuilds() {
         }
         other => panic!("expected stats, got {other:?}"),
     }
+    server.shutdown();
+}
+
+/// The cached concurrency acceptance test: keep-alive HTTP clients
+/// hammer a small set of hot cells (the cache-friendliest workload)
+/// while rebuilds hot-swap generations underneath. Because rebuilds are
+/// deterministic, every generation's correct decision table is
+/// precomputed; a client that has observed generation `g` in `Stats`
+/// must from then on receive decisions from some generation `≥ g` — a
+/// stale cached decision matching only an older table fails. Per-client
+/// cache hit counters must be monotone (each keep-alive connection is
+/// pinned to one worker, and per-worker caches are not shared).
+#[test]
+fn cached_http_clients_never_observe_stale_generations_under_rebuilds() {
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 150;
+    const REBUILDS: usize = 3;
+
+    let d = dataset();
+    let run = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(2)
+        .run()
+        .unwrap();
+    let serving = run
+        .serve_with_cache(fsi::CacheSpec::per_worker(512))
+        .unwrap();
+
+    // The deterministic spec schedule: generation g serves the index
+    // built from specs[g - 1]; specs[0] is the deployment's own spec.
+    let mut specs = vec![serving.spec().clone()];
+    for i in 0..REBUILDS {
+        specs.push(fsi::PipelineSpec::new(
+            TaskSpec::act(),
+            if i % 2 == 0 {
+                Method::FairKd
+            } else {
+                Method::MedianKd
+            },
+            3 + (i % 2),
+        ));
+    }
+
+    // Hot cells: a handful of spread-out cell centroids every client
+    // re-queries, so the per-worker caches run at a high hit rate.
+    let b = *d.grid().bounds();
+    let side = d.grid().cols() as f64;
+    let hot: Vec<Point> = (0..8)
+        .map(|i| {
+            let (col, row) = (2 * i % 16, (2 * i + 5) % 16);
+            Point::new(
+                b.min_x + (col as f64 + 0.5) / side * b.width(),
+                b.min_y + (row as f64 + 0.5) / side * b.height(),
+            )
+        })
+        .collect();
+
+    // expected[g - 1][k] is generation g's correct decision for hot[k].
+    let expected: Vec<Vec<DecisionBody>> = specs
+        .iter()
+        .map(|spec| {
+            let (index, _run) = fsi_serve::build_index(&d, spec).unwrap();
+            hot.iter()
+                .map(|p| index.lookup(p).unwrap().into())
+                .collect()
+        })
+        .collect();
+
+    // One worker per client: each keep-alive connection owns a worker
+    // (and with it one per-worker cache) for its whole lifetime.
+    let server = serving.listen_with("127.0.0.1:0", CLIENTS).unwrap();
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for worker in 0..CLIENTS {
+            let (hot, expected) = (&hot, &expected);
+            clients.push(scope.spawn(move || {
+                let mut client = fsi::HttpClient::connect(addr).expect("client connects");
+                let mut rng = StdRng::seed_from_u64(1000 + worker as u64);
+                let mut last_generation = 1u64;
+                let mut last_hits = 0u64;
+                for i in 0..REQUESTS_PER_CLIENT {
+                    if i % 10 == 0 {
+                        match client.call(&Request::Stats).expect("stats round-trip") {
+                            Response::Stats { stats } => {
+                                let g = stats.generations[0];
+                                assert!(
+                                    g >= last_generation,
+                                    "generation went backwards: {last_generation} -> {g}"
+                                );
+                                last_generation = g;
+                                let cache = stats.cache.expect("cache stats present");
+                                assert!(
+                                    cache.hits >= last_hits,
+                                    "hit counter went backwards: {last_hits} -> {}",
+                                    cache.hits
+                                );
+                                last_hits = cache.hits;
+                            }
+                            other => panic!("expected stats, got {other:?}"),
+                        }
+                    } else {
+                        let k = rng.random_range(0..hot.len());
+                        let p = &hot[k];
+                        let got = match client
+                            .call(&Request::Lookup { x: p.x, y: p.y })
+                            .expect("lookup round-trip")
+                        {
+                            Response::Decision { decision } => decision,
+                            other => panic!("expected decision, got {other:?}"),
+                        };
+                        // Readers are monotone: once generation g was
+                        // observed, a decision matching only an older
+                        // generation's table is a stale cache entry.
+                        let live = expected[last_generation as usize - 1..]
+                            .iter()
+                            .any(|table| table[k] == got);
+                        assert!(
+                            live,
+                            "stale decision for hot[{k}] after generation \
+                             {last_generation}: {got:?}"
+                        );
+                    }
+                }
+                last_hits
+            }));
+        }
+
+        // Hot-swap every scheduled generation while the clients run.
+        for (i, spec) in specs.iter().enumerate().skip(1) {
+            let report = serving.rebuild_with(spec).expect("rebuild succeeds");
+            assert_eq!(report.generation, i as u64 + 1);
+        }
+
+        for client in clients {
+            let hits = client.join().expect("client thread survived");
+            // ~135 lookups over 8 hot cells against a dedicated
+            // per-worker cache: the hit path must have run.
+            assert!(hits > 0, "a hot-cell client never hit its cache");
+        }
+    });
+
+    assert_eq!(serving.handle().generation(), REBUILDS as u64 + 1);
     server.shutdown();
 }
 

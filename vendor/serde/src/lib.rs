@@ -112,6 +112,16 @@ pub trait Serialize {
 pub trait Deserialize: Sized {
     /// Rebuilds `Self`, reporting any shape mismatch as an [`Error`].
     fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Rebuilds `Self` for a struct field that is absent from the
+    /// serialized object. The default reports a missing-field error;
+    /// `Option<T>` overrides it to `Ok(None)`, which is what lets a
+    /// struct grow optional fields while old serialized forms (without
+    /// the field) keep decoding — real serde's `default` semantics for
+    /// options.
+    fn from_missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
 }
 
 /// Looks up a required struct field in an object's entries.
@@ -123,6 +133,21 @@ pub fn get_field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v V
         .find(|(k, _)| k == name)
         .map(|(_, v)| v)
         .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+/// Deserializes a struct field from an object's entries, routing absent
+/// fields through [`Deserialize::from_missing_field`] so optional fields
+/// tolerate old serialized forms that predate them.
+///
+/// Used by the derive-generated `Deserialize` impls.
+pub fn field_or_missing<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::from_missing_field(name),
+    }
 }
 
 // ---- impls for std types ----------------------------------------------
@@ -305,6 +330,11 @@ impl<T: Deserialize> Deserialize for Option<T> {
             Value::Null => Ok(None),
             other => T::from_value(other).map(Some),
         }
+    }
+
+    /// An absent optional field is simply `None`.
+    fn from_missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
     }
 }
 
@@ -502,6 +532,26 @@ mod tests {
             );
             assert_eq!(Duration::from_value(&v).unwrap(), d);
         }
+    }
+
+    #[test]
+    fn absent_fields_default_options_but_fail_required_types() {
+        let entries: Vec<(String, Value)> = vec![("present".into(), Value::U64(7))];
+        // Present fields decode normally, optional or not.
+        assert_eq!(field_or_missing::<u64>(&entries, "present").unwrap(), 7);
+        assert_eq!(
+            field_or_missing::<Option<u64>>(&entries, "present").unwrap(),
+            Some(7)
+        );
+        // Absent optional fields decode as None (old wire forms keep
+        // working when a struct grows an Option field)...
+        assert_eq!(
+            field_or_missing::<Option<u64>>(&entries, "absent").unwrap(),
+            None
+        );
+        // ...while absent required fields still fail loudly.
+        let err = field_or_missing::<u64>(&entries, "absent").unwrap_err();
+        assert!(err.to_string().contains("missing field `absent`"), "{err}");
     }
 
     #[test]

@@ -293,9 +293,12 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
 fn named_fields_ctor(path: &str, fields: &[String], entries_var: &str) -> String {
     let mut out = format!("::std::result::Result::Ok({path} {{");
     for f in fields {
+        // Absent fields go through `Deserialize::from_missing_field`, so
+        // `Option` fields decode as `None` from serialized forms that
+        // predate them instead of failing the whole struct.
         let _ = write!(
             out,
-            "{f}: ::serde::Deserialize::from_value(::serde::get_field({entries_var}, {f:?})?)?,"
+            "{f}: ::serde::field_or_missing({entries_var}, {f:?})?,"
         );
     }
     out.push_str("})");
