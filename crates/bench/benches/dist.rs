@@ -1,0 +1,12 @@
+//! `cargo bench` harness for the distributed-serving suite at full
+//! size; the measurement code lives in [`fsi_bench::suites::dist`].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{dist, Profile};
+
+fn benches_full(c: &mut Criterion) {
+    dist::register(c, &Profile::full());
+}
+
+criterion_group!(benches, benches_full);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! # fsi-bench — benchmark fixtures, suites, and the perf-gate runner
 //!
-//! The measurement code for all seven suites lives in [`suites`], driven
+//! The measurement code for all eight suites lives in [`suites`], driven
 //! from two entry points:
 //!
 //! * the classic per-suite `cargo bench` harnesses in `benches/*.rs`;
@@ -25,6 +25,9 @@
 //! * [`suites::cache`] — the LRU decision cache in front of the
 //!   service: cold, hot and Zipf-skewed dispatch throughput plus the
 //!   uncached twin the ≥ 3x acceptance bar divides against.
+//! * [`suites::dist`] — distributed serving: the scatter-gather
+//!   coordinator vs a single box, and keep-alive HTTP round-trips to a
+//!   remote shard.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

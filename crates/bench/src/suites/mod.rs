@@ -1,4 +1,4 @@
-//! The seven benchmark suites, parameterized by a size [`Profile`].
+//! The eight benchmark suites, parameterized by a size [`Profile`].
 //!
 //! Each suite exposes `register(c, profile)` so the same measurement code
 //! drives both entry points:
@@ -6,7 +6,7 @@
 //! * the classic `cargo bench` harnesses in `benches/*.rs` (one binary
 //!   per suite, full-size datasets);
 //! * the `fsi-bench` runner binary (`cargo run -p fsi-bench --bin
-//!   runner`), which runs all six suites in one process under either
+//!   runner`), which runs all eight suites in one process under either
 //!   the `--smoke` or `--full` profile and records the repo's perf
 //!   baseline.
 //!
@@ -18,6 +18,7 @@ use std::time::Duration;
 
 pub mod cache;
 pub mod construction;
+pub mod dist;
 pub mod metrics;
 pub mod ml_training;
 pub mod proto;
@@ -104,7 +105,7 @@ impl Profile {
     }
 }
 
-/// Registers all seven suites on one driver, in baseline order.
+/// Registers all eight suites on one driver, in baseline order.
 pub fn register_all(c: &mut Criterion, profile: &Profile) {
     construction::register(c, profile);
     split_search::register(c, profile);
@@ -113,6 +114,7 @@ pub fn register_all(c: &mut Criterion, profile: &Profile) {
     serving::register(c, profile);
     proto::register(c, profile);
     cache::register(c, profile);
+    dist::register(c, profile);
 }
 
 #[cfg(test)]

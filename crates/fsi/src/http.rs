@@ -30,9 +30,10 @@
 
 use crate::error::FsiError;
 use fsi_proto::{
-    decode_request, decode_response, encode_response, ErrorBody, ProtoError, Request, Response,
+    decode_request, decode_response, encode_response, ErrorBody, ErrorCode, ProtoError, Request,
+    Response,
 };
-use fsi_serve::QueryService;
+use fsi_serve::{QueryService, ServeError, ShardBackend, ShardDescriptor};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -557,6 +558,91 @@ pub fn query_once(addr: impl ToSocketAddrs, request: &Request) -> Result<Respons
     HttpClient::connect(addr)?.call(request)
 }
 
+/// A [`ShardBackend`] over a remote shard server: one keep-alive
+/// [`HttpClient`] speaking the typed protocol, shared by every
+/// coordinator worker behind a mutex (one in-flight request per remote
+/// shard — requests to *different* shards still run in parallel, which
+/// is what the two-phase rebuild fan-out needs).
+///
+/// A transport failure drops the dead connection and redials once
+/// before answering a structured [`ErrorCode::Internal`] error, so a
+/// shard-server restart costs one failed round-trip, not a coordinator
+/// restart.
+pub struct RemoteShard {
+    addr: String,
+    client: Mutex<Option<HttpClient>>,
+}
+
+impl RemoteShard {
+    /// Dials `addr` (`host:port`) eagerly, so topology construction
+    /// surfaces an unreachable shard immediately instead of at first
+    /// query.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let client = HttpClient::connect(addr).map_err(|e| ServeError::Remote {
+            addr: addr.to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(Self {
+            addr: addr.to_string(),
+            client: Mutex::new(Some(client)),
+        })
+    }
+
+    /// The connector `fsi_serve::Topology::from_spec` expects: dials
+    /// every `http://host:port` slot of a topology spec through
+    /// [`RemoteShard::connect`].
+    pub fn connector() -> impl Fn(&str) -> Result<Box<dyn ShardBackend>, ServeError> {
+        |addr| Ok(Box::new(RemoteShard::connect(addr)?) as Box<dyn ShardBackend>)
+    }
+
+    /// One round-trip, reconnecting once on a transport failure.
+    fn call(&self, request: &Request) -> Result<Response, FsiError> {
+        let mut slot = self.client.lock().unwrap_or_else(|e| e.into_inner());
+        let reconnected = match slot.take() {
+            Some(mut client) => match client.call(request) {
+                Ok(response) => {
+                    *slot = Some(client);
+                    return Ok(response);
+                }
+                // The connection is dead (server restarted, idle
+                // keep-alive reaped, …): drop it and redial below.
+                Err(_) => HttpClient::connect(self.addr.as_str())?,
+            },
+            None => HttpClient::connect(self.addr.as_str())?,
+        };
+        let mut client = reconnected;
+        let response = client.call(request)?;
+        *slot = Some(client);
+        Ok(response)
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn dispatch(&self, request: &Request) -> Response {
+        match self.call(request) {
+            Ok(response) => response,
+            Err(e) => Response::error(
+                ErrorCode::Internal,
+                format!("remote shard {}: {e}", self.addr),
+            ),
+        }
+    }
+
+    fn descriptor(&self) -> ShardDescriptor {
+        ShardDescriptor {
+            kind: "http",
+            addr: Some(self.addr.clone()),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self.dispatch(&Request::Stats) {
+            Response::Stats { stats } => stats.generations.first().copied().unwrap_or(0),
+            _ => 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +845,43 @@ mod tests {
         }
         assert!(closed, "server kept buffering an unbounded head line");
         server.shutdown();
+    }
+
+    #[test]
+    fn remote_shard_backend_forwards_and_degrades_gracefully() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        let shard = RemoteShard::connect(&addr).unwrap();
+        assert_eq!(
+            shard.descriptor(),
+            ShardDescriptor {
+                kind: "http",
+                addr: Some(addr.clone()),
+            }
+        );
+        assert_eq!(shard.generation(), 1);
+        match shard.dispatch(&Request::Lookup { x: 0.1, y: 0.1 }) {
+            Response::Decision { decision } => assert_eq!(decision.leaf_id, 0),
+            other => panic!("expected decision, got {other:?}"),
+        }
+        // Once the shard server is gone, dispatch answers a structured
+        // Internal error (after one reconnect attempt) and the
+        // generation reads as unreachable — the coordinator keeps
+        // serving its other shards.
+        server.shutdown();
+        match shard.dispatch(&Request::Stats) {
+            Response::Error { error } => {
+                assert_eq!(error.code, ErrorCode::Internal);
+                assert!(error.message.contains(&addr), "{}", error.message);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert_eq!(shard.generation(), 0);
+        // Dialing a dead address fails eagerly at construction.
+        assert!(matches!(
+            RemoteShard::connect(&addr),
+            Err(ServeError::Remote { .. })
+        ));
     }
 
     #[test]

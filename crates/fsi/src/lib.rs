@@ -25,11 +25,14 @@
 //!
 //! Online queries speak the **typed protocol** (`fsi-proto`): every
 //! transport decodes to a [`Request`], dispatches through a
-//! [`QueryService`] (optionally sharded behind a [`ShardRouter`]), and
-//! encodes the [`Response`]. [`Serving::listen`] attaches the built-in
-//! HTTP/1.1 JSON transport ([`http`]); [`repl`] is the line-oriented
-//! text transport behind `redistricting_cli serve`. All transports are
-//! differentially tested to answer bit-identically.
+//! [`QueryService`], and encodes the [`Response`]. A service fronts a
+//! [`Topology`] of shard backends — in-process partial indexes or
+//! remote `http://host:port` shard servers, described by a validated
+//! [`TopologySpec`] and built with [`Serving::service_over`].
+//! [`Serving::listen`] attaches the built-in HTTP/1.1 JSON transport
+//! ([`http`]); [`repl`] is the line-oriented text transport behind
+//! `redistricting_cli serve`. All transports are differentially tested
+//! to answer bit-identically.
 //!
 //! Under the hood each stage lives in a focused crate (`fsi-geo`,
 //! `fsi-core`, `fsi-ml`, `fsi-data`, `fsi-fairness`, `fsi-pipeline`,
@@ -49,7 +52,7 @@ pub mod pipeline;
 pub mod repl;
 
 pub use error::FsiError;
-pub use http::{HttpClient, HttpServer};
+pub use http::{HttpClient, HttpServer, RemoteShard};
 pub use multi::{MultiPipeline, MultiRun};
 pub use pipeline::{Pipeline, Run, RunReport, Serving};
 
@@ -64,10 +67,11 @@ pub use fsi_pipeline::{
 };
 pub use fsi_proto::{
     decode_request, decode_response, encode_request, encode_response, CacheStatsBody, DecisionBody,
-    ErrorBody, ErrorCode, ProtoError, Request, Response, StatsBody, WirePoint, WireRect,
-    PROTO_VERSION,
+    ErrorBody, ErrorCode, PreparedBody, ProtoError, Request, Response, ShardStatsBody, StatsBody,
+    WirePoint, WireRect, PROTO_VERSION,
 };
 pub use fsi_serve::{
-    CacheError, CacheScope, CacheSpec, CacheStats, Decision, FrozenIndex, IndexHandle, IndexReader,
-    QueryService, RebuildReport, Rebuilder, ShardRouter,
+    BackendSpec, CacheError, CacheScope, CacheSpec, CacheStats, Decision, FrozenIndex, IndexHandle,
+    IndexReader, LocalShard, QueryService, RebuildReport, Rebuilder, ShardBackend, ShardDescriptor,
+    Topology, TopologySpec,
 };

@@ -15,7 +15,7 @@ use fsi_pipeline::{
 };
 use fsi_serve::{
     compile_run, CacheSpec, FrozenIndex, IndexHandle, IndexReader, QueryService, RebuildReport,
-    Rebuilder, ShardRouter,
+    Rebuilder, Topology, TopologySpec,
 };
 use serde::{Deserialize, Serialize};
 use std::net::ToSocketAddrs;
@@ -269,7 +269,7 @@ impl<'d> Run<'d> {
 
     /// [`Run::serve`] with a decision cache in front of every service
     /// the deployment builds ([`Serving::service`],
-    /// [`Serving::service_sharded`], [`Serving::listen`]). The cache
+    /// [`Serving::service_over`], [`Serving::listen`]). The cache
     /// spec is validated here, up front; decisions are keyed by (cell,
     /// generation), so hot-swap rebuilds invalidate cached entries
     /// implicitly.
@@ -382,7 +382,7 @@ impl Serving<'_> {
     /// service are visible to each other because they share the handle.
     pub fn service(&self) -> QueryService {
         self.apply_cache(
-            QueryService::new(ShardRouter::single(self.handle.clone()))
+            QueryService::new(Topology::single(self.handle.clone()))
                 .with_rebuild(self.shared_dataset()),
         )
     }
@@ -411,16 +411,56 @@ impl Serving<'_> {
             .clone()
     }
 
-    /// A service over a fresh `rows × cols` [`ShardRouter`] seeded with
-    /// replicas of the current snapshot. Lookups route to one shard,
-    /// range queries fan out and merge; `Rebuild` requests publish to
-    /// every shard. The shards are detached from [`Serving::handle`] —
-    /// a deployment that shards its serving plane rebuilds *through the
-    /// service*, not through [`Serving::rebuild`].
+    /// The canonical sharded deployment path: a coordinator
+    /// [`QueryService`] over the [`Topology`] a validated
+    /// [`TopologySpec`] describes. `local` slots serve **partial
+    /// indexes** clipped from the current snapshot
+    /// ([`fsi_serve::FrozenIndex::compile_clipped`]), so per-shard heap
+    /// scales down with shard count; `http://host:port` slots are dialed
+    /// eagerly with the keep-alive [`crate::http::RemoteShard`] client.
+    /// The shards are detached from [`Serving::handle`] — a deployment
+    /// that shards its serving plane rebuilds *through the service*
+    /// (one-box `Rebuild`, or the two-phase `RebuildPrepare` /
+    /// `RebuildCommit` pair over remote fleets), not through
+    /// [`Serving::rebuild`].
+    pub fn service_over(&self, spec: &TopologySpec) -> Result<QueryService, FsiError> {
+        let index = self.handle.load().as_ref().clone();
+        let topology = Topology::from_spec(spec, index, crate::http::RemoteShard::connector())
+            .map_err(FsiError::from)?;
+        Ok(self.apply_cache(QueryService::new(topology).with_rebuild(self.shared_dataset())))
+    }
+
+    /// The service a **shard server** runs for slot `shard` of the
+    /// topology `spec` describes: a single-shard service over the
+    /// partial index clipped to that slot's sub-rectangle. A coordinator
+    /// built by [`Serving::service_over`] (here or on another machine)
+    /// routes this slot's traffic — including two-phase rebuilds — to
+    /// it over HTTP.
+    pub fn service_shard(
+        &self,
+        spec: &TopologySpec,
+        shard: usize,
+    ) -> Result<QueryService, FsiError> {
+        spec.validate().map_err(FsiError::from)?;
+        let index = self.handle.load();
+        let topology = Topology::partial(index.as_ref(), spec.rows, spec.cols, shard)
+            .map_err(FsiError::from)?;
+        Ok(self.apply_cache(QueryService::new(topology).with_rebuild(self.shared_dataset())))
+    }
+
+    /// A service over a fresh `rows × cols` topology seeded with
+    /// **replicas** of the current snapshot — the pre-topology
+    /// semantics, kept as a migration shim and equivalence-tested
+    /// against [`Serving::service_over`].
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `service_over(&TopologySpec::local(rows, cols))` — partial indexes \
+                instead of full replicas"
+    )]
     pub fn service_sharded(&self, rows: usize, cols: usize) -> Result<QueryService, FsiError> {
         let index = self.handle.load().as_ref().clone();
-        let router = ShardRouter::new(index, rows, cols).map_err(FsiError::from)?;
-        Ok(self.apply_cache(QueryService::new(router).with_rebuild(self.shared_dataset())))
+        let topology = Topology::replicated(index, rows, cols).map_err(FsiError::from)?;
+        Ok(self.apply_cache(QueryService::new(topology).with_rebuild(self.shared_dataset())))
     }
 
     /// Attaches the HTTP/1.1 JSON transport to this deployment: binds
@@ -603,12 +643,73 @@ mod tests {
         };
         assert!(stats.cache.is_none());
         // The sharded service plane inherits the same cache spec.
-        let mut sharded = cached_serving.service_sharded(2, 2).unwrap();
+        let mut sharded = cached_serving
+            .service_over(&TopologySpec::local(2, 2))
+            .unwrap();
         assert_eq!(sharded.cache_spec().unwrap().capacity, 256);
         for p in d.locations().iter().take(8) {
             let req = Request::Lookup { x: p.x, y: p.y };
             assert_eq!(sharded.dispatch(&req), uncached.dispatch(&req));
         }
+    }
+
+    /// The deprecated replica path and the canonical topology path must
+    /// answer every query identically — the migration contract.
+    #[test]
+    fn deprecated_sharded_service_matches_service_over() {
+        use fsi_proto::Request;
+        let d = dataset();
+        let serving = Pipeline::on(&d).height(3).run().unwrap().serve().unwrap();
+        #[allow(deprecated)]
+        let mut replicas = serving.service_sharded(2, 2).unwrap();
+        let mut partials = serving.service_over(&TopologySpec::local(2, 2)).unwrap();
+        for p in d.locations().iter().take(64) {
+            let req = Request::Lookup { x: p.x, y: p.y };
+            assert_eq!(replicas.dispatch(&req), partials.dispatch(&req));
+        }
+        for rect in [
+            fsi_proto::WireRect::new(0.0, 0.0, 1.0, 1.0),
+            fsi_proto::WireRect::new(0.2, 0.2, 0.8, 0.4),
+        ] {
+            let req = Request::RangeQuery { rect };
+            assert_eq!(replicas.dispatch(&req), partials.dispatch(&req));
+        }
+        // The partial plane is the smaller one, per shard.
+        let full_heap = serving.handle().load().heap_bytes();
+        for backend in partials.topology().backends() {
+            let local = backend.as_local().unwrap();
+            assert!(local.handle().load().heap_bytes() < full_heap);
+        }
+    }
+
+    /// A shard server over `Topology::partial` answers its own slot's
+    /// points exactly like the coordinator's local shards would.
+    #[test]
+    fn shard_service_serves_its_slot_of_the_topology() {
+        use fsi_proto::{Request, Response};
+        let d = dataset();
+        let serving = Pipeline::on(&d).height(3).run().unwrap().serve().unwrap();
+        let spec = TopologySpec::local(2, 2);
+        let mut whole = serving.service();
+        let mut shard = serving.service_shard(&spec, 0).unwrap();
+        // Shard 0 owns the south-west quadrant.
+        match (
+            shard.dispatch(&Request::Lookup { x: 0.1, y: 0.1 }),
+            whole.dispatch(&Request::Lookup { x: 0.1, y: 0.1 }),
+        ) {
+            (Response::Decision { decision: got }, Response::Decision { decision: want }) => {
+                assert_eq!(got, want)
+            }
+            other => panic!("expected decisions, got {other:?}"),
+        }
+        // The opposite corner is outside its clip.
+        match shard.dispatch(&Request::Lookup { x: 0.95, y: 0.95 }) {
+            Response::Error { error } => {
+                assert_eq!(error.code, fsi_proto::ErrorCode::OutOfBounds)
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(serving.service_shard(&spec, 4).is_err());
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //! * `batch X1 Y1 X2 Y2 …` — a batched lookup ([`Request::LookupBatch`]);
 //! * `rect X0 Y0 X1 Y1` — a map-space range query
 //!   ([`Request::RangeQuery`]); answers `neighborhoods: [..]`;
-//! * `stats` — service statistics ([`Request::Stats`]);
+//! * `stats` — service statistics ([`Request::Stats`]), including one
+//!   `shard#<i>` segment per backend on topology-backed services;
 //! * `rebuild <spec JSON>` — retrain and hot-swap
 //!   ([`Request::Rebuild`]), e.g. the JSON produced by serializing a
-//!   [`fsi_pipeline::PipelineSpec`].
+//!   [`fsi_pipeline::PipelineSpec`];
+//! * `prepare <spec JSON>` / `commit` / `abort` — the two-phase rebuild
+//!   barrier ([`Request::RebuildPrepare`] / [`Request::RebuildCommit`] /
+//!   [`Request::RebuildAbort`]) a coordinator drives against remote
+//!   shard servers.
 //!
 //! Anything else — wrong arity, unparsable numbers, degenerate
 //! rectangles, invalid UTF-8 — produces an `error: …` response line and
@@ -52,6 +57,15 @@ pub fn parse_line(line: &str) -> Option<Result<Request, String>> {
             match serde_json::from_str(json) {
                 Ok(spec) => Ok(Request::Rebuild { spec }),
                 Err(e) => Err(format!("bad rebuild spec: {e}")),
+            }
+        }
+        ["commit"] => Ok(Request::RebuildCommit),
+        ["abort"] => Ok(Request::RebuildAbort),
+        ["prepare", ..] => {
+            let json = line.trim_start().trim_start_matches("prepare").trim();
+            match serde_json::from_str(json) {
+                Ok(spec) => Ok(Request::RebuildPrepare { spec }),
+                Err(e) => Err(format!("bad prepare spec: {e}")),
             }
         }
         [x, y] => match (x.parse(), y.parse()) {
@@ -115,6 +129,18 @@ pub fn format_response(response: &Response) -> String {
                     cache.capacity
                 ));
             }
+            if let Some(per_shard) = &stats.per_shard {
+                for (i, shard) in per_shard.iter().enumerate() {
+                    line.push_str(&format!(
+                        " shard#{i}: kind={} addr={} generation={} leaves={} heap_bytes={}",
+                        shard.kind,
+                        shard.addr.as_deref().unwrap_or("-"),
+                        shard.generation,
+                        shard.num_leaves,
+                        shard.heap_bytes
+                    ));
+                }
+            }
             line
         }
         Response::Rebuilt { report } => format!(
@@ -124,6 +150,15 @@ pub fn format_response(response: &Response) -> String {
             report.ence,
             report.total_time.as_secs_f64() * 1e3
         ),
+        Response::Prepared { prepared } => format!(
+            "prepared: leaves={} heap_bytes={} ence={} build_ms={:.1}",
+            prepared.num_leaves,
+            prepared.heap_bytes,
+            prepared.ence,
+            prepared.build_time.as_secs_f64() * 1e3
+        ),
+        Response::Committed { generation } => format!("committed: generation={generation}"),
+        Response::Aborted => "aborted".into(),
         Response::Error { error } => format!("error: {}: {}", error.code, error.message),
     }
 }
@@ -240,6 +275,8 @@ mod tests {
             "batch 0.1",
             "batch 0.1 oops",
             "rebuild not-json",
+            "prepare not-json",
+            "commit now",
         ] {
             let a = answer_line(&mut svc, bad).unwrap_or_else(|| panic!("{bad} must answer"));
             assert!(a.starts_with("error:"), "{bad} -> {a}");
@@ -274,6 +311,32 @@ mod tests {
         assert!(lines[1].starts_with("error:"));
         assert!(lines[2].starts_with("error:"));
         assert!(lines[3].starts_with("leaf="));
+    }
+
+    #[test]
+    fn stats_line_reports_one_segment_per_shard() {
+        let mut svc = service();
+        let a = answer_line(&mut svc, "stats").unwrap();
+        assert!(a.contains("shard#0: kind=local addr=- generation=1"), "{a}");
+    }
+
+    #[test]
+    fn two_phase_commands_parse_and_answer() {
+        let mut svc = service();
+        // Commit before any prepare: a structured error, not a panic.
+        let a = answer_line(&mut svc, "commit").unwrap();
+        assert!(a.starts_with("error: not_prepared"), "{a}");
+        // Abort is idempotent: with nothing staged it still succeeds.
+        assert_eq!(answer_line(&mut svc, "abort").unwrap(), "aborted");
+        // Prepare without a rebuild dataset reports unavailability.
+        let spec = fsi_pipeline::PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::MedianKd,
+            2,
+        );
+        let line = format!("prepare {}", serde_json::to_string(&spec).unwrap());
+        let a = answer_line(&mut svc, &line).unwrap();
+        assert!(a.starts_with("error: rebuild_unavailable"), "{a}");
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub use message::{
     Response, ResponseEnvelope, PROTO_VERSION,
 };
 pub use wire::{
-    CacheStatsBody, DecisionBody, ErrorBody, ErrorCode, RebuildReport, StatsBody, WirePoint,
-    WireRect,
+    CacheStatsBody, DecisionBody, ErrorBody, ErrorCode, PreparedBody, RebuildReport,
+    ShardStatsBody, StatsBody, WirePoint, WireRect,
 };

@@ -1,7 +1,9 @@
 //! The request/response messages and their versioned wire envelopes.
 
 use crate::error::ProtoError;
-use crate::wire::{DecisionBody, ErrorBody, RebuildReport, StatsBody, WirePoint, WireRect};
+use crate::wire::{
+    DecisionBody, ErrorBody, PreparedBody, RebuildReport, StatsBody, WirePoint, WireRect,
+};
 use fsi_pipeline::PipelineSpec;
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +43,23 @@ pub enum Request {
         /// The pipeline spec the new index is built from.
         spec: PipelineSpec,
     },
+    /// Phase one of an orchestrated two-phase rebuild: retrain with
+    /// `spec` and *stage* the result without serving it. The staged
+    /// index only goes live on a later [`Request::RebuildCommit`], so a
+    /// coordinator can prepare every shard before any of them publishes
+    /// — no client ever observes a mixed-generation fleet.
+    RebuildPrepare {
+        /// The pipeline spec the staged index is built from.
+        spec: PipelineSpec,
+    },
+    /// Phase two of an orchestrated rebuild: publish the index staged
+    /// by the last [`Request::RebuildPrepare`].
+    RebuildCommit,
+    /// Abandon an orchestrated rebuild: drop any staged index without
+    /// publishing it. Idempotent — aborting with nothing staged is a
+    /// no-op, so a coordinator can always abort every shard after a
+    /// partial prepare failure.
+    RebuildAbort,
 }
 
 impl Request {
@@ -60,9 +79,10 @@ impl Request {
             }
             Request::RangeQuery { rect } => rect.validate(),
             Request::Stats => Ok(()),
-            Request::Rebuild { spec } => spec
+            Request::Rebuild { spec } | Request::RebuildPrepare { spec } => spec
                 .validate()
                 .map_err(|e| ProtoError::InvalidRequest(e.to_string())),
+            Request::RebuildCommit | Request::RebuildAbort => Ok(()),
         }
     }
 }
@@ -102,6 +122,20 @@ pub enum Response {
         /// What the rebuild did (boxed; see [`Response::Stats`]).
         report: Box<RebuildReport>,
     },
+    /// Answer to [`Request::RebuildPrepare`]: the index is staged,
+    /// waiting for the commit.
+    Prepared {
+        /// What was staged (boxed; see [`Response::Stats`]).
+        prepared: Box<PreparedBody>,
+    },
+    /// Answer to [`Request::RebuildCommit`].
+    Committed {
+        /// The generation the published index now serves at.
+        generation: u64,
+    },
+    /// Answer to [`Request::RebuildAbort`]: any staged index was
+    /// dropped; the live generation is untouched.
+    Aborted,
     /// Any failure, with a machine-readable code.
     Error {
         /// The structured failure.
@@ -207,6 +241,11 @@ mod tests {
             Request::Rebuild {
                 spec: PipelineSpec::new(TaskSpec::act(), Method::FairKd, 4),
             },
+            Request::RebuildPrepare {
+                spec: PipelineSpec::new(TaskSpec::act(), Method::MedianKd, 3),
+            },
+            Request::RebuildCommit,
+            Request::RebuildAbort,
         ]
     }
 
@@ -238,6 +277,14 @@ mod tests {
                         entries: 512,
                         capacity: 512,
                     }),
+                    per_shard: Some(vec![crate::ShardStatsBody {
+                        kind: "http".into(),
+                        addr: Some("10.0.0.7:7878".into()),
+                        generation: 3,
+                        num_leaves: 256,
+                        heap_bytes: 13300,
+                        backend: "tree".into(),
+                    }]),
                 }),
             },
             Response::Rebuilt {
@@ -250,6 +297,16 @@ mod tests {
                     total_time: std::time::Duration::new(1, 999_999_999),
                 }),
             },
+            Response::Prepared {
+                prepared: Box::new(PreparedBody {
+                    num_leaves: 280,
+                    heap_bytes: 14336,
+                    ence: 0.0123,
+                    build_time: std::time::Duration::from_micros(4321),
+                }),
+            },
+            Response::Committed { generation: 4 },
+            Response::Aborted,
             Response::error(ErrorCode::OutOfBounds, "point (2, 2) is outside the map"),
         ]
     }
@@ -407,6 +464,7 @@ mod tests {
                     heap_bytes: shards * 4096,
                     backend: "cells".into(),
                     cache,
+                    per_shard: None,
                 }),
             };
             prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);

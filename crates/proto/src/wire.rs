@@ -129,6 +129,25 @@ impl CacheStatsBody {
     }
 }
 
+/// One shard's entry inside a [`StatsBody`], carrying where the shard
+/// lives (backend kind + address) beside its index snapshot numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatsBody {
+    /// Backend kind: `"local"` (in-process index) or `"http"` (remote
+    /// shard behind a socket).
+    pub kind: String,
+    /// The remote shard's `host:port` address; `None` for local shards.
+    pub addr: Option<String>,
+    /// The shard's live snapshot generation.
+    pub generation: u64,
+    /// Leaves served by this shard's (possibly clipped) index.
+    pub num_leaves: usize,
+    /// Approximate heap footprint of this shard's index, in bytes.
+    pub heap_bytes: usize,
+    /// Compiled backend serving this shard (`"tree"` or `"cells"`).
+    pub backend: String,
+}
+
 /// Service statistics answered to [`crate::Request::Stats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsBody {
@@ -148,6 +167,11 @@ pub struct StatsBody {
     /// has a cache configured. Optional so v1 envelopes encoded before
     /// this field existed still decode.
     pub cache: Option<CacheStatsBody>,
+    /// Per-shard breakdown with backend kind and address, populated by
+    /// topology-aware coordinators. Optional so v1 envelopes encoded
+    /// before this field existed still decode (same pattern as
+    /// `cache`).
+    pub per_shard: Option<Vec<ShardStatsBody>>,
 }
 
 /// What a finished rebuild did — the body of
@@ -171,6 +195,21 @@ pub struct RebuildReport {
     pub total_time: Duration,
 }
 
+/// What phase one of a two-phase rebuild staged — the body of
+/// [`crate::Response::Prepared`]: the index is built and held back,
+/// waiting for a [`crate::Request::RebuildCommit`] to publish it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreparedBody {
+    /// Leaves in the staged (possibly clipped) index.
+    pub num_leaves: usize,
+    /// Approximate heap footprint of the staged index, in bytes.
+    pub heap_bytes: usize,
+    /// ENCE of the retrained model over the full population.
+    pub ence: f64,
+    /// Wall-clock of training + compile for the staged index.
+    pub build_time: Duration,
+}
+
 /// Machine-readable failure category of an [`ErrorBody`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorCode {
@@ -184,6 +223,8 @@ pub enum ErrorCode {
     InvalidSpec,
     /// The service was built without rebuild support.
     RebuildUnavailable,
+    /// A rebuild commit arrived with no staged index to publish.
+    NotPrepared,
     /// The service failed internally (training error, …).
     Internal,
 }
@@ -196,6 +237,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::OutOfBounds => "out_of_bounds",
             ErrorCode::InvalidSpec => "invalid_spec",
             ErrorCode::RebuildUnavailable => "rebuild_unavailable",
+            ErrorCode::NotPrepared => "not_prepared",
             ErrorCode::Internal => "internal",
         };
         f.write_str(name)
@@ -285,6 +327,10 @@ mod tests {
         assert_eq!(stats.heap_bytes, 49152);
         assert_eq!(stats.backend, "tree");
         assert_eq!(stats.cache, None, "missing cache field must decode as None");
+        assert_eq!(
+            stats.per_shard, None,
+            "missing per_shard field must decode as None"
+        );
         // Truly required fields still fail loudly when absent.
         let truncated = r#"{"shards": 1, "generations": [1]}"#;
         let err = serde_json::from_str::<StatsBody>(truncated).unwrap_err();
@@ -306,6 +352,7 @@ mod tests {
                 entries: 64,
                 capacity: 128,
             }),
+            per_shard: None,
         };
         let json = serde_json::to_string(&stats).unwrap();
         let back: StatsBody = serde_json::from_str(&json).unwrap();
@@ -322,6 +369,55 @@ mod tests {
             }),
             0.0
         );
+    }
+
+    #[test]
+    fn stats_body_with_per_shard_entries_round_trips() {
+        let stats = StatsBody {
+            shards: 2,
+            generations: vec![3, 3],
+            num_leaves: 1024,
+            heap_bytes: 49152,
+            backend: "tree".into(),
+            cache: None,
+            per_shard: Some(vec![
+                ShardStatsBody {
+                    kind: "local".into(),
+                    addr: None,
+                    generation: 3,
+                    num_leaves: 280,
+                    heap_bytes: 14336,
+                    backend: "tree".into(),
+                },
+                ShardStatsBody {
+                    kind: "http".into(),
+                    addr: Some("127.0.0.1:7878".into()),
+                    generation: 3,
+                    num_leaves: 296,
+                    heap_bytes: 15104,
+                    backend: "tree".into(),
+                },
+            ]),
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: StatsBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+        let shards = back.per_shard.unwrap();
+        assert_eq!(shards[0].addr, None);
+        assert_eq!(shards[1].addr.as_deref(), Some("127.0.0.1:7878"));
+    }
+
+    #[test]
+    fn prepared_body_round_trips() {
+        let prepared = PreparedBody {
+            num_leaves: 280,
+            heap_bytes: 14336,
+            ence: 0.0123,
+            build_time: Duration::from_micros(4321),
+        };
+        let json = serde_json::to_string(&prepared).unwrap();
+        let back: PreparedBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(prepared, back);
     }
 
     #[test]

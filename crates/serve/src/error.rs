@@ -47,6 +47,18 @@ pub enum ServeError {
         /// Requested shard columns.
         cols: usize,
     },
+    /// A topology spec (or a clip rectangle derived from one) failed
+    /// validation.
+    InvalidTopology(String),
+    /// A remote shard backend failed to answer.
+    Remote {
+        /// The remote shard's address.
+        addr: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A rebuild commit arrived with no staged index to publish.
+    NotStaged,
     /// A decision-cache spec failed validation.
     Cache(fsi_cache::CacheError),
     /// The underlying pipeline run failed.
@@ -77,6 +89,13 @@ impl fmt::Display for ServeError {
                 f,
                 "shard grid must have at least one row and one column, got {rows}x{cols}"
             ),
+            ServeError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            ServeError::Remote { addr, detail } => {
+                write!(f, "remote shard {addr}: {detail}")
+            }
+            ServeError::NotStaged => {
+                write!(f, "rebuild commit received with no staged index")
+            }
             ServeError::Cache(e) => write!(f, "cache error: {e}"),
             ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
@@ -126,5 +145,13 @@ mod tests {
             max: 65535,
         };
         assert!(e.to_string().contains("70000"));
+        let e = ServeError::InvalidTopology("shard 3: bad address".into());
+        assert!(e.to_string().contains("shard 3"));
+        let e = ServeError::Remote {
+            addr: "10.0.0.7:7878".into(),
+            detail: "connection refused".into(),
+        };
+        assert!(e.to_string().contains("10.0.0.7:7878"));
+        assert!(ServeError::NotStaged.to_string().contains("staged"));
     }
 }

@@ -58,6 +58,26 @@ enum Backend {
     Cells(Vec<u32>),
 }
 
+/// Restriction of a partial index to a sub-block of the global grid.
+///
+/// A clipped index keeps the *global* [`Grid`], so fractional cell
+/// coordinates — and therefore leaf assignment — stay bit-identical to
+/// the unclipped index; only the acceptance test and the leaf-id
+/// namespace shrink. Leaf storage is compacted to the leaves whose
+/// region intersects the block, with `leaf_ids` mapping each local slot
+/// back to its global id, so every [`Decision`] a partial index hands
+/// out is indistinguishable from the single-box answer.
+#[derive(Debug, Clone)]
+struct Clip {
+    /// The block of global grid cells this partial index owns.
+    cells: CellRect,
+    /// Continuous extent of the block (what [`FrozenIndex::bounds`]
+    /// reports for a clipped index).
+    rect: Rect,
+    /// Local leaf slot → global leaf id, ascending.
+    leaf_ids: Vec<u32>,
+}
+
 /// The decision returned for one query point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Decision {
@@ -105,6 +125,9 @@ pub struct FrozenIndex {
     calibrated: Vec<f64>,
     /// Per-leaf fairness-group ids.
     group: Vec<u32>,
+    /// `Some` when this is a partial index restricted to a sub-block of
+    /// the grid (see [`FrozenIndex::compile_clipped`]).
+    clip: Option<Clip>,
 }
 
 impl FrozenIndex {
@@ -187,6 +210,94 @@ impl FrozenIndex {
             offset: snapshot.offsets().to_vec(),
             calibrated,
             group: snapshot.groups().to_vec(),
+            clip: None,
+        })
+    }
+
+    /// Compiles a **partial index** restricted to the grid cells a clip
+    /// rectangle touches (closed-bounds, same cell semantics as
+    /// [`FrozenIndex::range_query`]).
+    ///
+    /// The partial index keeps the global grid geometry, so every answer
+    /// it gives — leaf ids, groups, scores, cache cell indices — is
+    /// bit-identical to the full index; points whose cell falls outside
+    /// the block are simply rejected (`lookup` returns `None`, batches
+    /// report [`ServeError::PointOutOfBounds`]). What shrinks is the
+    /// working set: the tree/cell backend is pruned to the block and
+    /// leaf storage is compacted to the leaves intersecting it, so
+    /// per-shard [`FrozenIndex::heap_bytes`] scales *down* with shard
+    /// count instead of replicating.
+    ///
+    /// Clipping an already clipped index is rejected.
+    pub fn compile_clipped(&self, rect: &Rect) -> Result<FrozenIndex, ServeError> {
+        if self.clip.is_some() {
+            return Err(ServeError::InvalidTopology(
+                "cannot clip an already clipped index".into(),
+            ));
+        }
+        let cells = self.covered_cells(rect).ok_or_else(|| {
+            ServeError::InvalidTopology(format!(
+                "clip rectangle ({}, {})..({}, {}) misses the map",
+                rect.min_x, rect.min_y, rect.max_x, rect.max_y
+            ))
+        })?;
+        // Which global leaves own at least one block cell? Local slots
+        // follow ascending global id, so remapped query results sort
+        // identically to the unclipped index.
+        let mut present = vec![false; self.num_leaves()];
+        for row in cells.row_start..cells.row_end {
+            for col in cells.col_start..cells.col_end {
+                let g = match &self.backend {
+                    Backend::Tree(_) => self.leaf_of(col as f64, row as f64),
+                    Backend::Cells(map) => map[row * self.grid.cols() + col],
+                };
+                present[g as usize] = true;
+            }
+        }
+        let leaf_ids: Vec<u32> = (0..self.num_leaves() as u32)
+            .filter(|&g| present[g as usize])
+            .collect();
+        let mut slot_of = vec![u32::MAX; self.num_leaves()];
+        for (slot, &g) in leaf_ids.iter().enumerate() {
+            slot_of[g as usize] = slot as u32;
+        }
+        let backend = match &self.backend {
+            Backend::Tree(ft) => Backend::Tree(clip_tree(ft, &cells, &slot_of)),
+            Backend::Cells(map) => {
+                let block_cols = cells.col_end - cells.col_start;
+                let mut local = Vec::with_capacity((cells.row_end - cells.row_start) * block_cols);
+                for row in cells.row_start..cells.row_end {
+                    for col in cells.col_start..cells.col_end {
+                        local.push(slot_of[map[row * self.grid.cols() + col] as usize]);
+                    }
+                }
+                Backend::Cells(local)
+            }
+        };
+        let b = self.grid.bounds();
+        let rect = Rect::new(
+            b.min_x + cells.col_start as f64 * self.cell_w,
+            b.min_y + cells.row_start as f64 * self.cell_h,
+            (b.min_x + cells.col_end as f64 * self.cell_w).min(b.max_x),
+            (b.min_y + cells.row_end as f64 * self.cell_h).min(b.max_y),
+        )
+        .map_err(|e| ServeError::InvalidTopology(format!("degenerate clip block: {e}")))?;
+        let pick = |xs: &[f64]| leaf_ids.iter().map(|&g| xs[g as usize]).collect();
+        Ok(FrozenIndex {
+            backend,
+            grid: self.grid.clone(),
+            cell_w: self.cell_w,
+            cell_h: self.cell_h,
+            inv_wh: self.inv_wh,
+            raw: pick(&self.raw),
+            offset: pick(&self.offset),
+            calibrated: pick(&self.calibrated),
+            group: leaf_ids.iter().map(|&g| self.group[g as usize]).collect(),
+            clip: Some(Clip {
+                cells,
+                rect,
+                leaf_ids,
+            }),
         })
     }
 
@@ -234,7 +345,28 @@ impl FrozenIndex {
                 // already-computed fractional coordinates.
                 let col = (fx as usize).min(self.grid.cols() - 1);
                 let row = (fy as usize).min(self.grid.rows() - 1);
-                map[row * self.grid.cols() + col]
+                self.cell_slot(map, row, col)
+            }
+        }
+    }
+
+    /// Whether this index serves the grid cell the fractional
+    /// coordinates floor into. Always true for a full index; a partial
+    /// index accepts exactly the cells of its block, so a point on an
+    /// interior block edge is rejected here and served by the neighbor
+    /// owning the next cell — the same closed-boundary semantics as
+    /// `Grid::cell_of` on a single box.
+    #[inline]
+    fn accepts(&self, fx: f64, fy: f64) -> bool {
+        match &self.clip {
+            None => true,
+            Some(c) => {
+                let col = (fx as usize).min(self.grid.cols() - 1);
+                let row = (fy as usize).min(self.grid.rows() - 1);
+                row >= c.cells.row_start
+                    && row < c.cells.row_end
+                    && col >= c.cells.col_start
+                    && col < c.cells.col_end
             }
         }
     }
@@ -243,7 +375,10 @@ impl FrozenIndex {
     fn decision(&self, leaf: u32) -> Decision {
         let l = leaf as usize;
         Decision {
-            leaf_id: l,
+            leaf_id: match &self.clip {
+                None => l,
+                Some(c) => c.leaf_ids[l] as usize,
+            },
             group: self.group[l] as usize,
             raw_score: self.raw[l],
             calibrated_score: self.calibrated[l],
@@ -251,10 +386,14 @@ impl FrozenIndex {
     }
 
     /// Maps a point to its fair-neighborhood decision. Returns `None`
-    /// when the point is non-finite or outside the map bounds.
+    /// when the point is non-finite, outside the map bounds, or (for a
+    /// partial index) outside the clipped block.
     #[inline]
     pub fn lookup(&self, p: &Point) -> Option<Decision> {
         let (fx, fy) = self.fractional(p)?;
+        if !self.accepts(fx, fy) {
+            return None;
+        }
         Some(self.decision(self.leaf_of(fx, fy)))
     }
 
@@ -265,9 +404,16 @@ impl FrozenIndex {
     /// `lookup_cell(cell_index(p)?) == lookup(p)` for every point: one
     /// cached decision per cell can never disagree with the uncached
     /// answer, boundary points included.
+    ///
+    /// Cell indices stay **global** on a partial index (a clipped shard
+    /// rejects out-of-block points instead of renumbering cells), so a
+    /// decision cache keyed by them is consistent across every topology.
     #[inline]
     pub fn cell_index(&self, p: &Point) -> Option<u64> {
         let (fx, fy) = self.fractional(p)?;
+        if !self.accepts(fx, fy) {
+            return None;
+        }
         let col = (fx as usize).min(self.grid.cols() - 1);
         let row = (fy as usize).min(self.grid.rows() - 1);
         Some((row * self.grid.cols() + col) as u64)
@@ -285,9 +431,21 @@ impl FrozenIndex {
         if cell >= self.grid.rows() * cols {
             return None;
         }
+        let (row, col) = (cell / cols, cell % cols);
+        if let Some(c) = &self.clip {
+            // Cell ids are global; a partial index only answers for the
+            // cells of its block.
+            if row < c.cells.row_start
+                || row >= c.cells.row_end
+                || col < c.cells.col_start
+                || col >= c.cells.col_end
+            {
+                return None;
+            }
+        }
         let leaf = match &self.backend {
-            Backend::Tree(_) => self.leaf_of((cell % cols) as f64, (cell / cols) as f64),
-            Backend::Cells(map) => map[cell],
+            Backend::Tree(_) => self.leaf_of(col as f64, row as f64),
+            Backend::Cells(map) => self.cell_slot(map, row, col),
         };
         Some(self.decision(leaf))
     }
@@ -305,7 +463,8 @@ impl FrozenIndex {
         out.clear();
         out.reserve(points.len());
         for (index, p) in points.iter().enumerate() {
-            let Some((fx, fy)) = self.fractional(p) else {
+            let fract = self.fractional(p).filter(|&(fx, fy)| self.accepts(fx, fy));
+            let Some((fx, fy)) = fract else {
                 out.clear();
                 return Err(ServeError::PointOutOfBounds {
                     index,
@@ -322,10 +481,24 @@ impl FrozenIndex {
     /// [`KdTree::range_query`] over the covered cell block; a query
     /// entirely outside the map returns an empty vector.
     pub fn range_query(&self, query: &Rect) -> Vec<usize> {
-        let Some(cells) = self.covered_cells(query) else {
+        let Some(mut cells) = self.covered_cells(query) else {
             return Vec::new();
         };
-        match &self.backend {
+        if let Some(c) = &self.clip {
+            // A partial index answers for the intersection of the query
+            // block with its own block; the coordinator unions the
+            // per-shard results back into the single-box answer.
+            cells = CellRect::new(
+                cells.row_start.max(c.cells.row_start),
+                cells.row_end.min(c.cells.row_end),
+                cells.col_start.max(c.cells.col_start),
+                cells.col_end.min(c.cells.col_end),
+            );
+            if cells.row_start >= cells.row_end || cells.col_start >= cells.col_end {
+                return Vec::new();
+            }
+        }
+        let local = match &self.backend {
             Backend::Tree(ft) => {
                 let mut out = Vec::new();
                 let mut stack = vec![ft.root];
@@ -355,10 +528,34 @@ impl FrozenIndex {
                 let mut seen = vec![false; self.num_leaves()];
                 for row in cells.row_start..cells.row_end {
                     for col in cells.col_start..cells.col_end {
-                        seen[map[row * self.grid.cols() + col] as usize] = true;
+                        seen[self.cell_slot(map, row, col) as usize] = true;
                     }
                 }
-                (0..self.num_leaves()).filter(|&l| seen[l]).collect()
+                (0..self.num_leaves())
+                    .filter(|&l| seen[l])
+                    .collect::<Vec<_>>()
+            }
+        };
+        match &self.clip {
+            // Local slots ascend with global leaf ids, so the remapped
+            // list is already sorted.
+            None => local,
+            Some(c) => local
+                .into_iter()
+                .map(|slot| c.leaf_ids[slot] as usize)
+                .collect(),
+        }
+    }
+
+    /// Leaf slot stored for a global `(row, col)` cell in a cell-table
+    /// backend, translating into the block-local table when clipped.
+    #[inline]
+    fn cell_slot(&self, map: &[u32], row: usize, col: usize) -> u32 {
+        match &self.clip {
+            None => map[row * self.grid.cols() + col],
+            Some(c) => {
+                let block_cols = c.cells.col_end - c.cells.col_start;
+                map[(row - c.cells.row_start) * block_cols + (col - c.cells.col_start)]
             }
         }
     }
@@ -403,10 +600,21 @@ impl FrozenIndex {
         (self.grid.rows(), self.grid.cols())
     }
 
-    /// Map bounds accepted by lookups.
+    /// Map bounds accepted by lookups — the clipped block's extent for
+    /// a partial index, the whole map otherwise.
     #[inline]
     pub fn bounds(&self) -> &Rect {
-        self.grid.bounds()
+        match &self.clip {
+            None => self.grid.bounds(),
+            Some(c) => &c.rect,
+        }
+    }
+
+    /// The sub-rectangle this index is clipped to, or `None` for a full
+    /// index.
+    #[inline]
+    pub fn clip_rect(&self) -> Option<&Rect> {
+        self.clip.as_ref().map(|c| &c.rect)
     }
 
     /// `"tree"` or `"cells"`: which compiled backend answers lookups.
@@ -433,7 +641,118 @@ impl FrozenIndex {
             + (self.raw.len() + self.offset.len() + self.calibrated.len())
                 * std::mem::size_of::<f64>()
             + self.group.len() * std::mem::size_of::<u32>()
+            + self
+                .clip
+                .as_ref()
+                .map_or(0, |c| c.leaf_ids.len() * std::mem::size_of::<u32>())
     }
+}
+
+/// Prunes a flat tree to the sub-block `cells`, remapping leaves to
+/// local slots via `slot_of`.
+///
+/// Chains of internal nodes whose cut falls outside the block's
+/// row/column range resolve to their only reachable child (contracting
+/// the chain), so traversal depth also shrinks with the block. Ranges
+/// are half-open and non-empty throughout: for a node with cut `s` and
+/// range `lo..hi`, `lo ≥ s` implies `hi > s`, so at least one child is
+/// always reachable.
+fn clip_tree(ft: &FlatTree, cells: &CellRect, slot_of: &[u32]) -> FlatTree {
+    // Resolve a child reference under the row/col ranges it can receive:
+    // skip internal nodes the block never crosses, narrowing the range.
+    fn resolve(
+        nodes: &[FlatNode],
+        mut r: u32,
+        mut rows: (usize, usize),
+        mut cols: (usize, usize),
+    ) -> (u32, (usize, usize), (usize, usize)) {
+        while r & LEAF_BIT == 0 {
+            let n = &nodes[r as usize];
+            let s = n.split as usize;
+            let (lo, hi) = if n.axis == 0 { cols } else { rows };
+            let (low, high) = (lo < s, hi > s);
+            if low && high {
+                break;
+            }
+            let (child, narrowed) = if low {
+                (n.children[0], (lo, hi.min(s)))
+            } else {
+                (n.children[1], (lo.max(s), hi))
+            };
+            if n.axis == 0 {
+                cols = narrowed;
+            } else {
+                rows = narrowed;
+            }
+            r = child;
+        }
+        (r, rows, cols)
+    }
+
+    let remap_leaf = |r: u32| LEAF_BIT | slot_of[(r & !LEAF_BIT) as usize];
+    let rows0 = (cells.row_start, cells.row_end);
+    let cols0 = (cells.col_start, cells.col_end);
+    let (root, root_rows, root_cols) = resolve(&ft.nodes, ft.root, rows0, cols0);
+    if root & LEAF_BIT != 0 {
+        return FlatTree {
+            nodes: Vec::new(),
+            root: remap_leaf(root),
+        };
+    }
+
+    // Pass 1: breadth-first order over kept internal nodes, tracking the
+    // (narrowed) range each one is reached with.
+    // A kept node plus the (row, col) index ranges it is reached with.
+    type RangedNode = (u32, (usize, usize), (usize, usize));
+    let mut new_of = vec![u32::MAX; ft.nodes.len()];
+    let mut order: Vec<RangedNode> = Vec::new();
+    let mut queue = std::collections::VecDeque::from([(root, root_rows, root_cols)]);
+    while let Some((i, rows, cols)) = queue.pop_front() {
+        new_of[i as usize] = order.len() as u32;
+        order.push((i, rows, cols));
+        let n = &ft.nodes[i as usize];
+        let s = n.split as usize;
+        let (lo, hi) = if n.axis == 0 { cols } else { rows };
+        for (child, sub) in [(n.children[0], (lo, s)), (n.children[1], (s, hi))] {
+            let (crows, ccols) = if n.axis == 0 {
+                (rows, sub)
+            } else {
+                (sub, cols)
+            };
+            let (c, crows, ccols) = resolve(&ft.nodes, child, crows, ccols);
+            if c & LEAF_BIT == 0 {
+                queue.push_back((c, crows, ccols));
+            }
+        }
+    }
+
+    // Pass 2: emit nodes with resolved, remapped child references.
+    let mut nodes = Vec::with_capacity(order.len());
+    for &(i, rows, cols) in &order {
+        let n = &ft.nodes[i as usize];
+        let s = n.split as usize;
+        let (lo, hi) = if n.axis == 0 { cols } else { rows };
+        let mut children = [0u32; 2];
+        for (k, sub) in [(0usize, (lo, s)), (1, (s, hi))] {
+            let (crows, ccols) = if n.axis == 0 {
+                (rows, sub)
+            } else {
+                (sub, cols)
+            };
+            let (c, _, _) = resolve(&ft.nodes, n.children[k], crows, ccols);
+            children[k] = if c & LEAF_BIT != 0 {
+                remap_leaf(c)
+            } else {
+                new_of[c as usize]
+            };
+        }
+        nodes.push(FlatNode {
+            split: n.split,
+            axis: n.axis,
+            children,
+        });
+    }
+    FlatTree { nodes, root: 0 }
 }
 
 /// Flattens a [`KdTree`] arena into breadth-first [`FlatNode`]s.
@@ -771,6 +1090,152 @@ mod tests {
         assert!(matches!(
             FrozenIndex::from_partition(&partition, &other_grid, &good),
             Err(ServeError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clipped_index_agrees_with_global_inside_its_block() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let by_tree = FrozenIndex::compile(
+            &tree,
+            &grid,
+            &ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap(),
+        )
+        .unwrap();
+        let partition = Partition::uniform(&grid, 2, 4).unwrap();
+        // Non-uniform scores so the slot → global remap is exercised.
+        let snapshot = ModelSnapshot::new(
+            (0..8).map(|i| i as f64 / 10.0).collect(),
+            vec![0.01; 8],
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+        )
+        .unwrap();
+        let by_cells = FrozenIndex::from_partition(&partition, &grid, &snapshot).unwrap();
+        let quads = [
+            Rect::new(0.0, 0.0, 0.49, 0.49).unwrap(),
+            Rect::new(0.5, 0.0, 1.0, 0.49).unwrap(),
+            Rect::new(0.0, 0.5, 0.49, 1.0).unwrap(),
+            Rect::new(0.5, 0.5, 1.0, 1.0).unwrap(),
+        ];
+        for full in [&by_tree, &by_cells] {
+            for rect in &quads {
+                let part = full.compile_clipped(rect).unwrap();
+                assert!(part.heap_bytes() < full.heap_bytes());
+                let block = part.clip.as_ref().unwrap().cells;
+                let mut inside_pts = Vec::new();
+                let mut outside_pts = Vec::new();
+                for cell in grid.cells() {
+                    let (row, col) = grid.row_col(cell);
+                    let c = grid.centroid(cell).unwrap();
+                    let inside = row >= block.row_start
+                        && row < block.row_end
+                        && col >= block.col_start
+                        && col < block.col_end;
+                    if inside {
+                        inside_pts.push(c);
+                        assert_eq!(part.lookup(&c), full.lookup(&c), "cell {cell}");
+                        assert_eq!(part.cell_index(&c), full.cell_index(&c));
+                        assert_eq!(part.lookup_cell(cell as u64), full.lookup_cell(cell as u64));
+                    } else {
+                        outside_pts.push(c);
+                        assert!(part.lookup(&c).is_none(), "cell {cell}");
+                        assert!(part.cell_index(&c).is_none());
+                        assert!(part.lookup_cell(cell as u64).is_none());
+                    }
+                }
+                let (mut got, mut want) = (Vec::new(), Vec::new());
+                part.lookup_batch(&inside_pts, &mut got).unwrap();
+                full.lookup_batch(&inside_pts, &mut want).unwrap();
+                assert_eq!(got, want);
+                // An out-of-block point fails a shard batch the same way
+                // an out-of-map point fails a single-box batch.
+                let mut bad = inside_pts.clone();
+                bad.push(outside_pts[0]);
+                assert!(matches!(
+                    part.lookup_batch(&bad, &mut got),
+                    Err(ServeError::PointOutOfBounds { .. })
+                ));
+                assert!(got.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn union_of_clipped_ranges_matches_single_box() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let full = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        let quads = [
+            Rect::new(0.0, 0.0, 0.5, 0.5).unwrap(),
+            Rect::new(0.5, 0.0, 1.0, 0.5).unwrap(),
+            Rect::new(0.0, 0.5, 0.5, 1.0).unwrap(),
+            Rect::new(0.5, 0.5, 1.0, 1.0).unwrap(),
+        ];
+        let parts: Vec<_> = quads
+            .iter()
+            .map(|r| full.compile_clipped(r).unwrap())
+            .collect();
+        for query in [
+            Rect::unit(),
+            Rect::new(0.2, 0.2, 0.8, 0.8).unwrap(),
+            Rect::new(0.01, 0.01, 0.02, 0.02).unwrap(),
+            Rect::new(0.45, 0.45, 0.55, 0.55).unwrap(),
+        ] {
+            let mut union: Vec<usize> = parts.iter().flat_map(|p| p.range_query(&query)).collect();
+            union.sort_unstable();
+            union.dedup();
+            assert_eq!(union, full.range_query(&query), "query {query:?}");
+        }
+        assert!(parts[0]
+            .range_query(&Rect::new(0.9, 0.9, 0.95, 0.95).unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn clipping_to_one_leaf_contracts_the_tree() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let full = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        let part = full
+            .compile_clipped(&Rect::new(0.01, 0.01, 0.02, 0.02).unwrap())
+            .unwrap();
+        assert_eq!(part.num_leaves(), 1);
+        let Backend::Tree(ft) = &part.backend else {
+            panic!("tree-compiled index must keep the tree backend");
+        };
+        assert!(ft.nodes.is_empty(), "single-leaf clip contracts every cut");
+        let p = Point::new(0.015, 0.015);
+        assert_eq!(part.lookup(&p), full.lookup(&p));
+        assert_eq!(
+            part.range_query(&Rect::new(0.01, 0.01, 0.02, 0.02).unwrap())
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn clip_validates_inputs_and_reports_block_bounds() {
+        let grid = grid8();
+        let tree = median_tree(&grid);
+        let snapshot = ModelSnapshot::uniform(tree.num_leaves(), 0.5).unwrap();
+        let full = FrozenIndex::compile(&tree, &grid, &snapshot).unwrap();
+        let rect = Rect::new(0.0, 0.0, 0.5, 0.5).unwrap();
+        let part = full.compile_clipped(&rect).unwrap();
+        // The 0.5 closed corner floors into cell (4, 4), so the block is
+        // 5×5 cells and the reported bounds snap to cell edges.
+        assert_eq!(part.bounds(), &Rect::new(0.0, 0.0, 0.625, 0.625).unwrap());
+        assert!(part.clip_rect().is_some());
+        assert!(full.clip_rect().is_none());
+        assert!(matches!(
+            part.compile_clipped(&rect),
+            Err(ServeError::InvalidTopology(_))
+        ));
+        assert!(matches!(
+            full.compile_clipped(&Rect::new(2.0, 2.0, 3.0, 3.0).unwrap()),
+            Err(ServeError::InvalidTopology(_))
         ));
     }
 

@@ -18,9 +18,14 @@
 //! * [`QueryService`] — dispatches every typed [`fsi_proto::Request`] to
 //!   an [`fsi_proto::Response`]; the one query surface every transport
 //!   (REPL, HTTP, future RPC) sits on.
-//! * [`ShardRouter`] — spatially partitions the served bounds over a set
-//!   of shard handles: lookups route to one shard, range queries fan out
-//!   and merge.
+//! * [`Topology`] / [`ShardBackend`] — spatially partitions the served
+//!   bounds over a set of shard backends (in-process [`LocalShard`]s
+//!   over partial indexes, or remote processes speaking the protocol):
+//!   lookups route to one shard, range queries scatter-gather, rebuilds
+//!   run a two-phase generation barrier. Built from a validated
+//!   [`TopologySpec`] (`rows × cols`, per-shard `local` or
+//!   `http://host:port`). The replica-only [`ShardRouter`] is its
+//!   deprecated predecessor.
 //! * [`IndexHandle`] / [`IndexReader`] — lock-free reads with atomic
 //!   snapshot hot-swap (std-only `Arc` + atomics), so a rebuild never
 //!   blocks a query.
@@ -61,6 +66,7 @@ pub mod handle;
 pub mod rebuild;
 pub mod service;
 pub mod shard;
+pub mod topology;
 
 pub use driver::{sweep, ThroughputReport};
 pub use error::ServeError;
@@ -69,6 +75,9 @@ pub use handle::{IndexHandle, IndexReader};
 pub use rebuild::{build_index, compile_run, RebuildReport, Rebuilder};
 pub use service::QueryService;
 pub use shard::ShardRouter;
+pub use topology::{
+    BackendSpec, LocalShard, ShardBackend, ShardDescriptor, Topology, TopologySpec,
+};
 
 // The decision-cache vocabulary callers configure services with.
 pub use fsi_cache::{CacheError, CacheScope, CacheSpec, CacheStats};

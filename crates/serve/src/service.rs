@@ -3,27 +3,35 @@
 //! [`QueryService::dispatch`], and encodes the returned
 //! [`fsi_proto::Response`]. Nothing else in the system answers queries.
 //!
-//! A service fronts a [`ShardRouter`]: point lookups route to exactly
-//! one shard, range queries fan out to the intersected shards and merge,
-//! stats report per-shard generations, and (when constructed with a
-//! dataset via [`QueryService::with_rebuild`]) a `Rebuild` request
-//! retrains the pipeline and hot-swaps the result into every shard.
+//! A service coordinates a [`Topology`] of
+//! [`ShardBackend`](crate::topology::ShardBackend)s: point
+//! lookups route to exactly one shard (answered in-process for local
+//! shards, forwarded for remote ones), range queries scatter-gather
+//! across the intersected shards and merge, stats report a per-shard
+//! breakdown, and (when constructed with a dataset via
+//! [`QueryService::with_rebuild`]) rebuilds run a **two-phase
+//! generation barrier**: every shard stages the retrained index before
+//! any shard publishes, so no client ever observes a mixed-generation
+//! fleet mid-rebuild.
 //!
 //! The service is **cheap to clone and single-threaded by design**:
 //! each clone owns its per-shard [`IndexReader`]s and its reusable batch
-//! buffers, while the router (and thus the live indexes) stays shared.
-//! A transport spawns one clone per worker thread and dispatches without
-//! any locking on the hot path.
+//! buffers, while the topology (and thus the live indexes and remote
+//! connections) stays shared. A transport spawns one clone per worker
+//! thread and dispatches without any locking on the local hot path.
 
 use crate::frozen::{Decision, FrozenIndex};
 use crate::rebuild::build_index;
-use crate::shard::ShardRouter;
+use crate::topology::Topology;
 use crate::{IndexReader, RebuildReport, ServeError};
 use fsi_cache::{CacheKey, CacheScope, CacheSpec, CacheStats, FrontedLru, ShardedLru};
 use fsi_data::SpatialDataset;
 use fsi_geo::{Point, Rect};
-use fsi_pipeline::PipelineSpec;
-use fsi_proto::{CacheStatsBody, DecisionBody, ErrorCode, Request, Response, StatsBody, WirePoint};
+use fsi_pipeline::{MethodRun, PipelineSpec};
+use fsi_proto::{
+    CacheStatsBody, DecisionBody, ErrorCode, PreparedBody, Request, Response, ShardStatsBody,
+    StatsBody, WirePoint,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -104,11 +112,50 @@ struct CacheLayer {
     store: CacheStore,
 }
 
-/// Dispatches typed protocol requests against a sharded set of live
-/// indexes. See the module docs for the design.
+/// What one shard slot looks like from this service clone: a private
+/// [`IndexReader`] over the local shard's handle (the lock-free hot
+/// path), or a marker that queries must be forwarded through the
+/// topology's boxed backend.
+enum ShardSlot {
+    Local(IndexReader),
+    Remote,
+}
+
+/// The out-of-bounds error a batch lookup answers, naming the offending
+/// point by its index *within the batch* regardless of which shard
+/// (local or remote) rejected it.
+fn batch_oob(index: usize, wp: &WirePoint) -> Response {
+    Response::error(
+        ErrorCode::OutOfBounds,
+        format!(
+            "point #{index} at ({}, {}) is outside the index bounds",
+            wp.x, wp.y
+        ),
+    )
+}
+
+/// Best-effort abort fan-out: drops staged rebuild state on every shard
+/// of the topology — locals directly, remotes via
+/// [`Request::RebuildAbort`]. Abort is idempotent and an unreachable
+/// remote is skipped (it has nothing durable to publish anyway), so a
+/// coordinator can always call this after a partial prepare failure
+/// without leaving a stale staged index behind a live shard.
+fn abort_all(topology: &Topology) {
+    for backend in topology.backends() {
+        match backend.as_local() {
+            Some(local) => local.abort(),
+            None => {
+                let _ = backend.dispatch(&Request::RebuildAbort);
+            }
+        }
+    }
+}
+
+/// Dispatches typed protocol requests against a topology of shard
+/// backends. See the module docs for the design.
 pub struct QueryService {
-    router: Arc<ShardRouter>,
-    readers: Vec<IndexReader>,
+    topology: Arc<Topology>,
+    slots: Vec<ShardSlot>,
     rebuild_dataset: Option<Arc<SpatialDataset>>,
     /// Reusable scratch for batch lookups (converted query points).
     points: Vec<Point>,
@@ -119,16 +166,19 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Creates a service over `router`, without rebuild support:
-    /// `Rebuild` requests answer a structured
-    /// [`ErrorCode::RebuildUnavailable`] error.
-    pub fn new(router: ShardRouter) -> Self {
-        Self::over(Arc::new(router), None)
+    /// Creates a service over a [`Topology`] (a deprecated
+    /// `ShardRouter` converts via `Into`, preserving its replica
+    /// semantics), without rebuild support: `Rebuild` requests answer a
+    /// structured [`ErrorCode::RebuildUnavailable`] error.
+    pub fn new(topology: impl Into<Topology>) -> Self {
+        Self::over(Arc::new(topology.into()), None)
     }
 
     /// Enables spec-driven rebuilds: a `Rebuild{spec}` request retrains
     /// the pipeline on `dataset` and publishes the compiled index to
-    /// every shard.
+    /// every shard through the two-phase barrier, and the
+    /// `RebuildPrepare` / `RebuildCommit` pair lets an upstream
+    /// coordinator drive this service as one shard of *its* fleet.
     #[must_use]
     pub fn with_rebuild(mut self, dataset: Arc<SpatialDataset>) -> Self {
         self.rebuild_dataset = Some(dataset);
@@ -138,7 +188,8 @@ impl QueryService {
     /// Puts a decision cache in front of point lookups, validating the
     /// spec first. Decisions are keyed by (shard, cell, generation), so
     /// hot-swap rebuilds invalidate implicitly — see [`CacheSpec`] for
-    /// the placement choices.
+    /// the placement choices. Only local shards are cached; remote
+    /// shards answer behind their own caches.
     pub fn with_cache(mut self, spec: CacheSpec) -> Result<Self, ServeError> {
         let store = CacheStore::from_spec(&spec)?;
         self.cache = Some(CacheLayer { spec, store });
@@ -150,11 +201,18 @@ impl QueryService {
         self.cache.as_ref().map(|layer| &layer.spec)
     }
 
-    fn over(router: Arc<ShardRouter>, rebuild_dataset: Option<Arc<SpatialDataset>>) -> Self {
-        let readers = router.handles().iter().map(|h| h.reader()).collect();
+    fn over(topology: Arc<Topology>, rebuild_dataset: Option<Arc<SpatialDataset>>) -> Self {
+        let slots = topology
+            .backends()
+            .iter()
+            .map(|b| match b.as_local() {
+                Some(local) => ShardSlot::Local(local.reader()),
+                None => ShardSlot::Remote,
+            })
+            .collect();
         Self {
-            router,
-            readers,
+            topology,
+            slots,
             rebuild_dataset,
             points: Vec::new(),
             decisions: Vec::new(),
@@ -162,9 +220,9 @@ impl QueryService {
         }
     }
 
-    /// The router behind this service.
-    pub fn router(&self) -> &Arc<ShardRouter> {
-        &self.router
+    /// The topology behind this service.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
     }
 
     /// Answers one request. Never panics and never fails at the Rust
@@ -184,24 +242,37 @@ impl QueryService {
             Request::RangeQuery { rect } => self.range_query(rect),
             Request::Stats => self.stats(),
             Request::Rebuild { spec } => self.rebuild(spec),
+            Request::RebuildPrepare { spec } => self.rebuild_prepare(spec),
+            Request::RebuildCommit => self.rebuild_commit(),
+            Request::RebuildAbort => self.rebuild_abort(),
         }
     }
 
     #[inline]
     fn lookup(&mut self, x: f64, y: f64) -> Response {
         let p = Point::new(x, y);
-        // Single-shard fast path: the index's own bounds check makes the
-        // router redundant, so the dispatch overhead over a raw
-        // `FrozenIndex::lookup` is one reader generation load plus the
-        // (boxed-slim) Response move.
-        let decision = if self.cache.is_some() {
-            self.cached_decision(&p)
-        } else if self.readers.len() == 1 {
-            self.readers[0].snapshot().lookup(&p)
+        // Single-shard fast path: the index's (or the remote's) own
+        // bounds check makes the routing step redundant.
+        let shard = if self.slots.len() == 1 {
+            Some(0)
         } else {
-            self.router
-                .shard_of(&p)
-                .and_then(|shard| self.readers[shard].snapshot().lookup(&p))
+            self.topology.shard_of(&p)
+        };
+        let decision = match shard {
+            Some(shard) => {
+                if matches!(self.slots[shard], ShardSlot::Remote) {
+                    return self.topology.backends()[shard].dispatch(&Request::Lookup { x, y });
+                }
+                if self.cache.is_some() {
+                    self.cached_decision(shard, &p)
+                } else {
+                    match &mut self.slots[shard] {
+                        ShardSlot::Local(reader) => reader.snapshot().lookup(&p),
+                        ShardSlot::Remote => None,
+                    }
+                }
+            }
+            None => None,
         };
         match decision {
             Some(decision) => Response::Decision {
@@ -215,7 +286,7 @@ impl QueryService {
     }
 
     /// The decision for `p` through the cache; `None` means out of
-    /// bounds. Only called when a cache is configured.
+    /// bounds. Only called with a cache configured and a local `shard`.
     ///
     /// A hit costs the cell computation (the same two divisions the
     /// uncached path pays) plus one hash probe — the tree traversal and
@@ -223,13 +294,12 @@ impl QueryService {
     /// cell through the index and fills the entry, so cold traffic pays
     /// one probe over the uncached path.
     #[inline]
-    fn cached_decision(&mut self, p: &Point) -> Option<Decision> {
-        let shard = if self.readers.len() == 1 {
-            0
-        } else {
-            self.router.shard_of(p)?
+    fn cached_decision(&mut self, shard: usize, p: &Point) -> Option<Decision> {
+        let ShardSlot::Local(reader) = &mut self.slots[shard] else {
+            // Callers forward remote shards before the cache layer.
+            return None;
         };
-        let (index, generation) = self.readers[shard].snapshot_with_generation();
+        let (index, generation) = reader.snapshot_with_generation();
         let cell = index.cell_index(p)?;
         // The shard id rides in the key's high bits: each shard's handle
         // numbers its own generations, so (cell, generation) alone could
@@ -246,25 +316,51 @@ impl QueryService {
     }
 
     fn lookup_batch(&mut self, points: &[WirePoint]) -> Response {
-        // Cached: every point goes through the same per-point cache path
-        // as single lookups, so batch and single answers (and counters)
-        // cannot diverge.
+        // Cached: every local point goes through the same per-point
+        // cache path as single lookups, so batch and single answers (and
+        // counters) cannot diverge; remote points forward point-wise.
         if self.cache.is_some() {
             self.decisions.clear();
             self.decisions.reserve(points.len());
-            for (index, wp) in points.iter().enumerate() {
+            for (i, wp) in points.iter().enumerate() {
                 let p = Point::new(wp.x, wp.y);
-                match self.cached_decision(&p) {
+                let shard = if self.slots.len() == 1 {
+                    Some(0)
+                } else {
+                    self.topology.shard_of(&p)
+                };
+                let Some(shard) = shard else {
+                    self.decisions.clear();
+                    return batch_oob(i, wp);
+                };
+                if matches!(self.slots[shard], ShardSlot::Remote) {
+                    match self.topology.backends()[shard]
+                        .dispatch(&Request::Lookup { x: wp.x, y: wp.y })
+                    {
+                        Response::Decision { decision } => self.decisions.push(decision.into()),
+                        Response::Error { error } if error.code == ErrorCode::OutOfBounds => {
+                            self.decisions.clear();
+                            return batch_oob(i, wp);
+                        }
+                        Response::Error { error } => {
+                            self.decisions.clear();
+                            return Response::Error { error };
+                        }
+                        _ => {
+                            self.decisions.clear();
+                            return Response::error(
+                                ErrorCode::Internal,
+                                format!("shard {shard} answered an unexpected lookup response"),
+                            );
+                        }
+                    }
+                    continue;
+                }
+                match self.cached_decision(shard, &p) {
                     Some(d) => self.decisions.push(d),
                     None => {
                         self.decisions.clear();
-                        return Response::error(
-                            ErrorCode::OutOfBounds,
-                            format!(
-                                "point #{index} at ({}, {}) is outside the index bounds",
-                                wp.x, wp.y
-                            ),
-                        );
+                        return batch_oob(i, wp);
                     }
                 }
             }
@@ -272,45 +368,89 @@ impl QueryService {
                 decisions: self.decisions.iter().map(|&d| d.into()).collect(),
             };
         }
-        // Single shard: feed the whole batch through the frozen index's
-        // buffer-reusing batch path.
-        if self.router.shards() == 1 {
-            self.points.clear();
-            self.points
-                .extend(points.iter().map(|p| Point::new(p.x, p.y)));
-            let index = self.readers[0].snapshot();
-            return match index.lookup_batch(&self.points, &mut self.decisions) {
-                Ok(()) => Response::Decisions {
-                    decisions: self.decisions.iter().map(|&d| d.into()).collect(),
-                },
-                Err(e) => Response::error(ErrorCode::OutOfBounds, e.to_string()),
-            };
+        // Single local shard: feed the whole batch through the frozen
+        // index's buffer-reusing batch path.
+        if self.slots.len() == 1 {
+            if let ShardSlot::Local(_) = self.slots[0] {
+                self.points.clear();
+                self.points
+                    .extend(points.iter().map(|p| Point::new(p.x, p.y)));
+                let ShardSlot::Local(reader) = &mut self.slots[0] else {
+                    unreachable!("checked above");
+                };
+                let index = reader.snapshot();
+                return match index.lookup_batch(&self.points, &mut self.decisions) {
+                    Ok(()) => Response::Decisions {
+                        decisions: self.decisions.iter().map(|&d| d.into()).collect(),
+                    },
+                    Err(e) => Response::error(ErrorCode::OutOfBounds, e.to_string()),
+                };
+            }
         }
-        // Sharded: route point by point, reusing the decision buffer.
-        self.decisions.clear();
-        self.decisions.reserve(points.len());
-        for (index, wp) in points.iter().enumerate() {
+        // Scatter-gather: local points answer inline, remote points are
+        // bucketed per shard and forwarded as sub-batches, and every
+        // answer lands back at its original batch position.
+        let mut out: Vec<Option<DecisionBody>> = vec![None; points.len()];
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
+        for (i, wp) in points.iter().enumerate() {
             let p = Point::new(wp.x, wp.y);
-            let decision = self
-                .router
-                .shard_of(&p)
-                .and_then(|shard| self.readers[shard].snapshot().lookup(&p));
-            match decision {
-                Some(d) => self.decisions.push(d),
-                None => {
-                    self.decisions.clear();
+            let shard = if self.slots.len() == 1 {
+                Some(0)
+            } else {
+                self.topology.shard_of(&p)
+            };
+            let Some(shard) = shard else {
+                return batch_oob(i, wp);
+            };
+            match &mut self.slots[shard] {
+                ShardSlot::Local(reader) => match reader.snapshot().lookup(&p) {
+                    Some(d) => out[i] = Some(d.into()),
+                    None => return batch_oob(i, wp),
+                },
+                ShardSlot::Remote => buckets[shard].push(i),
+            }
+        }
+        for (shard, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let sub: Vec<WirePoint> = bucket.iter().map(|&i| points[i]).collect();
+            let backend = &self.topology.backends()[shard];
+            match backend.dispatch(&Request::LookupBatch { points: sub }) {
+                Response::Decisions { decisions } if decisions.len() == bucket.len() => {
+                    for (&i, d) in bucket.iter().zip(decisions) {
+                        out[i] = Some(d);
+                    }
+                }
+                Response::Error { error } if error.code == ErrorCode::OutOfBounds => {
+                    // The remote names the offender by its *sub-batch*
+                    // index; re-localize to the original batch position
+                    // by probing the bucket point-wise.
+                    for &i in bucket {
+                        let wp = &points[i];
+                        if matches!(
+                            backend.dispatch(&Request::Lookup { x: wp.x, y: wp.y }),
+                            Response::Error { .. }
+                        ) {
+                            return batch_oob(i, wp);
+                        }
+                    }
+                    return Response::Error { error };
+                }
+                Response::Error { error } => return Response::Error { error },
+                _ => {
                     return Response::error(
-                        ErrorCode::OutOfBounds,
-                        format!(
-                            "point #{index} at ({}, {}) is outside the index bounds",
-                            wp.x, wp.y
-                        ),
-                    );
+                        ErrorCode::Internal,
+                        format!("shard {shard} answered an unexpected batch response"),
+                    )
                 }
             }
         }
         Response::Decisions {
-            decisions: self.decisions.iter().map(|&d| d.into()).collect(),
+            decisions: out
+                .into_iter()
+                .map(|d| d.expect("every routed point was answered"))
+                .collect(),
         }
     }
 
@@ -319,12 +459,28 @@ impl QueryService {
             Ok(query) => query,
             Err(e) => return Response::error(ErrorCode::MalformedRequest, e.to_string()),
         };
-        let shards = self.router.covering(&query);
+        let shards = self.topology.covering(&query);
         let mut ids: Vec<usize> = Vec::new();
         for shard in shards {
-            let index = self.readers[shard].snapshot();
-            let mut shard_ids = index.range_query(&query);
-            ids.append(&mut shard_ids);
+            match &mut self.slots[shard] {
+                ShardSlot::Local(reader) => {
+                    ids.extend(reader.snapshot().range_query(&query));
+                }
+                ShardSlot::Remote => {
+                    match self.topology.backends()[shard]
+                        .dispatch(&Request::RangeQuery { rect: *rect })
+                    {
+                        Response::Regions { ids: shard_ids } => ids.extend(shard_ids),
+                        Response::Error { error } => return Response::Error { error },
+                        _ => {
+                            return Response::error(
+                                ErrorCode::Internal,
+                                format!("shard {shard} answered an unexpected range response"),
+                            )
+                        }
+                    }
+                }
+            }
         }
         ids.sort_unstable();
         ids.dedup();
@@ -332,7 +488,6 @@ impl QueryService {
     }
 
     fn stats(&mut self) -> Response {
-        let generations = self.router.generations();
         let cache = self.cache.as_ref().map(|layer| {
             let s = layer.store.stats();
             CacheStatsBody {
@@ -343,36 +498,179 @@ impl QueryService {
                 capacity: s.capacity,
             }
         });
-        let index = self.readers[0].snapshot();
+        let mut per_shard = Vec::with_capacity(self.slots.len());
+        for (shard, slot) in self.slots.iter_mut().enumerate() {
+            let d = self.topology.backends()[shard].descriptor();
+            match slot {
+                ShardSlot::Local(reader) => {
+                    let (index, generation) = reader.snapshot_with_generation();
+                    per_shard.push(ShardStatsBody {
+                        kind: d.kind.to_string(),
+                        addr: d.addr,
+                        generation,
+                        num_leaves: index.num_leaves(),
+                        heap_bytes: index.heap_bytes(),
+                        backend: index.backend_name().to_string(),
+                    });
+                }
+                ShardSlot::Remote => {
+                    let body = match self.topology.backends()[shard].dispatch(&Request::Stats) {
+                        Response::Stats { stats } => ShardStatsBody {
+                            kind: d.kind.to_string(),
+                            addr: d.addr,
+                            generation: stats.generations.first().copied().unwrap_or(0),
+                            num_leaves: stats.num_leaves,
+                            heap_bytes: stats.heap_bytes,
+                            backend: stats.backend,
+                        },
+                        _ => ShardStatsBody {
+                            kind: d.kind.to_string(),
+                            addr: d.addr,
+                            generation: 0,
+                            num_leaves: 0,
+                            heap_bytes: 0,
+                            backend: "unreachable".to_string(),
+                        },
+                    };
+                    per_shard.push(body);
+                }
+            }
+        }
+        let generations = per_shard.iter().map(|s| s.generation).collect();
+        // Shard-0 convention for the flat summary fields, kept from the
+        // replica era so v1 clients keep decoding something sensible;
+        // topology-aware clients read `per_shard`.
+        let first = &per_shard[0];
         Response::Stats {
             stats: Box::new(StatsBody {
-                shards: self.router.shards(),
+                shards: self.slots.len(),
                 generations,
-                num_leaves: index.num_leaves(),
-                heap_bytes: index.heap_bytes(),
-                backend: index.backend_name().to_string(),
+                num_leaves: first.num_leaves,
+                heap_bytes: first.heap_bytes,
+                backend: first.backend.clone(),
                 cache,
+                per_shard: Some(per_shard),
             }),
         }
     }
 
-    fn rebuild(&mut self, spec: &PipelineSpec) -> Response {
+    /// Retrains on the rebuild dataset, mapping failures to structured
+    /// protocol errors.
+    fn build_from_spec(&self, spec: &PipelineSpec) -> Result<(FrozenIndex, MethodRun), Response> {
         let Some(dataset) = self.rebuild_dataset.clone() else {
-            return Response::error(
+            return Err(Response::error(
                 ErrorCode::RebuildUnavailable,
                 "this service was built without a training dataset; rebuilds are disabled",
-            );
+            ));
         };
-        let started = Instant::now();
-        let (index, run) = match build_index(&dataset, spec) {
-            Ok(built) => built,
+        match build_index(&dataset, spec) {
+            Ok(built) => Ok(built),
             Err(crate::ServeError::Pipeline(fsi_pipeline::PipelineError::InvalidConfig(msg))) => {
-                return Response::error(ErrorCode::InvalidSpec, msg)
+                Err(Response::error(ErrorCode::InvalidSpec, msg))
             }
-            Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+            Err(e) => Err(Response::error(ErrorCode::Internal, e.to_string())),
+        }
+    }
+
+    /// The two-phase publish barrier behind `Rebuild`: stage the global
+    /// `index` on every local shard and fan `RebuildPrepare` out to
+    /// every remote shard (in parallel — remote prepares retrain and
+    /// pay real wall-clock); only when *every* shard holds a staged
+    /// index are the commits issued. Any prepare failure aborts all
+    /// staged state and leaves the old generation serving everywhere.
+    fn publish_two_phase(&self, index: &FrozenIndex, spec: &PipelineSpec) -> Result<u64, Response> {
+        let backends = self.topology.backends();
+        for (i, b) in backends.iter().enumerate() {
+            if let Some(local) = b.as_local() {
+                if let Err(e) = local.stage(index) {
+                    abort_all(&self.topology);
+                    return Err(Response::error(
+                        ErrorCode::Internal,
+                        format!("shard {i} failed to stage: {e}"),
+                    ));
+                }
+            }
+        }
+        let remotes: Vec<usize> = backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.as_local().is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let prepares: Vec<(usize, Response)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = remotes
+                .iter()
+                .map(|&i| {
+                    let backend = &backends[i];
+                    let spec = spec.clone();
+                    scope.spawn(move || (i, backend.dispatch(&Request::RebuildPrepare { spec })))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("prepare worker panicked"))
+                .collect()
+        });
+        for (i, response) in prepares {
+            match response {
+                Response::Prepared { .. } => {}
+                Response::Error { error } => {
+                    abort_all(&self.topology);
+                    return Err(Response::error(
+                        error.code,
+                        format!("shard {i} failed to prepare: {}", error.message),
+                    ));
+                }
+                _ => {
+                    abort_all(&self.topology);
+                    return Err(Response::error(
+                        ErrorCode::Internal,
+                        format!("shard {i} answered an unexpected prepare response"),
+                    ));
+                }
+            }
+        }
+        let mut newest = 0;
+        for (i, b) in backends.iter().enumerate() {
+            let generation = match b.as_local() {
+                Some(local) => local.commit().map_err(|e| {
+                    Response::error(
+                        ErrorCode::Internal,
+                        format!("shard {i} failed to commit: {e}"),
+                    )
+                })?,
+                None => match b.dispatch(&Request::RebuildCommit) {
+                    Response::Committed { generation } => generation,
+                    Response::Error { error } => {
+                        return Err(Response::error(
+                            error.code,
+                            format!("shard {i} failed to commit: {}", error.message),
+                        ))
+                    }
+                    _ => {
+                        return Err(Response::error(
+                            ErrorCode::Internal,
+                            format!("shard {i} answered an unexpected commit response"),
+                        ))
+                    }
+                },
+            };
+            newest = newest.max(generation);
+        }
+        Ok(newest)
+    }
+
+    fn rebuild(&mut self, spec: &PipelineSpec) -> Response {
+        let started = Instant::now();
+        let (index, run) = match self.build_from_spec(spec) {
+            Ok(built) => built,
+            Err(response) => return response,
         };
         let num_leaves = index.num_leaves();
-        let generation = self.router.publish(index);
+        let generation = match self.publish_two_phase(&index, spec) {
+            Ok(generation) => generation,
+            Err(response) => return response,
+        };
         Response::Rebuilt {
             report: Box::new(RebuildReport {
                 spec: spec.clone(),
@@ -384,15 +682,116 @@ impl QueryService {
             }),
         }
     }
+
+    /// Phase one when *this* service is a shard (or mid-tier
+    /// coordinator) of an upstream fleet: retrain, stage on every local
+    /// shard (re-clipped for partial shards), and forward the prepare to
+    /// any nested remotes. Nothing is served until the commit.
+    fn rebuild_prepare(&mut self, spec: &PipelineSpec) -> Response {
+        let (index, run) = match self.build_from_spec(spec) {
+            Ok(built) => built,
+            Err(response) => return response,
+        };
+        // The staged footprint reported back: the clipped footprint for
+        // the common single-shard server, the global index's otherwise.
+        let mut report = (index.num_leaves(), index.heap_bytes());
+        for (i, b) in self.topology.backends().iter().enumerate() {
+            match b.as_local() {
+                Some(local) => match local.stage(&index) {
+                    Ok(staged_report) => {
+                        if self.slots.len() == 1 {
+                            report = staged_report;
+                        }
+                    }
+                    Err(e) => {
+                        abort_all(&self.topology);
+                        return Response::error(
+                            ErrorCode::Internal,
+                            format!("shard {i} failed to stage: {e}"),
+                        );
+                    }
+                },
+                None => match b.dispatch(&Request::RebuildPrepare { spec: spec.clone() }) {
+                    Response::Prepared { .. } => {}
+                    Response::Error { error } => {
+                        abort_all(&self.topology);
+                        return Response::error(
+                            error.code,
+                            format!("shard {i} failed to prepare: {}", error.message),
+                        );
+                    }
+                    _ => {
+                        abort_all(&self.topology);
+                        return Response::error(
+                            ErrorCode::Internal,
+                            format!("shard {i} answered an unexpected prepare response"),
+                        );
+                    }
+                },
+            }
+        }
+        Response::Prepared {
+            prepared: Box::new(PreparedBody {
+                num_leaves: report.0,
+                heap_bytes: report.1,
+                ence: run.eval.full.ence,
+                build_time: run.build_time,
+            }),
+        }
+    }
+
+    /// Abandons any staged rebuild on every shard — locals directly,
+    /// remotes via the abort fan-out. Idempotent: aborting with nothing
+    /// staged changes nothing, so it always answers
+    /// [`Response::Aborted`].
+    fn rebuild_abort(&mut self) -> Response {
+        abort_all(&self.topology);
+        Response::Aborted
+    }
+
+    /// Phase two: publish whatever the last prepare staged, on every
+    /// shard. A commit with no staged index answers
+    /// [`ErrorCode::NotPrepared`] without touching anything.
+    fn rebuild_commit(&mut self) -> Response {
+        let mut newest = 0;
+        for (i, b) in self.topology.backends().iter().enumerate() {
+            let generation = match b.as_local() {
+                Some(local) => match local.commit() {
+                    Ok(generation) => generation,
+                    Err(e) => {
+                        return Response::error(ErrorCode::NotPrepared, format!("shard {i}: {e}"))
+                    }
+                },
+                None => match b.dispatch(&Request::RebuildCommit) {
+                    Response::Committed { generation } => generation,
+                    Response::Error { error } => {
+                        return Response::error(
+                            error.code,
+                            format!("shard {i} failed to commit: {}", error.message),
+                        )
+                    }
+                    _ => {
+                        return Response::error(
+                            ErrorCode::Internal,
+                            format!("shard {i} answered an unexpected commit response"),
+                        )
+                    }
+                },
+            };
+            newest = newest.max(generation);
+        }
+        Response::Committed { generation: newest }
+    }
 }
 
 impl Clone for QueryService {
-    /// Clones share the router (and thus the live, hot-swappable
-    /// indexes) but get fresh readers and empty scratch buffers — one
-    /// clone per transport worker thread. A shared cache is shared with
-    /// the clone; a per-worker cache is re-created empty from its spec.
+    /// Clones share the topology (and thus the live, hot-swappable
+    /// indexes and remote connections) but get fresh readers and empty
+    /// scratch buffers — one clone per transport worker thread. A
+    /// shared cache is shared with the clone; a per-worker cache is
+    /// re-created empty from its spec.
     fn clone(&self) -> Self {
-        let mut fresh = Self::over(Arc::clone(&self.router), self.rebuild_dataset.clone());
+        let mut fresh = Self::over(Arc::clone(&self.topology), self.rebuild_dataset.clone());
         if let Some(layer) = &self.cache {
             let store = match &layer.store {
                 CacheStore::Shared(shared) => CacheStore::Shared(Arc::clone(shared)),
@@ -412,17 +811,19 @@ impl Clone for QueryService {
 /// Convenience: a single-shard service over a freshly frozen index.
 impl From<FrozenIndex> for QueryService {
     fn from(index: FrozenIndex) -> Self {
-        QueryService::new(ShardRouter::single(crate::IndexHandle::new(index)))
+        QueryService::new(Topology::single(crate::IndexHandle::new(index)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{BackendSpec, ShardBackend, ShardDescriptor, TopologySpec};
     use crate::IndexHandle;
     use fsi_geo::{Grid, Partition};
     use fsi_pipeline::ModelSnapshot;
     use fsi_proto::WireRect;
+    use std::sync::Mutex;
 
     fn index() -> FrozenIndex {
         let grid = Grid::unit(8).unwrap();
@@ -433,7 +834,83 @@ mod tests {
     }
 
     fn service(shards: (usize, usize)) -> QueryService {
-        QueryService::new(ShardRouter::new(index(), shards.0, shards.1).unwrap())
+        QueryService::new(Topology::partitioned(index(), shards.0, shards.1).unwrap())
+    }
+
+    fn dataset() -> Arc<SpatialDataset> {
+        Arc::new(
+            fsi_data::synth::city::CityGenerator::new(fsi_data::synth::city::CityConfig {
+                n_individuals: 200,
+                grid_side: 8,
+                seed: 5,
+                ..Default::default()
+            })
+            .unwrap()
+            .generate()
+            .unwrap(),
+        )
+    }
+
+    /// An in-process stand-in for a remote shard: owns a full
+    /// [`QueryService`] (typically over a [`Topology::partial`] clip)
+    /// behind a mutex and forwards requests to it — exactly what the
+    /// HTTP backend does over a socket, minus the socket.
+    struct StubRemote {
+        addr: String,
+        inner: Mutex<QueryService>,
+    }
+
+    impl ShardBackend for StubRemote {
+        fn dispatch(&self, request: &Request) -> Response {
+            self.inner.lock().unwrap().dispatch(request)
+        }
+
+        fn descriptor(&self) -> ShardDescriptor {
+            ShardDescriptor {
+                kind: "http",
+                addr: Some(self.addr.clone()),
+            }
+        }
+
+        fn generation(&self) -> u64 {
+            match self.inner.lock().unwrap().dispatch(&Request::Stats) {
+                Response::Stats { stats } => stats.generations.first().copied().unwrap_or(0),
+                _ => 0,
+            }
+        }
+    }
+
+    /// A 2×2 coordinator whose NE and SW slots are "remote" shard
+    /// servers over partial indexes (stubbed in-process), with the other
+    /// two slots local partial indexes.
+    fn mixed(rebuild: Option<Arc<SpatialDataset>>) -> QueryService {
+        let spec = TopologySpec {
+            rows: 2,
+            cols: 2,
+            shards: vec![
+                BackendSpec::Local,
+                BackendSpec::Http("shard:1".into()),
+                BackendSpec::Http("shard:2".into()),
+                BackendSpec::Local,
+            ],
+        };
+        let topology = Topology::from_spec(&spec, index(), |addr| {
+            let slot: usize = addr.strip_prefix("shard:").unwrap().parse().unwrap();
+            let mut inner = QueryService::new(Topology::partial(&index(), 2, 2, slot).unwrap());
+            if let Some(dataset) = &rebuild {
+                inner = inner.with_rebuild(Arc::clone(dataset));
+            }
+            Ok(Box::new(StubRemote {
+                addr: addr.to_string(),
+                inner: Mutex::new(inner),
+            }))
+        })
+        .unwrap();
+        let mut svc = QueryService::new(topology);
+        if let Some(dataset) = rebuild {
+            svc = svc.with_rebuild(dataset);
+        }
+        svc
     }
 
     #[test]
@@ -526,6 +1003,148 @@ mod tests {
         assert_eq!(stats.num_leaves, 4);
         assert_eq!(stats.backend, "cells");
         assert!(stats.heap_bytes > 0);
+        let per_shard = stats
+            .per_shard
+            .expect("coordinators report per-shard stats");
+        assert_eq!(per_shard.len(), 4);
+        for shard in &per_shard {
+            assert_eq!(shard.kind, "local");
+            assert_eq!(shard.addr, None);
+            assert_eq!(shard.generation, 1);
+            assert!(shard.num_leaves > 0);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_over_mixed_backends_matches_the_single_box() {
+        let reference = index();
+        let mut svc = mixed(None);
+        // Point lookups: every grid cell center plus the shard edges.
+        let mut points: Vec<(f64, f64)> = (0..64)
+            .map(|i| (((i % 8) as f64 + 0.5) / 8.0, ((i / 8) as f64 + 0.5) / 8.0))
+            .collect();
+        points.extend([(0.5, 0.5), (0.5, 0.1), (0.1, 0.5), (0.0, 0.0), (1.0, 1.0)]);
+        for &(x, y) in &points {
+            let expected: DecisionBody = reference.lookup(&Point::new(x, y)).unwrap().into();
+            match svc.dispatch(&Request::Lookup { x, y }) {
+                Response::Decision { decision } => assert_eq!(decision, expected, "({x}, {y})"),
+                other => panic!("expected decision, got {other:?}"),
+            }
+        }
+        // Batches route through remote sub-batches and come back in
+        // original order.
+        let wire: Vec<WirePoint> = points.iter().map(|&(x, y)| WirePoint::new(x, y)).collect();
+        let Response::Decisions { decisions } = svc.dispatch(&Request::LookupBatch {
+            points: wire.clone(),
+        }) else {
+            panic!("expected decisions");
+        };
+        for (&(x, y), d) in points.iter().zip(&decisions) {
+            let expected: DecisionBody = reference.lookup(&Point::new(x, y)).unwrap().into();
+            assert_eq!(*d, expected, "batch at ({x}, {y})");
+        }
+        let mut bad = wire;
+        bad[13] = WirePoint::new(7.0, 7.0);
+        match svc.dispatch(&Request::LookupBatch { points: bad }) {
+            Response::Error { error } => {
+                assert_eq!(error.code, ErrorCode::OutOfBounds);
+                assert!(error.message.contains("13"), "{}", error.message);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        // Ranges scatter-gather across local and remote shards.
+        for rect in [
+            WireRect::new(0.0, 0.0, 1.0, 1.0),
+            WireRect::new(0.6, 0.1, 0.9, 0.4),
+            WireRect::new(0.1, 0.1, 0.9, 0.9),
+        ] {
+            let query = Rect::new(rect.min_x, rect.min_y, rect.max_x, rect.max_y).unwrap();
+            let expected = reference.range_query(&query);
+            match svc.dispatch(&Request::RangeQuery { rect }) {
+                Response::Regions { ids } => assert_eq!(ids, expected, "{rect:?}"),
+                other => panic!("expected regions, got {other:?}"),
+            }
+        }
+        // Stats carry the backend kind and address per shard.
+        let Response::Stats { stats } = svc.dispatch(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.generations, vec![1, 1, 1, 1]);
+        let per_shard = stats.per_shard.unwrap();
+        let kinds: Vec<&str> = per_shard.iter().map(|s| s.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["local", "http", "http", "local"]);
+        assert_eq!(per_shard[1].addr.as_deref(), Some("shard:1"));
+        assert_eq!(per_shard[2].addr.as_deref(), Some("shard:2"));
+        for shard in &per_shard {
+            assert!(shard.num_leaves > 0, "{shard:?}");
+        }
+    }
+
+    #[test]
+    fn two_phase_rebuild_raises_every_shard_in_lockstep() {
+        let dataset = dataset();
+        let mut svc = mixed(Some(Arc::clone(&dataset)));
+        let spec = PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::MedianKd,
+            3,
+        );
+        let Response::Rebuilt { report } = svc.dispatch(&Request::Rebuild { spec: spec.clone() })
+        else {
+            panic!("expected rebuild report");
+        };
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.num_leaves, 8);
+        assert_eq!(svc.topology().generations(), vec![2, 2, 2, 2]);
+        // Every shard now answers from the retrained index: compare
+        // against a reference built from the same dataset and spec.
+        let (reference, _run) = build_index(&dataset, &spec).unwrap();
+        for p in [(0.1, 0.1), (0.9, 0.1), (0.1, 0.9), (0.9, 0.9), (0.5, 0.5)] {
+            let expected: DecisionBody = reference.lookup(&Point::new(p.0, p.1)).unwrap().into();
+            match svc.dispatch(&Request::Lookup { x: p.0, y: p.1 }) {
+                Response::Decision { decision } => assert_eq!(decision, expected, "{p:?}"),
+                other => panic!("expected decision, got {other:?}"),
+            }
+        }
+        // A commit with nothing staged is a structured protocol error.
+        let mut fresh = mixed(Some(dataset));
+        match fresh.dispatch(&Request::RebuildCommit) {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::NotPrepared),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepare_stages_without_serving_until_the_commit() {
+        let mut svc = QueryService::new(Topology::partitioned(index(), 2, 2).unwrap())
+            .with_rebuild(dataset());
+        let spec = PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::MedianKd,
+            3,
+        );
+        let before = match svc.dispatch(&Request::Lookup { x: 0.1, y: 0.1 }) {
+            Response::Decision { decision } => decision,
+            other => panic!("expected decision, got {other:?}"),
+        };
+        let Response::Prepared { prepared } = svc.dispatch(&Request::RebuildPrepare { spec })
+        else {
+            panic!("expected prepared");
+        };
+        assert!(prepared.num_leaves > 0);
+        assert!(prepared.heap_bytes > 0);
+        // Staged but not live: generation 1 everywhere, old answers.
+        assert_eq!(svc.topology().generations(), vec![1, 1, 1, 1]);
+        match svc.dispatch(&Request::Lookup { x: 0.1, y: 0.1 }) {
+            Response::Decision { decision } => assert_eq!(decision, before),
+            other => panic!("expected decision, got {other:?}"),
+        }
+        let Response::Committed { generation } = svc.dispatch(&Request::RebuildCommit) else {
+            panic!("expected committed");
+        };
+        assert_eq!(generation, 2);
+        assert_eq!(svc.topology().generations(), vec![2, 2, 2, 2]);
     }
 
     #[test]
@@ -536,7 +1155,11 @@ mod tests {
             fsi_pipeline::Method::MedianKd,
             2,
         );
-        match svc.dispatch(&Request::Rebuild { spec }) {
+        match svc.dispatch(&Request::Rebuild { spec: spec.clone() }) {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::RebuildUnavailable),
+            other => panic!("expected error, got {other:?}"),
+        }
+        match svc.dispatch(&Request::RebuildPrepare { spec }) {
             Response::Error { error } => assert_eq!(error.code, ErrorCode::RebuildUnavailable),
             other => panic!("expected error, got {other:?}"),
         }
@@ -544,18 +1167,8 @@ mod tests {
 
     #[test]
     fn rebuild_with_a_dataset_publishes_to_every_shard() {
-        let dataset =
-            fsi_data::synth::city::CityGenerator::new(fsi_data::synth::city::CityConfig {
-                n_individuals: 200,
-                grid_side: 8,
-                seed: 5,
-                ..Default::default()
-            })
-            .unwrap()
-            .generate()
-            .unwrap();
-        let mut svc = QueryService::new(ShardRouter::new(index(), 2, 2).unwrap())
-            .with_rebuild(Arc::new(dataset));
+        let mut svc = QueryService::new(Topology::partitioned(index(), 2, 2).unwrap())
+            .with_rebuild(dataset());
         let spec = PipelineSpec::new(
             fsi_pipeline::TaskSpec::act(),
             fsi_pipeline::Method::MedianKd,
@@ -568,7 +1181,7 @@ mod tests {
         assert_eq!(report.generation, 2);
         assert_eq!(report.spec, spec);
         assert_eq!(report.num_leaves, 8);
-        assert_eq!(svc.router().generations(), vec![2, 2, 2, 2]);
+        assert_eq!(svc.topology().generations(), vec![2, 2, 2, 2]);
         // Invalid specs come back as structured spec errors.
         let bad = PipelineSpec::new(
             fsi_pipeline::TaskSpec::act(),
@@ -667,7 +1280,7 @@ mod tests {
     #[test]
     fn publish_invalidates_cached_decisions_via_the_generation_key() {
         let handle = IndexHandle::new(index());
-        let mut svc = QueryService::new(ShardRouter::single(handle.clone()))
+        let mut svc = QueryService::new(Topology::single(handle.clone()))
             .with_cache(CacheSpec::per_worker(64))
             .unwrap();
         let (x, y) = (0.1, 0.1);
@@ -724,7 +1337,7 @@ mod tests {
     #[test]
     fn clones_share_swaps_but_not_buffers() {
         let handle = IndexHandle::new(index());
-        let svc = QueryService::new(ShardRouter::single(handle.clone()));
+        let svc = QueryService::new(Topology::single(handle.clone()));
         let mut a = svc.clone();
         let mut b = svc;
         handle.publish(index());

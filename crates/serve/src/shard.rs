@@ -2,6 +2,13 @@
 //! a `rows × cols` grid of shards, each backed by its own hot-swappable
 //! [`IndexHandle`].
 //!
+//! **Superseded by [`crate::Topology`]**: the router only knows
+//! in-process replicas, while a topology mixes local partial indexes
+//! and remote shards behind the [`crate::ShardBackend`] trait. The
+//! constructors here are deprecated shims; `ShardRouter` converts into
+//! a `Topology` of unclipped local shards via `From`, preserving the
+//! replica semantics bit for bit.
+//!
 //! On one machine every shard serves a replica of the same compiled
 //! index, so routing is a load-distribution (and, later, a
 //! multi-machine placement) concern, never a correctness one: a
@@ -36,6 +43,10 @@ pub struct ShardRouter {
 impl ShardRouter {
     /// A 1×1 router over an existing handle — the common single-shard
     /// deployment, sharing hot-swaps with every other user of `handle`.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `Topology::single(handle)`; `QueryService::new` accepts it directly"
+    )]
     pub fn single(handle: IndexHandle) -> Self {
         let bounds = *handle.load().bounds();
         Self {
@@ -50,6 +61,11 @@ impl ShardRouter {
 
     /// Builds a `rows × cols` router where every shard starts from a
     /// replica of `index`. Rejects degenerate shard grids.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `Topology::partitioned(index, rows, cols)` for partial-index shards \
+                (or `Topology::replicated` for the old full-replica semantics)"
+    )]
     pub fn new(index: FrozenIndex, rows: usize, cols: usize) -> Result<Self, ServeError> {
         if rows == 0 || cols == 0 {
             return Err(ServeError::InvalidShards { rows, cols });
@@ -161,6 +177,8 @@ impl ShardRouter {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use fsi_geo::{Grid, Partition};
     use fsi_pipeline::ModelSnapshot;

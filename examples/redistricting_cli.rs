@@ -19,18 +19,27 @@
 //! # METHOD: median | fair | iterative | reweight | zip | quad  (default fair)
 //! # HEIGHT: tree height (default 6)
 //!
-//! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH] [--cache N]
-//! # --cache N: LRU decision-cache capacity (default 4096, 0 disables)
+//! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH] \
+//!     [--cache N] [--topology FILE] [--shard-of IDX] [--listen ADDR]
+//! # --cache N:        LRU decision-cache capacity (default 4096, 0 disables)
+//! # --topology FILE:  serve a TopologySpec JSON ({"rows":R,"cols":C,"shards":[…]})
+//! #                   as the scatter-gather coordinator; "local" slots are served
+//! #                   in-process, "http://host:port" slots by remote shard servers
+//! # --shard-of IDX:   serve only shard IDX of the topology (a partial index
+//! #                   holding just that slot's leaves) — run one per slot
+//! # --listen ADDR:    speak HTTP/1.1 JSON on ADDR instead of the stdin REPL
+//! #                   (EOF on stdin stops the server)
 //! # then on stdin:   X Y                  → one decision per line
 //! #                  batch X1 Y1 X2 Y2 …  → batched decisions
 //! #                  rect X0 Y0 X1 Y1     → neighborhoods touching the box
-//! #                  stats                → generations / size / backend / cache hit rate
-//! #                  rebuild <spec JSON>  → retrain + hot-swap
+//! #                  stats                → per-shard generations / size / cache hit rate
+//! #                  rebuild <spec JSON>  → retrain + hot-swap every shard
+//! #                  prepare <spec JSON> / commit → two-phase rebuild barrier
 //! ```
 
 use fsi::{
     repl, snapshot_for_partition, CacheSpec, FrozenIndex, Method, Partition, Pipeline,
-    QueryService, Run, RunConfig, ShardRouter, TaskSpec,
+    QueryService, RemoteShard, Run, RunConfig, TaskSpec, Topology, TopologySpec,
 };
 use fsi_data::synth::edgap::generate_los_angeles;
 use fsi_data::SpatialDataset;
@@ -114,13 +123,22 @@ fn build(
     Ok(run)
 }
 
+/// How `serve` deploys the compiled index.
+struct ServeConfig {
+    /// LRU decision-cache capacity (0 disables).
+    cache_capacity: usize,
+    /// Coordinator topology spec (`--topology FILE`).
+    topology: Option<TopologySpec>,
+    /// Serve only this shard of the topology (`--shard-of IDX`).
+    shard_of: Option<usize>,
+    /// Speak HTTP on this address instead of the stdin REPL.
+    listen: Option<String>,
+}
+
 /// Loads the saved partition (building the default districting first
 /// when it is missing), compiles a `FrozenIndex`, and answers queries
-/// from stdin until EOF.
-fn serve(
-    dataset: &SpatialDataset,
-    cache_capacity: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+/// from stdin (or HTTP with `--listen`) until EOF.
+fn serve(dataset: &SpatialDataset, config: ServeConfig) -> Result<(), Box<dyn std::error::Error>> {
     let grid = dataset.grid();
     let (partition, snapshot, ence) = match std::fs::read_to_string(PARTITION_PATH) {
         Ok(json) => {
@@ -173,19 +191,57 @@ fn serve(
         index.heap_bytes(),
         ence,
     );
+    // One topology of shard backends behind one QueryService; the REPL
+    // and HTTP transports are thin layers over the same dispatch.
+    let topology = match (&config.topology, config.shard_of) {
+        (Some(spec), Some(shard)) => {
+            spec.validate()?;
+            println!(
+                "serving shard {shard} of a {}x{} topology (partial index)",
+                spec.rows, spec.cols
+            );
+            Topology::partial(&index, spec.rows, spec.cols, shard)?
+        }
+        (Some(spec), None) => {
+            println!(
+                "coordinating a {}x{} topology: {:?}",
+                spec.rows,
+                spec.cols,
+                spec.shards.iter().map(|b| b.as_wire()).collect::<Vec<_>>()
+            );
+            Topology::from_spec(spec, index, RemoteShard::connector())?
+        }
+        (None, Some(_)) => return Err("--shard-of requires --topology".into()),
+        (None, None) => Topology::single(IndexHandle::new(index)),
+    };
+    let mut service = QueryService::new(topology).with_rebuild(Arc::new(dataset.clone()));
+    if config.cache_capacity > 0 {
+        service = service.with_cache(CacheSpec::per_worker(config.cache_capacity))?;
+        println!(
+            "decision cache: per-worker LRU, {} entries (`--cache 0` disables)",
+            config.cache_capacity
+        );
+    }
+
+    if let Some(addr) = &config.listen {
+        let server = fsi::HttpServer::bind(service, addr.as_str())?;
+        println!(
+            "listening on http://{} (EOF on stdin stops it)",
+            server.addr()
+        );
+        // Block until stdin closes, then drain in-flight requests.
+        let mut sink = String::new();
+        while std::io::stdin().read_line(&mut sink)? > 0 {
+            sink.clear();
+        }
+        server.shutdown();
+        return Ok(());
+    }
+
     println!(
         "query format: `X Y`, `batch X1 Y1 …`, `rect X0 Y0 X1 Y1`, `stats`, \
-         `rebuild <spec JSON>`; EOF (ctrl-d) exits"
+         `rebuild <spec JSON>`, `prepare <spec JSON>`, `commit`, `abort`; EOF (ctrl-d) exits"
     );
-
-    // The text REPL is a thin transport over the same QueryService the
-    // HTTP listener uses; rebuilds retrain on this dataset.
-    let mut service = QueryService::new(ShardRouter::single(IndexHandle::new(index)))
-        .with_rebuild(Arc::new(dataset.clone()));
-    if cache_capacity > 0 {
-        service = service.with_cache(CacheSpec::per_worker(cache_capacity))?;
-        println!("decision cache: per-worker LRU, {cache_capacity} entries (`--cache 0` disables)");
-    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let stats = repl::serve_queries(&mut service, stdin.lock(), &mut stdout)?;
@@ -200,23 +256,51 @@ fn serve(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // `serve [CSV_PATH] [--cache N]` switches to online mode.
+    // `serve [CSV_PATH] [--cache N] [--topology FILE] [--shard-of IDX]
+    // [--listen ADDR]` switches to online mode.
     if args.first().map(String::as_str) == Some("serve") {
-        let mut cache_capacity = 4096usize;
+        let mut config = ServeConfig {
+            cache_capacity: 4096,
+            topology: None,
+            shard_of: None,
+            listen: None,
+        };
         let mut csv_path = None;
         let mut rest = args[1..].iter().map(String::as_str);
         while let Some(arg) = rest.next() {
-            if arg == "--cache" {
-                let n = rest
-                    .next()
-                    .ok_or("--cache requires a capacity (0 disables)")?;
-                cache_capacity = n.parse().map_err(|_| format!("bad --cache value `{n}`"))?;
-            } else {
-                csv_path = Some(arg);
+            match arg {
+                "--cache" => {
+                    let n = rest
+                        .next()
+                        .ok_or("--cache requires a capacity (0 disables)")?;
+                    config.cache_capacity =
+                        n.parse().map_err(|_| format!("bad --cache value `{n}`"))?;
+                }
+                "--topology" => {
+                    let path = rest.next().ok_or("--topology requires a JSON file path")?;
+                    let json = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read topology spec `{path}`: {e}"))?;
+                    config.topology = Some(
+                        serde_json::from_str(&json)
+                            .map_err(|e| format!("bad topology spec `{path}`: {e}"))?,
+                    );
+                }
+                "--shard-of" => {
+                    let n = rest.next().ok_or("--shard-of requires a shard index")?;
+                    config.shard_of = Some(
+                        n.parse()
+                            .map_err(|_| format!("bad --shard-of value `{n}`"))?,
+                    );
+                }
+                "--listen" => {
+                    let addr = rest.next().ok_or("--listen requires host:port")?;
+                    config.listen = Some(addr.to_string());
+                }
+                _ => csv_path = Some(arg),
             }
         }
         let dataset = load_dataset(csv_path)?;
-        return serve(&dataset, cache_capacity);
+        return serve(&dataset, config);
     }
 
     let dataset = match args.first().map(String::as_str) {

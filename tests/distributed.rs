@@ -1,0 +1,461 @@
+//! Distributed-serving acceptance tests: a coordinator scatter-gathering
+//! over **real HTTP shard processes** (in-process `HttpServer`s, real
+//! sockets, keep-alive connections) must answer bit-identically to the
+//! single-box service, per-shard partial indexes must actually shrink
+//! the working set, and the two-phase rebuild barrier must be torn-free
+//! under concurrent keep-alive clients.
+
+use fsi::{
+    BackendSpec, DecisionBody, Method, Pipeline, Request, Response, TaskSpec, TopologySpec,
+    WirePoint, WireRect,
+};
+use fsi_data::synth::city::{CityConfig, CityGenerator};
+use fsi_data::SpatialDataset;
+use fsi_geo::{Grid, Point, Rect};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn dataset() -> SpatialDataset {
+    CityGenerator::new(CityConfig {
+        n_individuals: 300,
+        grid_side: 16,
+        seed: 23,
+        ..CityConfig::default()
+    })
+    .unwrap()
+    .generate()
+    .unwrap()
+}
+
+/// Random points biased toward the hard cases: interior points, exact
+/// cell- and shard-boundary coordinates, and the map corners.
+fn query_points(grid: &Grid, n: usize, seed: u64) -> Vec<Point> {
+    let b = *grid.bounds();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(n + 5);
+    for i in 0..n {
+        let (x, y) = match i % 4 {
+            0 | 1 => (rng.random::<f64>(), rng.random::<f64>()),
+            2 => (
+                rng.random_range(0..=grid.cols()) as f64 / grid.cols() as f64,
+                rng.random::<f64>(),
+            ),
+            _ => (
+                rng.random_range(0..=grid.cols()) as f64 / grid.cols() as f64,
+                rng.random_range(0..=grid.rows()) as f64 / grid.rows() as f64,
+            ),
+        };
+        points.push(Point::new(
+            b.min_x + x * b.width(),
+            b.min_y + y * b.height(),
+        ));
+    }
+    points.extend([
+        Point::new(b.min_x, b.min_y),
+        Point::new(b.max_x, b.min_y),
+        Point::new(b.min_x, b.max_y),
+        Point::new(b.max_x, b.max_y),
+        // The 2×2 shard cross-point: both split boundaries at once.
+        Point::new(b.min_x + b.width() / 2.0, b.min_y + b.height() / 2.0),
+    ]);
+    points
+}
+
+fn expect_decision(response: Response) -> DecisionBody {
+    match response {
+        Response::Decision { decision } => decision,
+        other => panic!("expected a decision, got {other:?}"),
+    }
+}
+
+/// The tentpole differential property: a 2×2 topology with two shards
+/// served by real HTTP shard servers (partial indexes over their slots)
+/// and two served in-process answers every Lookup / LookupBatch /
+/// RangeQuery **bit-identically** to the single-box service and to
+/// direct `FrozenIndex` calls; the union of per-shard range answers
+/// equals the single-box answer; and every shard's partial index is at
+/// most 60% of the full replica's heap.
+#[test]
+fn remote_partial_topology_answers_bit_identically_to_the_single_box() {
+    let d = dataset();
+    let run = Pipeline::on(&d)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(6)
+        .run()
+        .unwrap();
+    let direct = run.freeze().unwrap();
+    let serving = run.serve().unwrap();
+
+    // Two real shard servers for slots 1 and 2 of the 2×2 grid, each
+    // holding only its slot's partial index.
+    let local_spec = TopologySpec::local(2, 2);
+    let shard1 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 1).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let shard2 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 2).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    // The coordinator: slots 0 and 3 in-process, 1 and 2 over HTTP.
+    let spec = TopologySpec {
+        rows: 2,
+        cols: 2,
+        shards: vec![
+            BackendSpec::Local,
+            BackendSpec::Http(shard1.addr().to_string()),
+            BackendSpec::Http(shard2.addr().to_string()),
+            BackendSpec::Local,
+        ],
+    };
+    let mut coordinator = serving.service_over(&spec).unwrap();
+    let mut single_box = serving.service();
+
+    // Point lookups: coordinator ≡ single box ≡ direct, bit for bit —
+    // including points that route across the wire.
+    let points = query_points(d.grid(), 400, 7);
+    for p in &points {
+        let expected: DecisionBody = direct.lookup(p).unwrap().into();
+        let request = Request::Lookup { x: p.x, y: p.y };
+        let got = expect_decision(coordinator.dispatch(&request));
+        assert_eq!(got, expected, "coordinator at {p:?}");
+        assert_eq!(got.raw_score.to_bits(), expected.raw_score.to_bits());
+        assert_eq!(
+            got.calibrated_score.to_bits(),
+            expected.calibrated_score.to_bits()
+        );
+        assert_eq!(
+            expect_decision(single_box.dispatch(&request)),
+            expected,
+            "single box at {p:?}"
+        );
+    }
+    // An out-of-bounds point answers the same structured error on both.
+    let oob = Request::Lookup { x: 50.0, y: 50.0 };
+    assert_eq!(coordinator.dispatch(&oob), single_box.dispatch(&oob));
+
+    // One batch over every point: scatter, sub-batch over the wire,
+    // gather back in the original order.
+    let wire_points: Vec<WirePoint> = points.iter().map(|p| WirePoint::new(p.x, p.y)).collect();
+    let mut direct_batch = Vec::new();
+    direct.lookup_batch(&points, &mut direct_batch).unwrap();
+    let expected_batch: Vec<DecisionBody> = direct_batch
+        .iter()
+        .map(|&d| DecisionBody::from(d))
+        .collect();
+    match coordinator.dispatch(&Request::LookupBatch {
+        points: wire_points,
+    }) {
+        Response::Decisions { decisions } => assert_eq!(decisions, expected_batch),
+        other => panic!("expected decisions, got {other:?}"),
+    }
+
+    // Range queries: identical ID sets, merged across local and remote
+    // shards.
+    let mut rng = StdRng::seed_from_u64(29);
+    for _ in 0..60 {
+        let (x0, x1) = (rng.random::<f64>(), rng.random::<f64>());
+        let (y0, y1) = (rng.random::<f64>(), rng.random::<f64>());
+        let rect = WireRect::new(x0.min(x1), y0.min(y1), x0.max(x1) + 1e-9, y0.max(y1) + 1e-9);
+        let expected =
+            direct.range_query(&Rect::new(rect.min_x, rect.min_y, rect.max_x, rect.max_y).unwrap());
+        match coordinator.dispatch(&Request::RangeQuery { rect }) {
+            Response::Regions { ids } => assert_eq!(ids, expected, "{rect:?}"),
+            other => panic!("expected regions, got {other:?}"),
+        }
+    }
+
+    // Union-of-shards property: asking every shard server (and the two
+    // local partials) for the whole map and merging the IDs equals the
+    // single-box answer — the partial indexes tile the leaf set.
+    let b = *direct.bounds();
+    let full = WireRect::new(b.min_x, b.min_y, b.max_x, b.max_y);
+    let mut union: Vec<usize> = Vec::new();
+    for shard in 0..4 {
+        let response = match shard {
+            1 => fsi::http::query_once(shard1.addr(), &Request::RangeQuery { rect: full }).unwrap(),
+            2 => fsi::http::query_once(shard2.addr(), &Request::RangeQuery { rect: full }).unwrap(),
+            _ => serving
+                .service_shard(&local_spec, shard)
+                .unwrap()
+                .dispatch(&Request::RangeQuery { rect: full }),
+        };
+        match response {
+            Response::Regions { ids } => union.extend(ids),
+            other => panic!("expected regions from shard {shard}, got {other:?}"),
+        }
+    }
+    union.sort_unstable();
+    union.dedup();
+    assert_eq!(
+        union,
+        direct.range_query(&Rect::new(b.min_x, b.min_y, b.max_x, b.max_y).unwrap())
+    );
+
+    // Partial indexes scale DOWN: every shard (local and remote alike)
+    // holds at most 60% of the full replica's heap.
+    let full_heap = direct.heap_bytes();
+    match coordinator.dispatch(&Request::Stats) {
+        Response::Stats { stats } => {
+            let per_shard = stats.per_shard.expect("topology stats are per-shard");
+            assert_eq!(per_shard.len(), 4);
+            let kinds: Vec<&str> = per_shard.iter().map(|s| s.kind.as_str()).collect();
+            assert_eq!(kinds, ["local", "http", "http", "local"]);
+            for (i, shard) in per_shard.iter().enumerate() {
+                assert!(
+                    shard.heap_bytes * 10 <= full_heap * 6,
+                    "shard {i} holds {} B of a {} B replica (> 60%)",
+                    shard.heap_bytes,
+                    full_heap
+                );
+            }
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    shard1.shutdown();
+    shard2.shutdown();
+}
+
+/// The distributed concurrency acceptance test: ≥4 keep-alive HTTP
+/// clients hammer a coordinator whose two shards are **real HTTP shard
+/// servers**, while rebuilds run the two-phase prepare/commit barrier
+/// across the wire. No request fails, generations are monotone, and —
+/// because rebuilds are deterministic — every decision must match the
+/// table of a generation at least as new as the oldest the client has
+/// already observed on *all* shards (a stale or torn answer fails).
+#[test]
+fn two_phase_rebuild_over_http_shards_is_torn_free_under_concurrent_clients() {
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 80;
+    const REBUILDS: usize = 2;
+
+    let d = dataset();
+    let run = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(2)
+        .run()
+        .unwrap();
+    let serving = run.serve().unwrap();
+
+    // Two real shard servers over the halves of a 1×2 topology.
+    let local_spec = TopologySpec::local(1, 2);
+    let shard0 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 0).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let shard1 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 1).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let spec = TopologySpec {
+        rows: 1,
+        cols: 2,
+        shards: vec![
+            BackendSpec::Http(shard0.addr().to_string()),
+            BackendSpec::Http(shard1.addr().to_string()),
+        ],
+    };
+    // The coordinator itself serves HTTP: one worker per client, plus
+    // one for the rebuild driver.
+    let coordinator = fsi::HttpServer::bind_with(
+        serving.service_over(&spec).unwrap(),
+        "127.0.0.1:0",
+        CLIENTS + 1,
+    )
+    .unwrap();
+    let addr = coordinator.addr();
+
+    // The deterministic spec schedule: generation g serves the index
+    // built from specs[g - 1]; specs[0] is the deployment's own spec.
+    let mut specs = vec![serving.spec().clone()];
+    for i in 0..REBUILDS {
+        specs.push(fsi::PipelineSpec::new(
+            TaskSpec::act(),
+            if i % 2 == 0 {
+                Method::FairKd
+            } else {
+                Method::MedianKd
+            },
+            2 + (i % 2),
+        ));
+    }
+
+    // Hot points spread over both shards; expected[g - 1][k] is
+    // generation g's correct decision for hot[k].
+    let b = *d.grid().bounds();
+    let hot: Vec<Point> = (0..8)
+        .map(|i| {
+            Point::new(
+                b.min_x + (0.07 + 0.125 * i as f64) * b.width(),
+                b.min_y + (0.93 - 0.11 * i as f64) * b.height(),
+            )
+        })
+        .collect();
+    let expected: Vec<Vec<DecisionBody>> = specs
+        .iter()
+        .map(|spec| {
+            let (index, _run) = fsi_serve::build_index(&d, spec).unwrap();
+            hot.iter()
+                .map(|p| index.lookup(p).unwrap().into())
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for worker in 0..CLIENTS {
+            let (hot, expected) = (&hot, &expected);
+            clients.push(scope.spawn(move || {
+                let mut client = fsi::HttpClient::connect(addr).expect("client connects");
+                let mut rng = StdRng::seed_from_u64(500 + worker as u64);
+                // The barrier floor: once every shard has been seen at
+                // generation g, no answer may come from an older one.
+                let mut floor = 1u64;
+                for i in 0..REQUESTS_PER_CLIENT {
+                    if i % 10 == 0 {
+                        match client.call(&Request::Stats).expect("stats round-trip") {
+                            Response::Stats { stats } => {
+                                let per_shard =
+                                    stats.per_shard.expect("coordinator stats are per-shard");
+                                assert_eq!(per_shard.len(), 2);
+                                for s in &per_shard {
+                                    assert_eq!(s.kind, "http");
+                                    assert!(s.addr.is_some());
+                                }
+                                let min = per_shard.iter().map(|s| s.generation).min().unwrap();
+                                assert!(
+                                    min >= floor,
+                                    "generation floor went backwards: {floor} -> {min}"
+                                );
+                                floor = min;
+                            }
+                            other => panic!("expected stats, got {other:?}"),
+                        }
+                    } else {
+                        let k = rng.random_range(0..hot.len());
+                        let p = &hot[k];
+                        let got = expect_decision(
+                            client
+                                .call(&Request::Lookup { x: p.x, y: p.y })
+                                .expect("lookup round-trip"),
+                        );
+                        let live = expected[floor as usize - 1..]
+                            .iter()
+                            .any(|table| table[k] == got);
+                        assert!(
+                            live,
+                            "torn or stale decision for hot[{k}] after barrier \
+                             generation {floor}: {got:?}"
+                        );
+                    }
+                }
+                floor
+            }));
+        }
+
+        // Drive the rebuilds through the coordinator's own transport:
+        // each one retrains, then prepares BOTH remote shards before
+        // committing either.
+        let mut driver = fsi::HttpClient::connect(addr).expect("driver connects");
+        for (i, spec) in specs.iter().enumerate().skip(1) {
+            match driver
+                .call(&Request::Rebuild { spec: spec.clone() })
+                .expect("rebuild round-trip")
+            {
+                Response::Rebuilt { report } => {
+                    assert_eq!(report.generation, i as u64 + 1, "rebuild {i}")
+                }
+                other => panic!("expected rebuild report, got {other:?}"),
+            }
+        }
+
+        for client in clients {
+            let floor = client.join().expect("client thread survived");
+            assert!(floor >= 1);
+        }
+    });
+
+    // After the storm both shard servers sit at the final generation
+    // and the coordinator still answers.
+    match fsi::http::query_once(addr, &Request::Stats).unwrap() {
+        Response::Stats { stats } => {
+            assert_eq!(stats.generations, vec![REBUILDS as u64 + 1; 2]);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    coordinator.shutdown();
+    shard0.shutdown();
+    shard1.shutdown();
+}
+
+/// A prepare that cannot reach every shard must leave the topology
+/// serving the old generation everywhere: shard servers reject a bare
+/// `commit`, and a coordinator whose remote shard has gone away
+/// surfaces a structured error instead of publishing a half-rebuilt
+/// topology.
+#[test]
+fn failed_prepares_leave_every_shard_on_the_old_generation() {
+    let d = dataset();
+    let run = Pipeline::on(&d)
+        .method(Method::MedianKd)
+        .height(2)
+        .run()
+        .unwrap();
+    let serving = run.serve().unwrap();
+
+    let local_spec = TopologySpec::local(1, 2);
+    let shard0 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 0).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let shard1 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 1).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    // A commit with no staged prepare is a structured protocol error.
+    match fsi::http::query_once(shard0.addr(), &Request::RebuildCommit).unwrap() {
+        Response::Error { error } => assert_eq!(error.code, fsi::ErrorCode::NotPrepared),
+        other => panic!("expected not_prepared, got {other:?}"),
+    }
+
+    let spec = TopologySpec {
+        rows: 1,
+        cols: 2,
+        shards: vec![
+            BackendSpec::Http(shard0.addr().to_string()),
+            BackendSpec::Http(shard1.addr().to_string()),
+        ],
+    };
+    let mut coordinator = serving.service_over(&spec).unwrap();
+
+    // Kill shard 1, then ask for a rebuild: the prepare fan-out fails,
+    // no shard commits, and shard 0 keeps serving generation 1.
+    shard1.shutdown();
+    let rebuild_spec = fsi::PipelineSpec::new(TaskSpec::act(), Method::FairKd, 3);
+    match coordinator.dispatch(&Request::Rebuild { spec: rebuild_spec }) {
+        Response::Error { error } => {
+            assert_eq!(error.code, fsi::ErrorCode::Internal, "{error:?}")
+        }
+        other => panic!("expected a structured rebuild failure, got {other:?}"),
+    }
+    match fsi::http::query_once(shard0.addr(), &Request::Stats).unwrap() {
+        Response::Stats { stats } => assert_eq!(stats.generations, vec![1]),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    // And a late commit still finds nothing staged on shard 0.
+    match fsi::http::query_once(shard0.addr(), &Request::RebuildCommit).unwrap() {
+        Response::Error { error } => assert_eq!(error.code, fsi::ErrorCode::NotPrepared),
+        other => panic!("expected not_prepared, got {other:?}"),
+    }
+    shard0.shutdown();
+}

@@ -71,7 +71,7 @@ fn expect_regions(response: Response) -> Vec<usize> {
 
 /// The tentpole differential property: one query stream through the
 /// text REPL, the HTTP loopback transport, a single-shard service and a
-/// 2×2 (= 4-shard) `ShardRouter` service yields decisions bit-identical
+/// 2×2 (= 4-shard) `Topology` service yields decisions bit-identical
 /// to direct `FrozenIndex::lookup`, and identical range-query ID sets.
 #[test]
 fn transports_answer_bit_identically_including_sharded() {
@@ -86,8 +86,10 @@ fn transports_answer_bit_identically_including_sharded() {
     let serving = run.serve().unwrap();
 
     let mut in_process = serving.service();
-    let mut sharded = serving.service_sharded(2, 2).unwrap();
-    assert_eq!(sharded.router().shards(), 4);
+    let mut sharded = serving
+        .service_over(&fsi::TopologySpec::local(2, 2))
+        .unwrap();
+    assert_eq!(sharded.topology().shards(), 4);
     let server = serving.listen("127.0.0.1:0").unwrap();
     let mut http = fsi::HttpClient::connect(server.addr()).unwrap();
 
@@ -208,8 +210,10 @@ fn cached_services_answer_bit_identically_across_transports() {
 
     let mut uncached = uncached_serving.service();
     let mut cached = cached_serving.service();
-    let mut cached_sharded = cached_serving.service_sharded(2, 2).unwrap();
-    assert_eq!(cached_sharded.router().shards(), 4);
+    let mut cached_sharded = cached_serving
+        .service_over(&fsi::TopologySpec::local(2, 2))
+        .unwrap();
+    assert_eq!(cached_sharded.topology().shards(), 4);
     let server = cached_serving.listen("127.0.0.1:0").unwrap();
     let mut http = fsi::HttpClient::connect(server.addr()).unwrap();
 
@@ -282,7 +286,9 @@ fn sharded_rebuild_keeps_transport_parity() {
         .unwrap()
         .serve()
         .unwrap();
-    let mut sharded = serving.service_sharded(2, 2).unwrap();
+    let mut sharded = serving
+        .service_over(&fsi::TopologySpec::local(2, 2))
+        .unwrap();
 
     let spec = fsi::PipelineSpec::new(TaskSpec::act(), Method::FairKd, 4);
     match sharded.dispatch(&Request::Rebuild { spec: spec.clone() }) {
@@ -292,7 +298,7 @@ fn sharded_rebuild_keeps_transport_parity() {
         }
         other => panic!("expected rebuild report, got {other:?}"),
     }
-    assert_eq!(sharded.router().generations(), vec![2, 2, 2, 2]);
+    assert_eq!(sharded.topology().generations(), vec![2, 2, 2, 2]);
 
     let (reference, _run) = fsi_serve::build_index(&d, &spec).unwrap();
     for p in query_points(d.grid(), 400, 11) {
