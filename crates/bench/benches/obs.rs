@@ -1,0 +1,12 @@
+//! `cargo bench` harness for the observability suite at full size; the
+//! measurement code lives in [`fsi_bench::suites::obs`].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{obs, Profile};
+
+fn benches_full(c: &mut Criterion) {
+    obs::register(c, &Profile::full());
+}
+
+criterion_group!(benches, benches_full);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! # fsi-bench — benchmark fixtures, suites, and the perf-gate runner
 //!
-//! The measurement code for all eight suites lives in [`suites`], driven
+//! The measurement code for all nine suites lives in [`suites`], driven
 //! from two entry points:
 //!
 //! * the classic per-suite `cargo bench` harnesses in `benches/*.rs`;
@@ -28,6 +28,9 @@
 //! * [`suites::dist`] — distributed serving: the scatter-gather
 //!   coordinator vs a single box, and keep-alive HTTP round-trips to a
 //!   remote shard.
+//! * [`suites::obs`] — the telemetry layer's cost: instrumented vs
+//!   uninstrumented dispatch (with the in-suite ≤ 1.10x overhead gate),
+//!   snapshot folding, and Prometheus text rendering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,4 +1,4 @@
-//! The eight benchmark suites, parameterized by a size [`Profile`].
+//! The nine benchmark suites, parameterized by a size [`Profile`].
 //!
 //! Each suite exposes `register(c, profile)` so the same measurement code
 //! drives both entry points:
@@ -6,7 +6,7 @@
 //! * the classic `cargo bench` harnesses in `benches/*.rs` (one binary
 //!   per suite, full-size datasets);
 //! * the `fsi-bench` runner binary (`cargo run -p fsi-bench --bin
-//!   runner`), which runs all eight suites in one process under either
+//!   runner`), which runs all nine suites in one process under either
 //!   the `--smoke` or `--full` profile and records the repo's perf
 //!   baseline.
 //!
@@ -21,6 +21,7 @@ pub mod construction;
 pub mod dist;
 pub mod metrics;
 pub mod ml_training;
+pub mod obs;
 pub mod proto;
 pub mod serving;
 pub mod split_search;
@@ -105,7 +106,7 @@ impl Profile {
     }
 }
 
-/// Registers all eight suites on one driver, in baseline order.
+/// Registers all nine suites on one driver, in baseline order.
 pub fn register_all(c: &mut Criterion, profile: &Profile) {
     construction::register(c, profile);
     split_search::register(c, profile);
@@ -115,6 +116,7 @@ pub fn register_all(c: &mut Criterion, profile: &Profile) {
     proto::register(c, profile);
     cache::register(c, profile);
     dist::register(c, profile);
+    obs::register(c, profile);
 }
 
 #[cfg(test)]

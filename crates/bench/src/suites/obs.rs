@@ -1,0 +1,140 @@
+//! The observability suite: the cost of leaving telemetry on.
+//!
+//! `QueryService` instruments every dispatch by default (counters always,
+//! latency sampled 1-in-256 for point lookups), so the whole layer is only
+//! shippable if that instrumentation is invisible on the hot path. This
+//! suite pins it:
+//!
+//! * `dispatch_lookup_x{N}` — the instrumented (default) service over
+//!   the same point sweep as the proto suite's id of the same name.
+//! * `dispatch_lookup_off_x{N}` — the identical sweep through
+//!   `with_metrics(false)`: the uninstrumented denominator.
+//! * `metrics_snapshot` — folding every per-worker shard into one
+//!   `MetricsBody` (the scrape path, off the request hot path).
+//! * `prometheus_render` — rendering that body as Prometheus text.
+//!
+//! Before registering the criterion benches, the suite runs its own
+//! interleaved-median comparison of the two dispatch twins and asserts
+//! the instrumented path stays ≤ 1.10x the uninstrumented one — the
+//! acceptance bar, enforced wherever the suite runs (CI smoke included)
+//! rather than left to offline baseline arithmetic.
+
+use super::Profile;
+use crate::bench_dataset;
+use criterion::{black_box, Criterion};
+use fsi::{prometheus_text, Method, Pipeline, QueryService, Request, Response, TaskSpec};
+use fsi_geo::Point;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// One full sweep of `points` through `service`, returning the leaf-id
+/// accumulator so the work cannot be optimized away.
+fn sweep(service: &mut QueryService, points: &[Point]) -> usize {
+    let mut acc = 0usize;
+    for q in points {
+        match service.dispatch(&Request::Lookup { x: q.x, y: q.y }) {
+            Response::Decision { decision } => acc = acc.wrapping_add(decision.leaf_id),
+            other => panic!("expected decision, got {other:?}"),
+        }
+    }
+    acc
+}
+
+/// Median of a sample, in nanoseconds.
+fn median(mut nanos: Vec<u128>) -> u128 {
+    nanos.sort_unstable();
+    nanos[nanos.len() / 2]
+}
+
+/// The ≤ 1.10x acceptance gate: `rounds` interleaved timings of the
+/// instrumented and uninstrumented sweeps (interleaving cancels clock
+/// drift and frequency scaling; medians discard scheduler outliers).
+fn assert_overhead_bounded(
+    on: &mut QueryService,
+    off: &mut QueryService,
+    points: &[Point],
+    rounds: usize,
+) {
+    // Warm both paths so first-touch effects (cache registration, page
+    // faults) land outside the timed rounds.
+    black_box(sweep(on, points));
+    black_box(sweep(off, points));
+
+    let (mut with, mut without) = (Vec::with_capacity(rounds), Vec::with_capacity(rounds));
+    for _ in 0..rounds {
+        let t = Instant::now();
+        black_box(sweep(on, points));
+        with.push(t.elapsed().as_nanos());
+
+        let t = Instant::now();
+        black_box(sweep(off, points));
+        without.push(t.elapsed().as_nanos());
+    }
+    let (with, without) = (median(with), median(without));
+    let ratio = with as f64 / without as f64;
+    eprintln!(
+        "obs overhead: instrumented {with} ns vs uninstrumented {without} ns \
+         per {} lookups (ratio {ratio:.3})",
+        points.len()
+    );
+    assert!(
+        ratio <= 1.10,
+        "instrumented dispatch is {ratio:.3}x the uninstrumented path \
+         (acceptance bar: ≤ 1.10x)"
+    );
+}
+
+/// Registers the observability suite under `serving/obs_…` ids.
+pub fn register(c: &mut Criterion, p: &Profile) {
+    let dataset = bench_dataset(p.n_individuals, p.grid_side);
+    let serving = Pipeline::on(&dataset)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(p.method_height)
+        .run()
+        .expect("pipeline run for obs fixtures")
+        .serve()
+        .expect("serving wires up");
+
+    let bounds = *dataset.grid().bounds();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let points: Vec<Point> = (0..p.serve_batch)
+        .map(|_| {
+            Point::new(
+                bounds.min_x + rng.random::<f64>() * bounds.width(),
+                bounds.min_y + rng.random::<f64>() * bounds.height(),
+            )
+        })
+        .collect();
+    let n = p.serve_batch;
+
+    let mut on = serving.service();
+    let mut off = serving.service().with_metrics(false);
+    assert_overhead_bounded(&mut on, &mut off, &points, 31);
+
+    let mut group = c.benchmark_group(format!(
+        "serving/obs_n{}_h{}",
+        p.n_individuals, p.method_height
+    ));
+
+    group.bench_function(format!("dispatch_lookup_x{n}"), |b| {
+        b.iter(|| black_box(sweep(&mut on, &points)))
+    });
+    group.bench_function(format!("dispatch_lookup_off_x{n}"), |b| {
+        b.iter(|| black_box(sweep(&mut off, &points)))
+    });
+
+    // The scrape path: fold every per-worker shard into one body. Not on
+    // the request hot path, but a scraper polls it every few seconds.
+    group.bench_function("metrics_snapshot", |b| {
+        b.iter(|| black_box(on.metrics_snapshot().total_requests()))
+    });
+
+    let body = on.metrics_snapshot();
+    group.bench_function("prometheus_render", |b| {
+        b.iter(|| black_box(prometheus_text(black_box(&body)).len()))
+    });
+
+    group.finish();
+}

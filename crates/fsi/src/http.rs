@@ -27,20 +27,34 @@
 //! [`HttpClient`] is the matching blocking keep-alive client, used by
 //! the differential transport tests, the benchmark suite and the CI
 //! smoke step.
+//!
+//! ## Observability
+//!
+//! `GET /metrics` answers the Prometheus text exposition of the served
+//! [`QueryService`]'s telemetry (scatter-gathered across shards),
+//! extended with transport-level families: connection totals, requests
+//! handled, and read/handle/write phase histograms. The same transport
+//! block rides along as [`fsi_proto::HttpObsBody`] inside every
+//! `Response::Metrics` answered over this server. Phase timings start
+//! once a request head has arrived, so idle keep-alive wait is never
+//! recorded as read time.
 
 use crate::error::FsiError;
+use fsi_obs::{Counter, Histogram, HistogramSnapshot, Recorder, Registry};
 use fsi_proto::{
-    decode_request, decode_response, encode_response, ErrorBody, ErrorCode, ProtoError, Request,
-    Response,
+    decode_request, decode_response, encode_response, ErrorBody, ErrorCode, HttpObsBody,
+    ProtoError, Request, Response,
 };
-use fsi_serve::{QueryService, ServeError, ShardBackend, ShardDescriptor};
+use fsi_serve::{
+    prometheus_text, QueryService, ServeError, ShardBackend, ShardDescriptor, TransportStats,
+};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body. Far above any sane batch (a 100k-point
 /// `LookupBatch` is ~4 MB) while bounding a malicious content-length.
@@ -56,6 +70,74 @@ const MAX_HEADERS: usize = 100;
 
 /// How often blocked I/O wakes up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Content type of the Prometheus text exposition.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Per-worker HTTP transport telemetry, merged on scrape through the
+/// server's [`Registry`]. Active connections are derived as
+/// `opened - closed` (both cumulative, so the difference is exact even
+/// across worker shards).
+struct HttpMetrics {
+    opened: Counter,
+    closed: Counter,
+    requests: Counter,
+    read: Histogram,
+    handle: Histogram,
+    write: Histogram,
+}
+
+impl HttpMetrics {
+    fn new() -> Self {
+        Self {
+            opened: Counter::new(),
+            closed: Counter::new(),
+            requests: Counter::new(),
+            read: Histogram::new(),
+            handle: Histogram::new(),
+            write: Histogram::new(),
+        }
+    }
+}
+
+/// Nanoseconds in `d`, saturating instead of wrapping on absurd spans.
+fn elapsed_nanos(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Folds every worker shard into one wire-ready transport block.
+/// Histograms are read before counters so a concurrent scrape can only
+/// under-report phases relative to `requests`, never the reverse.
+fn http_obs_body(registry: &Registry<HttpMetrics>) -> HttpObsBody {
+    let (read, handle, write) = registry.fold(
+        (
+            HistogramSnapshot::empty(),
+            HistogramSnapshot::empty(),
+            HistogramSnapshot::empty(),
+        ),
+        |(mut r, mut h, mut w), shard| {
+            r.merge(&shard.read.snapshot());
+            h.merge(&shard.handle.snapshot());
+            w.merge(&shard.write.snapshot());
+            (r, h, w)
+        },
+    );
+    let (opened, closed, requests) = registry.fold((0u64, 0u64, 0u64), |(o, c, q), shard| {
+        (
+            o + shard.opened.get(),
+            c + shard.closed.get(),
+            q + shard.requests.get(),
+        )
+    });
+    HttpObsBody {
+        connections: opened,
+        active: opened.saturating_sub(closed),
+        requests,
+        read,
+        handle,
+        write,
+    }
+}
 
 /// A running HTTP serving endpoint. Dropping it (or calling
 /// [`HttpServer::shutdown`]) stops the accept loop, drains the workers
@@ -88,21 +170,26 @@ impl HttpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
+        let obs = Registry::new(HttpMetrics::new).recorder();
 
         let workers = (0..workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let stop = Arc::clone(&stop);
                 let mut service = service.clone();
+                // Each worker records into its own registry shard.
+                let obs = obs.clone();
                 std::thread::spawn(move || loop {
                     // Holding the lock only while receiving: the queue is
                     // the only shared state between workers.
                     let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                     match conn {
                         Ok(stream) => {
+                            obs.opened.inc();
                             // Connection errors are that connection's
                             // problem; the worker moves on to the next.
-                            let _ = serve_connection(stream, &mut service, &stop);
+                            let _ = serve_connection(stream, &mut service, &stop, &obs);
+                            obs.closed.inc();
                         }
                         // Sender dropped: the server is shutting down.
                         Err(_) => return,
@@ -283,6 +370,7 @@ fn serve_connection(
     stream: TcpStream,
     service: &mut QueryService,
     stop: &AtomicBool,
+    obs: &Recorder<HttpMetrics>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
@@ -294,6 +382,41 @@ fn serve_connection(
             Some(head) => head,
             None => return Ok(()), // EOF or shutdown between requests
         };
+        // Counted before any phase is recorded, so a concurrent scrape
+        // can never see more phase samples than requests.
+        obs.requests.inc();
+        // The Prometheus scrape surface sits outside the JSON envelope
+        // path: the service's own metrics (scatter-gathered across
+        // shards) plus this transport's block, as text exposition.
+        if head.method == "GET" && head.path == "/metrics" {
+            let handle_started = Instant::now();
+            let text = match service.dispatch(&Request::Metrics) {
+                Response::Metrics { mut metrics } => {
+                    metrics.http = Some(http_obs_body(obs.registry()));
+                    prometheus_text(&metrics)
+                }
+                // Unreachable by construction — Metrics always answers
+                // Metrics — but a transport must not panic on protocol
+                // drift.
+                other => format!("# metrics unavailable: unexpected {other:?}\n"),
+            };
+            obs.handle.record(elapsed_nanos(handle_started));
+            let write_started = Instant::now();
+            write_http(
+                &mut writer,
+                200,
+                "OK",
+                METRICS_CONTENT_TYPE,
+                &text,
+                head.keep_alive,
+            )?;
+            obs.write.record(elapsed_nanos(write_started));
+            let body_len = head.content_length.unwrap_or(0);
+            if !head.keep_alive || !drain_body_polling(&mut reader, body_len, stop)? {
+                return Ok(());
+            }
+            continue;
+        }
         // Transport-level validation, most specific failure first. A
         // rejected request's body must still be consumed, or the next
         // request on this keep-alive connection would be parsed from
@@ -326,6 +449,7 @@ fn serve_connection(
                 &mut writer,
                 status,
                 reason,
+                "application/json",
                 &error_wire(ErrorBody::new(
                     fsi_proto::ErrorCode::MalformedRequest,
                     message,
@@ -343,6 +467,7 @@ fn serve_connection(
                 &mut writer,
                 411,
                 "Length Required",
+                "application/json",
                 &error_wire(ErrorBody::new(
                     fsi_proto::ErrorCode::MalformedRequest,
                     "a Content-Length header is required",
@@ -356,6 +481,7 @@ fn serve_connection(
                 &mut writer,
                 413,
                 "Content Too Large",
+                "application/json",
                 &error_wire(ErrorBody::new(
                     fsi_proto::ErrorCode::MalformedRequest,
                     format!("request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"),
@@ -364,21 +490,39 @@ fn serve_connection(
             )?;
             return Ok(());
         }
+        let read_started = Instant::now();
         let Some(body) = read_body_polling(&mut reader, length, stop)? else {
             return Ok(());
         };
+        obs.read.record(elapsed_nanos(read_started));
 
+        let handle_started = Instant::now();
         let (status, reason, wire) = match std::str::from_utf8(&body)
             .map_err(|e| ProtoError::Json(format!("body is not UTF-8: {e}")))
             .and_then(decode_request)
         {
             Ok(request) => {
-                let response = service.dispatch(&request);
+                let mut response = service.dispatch(&request);
+                // Metrics answered over this transport carry its block,
+                // so wire scrapers see the same picture as /metrics.
+                if let Response::Metrics { metrics } = &mut response {
+                    metrics.http = Some(http_obs_body(obs.registry()));
+                }
                 (200, "OK", encode_response(&response))
             }
             Err(e) => (400, "Bad Request", error_wire(ErrorBody::from(&e))),
         };
-        write_http(&mut writer, status, reason, &wire, head.keep_alive)?;
+        obs.handle.record(elapsed_nanos(handle_started));
+        let write_started = Instant::now();
+        write_http(
+            &mut writer,
+            status,
+            reason,
+            "application/json",
+            &wire,
+            head.keep_alive,
+        )?;
+        obs.write.record(elapsed_nanos(write_started));
         if !head.keep_alive {
             return Ok(());
         }
@@ -449,13 +593,14 @@ fn write_http(
     writer: &mut TcpStream,
     status: u16,
     reason: &str,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     )?;
     writer.flush()
@@ -502,7 +647,19 @@ impl HttpClient {
             body.len()
         )?;
         self.writer.flush()?;
+        self.read_response()
+    }
 
+    /// Sends a bodyless `GET` and returns `(status, response body)` —
+    /// how `/metrics` is scraped over a keep-alive connection.
+    pub fn get(&mut self, path: &str) -> Result<(u16, String), FsiError> {
+        write!(self.writer, "GET {path} HTTP/1.1\r\n\r\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Reads one framed response off the connection.
+    fn read_response(&mut self) -> Result<(u16, String), FsiError> {
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
             return Err(FsiError::Io(std::io::Error::new(
@@ -558,6 +715,16 @@ pub fn query_once(addr: impl ToSocketAddrs, request: &Request) -> Result<Respons
     HttpClient::connect(addr)?.call(request)
 }
 
+/// One-shot Prometheus scrape: `GET /metrics`, answering the text
+/// exposition. A non-2xx status surfaces as [`FsiError::Http`].
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> Result<String, FsiError> {
+    let (status, body) = HttpClient::connect(addr)?.get("/metrics")?;
+    if !(200..300).contains(&status) {
+        return Err(FsiError::Http { status, body });
+    }
+    Ok(body)
+}
+
 /// A [`ShardBackend`] over a remote shard server: one keep-alive
 /// [`HttpClient`] speaking the typed protocol, shared by every
 /// coordinator worker behind a mutex (one in-flight request per remote
@@ -571,6 +738,8 @@ pub fn query_once(addr: impl ToSocketAddrs, request: &Request) -> Result<Respons
 pub struct RemoteShard {
     addr: String,
     client: Mutex<Option<HttpClient>>,
+    reconnects: Counter,
+    failures: Counter,
 }
 
 impl RemoteShard {
@@ -585,6 +754,8 @@ impl RemoteShard {
         Ok(Self {
             addr: addr.to_string(),
             client: Mutex::new(Some(client)),
+            reconnects: Counter::new(),
+            failures: Counter::new(),
         })
     }
 
@@ -606,14 +777,21 @@ impl RemoteShard {
                 }
                 // The connection is dead (server restarted, idle
                 // keep-alive reaped, …): drop it and redial below.
-                Err(_) => HttpClient::connect(self.addr.as_str())?,
+                Err(_) => self.redial()?,
             },
-            None => HttpClient::connect(self.addr.as_str())?,
+            None => self.redial()?,
         };
         let mut client = reconnected;
         let response = client.call(request)?;
         *slot = Some(client);
         Ok(response)
+    }
+
+    /// Dials a replacement connection, counting the reconnect whether
+    /// or not the dial succeeds — a flapping shard shows up either way.
+    fn redial(&self) -> Result<HttpClient, FsiError> {
+        self.reconnects.inc();
+        Ok(HttpClient::connect(self.addr.as_str())?)
     }
 }
 
@@ -621,10 +799,13 @@ impl ShardBackend for RemoteShard {
     fn dispatch(&self, request: &Request) -> Response {
         match self.call(request) {
             Ok(response) => response,
-            Err(e) => Response::error(
-                ErrorCode::Internal,
-                format!("remote shard {}: {e}", self.addr),
-            ),
+            Err(e) => {
+                self.failures.inc();
+                Response::error(
+                    ErrorCode::Internal,
+                    format!("remote shard {}: {e}", self.addr),
+                )
+            }
         }
     }
 
@@ -640,6 +821,13 @@ impl ShardBackend for RemoteShard {
             Response::Stats { stats } => stats.generations.first().copied().unwrap_or(0),
             _ => 0,
         }
+    }
+
+    fn transport_stats(&self) -> Option<TransportStats> {
+        Some(TransportStats {
+            reconnects: self.reconnects.get(),
+            failures: self.failures.get(),
+        })
     }
 }
 
@@ -890,5 +1078,67 @@ mod tests {
         let response = query_once(server.addr(), &Request::Stats).unwrap();
         assert!(matches!(response, Response::Stats { .. }));
         server.shutdown();
+    }
+
+    #[test]
+    fn get_metrics_answers_the_text_exposition_outside_the_envelope() {
+        let server = HttpServer::bind(service().with_lookup_sampling(1), "127.0.0.1:0").unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            client.call(&Request::Lookup { x: 0.1, y: 0.1 }).unwrap();
+        }
+        let text = scrape_metrics(server.addr()).unwrap();
+        assert!(
+            text.contains("fsi_requests_total{kind=\"lookup\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE fsi_request_latency_seconds summary"));
+        assert!(text.contains("fsi_generation 1"));
+        assert!(text.contains("fsi_http_connections_total"));
+        assert!(text.contains("fsi_http_requests_total"));
+        // The same keep-alive connection can scrape between envelope
+        // requests without desyncing either framing.
+        let (status, text) = client.get("/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(text.contains("fsi_requests_total{kind=\"lookup\"} 3"));
+        assert!(matches!(
+            client.call(&Request::Stats).unwrap(),
+            Response::Stats { .. }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn wire_metrics_responses_carry_the_http_transport_block() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        client.call(&Request::Lookup { x: 0.1, y: 0.1 }).unwrap();
+        let Response::Metrics { metrics } = client.call(&Request::Metrics).unwrap() else {
+            panic!("expected metrics");
+        };
+        let http = metrics.http.expect("transport block attached");
+        assert!(http.connections >= 1, "{http:?}");
+        assert!(http.active >= 1, "{http:?}");
+        assert!(http.requests >= 2, "{http:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_shard_reports_transport_stats() {
+        let server = HttpServer::bind(service(), "127.0.0.1:0").unwrap();
+        let shard = RemoteShard::connect(&server.addr().to_string()).unwrap();
+        shard.dispatch(&Request::Stats);
+        assert_eq!(
+            shard.transport_stats(),
+            Some(TransportStats {
+                reconnects: 0,
+                failures: 0,
+            })
+        );
+        server.shutdown();
+        shard.dispatch(&Request::Stats);
+        let stats = shard.transport_stats().unwrap();
+        assert_eq!(stats.failures, 1, "{stats:?}");
+        assert!(stats.reconnects >= 1, "{stats:?}");
     }
 }

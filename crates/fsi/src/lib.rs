@@ -52,7 +52,7 @@ pub mod pipeline;
 pub mod repl;
 
 pub use error::FsiError;
-pub use http::{HttpClient, HttpServer, RemoteShard};
+pub use http::{scrape_metrics, HttpClient, HttpServer, RemoteShard};
 pub use multi::{MultiPipeline, MultiRun};
 pub use pipeline::{Pipeline, Run, RunReport, Serving};
 
@@ -67,11 +67,13 @@ pub use fsi_pipeline::{
 };
 pub use fsi_proto::{
     decode_request, decode_response, encode_request, encode_response, CacheStatsBody, DecisionBody,
-    ErrorBody, ErrorCode, PreparedBody, ProtoError, Request, Response, ShardStatsBody, StatsBody,
-    WirePoint, WireRect, PROTO_VERSION,
+    ErrorBody, ErrorCode, HttpObsBody, MetricsBody, PreparedBody, ProtoError, RebuildObsBody,
+    Request, RequestKindMetrics, Response, ShardObsBody, ShardStatsBody, StatsBody, WirePoint,
+    WireRect, PROTO_VERSION,
 };
 pub use fsi_serve::{
-    BackendSpec, CacheError, CacheScope, CacheSpec, CacheStats, Decision, FrozenIndex, IndexHandle,
-    IndexReader, LocalShard, QueryService, RebuildReport, Rebuilder, ShardBackend, ShardDescriptor,
-    Topology, TopologySpec,
+    prometheus_text, BackendSpec, CacheError, CacheScope, CacheSpec, CacheStats, Decision,
+    FrozenIndex, IndexHandle, IndexReader, LocalShard, QueryService, RebuildReport, Rebuilder,
+    ShardBackend, ShardDescriptor, SlowQueryRecord, SlowQuerySink, Topology, TopologySpec,
+    TransportStats,
 };

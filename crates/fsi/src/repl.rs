@@ -13,7 +13,12 @@
 //! * `rect X0 Y0 X1 Y1` — a map-space range query
 //!   ([`Request::RangeQuery`]); answers `neighborhoods: [..]`;
 //! * `stats` — service statistics ([`Request::Stats`]), including one
-//!   `shard#<i>` segment per backend on topology-backed services;
+//!   `shard#<i>` segment per backend on topology-backed services
+//!   (printed uniformly as `kind@addr`, with `-` for in-process
+//!   backends that have no address);
+//! * `metrics` — the telemetry snapshot ([`Request::Metrics`]):
+//!   per-kind request counts with latency quantiles, error totals,
+//!   cache counters and per-shard transport health;
 //! * `rebuild <spec JSON>` — retrain and hot-swap
 //!   ([`Request::Rebuild`]), e.g. the JSON produced by serializing a
 //!   [`fsi_pipeline::PipelineSpec`];
@@ -44,6 +49,7 @@ pub fn parse_line(line: &str) -> Option<Result<Request, String>> {
     let request = match fields.as_slice() {
         [] => return None,
         ["stats"] => Ok(Request::Stats),
+        ["metrics"] => Ok(Request::Metrics),
         ["rect", x0, y0, x1, y1] => match (x0.parse(), y0.parse(), x1.parse(), y1.parse()) {
             (Ok(x0), Ok(y0), Ok(x1), Ok(y1)) => Ok(Request::RangeQuery {
                 rect: WireRect::new(x0, y0, x1, y1),
@@ -132,12 +138,52 @@ pub fn format_response(response: &Response) -> String {
             if let Some(per_shard) = &stats.per_shard {
                 for (i, shard) in per_shard.iter().enumerate() {
                     line.push_str(&format!(
-                        " shard#{i}: kind={} addr={} generation={} leaves={} heap_bytes={}",
+                        " shard#{i}: {}@{} generation={} leaves={} heap_bytes={}",
                         shard.kind,
                         shard.addr.as_deref().unwrap_or("-"),
                         shard.generation,
                         shard.num_leaves,
                         shard.heap_bytes
+                    ));
+                }
+            }
+            line
+        }
+        Response::Metrics { metrics } => {
+            let mut line = format!(
+                "metrics: requests={} generation={} slow_queries={}",
+                metrics.total_requests(),
+                metrics.generation,
+                metrics.slow_queries
+            );
+            for kind in metrics.requests.iter().filter(|r| r.count > 0) {
+                line.push_str(&format!(
+                    " {}: count={} p50_us={:.1} p99_us={:.1}",
+                    kind.kind,
+                    kind.count,
+                    kind.latency.p50() as f64 / 1e3,
+                    kind.latency.p99() as f64 / 1e3,
+                ));
+            }
+            for error in &metrics.errors {
+                line.push_str(&format!(" error[{}]={}", error.code, error.count));
+            }
+            if let Some(cache) = &metrics.cache {
+                line.push_str(&format!(
+                    " cache: hits={} misses={} evictions={}",
+                    cache.hits, cache.misses, cache.evictions
+                ));
+            }
+            for shard in &metrics.shards {
+                if shard.requests > 0 || shard.failures > 0 {
+                    line.push_str(&format!(
+                        " shard#{}: {}@{} requests={} failures={} reconnects={}",
+                        shard.shard,
+                        shard.kind,
+                        shard.addr.as_deref().unwrap_or("-"),
+                        shard.requests,
+                        shard.failures,
+                        shard.reconnects
                     ));
                 }
             }
@@ -314,10 +360,22 @@ mod tests {
     }
 
     #[test]
-    fn stats_line_reports_one_segment_per_shard() {
+    fn stats_line_reports_one_kind_at_addr_segment_per_shard() {
         let mut svc = service();
         let a = answer_line(&mut svc, "stats").unwrap();
-        assert!(a.contains("shard#0: kind=local addr=- generation=1"), "{a}");
+        assert!(a.contains("shard#0: local@- generation=1"), "{a}");
+    }
+
+    #[test]
+    fn metrics_command_reports_the_telemetry_snapshot() {
+        let mut svc = service().with_lookup_sampling(1);
+        answer_line(&mut svc, "0.1 0.1").unwrap();
+        answer_line(&mut svc, "0.9 0.9").unwrap();
+        answer_line(&mut svc, "9.0 9.0").unwrap(); // out of bounds
+        let a = answer_line(&mut svc, "metrics").unwrap();
+        assert!(a.starts_with("metrics: requests=3 generation=1"), "{a}");
+        assert!(a.contains("lookup: count=3 p50_us="), "{a}");
+        assert!(a.contains("error[out_of_bounds]=1"), "{a}");
     }
 
     #[test]

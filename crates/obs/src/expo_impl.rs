@@ -1,0 +1,173 @@
+//! A minimal Prometheus text-exposition (version 0.0.4) writer.
+//!
+//! Only what the `/metrics` endpoint needs: `# HELP` / `# TYPE`
+//! headers, labeled samples, and summary families (quantile samples
+//! plus `_sum` / `_count`) rendered from a histogram snapshot.
+
+use crate::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// An in-progress text exposition.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            _ => s.push(ch),
+        }
+    }
+    s
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+impl Exposition {
+    /// Starts an empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` header for a metric family.
+    /// `kind` is the Prometheus type: `counter`, `gauge` or `summary`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Writes one labeled sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Writes one labeled integer sample line (no float formatting).
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Writes a summary family body from a histogram snapshot: p50 /
+    /// p95 / p99 quantile samples plus `_sum` and `_count`. Recorded
+    /// values are divided by `divisor` (pass `1e9` for
+    /// nanosecond-recorded latencies exposed in seconds; division
+    /// rounds to the nearest double, so decimal divisors print
+    /// cleanly).
+    pub fn summary(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        divisor: f64,
+    ) {
+        for (q, v) in [
+            ("0.5", snap.p50()),
+            ("0.95", snap.p95()),
+            ("0.99", snap.p99()),
+            ("1", snap.max()),
+        ] {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", q));
+            self.sample(name, &with_q, v as f64 / divisor);
+        }
+        let mut sum_name = String::with_capacity(name.len() + 4);
+        sum_name.push_str(name);
+        sum_name.push_str("_sum");
+        self.sample(&sum_name, labels, snap.sum() as f64 / divisor);
+        let mut count_name = String::with_capacity(name.len() + 6);
+        count_name.push_str(name);
+        count_name.push_str("_count");
+        self.sample_u64(&count_name, labels, snap.count());
+    }
+
+    /// Finishes and returns the exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn counters_and_gauges_render_with_labels() {
+        let mut e = Exposition::new();
+        e.family("fsi_requests_total", "counter", "Requests answered.");
+        e.sample_u64("fsi_requests_total", &[("kind", "lookup")], 42);
+        e.sample_u64("fsi_requests_total", &[], 50);
+        e.family("fsi_generation", "gauge", "Live snapshot generation.");
+        e.sample("fsi_generation", &[], 3.0);
+        let text = e.finish();
+        assert_eq!(
+            text,
+            "# HELP fsi_requests_total Requests answered.\n\
+             # TYPE fsi_requests_total counter\n\
+             fsi_requests_total{kind=\"lookup\"} 42\n\
+             fsi_requests_total 50\n\
+             # HELP fsi_generation Live snapshot generation.\n\
+             # TYPE fsi_generation gauge\n\
+             fsi_generation 3\n"
+        );
+    }
+
+    #[test]
+    fn summaries_expose_quantiles_sum_and_count_in_seconds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1_000); // 1 µs
+        }
+        h.record(2_000_000_000); // one 2 s outlier
+        let mut e = Exposition::new();
+        e.family("fsi_latency_seconds", "summary", "Latency.");
+        e.summary(
+            "fsi_latency_seconds",
+            &[("kind", "lookup")],
+            &h.snapshot(),
+            1e9,
+        );
+        let text = e.finish();
+        // 1 000 ns lands in the [896, 1024) bucket; quantiles answer
+        // the bucket's lower bound.
+        assert!(
+            text.contains("fsi_latency_seconds{kind=\"lookup\",quantile=\"0.5\"} 0.000000896\n"),
+            "{text}"
+        );
+        assert!(text.contains("fsi_latency_seconds{kind=\"lookup\",quantile=\"1\"} 2\n"));
+        assert!(text.contains("fsi_latency_seconds_count{kind=\"lookup\"} 100\n"));
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("fsi_latency_seconds_sum"))
+            .unwrap();
+        let v: f64 = sum_line.split(' ').next_back().unwrap().parse().unwrap();
+        assert!((v - 2.000099).abs() < 1e-9, "{sum_line}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut e = Exposition::new();
+        e.sample_u64("m", &[("addr", "a\"b\\c\nd")], 1);
+        assert_eq!(e.finish(), "m{addr=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

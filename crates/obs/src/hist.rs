@@ -1,0 +1,436 @@
+//! The log-linear latency histogram and its mergeable snapshot.
+//!
+//! Bucket layout (fixed, shared by every histogram so snapshots merge
+//! index-by-index):
+//!
+//! * values `0..16` — one exact bucket each (16 linear buckets);
+//! * values `16..2^42` — four sub-buckets per power-of-two octave, so
+//!   every bucket spans at most a quarter of its lower bound and any
+//!   quantile estimate is within 25 % of the true value;
+//! * values `≥ 2^42` (~73 minutes in nanoseconds) — one overflow
+//!   bucket, reported as the exactly-tracked max.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exact buckets below the first octave.
+const LINEAR: usize = 16;
+/// Sub-buckets per octave.
+const SUB: usize = 4;
+/// First octave with sub-bucketing (`2^4 = 16`).
+const FIRST_OCTAVE: u32 = 4;
+/// First octave collapsed into the overflow bucket.
+const OVERFLOW_OCTAVE: u32 = 42;
+/// Index of the overflow bucket.
+const OVERFLOW: usize = LINEAR + (OVERFLOW_OCTAVE - FIRST_OCTAVE) as usize * SUB;
+
+/// Total number of buckets in the fixed layout.
+pub const BUCKETS: usize = OVERFLOW + 1;
+
+/// Bucket index for a recorded value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    if octave >= OVERFLOW_OCTAVE {
+        return OVERFLOW;
+    }
+    let sub = ((v >> (octave - 2)) & 3) as usize;
+    LINEAR + (octave - FIRST_OCTAVE) as usize * SUB + sub
+}
+
+/// Inclusive lower and exclusive upper value bound of a bucket.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < LINEAR {
+        return (i as u64, i as u64 + 1);
+    }
+    if i >= OVERFLOW {
+        return (1u64 << OVERFLOW_OCTAVE, u64::MAX);
+    }
+    let octave = FIRST_OCTAVE + ((i - LINEAR) / SUB) as u32;
+    let sub = ((i - LINEAR) % SUB) as u64;
+    let width = 1u64 << (octave - 2);
+    let lower = (1u64 << octave) + sub * width;
+    (lower, lower + width)
+}
+
+/// A lock-free log-linear histogram of `u64` values (latencies in
+/// nanoseconds, sizes, …).
+///
+/// Recording is a handful of uncontended release-ordered `fetch_add`s;
+/// reading is [`Histogram::snapshot`], which may be called from any
+/// thread at any time.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Acquire))
+            .field("sum", &self.sum.load(Ordering::Acquire))
+            .field("max", &self.max.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Release);
+        self.count.fetch_add(1, Ordering::Release);
+        self.sum.fetch_add(v, Ordering::Release);
+        self.max.fetch_max(v, Ordering::AcqRel);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Captures a point-in-time snapshot. Concurrent recording keeps
+    /// going; each bucket count is individually monotone, so two
+    /// consecutive snapshots never disagree downward.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut idx = Vec::new();
+        let mut counts = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Acquire);
+            if c > 0 {
+                idx.push(i as u32);
+                counts.push(c);
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Acquire),
+            sum: self.sum.load(Ordering::Acquire),
+            max: self.max.load(Ordering::Acquire),
+            idx,
+            counts,
+        }
+    }
+}
+
+/// A frozen, mergeable, serde-round-trippable view of a [`Histogram`].
+///
+/// Buckets are stored sparsely (parallel `idx` / `counts` vectors) so
+/// an idle histogram costs a few bytes on the wire, not `BUCKETS`
+/// zeros.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    count: u64,
+    sum: u64,
+    max: u64,
+    idx: Vec<u32>,
+    counts: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (no recorded values).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            max: 0,
+            idx: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a snapshot from raw parts — primarily for tests and
+    /// property strategies; bucket indexes at or above [`BUCKETS`] are
+    /// ignored by every consumer.
+    pub fn from_parts(count: u64, sum: u64, max: u64, buckets: &[(u32, u64)]) -> Self {
+        Self {
+            count,
+            sum,
+            max,
+            idx: buckets.iter().map(|&(i, _)| i).collect(),
+            counts: buckets.iter().map(|&(_, c)| c).collect(),
+        }
+    }
+
+    /// Values recorded (the histogram's own monotone counter).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value, tracked exactly.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of the in-layout bucket counts — equals [`Self::count`] at
+    /// quiescence, may trail it by in-flight recordings otherwise.
+    pub fn total(&self) -> u64 {
+        self.dense().iter().sum()
+    }
+
+    /// Mean recorded value; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn dense(&self) -> [u64; BUCKETS] {
+        let mut d = [0u64; BUCKETS];
+        for (&i, &c) in self.idx.iter().zip(&self.counts) {
+            if let Some(slot) = d.get_mut(i as usize) {
+                *slot += c;
+            }
+        }
+        d
+    }
+
+    /// Folds another snapshot into this one (per-worker shard merge).
+    pub fn merge(&mut self, other: &Self) {
+        let mut d = self.dense();
+        for (&i, &c) in other.idx.iter().zip(&other.counts) {
+            if let Some(slot) = d.get_mut(i as usize) {
+                *slot += c;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.idx.clear();
+        self.counts.clear();
+        for (i, &c) in d.iter().enumerate() {
+            if c > 0 {
+                self.idx.push(i as u32);
+                self.counts.push(c);
+            }
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`), within 25 % of the true
+    /// value below the overflow bucket. `q ≥ 1.0` and ranks landing in
+    /// the overflow bucket report the exact max; an empty histogram
+    /// reports `0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let d = self.dense();
+        let total: u64 = d.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.max(0.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in d.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i >= OVERFLOW {
+                    return self.max;
+                }
+                return bucket_bounds(i).0;
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_self_inverse() {
+        let mut expected_lower = 0u64;
+        for i in 0..OVERFLOW {
+            let (lower, upper) = bucket_bounds(i);
+            assert_eq!(
+                lower,
+                expected_lower,
+                "bucket {i} starts where {} ended",
+                i.max(1) - 1
+            );
+            assert!(upper > lower);
+            assert_eq!(bucket_index(lower), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(upper - 1), i, "upper bound of bucket {i}");
+            expected_lower = upper;
+        }
+        assert_eq!(expected_lower, 1u64 << OVERFLOW_OCTAVE);
+        assert_eq!(bucket_index(1u64 << OVERFLOW_OCTAVE), OVERFLOW);
+        assert_eq!(bucket_index(u64::MAX), OVERFLOW);
+        assert_eq!(BUCKETS, 169);
+    }
+
+    /// A tiny deterministic xorshift so the reference-comparison test
+    /// needs no RNG dependency.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantiles_track_a_sorted_vector_reference_within_25_percent() {
+        // Mixed magnitudes: sub-16 exact values, µs-scale, ms-scale.
+        let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+        let mut values = Vec::new();
+        for _ in 0..4000 {
+            values.push(rng.next() % 16); // exact range
+        }
+        for _ in 0..4000 {
+            values.push(50_000 + rng.next() % 1_000_000); // ~µs latencies
+        }
+        for _ in 0..2000 {
+            values.push(5_000_000 + rng.next() % 100_000_000); // ~ms tail
+        }
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), values.len() as u64);
+        assert_eq!(snap.total(), values.len() as u64);
+        assert_eq!(snap.sum(), values.iter().sum::<u64>());
+        assert_eq!(snap.max(), *sorted.last().unwrap());
+        for q in [0.1, 0.25, 0.5, 0.9, 0.95, 0.99] {
+            let exact = reference_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            assert!(
+                est <= exact,
+                "q={q}: estimate {est} must not exceed exact {exact}"
+            );
+            if exact < LINEAR as u64 {
+                assert_eq!(est, exact, "q={q}: sub-16 values are exact");
+            } else {
+                let rel = (exact - est) as f64 / exact as f64;
+                assert!(rel < 0.25, "q={q}: {est} vs {exact} off by {rel}");
+            }
+        }
+        assert_eq!(
+            snap.quantile(1.0),
+            *sorted.last().unwrap(),
+            "q=1 is the exact max"
+        );
+    }
+
+    #[test]
+    fn overflow_values_report_the_exact_max() {
+        let h = Histogram::new();
+        let big = (1u64 << OVERFLOW_OCTAVE) + 12_345;
+        h.record(big);
+        h.record(big + 7);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), big + 7, "overflow bucket answers max");
+        assert_eq!(snap.max(), big + 7);
+    }
+
+    #[test]
+    fn merging_snapshots_equals_recording_the_union() {
+        let mut rng = XorShift(42);
+        let a_vals: Vec<u64> = (0..500).map(|_| rng.next() % 1_000_000).collect();
+        let b_vals: Vec<u64> = (0..300).map(|_| rng.next() % 50_000_000).collect();
+        let (a, b, union) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a_vals {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &b_vals {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let h = Histogram::new();
+        for v in [0, 3, 15, 16, 1_000, 123_456_789, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.max(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_and_out_of_range_snapshots_are_harmless() {
+        let empty = HistogramSnapshot::empty();
+        assert_eq!(empty.quantile(0.99), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.total(), 0);
+        // A peer sending bucket indexes beyond our layout must not
+        // panic or skew quantiles.
+        let hostile = HistogramSnapshot::from_parts(2, 10, 9, &[(1, 1), (100_000, 1)]);
+        assert_eq!(hostile.count(), 2, "raw count is whatever the peer said");
+        assert_eq!(hostile.total(), 1, "out-of-range bucket ignored");
+        assert_eq!(hostile.quantile(0.5), 1);
+        let mut base = HistogramSnapshot::empty();
+        base.merge(&hostile);
+        assert_eq!(base.count(), 2);
+        assert_eq!(base.total(), 1);
+    }
+}

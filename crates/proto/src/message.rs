@@ -2,7 +2,8 @@
 
 use crate::error::ProtoError;
 use crate::wire::{
-    DecisionBody, ErrorBody, PreparedBody, RebuildReport, StatsBody, WirePoint, WireRect,
+    DecisionBody, ErrorBody, MetricsBody, PreparedBody, RebuildReport, StatsBody, WirePoint,
+    WireRect,
 };
 use fsi_pipeline::PipelineSpec;
 use serde::{Deserialize, Serialize};
@@ -60,6 +61,11 @@ pub enum Request {
     /// no-op, so a coordinator can always abort every shard after a
     /// partial prepare failure.
     RebuildAbort,
+    /// One merged telemetry snapshot: request counts, latency
+    /// histograms, error tallies, cache and per-shard health. A
+    /// topology-aware coordinator scatter-gathers the snapshots of its
+    /// remote shards into [`crate::ShardObsBody::remote`].
+    Metrics,
 }
 
 impl Request {
@@ -82,7 +88,7 @@ impl Request {
             Request::Rebuild { spec } | Request::RebuildPrepare { spec } => spec
                 .validate()
                 .map_err(|e| ProtoError::InvalidRequest(e.to_string())),
-            Request::RebuildCommit | Request::RebuildAbort => Ok(()),
+            Request::RebuildCommit | Request::RebuildAbort | Request::Metrics => Ok(()),
         }
     }
 }
@@ -136,6 +142,12 @@ pub enum Response {
     /// Answer to [`Request::RebuildAbort`]: any staged index was
     /// dropped; the live generation is untouched.
     Aborted,
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// The merged telemetry snapshot (boxed; see
+        /// [`Response::Stats`]).
+        metrics: Box<MetricsBody>,
+    },
     /// Any failure, with a machine-readable code.
     Error {
         /// The structured failure.
@@ -246,6 +258,7 @@ mod tests {
             },
             Request::RebuildCommit,
             Request::RebuildAbort,
+            Request::Metrics,
         ]
     }
 
@@ -285,6 +298,7 @@ mod tests {
                         heap_bytes: 13300,
                         backend: "tree".into(),
                     }]),
+                    metrics: None,
                 }),
             },
             Response::Rebuilt {
@@ -307,6 +321,9 @@ mod tests {
             },
             Response::Committed { generation: 4 },
             Response::Aborted,
+            Response::Metrics {
+                metrics: Box::new(MetricsBody::empty()),
+            },
             Response::error(ErrorCode::OutOfBounds, "point (2, 2) is outside the map"),
         ]
     }
@@ -339,6 +356,41 @@ mod tests {
             let back = decode_response(&wire).unwrap();
             assert_eq!(response, back, "wire: {wire}");
         }
+    }
+
+    #[test]
+    fn pre_metrics_envelopes_still_decode() {
+        // Captured from a pre-observability peer: a v1 envelope whose
+        // vocabulary has no Metrics variant and whose StatsBody has no
+        // metrics field. Both directions must keep decoding.
+        let old_request = r#"{"v":1,"body":"Stats"}"#;
+        assert_eq!(decode_request(old_request).unwrap(), Request::Stats);
+        let old_response = r#"{"v":1,"body":{"Stats":{"stats":{
+            "shards": 1,
+            "generations": [2],
+            "num_leaves": 64,
+            "heap_bytes": 4096,
+            "backend": "tree"
+        }}}}"#;
+        let Response::Stats { stats } = decode_response(old_response).unwrap() else {
+            panic!("pre-metrics Stats envelope must still decode");
+        };
+        assert_eq!(stats.generations, vec![2]);
+        assert_eq!(stats.cache, None);
+        assert_eq!(stats.per_shard, None);
+        assert_eq!(stats.metrics, None);
+    }
+
+    #[test]
+    fn metrics_request_and_response_round_trip_through_the_envelope() {
+        let wire = encode_request(&Request::Metrics);
+        assert_eq!(wire, r#"{"v":1,"body":"Metrics"}"#);
+        assert_eq!(decode_request(&wire).unwrap(), Request::Metrics);
+        let response = Response::Metrics {
+            metrics: Box::new(MetricsBody::empty()),
+        };
+        let back = decode_response(&encode_response(&response)).unwrap();
+        assert_eq!(response, back);
     }
 
     #[test]
@@ -465,8 +517,61 @@ mod tests {
                     backend: "cells".into(),
                     cache,
                     per_shard: None,
+                    metrics: None,
                 }),
             };
+            prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);
+        }
+
+        /// Serde identity over randomized metrics bodies: sparse
+        /// histograms, error tallies, per-shard entries with one level
+        /// of remote nesting.
+        #[test]
+        fn metrics_round_trip(
+            values in proptest::collection::vec(any::<u64>(), 0..50),
+            shards in 0usize..4,
+            slow in any::<u64>(),
+            nested in any::<bool>(),
+        ) {
+            let hist = fsi_obs::Histogram::new();
+            for &v in &values {
+                hist.record(v);
+            }
+            let snap = hist.snapshot();
+            let body = MetricsBody {
+                requests: vec![crate::RequestKindMetrics {
+                    kind: "lookup".into(),
+                    count: values.len() as u64,
+                    latency: snap.clone(),
+                }],
+                errors: vec![crate::ErrorCountBody {
+                    code: ErrorCode::Internal,
+                    count: slow >> 32,
+                }],
+                slow_queries: slow,
+                generation: slow.wrapping_mul(31),
+                cache: None,
+                shards: (0..shards)
+                    .map(|i| crate::ShardObsBody {
+                        shard: i,
+                        kind: if i % 2 == 0 { "local" } else { "http" }.into(),
+                        addr: (i % 2 == 1).then(|| format!("10.0.0.{i}:7878")),
+                        requests: values.len() as u64,
+                        failures: i as u64,
+                        reconnects: (i / 2) as u64,
+                        round_trip: snap.clone(),
+                        remote: (nested && i % 2 == 1)
+                            .then(|| Box::new(MetricsBody::empty())),
+                    })
+                    .collect(),
+                rebuild: crate::RebuildObsBody {
+                    prepare: snap.clone(),
+                    commit: fsi_obs::HistogramSnapshot::empty(),
+                    abort: snap,
+                },
+                http: None,
+            };
+            let response = Response::Metrics { metrics: Box::new(body) };
             prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);
         }
     }

@@ -2,6 +2,7 @@
 //! no behavior beyond validation, shared by every transport.
 
 use crate::error::ProtoError;
+use fsi_obs::HistogramSnapshot;
 use fsi_pipeline::PipelineSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -172,6 +173,155 @@ pub struct StatsBody {
     /// before this field existed still decode (same pattern as
     /// `cache`).
     pub per_shard: Option<Vec<ShardStatsBody>>,
+    /// The answering worker's local telemetry snapshot, when the
+    /// service runs with metrics enabled. Optional so v1/v2 envelopes
+    /// encoded before this field existed still decode (same pattern as
+    /// `cache` and `per_shard`).
+    pub metrics: Option<Box<MetricsBody>>,
+}
+
+/// Traffic counters for one request kind inside a [`MetricsBody`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestKindMetrics {
+    /// Request kind in snake case (`"lookup"`, `"lookup_batch"`, …).
+    pub kind: String,
+    /// Requests of this kind dispatched so far.
+    pub count: u64,
+    /// Dispatch latency in nanoseconds. Point lookups may be *sampled*
+    /// (see the service's sampling knob), so `latency.count() ≤ count`;
+    /// every other kind is always timed.
+    pub latency: HistogramSnapshot,
+}
+
+/// One error-code tally inside a [`MetricsBody`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorCountBody {
+    /// The failure category.
+    pub code: ErrorCode,
+    /// Error responses answered with this code.
+    pub count: u64,
+}
+
+/// Coordinator-side telemetry for one shard inside a [`MetricsBody`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardObsBody {
+    /// Shard index in topology order.
+    pub shard: usize,
+    /// Backend kind: `"local"` or `"http"`.
+    pub kind: String,
+    /// The remote shard's `host:port` address; `None` for local shards.
+    pub addr: Option<String>,
+    /// Requests the coordinator forwarded to this shard.
+    pub requests: u64,
+    /// Forwarded requests that came back as `internal` transport
+    /// errors — the raw feed for a future health/retry policy.
+    pub failures: u64,
+    /// Transport reconnect attempts (remote backends only).
+    pub reconnects: u64,
+    /// Coordinator-observed round-trip latency, in nanoseconds.
+    pub round_trip: HistogramSnapshot,
+    /// The shard's own scraped snapshot, when the scatter-gather that
+    /// produced this body reached it. Boxed and optional: local shards
+    /// have no recorder of their own and older peers omit the field.
+    pub remote: Option<Box<MetricsBody>>,
+}
+
+/// Two-phase rebuild timings inside a [`MetricsBody`], one histogram
+/// per phase, in nanoseconds per shard-phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebuildObsBody {
+    /// Prepare/stage durations (also records plain `Rebuild` builds).
+    pub prepare: HistogramSnapshot,
+    /// Commit/publish durations.
+    pub commit: HistogramSnapshot,
+    /// Abort durations.
+    pub abort: HistogramSnapshot,
+}
+
+impl RebuildObsBody {
+    /// All-empty timings.
+    pub fn empty() -> Self {
+        Self {
+            prepare: HistogramSnapshot::empty(),
+            commit: HistogramSnapshot::empty(),
+            abort: HistogramSnapshot::empty(),
+        }
+    }
+}
+
+/// HTTP transport telemetry inside a [`MetricsBody`], attached by the
+/// HTTP server in front of the service (absent on other transports).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpObsBody {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// HTTP requests handled (all methods and paths).
+    pub requests: u64,
+    /// Head + body read time per request, in nanoseconds.
+    pub read: HistogramSnapshot,
+    /// Decode + dispatch + encode time per request, in nanoseconds.
+    pub handle: HistogramSnapshot,
+    /// Response write time per request, in nanoseconds.
+    pub write: HistogramSnapshot,
+}
+
+/// One worker-merged telemetry snapshot — the body of
+/// [`crate::Response::Metrics`], scatter-gathered across shards by
+/// topology-aware coordinators (each remote shard's own snapshot rides
+/// in [`ShardObsBody::remote`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsBody {
+    /// Per-request-kind counts and latency, in dispatch order.
+    pub requests: Vec<RequestKindMetrics>,
+    /// Error responses tallied by code; codes never answered are
+    /// omitted.
+    pub errors: Vec<ErrorCountBody>,
+    /// Requests that crossed the slow-query log threshold (0 when the
+    /// log is off).
+    pub slow_queries: u64,
+    /// Highest snapshot generation observed at dispatch time.
+    pub generation: u64,
+    /// Decision-cache counters, when a cache is configured.
+    pub cache: Option<CacheStatsBody>,
+    /// Coordinator-side per-shard telemetry, in topology order.
+    pub shards: Vec<ShardObsBody>,
+    /// Two-phase rebuild timings.
+    pub rebuild: RebuildObsBody,
+    /// HTTP transport telemetry, when an HTTP server fronts the
+    /// service.
+    pub http: Option<HttpObsBody>,
+}
+
+impl MetricsBody {
+    /// An all-zero snapshot — what a backend without a recorder (plain
+    /// local shard) answers.
+    pub fn empty() -> Self {
+        Self {
+            requests: Vec::new(),
+            errors: Vec::new(),
+            slow_queries: 0,
+            generation: 0,
+            cache: None,
+            shards: Vec::new(),
+            rebuild: RebuildObsBody::empty(),
+            http: None,
+        }
+    }
+
+    /// Total requests across all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|r| r.count).sum()
+    }
+
+    /// The count recorded for one request kind, 0 when absent.
+    pub fn count_for(&self, kind: &str) -> u64 {
+        self.requests
+            .iter()
+            .find(|r| r.kind == kind)
+            .map_or(0, |r| r.count)
+    }
 }
 
 /// What a finished rebuild did — the body of
@@ -331,6 +481,10 @@ mod tests {
             stats.per_shard, None,
             "missing per_shard field must decode as None"
         );
+        assert_eq!(
+            stats.metrics, None,
+            "missing metrics field must decode as None"
+        );
         // Truly required fields still fail loudly when absent.
         let truncated = r#"{"shards": 1, "generations": [1]}"#;
         let err = serde_json::from_str::<StatsBody>(truncated).unwrap_err();
@@ -353,6 +507,7 @@ mod tests {
                 capacity: 128,
             }),
             per_shard: None,
+            metrics: None,
         };
         let json = serde_json::to_string(&stats).unwrap();
         let back: StatsBody = serde_json::from_str(&json).unwrap();
@@ -398,6 +553,7 @@ mod tests {
                     backend: "tree".into(),
                 },
             ]),
+            metrics: None,
         };
         let json = serde_json::to_string(&stats).unwrap();
         let back: StatsBody = serde_json::from_str(&json).unwrap();
@@ -405,6 +561,126 @@ mod tests {
         let shards = back.per_shard.unwrap();
         assert_eq!(shards[0].addr, None);
         assert_eq!(shards[1].addr.as_deref(), Some("127.0.0.1:7878"));
+    }
+
+    #[test]
+    fn stats_body_decodes_v2_wire_json_without_metrics_field() {
+        // Captured from a pre-observability peer: v2 StatsBody with the
+        // cache and per_shard blocks but no `metrics` field.
+        let v2_wire = r#"{
+            "shards": 2,
+            "generations": [5, 5],
+            "num_leaves": 512,
+            "heap_bytes": 24576,
+            "backend": "tree",
+            "cache": {"hits": 10, "misses": 2, "evictions": 0, "entries": 8, "capacity": 64},
+            "per_shard": [
+                {"kind": "local", "addr": null, "generation": 5,
+                 "num_leaves": 256, "heap_bytes": 12288, "backend": "tree"},
+                {"kind": "http", "addr": "10.0.0.7:7878", "generation": 5,
+                 "num_leaves": 256, "heap_bytes": 12288, "backend": "tree"}
+            ]
+        }"#;
+        let stats: StatsBody = serde_json::from_str(v2_wire).unwrap();
+        assert_eq!(stats.cache.unwrap().hits, 10);
+        assert_eq!(stats.per_shard.unwrap().len(), 2);
+        assert_eq!(
+            stats.metrics, None,
+            "v2 envelopes without metrics must decode as None"
+        );
+    }
+
+    fn sample_metrics_body() -> MetricsBody {
+        let hist = |values: &[u64]| {
+            let h = fsi_obs::Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        MetricsBody {
+            requests: vec![
+                RequestKindMetrics {
+                    kind: "lookup".into(),
+                    count: 4096,
+                    latency: hist(&[57, 61, 122, 8_000]),
+                },
+                RequestKindMetrics {
+                    kind: "stats".into(),
+                    count: 3,
+                    latency: hist(&[1_200, 1_800, 2_400]),
+                },
+            ],
+            errors: vec![ErrorCountBody {
+                code: ErrorCode::OutOfBounds,
+                count: 2,
+            }],
+            slow_queries: 1,
+            generation: 7,
+            cache: Some(CacheStatsBody {
+                hits: 900,
+                misses: 100,
+                evictions: 3,
+                entries: 97,
+                capacity: 128,
+            }),
+            shards: vec![
+                ShardObsBody {
+                    shard: 0,
+                    kind: "local".into(),
+                    addr: None,
+                    requests: 2048,
+                    failures: 0,
+                    reconnects: 0,
+                    round_trip: hist(&[90, 110]),
+                    remote: None,
+                },
+                ShardObsBody {
+                    shard: 1,
+                    kind: "http".into(),
+                    addr: Some("10.0.0.7:7878".into()),
+                    requests: 2048,
+                    failures: 4,
+                    reconnects: 1,
+                    round_trip: hist(&[48_000, 52_000, 61_000]),
+                    remote: Some(Box::new(MetricsBody::empty())),
+                },
+            ],
+            rebuild: RebuildObsBody {
+                prepare: hist(&[40_000_000, 42_000_000]),
+                commit: hist(&[9_000, 11_000]),
+                abort: HistogramSnapshot::empty(),
+            },
+            http: Some(HttpObsBody {
+                connections: 5,
+                active: 4,
+                requests: 4099,
+                read: hist(&[2_000, 2_500]),
+                handle: hist(&[60_000]),
+                write: hist(&[1_500]),
+            }),
+        }
+    }
+
+    #[test]
+    fn metrics_body_round_trips_with_nested_remote_snapshots() {
+        let body = sample_metrics_body();
+        let json = serde_json::to_string(&body).unwrap();
+        let back: MetricsBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(body, back);
+        assert_eq!(back.total_requests(), 4099);
+        assert_eq!(back.count_for("lookup"), 4096);
+        assert_eq!(back.count_for("range_query"), 0);
+        assert_eq!(back.shards[1].remote, Some(Box::new(MetricsBody::empty())));
+    }
+
+    #[test]
+    fn empty_metrics_body_is_the_recorderless_answer() {
+        let empty = MetricsBody::empty();
+        assert_eq!(empty.total_requests(), 0);
+        let json = serde_json::to_string(&empty).unwrap();
+        let back: MetricsBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(empty, back);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod driver;
 pub mod error;
 pub mod frozen;
 pub mod handle;
+pub mod obs;
 pub mod rebuild;
 pub mod service;
 pub mod shard;
@@ -72,11 +73,12 @@ pub use driver::{sweep, ThroughputReport};
 pub use error::ServeError;
 pub use frozen::{Decision, FrozenIndex};
 pub use handle::{IndexHandle, IndexReader};
+pub use obs::{prometheus_text, SlowQueryRecord, SlowQuerySink};
 pub use rebuild::{build_index, compile_run, RebuildReport, Rebuilder};
 pub use service::QueryService;
 pub use shard::ShardRouter;
 pub use topology::{
-    BackendSpec, LocalShard, ShardBackend, ShardDescriptor, Topology, TopologySpec,
+    BackendSpec, LocalShard, ShardBackend, ShardDescriptor, Topology, TopologySpec, TransportStats,
 };
 
 // The decision-cache vocabulary callers configure services with.

@@ -21,19 +21,31 @@
 //! thread and dispatches without any locking on the local hot path.
 
 use crate::frozen::{Decision, FrozenIndex};
+use crate::obs::{
+    code_index, kind_index, saturating_nanos, MetricsFold, ServiceMetrics, SlowQueryLog,
+    SlowQuerySink, KINDS, K_LOOKUP,
+};
 use crate::rebuild::build_index;
 use crate::topology::Topology;
 use crate::{IndexReader, RebuildReport, ServeError};
 use fsi_cache::{CacheKey, CacheScope, CacheSpec, CacheStats, FrontedLru, ShardedLru};
 use fsi_data::SpatialDataset;
 use fsi_geo::{Point, Rect};
+use fsi_obs::{Recorder, Registry};
 use fsi_pipeline::{MethodRun, PipelineSpec};
 use fsi_proto::{
-    CacheStatsBody, DecisionBody, ErrorCode, PreparedBody, Request, Response, ShardStatsBody,
-    StatsBody, WirePoint,
+    CacheStatsBody, DecisionBody, ErrorCode, ErrorCountBody, MetricsBody, PreparedBody,
+    RebuildObsBody, Request, RequestKindMetrics, Response, ShardObsBody, ShardStatsBody, StatsBody,
+    WirePoint,
 };
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default lookup latency sampling: one in 256 point lookups is timed
+/// (counts stay exact — see [`QueryService::with_lookup_sampling`]).
+/// 256 keeps the amortized clock reads under the obs bench suite's
+/// ≤ 1.10x instrumented-dispatch budget.
+const DEFAULT_SAMPLE_MASK: u64 = 255;
 
 impl From<Decision> for DecisionBody {
     fn from(d: Decision) -> Self {
@@ -121,6 +133,14 @@ enum ShardSlot {
     Remote,
 }
 
+/// Which rebuild histogram a shard-phase duration lands in.
+#[derive(Clone, Copy)]
+enum RebuildPhase {
+    Prepare,
+    Commit,
+    Abort,
+}
+
 /// The out-of-bounds error a batch lookup answers, naming the offending
 /// point by its index *within the batch* regardless of which shard
 /// (local or remote) rejected it.
@@ -163,6 +183,22 @@ pub struct QueryService {
     decisions: Vec<Decision>,
     /// Optional generation-keyed decision cache over point lookups.
     cache: Option<CacheLayer>,
+    /// This clone's telemetry shard in the registry every clone shares;
+    /// `None` only when metrics were explicitly disabled
+    /// ([`QueryService::with_metrics`]).
+    obs: Option<Recorder<ServiceMetrics>>,
+    /// Dispatch counter driving lookup latency sampling; also the
+    /// high-water mark the batched lookup count is derived from
+    /// (`tick - flushed_tick`), so the fast path pays exactly one
+    /// counter bump per lookup.
+    tick: u64,
+    /// `tick` as of the last counter flush.
+    flushed_tick: u64,
+    /// `tick & sample_mask == 0` selects the lookups that are timed
+    /// (and flush the pending count); always a power of two minus one.
+    sample_mask: u64,
+    /// Threshold-gated slow-query log; off by default.
+    slow: Option<SlowQueryLog>,
 }
 
 impl QueryService {
@@ -201,8 +237,51 @@ impl QueryService {
         self.cache.as_ref().map(|layer| &layer.spec)
     }
 
+    /// Telemetry is **on by default** — it is cheap enough to leave on
+    /// (the `serving/obs_*` bench suite pins instrumented dispatch at
+    /// ≤ 1.10× the uninstrumented path). `false` strips the recorder
+    /// entirely: the service dispatches exactly as it did before the
+    /// observability layer existed and `Metrics` requests answer the
+    /// all-zero snapshot.
+    #[must_use]
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        if !enabled {
+            self.obs = None;
+        } else if self.obs.is_none() {
+            let n_shards = self.slots.len();
+            self.obs = Some(Registry::new(move || ServiceMetrics::new(n_shards)).recorder());
+        }
+        self
+    }
+
+    /// Times one in `every` point lookups (rounded up to a power of
+    /// two; the default is 256). A lookup costs tens of nanoseconds and
+    /// two clock reads would dwarf it, so lookup *latency* is sampled
+    /// while lookup *counts* stay exact — they are batched locally and
+    /// flushed on every sampled lookup, on every non-lookup request,
+    /// and on every scrape. `1` times every lookup (the concurrency
+    /// tests use this so histogram totals equal request counts).
+    #[must_use]
+    pub fn with_lookup_sampling(mut self, every: u64) -> Self {
+        self.sample_mask = every.max(1).next_power_of_two() - 1;
+        self
+    }
+
+    /// Installs a slow-query log: any request whose dispatch takes at
+    /// least `threshold` is counted (`fsi_slow_queries_total`) and
+    /// handed to `sink` as a structured
+    /// [`SlowQueryRecord`](crate::SlowQueryRecord). Off by default.
+    /// Enabling it forces every lookup to be timed — sampling would
+    /// miss slow outliers, which are the whole point of the log.
+    #[must_use]
+    pub fn with_slow_query_log(mut self, threshold: Duration, sink: SlowQuerySink) -> Self {
+        self.slow = Some(SlowQueryLog::new(threshold, sink));
+        self.sample_mask = 0;
+        self
+    }
+
     fn over(topology: Arc<Topology>, rebuild_dataset: Option<Arc<SpatialDataset>>) -> Self {
-        let slots = topology
+        let slots: Vec<ShardSlot> = topology
             .backends()
             .iter()
             .map(|b| match b.as_local() {
@@ -210,6 +289,7 @@ impl QueryService {
                 None => ShardSlot::Remote,
             })
             .collect();
+        let n_shards = slots.len();
         Self {
             topology,
             slots,
@@ -217,6 +297,11 @@ impl QueryService {
             points: Vec::new(),
             decisions: Vec::new(),
             cache: None,
+            obs: Some(Registry::new(move || ServiceMetrics::new(n_shards)).recorder()),
+            tick: 0,
+            flushed_tick: 0,
+            sample_mask: DEFAULT_SAMPLE_MASK,
+            slow: None,
         }
     }
 
@@ -236,6 +321,16 @@ impl QueryService {
     /// on the lookup hot path.
     #[inline]
     pub fn dispatch(&mut self, request: &Request) -> Response {
+        if self.obs.is_none() {
+            return self.dispatch_inner(request);
+        }
+        self.dispatch_observed(request)
+    }
+
+    /// The raw dispatch match — what [`QueryService::with_metrics`]
+    /// `(false)` services run directly.
+    #[inline]
+    fn dispatch_inner(&mut self, request: &Request) -> Response {
         match request {
             Request::Lookup { x, y } => self.lookup(*x, *y),
             Request::LookupBatch { points } => self.lookup_batch(points),
@@ -245,11 +340,162 @@ impl QueryService {
             Request::RebuildPrepare { spec } => self.rebuild_prepare(spec),
             Request::RebuildCommit => self.rebuild_commit(),
             Request::RebuildAbort => self.rebuild_abort(),
+            Request::Metrics => self.metrics(),
+        }
+    }
+
+    /// Instrumented dispatch. Point lookups keep the hot path cheap by
+    /// batching their count and sampling their latency; every other
+    /// kind is counted and timed per request. The writer order — count
+    /// added **before** the histogram records — pairs with the scrape's
+    /// histogram-before-counter read, so a torn concurrent scrape can
+    /// only under-report latencies relative to counts, never the
+    /// reverse.
+    #[inline]
+    fn dispatch_observed(&mut self, request: &Request) -> Response {
+        if let Request::Lookup { x, y } = request {
+            if self.slow.is_none() {
+                self.tick = self.tick.wrapping_add(1);
+                if self.tick & self.sample_mask != 0 {
+                    // Tail call: inspecting the returned `Response` here
+                    // would force it through a local (one large-enum
+                    // memcpy per lookup, ~25% of the whole dispatch), so
+                    // the error counting rides inside `lookup_with`'s
+                    // cold arms instead.
+                    return self.lookup_with(*x, *y, true);
+                }
+                return self.sampled_lookup(*x, *y);
+            }
+        }
+        self.dispatch_timed(request)
+    }
+
+    /// The error-count side channel of the unsampled lookup fast path.
+    /// `#[cold]` keeps it (and the recorder deref) out of the inlined
+    /// hot loop — the bench gate holds instrumented dispatch at ≤ 1.10x
+    /// the uninstrumented path, and every instruction on the fast path
+    /// counts against that budget.
+    #[cold]
+    fn count_error(&self, code: ErrorCode) {
+        if let Some(obs) = &self.obs {
+            obs.errors[code_index(code)].inc();
+        }
+    }
+
+    /// The 1-in-`sample_mask+1` timed lookup: records the latency sample
+    /// and flushes the batched count. Out of line for the same reason as
+    /// [`Self::count_error`].
+    #[inline(never)]
+    fn sampled_lookup(&mut self, x: f64, y: f64) -> Response {
+        let started = Instant::now();
+        let response = self.lookup(x, y);
+        let nanos = saturating_nanos(started.elapsed());
+        let pend = self.take_pending();
+        let obs = self.obs.as_ref().expect("dispatch checked obs");
+        obs.requests[K_LOOKUP].add(pend);
+        obs.latency[K_LOOKUP].record(nanos);
+        if let Response::Error { error } = &response {
+            obs.errors[code_index(error.code)].inc();
+        }
+        response
+    }
+
+    /// Per-request counting and timing for every non-fast-path request
+    /// (all non-lookup kinds, and every request once a slow-query log
+    /// forces full timing).
+    #[inline(never)]
+    fn dispatch_timed(&mut self, request: &Request) -> Response {
+        let kind = kind_index(request);
+        let started = Instant::now();
+        let response = self.dispatch_inner(request);
+        let nanos = saturating_nanos(started.elapsed());
+        let pend = self.take_pending();
+        let obs = self.obs.as_ref().expect("dispatch checked obs");
+        if pend > 0 {
+            obs.requests[K_LOOKUP].add(pend);
+        }
+        obs.requests[kind].inc();
+        obs.latency[kind].record(nanos);
+        if let Response::Error { error } = &response {
+            obs.errors[code_index(error.code)].inc();
+        }
+        if let Some(slow) = &self.slow {
+            if nanos >= slow.threshold_nanos {
+                obs.slow_queries.inc();
+                slow.emit(KINDS[kind], nanos);
+            }
+        }
+        response
+    }
+
+    /// Flushes the batched lookup count into the recorder, so a scrape
+    /// reads exact totals.
+    fn flush_pending(&mut self) {
+        let pend = self.take_pending();
+        if pend > 0 {
+            if let Some(obs) = &self.obs {
+                obs.requests[K_LOOKUP].add(pend);
+            }
+        }
+    }
+
+    /// Lookups dispatched since the last flush (the `tick` delta),
+    /// resetting the window.
+    #[inline]
+    fn take_pending(&mut self) -> u64 {
+        let pend = self.tick.wrapping_sub(self.flushed_tick);
+        self.flushed_tick = self.tick;
+        pend
+    }
+
+    /// Forwards one request to the backend of a remote shard slot,
+    /// timing the round-trip and counting transport failures into the
+    /// per-shard telemetry. An `internal`-code failure additionally
+    /// gains the shard index and address in its message, so a
+    /// multi-shard fleet's transport errors are attributable from the
+    /// error body alone; every other code (out-of-bounds, not-prepared,
+    /// …) passes through untouched — those are the shard's own answers,
+    /// not transport context.
+    fn remote_dispatch(&self, shard: usize, request: &Request) -> Response {
+        let backend = &self.topology.backends()[shard];
+        let Some(obs) = &self.obs else {
+            return backend.dispatch(request);
+        };
+        let started = Instant::now();
+        let response = backend.dispatch(request);
+        let nanos = saturating_nanos(started.elapsed());
+        let sm = &obs.shards[shard];
+        sm.requests.inc();
+        sm.round_trip.record(nanos);
+        match response {
+            Response::Error { error } if error.code == ErrorCode::Internal => {
+                sm.failures.inc();
+                let addr = backend
+                    .descriptor()
+                    .addr
+                    .unwrap_or_else(|| "<no addr>".into());
+                Response::error(
+                    ErrorCode::Internal,
+                    format!("shard {shard} at {addr}: {}", error.message),
+                )
+            }
+            other => other,
         }
     }
 
     #[inline]
     fn lookup(&mut self, x: f64, y: f64) -> Response {
+        self.lookup_with(x, y, false)
+    }
+
+    /// Point lookup. `count_errors` additionally bumps the per-code
+    /// error counter in the (cold) error arms — the instrumented fast
+    /// path passes `true` so its caller can return this tail call
+    /// as-is instead of inspecting (and memcpying) the response; every
+    /// other caller passes `false` and counts at its own layer. The
+    /// flag is a compile-time constant at each inlined call site.
+    #[inline]
+    fn lookup_with(&mut self, x: f64, y: f64, count_errors: bool) -> Response {
         let p = Point::new(x, y);
         // Single-shard fast path: the index's (or the remote's) own
         // bounds check makes the routing step redundant.
@@ -261,7 +507,13 @@ impl QueryService {
         let decision = match shard {
             Some(shard) => {
                 if matches!(self.slots[shard], ShardSlot::Remote) {
-                    return self.topology.backends()[shard].dispatch(&Request::Lookup { x, y });
+                    let response = self.remote_dispatch(shard, &Request::Lookup { x, y });
+                    if count_errors {
+                        if let Response::Error { error } = &response {
+                            self.count_error(error.code);
+                        }
+                    }
+                    return response;
                 }
                 if self.cache.is_some() {
                     self.cached_decision(shard, &p)
@@ -278,10 +530,15 @@ impl QueryService {
             Some(decision) => Response::Decision {
                 decision: decision.into(),
             },
-            None => Response::error(
-                ErrorCode::OutOfBounds,
-                format!("point ({x}, {y}) is outside the served map bounds"),
-            ),
+            None => {
+                if count_errors {
+                    self.count_error(ErrorCode::OutOfBounds);
+                }
+                Response::error(
+                    ErrorCode::OutOfBounds,
+                    format!("point ({x}, {y}) is outside the served map bounds"),
+                )
+            }
         }
     }
 
@@ -308,10 +565,16 @@ impl QueryService {
         let key = CacheKey::new((shard as u64) << 48 | cell, generation);
         let cache = self.cache.as_mut().expect("caller checked cache.is_some()");
         if let Some(decision) = cache.store.get(key) {
+            if let Some(obs) = &self.obs {
+                obs.cache_hits.inc();
+            }
             return Some(decision);
         }
         let decision = index.lookup_cell(cell)?;
         cache.store.insert(key, decision);
+        if let Some(obs) = &self.obs {
+            obs.cache_misses.inc();
+        }
         Some(decision)
     }
 
@@ -334,9 +597,7 @@ impl QueryService {
                     return batch_oob(i, wp);
                 };
                 if matches!(self.slots[shard], ShardSlot::Remote) {
-                    match self.topology.backends()[shard]
-                        .dispatch(&Request::Lookup { x: wp.x, y: wp.y })
-                    {
+                    match self.remote_dispatch(shard, &Request::Lookup { x: wp.x, y: wp.y }) {
                         Response::Decision { decision } => self.decisions.push(decision.into()),
                         Response::Error { error } if error.code == ErrorCode::OutOfBounds => {
                             self.decisions.clear();
@@ -415,8 +676,7 @@ impl QueryService {
                 continue;
             }
             let sub: Vec<WirePoint> = bucket.iter().map(|&i| points[i]).collect();
-            let backend = &self.topology.backends()[shard];
-            match backend.dispatch(&Request::LookupBatch { points: sub }) {
+            match self.remote_dispatch(shard, &Request::LookupBatch { points: sub }) {
                 Response::Decisions { decisions } if decisions.len() == bucket.len() => {
                     for (&i, d) in bucket.iter().zip(decisions) {
                         out[i] = Some(d);
@@ -429,7 +689,7 @@ impl QueryService {
                     for &i in bucket {
                         let wp = &points[i];
                         if matches!(
-                            backend.dispatch(&Request::Lookup { x: wp.x, y: wp.y }),
+                            self.remote_dispatch(shard, &Request::Lookup { x: wp.x, y: wp.y }),
                             Response::Error { .. }
                         ) {
                             return batch_oob(i, wp);
@@ -462,23 +722,18 @@ impl QueryService {
         let shards = self.topology.covering(&query);
         let mut ids: Vec<usize> = Vec::new();
         for shard in shards {
-            match &mut self.slots[shard] {
-                ShardSlot::Local(reader) => {
-                    ids.extend(reader.snapshot().range_query(&query));
-                }
-                ShardSlot::Remote => {
-                    match self.topology.backends()[shard]
-                        .dispatch(&Request::RangeQuery { rect: *rect })
-                    {
-                        Response::Regions { ids: shard_ids } => ids.extend(shard_ids),
-                        Response::Error { error } => return Response::Error { error },
-                        _ => {
-                            return Response::error(
-                                ErrorCode::Internal,
-                                format!("shard {shard} answered an unexpected range response"),
-                            )
-                        }
-                    }
+            if let ShardSlot::Local(reader) = &mut self.slots[shard] {
+                ids.extend(reader.snapshot().range_query(&query));
+                continue;
+            }
+            match self.remote_dispatch(shard, &Request::RangeQuery { rect: *rect }) {
+                Response::Regions { ids: shard_ids } => ids.extend(shard_ids),
+                Response::Error { error } => return Response::Error { error },
+                _ => {
+                    return Response::error(
+                        ErrorCode::Internal,
+                        format!("shard {shard} answered an unexpected range response"),
+                    )
                 }
             }
         }
@@ -488,6 +743,7 @@ impl QueryService {
     }
 
     fn stats(&mut self) -> Response {
+        self.flush_pending();
         let cache = self.cache.as_ref().map(|layer| {
             let s = layer.store.stats();
             CacheStatsBody {
@@ -499,42 +755,39 @@ impl QueryService {
             }
         });
         let mut per_shard = Vec::with_capacity(self.slots.len());
-        for (shard, slot) in self.slots.iter_mut().enumerate() {
+        for shard in 0..self.slots.len() {
             let d = self.topology.backends()[shard].descriptor();
-            match slot {
-                ShardSlot::Local(reader) => {
-                    let (index, generation) = reader.snapshot_with_generation();
-                    per_shard.push(ShardStatsBody {
-                        kind: d.kind.to_string(),
-                        addr: d.addr,
-                        generation,
-                        num_leaves: index.num_leaves(),
-                        heap_bytes: index.heap_bytes(),
-                        backend: index.backend_name().to_string(),
-                    });
-                }
-                ShardSlot::Remote => {
-                    let body = match self.topology.backends()[shard].dispatch(&Request::Stats) {
-                        Response::Stats { stats } => ShardStatsBody {
-                            kind: d.kind.to_string(),
-                            addr: d.addr,
-                            generation: stats.generations.first().copied().unwrap_or(0),
-                            num_leaves: stats.num_leaves,
-                            heap_bytes: stats.heap_bytes,
-                            backend: stats.backend,
-                        },
-                        _ => ShardStatsBody {
-                            kind: d.kind.to_string(),
-                            addr: d.addr,
-                            generation: 0,
-                            num_leaves: 0,
-                            heap_bytes: 0,
-                            backend: "unreachable".to_string(),
-                        },
-                    };
-                    per_shard.push(body);
-                }
+            if let ShardSlot::Local(reader) = &mut self.slots[shard] {
+                let (index, generation) = reader.snapshot_with_generation();
+                per_shard.push(ShardStatsBody {
+                    kind: d.kind.to_string(),
+                    addr: d.addr,
+                    generation,
+                    num_leaves: index.num_leaves(),
+                    heap_bytes: index.heap_bytes(),
+                    backend: index.backend_name().to_string(),
+                });
+                continue;
             }
+            let body = match self.remote_dispatch(shard, &Request::Stats) {
+                Response::Stats { stats } => ShardStatsBody {
+                    kind: d.kind.to_string(),
+                    addr: d.addr,
+                    generation: stats.generations.first().copied().unwrap_or(0),
+                    num_leaves: stats.num_leaves,
+                    heap_bytes: stats.heap_bytes,
+                    backend: stats.backend,
+                },
+                _ => ShardStatsBody {
+                    kind: d.kind.to_string(),
+                    addr: d.addr,
+                    generation: 0,
+                    num_leaves: 0,
+                    heap_bytes: 0,
+                    backend: "unreachable".to_string(),
+                },
+            };
+            per_shard.push(body);
         }
         let generations = per_shard.iter().map(|s| s.generation).collect();
         // Shard-0 convention for the flat summary fields, kept from the
@@ -550,7 +803,124 @@ impl QueryService {
                 backend: first.backend.clone(),
                 cache,
                 per_shard: Some(per_shard),
+                // The answering worker's merged local snapshot (no
+                // remote scatter-gather — that is what `Metrics` is
+                // for); absent when metrics are disabled, exactly like
+                // a pre-observability peer's stats.
+                metrics: self.obs.is_some().then(|| Box::new(self.snapshot_body())),
             }),
+        }
+    }
+
+    /// Answer to [`Request::Metrics`]: the worker-merged snapshot of
+    /// this service's registry, with each remote shard's own snapshot
+    /// scatter-gathered into
+    /// [`ShardObsBody::remote`](fsi_proto::ShardObsBody) so one scrape
+    /// of the coordinator sees the whole fleet.
+    fn metrics(&mut self) -> Response {
+        self.flush_pending();
+        let mut body = self.snapshot_body();
+        if self.obs.is_some() {
+            for shard in 0..self.slots.len() {
+                if !matches!(self.slots[shard], ShardSlot::Remote) {
+                    continue;
+                }
+                if let Response::Metrics { metrics } =
+                    self.remote_dispatch(shard, &Request::Metrics)
+                {
+                    body.shards[shard].remote = Some(metrics);
+                }
+            }
+        }
+        Response::Metrics {
+            metrics: Box::new(body),
+        }
+    }
+
+    /// The merged telemetry snapshot of every worker clone sharing this
+    /// service's registry — counts summed, histograms merged, the
+    /// generation gauge folded with the live local shard generations.
+    /// Purely local: remote shards appear with the coordinator-side
+    /// view only (`remote: None`); dispatch a [`Request::Metrics`] for
+    /// the scatter-gathered fleet snapshot. Unflushed batched lookup
+    /// counts from *other* clones may lag by up to the sampling
+    /// interval; this clone's are flushed first.
+    pub fn metrics_snapshot(&mut self) -> MetricsBody {
+        self.flush_pending();
+        self.snapshot_body()
+    }
+
+    fn snapshot_body(&self) -> MetricsBody {
+        let Some(obs) = &self.obs else {
+            return MetricsBody::empty();
+        };
+        let fold = MetricsFold::collect(obs.registry(), self.slots.len());
+        let mut generation = fold.generation;
+        for backend in self.topology.backends() {
+            if let Some(local) = backend.as_local() {
+                generation = generation.max(local.handle().generation());
+            }
+        }
+        // Hit/miss totals come from the recorder (folded across every
+        // worker, which a per-worker store cannot report); eviction and
+        // occupancy figures from this clone's store, like `stats()`.
+        let cache = self.cache.as_ref().map(|layer| {
+            let s = layer.store.stats();
+            CacheStatsBody {
+                hits: fold.cache_hits,
+                misses: fold.cache_misses,
+                evictions: s.evictions,
+                entries: s.len,
+                capacity: s.capacity,
+            }
+        });
+        let shards = fold
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(shard, sf)| {
+                let backend = &self.topology.backends()[shard];
+                let d = backend.descriptor();
+                let transport = backend.transport_stats().unwrap_or_default();
+                ShardObsBody {
+                    shard,
+                    kind: d.kind.to_string(),
+                    addr: d.addr,
+                    requests: sf.requests,
+                    failures: sf.failures,
+                    reconnects: transport.reconnects,
+                    round_trip: sf.round_trip,
+                    remote: None,
+                }
+            })
+            .collect();
+        MetricsBody {
+            requests: KINDS
+                .iter()
+                .zip(fold.requests)
+                .zip(fold.latency)
+                .map(|((kind, count), latency)| RequestKindMetrics {
+                    kind: (*kind).to_string(),
+                    count,
+                    latency,
+                })
+                .collect(),
+            errors: crate::obs::CODES
+                .iter()
+                .zip(fold.errors)
+                .filter(|(_, count)| *count > 0)
+                .map(|(code, count)| ErrorCountBody { code: *code, count })
+                .collect(),
+            slow_queries: fold.slow_queries,
+            generation,
+            cache,
+            shards,
+            rebuild: RebuildObsBody {
+                prepare: fold.prepare,
+                commit: fold.commit,
+                abort: fold.abort,
+            },
+            http: None,
         }
     }
 
@@ -582,8 +952,11 @@ impl QueryService {
         let backends = self.topology.backends();
         for (i, b) in backends.iter().enumerate() {
             if let Some(local) = b.as_local() {
-                if let Err(e) = local.stage(index) {
-                    abort_all(&self.topology);
+                let started = Instant::now();
+                let staged = local.stage(index);
+                self.record_rebuild_phase(RebuildPhase::Prepare, started);
+                if let Err(e) = staged {
+                    self.abort_all_timed();
                     return Err(Response::error(
                         ErrorCode::Internal,
                         format!("shard {i} failed to stage: {e}"),
@@ -597,13 +970,17 @@ impl QueryService {
             .filter(|(_, b)| b.as_local().is_none())
             .map(|(i, _)| i)
             .collect();
-        let prepares: Vec<(usize, Response)> = std::thread::scope(|scope| {
+        let prepares: Vec<(usize, Response, Duration)> = std::thread::scope(|scope| {
             let workers: Vec<_> = remotes
                 .iter()
                 .map(|&i| {
                     let backend = &backends[i];
                     let spec = spec.clone();
-                    scope.spawn(move || (i, backend.dispatch(&Request::RebuildPrepare { spec })))
+                    scope.spawn(move || {
+                        let started = Instant::now();
+                        let response = backend.dispatch(&Request::RebuildPrepare { spec });
+                        (i, response, started.elapsed())
+                    })
                 })
                 .collect();
             workers
@@ -611,18 +988,21 @@ impl QueryService {
                 .map(|w| w.join().expect("prepare worker panicked"))
                 .collect()
         });
-        for (i, response) in prepares {
+        for (i, response, elapsed) in prepares {
+            if let Some(obs) = &self.obs {
+                obs.rebuild_prepare.record(saturating_nanos(elapsed));
+            }
             match response {
                 Response::Prepared { .. } => {}
                 Response::Error { error } => {
-                    abort_all(&self.topology);
+                    self.abort_all_timed();
                     return Err(Response::error(
                         error.code,
                         format!("shard {i} failed to prepare: {}", error.message),
                     ));
                 }
                 _ => {
-                    abort_all(&self.topology);
+                    self.abort_all_timed();
                     return Err(Response::error(
                         ErrorCode::Internal,
                         format!("shard {i} answered an unexpected prepare response"),
@@ -632,32 +1012,74 @@ impl QueryService {
         }
         let mut newest = 0;
         for (i, b) in backends.iter().enumerate() {
+            let started = Instant::now();
             let generation = match b.as_local() {
-                Some(local) => local.commit().map_err(|e| {
-                    Response::error(
-                        ErrorCode::Internal,
-                        format!("shard {i} failed to commit: {e}"),
-                    )
-                })?,
-                None => match b.dispatch(&Request::RebuildCommit) {
-                    Response::Committed { generation } => generation,
-                    Response::Error { error } => {
-                        return Err(Response::error(
-                            error.code,
-                            format!("shard {i} failed to commit: {}", error.message),
-                        ))
-                    }
-                    _ => {
-                        return Err(Response::error(
+                Some(local) => {
+                    let committed = local.commit();
+                    self.record_rebuild_phase(RebuildPhase::Commit, started);
+                    committed.map_err(|e| {
+                        Response::error(
                             ErrorCode::Internal,
-                            format!("shard {i} answered an unexpected commit response"),
-                        ))
+                            format!("shard {i} failed to commit: {e}"),
+                        )
+                    })?
+                }
+                None => {
+                    let response = b.dispatch(&Request::RebuildCommit);
+                    self.record_rebuild_phase(RebuildPhase::Commit, started);
+                    match response {
+                        Response::Committed { generation } => generation,
+                        Response::Error { error } => {
+                            return Err(Response::error(
+                                error.code,
+                                format!("shard {i} failed to commit: {}", error.message),
+                            ))
+                        }
+                        _ => {
+                            return Err(Response::error(
+                                ErrorCode::Internal,
+                                format!("shard {i} answered an unexpected commit response"),
+                            ))
+                        }
                     }
-                },
+                }
             };
             newest = newest.max(generation);
         }
+        if let Some(obs) = &self.obs {
+            obs.generation.raise(newest);
+        }
         Ok(newest)
+    }
+
+    /// Records one shard-phase duration into the rebuild histograms.
+    fn record_rebuild_phase(&self, phase: RebuildPhase, started: Instant) {
+        if let Some(obs) = &self.obs {
+            let nanos = saturating_nanos(started.elapsed());
+            match phase {
+                RebuildPhase::Prepare => obs.rebuild_prepare.record(nanos),
+                RebuildPhase::Commit => obs.rebuild_commit.record(nanos),
+                RebuildPhase::Abort => obs.rebuild_abort.record(nanos),
+            }
+        }
+    }
+
+    /// The abort fan-out, timed per shard into the rebuild telemetry.
+    fn abort_all_timed(&self) {
+        if self.obs.is_none() {
+            abort_all(&self.topology);
+            return;
+        }
+        for backend in self.topology.backends() {
+            let started = Instant::now();
+            match backend.as_local() {
+                Some(local) => local.abort(),
+                None => {
+                    let _ = backend.dispatch(&Request::RebuildAbort);
+                }
+            }
+            self.record_rebuild_phase(RebuildPhase::Abort, started);
+        }
     }
 
     fn rebuild(&mut self, spec: &PipelineSpec) -> Response {
@@ -696,38 +1118,47 @@ impl QueryService {
         // the common single-shard server, the global index's otherwise.
         let mut report = (index.num_leaves(), index.heap_bytes());
         for (i, b) in self.topology.backends().iter().enumerate() {
+            let started = Instant::now();
             match b.as_local() {
-                Some(local) => match local.stage(&index) {
-                    Ok(staged_report) => {
-                        if self.slots.len() == 1 {
-                            report = staged_report;
+                Some(local) => {
+                    let staged = local.stage(&index);
+                    self.record_rebuild_phase(RebuildPhase::Prepare, started);
+                    match staged {
+                        Ok(staged_report) => {
+                            if self.slots.len() == 1 {
+                                report = staged_report;
+                            }
+                        }
+                        Err(e) => {
+                            self.abort_all_timed();
+                            return Response::error(
+                                ErrorCode::Internal,
+                                format!("shard {i} failed to stage: {e}"),
+                            );
                         }
                     }
-                    Err(e) => {
-                        abort_all(&self.topology);
-                        return Response::error(
-                            ErrorCode::Internal,
-                            format!("shard {i} failed to stage: {e}"),
-                        );
+                }
+                None => {
+                    let response = b.dispatch(&Request::RebuildPrepare { spec: spec.clone() });
+                    self.record_rebuild_phase(RebuildPhase::Prepare, started);
+                    match response {
+                        Response::Prepared { .. } => {}
+                        Response::Error { error } => {
+                            self.abort_all_timed();
+                            return Response::error(
+                                error.code,
+                                format!("shard {i} failed to prepare: {}", error.message),
+                            );
+                        }
+                        _ => {
+                            self.abort_all_timed();
+                            return Response::error(
+                                ErrorCode::Internal,
+                                format!("shard {i} answered an unexpected prepare response"),
+                            );
+                        }
                     }
-                },
-                None => match b.dispatch(&Request::RebuildPrepare { spec: spec.clone() }) {
-                    Response::Prepared { .. } => {}
-                    Response::Error { error } => {
-                        abort_all(&self.topology);
-                        return Response::error(
-                            error.code,
-                            format!("shard {i} failed to prepare: {}", error.message),
-                        );
-                    }
-                    _ => {
-                        abort_all(&self.topology);
-                        return Response::error(
-                            ErrorCode::Internal,
-                            format!("shard {i} answered an unexpected prepare response"),
-                        );
-                    }
-                },
+                }
             }
         }
         Response::Prepared {
@@ -745,7 +1176,7 @@ impl QueryService {
     /// staged changes nothing, so it always answers
     /// [`Response::Aborted`].
     fn rebuild_abort(&mut self) -> Response {
-        abort_all(&self.topology);
+        self.abort_all_timed();
         Response::Aborted
     }
 
@@ -755,30 +1186,45 @@ impl QueryService {
     fn rebuild_commit(&mut self) -> Response {
         let mut newest = 0;
         for (i, b) in self.topology.backends().iter().enumerate() {
+            let started = Instant::now();
             let generation = match b.as_local() {
-                Some(local) => match local.commit() {
-                    Ok(generation) => generation,
-                    Err(e) => {
-                        return Response::error(ErrorCode::NotPrepared, format!("shard {i}: {e}"))
+                Some(local) => {
+                    let committed = local.commit();
+                    self.record_rebuild_phase(RebuildPhase::Commit, started);
+                    match committed {
+                        Ok(generation) => generation,
+                        Err(e) => {
+                            return Response::error(
+                                ErrorCode::NotPrepared,
+                                format!("shard {i}: {e}"),
+                            )
+                        }
                     }
-                },
-                None => match b.dispatch(&Request::RebuildCommit) {
-                    Response::Committed { generation } => generation,
-                    Response::Error { error } => {
-                        return Response::error(
-                            error.code,
-                            format!("shard {i} failed to commit: {}", error.message),
-                        )
+                }
+                None => {
+                    let response = b.dispatch(&Request::RebuildCommit);
+                    self.record_rebuild_phase(RebuildPhase::Commit, started);
+                    match response {
+                        Response::Committed { generation } => generation,
+                        Response::Error { error } => {
+                            return Response::error(
+                                error.code,
+                                format!("shard {i} failed to commit: {}", error.message),
+                            )
+                        }
+                        _ => {
+                            return Response::error(
+                                ErrorCode::Internal,
+                                format!("shard {i} answered an unexpected commit response"),
+                            )
+                        }
                     }
-                    _ => {
-                        return Response::error(
-                            ErrorCode::Internal,
-                            format!("shard {i} answered an unexpected commit response"),
-                        )
-                    }
-                },
+                }
             };
             newest = newest.max(generation);
+        }
+        if let Some(obs) = &self.obs {
+            obs.generation.raise(newest);
         }
         Response::Committed { generation: newest }
     }
@@ -789,7 +1235,10 @@ impl Clone for QueryService {
     /// indexes and remote connections) but get fresh readers and empty
     /// scratch buffers — one clone per transport worker thread. A
     /// shared cache is shared with the clone; a per-worker cache is
-    /// re-created empty from its spec.
+    /// re-created empty from its spec. The telemetry recorder clones
+    /// into a **fresh shard of the same registry** (per-worker
+    /// placement, merged on scrape), carrying the sampling and
+    /// slow-query configuration along.
     fn clone(&self) -> Self {
         let mut fresh = Self::over(Arc::clone(&self.topology), self.rebuild_dataset.clone());
         if let Some(layer) = &self.cache {
@@ -804,6 +1253,9 @@ impl Clone for QueryService {
                 store,
             });
         }
+        fresh.obs = self.obs.clone();
+        fresh.sample_mask = self.sample_mask;
+        fresh.slow = self.slow.clone();
         fresh
     }
 }
@@ -1332,6 +1784,238 @@ mod tests {
         };
         let cache = stats.cache.unwrap();
         assert_eq!((cache.hits, cache.misses), (0, 1));
+    }
+
+    #[test]
+    fn instrumented_dispatch_counts_requests_latency_and_errors() {
+        let mut svc = service((2, 2)).with_lookup_sampling(1);
+        for p in [(0.1, 0.1), (0.9, 0.1), (0.5, 0.5)] {
+            svc.dispatch(&Request::Lookup { x: p.0, y: p.1 });
+        }
+        svc.dispatch(&Request::Lookup { x: 5.0, y: 0.5 }); // out of bounds
+        svc.dispatch(&Request::RangeQuery {
+            rect: WireRect::new(0.1, 0.1, 0.4, 0.4),
+        });
+        svc.dispatch(&Request::Stats);
+        let body = svc.metrics_snapshot();
+        assert_eq!(body.count_for("lookup"), 4);
+        assert_eq!(body.count_for("range_query"), 1);
+        assert_eq!(body.count_for("stats"), 1);
+        assert_eq!(body.generation, 1);
+        let lookup = body
+            .requests
+            .iter()
+            .find(|r| r.kind == "lookup")
+            .expect("every kind is listed");
+        // Sampling is 1-in-1, so every lookup also lands in the
+        // latency histogram.
+        assert_eq!(lookup.latency.count(), 4);
+        let oob = body
+            .errors
+            .iter()
+            .find(|e| e.code == ErrorCode::OutOfBounds)
+            .expect("out-of-bounds error counted");
+        assert_eq!(oob.count, 1);
+    }
+
+    #[test]
+    fn unsampled_lookups_still_count_once_flushed() {
+        // Default sampling is 1-in-256: ten lookups won't all be timed,
+        // but the request counter must still reach ten on snapshot.
+        let mut svc = service((1, 1));
+        for i in 0..10 {
+            let x = (i as f64 * 0.09) % 1.0;
+            svc.dispatch(&Request::Lookup { x, y: x });
+        }
+        let body = svc.metrics_snapshot();
+        assert_eq!(body.count_for("lookup"), 10);
+        let lookup = body.requests.iter().find(|r| r.kind == "lookup").unwrap();
+        assert!(lookup.latency.count() <= 10);
+    }
+
+    #[test]
+    fn metrics_scatter_gather_collects_remote_snapshots() {
+        let mut svc = mixed(None).with_lookup_sampling(1);
+        // One lookup per quadrant so every shard sees traffic.
+        for p in [(0.1, 0.1), (0.9, 0.1), (0.1, 0.9), (0.9, 0.9)] {
+            svc.dispatch(&Request::Lookup { x: p.0, y: p.1 });
+        }
+        let Response::Metrics { metrics } = svc.dispatch(&Request::Metrics) else {
+            panic!("expected metrics");
+        };
+        assert_eq!(metrics.count_for("lookup"), 4);
+        assert_eq!(metrics.shards.len(), 4);
+        let kinds: Vec<&str> = metrics.shards.iter().map(|s| s.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["local", "http", "http", "local"]);
+        for shard in &metrics.shards {
+            assert_eq!(shard.failures, 0, "{shard:?}");
+            if shard.kind == "http" {
+                assert!(shard.addr.is_some());
+                assert_eq!(shard.requests, 1, "{shard:?}");
+                assert_eq!(shard.round_trip.count(), 1);
+                let remote = shard.remote.as_ref().expect("remote snapshot gathered");
+                assert_eq!(remote.count_for("lookup"), 1, "{shard:?}");
+            } else {
+                assert!(shard.remote.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_metrics_reports_an_empty_body_and_no_stats_metrics() {
+        let mut svc = service((1, 1)).with_metrics(false);
+        svc.dispatch(&Request::Lookup { x: 0.1, y: 0.1 });
+        let body = svc.metrics_snapshot();
+        assert_eq!(body.total_requests(), 0);
+        assert!(body.requests.is_empty());
+        let Response::Stats { stats } = svc.dispatch(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(stats.metrics.is_none());
+    }
+
+    #[test]
+    fn stats_embed_a_metrics_body_when_telemetry_is_on() {
+        let mut svc = service((1, 1)).with_lookup_sampling(1);
+        svc.dispatch(&Request::Lookup { x: 0.1, y: 0.1 });
+        let Response::Stats { stats } = svc.dispatch(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        let metrics = stats.metrics.expect("telemetry on by default");
+        assert_eq!(metrics.count_for("lookup"), 1);
+    }
+
+    #[test]
+    fn cache_counters_flow_into_the_metrics_body() {
+        let mut svc = service((1, 1))
+            .with_cache(CacheSpec::per_worker(64))
+            .unwrap();
+        for _ in 0..2 {
+            for i in 0..8 {
+                let x = (i as f64 + 0.5) / 8.0;
+                svc.dispatch(&Request::Lookup { x, y: x });
+            }
+        }
+        let body = svc.metrics_snapshot();
+        let cache = body.cache.expect("cache stats in the metrics body");
+        assert_eq!(cache.misses, 8);
+        assert_eq!(cache.hits, 8);
+        assert_eq!(cache.capacity, 64);
+    }
+
+    #[test]
+    fn slow_query_log_emits_records_and_bumps_the_counter() {
+        let records: Arc<Mutex<Vec<crate::obs::SlowQueryRecord>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let sink_records = Arc::clone(&records);
+        let mut svc = service((1, 1)).with_slow_query_log(
+            Duration::ZERO,
+            Arc::new(move |r| sink_records.lock().unwrap().push(r.clone())),
+        );
+        svc.dispatch(&Request::Lookup { x: 0.1, y: 0.1 });
+        svc.dispatch(&Request::Stats);
+        let seen = records.lock().unwrap().clone();
+        assert!(seen.len() >= 2, "{seen:?}");
+        assert!(seen.iter().any(|r| r.kind == "lookup"), "{seen:?}");
+        assert!(seen.iter().any(|r| r.kind == "stats"), "{seen:?}");
+        assert_eq!(seen[0].threshold_nanos, 0);
+        let body = svc.metrics_snapshot();
+        assert!(body.slow_queries >= 2, "{}", body.slow_queries);
+    }
+
+    #[test]
+    fn rebuild_phases_record_durations_and_raise_the_generation_gauge() {
+        let mut svc = QueryService::new(Topology::partitioned(index(), 2, 2).unwrap())
+            .with_rebuild(dataset());
+        let spec = PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::MedianKd,
+            3,
+        );
+        let Response::Rebuilt { .. } = svc.dispatch(&Request::Rebuild { spec }) else {
+            panic!("expected rebuild report");
+        };
+        let body = svc.metrics_snapshot();
+        assert_eq!(body.generation, 2);
+        // One prepare and one commit sample per shard, no aborts.
+        assert_eq!(body.rebuild.prepare.count(), 4);
+        assert_eq!(body.rebuild.commit.count(), 4);
+        assert_eq!(body.rebuild.abort.count(), 0);
+    }
+
+    /// Satellite 1: a failing remote transport must surface the shard
+    /// index and address, not a context-free `Internal`.
+    #[test]
+    fn remote_transport_failures_name_the_shard_and_address() {
+        struct DownRemote {
+            addr: String,
+        }
+        impl ShardBackend for DownRemote {
+            fn dispatch(&self, _request: &Request) -> Response {
+                Response::error(
+                    ErrorCode::Internal,
+                    format!("remote shard {}: connection refused", self.addr),
+                )
+            }
+            fn descriptor(&self) -> ShardDescriptor {
+                ShardDescriptor {
+                    kind: "http",
+                    addr: Some(self.addr.clone()),
+                }
+            }
+            fn generation(&self) -> u64 {
+                0
+            }
+        }
+        let spec = TopologySpec {
+            rows: 1,
+            cols: 2,
+            shards: vec![
+                BackendSpec::Local,
+                BackendSpec::Http("10.0.0.9:4000".into()),
+            ],
+        };
+        let topology = Topology::from_spec(&spec, index(), |addr| {
+            Ok(Box::new(DownRemote {
+                addr: addr.to_string(),
+            }))
+        })
+        .unwrap();
+        let mut svc = QueryService::new(topology);
+        match svc.dispatch(&Request::Lookup { x: 0.9, y: 0.5 }) {
+            Response::Error { error } => {
+                assert_eq!(error.code, ErrorCode::Internal);
+                assert!(
+                    error.message.contains("shard 1 at 10.0.0.9:4000"),
+                    "{}",
+                    error.message
+                );
+                assert!(
+                    error.message.contains("connection refused"),
+                    "{}",
+                    error.message
+                );
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        let body = svc.metrics_snapshot();
+        let shard = &body.shards[1];
+        assert_eq!(shard.failures, 1, "{shard:?}");
+        assert_eq!(shard.requests, 1);
+    }
+
+    #[test]
+    fn recorder_clones_merge_into_one_scrape() {
+        let svc = service((1, 1)).with_lookup_sampling(1);
+        let mut a = svc.clone();
+        let mut b = svc.clone();
+        a.dispatch(&Request::Lookup { x: 0.1, y: 0.1 });
+        b.dispatch(&Request::Lookup { x: 0.9, y: 0.9 });
+        b.dispatch(&Request::Stats);
+        // Either clone's snapshot folds every worker's shard.
+        let body = a.metrics_snapshot();
+        assert_eq!(body.count_for("lookup"), 2);
+        assert_eq!(body.count_for("stats"), 1);
     }
 
     #[test]

@@ -27,9 +27,21 @@ use crate::frozen::FrozenIndex;
 use crate::handle::{IndexHandle, IndexReader};
 use crate::shard::ShardRouter;
 use fsi_geo::{Point, Rect};
-use fsi_proto::{ErrorCode, Request, Response, StatsBody};
+use fsi_proto::{ErrorCode, MetricsBody, Request, Response, StatsBody};
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Mutex;
+
+/// Transport-level counters a remote backend accumulates below the
+/// protocol — the raw feed the metrics scrape folds into
+/// [`fsi_proto::ShardObsBody`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Re-dial attempts since the backend was constructed.
+    pub reconnects: u64,
+    /// Requests that hit a transport-level failure (including ones a
+    /// reconnect then recovered).
+    pub failures: u64,
+}
 
 /// What one shard slot is backed by, for stats and diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +73,12 @@ pub trait ShardBackend: Send + Sync {
     /// Downcast hook for coordinators: local shards expose their staged
     /// rebuild state and readers; remote shards return `None`.
     fn as_local(&self) -> Option<&LocalShard> {
+        None
+    }
+
+    /// Transport-level telemetry for the metrics scrape; `None` for
+    /// backends with no transport underneath (in-process shards).
+    fn transport_stats(&self) -> Option<TransportStats> {
         None
     }
 }
@@ -198,6 +216,7 @@ impl ShardBackend for LocalShard {
                     backend: index.backend_name().to_string(),
                     cache: None,
                     per_shard: None,
+                    metrics: None,
                 }),
             },
             Request::Rebuild { .. } | Request::RebuildPrepare { .. } => Response::error(
@@ -212,6 +231,12 @@ impl ShardBackend for LocalShard {
                 self.abort();
                 Response::Aborted
             }
+            // A bare local shard has no recorder of its own — its
+            // telemetry is what the coordinating service records about
+            // it — so the scrape answer is the all-zero snapshot.
+            Request::Metrics => Response::Metrics {
+                metrics: Box::new(MetricsBody::empty()),
+            },
         }
     }
 

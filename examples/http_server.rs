@@ -18,6 +18,13 @@
 //! curl -s -d '{"v":1,"body":{"RangeQuery":{"rect":{"min_x":0.2,"min_y":0.2,"max_x":0.4,"max_y":0.4}}}}' http://127.0.0.1:7878/query
 //! curl -s -d '{"v":1,"body":"Stats"}' http://127.0.0.1:7878/query
 //! ```
+//!
+//! The same listener exposes Prometheus telemetry outside the JSON
+//! envelope path — point a scraper (or curl) at it:
+//!
+//! ```sh
+//! curl -s http://127.0.0.1:7878/metrics
+//! ```
 
 use fsi::{HttpClient, Method, Pipeline, Request, Response, TaskSpec, WirePoint, WireRect};
 
@@ -121,6 +128,52 @@ fn smoke_round_trip(server: &fsi::HttpServer) -> Result<(), Box<dyn std::error::
         return Err("out-of-bounds lookup did not answer an error body".into());
     };
     println!("oob      -> {}: {}", error.code, error.message);
+
+    // The text exposition must reflect the traffic above and parse as
+    // Prometheus text: every sample line names a family that was
+    // declared by a `# TYPE` comment before it.
+    let text = fsi::scrape_metrics(server.addr())?;
+    if !text.contains("fsi_requests_total{kind=\"lookup\"}") {
+        return Err("metrics scrape is missing the lookup request counter".into());
+    }
+    if !text.contains("# TYPE fsi_request_latency_seconds summary") {
+        return Err("metrics scrape is missing the latency summary family".into());
+    }
+    let mut declared = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some(name) = rest.split_whitespace().next() {
+                declared.insert(name.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .unwrap_or("")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count")
+            .to_string();
+        if !declared.contains(&name) {
+            return Err(format!("metrics sample `{line}` has no # TYPE declaration").into());
+        }
+        if line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse::<f64>().ok())
+            .is_none()
+        {
+            return Err(format!("metrics sample `{line}` does not end in a number").into());
+        }
+    }
+    println!(
+        "metrics  -> {} families, {} bytes of exposition",
+        declared.len(),
+        text.len()
+    );
 
     println!("smoke ok");
     Ok(())

@@ -20,7 +20,7 @@
 //! # HEIGHT: tree height (default 6)
 //!
 //! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH] \
-//!     [--cache N] [--topology FILE] [--shard-of IDX] [--listen ADDR]
+//!     [--cache N] [--topology FILE] [--shard-of IDX] [--listen ADDR] [--metrics]
 //! # --cache N:        LRU decision-cache capacity (default 4096, 0 disables)
 //! # --topology FILE:  serve a TopologySpec JSON ({"rows":R,"cols":C,"shards":[…]})
 //! #                   as the scatter-gather coordinator; "local" slots are served
@@ -29,10 +29,14 @@
 //! #                   holding just that slot's leaves) — run one per slot
 //! # --listen ADDR:    speak HTTP/1.1 JSON on ADDR instead of the stdin REPL
 //! #                   (EOF on stdin stops the server)
+//! # --metrics:        print the Prometheus text exposition when the server
+//! #                   stops; with --listen the same text is scraped live
+//! #                   from GET /metrics
 //! # then on stdin:   X Y                  → one decision per line
 //! #                  batch X1 Y1 X2 Y2 …  → batched decisions
 //! #                  rect X0 Y0 X1 Y1     → neighborhoods touching the box
 //! #                  stats                → per-shard generations / size / cache hit rate
+//! #                  metrics              → one-line telemetry snapshot
 //! #                  rebuild <spec JSON>  → retrain + hot-swap every shard
 //! #                  prepare <spec JSON> / commit → two-phase rebuild barrier
 //! ```
@@ -133,6 +137,10 @@ struct ServeConfig {
     shard_of: Option<usize>,
     /// Speak HTTP on this address instead of the stdin REPL.
     listen: Option<String>,
+    /// Print the Prometheus text exposition when the server stops
+    /// (`--metrics`); with `--listen` it is also scraped live from
+    /// `GET /metrics`.
+    metrics: bool,
 }
 
 /// Loads the saved partition (building the default districting first
@@ -229,12 +237,25 @@ fn serve(dataset: &SpatialDataset, config: ServeConfig) -> Result<(), Box<dyn st
             "listening on http://{} (EOF on stdin stops it)",
             server.addr()
         );
+        if config.metrics {
+            println!("telemetry at http://{}/metrics", server.addr());
+        }
         // Block until stdin closes, then drain in-flight requests.
         let mut sink = String::new();
         while std::io::stdin().read_line(&mut sink)? > 0 {
             sink.clear();
         }
+        // A final scrape before shutdown so `--metrics` leaves a record
+        // of what the server saw, even when nothing polled it live.
+        let parting = if config.metrics {
+            Some(fsi::scrape_metrics(server.addr())?)
+        } else {
+            None
+        };
         server.shutdown();
+        if let Some(text) = parting {
+            print!("{text}");
+        }
         return Ok(());
     }
 
@@ -250,6 +271,9 @@ fn serve(dataset: &SpatialDataset, config: ServeConfig) -> Result<(), Box<dyn st
         stats.answered + stats.errors,
         stats.errors
     );
+    if config.metrics {
+        print!("{}", fsi::prometheus_text(&service.metrics_snapshot()));
+    }
     Ok(())
 }
 
@@ -257,13 +281,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     // `serve [CSV_PATH] [--cache N] [--topology FILE] [--shard-of IDX]
-    // [--listen ADDR]` switches to online mode.
+    // [--listen ADDR] [--metrics]` switches to online mode.
     if args.first().map(String::as_str) == Some("serve") {
         let mut config = ServeConfig {
             cache_capacity: 4096,
             topology: None,
             shard_of: None,
             listen: None,
+            metrics: false,
         };
         let mut csv_path = None;
         let mut rest = args[1..].iter().map(String::as_str);
@@ -296,6 +321,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let addr = rest.next().ok_or("--listen requires host:port")?;
                     config.listen = Some(addr.to_string());
                 }
+                "--metrics" => config.metrics = true,
                 _ => csv_path = Some(arg),
             }
         }
