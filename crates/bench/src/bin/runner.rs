@@ -1,4 +1,4 @@
-//! `fsi-bench` runner: all nine benchmark suites in one process, with a
+//! `fsi-bench` runner: all ten benchmark suites in one process, with a
 //! machine-readable perf baseline at the repo root.
 //!
 //! ```text

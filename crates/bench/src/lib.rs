@@ -1,6 +1,6 @@
 //! # fsi-bench — benchmark fixtures, suites, and the perf-gate runner
 //!
-//! The measurement code for all nine suites lives in [`suites`], driven
+//! The measurement code for all ten suites lives in [`suites`], driven
 //! from two entry points:
 //!
 //! * the classic per-suite `cargo bench` harnesses in `benches/*.rs`;
@@ -31,6 +31,10 @@
 //! * [`suites::obs`] — the telemetry layer's cost: instrumented vs
 //!   uninstrumented dispatch (with the in-suite ≤ 1.10x overhead gate),
 //!   snapshot folding, and Prometheus text rendering.
+//! * [`suites::ingest`] — the streaming-ingestion layer: end-to-end
+//!   `Request::Ingest` throughput, the per-poll drift-check cost, and
+//!   the live-vs-frozen lookup twins (with the in-suite ≤ 1.10x
+//!   ingest-while-serving gate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,4 +1,4 @@
-//! The nine benchmark suites, parameterized by a size [`Profile`].
+//! The ten benchmark suites, parameterized by a size [`Profile`].
 //!
 //! Each suite exposes `register(c, profile)` so the same measurement code
 //! drives both entry points:
@@ -6,7 +6,7 @@
 //! * the classic `cargo bench` harnesses in `benches/*.rs` (one binary
 //!   per suite, full-size datasets);
 //! * the `fsi-bench` runner binary (`cargo run -p fsi-bench --bin
-//!   runner`), which runs all nine suites in one process under either
+//!   runner`), which runs all ten suites in one process under either
 //!   the `--smoke` or `--full` profile and records the repo's perf
 //!   baseline.
 //!
@@ -19,6 +19,7 @@ use std::time::Duration;
 pub mod cache;
 pub mod construction;
 pub mod dist;
+pub mod ingest;
 pub mod metrics;
 pub mod ml_training;
 pub mod obs;
@@ -106,7 +107,7 @@ impl Profile {
     }
 }
 
-/// Registers all nine suites on one driver, in baseline order.
+/// Registers all ten suites on one driver, in baseline order.
 pub fn register_all(c: &mut Criterion, profile: &Profile) {
     construction::register(c, profile);
     split_search::register(c, profile);
@@ -117,6 +118,7 @@ pub fn register_all(c: &mut Criterion, profile: &Profile) {
     cache::register(c, profile);
     dist::register(c, profile);
     obs::register(c, profile);
+    ingest::register(c, profile);
 }
 
 #[cfg(test)]

@@ -79,6 +79,47 @@ impl CellStats {
         (self.rows, self.cols)
     }
 
+    /// A copy of these statistics with row-major per-cell deltas folded
+    /// in — the "what would the aggregates be after the buffered
+    /// writes" primitive behind streaming drift detection. Each table
+    /// is reconstructed from its per-cell values plus the matching
+    /// delta and re-summed, so every rectangle query on the result
+    /// reflects the shifted population. Auxiliary sums, when attached,
+    /// are carried over unchanged (delta records carry no residuals).
+    pub fn with_deltas(
+        &self,
+        grid: &Grid,
+        count_deltas: &[f64],
+        score_deltas: &[f64],
+        label_deltas: &[f64],
+    ) -> Result<Self, CoreError> {
+        if grid.rows() != self.rows || grid.cols() != self.cols {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.rows * self.cols,
+                got: grid.len(),
+                what: "delta grid",
+            });
+        }
+        check(count_deltas, grid.len(), "count deltas")?;
+        check(score_deltas, grid.len(), "score deltas")?;
+        check(label_deltas, grid.len(), "label deltas")?;
+        let mut counts = Vec::with_capacity(grid.len());
+        let mut scores = Vec::with_capacity(grid.len());
+        let mut labels = Vec::with_capacity(grid.len());
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let cell = CellRect::new(r, r + 1, c, c + 1);
+                let i = r * self.cols + c;
+                counts.push(self.count(&cell) + count_deltas[i]);
+                scores.push(self.score_sum(&cell) + score_deltas[i]);
+                labels.push(self.label_sum(&cell) + label_deltas[i]);
+            }
+        }
+        let mut shifted = CellStats::new(grid, &counts, &scores, &labels)?;
+        shifted.aux_sum = self.aux_sum.clone();
+        Ok(shifted)
+    }
+
     /// Population `|N|` of a region.
     #[inline]
     pub fn count(&self, rect: &CellRect) -> f64 {
@@ -203,6 +244,41 @@ mod tests {
         assert!(s.has_aux());
         assert_eq!(s.aux_sum(&full).unwrap(), 120.0);
         assert_eq!(s.aux_sum(&CellRect::new(0, 1, 0, 1)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn deltas_shift_rectangle_aggregates() {
+        let s = stats();
+        let g = grid4();
+        let mut dc = vec![0.0; 16];
+        dc[5] = 2.0; // row 1, col 1
+        let mut dl = vec![0.0; 16];
+        dl[5] = 1.0;
+        let ds = vec![0.0; 16];
+        let shifted = s.with_deltas(&g, &dc, &ds, &dl).unwrap();
+        let full = CellRect::new(0, 4, 0, 4);
+        assert_eq!(shifted.count(&full), 18.0);
+        assert_eq!(shifted.label_sum(&full), 9.0);
+        assert!((shifted.score_sum(&full) - s.score_sum(&full)).abs() < 1e-9);
+        // A rectangle that misses the shifted cell is untouched.
+        let row0 = CellRect::new(0, 1, 0, 4);
+        assert_eq!(shifted.count(&row0), s.count(&row0));
+        assert_eq!(shifted.label_sum(&row0), s.label_sum(&row0));
+        // Shape and finiteness are still validated.
+        assert!(s.with_deltas(&g, &dc[..15], &ds, &dl).is_err());
+        assert!(s.with_deltas(&g, &[f64::NAN; 16], &ds, &dl).is_err());
+    }
+
+    #[test]
+    fn deltas_preserve_attached_aux_sums() {
+        let g = grid4();
+        let aux: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let s = stats().with_aux(&g, &aux).unwrap();
+        let zeros = vec![0.0; 16];
+        let shifted = s.with_deltas(&g, &zeros, &zeros, &zeros).unwrap();
+        assert!(shifted.has_aux());
+        let full = CellRect::new(0, 4, 0, 4);
+        assert_eq!(shifted.aux_sum(&full).unwrap(), 120.0);
     }
 
     #[test]

@@ -67,13 +67,13 @@ pub use fsi_pipeline::{
 };
 pub use fsi_proto::{
     decode_request, decode_response, encode_request, encode_response, CacheStatsBody, DecisionBody,
-    ErrorBody, ErrorCode, HttpObsBody, MetricsBody, PreparedBody, ProtoError, RebuildObsBody,
-    Request, RequestKindMetrics, Response, ShardObsBody, ShardStatsBody, StatsBody, WirePoint,
-    WireRect, PROTO_VERSION,
+    ErrorBody, ErrorCode, HttpObsBody, IngestBody, IngestObsBody, MetricsBody, PreparedBody,
+    ProtoError, RebuildObsBody, Request, RequestKindMetrics, Response, ShardObsBody,
+    ShardStatsBody, StatsBody, WirePoint, WireRect, PROTO_VERSION,
 };
 pub use fsi_serve::{
     prometheus_text, BackendSpec, CacheError, CacheScope, CacheSpec, CacheStats, Decision,
-    FrozenIndex, IndexHandle, IndexReader, LocalShard, QueryService, RebuildReport, Rebuilder,
-    ShardBackend, ShardDescriptor, SlowQueryRecord, SlowQuerySink, Topology, TopologySpec,
-    TransportStats,
+    FrozenIndex, IndexHandle, IndexReader, IngestError, LocalShard, MaintenanceHandle,
+    MaintenanceSpec, MaintenanceTrigger, QueryService, RebuildReport, Rebuilder, ShardBackend,
+    ShardDescriptor, SlowQueryRecord, SlowQuerySink, Topology, TopologySpec, TransportStats,
 };

@@ -14,8 +14,8 @@ use fsi_pipeline::{
     TaskSpec,
 };
 use fsi_serve::{
-    compile_run, CacheSpec, FrozenIndex, IndexHandle, IndexReader, QueryService, RebuildReport,
-    Rebuilder, Topology, TopologySpec,
+    compile_run, CacheSpec, FrozenIndex, IndexHandle, IndexReader, MaintenanceHandle,
+    MaintenanceSpec, QueryService, RebuildReport, Rebuilder, Topology, TopologySpec,
 };
 use serde::{Deserialize, Serialize};
 use std::net::ToSocketAddrs;
@@ -264,6 +264,7 @@ impl<'d> Run<'d> {
             handle,
             rebuilder,
             cache_spec: None,
+            ingest_policy: None,
         })
     }
 
@@ -279,6 +280,27 @@ impl<'d> Run<'d> {
             .map_err(|e| FsiError::from(fsi_serve::ServeError::Cache(e)))?;
         let mut serving = self.serve()?;
         serving.cache_spec = Some(cache);
+        Ok(serving)
+    }
+
+    /// [`Run::serve`] with streaming ingestion enabled on every
+    /// coordinator service the deployment builds ([`Serving::service`],
+    /// [`Serving::service_over`], [`Serving::listen`]): appended points
+    /// land in a delta buffer over the served snapshot, and the
+    /// `policy` — validated here, up front — decides when drift,
+    /// occupancy or staleness warrants folding them in through a
+    /// hot-swap rebuild. Drive maintenance explicitly with
+    /// [`QueryService::maintain`], or in the background via
+    /// [`Serving::spawn_maintenance`]. Shard services
+    /// ([`Serving::service_shard`]) stay write-free: they merge
+    /// coordinator-shipped deltas during two-phase rebuilds without any
+    /// ingestion state of their own.
+    pub fn serve_with_ingest(&self, policy: MaintenanceSpec) -> Result<Serving<'d>, FsiError> {
+        policy
+            .validate()
+            .map_err(|e| FsiError::from(fsi_serve::ServeError::Ingest(e)))?;
+        let mut serving = self.serve()?;
+        serving.ingest_policy = Some(policy);
         Ok(serving)
     }
 
@@ -321,6 +343,11 @@ pub struct Serving<'d> {
     /// builds; `None` serves uncached. Always validated before it lands
     /// here ([`Run::serve_with_cache`]).
     cache_spec: Option<CacheSpec>,
+    /// Maintenance policy enabling streaming ingestion on every
+    /// coordinator service this deployment builds; `None` serves
+    /// read-only. Always validated before it lands here
+    /// ([`Run::serve_with_ingest`]).
+    ingest_policy: Option<MaintenanceSpec>,
 }
 
 impl Serving<'_> {
@@ -381,9 +408,11 @@ impl Serving<'_> {
     /// dataset; hot-swaps through [`Serving::rebuild`] and through the
     /// service are visible to each other because they share the handle.
     pub fn service(&self) -> QueryService {
-        self.apply_cache(
-            QueryService::new(Topology::single(self.handle.clone()))
-                .with_rebuild(self.shared_dataset()),
+        self.apply_ingest(
+            self.apply_cache(
+                QueryService::new(Topology::single(self.handle.clone()))
+                    .with_rebuild(self.shared_dataset()),
+            ),
         )
     }
 
@@ -393,12 +422,48 @@ impl Serving<'_> {
         self.cache_spec.as_ref()
     }
 
+    /// The maintenance policy coordinator services are built with, when
+    /// the deployment was created via [`Run::serve_with_ingest`].
+    pub fn ingest_policy(&self) -> Option<&MaintenanceSpec> {
+        self.ingest_policy.as_ref()
+    }
+
+    /// Spawns a background maintenance thread over a clone of
+    /// `service`: clones share the delta buffer and index handles, so a
+    /// rebuild published by the thread is served by `service` (and any
+    /// other clone) immediately. Returns the handle that stops the
+    /// thread; dropping it stops the thread too.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the deployment was not created via
+    /// [`Run::serve_with_ingest`], or when `service` itself has no
+    /// ingestion state (e.g. a shard service).
+    pub fn spawn_maintenance(&self, service: &QueryService) -> Result<MaintenanceHandle, FsiError> {
+        let Some(policy) = &self.ingest_policy else {
+            return Err(FsiError::from(fsi_serve::ServeError::IngestUnavailable));
+        };
+        MaintenanceHandle::spawn(service.clone(), policy.clone(), self.spec.clone())
+            .map_err(FsiError::from)
+    }
+
     /// Attaches the deployment's cache spec (if any) to a service.
     fn apply_cache(&self, service: QueryService) -> QueryService {
         match self.cache_spec {
             Some(spec) => service
                 .with_cache(spec)
                 .expect("cache spec validated when the deployment was created"),
+            None => service,
+        }
+    }
+
+    /// Enables streaming ingestion on a coordinator service when the
+    /// deployment was configured for it.
+    fn apply_ingest(&self, service: QueryService) -> QueryService {
+        match &self.ingest_policy {
+            Some(_) => service
+                .with_ingest(self.spec.task.clone())
+                .expect("every deployment service carries its rebuild dataset"),
             None => service,
         }
     }
@@ -427,7 +492,9 @@ impl Serving<'_> {
         let index = self.handle.load().as_ref().clone();
         let topology = Topology::from_spec(spec, index, crate::http::RemoteShard::connector())
             .map_err(FsiError::from)?;
-        Ok(self.apply_cache(QueryService::new(topology).with_rebuild(self.shared_dataset())))
+        Ok(self.apply_ingest(
+            self.apply_cache(QueryService::new(topology).with_rebuild(self.shared_dataset())),
+        ))
     }
 
     /// The service a **shard server** runs for slot `shard` of the

@@ -19,6 +19,11 @@
 //! * `metrics` — the telemetry snapshot ([`Request::Metrics`]):
 //!   per-kind request counts with latency quantiles, error totals,
 //!   cache counters and per-shard transport health;
+//! * `ingest X Y G [L]` — append one observed point to the delta
+//!   buffer ([`Request::Ingest`]): coordinates, cohort group `G`, and
+//!   an optional observed outcome `L` (`0`/`1`/`true`/`false`,
+//!   default `0`); answers `ingested: accepted=.. buffered=..
+//!   generation=..`;
 //! * `rebuild <spec JSON>` — retrain and hot-swap
 //!   ([`Request::Rebuild`]), e.g. the JSON produced by serializing a
 //!   [`fsi_pipeline::PipelineSpec`];
@@ -58,6 +63,7 @@ pub fn parse_line(line: &str) -> Option<Result<Request, String>> {
         },
         ["rect", ..] => Err("bad rect: expected `rect X0 Y0 X1 Y1` with numeric bounds".into()),
         ["batch", coords @ ..] => parse_batch(coords),
+        ["ingest", rest @ ..] => parse_ingest(rest),
         ["rebuild", ..] => {
             let json = line.trim_start().trim_start_matches("rebuild").trim();
             match serde_json::from_str(json) {
@@ -70,7 +76,7 @@ pub fn parse_line(line: &str) -> Option<Result<Request, String>> {
         ["prepare", ..] => {
             let json = line.trim_start().trim_start_matches("prepare").trim();
             match serde_json::from_str(json) {
-                Ok(spec) => Ok(Request::RebuildPrepare { spec }),
+                Ok(spec) => Ok(Request::RebuildPrepare { spec, delta: None }),
                 Err(e) => Err(format!("bad prepare spec: {e}")),
             }
         }
@@ -82,6 +88,27 @@ pub fn parse_line(line: &str) -> Option<Result<Request, String>> {
     };
     // The same validation every transport runs at decode time.
     Some(request.and_then(|r| r.validate().map(|()| r).map_err(|e| e.to_string())))
+}
+
+fn parse_ingest(fields: &[&str]) -> Result<Request, String> {
+    const USAGE: &str =
+        "bad ingest: expected `ingest X Y G [L]` with numeric X Y G and L one of 0/1/true/false";
+    let (coords, label) = match fields {
+        [x, y, g] => ((x, y, g), false),
+        [x, y, g, l] => {
+            let label = match *l {
+                "0" | "false" => false,
+                "1" | "true" => true,
+                _ => return Err(USAGE.into()),
+            };
+            ((x, y, g), label)
+        }
+        _ => return Err(USAGE.into()),
+    };
+    match (coords.0.parse(), coords.1.parse(), coords.2.parse()) {
+        (Ok(x), Ok(y), Ok(group)) => Ok(Request::Ingest { x, y, group, label }),
+        _ => Err(USAGE.into()),
+    }
 }
 
 fn parse_batch(coords: &[&str]) -> Result<Request, String> {
@@ -174,6 +201,12 @@ pub fn format_response(response: &Response) -> String {
                     cache.hits, cache.misses, cache.evictions
                 ));
             }
+            if let Some(ingest) = &metrics.ingest {
+                line.push_str(&format!(
+                    " ingest: accepted={} rejected={} buffered={} drift={:.4}",
+                    ingest.accepted, ingest.rejected, ingest.buffered, ingest.drift_score
+                ));
+            }
             for shard in &metrics.shards {
                 if shard.requests > 0 || shard.failures > 0 {
                     line.push_str(&format!(
@@ -203,6 +236,11 @@ pub fn format_response(response: &Response) -> String {
             prepared.ence,
             prepared.build_time.as_secs_f64() * 1e3
         ),
+        Response::Ingested {
+            accepted,
+            buffered,
+            generation,
+        } => format!("ingested: accepted={accepted} buffered={buffered} generation={generation}"),
         Response::Committed { generation } => format!("committed: generation={generation}"),
         Response::Aborted => "aborted".into(),
         Response::Error { error } => format!("error: {}: {}", error.code, error.message),
@@ -323,6 +361,10 @@ mod tests {
             "rebuild not-json",
             "prepare not-json",
             "commit now",
+            "ingest 0.5",
+            "ingest 0.5 0.5 zero",
+            "ingest 0.5 0.5 0 maybe",
+            "ingest 9.0 9.0 0", // out of bounds at validation
         ] {
             let a = answer_line(&mut svc, bad).unwrap_or_else(|| panic!("{bad} must answer"));
             assert!(a.starts_with("error:"), "{bad} -> {a}");
@@ -394,6 +436,23 @@ mod tests {
         );
         let line = format!("prepare {}", serde_json::to_string(&spec).unwrap());
         let a = answer_line(&mut svc, &line).unwrap();
+        assert!(a.starts_with("error: rebuild_unavailable"), "{a}");
+    }
+
+    #[test]
+    fn ingest_command_parses_and_answers() {
+        // Parsing: label optional, both spellings accepted.
+        for line in ["ingest 0.5 0.5 1", "ingest 0.5 0.5 1 true"] {
+            let parsed = parse_line(line).unwrap().unwrap();
+            assert!(matches!(parsed, Request::Ingest { group: 1, .. }), "{line}");
+        }
+        let Ok(Request::Ingest { label, .. }) = parse_line("ingest 0.5 0.5 1 1").unwrap() else {
+            panic!("expected ingest");
+        };
+        assert!(label);
+        // A service without ingestion answers a structured error line.
+        let mut svc = service();
+        let a = answer_line(&mut svc, "ingest 0.5 0.5 1").unwrap();
         assert!(a.starts_with("error: rebuild_unavailable"), "{a}");
     }
 

@@ -1,0 +1,196 @@
+//! Drift detection over buffered deltas.
+//!
+//! The frozen index was trained against one set of per-cell statistics;
+//! buffered writes shift them. The detector folds the buffer's per-cell
+//! deltas into the baseline `CellStats` (one `with_deltas` pass, O(grid)
+//! thanks to the summed-area tables) and then walks the same KD-style
+//! rectangle hierarchy the index's tree splits over, scoring each
+//! subtree for how far its aggregates moved:
+//!
+//! ```text
+//! score(rect) = (Δcount + |Δlabel − o(rect)·Δcount|) / (count(rect) + 1)
+//! ```
+//!
+//! The first term is relative population growth; the second is the
+//! label mass that arrived *out of proportion* to the region's frozen
+//! positive fraction `o(rect)` — incoming points that merely mirror the
+//! region's existing label mix contribute nothing to it. The report's
+//! score is the maximum over every subtree, so a burst concentrated in
+//! one small region trips the threshold long before it is visible
+//! globally.
+
+use crate::buffer::DeltaBuffer;
+use crate::error::IngestError;
+use fsi_core::CellStats;
+use fsi_data::SpatialDataset;
+use fsi_geo::{Axis, CellRect, Grid};
+use fsi_pipeline::TaskSpec;
+
+/// Builds the frozen-side statistics drift is measured against: per-cell
+/// populations and positive-label sums of `dataset` under `task` (score
+/// sums are zero — drift tracks data movement, not model output).
+pub fn baseline_stats(dataset: &SpatialDataset, task: &TaskSpec) -> Result<CellStats, IngestError> {
+    let grid = dataset.grid();
+    let counts = dataset.cell_populations();
+    let labels =
+        dataset.cell_label_sums(&dataset.threshold_labels(&task.outcome, task.threshold)?)?;
+    let scores = vec![0.0; grid.len()];
+    Ok(CellStats::new(grid, &counts, &scores, &labels)?)
+}
+
+/// One drift measurement over the buffered deltas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// The maximum subtree score (see the module docs for the formula).
+    pub score: f64,
+    /// The subtree that scored highest.
+    pub hottest: CellRect,
+    /// Buffered points that produced this measurement.
+    pub buffered: u64,
+}
+
+impl DriftReport {
+    /// A zero report over `grid` — what an empty buffer measures.
+    fn quiet(grid: &Grid) -> Self {
+        Self {
+            score: 0.0,
+            hottest: grid.full_rect(),
+            buffered: 0,
+        }
+    }
+}
+
+/// Scores how far the buffered deltas have pushed any subtree of the
+/// grid past its frozen statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DriftDetector;
+
+impl DriftDetector {
+    /// Creates a detector.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Measures the buffer against `baseline`. The baseline's shape
+    /// must match the buffer's grid.
+    pub fn measure(
+        &self,
+        baseline: &CellStats,
+        buffer: &DeltaBuffer,
+    ) -> Result<DriftReport, IngestError> {
+        let grid = buffer.grid();
+        if baseline.shape() != (grid.rows(), grid.cols()) {
+            return Err(IngestError::GridMismatch {
+                expected: baseline.shape(),
+                got: (grid.rows(), grid.cols()),
+            });
+        }
+        let buffered = buffer.occupancy();
+        if buffered == 0 {
+            return Ok(DriftReport::quiet(grid));
+        }
+        let (count_deltas, label_deltas) = buffer.cell_deltas();
+        let zeros = vec![0.0; grid.len()];
+        let shifted = baseline.with_deltas(grid, &count_deltas, &zeros, &label_deltas)?;
+        let mut report = DriftReport::quiet(grid);
+        report.buffered = buffered;
+        Self::walk(baseline, &shifted, grid.full_rect(), &mut report);
+        Ok(report)
+    }
+
+    /// Scores `rect` and recurses into its two KD halves (split along
+    /// the longer axis, the same shape the index's tree uses).
+    fn walk(baseline: &CellStats, shifted: &CellStats, rect: CellRect, report: &mut DriftReport) {
+        let n = baseline.count(&rect);
+        let delta_count = shifted.count(&rect) - n;
+        if delta_count <= 0.0 {
+            // No buffered point landed inside this subtree; neither
+            // will any child rect.
+            return;
+        }
+        let delta_label = shifted.label_sum(&rect) - baseline.label_sum(&rect);
+        let o = baseline.positive_fraction(&rect).unwrap_or(0.0);
+        let score = (delta_count + (delta_label - o * delta_count).abs()) / (n + 1.0);
+        if score > report.score {
+            report.score = score;
+            report.hottest = rect;
+        }
+        let axis = if rect.num_rows() >= rect.num_cols() {
+            Axis::Row
+        } else {
+            Axis::Col
+        };
+        if rect.extent(axis) < 2 {
+            return;
+        }
+        let mid = rect.extent(axis) / 2;
+        if let Some((lo, hi)) = rect.split_at(axis, mid) {
+            Self::walk(baseline, shifted, lo, report);
+            Self::walk(baseline, shifted, hi, report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_geo::Grid;
+
+    fn uniform_baseline(grid: &Grid) -> CellStats {
+        let counts = vec![4.0; grid.len()];
+        let scores = vec![0.0; grid.len()];
+        let labels = vec![2.0; grid.len()];
+        CellStats::new(grid, &counts, &scores, &labels).unwrap()
+    }
+
+    #[test]
+    fn empty_buffer_measures_zero_drift() {
+        let grid = Grid::unit(4).unwrap();
+        let baseline = uniform_baseline(&grid);
+        let buffer = DeltaBuffer::new(grid.clone());
+        let report = DriftDetector::new().measure(&baseline, &buffer).unwrap();
+        assert_eq!(report.score, 0.0);
+        assert_eq!(report.buffered, 0);
+    }
+
+    #[test]
+    fn concentrated_burst_scores_higher_than_its_global_dilution() {
+        let grid = Grid::unit(8).unwrap();
+        let baseline = uniform_baseline(&grid);
+        let buffer = DeltaBuffer::new(grid.clone());
+        // 16 positive points into one cell: locally that cell went from
+        // 4 to 20 individuals — drift ~ (16 + |16 − 0.5·16|)/(4+1) = 4.8
+        // at the leaf, while globally it is only 24/257 ≈ 0.09.
+        for _ in 0..16 {
+            buffer.accept(0.06, 0.06, 1, true).unwrap();
+        }
+        let report = DriftDetector::new().measure(&baseline, &buffer).unwrap();
+        assert!(report.score > 4.0, "leaf-level drift, got {}", report.score);
+        assert_eq!(report.hottest.num_cells(), 1, "hotspot is one cell");
+        assert_eq!(report.buffered, 16);
+    }
+
+    #[test]
+    fn proportional_inflow_scores_only_population_growth() {
+        let grid = Grid::unit(2).unwrap();
+        let baseline = uniform_baseline(&grid);
+        let buffer = DeltaBuffer::new(grid.clone());
+        // Two points into one cell, half positive — exactly the frozen
+        // 0.5 positive fraction, so the label term vanishes and the
+        // score is pure relative growth: 2/(4+1) = 0.4.
+        buffer.accept(0.2, 0.2, 0, true).unwrap();
+        buffer.accept(0.3, 0.3, 0, false).unwrap();
+        let report = DriftDetector::new().measure(&baseline, &buffer).unwrap();
+        assert!((report.score - 0.4).abs() < 1e-12, "got {}", report.score);
+    }
+
+    #[test]
+    fn grid_shape_mismatch_is_rejected() {
+        let baseline = uniform_baseline(&Grid::unit(4).unwrap());
+        let buffer = DeltaBuffer::new(Grid::unit(8).unwrap());
+        assert!(matches!(
+            DriftDetector::new().measure(&baseline, &buffer),
+            Err(IngestError::GridMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! The one ingested-observation record shared across the subsystem.
+
+use fsi_proto::IngestBody;
+use serde::{Deserialize, Serialize};
+
+/// One accepted observation: the wire payload plus the global accept
+/// sequence number that fixes its position in every deterministic
+/// merge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestRecord {
+    /// Global accept order — merges replay records sorted by this, so
+    /// every shard that receives the same delta builds the same
+    /// dataset.
+    pub seq: u64,
+    /// Map-space x coordinate.
+    pub x: f64,
+    /// Map-space y coordinate.
+    pub y: f64,
+    /// Opaque cohort tag.
+    pub group: u32,
+    /// Observed binary outcome for the served task.
+    pub label: bool,
+}
+
+impl IngestRecord {
+    /// The wire form of this record (the sequence number is implicit in
+    /// the delta's order).
+    pub fn to_wire(&self) -> IngestBody {
+        IngestBody::new(self.x, self.y, self.group, self.label)
+    }
+
+    /// Rebuilds a record from its wire form and its position in the
+    /// delta.
+    pub fn from_wire(seq: u64, body: &IngestBody) -> Self {
+        Self {
+            seq,
+            x: body.x,
+            y: body.y,
+            group: body.group,
+            label: body.label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip_preserves_every_field() {
+        let r = IngestRecord {
+            seq: 42,
+            x: 0.31,
+            y: 0.72,
+            group: 9,
+            label: true,
+        };
+        let back = IngestRecord::from_wire(42, &r.to_wire());
+        assert_eq!(r, back);
+    }
+}

@@ -2,8 +2,8 @@
 
 use crate::error::ProtoError;
 use crate::wire::{
-    DecisionBody, ErrorBody, MetricsBody, PreparedBody, RebuildReport, StatsBody, WirePoint,
-    WireRect,
+    DecisionBody, ErrorBody, IngestBody, MetricsBody, PreparedBody, RebuildReport, StatsBody,
+    WirePoint, WireRect,
 };
 use fsi_pipeline::PipelineSpec;
 use serde::{Deserialize, Serialize};
@@ -37,6 +37,27 @@ pub enum Request {
         /// The query rectangle.
         rect: WireRect,
     },
+    /// Append one observed point to the serving deployment's delta
+    /// buffer (the streaming write path). The point is routed to its
+    /// owning shard; the index itself is untouched until a maintenance
+    /// pass merges the buffer and rebuilds.
+    Ingest {
+        /// Map-space x coordinate.
+        x: f64,
+        /// Map-space y coordinate.
+        y: f64,
+        /// Opaque cohort tag, tracked per cell for drift detection.
+        group: u32,
+        /// Observed binary outcome for the served task.
+        label: bool,
+    },
+    /// Append a batch of observed points in one round-trip (the
+    /// high-throughput write path; a coordinator fans the batch out to
+    /// owning shards, same shape as [`Request::LookupBatch`]).
+    IngestBatch {
+        /// The observations, accepted in order.
+        points: Vec<IngestBody>,
+    },
     /// Service statistics: shard generations, index size, backend.
     Stats,
     /// Retrain with `spec` and hot-swap the result into every shard.
@@ -52,6 +73,13 @@ pub enum Request {
     RebuildPrepare {
         /// The pipeline spec the staged index is built from.
         spec: PipelineSpec,
+        /// Ingested observations to merge into the shard's dataset
+        /// before retraining, in global accept order. Tree splits are
+        /// global, so a maintenance coordinator ships every shard the
+        /// *same* full delta — each shard merges it deterministically
+        /// and the fleet stays bit-identical. Optional so v1 envelopes
+        /// encoded before streaming ingestion existed still decode.
+        delta: Option<Vec<IngestBody>>,
     },
     /// Phase two of an orchestrated rebuild: publish the index staged
     /// by the last [`Request::RebuildPrepare`].
@@ -84,10 +112,29 @@ impl Request {
                 Ok(())
             }
             Request::RangeQuery { rect } => rect.validate(),
+            Request::Ingest { x, y, .. } => WirePoint::new(*x, *y).validate(),
+            Request::IngestBatch { points } => {
+                for (index, p) in points.iter().enumerate() {
+                    p.validate().map_err(|e| {
+                        ProtoError::InvalidRequest(format!("ingest point #{index}: {e}"))
+                    })?;
+                }
+                Ok(())
+            }
             Request::Stats => Ok(()),
-            Request::Rebuild { spec } | Request::RebuildPrepare { spec } => spec
+            Request::Rebuild { spec } => spec
                 .validate()
                 .map_err(|e| ProtoError::InvalidRequest(e.to_string())),
+            Request::RebuildPrepare { spec, delta } => {
+                spec.validate()
+                    .map_err(|e| ProtoError::InvalidRequest(e.to_string()))?;
+                for (index, p) in delta.iter().flatten().enumerate() {
+                    p.validate().map_err(|e| {
+                        ProtoError::InvalidRequest(format!("delta point #{index}: {e}"))
+                    })?;
+                }
+                Ok(())
+            }
             Request::RebuildCommit | Request::RebuildAbort | Request::Metrics => Ok(()),
         }
     }
@@ -114,6 +161,18 @@ pub enum Response {
     Regions {
         /// The neighborhood (leaf) ids.
         ids: Vec<usize>,
+    },
+    /// Answer to [`Request::Ingest`] / [`Request::IngestBatch`].
+    Ingested {
+        /// Observations accepted by this request.
+        accepted: u64,
+        /// Observations sitting in the answering deployment's delta
+        /// buffer after the accept (the occupancy a maintenance policy
+        /// triggers on).
+        buffered: u64,
+        /// The live index generation the buffer is stacked on — bumps
+        /// when a maintenance rebuild folds the buffer in.
+        generation: u64,
     },
     /// Answer to [`Request::Stats`].
     Stats {
@@ -249,12 +308,30 @@ mod tests {
             Request::RangeQuery {
                 rect: WireRect::new(0.25, 0.25, 0.75, 0.75),
             },
+            Request::Ingest {
+                x: 0.42,
+                y: 0.58,
+                group: 3,
+                label: true,
+            },
+            Request::IngestBatch {
+                points: vec![
+                    IngestBody::new(0.1, 0.2, 0, false),
+                    IngestBody::new(0.9, 0.8, 7, true),
+                ],
+            },
+            Request::IngestBatch { points: vec![] },
             Request::Stats,
             Request::Rebuild {
                 spec: PipelineSpec::new(TaskSpec::act(), Method::FairKd, 4),
             },
             Request::RebuildPrepare {
                 spec: PipelineSpec::new(TaskSpec::act(), Method::MedianKd, 3),
+                delta: None,
+            },
+            Request::RebuildPrepare {
+                spec: PipelineSpec::new(TaskSpec::act(), Method::MedianKd, 3),
+                delta: Some(vec![IngestBody::new(0.31, 0.72, 2, false)]),
             },
             Request::RebuildCommit,
             Request::RebuildAbort,
@@ -275,6 +352,11 @@ mod tests {
             Response::Decisions { decisions: vec![] },
             Response::Regions {
                 ids: vec![0, 3, 17],
+            },
+            Response::Ingested {
+                accepted: 2,
+                buffered: 4097,
+                generation: 3,
             },
             Response::Stats {
                 stats: Box::new(StatsBody {
@@ -379,6 +461,62 @@ mod tests {
         assert_eq!(stats.cache, None);
         assert_eq!(stats.per_shard, None);
         assert_eq!(stats.metrics, None);
+    }
+
+    #[test]
+    fn pre_ingest_envelopes_still_decode() {
+        // Captured from a pre-ingestion peer: a v1 RebuildPrepare whose
+        // vocabulary has no Ingest/Ingested variants and no `delta`
+        // field. Both directions must keep decoding (same pattern as
+        // `pre_metrics_envelopes_still_decode`).
+        let new_wire = encode_request(&Request::RebuildPrepare {
+            spec: PipelineSpec::new(TaskSpec::act(), Method::MedianKd, 3),
+            delta: None,
+        });
+        let old_request = new_wire.replace(",\"delta\":null", "");
+        assert_ne!(old_request, new_wire, "expected a delta field to strip");
+        let Request::RebuildPrepare { spec, delta } = decode_request(&old_request).unwrap() else {
+            panic!("pre-ingest RebuildPrepare envelope must still decode");
+        };
+        assert_eq!(spec.height, 3);
+        assert_eq!(delta, None, "missing delta field must decode as None");
+        // Old unit-variant requests keep decoding beside the new
+        // vocabulary too.
+        assert_eq!(
+            decode_request(r#"{"v":1,"body":"Stats"}"#).unwrap(),
+            Request::Stats
+        );
+        // And a pre-ingest peer's Committed response decodes unchanged.
+        let old_response = r#"{"v":1,"body":{"Committed":{"generation":5}}}"#;
+        assert_eq!(
+            decode_response(old_response).unwrap(),
+            Response::Committed { generation: 5 }
+        );
+    }
+
+    #[test]
+    fn ingest_requests_validate_their_coordinates() {
+        let bad = Request::Ingest {
+            x: f64::NAN,
+            y: 0.5,
+            group: 0,
+            label: false,
+        };
+        assert!(bad.validate().is_err());
+        let bad_batch = Request::IngestBatch {
+            points: vec![
+                IngestBody::new(0.5, 0.5, 1, true),
+                IngestBody::new(0.5, f64::INFINITY, 1, true),
+            ],
+        };
+        let err = bad_batch.validate().unwrap_err();
+        assert!(err.to_string().contains("ingest point #1"), "{err}");
+        let bad_delta = Request::RebuildPrepare {
+            spec: PipelineSpec::new(TaskSpec::act(), Method::MedianKd, 3),
+            delta: Some(vec![IngestBody::new(f64::NEG_INFINITY, 0.5, 0, false)]),
+        };
+        let err = bad_delta.validate().unwrap_err();
+        assert!(err.to_string().contains("delta point #0"), "{err}");
     }
 
     #[test]
@@ -570,6 +708,13 @@ mod tests {
                     abort: snap,
                 },
                 http: None,
+                ingest: nested.then(|| crate::IngestObsBody {
+                    accepted: slow,
+                    rejected: slow >> 8,
+                    buffered: slow >> 16,
+                    drift_score: 0.5,
+                    maintenance: fsi_obs::HistogramSnapshot::empty(),
+                }),
             };
             let response = Response::Metrics { metrics: Box::new(body) };
             prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);

@@ -86,6 +86,37 @@ impl WireRect {
     }
 }
 
+/// One ingested observation on the wire: where the point landed, the
+/// cohort tag it arrived with, and its observed binary outcome.
+///
+/// Shared by [`crate::Request::IngestBatch`] and the optional ingest
+/// delta a coordinator ships inside [`crate::Request::RebuildPrepare`]
+/// so every shard retrains on the identical merged dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestBody {
+    /// Map-space x coordinate.
+    pub x: f64,
+    /// Map-space y coordinate.
+    pub y: f64,
+    /// Opaque cohort tag, tracked per cell for drift detection.
+    pub group: u32,
+    /// Observed binary outcome for the served task.
+    pub label: bool,
+}
+
+impl IngestBody {
+    /// Creates an ingest record.
+    pub fn new(x: f64, y: f64, group: u32, label: bool) -> Self {
+        Self { x, y, group, label }
+    }
+
+    /// Rejects non-finite coordinates — the same rule as
+    /// [`WirePoint::validate`].
+    pub fn validate(&self) -> Result<(), ProtoError> {
+        WirePoint::new(self.x, self.y).validate()
+    }
+}
+
 /// One served decision on the wire — the protocol twin of
 /// `fsi_serve::Decision`, field for field, so conversions are lossless
 /// and serialized floats round-trip bit-identically.
@@ -267,6 +298,24 @@ pub struct HttpObsBody {
     pub write: HistogramSnapshot,
 }
 
+/// Streaming-ingestion telemetry inside a [`MetricsBody`], present when
+/// the answering service has ingestion enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestObsBody {
+    /// Points accepted into the delta buffer since start.
+    pub accepted: u64,
+    /// Points rejected for falling outside the served grid.
+    pub rejected: u64,
+    /// Points currently buffered (the occupancy gauge maintenance
+    /// triggers on).
+    pub buffered: u64,
+    /// The last measured maximum subtree drift score.
+    pub drift_score: f64,
+    /// End-to-end maintenance rebuild durations (drain + merge +
+    /// retrain + two-phase publish), in nanoseconds.
+    pub maintenance: HistogramSnapshot,
+}
+
 /// One worker-merged telemetry snapshot — the body of
 /// [`crate::Response::Metrics`], scatter-gathered across shards by
 /// topology-aware coordinators (each remote shard's own snapshot rides
@@ -292,6 +341,10 @@ pub struct MetricsBody {
     /// HTTP transport telemetry, when an HTTP server fronts the
     /// service.
     pub http: Option<HttpObsBody>,
+    /// Streaming-ingestion telemetry, when ingestion is enabled.
+    /// Optional so envelopes encoded before streaming ingestion
+    /// existed still decode (same pattern as `cache` and `http`).
+    pub ingest: Option<IngestObsBody>,
 }
 
 impl MetricsBody {
@@ -307,6 +360,7 @@ impl MetricsBody {
             shards: Vec::new(),
             rebuild: RebuildObsBody::empty(),
             http: None,
+            ingest: None,
         }
     }
 
@@ -658,6 +712,13 @@ mod tests {
                 read: hist(&[2_000, 2_500]),
                 handle: hist(&[60_000]),
                 write: hist(&[1_500]),
+            }),
+            ingest: Some(IngestObsBody {
+                accepted: 512,
+                rejected: 3,
+                buffered: 128,
+                drift_score: 0.375,
+                maintenance: hist(&[90_000_000]),
             }),
         }
     }

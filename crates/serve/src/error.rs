@@ -61,6 +61,14 @@ pub enum ServeError {
     NotStaged,
     /// A decision-cache spec failed validation.
     Cache(fsi_cache::CacheError),
+    /// A streaming-ingestion component (delta buffer, drift detector,
+    /// merge, maintenance policy) failed.
+    Ingest(fsi_ingest::IngestError),
+    /// A maintenance pass was requested on a service built without
+    /// streaming ingestion.
+    IngestUnavailable,
+    /// A drift-triggered maintenance pass failed to publish.
+    Maintenance(String),
     /// The underlying pipeline run failed.
     Pipeline(PipelineError),
 }
@@ -97,6 +105,15 @@ impl fmt::Display for ServeError {
                 write!(f, "rebuild commit received with no staged index")
             }
             ServeError::Cache(e) => write!(f, "cache error: {e}"),
+            ServeError::Ingest(e) => write!(f, "ingest error: {e}"),
+            ServeError::IngestUnavailable => write!(
+                f,
+                "streaming ingestion is not configured on this service; \
+                 construct it with a training dataset and `with_ingest`"
+            ),
+            ServeError::Maintenance(msg) => {
+                write!(f, "maintenance rebuild failed: {msg}")
+            }
             ServeError::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
@@ -106,6 +123,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Cache(e) => Some(e),
+            ServeError::Ingest(e) => Some(e),
             ServeError::Pipeline(e) => Some(e),
             _ => None,
         }
@@ -121,6 +139,12 @@ impl From<PipelineError> for ServeError {
 impl From<fsi_cache::CacheError> for ServeError {
     fn from(e: fsi_cache::CacheError) -> Self {
         ServeError::Cache(e)
+    }
+}
+
+impl From<fsi_ingest::IngestError> for ServeError {
+    fn from(e: fsi_ingest::IngestError) -> Self {
+        ServeError::Ingest(e)
     }
 }
 
@@ -153,5 +177,12 @@ mod tests {
         };
         assert!(e.to_string().contains("10.0.0.7:7878"));
         assert!(ServeError::NotStaged.to_string().contains("staged"));
+        let e = ServeError::Ingest(fsi_ingest::IngestError::MissingDataset);
+        assert!(e.to_string().contains("dataset"));
+        assert!(ServeError::IngestUnavailable
+            .to_string()
+            .contains("with_ingest"));
+        let e = ServeError::Maintenance("shard 2 failed to prepare".into());
+        assert!(e.to_string().contains("shard 2"));
     }
 }

@@ -31,6 +31,11 @@
 //!   blocks a query.
 //! * [`Rebuilder`] — re-runs the `fsi-pipeline` trainer (optionally on a
 //!   background thread) and publishes the freshly compiled index.
+//! * [`MaintenanceHandle`] — background drift-triggered maintenance for
+//!   services built `with_ingest`: polls the delta buffer against a
+//!   [`MaintenanceSpec`], and when drift, occupancy or staleness trips,
+//!   merges the buffered points into the training set and republishes
+//!   through the same two-phase rebuild barrier.
 //! * [`driver`] — a multi-threaded throughput harness, also used by the
 //!   `serving` benchmark suite in `fsi-bench`.
 //!
@@ -63,6 +68,7 @@ pub mod driver;
 pub mod error;
 pub mod frozen;
 pub mod handle;
+pub mod maintain;
 pub mod obs;
 pub mod rebuild;
 pub mod service;
@@ -73,6 +79,7 @@ pub use driver::{sweep, ThroughputReport};
 pub use error::ServeError;
 pub use frozen::{Decision, FrozenIndex};
 pub use handle::{IndexHandle, IndexReader};
+pub use maintain::MaintenanceHandle;
 pub use obs::{prometheus_text, SlowQueryRecord, SlowQuerySink};
 pub use rebuild::{build_index, compile_run, RebuildReport, Rebuilder};
 pub use service::QueryService;
@@ -83,3 +90,6 @@ pub use topology::{
 
 // The decision-cache vocabulary callers configure services with.
 pub use fsi_cache::{CacheError, CacheScope, CacheSpec, CacheStats};
+
+// The streaming-ingestion vocabulary callers configure maintenance with.
+pub use fsi_ingest::{IngestError, MaintenanceSpec, MaintenanceTrigger};

@@ -28,7 +28,7 @@ use std::time::Duration;
 
 /// Request kinds in dispatch order — the index space of the per-kind
 /// counter and histogram arrays.
-pub(crate) const KINDS: [&str; 9] = [
+pub(crate) const KINDS: [&str; 11] = [
     "lookup",
     "lookup_batch",
     "range_query",
@@ -38,6 +38,8 @@ pub(crate) const KINDS: [&str; 9] = [
     "rebuild_commit",
     "rebuild_abort",
     "metrics",
+    "ingest",
+    "ingest_batch",
 ];
 
 /// Index of `"lookup"` in [`KINDS`] — the sampled hot path.
@@ -67,6 +69,8 @@ pub(crate) fn kind_index(request: &Request) -> usize {
         Request::RebuildCommit => 6,
         Request::RebuildAbort => 7,
         Request::Metrics => 8,
+        Request::Ingest { .. } => 9,
+        Request::IngestBatch { .. } => 10,
     }
 }
 
@@ -137,6 +141,9 @@ pub(crate) struct ServiceMetrics {
     pub(crate) rebuild_commit: Histogram,
     /// Abort durations, per shard-phase.
     pub(crate) rebuild_abort: Histogram,
+    /// End-to-end maintenance rebuild durations (drain + merge +
+    /// retrain + two-phase publish).
+    pub(crate) maintenance: Histogram,
 }
 
 impl ServiceMetrics {
@@ -154,6 +161,7 @@ impl ServiceMetrics {
             rebuild_prepare: Histogram::new(),
             rebuild_commit: Histogram::new(),
             rebuild_abort: Histogram::new(),
+            maintenance: Histogram::new(),
         }
     }
 }
@@ -179,6 +187,7 @@ pub(crate) struct MetricsFold {
     pub(crate) prepare: HistogramSnapshot,
     pub(crate) commit: HistogramSnapshot,
     pub(crate) abort: HistogramSnapshot,
+    pub(crate) maintenance: HistogramSnapshot,
 }
 
 impl MetricsFold {
@@ -205,6 +214,7 @@ impl MetricsFold {
             prepare: HistogramSnapshot::empty(),
             commit: HistogramSnapshot::empty(),
             abort: HistogramSnapshot::empty(),
+            maintenance: HistogramSnapshot::empty(),
         };
         registry.fold(zero, |mut acc, m| {
             for k in 0..KINDS.len() {
@@ -219,6 +229,7 @@ impl MetricsFold {
             acc.prepare.merge(&m.rebuild_prepare.snapshot());
             acc.commit.merge(&m.rebuild_commit.snapshot());
             acc.abort.merge(&m.rebuild_abort.snapshot());
+            acc.maintenance.merge(&m.maintenance.snapshot());
             for c in 0..CODES.len() {
                 acc.errors[c] += m.errors[c].get();
             }
@@ -423,6 +434,43 @@ pub fn prometheus_text(body: &MetricsBody) -> String {
         &body.rebuild.abort,
         1e9,
     );
+    if let Some(ingest) = &body.ingest {
+        e.family(
+            "fsi_ingest_accepted_total",
+            "counter",
+            "Points accepted into the delta buffer.",
+        );
+        e.sample_u64("fsi_ingest_accepted_total", &[], ingest.accepted);
+        e.family(
+            "fsi_ingest_rejected_total",
+            "counter",
+            "Ingested points rejected for falling outside the grid.",
+        );
+        e.sample_u64("fsi_ingest_rejected_total", &[], ingest.rejected);
+        e.family(
+            "fsi_ingest_buffered",
+            "gauge",
+            "Points currently in the delta buffer.",
+        );
+        e.sample_u64("fsi_ingest_buffered", &[], ingest.buffered);
+        e.family(
+            "fsi_ingest_drift_score",
+            "gauge",
+            "Last measured maximum subtree drift score.",
+        );
+        e.sample("fsi_ingest_drift_score", &[], ingest.drift_score);
+        e.family(
+            "fsi_maintenance_rebuild_seconds",
+            "summary",
+            "End-to-end drift-triggered maintenance rebuild durations.",
+        );
+        e.summary(
+            "fsi_maintenance_rebuild_seconds",
+            &[],
+            &ingest.maintenance,
+            1e9,
+        );
+    }
     if let Some(http) = &body.http {
         e.family(
             "fsi_http_connections_total",
@@ -482,6 +530,19 @@ mod tests {
         assert_eq!(kind_index(&Request::Lookup { x: 0.0, y: 0.0 }), K_LOOKUP);
         assert_eq!(KINDS[kind_index(&Request::Metrics)], "metrics");
         assert_eq!(KINDS[kind_index(&Request::Stats)], "stats");
+        assert_eq!(
+            KINDS[kind_index(&Request::Ingest {
+                x: 0.0,
+                y: 0.0,
+                group: 0,
+                label: false,
+            })],
+            "ingest"
+        );
+        assert_eq!(
+            KINDS[kind_index(&Request::IngestBatch { points: vec![] })],
+            "ingest_batch"
+        );
         for (i, code) in CODES.iter().enumerate() {
             assert_eq!(code_index(*code), i);
         }
@@ -557,7 +618,14 @@ mod tests {
                 requests: 9,
                 read: snap.clone(),
                 handle: snap.clone(),
-                write: snap,
+                write: snap.clone(),
+            }),
+            ingest: Some(fsi_proto::IngestObsBody {
+                accepted: 11,
+                rejected: 2,
+                buffered: 6,
+                drift_score: 0.375,
+                maintenance: snap,
             }),
         };
         let text = prometheus_text(&body);
@@ -584,6 +652,11 @@ mod tests {
             "fsi_http_active_connections 1\n",
             "fsi_http_requests_total 9\n",
             "fsi_http_phase_seconds_count{phase=\"write\"} 1\n",
+            "fsi_ingest_accepted_total 11\n",
+            "fsi_ingest_rejected_total 2\n",
+            "fsi_ingest_buffered 6\n",
+            "fsi_ingest_drift_score 0.375\n",
+            "fsi_maintenance_rebuild_seconds_count 1\n",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
@@ -596,6 +669,7 @@ mod tests {
         assert!(!text.contains("fsi_cache_hits_total"));
         assert!(!text.contains("fsi_shard_requests_total"));
         assert!(!text.contains("fsi_http_requests_total"));
+        assert!(!text.contains("fsi_ingest_accepted_total"));
     }
 
     #[test]

@@ -29,16 +29,22 @@ use crate::rebuild::build_index;
 use crate::topology::Topology;
 use crate::{IndexReader, RebuildReport, ServeError};
 use fsi_cache::{CacheKey, CacheScope, CacheSpec, CacheStats, FrontedLru, ShardedLru};
+use fsi_core::CellStats;
 use fsi_data::SpatialDataset;
 use fsi_geo::{Point, Rect};
+use fsi_ingest::{
+    baseline_stats, merge_dataset, DeltaBuffer, DriftDetector, IngestError, IngestRecord,
+    MaintenanceSpec,
+};
 use fsi_obs::{Recorder, Registry};
-use fsi_pipeline::{MethodRun, PipelineSpec};
+use fsi_pipeline::{MethodRun, PipelineSpec, TaskSpec};
 use fsi_proto::{
-    CacheStatsBody, DecisionBody, ErrorCode, ErrorCountBody, MetricsBody, PreparedBody,
+    CacheStatsBody, DecisionBody, ErrorCode, ErrorCountBody, IngestBody, MetricsBody, PreparedBody,
     RebuildObsBody, Request, RequestKindMetrics, Response, ShardObsBody, ShardStatsBody, StatsBody,
     WirePoint,
 };
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default lookup latency sampling: one in 256 point lookups is timed
@@ -124,6 +130,66 @@ struct CacheLayer {
     store: CacheStore,
 }
 
+/// The streaming-ingestion state of a service, shared by every clone
+/// (transport workers ingest concurrently; the buffer is internally
+/// sharded, everything else sits behind its own lock or atomic).
+///
+/// The **cumulative log** is the heart of the distributed story: remote
+/// shards retrain from their own seed copy during a two-phase rebuild
+/// and tree splits are global, so every maintenance pass merges the
+/// seed with the *full* accept-ordered log and ships that same log to
+/// every shard in [`Request::RebuildPrepare`]'s `delta` — each shard
+/// merges it deterministically and the fleet stays bit-identical. The
+/// log is never truncated on the coordinator; the buffer holds only the
+/// records accepted since the last drain.
+struct IngestState {
+    /// The task ingested labels are interpreted under.
+    task: TaskSpec,
+    /// Concurrent cell-sharded buffer of records accepted since the
+    /// last maintenance drain.
+    buffer: DeltaBuffer,
+    /// Every record ever accepted, in global accept order — the delta
+    /// every maintenance rebuild merges and ships.
+    log: Mutex<Vec<IngestRecord>>,
+    /// Per-cell statistics of the currently *published* dataset (seed
+    /// plus every folded-in record) — what drift is measured against.
+    baseline: Mutex<CellStats>,
+    /// Baseline awaiting the commit of an in-flight delta prepare (the
+    /// shard-role half of the two-phase barrier); an abort drops it.
+    pending: Mutex<Option<CellStats>>,
+    /// Bit pattern of the last measured drift score, refreshed by
+    /// maintenance polls and metrics scrapes.
+    drift_bits: AtomicU64,
+    /// Serializes maintenance/rebuild passes across service clones.
+    maintenance: Mutex<()>,
+}
+
+impl IngestState {
+    fn drift_score(&self) -> f64 {
+        f64::from_bits(self.drift_bits.load(Ordering::Relaxed))
+    }
+
+    fn store_drift(&self, score: f64) {
+        self.drift_bits.store(score.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Undoes a failed maintenance pass: the `drained_len` records most
+    /// recently appended to the log go back into the buffer (they are
+    /// re-accepted, so they get fresh sequence numbers — the canonical
+    /// global order is simply re-decided, identically for every shard,
+    /// by whichever pass eventually publishes).
+    fn restore_unmerged(&self, drained_len: usize) {
+        let tail: Vec<IngestRecord> = {
+            let mut log = self.log.lock().expect("ingest log lock poisoned");
+            let keep = log.len().saturating_sub(drained_len);
+            log.split_off(keep)
+        };
+        for r in tail {
+            let _ = self.buffer.accept(r.x, r.y, r.group, r.label);
+        }
+    }
+}
+
 /// What one shard slot looks like from this service clone: a private
 /// [`IndexReader`] over the local shard's handle (the lock-free hot
 /// path), or a marker that queries must be forwarded through the
@@ -183,6 +249,8 @@ pub struct QueryService {
     decisions: Vec<Decision>,
     /// Optional generation-keyed decision cache over point lookups.
     cache: Option<CacheLayer>,
+    /// Optional streaming-ingestion state, shared across clones.
+    ingest: Option<Arc<IngestState>>,
     /// This clone's telemetry shard in the registry every clone shares;
     /// `None` only when metrics were explicitly disabled
     /// ([`QueryService::with_metrics`]).
@@ -235,6 +303,39 @@ impl QueryService {
     /// The cache configuration, when one is attached.
     pub fn cache_spec(&self) -> Option<&CacheSpec> {
         self.cache.as_ref().map(|layer| &layer.spec)
+    }
+
+    /// Enables streaming ingestion: `Ingest` / `IngestBatch` requests
+    /// append to a concurrent delta buffer (with live per-cell drift
+    /// statistics against the `task` baseline), and
+    /// [`QueryService::maintain`] folds the buffer into a full
+    /// two-phase rebuild when the policy triggers. Requires a training
+    /// dataset ([`QueryService::with_rebuild`] first) — the buffer
+    /// validates points against its grid, and maintenance merges into
+    /// it.
+    pub fn with_ingest(mut self, task: TaskSpec) -> Result<Self, ServeError> {
+        let dataset = self
+            .rebuild_dataset
+            .as_ref()
+            .ok_or(ServeError::Ingest(IngestError::MissingDataset))?;
+        let baseline = baseline_stats(dataset, &task)?;
+        let buffer = DeltaBuffer::new(dataset.grid().clone());
+        self.ingest = Some(Arc::new(IngestState {
+            task,
+            buffer,
+            log: Mutex::new(Vec::new()),
+            baseline: Mutex::new(baseline),
+            pending: Mutex::new(None),
+            drift_bits: AtomicU64::new(0),
+            maintenance: Mutex::new(()),
+        }));
+        Ok(self)
+    }
+
+    /// Whether streaming ingestion is configured
+    /// ([`QueryService::with_ingest`]).
+    pub fn ingest_enabled(&self) -> bool {
+        self.ingest.is_some()
     }
 
     /// Telemetry is **on by default** — it is cheap enough to leave on
@@ -297,6 +398,7 @@ impl QueryService {
             points: Vec::new(),
             decisions: Vec::new(),
             cache: None,
+            ingest: None,
             obs: Some(Registry::new(move || ServiceMetrics::new(n_shards)).recorder()),
             tick: 0,
             flushed_tick: 0,
@@ -335,9 +437,11 @@ impl QueryService {
             Request::Lookup { x, y } => self.lookup(*x, *y),
             Request::LookupBatch { points } => self.lookup_batch(points),
             Request::RangeQuery { rect } => self.range_query(rect),
+            Request::Ingest { x, y, group, label } => self.ingest(*x, *y, *group, *label),
+            Request::IngestBatch { points } => self.ingest_batch(points),
             Request::Stats => self.stats(),
             Request::Rebuild { spec } => self.rebuild(spec),
-            Request::RebuildPrepare { spec } => self.rebuild_prepare(spec),
+            Request::RebuildPrepare { spec, delta } => self.rebuild_prepare(spec, delta.as_deref()),
             Request::RebuildCommit => self.rebuild_commit(),
             Request::RebuildAbort => self.rebuild_abort(),
             Request::Metrics => self.metrics(),
@@ -481,6 +585,69 @@ impl QueryService {
             }
             other => other,
         }
+    }
+
+    /// Fans one request out to the given remote shard slots
+    /// concurrently — scoped threads, one per shard, the same shape the
+    /// two-phase prepare fan-out uses — and returns each shard's
+    /// response paired with its slot index, in input order. Telemetry
+    /// matches the sequential [`remote_dispatch`](Self::remote_dispatch)
+    /// path exactly: per-shard request counters and round-trip
+    /// histograms, transport failures counted, and `internal`-code
+    /// errors gaining the shard index and address. With zero or one
+    /// shard the scope is skipped entirely, so single-remote topologies
+    /// pay no thread-spawn cost.
+    fn remote_fanout(&self, shards: &[usize], request: &Request) -> Vec<(usize, Response)> {
+        if shards.len() <= 1 {
+            return shards
+                .iter()
+                .map(|&shard| (shard, self.remote_dispatch(shard, request)))
+                .collect();
+        }
+        let backends = self.topology.backends();
+        let timed: Vec<(usize, Response, Duration)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = shards
+                .iter()
+                .map(|&i| {
+                    let backend = &backends[i];
+                    scope.spawn(move || {
+                        let started = Instant::now();
+                        let response = backend.dispatch(request);
+                        (i, response, started.elapsed())
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("fan-out worker panicked"))
+                .collect()
+        });
+        timed
+            .into_iter()
+            .map(|(i, response, elapsed)| {
+                let Some(obs) = &self.obs else {
+                    return (i, response);
+                };
+                let sm = &obs.shards[i];
+                sm.requests.inc();
+                sm.round_trip.record(saturating_nanos(elapsed));
+                let response = match response {
+                    Response::Error { error } if error.code == ErrorCode::Internal => {
+                        sm.failures.inc();
+                        let addr = backends[i]
+                            .descriptor()
+                            .addr
+                            .unwrap_or_else(|| "<no addr>".into());
+                        Response::error(
+                            ErrorCode::Internal,
+                            format!("shard {i} at {addr}: {}", error.message),
+                        )
+                    }
+                    other => other,
+                };
+                (i, response)
+            })
+            .collect()
     }
 
     #[inline]
@@ -714,6 +881,101 @@ impl QueryService {
         }
     }
 
+    /// The error an ingest answers on a service built without
+    /// [`QueryService::with_ingest`].
+    fn ingest_unavailable() -> Response {
+        Response::error(
+            ErrorCode::RebuildUnavailable,
+            "this service was built without streaming ingestion; \
+             construct it with a training dataset and task",
+        )
+    }
+
+    /// The `Ingested` acknowledgement: this request's accept count, the
+    /// coordinator buffer's occupancy, and the newest generation of the
+    /// *local* shards (remote generations would cost a round-trip per
+    /// write; they move in lockstep under the two-phase barrier anyway).
+    fn ingested(&self, state: &IngestState, accepted: u64) -> Response {
+        let mut generation = 0;
+        for backend in self.topology.backends() {
+            if let Some(local) = backend.as_local() {
+                generation = generation.max(local.handle().generation());
+            }
+        }
+        Response::Ingested {
+            accepted,
+            buffered: state.buffer.occupancy(),
+            generation,
+        }
+    }
+
+    /// One streamed observation. Out-of-bounds points are a structured
+    /// error (mirroring `Lookup`); accepted points land in the
+    /// coordinator's buffer *and* are forwarded to the owning remote
+    /// shard so its own occupancy and drift telemetry see the traffic.
+    /// The forward is advisory — the coordinator's log is the one
+    /// source of truth for maintenance, so a shard without ingestion
+    /// configured simply declines without affecting the accept.
+    fn ingest(&mut self, x: f64, y: f64, group: u32, label: bool) -> Response {
+        let Some(state) = self.ingest.as_ref().map(Arc::clone) else {
+            return Self::ingest_unavailable();
+        };
+        if state.buffer.accept(x, y, group, label).is_none() {
+            return Response::error(
+                ErrorCode::OutOfBounds,
+                format!("point ({x}, {y}) is outside the served map bounds"),
+            );
+        }
+        if self.slots.len() > 1 {
+            if let Some(shard) = self.topology.shard_of(&Point::new(x, y)) {
+                if matches!(self.slots[shard], ShardSlot::Remote) {
+                    let _ = self.remote_dispatch(shard, &Request::Ingest { x, y, group, label });
+                }
+            }
+        }
+        self.ingested(&state, 1)
+    }
+
+    /// The bulk write path: accepts in request order (so the global
+    /// sequence matches the batch), buckets remote-owned points per
+    /// shard and forwards the sub-batches — the same scatter shape as
+    /// [`Self::lookup_batch`], minus the gather (the coordinator's own
+    /// buffer already holds every point). Out-of-bounds points are
+    /// skipped, not fatal: `accepted` reports how many landed and the
+    /// rejected tally is scraped via the ingest telemetry.
+    fn ingest_batch(&mut self, points: &[IngestBody]) -> Response {
+        let Some(state) = self.ingest.as_ref().map(Arc::clone) else {
+            return Self::ingest_unavailable();
+        };
+        let mut accepted = 0u64;
+        let mut buckets: Vec<Vec<IngestBody>> = vec![Vec::new(); self.slots.len()];
+        for b in points {
+            if state.buffer.accept(b.x, b.y, b.group, b.label).is_none() {
+                continue;
+            }
+            accepted += 1;
+            if self.slots.len() > 1 {
+                if let Some(shard) = self.topology.shard_of(&Point::new(b.x, b.y)) {
+                    if matches!(self.slots[shard], ShardSlot::Remote) {
+                        buckets[shard].push(*b);
+                    }
+                }
+            }
+        }
+        for (shard, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let _ = self.remote_dispatch(
+                shard,
+                &Request::IngestBatch {
+                    points: bucket.clone(),
+                },
+            );
+        }
+        self.ingested(&state, accepted)
+    }
+
     fn range_query(&mut self, rect: &fsi_proto::WireRect) -> Response {
         let query = match Rect::new(rect.min_x, rect.min_y, rect.max_x, rect.max_y) {
             Ok(query) => query,
@@ -721,12 +983,17 @@ impl QueryService {
         };
         let shards = self.topology.covering(&query);
         let mut ids: Vec<usize> = Vec::new();
+        let mut remote: Vec<usize> = Vec::new();
         for shard in shards {
             if let ShardSlot::Local(reader) = &mut self.slots[shard] {
                 ids.extend(reader.snapshot().range_query(&query));
-                continue;
+            } else {
+                remote.push(shard);
             }
-            match self.remote_dispatch(shard, &Request::RangeQuery { rect: *rect }) {
+        }
+        let request = Request::RangeQuery { rect: *rect };
+        for (shard, response) in self.remote_fanout(&remote, &request) {
+            match response {
                 Response::Regions { ids: shard_ids } => ids.extend(shard_ids),
                 Response::Error { error } => return Response::Error { error },
                 _ => {
@@ -754,22 +1021,28 @@ impl QueryService {
                 capacity: s.capacity,
             }
         });
-        let mut per_shard = Vec::with_capacity(self.slots.len());
+        let mut per_shard: Vec<Option<ShardStatsBody>> = Vec::with_capacity(self.slots.len());
+        let mut remote: Vec<usize> = Vec::new();
         for shard in 0..self.slots.len() {
             let d = self.topology.backends()[shard].descriptor();
             if let ShardSlot::Local(reader) = &mut self.slots[shard] {
                 let (index, generation) = reader.snapshot_with_generation();
-                per_shard.push(ShardStatsBody {
+                per_shard.push(Some(ShardStatsBody {
                     kind: d.kind.to_string(),
                     addr: d.addr,
                     generation,
                     num_leaves: index.num_leaves(),
                     heap_bytes: index.heap_bytes(),
                     backend: index.backend_name().to_string(),
-                });
-                continue;
+                }));
+            } else {
+                per_shard.push(None);
+                remote.push(shard);
             }
-            let body = match self.remote_dispatch(shard, &Request::Stats) {
+        }
+        for (shard, response) in self.remote_fanout(&remote, &Request::Stats) {
+            let d = self.topology.backends()[shard].descriptor();
+            per_shard[shard] = Some(match response {
                 Response::Stats { stats } => ShardStatsBody {
                     kind: d.kind.to_string(),
                     addr: d.addr,
@@ -786,9 +1059,12 @@ impl QueryService {
                     heap_bytes: 0,
                     backend: "unreachable".to_string(),
                 },
-            };
-            per_shard.push(body);
+            });
         }
+        let per_shard: Vec<ShardStatsBody> = per_shard
+            .into_iter()
+            .map(|body| body.expect("every shard slot answered stats"))
+            .collect();
         let generations = per_shard.iter().map(|s| s.generation).collect();
         // Shard-0 convention for the flat summary fields, kept from the
         // replica era so v1 clients keep decoding something sensible;
@@ -821,13 +1097,11 @@ impl QueryService {
         self.flush_pending();
         let mut body = self.snapshot_body();
         if self.obs.is_some() {
-            for shard in 0..self.slots.len() {
-                if !matches!(self.slots[shard], ShardSlot::Remote) {
-                    continue;
-                }
-                if let Response::Metrics { metrics } =
-                    self.remote_dispatch(shard, &Request::Metrics)
-                {
+            let remote: Vec<usize> = (0..self.slots.len())
+                .filter(|&shard| matches!(self.slots[shard], ShardSlot::Remote))
+                .collect();
+            for (shard, response) in self.remote_fanout(&remote, &Request::Metrics) {
+                if let Response::Metrics { metrics } = response {
                     body.shards[shard].remote = Some(metrics);
                 }
             }
@@ -872,6 +1146,26 @@ impl QueryService {
                 evictions: s.evictions,
                 entries: s.len,
                 capacity: s.capacity,
+            }
+        });
+        // A scrape re-measures drift so the gauge is live even when no
+        // maintenance thread is polling; the stored bits are the
+        // fallback if the baseline shape ever disagrees mid-swap.
+        let ingest = self.ingest.as_ref().map(|state| {
+            let score = {
+                let baseline = state.baseline.lock().expect("baseline lock poisoned");
+                DriftDetector::new()
+                    .measure(&baseline, &state.buffer)
+                    .map(|r| r.score)
+                    .unwrap_or_else(|_| state.drift_score())
+            };
+            state.store_drift(score);
+            fsi_proto::IngestObsBody {
+                accepted: state.buffer.accepted(),
+                rejected: state.buffer.rejected(),
+                buffered: state.buffer.occupancy(),
+                drift_score: score,
+                maintenance: fold.maintenance.clone(),
             }
         });
         let shards = fold
@@ -921,6 +1215,7 @@ impl QueryService {
                 abort: fold.abort,
             },
             http: None,
+            ingest,
         }
     }
 
@@ -948,7 +1243,15 @@ impl QueryService {
     /// pay real wall-clock); only when *every* shard holds a staged
     /// index are the commits issued. Any prepare failure aborts all
     /// staged state and leaves the old generation serving everywhere.
-    fn publish_two_phase(&self, index: &FrozenIndex, spec: &PipelineSpec) -> Result<u64, Response> {
+    /// A maintenance pass threads the full ingest log through `delta`
+    /// so every remote shard retrains on the identical merged dataset;
+    /// plain rebuilds pass `None`.
+    fn publish_two_phase(
+        &self,
+        index: &FrozenIndex,
+        spec: &PipelineSpec,
+        delta: Option<&[IngestBody]>,
+    ) -> Result<u64, Response> {
         let backends = self.topology.backends();
         for (i, b) in backends.iter().enumerate() {
             if let Some(local) = b.as_local() {
@@ -976,9 +1279,10 @@ impl QueryService {
                 .map(|&i| {
                     let backend = &backends[i];
                     let spec = spec.clone();
+                    let delta = delta.map(<[IngestBody]>::to_vec);
                     scope.spawn(move || {
                         let started = Instant::now();
-                        let response = backend.dispatch(&Request::RebuildPrepare { spec });
+                        let response = backend.dispatch(&Request::RebuildPrepare { spec, delta });
                         (i, response, started.elapsed())
                     })
                 })
@@ -1084,12 +1388,19 @@ impl QueryService {
 
     fn rebuild(&mut self, spec: &PipelineSpec) -> Response {
         let started = Instant::now();
+        // With ingestion configured, a manual rebuild behaves like a
+        // forced maintenance pass: drain, merge the full log, publish
+        // with the delta — otherwise the published index would silently
+        // forget every streamed point.
+        if self.ingest.is_some() {
+            return self.rebuild_merged(spec, started);
+        }
         let (index, run) = match self.build_from_spec(spec) {
             Ok(built) => built,
             Err(response) => return response,
         };
         let num_leaves = index.num_leaves();
-        let generation = match self.publish_two_phase(&index, spec) {
+        let generation = match self.publish_two_phase(&index, spec, None) {
             Ok(generation) => generation,
             Err(response) => return response,
         };
@@ -1105,14 +1416,179 @@ impl QueryService {
         }
     }
 
+    /// The incremental-maintenance rebuild: drain the buffer into the
+    /// cumulative log, retrain on `seed + log`, and drive the two-phase
+    /// barrier with the full log as the delta. On any failure the
+    /// drained records are restored (nothing accepted is ever lost) and
+    /// the old generation keeps serving.
+    fn rebuild_merged(&mut self, spec: &PipelineSpec, started: Instant) -> Response {
+        let state = Arc::clone(self.ingest.as_ref().expect("caller checked ingest"));
+        let _guard = state.maintenance.lock().expect("maintenance lock poisoned");
+        let Some(seed) = self.rebuild_dataset.clone() else {
+            return Response::error(
+                ErrorCode::RebuildUnavailable,
+                "this service was built without a training dataset; rebuilds are disabled",
+            );
+        };
+        let drained = state.buffer.drain();
+        let drained_len = drained.len();
+        let log: Vec<IngestRecord> = {
+            let mut log = state.log.lock().expect("ingest log lock poisoned");
+            log.extend(drained);
+            log.clone()
+        };
+        let merged = match merge_dataset(&seed, &state.task, &log) {
+            Ok(merged) => merged,
+            Err(e) => {
+                state.restore_unmerged(drained_len);
+                return Response::error(ErrorCode::Internal, format!("delta merge failed: {e}"));
+            }
+        };
+        let (index, run) = match build_index(&merged, spec) {
+            Ok(built) => built,
+            Err(crate::ServeError::Pipeline(fsi_pipeline::PipelineError::InvalidConfig(msg))) => {
+                state.restore_unmerged(drained_len);
+                return Response::error(ErrorCode::InvalidSpec, msg);
+            }
+            Err(e) => {
+                state.restore_unmerged(drained_len);
+                return Response::error(ErrorCode::Internal, e.to_string());
+            }
+        };
+        let refreshed = match baseline_stats(&merged, &state.task) {
+            Ok(refreshed) => refreshed,
+            Err(e) => {
+                state.restore_unmerged(drained_len);
+                return Response::error(ErrorCode::Internal, e.to_string());
+            }
+        };
+        let delta: Vec<IngestBody> = log.iter().map(|r| r.to_wire()).collect();
+        let num_leaves = index.num_leaves();
+        match self.publish_two_phase(&index, spec, Some(&delta)) {
+            Ok(generation) => {
+                *state.baseline.lock().expect("baseline lock poisoned") = refreshed;
+                state.store_drift(0.0);
+                Response::Rebuilt {
+                    report: Box::new(RebuildReport {
+                        spec: spec.clone(),
+                        generation,
+                        num_leaves,
+                        ence: run.eval.full.ence,
+                        build_time: run.build_time,
+                        total_time: started.elapsed(),
+                    }),
+                }
+            }
+            Err(response) => {
+                state.restore_unmerged(drained_len);
+                response
+            }
+        }
+    }
+
+    /// One maintenance poll: measure drift against the frozen baseline,
+    /// check the policy's triggers, and — when one fires — fold the
+    /// buffer into a full two-phase rebuild. Returns the new generation
+    /// when a rebuild published, `None` when nothing was due. The
+    /// background driver ([`crate::MaintenanceHandle`]) calls this on
+    /// the policy's poll cadence; callers can also invoke it directly
+    /// for deterministic tests.
+    pub fn maintain(
+        &mut self,
+        policy: &MaintenanceSpec,
+        spec: &PipelineSpec,
+    ) -> Result<Option<u64>, ServeError> {
+        let Some(state) = self.ingest.as_ref().map(Arc::clone) else {
+            return Err(ServeError::IngestUnavailable);
+        };
+        let report = {
+            let baseline = state.baseline.lock().expect("baseline lock poisoned");
+            DriftDetector::new().measure(&baseline, &state.buffer)?
+        };
+        state.store_drift(report.score);
+        if policy
+            .due(report.score, report.buffered, state.buffer.oldest_age())
+            .is_none()
+        {
+            return Ok(None);
+        }
+        let started = Instant::now();
+        match self.rebuild_merged(spec, started) {
+            Response::Rebuilt { report } => {
+                if let Some(obs) = &self.obs {
+                    obs.maintenance.record(saturating_nanos(started.elapsed()));
+                }
+                Ok(Some(report.generation))
+            }
+            Response::Error { error } => {
+                // Keep the failure visible in the scrape even though no
+                // transport dispatched this pass.
+                self.count_error(error.code);
+                Err(ServeError::Maintenance(error.message))
+            }
+            other => Err(ServeError::Maintenance(format!(
+                "unexpected rebuild response: {other:?}"
+            ))),
+        }
+    }
+
     /// Phase one when *this* service is a shard (or mid-tier
     /// coordinator) of an upstream fleet: retrain, stage on every local
     /// shard (re-clipped for partial shards), and forward the prepare to
     /// any nested remotes. Nothing is served until the commit.
-    fn rebuild_prepare(&mut self, spec: &PipelineSpec) -> Response {
-        let (index, run) = match self.build_from_spec(spec) {
-            Ok(built) => built,
-            Err(response) => return response,
+    ///
+    /// A `delta` (a maintenance coordinator's full ingest log) is
+    /// merged into this shard's own seed dataset before retraining —
+    /// the merge is deterministic, so every shard that receives the
+    /// same `(spec, delta)` stages a bit-identical index. The task the
+    /// labels are interpreted under rides in `spec.task`, so a shard
+    /// needs no ingestion configuration of its own to participate.
+    fn rebuild_prepare(&mut self, spec: &PipelineSpec, delta: Option<&[IngestBody]>) -> Response {
+        let (index, run) = match delta {
+            None => match self.build_from_spec(spec) {
+                Ok(built) => built,
+                Err(response) => return response,
+            },
+            Some(points) => {
+                let Some(seed) = self.rebuild_dataset.clone() else {
+                    return Response::error(
+                        ErrorCode::RebuildUnavailable,
+                        "this service was built without a training dataset; rebuilds are disabled",
+                    );
+                };
+                let records: Vec<IngestRecord> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| IngestRecord::from_wire(i as u64, b))
+                    .collect();
+                let merged = match merge_dataset(&seed, &spec.task, &records) {
+                    Ok(merged) => merged,
+                    Err(e) => {
+                        return Response::error(
+                            ErrorCode::Internal,
+                            format!("delta merge failed: {e}"),
+                        )
+                    }
+                };
+                let built = match build_index(&merged, spec) {
+                    Ok(built) => built,
+                    Err(crate::ServeError::Pipeline(
+                        fsi_pipeline::PipelineError::InvalidConfig(msg),
+                    )) => return Response::error(ErrorCode::InvalidSpec, msg),
+                    Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+                };
+                // This shard's own drift baseline moves with the commit:
+                // stage the refreshed statistics alongside the index.
+                if let Some(state) = &self.ingest {
+                    match baseline_stats(&merged, &state.task) {
+                        Ok(b) => {
+                            *state.pending.lock().expect("pending lock poisoned") = Some(b);
+                        }
+                        Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+                    }
+                }
+                built
+            }
         };
         // The staged footprint reported back: the clipped footprint for
         // the common single-shard server, the global index's otherwise.
@@ -1139,7 +1615,10 @@ impl QueryService {
                     }
                 }
                 None => {
-                    let response = b.dispatch(&Request::RebuildPrepare { spec: spec.clone() });
+                    let response = b.dispatch(&Request::RebuildPrepare {
+                        spec: spec.clone(),
+                        delta: delta.map(<[IngestBody]>::to_vec),
+                    });
                     self.record_rebuild_phase(RebuildPhase::Prepare, started);
                     match response {
                         Response::Prepared { .. } => {}
@@ -1174,8 +1653,12 @@ impl QueryService {
     /// Abandons any staged rebuild on every shard — locals directly,
     /// remotes via the abort fan-out. Idempotent: aborting with nothing
     /// staged changes nothing, so it always answers
-    /// [`Response::Aborted`].
+    /// [`Response::Aborted`]. A baseline staged by a delta prepare is
+    /// dropped with the index it described.
     fn rebuild_abort(&mut self) -> Response {
+        if let Some(state) = &self.ingest {
+            *state.pending.lock().expect("pending lock poisoned") = None;
+        }
         self.abort_all_timed();
         Response::Aborted
     }
@@ -1223,6 +1706,18 @@ impl QueryService {
             };
             newest = newest.max(generation);
         }
+        // A delta prepare staged a refreshed drift baseline; committing
+        // the merged index makes it current. The local buffer and log
+        // are superseded — every point this shard accepted was also
+        // logged by the coordinator whose delta just published.
+        if let Some(state) = &self.ingest {
+            if let Some(refreshed) = state.pending.lock().expect("pending lock poisoned").take() {
+                *state.baseline.lock().expect("baseline lock poisoned") = refreshed;
+                state.buffer.drain();
+                state.log.lock().expect("ingest log lock poisoned").clear();
+                state.store_drift(0.0);
+            }
+        }
         if let Some(obs) = &self.obs {
             obs.generation.raise(newest);
         }
@@ -1253,6 +1748,7 @@ impl Clone for QueryService {
                 store,
             });
         }
+        fresh.ingest = self.ingest.clone();
         fresh.obs = self.obs.clone();
         fresh.sample_mask = self.sample_mask;
         fresh.slow = self.slow.clone();
@@ -1580,7 +2076,8 @@ mod tests {
             Response::Decision { decision } => decision,
             other => panic!("expected decision, got {other:?}"),
         };
-        let Response::Prepared { prepared } = svc.dispatch(&Request::RebuildPrepare { spec })
+        let Response::Prepared { prepared } =
+            svc.dispatch(&Request::RebuildPrepare { spec, delta: None })
         else {
             panic!("expected prepared");
         };
@@ -1611,7 +2108,7 @@ mod tests {
             Response::Error { error } => assert_eq!(error.code, ErrorCode::RebuildUnavailable),
             other => panic!("expected error, got {other:?}"),
         }
-        match svc.dispatch(&Request::RebuildPrepare { spec }) {
+        match svc.dispatch(&Request::RebuildPrepare { spec, delta: None }) {
             Response::Error { error } => assert_eq!(error.code, ErrorCode::RebuildUnavailable),
             other => panic!("expected error, got {other:?}"),
         }
@@ -2031,5 +2528,216 @@ mod tests {
             };
             assert_eq!(stats.generations, vec![2]);
         }
+    }
+
+    fn ingest_spec() -> PipelineSpec {
+        PipelineSpec::new(
+            fsi_pipeline::TaskSpec::act(),
+            fsi_pipeline::Method::MedianKd,
+            3,
+        )
+    }
+
+    fn ingest_service(shards: (usize, usize)) -> QueryService {
+        QueryService::new(Topology::partitioned(index(), shards.0, shards.1).unwrap())
+            .with_rebuild(dataset())
+            .with_ingest(fsi_pipeline::TaskSpec::act())
+            .unwrap()
+    }
+
+    #[test]
+    fn ingest_without_configuration_is_a_structured_error() {
+        let mut svc = service((1, 1));
+        match svc.dispatch(&Request::Ingest {
+            x: 0.5,
+            y: 0.5,
+            group: 0,
+            label: true,
+        }) {
+            Response::Error { error } => {
+                assert_eq!(error.code, ErrorCode::RebuildUnavailable);
+                assert!(error.message.contains("ingestion"), "{}", error.message);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_requires_a_rebuild_dataset() {
+        let err = service((1, 1))
+            .with_ingest(fsi_pipeline::TaskSpec::act())
+            .err()
+            .expect("with_ingest without a dataset must fail");
+        assert!(matches!(err, ServeError::Ingest(_)), "{err}");
+    }
+
+    #[test]
+    fn ingest_accepts_in_bounds_and_rejects_out_of_bounds() {
+        let mut svc = ingest_service((2, 2));
+        match svc.dispatch(&Request::Ingest {
+            x: 0.25,
+            y: 0.75,
+            group: 1,
+            label: true,
+        }) {
+            Response::Ingested {
+                accepted,
+                buffered,
+                generation,
+            } => {
+                assert_eq!(accepted, 1);
+                assert_eq!(buffered, 1);
+                assert_eq!(generation, 1);
+            }
+            other => panic!("expected ingested, got {other:?}"),
+        }
+        match svc.dispatch(&Request::Ingest {
+            x: 7.0,
+            y: 0.5,
+            group: 0,
+            label: false,
+        }) {
+            Response::Error { error } => assert_eq!(error.code, ErrorCode::OutOfBounds),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_batch_counts_only_landed_points() {
+        let mut svc = ingest_service((1, 1));
+        let points = vec![
+            fsi_proto::IngestBody::new(0.1, 0.2, 0, true),
+            fsi_proto::IngestBody::new(9.0, 9.0, 1, false), // out of bounds
+            fsi_proto::IngestBody::new(0.8, 0.9, 1, true),
+        ];
+        match svc.dispatch(&Request::IngestBatch { points }) {
+            Response::Ingested {
+                accepted, buffered, ..
+            } => {
+                assert_eq!(accepted, 2);
+                assert_eq!(buffered, 2);
+            }
+            other => panic!("expected ingested, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn manual_rebuild_merges_the_buffer_and_resets_it() {
+        let mut svc = ingest_service((2, 2)).with_metrics(true);
+        for i in 0..6u32 {
+            let response = svc.dispatch(&Request::Ingest {
+                x: 0.05 + 0.15 * f64::from(i),
+                y: 0.35,
+                group: i % 2,
+                label: i % 2 == 0,
+            });
+            assert!(matches!(response, Response::Ingested { .. }));
+        }
+        let Response::Rebuilt { report } = svc.dispatch(&Request::Rebuild {
+            spec: ingest_spec(),
+        }) else {
+            panic!("expected rebuilt");
+        };
+        assert_eq!(report.generation, 2);
+        assert_eq!(svc.topology().generations(), vec![2, 2, 2, 2]);
+        let ingest = svc
+            .metrics_snapshot()
+            .ingest
+            .expect("ingest telemetry missing");
+        assert_eq!(ingest.accepted, 6);
+        assert_eq!(ingest.buffered, 0, "rebuild must drain the buffer");
+        assert_eq!(ingest.drift_score, 0.0);
+        // The next ingest stacks on the new generation.
+        match svc.dispatch(&Request::Ingest {
+            x: 0.5,
+            y: 0.5,
+            group: 0,
+            label: true,
+        }) {
+            Response::Ingested { generation, .. } => assert_eq!(generation, 2),
+            other => panic!("expected ingested, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maintain_without_ingest_is_an_error() {
+        let mut svc = service((1, 1));
+        let err = svc
+            .maintain(&fsi_ingest::MaintenanceSpec::default(), &ingest_spec())
+            .expect_err("maintain without ingest must fail");
+        assert!(matches!(err, ServeError::IngestUnavailable), "{err}");
+    }
+
+    #[test]
+    fn maintain_publishes_on_occupancy_and_idles_when_quiet() {
+        let mut svc = ingest_service((2, 2)).with_metrics(true);
+        let policy = fsi_ingest::MaintenanceSpec {
+            drift_threshold: 1e18,
+            max_buffered: 4,
+            max_staleness_ms: 0,
+            poll_interval_ms: 1,
+        };
+        // Empty buffer: nothing due.
+        assert!(svc.maintain(&policy, &ingest_spec()).unwrap().is_none());
+        for i in 0..5u32 {
+            svc.dispatch(&Request::Ingest {
+                x: 0.1 + 0.18 * f64::from(i),
+                y: 0.6,
+                group: i % 2,
+                label: i % 2 == 1,
+            });
+        }
+        let generation = svc
+            .maintain(&policy, &ingest_spec())
+            .unwrap()
+            .expect("occupancy past max_buffered must trigger");
+        assert_eq!(generation, 2);
+        assert_eq!(svc.topology().generations(), vec![2, 2, 2, 2]);
+        // The trigger consumed the buffer; the next poll idles.
+        assert!(svc.maintain(&policy, &ingest_spec()).unwrap().is_none());
+        let body = svc.metrics_snapshot();
+        let ingest = body.ingest.expect("ingest telemetry missing");
+        assert_eq!(ingest.buffered, 0);
+        assert_eq!(
+            ingest.maintenance.count(),
+            1,
+            "maintenance histogram must record the pass"
+        );
+    }
+
+    #[test]
+    fn mixed_topology_ingest_keeps_the_coordinator_authoritative() {
+        let mut svc = mixed(Some(dataset()))
+            .with_ingest(fsi_pipeline::TaskSpec::act())
+            .unwrap();
+        // One point per quadrant: two land on local slots, two are
+        // forwarded (advisorily) to the stub remotes, which decline —
+        // the coordinator's buffer still accepts all four.
+        let quadrants = [(0.25, 0.25), (0.75, 0.25), (0.25, 0.75), (0.75, 0.75)];
+        for (i, (x, y)) in quadrants.into_iter().enumerate() {
+            match svc.dispatch(&Request::Ingest {
+                x,
+                y,
+                group: (i % 2) as u32,
+                label: i % 2 == 0,
+            }) {
+                Response::Ingested {
+                    accepted, buffered, ..
+                } => {
+                    assert_eq!(accepted, 1);
+                    assert_eq!(buffered, i as u64 + 1);
+                }
+                other => panic!("expected ingested, got {other:?}"),
+            }
+        }
+        // A manual rebuild ships the merged delta through the two-phase
+        // barrier; the stub remotes merge the same log and commit.
+        let Response::Rebuilt { report } = svc.dispatch(&Request::Rebuild {
+            spec: ingest_spec(),
+        }) else {
+            panic!("expected rebuilt");
+        };
+        assert_eq!(report.generation, 2);
+        assert_eq!(svc.topology().generations(), vec![2, 2, 2, 2]);
     }
 }

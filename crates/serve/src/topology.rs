@@ -223,6 +223,12 @@ impl ShardBackend for LocalShard {
                 ErrorCode::RebuildUnavailable,
                 "local shard backends are rebuilt by their coordinator",
             ),
+            // Same story for the write path: the coordinator owns the
+            // delta buffer; a bare local shard has nothing to append to.
+            Request::Ingest { .. } | Request::IngestBatch { .. } => Response::error(
+                ErrorCode::RebuildUnavailable,
+                "local shard backends ingest through their coordinator",
+            ),
             Request::RebuildCommit => match self.commit() {
                 Ok(generation) => Response::Committed { generation },
                 Err(e) => Response::error(ErrorCode::NotPrepared, e.to_string()),

@@ -20,7 +20,8 @@
 //! # HEIGHT: tree height (default 6)
 //!
 //! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH] \
-//!     [--cache N] [--topology FILE] [--shard-of IDX] [--listen ADDR] [--metrics]
+//!     [--cache N] [--topology FILE] [--shard-of IDX] [--listen ADDR] [--metrics] \
+//!     [--auto-rebuild]
 //! # --cache N:        LRU decision-cache capacity (default 4096, 0 disables)
 //! # --topology FILE:  serve a TopologySpec JSON ({"rows":R,"cols":C,"shards":[…]})
 //! #                   as the scatter-gather coordinator; "local" slots are served
@@ -32,11 +33,15 @@
 //! # --metrics:        print the Prometheus text exposition when the server
 //! #                   stops; with --listen the same text is scraped live
 //! #                   from GET /metrics
+//! # --auto-rebuild:   accept streamed observations (`ingest X Y G [L]` on the
+//! #                   REPL, `Ingest`/`IngestBatch` over HTTP) and retrain +
+//! #                   hot-swap in the background when the drift policy trips
 //! # then on stdin:   X Y                  → one decision per line
 //! #                  batch X1 Y1 X2 Y2 …  → batched decisions
 //! #                  rect X0 Y0 X1 Y1     → neighborhoods touching the box
 //! #                  stats                → per-shard generations / size / cache hit rate
 //! #                  metrics              → one-line telemetry snapshot
+//! #                  ingest X Y G [L]     → append one observation to the delta buffer
 //! #                  rebuild <spec JSON>  → retrain + hot-swap every shard
 //! #                  prepare <spec JSON> / commit → two-phase rebuild barrier
 //! ```
@@ -141,6 +146,10 @@ struct ServeConfig {
     /// (`--metrics`); with `--listen` it is also scraped live from
     /// `GET /metrics`.
     metrics: bool,
+    /// Enable streaming ingestion plus a background maintenance thread
+    /// that retrains and hot-swaps when the drift policy trips
+    /// (`--auto-rebuild`).
+    auto_rebuild: bool,
 }
 
 /// Loads the saved partition (building the default districting first
@@ -230,6 +239,30 @@ fn serve(dataset: &SpatialDataset, config: ServeConfig) -> Result<(), Box<dyn st
             config.cache_capacity
         );
     }
+    let maintenance = if config.auto_rebuild {
+        if config.shard_of.is_some() {
+            return Err(
+                "--auto-rebuild runs on the coordinator; shard servers merge \
+                 coordinator-shipped deltas without their own ingestion state"
+                    .into(),
+            );
+        }
+        service = service.with_ingest(TaskSpec::act())?;
+        let policy = fsi::MaintenanceSpec::default();
+        let spec = fsi::PipelineSpec::new(TaskSpec::act(), Method::FairKd, 6);
+        println!(
+            "auto-rebuild: drift threshold {}, max {} buffered, polling every {}ms \
+             (`ingest X Y G [L]` feeds the buffer)",
+            policy.drift_threshold, policy.max_buffered, policy.poll_interval_ms
+        );
+        Some(fsi::MaintenanceHandle::spawn(
+            service.clone(),
+            policy,
+            spec,
+        )?)
+    } else {
+        None
+    };
 
     if let Some(addr) = &config.listen {
         let server = fsi::HttpServer::bind(service, addr.as_str())?;
@@ -253,6 +286,12 @@ fn serve(dataset: &SpatialDataset, config: ServeConfig) -> Result<(), Box<dyn st
             None
         };
         server.shutdown();
+        if let Some(handle) = maintenance {
+            println!(
+                "auto-rebuild published {} maintenance rebuilds",
+                handle.stop()
+            );
+        }
         if let Some(text) = parting {
             print!("{text}");
         }
@@ -266,6 +305,12 @@ fn serve(dataset: &SpatialDataset, config: ServeConfig) -> Result<(), Box<dyn st
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let stats = repl::serve_queries(&mut service, stdin.lock(), &mut stdout)?;
+    if let Some(handle) = maintenance {
+        println!(
+            "auto-rebuild published {} maintenance rebuilds",
+            handle.stop()
+        );
+    }
     eprintln!(
         "served {} queries ({} answered with errors)",
         stats.answered + stats.errors,
@@ -289,6 +334,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             shard_of: None,
             listen: None,
             metrics: false,
+            auto_rebuild: false,
         };
         let mut csv_path = None;
         let mut rest = args[1..].iter().map(String::as_str);
@@ -322,6 +368,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     config.listen = Some(addr.to_string());
                 }
                 "--metrics" => config.metrics = true,
+                "--auto-rebuild" => config.auto_rebuild = true,
                 _ => csv_path = Some(arg),
             }
         }

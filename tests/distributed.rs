@@ -6,8 +6,8 @@
 //! under concurrent keep-alive clients.
 
 use fsi::{
-    BackendSpec, DecisionBody, Method, Pipeline, Request, Response, TaskSpec, TopologySpec,
-    WirePoint, WireRect,
+    BackendSpec, DecisionBody, IngestBody, MaintenanceSpec, Method, Pipeline, Request, Response,
+    TaskSpec, TopologySpec, WirePoint, WireRect,
 };
 use fsi_data::synth::city::{CityConfig, CityGenerator};
 use fsi_data::SpatialDataset;
@@ -458,4 +458,404 @@ fn failed_prepares_leave_every_shard_on_the_old_generation() {
         other => panic!("expected not_prepared, got {other:?}"),
     }
     shard0.shutdown();
+}
+
+/// The streamed wave the maintenance tests feed: points spread over all
+/// four quadrants (so every shard — local and remote — owns some), one
+/// drifting cohort, deterministic order.
+fn streamed_wave(grid: &Grid, n: u32) -> Vec<IngestBody> {
+    let b = *grid.bounds();
+    (0..n)
+        .map(|i| {
+            let fx = 0.05 + 0.9 * f64::from(i % 10) / 10.0;
+            let fy = 0.05 + 0.9 * f64::from((i / 10) % 10) / 10.0;
+            IngestBody::new(
+                b.min_x + fx * b.width(),
+                b.min_y + fy * b.height(),
+                i % 2,
+                i % 3 != 0,
+            )
+        })
+        .collect()
+}
+
+/// The maintenance differential property: after streamed points trip a
+/// maintenance pass on a coordinator whose remote shards are real HTTP
+/// servers, every decision — local or routed across the wire — is
+/// **bit-identical** to a from-scratch retrain on seed ∪ streamed
+/// points. The coordinator ships its full ordered ingest log as the
+/// two-phase prepare's delta, so the remote shards (which never saw an
+/// `Ingest` request) merge exactly the same dataset.
+#[test]
+fn drift_triggered_maintenance_is_bit_exact_with_a_from_scratch_retrain() {
+    let d = dataset();
+    let policy = MaintenanceSpec {
+        drift_threshold: 1e18, // only occupancy triggers here
+        max_buffered: 64,
+        max_staleness_ms: 0,
+        poll_interval_ms: 5,
+    };
+    let serving = Pipeline::on(&d)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(5)
+        .run()
+        .unwrap()
+        .serve_with_ingest(policy.clone())
+        .unwrap();
+
+    let local_spec = TopologySpec::local(2, 2);
+    let shard1 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 1).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let shard2 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 2).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let spec = TopologySpec {
+        rows: 2,
+        cols: 2,
+        shards: vec![
+            BackendSpec::Local,
+            BackendSpec::Http(shard1.addr().to_string()),
+            BackendSpec::Http(shard2.addr().to_string()),
+            BackendSpec::Local,
+        ],
+    };
+    let mut coordinator = serving.service_over(&spec).unwrap();
+
+    let bodies = streamed_wave(d.grid(), 96);
+    match coordinator.dispatch(&Request::IngestBatch {
+        points: bodies.clone(),
+    }) {
+        Response::Ingested {
+            accepted, buffered, ..
+        } => {
+            assert_eq!(accepted, 96);
+            assert_eq!(buffered, 96);
+        }
+        other => panic!("expected ingested, got {other:?}"),
+    }
+
+    // 96 buffered > 64 allowed: the next poll is due and publishes.
+    let pspec = serving.spec().clone();
+    let generation = coordinator
+        .maintain(&policy, &pspec)
+        .unwrap()
+        .expect("occupancy past the policy must trigger a rebuild");
+    assert_eq!(generation, 2);
+
+    // From-scratch reference: retrain on seed ∪ streamed points, merged
+    // in stream order — exactly what every shard must now be serving.
+    let records: Vec<fsi_ingest::IngestRecord> = bodies
+        .iter()
+        .enumerate()
+        .map(|(i, p)| fsi_ingest::IngestRecord::from_wire(i as u64, p))
+        .collect();
+    let merged = fsi_ingest::merge_dataset(&d, &TaskSpec::act(), &records).unwrap();
+    let (reference, _run) = fsi_serve::build_index(&merged, &pspec).unwrap();
+
+    for p in query_points(d.grid(), 300, 41) {
+        let expected: DecisionBody = reference.lookup(&p).unwrap().into();
+        let got = expect_decision(coordinator.dispatch(&Request::Lookup { x: p.x, y: p.y }));
+        assert_eq!(got, expected, "post-maintenance decision at {p:?}");
+        assert_eq!(got.raw_score.to_bits(), expected.raw_score.to_bits());
+        assert_eq!(
+            got.calibrated_score.to_bits(),
+            expected.calibrated_score.to_bits()
+        );
+    }
+    match coordinator.dispatch(&Request::Stats) {
+        Response::Stats { stats } => assert_eq!(stats.generations, vec![2, 2, 2, 2]),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    shard1.shutdown();
+    shard2.shutdown();
+}
+
+/// Streaming ingestion under fire: keep-alive readers hammer a
+/// coordinator over two real HTTP shard servers while a writer streams
+/// batches and a background maintenance thread republishes whenever the
+/// occupancy policy trips. No request fails, every decision is complete
+/// and in-range, the generation floor never regresses — and after the
+/// storm one forced merge brings every shard to a state bit-identical
+/// to a from-scratch retrain on seed ∪ everything streamed.
+#[test]
+fn auto_rebuilds_under_concurrent_ingest_and_reads_stay_untorn() {
+    const READERS: usize = 3;
+    const REQUESTS_PER_READER: usize = 60;
+    const WAVES: u32 = 12;
+    const WAVE_LEN: u32 = 16;
+
+    let d = dataset();
+    let policy = MaintenanceSpec {
+        drift_threshold: 1e18,
+        max_buffered: 48,
+        max_staleness_ms: 0,
+        poll_interval_ms: 5,
+    };
+    let serving = Pipeline::on(&d)
+        .task(TaskSpec::act())
+        .method(Method::MedianKd)
+        .height(3)
+        .run()
+        .unwrap()
+        .serve_with_ingest(policy)
+        .unwrap();
+
+    let local_spec = TopologySpec::local(1, 2);
+    let shard0 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 0).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let shard1 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 1).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let spec = TopologySpec {
+        rows: 1,
+        cols: 2,
+        shards: vec![
+            BackendSpec::Http(shard0.addr().to_string()),
+            BackendSpec::Http(shard1.addr().to_string()),
+        ],
+    };
+    let coordinator_service = serving.service_over(&spec).unwrap();
+    let maintenance = serving.spawn_maintenance(&coordinator_service).unwrap();
+    let coordinator =
+        fsi::HttpServer::bind_with(coordinator_service, "127.0.0.1:0", READERS + 2).unwrap();
+    let addr = coordinator.addr();
+
+    let b = *d.grid().bounds();
+    let hot: Vec<Point> = (0..8)
+        .map(|i| {
+            Point::new(
+                b.min_x + (0.06 + 0.12 * i as f64) * b.width(),
+                b.min_y + (0.9 - 0.1 * i as f64) * b.height(),
+            )
+        })
+        .collect();
+
+    let all_bodies: Vec<IngestBody> = streamed_wave(d.grid(), WAVES * WAVE_LEN);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for worker in 0..READERS {
+            let hot = &hot;
+            readers.push(scope.spawn(move || {
+                let mut client = fsi::HttpClient::connect(addr).expect("reader connects");
+                let mut rng = StdRng::seed_from_u64(900 + worker as u64);
+                let mut floor = 1u64;
+                for i in 0..REQUESTS_PER_READER {
+                    if i % 12 == 0 {
+                        match client.call(&Request::Stats).expect("stats round-trip") {
+                            Response::Stats { stats } => {
+                                let min = stats.generations.iter().copied().min().unwrap();
+                                assert!(
+                                    min >= floor,
+                                    "generation floor went backwards: {floor} -> {min}"
+                                );
+                                floor = min;
+                            }
+                            other => panic!("expected stats, got {other:?}"),
+                        }
+                    } else {
+                        let p = &hot[rng.random_range(0..hot.len())];
+                        let got = expect_decision(
+                            client
+                                .call(&Request::Lookup { x: p.x, y: p.y })
+                                .expect("lookup round-trip"),
+                        );
+                        assert!(
+                            (0.0..=1.0).contains(&got.calibrated_score),
+                            "torn decision: {got:?}"
+                        );
+                    }
+                }
+                floor
+            }));
+        }
+
+        // The single writer: one wave per round-trip, so the
+        // coordinator's ingest log order is the submission order.
+        let writer = scope.spawn(|| {
+            let mut client = fsi::HttpClient::connect(addr).expect("writer connects");
+            let mut streamed = 0u64;
+            for wave in all_bodies.chunks(WAVE_LEN as usize) {
+                match client
+                    .call(&Request::IngestBatch {
+                        points: wave.to_vec(),
+                    })
+                    .expect("ingest round-trip")
+                {
+                    Response::Ingested { accepted, .. } => streamed += accepted,
+                    other => panic!("expected ingested, got {other:?}"),
+                }
+            }
+            streamed
+        });
+
+        assert_eq!(
+            writer.join().expect("writer survived"),
+            u64::from(WAVES * WAVE_LEN)
+        );
+        for reader in readers {
+            assert!(reader.join().expect("reader survived") >= 1);
+        }
+    });
+
+    // Stop the background thread, then force one final merge so the
+    // published state covers every streamed point.
+    let background_rebuilds = maintenance.stop();
+    assert!(
+        background_rebuilds >= 1,
+        "the occupancy policy must have tripped at least once"
+    );
+    let pspec = serving.spec().clone();
+    match fsi::http::query_once(
+        addr,
+        &Request::Rebuild {
+            spec: pspec.clone(),
+        },
+    )
+    .unwrap()
+    {
+        Response::Rebuilt { .. } => {}
+        other => panic!("expected rebuilt, got {other:?}"),
+    }
+
+    // Differential closure: the fleet now serves exactly the index a
+    // from-scratch retrain on seed ∪ all streamed points produces.
+    let records: Vec<fsi_ingest::IngestRecord> = all_bodies
+        .iter()
+        .enumerate()
+        .map(|(i, p)| fsi_ingest::IngestRecord::from_wire(i as u64, p))
+        .collect();
+    let merged = fsi_ingest::merge_dataset(&d, &TaskSpec::act(), &records).unwrap();
+    let (reference, _run) = fsi_serve::build_index(&merged, &pspec).unwrap();
+    let mut client = fsi::HttpClient::connect(addr).unwrap();
+    for p in query_points(d.grid(), 150, 53) {
+        let expected: DecisionBody = reference.lookup(&p).unwrap().into();
+        let got = expect_decision(
+            client
+                .call(&Request::Lookup { x: p.x, y: p.y })
+                .expect("post-storm lookup"),
+        );
+        assert_eq!(got, expected, "post-storm decision at {p:?}");
+    }
+
+    coordinator.shutdown();
+    shard0.shutdown();
+    shard1.shutdown();
+}
+
+/// The parallel scatter-gather fan-out answers exactly what querying
+/// each shard one at a time answers: range queries equal the sequential
+/// per-shard union, per-shard stats equal each shard's own report, and
+/// a metrics scrape carries every remote shard's snapshot.
+#[test]
+fn parallel_fanout_matches_sequential_per_shard_answers() {
+    let d = dataset();
+    let serving = Pipeline::on(&d)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(5)
+        .run()
+        .unwrap()
+        .serve()
+        .unwrap();
+
+    let local_spec = TopologySpec::local(2, 2);
+    let shard1 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 1).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let shard2 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 2).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let spec = TopologySpec {
+        rows: 2,
+        cols: 2,
+        shards: vec![
+            BackendSpec::Local,
+            BackendSpec::Http(shard1.addr().to_string()),
+            BackendSpec::Http(shard2.addr().to_string()),
+            BackendSpec::Local,
+        ],
+    };
+    let mut coordinator = serving.service_over(&spec).unwrap().with_metrics(true);
+
+    // Range queries: the coordinator's (concurrent) scatter-gather
+    // equals the union of asking every shard sequentially.
+    let sequential_shard = |shard: usize, rect: WireRect| -> Vec<usize> {
+        let response = match shard {
+            1 => fsi::http::query_once(shard1.addr(), &Request::RangeQuery { rect }).unwrap(),
+            2 => fsi::http::query_once(shard2.addr(), &Request::RangeQuery { rect }).unwrap(),
+            _ => serving
+                .service_shard(&local_spec, shard)
+                .unwrap()
+                .dispatch(&Request::RangeQuery { rect }),
+        };
+        match response {
+            Response::Regions { ids } => ids,
+            other => panic!("expected regions from shard {shard}, got {other:?}"),
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(67);
+    for _ in 0..25 {
+        let (x0, x1) = (rng.random::<f64>(), rng.random::<f64>());
+        let (y0, y1) = (rng.random::<f64>(), rng.random::<f64>());
+        let rect = WireRect::new(x0.min(x1), y0.min(y1), x0.max(x1) + 1e-9, y0.max(y1) + 1e-9);
+        let mut sequential: Vec<usize> = (0..4).flat_map(|s| sequential_shard(s, rect)).collect();
+        sequential.sort_unstable();
+        sequential.dedup();
+        match coordinator.dispatch(&Request::RangeQuery { rect }) {
+            Response::Regions { ids } => assert_eq!(ids, sequential, "{rect:?}"),
+            other => panic!("expected regions, got {other:?}"),
+        }
+    }
+
+    // Stats: the fanned-out per-shard reports equal each remote shard's
+    // own answer.
+    match coordinator.dispatch(&Request::Stats) {
+        Response::Stats { stats } => {
+            let per_shard = stats.per_shard.expect("topology stats are per-shard");
+            for (shard, server) in [(1, shard1.addr()), (2, shard2.addr())] {
+                let own = match fsi::http::query_once(server, &Request::Stats).unwrap() {
+                    Response::Stats { stats } => stats,
+                    other => panic!("expected stats, got {other:?}"),
+                };
+                let via = &per_shard[shard];
+                assert_eq!(via.generation, own.generations[0]);
+                assert_eq!(via.num_leaves, own.num_leaves);
+                assert_eq!(via.heap_bytes, own.heap_bytes);
+                assert_eq!(via.backend, own.backend);
+            }
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // Metrics: the concurrent scrape still gathers every remote
+    // shard's own snapshot into its slot.
+    match coordinator.dispatch(&Request::Metrics) {
+        Response::Metrics { metrics } => {
+            assert!(metrics.shards[1].remote.is_some(), "shard 1 scraped");
+            assert!(metrics.shards[2].remote.is_some(), "shard 2 scraped");
+            assert!(
+                metrics.shards[0].remote.is_none(),
+                "local shards have no remote scrape"
+            );
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+
+    shard1.shutdown();
+    shard2.shutdown();
 }
