@@ -1,0 +1,12 @@
+//! `cargo bench` harness for the resilience suite at full size; the
+//! measurement code lives in [`fsi_bench::suites::resil`].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::suites::{resil, Profile};
+
+fn benches_full(c: &mut Criterion) {
+    resil::register(c, &Profile::full());
+}
+
+criterion_group!(benches, benches_full);
+criterion_main!(benches);

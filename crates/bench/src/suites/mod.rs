@@ -1,4 +1,4 @@
-//! The ten benchmark suites, parameterized by a size [`Profile`].
+//! The eleven benchmark suites, parameterized by a size [`Profile`].
 //!
 //! Each suite exposes `register(c, profile)` so the same measurement code
 //! drives both entry points:
@@ -6,7 +6,7 @@
 //! * the classic `cargo bench` harnesses in `benches/*.rs` (one binary
 //!   per suite, full-size datasets);
 //! * the `fsi-bench` runner binary (`cargo run -p fsi-bench --bin
-//!   runner`), which runs all ten suites in one process under either
+//!   runner`), which runs all eleven suites in one process under either
 //!   the `--smoke` or `--full` profile and records the repo's perf
 //!   baseline.
 //!
@@ -24,6 +24,7 @@ pub mod metrics;
 pub mod ml_training;
 pub mod obs;
 pub mod proto;
+pub mod resil;
 pub mod serving;
 pub mod split_search;
 
@@ -107,7 +108,7 @@ impl Profile {
     }
 }
 
-/// Registers all ten suites on one driver, in baseline order.
+/// Registers all eleven suites on one driver, in baseline order.
 pub fn register_all(c: &mut Criterion, profile: &Profile) {
     construction::register(c, profile);
     split_search::register(c, profile);
@@ -119,6 +120,7 @@ pub fn register_all(c: &mut Criterion, profile: &Profile) {
     dist::register(c, profile);
     obs::register(c, profile);
     ingest::register(c, profile);
+    resil::register(c, profile);
 }
 
 #[cfg(test)]

@@ -45,8 +45,10 @@ use fsi_proto::{
     decode_request, decode_response, encode_response, ErrorBody, ErrorCode, HttpObsBody,
     ProtoError, Request, Response,
 };
+use fsi_resil::{ReplicaSet, ResiliencePolicy};
 use fsi_serve::{
-    prometheus_text, QueryService, ServeError, ShardBackend, ShardDescriptor, TransportStats,
+    prometheus_text, QueryService, ServeError, ShardBackend, ShardDescriptor, SlotConnector,
+    TransportStats,
 };
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -731,13 +733,15 @@ pub fn scrape_metrics(addr: impl ToSocketAddrs) -> Result<String, FsiError> {
 /// shard — requests to *different* shards still run in parallel, which
 /// is what the two-phase rebuild fan-out needs).
 ///
-/// A transport failure drops the dead connection and redials once
+/// A transport failure drops the dead connection and redials (once by
+/// default, [`RemoteShard::with_reconnect_attempts`] to raise it)
 /// before answering a structured [`ErrorCode::Internal`] error, so a
 /// shard-server restart costs one failed round-trip, not a coordinator
 /// restart.
 pub struct RemoteShard {
     addr: String,
     client: Mutex<Option<HttpClient>>,
+    reconnect_attempts: u32,
     reconnects: Counter,
     failures: Counter,
 }
@@ -754,9 +758,19 @@ impl RemoteShard {
         Ok(Self {
             addr: addr.to_string(),
             client: Mutex::new(Some(client)),
+            reconnect_attempts: 1,
             reconnects: Counter::new(),
             failures: Counter::new(),
         })
+    }
+
+    /// How many fresh connections one failed round-trip may dial before
+    /// giving up (default 1; clamped to at least 1). Raising it rides
+    /// out servers that reap idle keep-alive connections *and* are slow
+    /// to accept the replacement dial.
+    pub fn with_reconnect_attempts(mut self, attempts: u32) -> Self {
+        self.reconnect_attempts = attempts.max(1);
+        self
     }
 
     /// The connector `fsi_serve::Topology::from_spec` expects: dials
@@ -766,25 +780,33 @@ impl RemoteShard {
         |addr| Ok(Box::new(RemoteShard::connect(addr)?) as Box<dyn ShardBackend>)
     }
 
-    /// One round-trip, reconnecting once on a transport failure.
+    /// One round-trip, redialing up to `reconnect_attempts` times on a
+    /// transport failure.
     fn call(&self, request: &Request) -> Result<Response, FsiError> {
         let mut slot = self.client.lock().unwrap_or_else(|e| e.into_inner());
-        let reconnected = match slot.take() {
-            Some(mut client) => match client.call(request) {
-                Ok(response) => {
-                    *slot = Some(client);
-                    return Ok(response);
-                }
-                // The connection is dead (server restarted, idle
-                // keep-alive reaped, …): drop it and redial below.
-                Err(_) => self.redial()?,
-            },
-            None => self.redial()?,
-        };
-        let mut client = reconnected;
-        let response = client.call(request)?;
-        *slot = Some(client);
-        Ok(response)
+        if let Some(mut client) = slot.take() {
+            // A failed call means the connection is dead (server
+            // restarted, idle keep-alive reaped, …): drop it and
+            // redial below.
+            if let Ok(response) = client.call(request) {
+                *slot = Some(client);
+                return Ok(response);
+            }
+        }
+        let mut last: Option<FsiError> = None;
+        for _ in 0..self.reconnect_attempts.max(1) {
+            match self.redial() {
+                Ok(mut client) => match client.call(request) {
+                    Ok(response) => {
+                        *slot = Some(client);
+                        return Ok(response);
+                    }
+                    Err(e) => last = Some(e),
+                },
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one redial attempt ran"))
     }
 
     /// Dials a replacement connection, counting the reconnect whether
@@ -828,6 +850,56 @@ impl ShardBackend for RemoteShard {
             reconnects: self.reconnects.get(),
             failures: self.failures.get(),
         })
+    }
+}
+
+/// The resilience-aware [`SlotConnector`]: HTTP slots dial through
+/// [`RemoteShard`] exactly like [`RemoteShard::connector`], and
+/// `{"replicas": [...]}` slots additionally wrap their members in an
+/// [`fsi_resil::ReplicaSet`] dispatching under `policy` — retries,
+/// hedging, per-replica circuit breakers. Hand it to
+/// [`fsi_serve::Topology::from_spec`] (or use
+/// [`crate::Serving::service_over_with`]) to build a replicated
+/// topology.
+pub struct ResilientConnector {
+    policy: ResiliencePolicy,
+    reconnect_attempts: u32,
+}
+
+impl ResilientConnector {
+    /// A connector building replica sets under `policy`. The policy is
+    /// validated when the first replica slot is built (construction
+    /// cannot fail, so an invalid policy surfaces as an
+    /// `InvalidTopology` error from `Topology::from_spec`).
+    pub fn new(policy: ResiliencePolicy) -> Self {
+        Self {
+            policy,
+            reconnect_attempts: 1,
+        }
+    }
+
+    /// Sets [`RemoteShard::with_reconnect_attempts`] on every HTTP
+    /// member this connector dials.
+    pub fn with_reconnect_attempts(mut self, attempts: u32) -> Self {
+        self.reconnect_attempts = attempts.max(1);
+        self
+    }
+}
+
+impl SlotConnector for ResilientConnector {
+    fn connect(&self, addr: &str) -> Result<Box<dyn ShardBackend>, ServeError> {
+        Ok(Box::new(
+            RemoteShard::connect(addr)?.with_reconnect_attempts(self.reconnect_attempts),
+        ))
+    }
+
+    fn replica_set(
+        &self,
+        members: Vec<Box<dyn ShardBackend>>,
+    ) -> Result<Box<dyn ShardBackend>, ServeError> {
+        ReplicaSet::new(members, self.policy.clone())
+            .map(|set| Box::new(set) as Box<dyn ShardBackend>)
+            .map_err(|e| ServeError::InvalidTopology(e.to_string()))
     }
 }
 

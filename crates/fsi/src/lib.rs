@@ -52,7 +52,7 @@ pub mod pipeline;
 pub mod repl;
 
 pub use error::FsiError;
-pub use http::{scrape_metrics, HttpClient, HttpServer, RemoteShard};
+pub use http::{scrape_metrics, HttpClient, HttpServer, RemoteShard, ResilientConnector};
 pub use multi::{MultiPipeline, MultiRun};
 pub use pipeline::{Pipeline, Run, RunReport, Serving};
 
@@ -67,13 +67,18 @@ pub use fsi_pipeline::{
 };
 pub use fsi_proto::{
     decode_request, decode_response, encode_request, encode_response, CacheStatsBody, DecisionBody,
-    ErrorBody, ErrorCode, HttpObsBody, IngestBody, IngestObsBody, MetricsBody, PreparedBody,
-    ProtoError, RebuildObsBody, Request, RequestKindMetrics, Response, ShardObsBody,
-    ShardStatsBody, StatsBody, WirePoint, WireRect, PROTO_VERSION,
+    ErrorBody, ErrorCode, HealthBody, HttpObsBody, IngestBody, IngestObsBody, MetricsBody,
+    PreparedBody, ProtoError, RebuildObsBody, ReplicaHealthBody, Request, RequestKindMetrics,
+    Response, ShardHealthBody, ShardObsBody, ShardStatsBody, StatsBody, WirePoint, WireRect,
+    PROTO_VERSION,
+};
+pub use fsi_resil::{
+    ChaosShard, ChaosSwitch, CircuitBreaker, ReplicaSet, ResilError, ResiliencePolicy,
 };
 pub use fsi_serve::{
     prometheus_text, BackendSpec, CacheError, CacheScope, CacheSpec, CacheStats, Decision,
     FrozenIndex, IndexHandle, IndexReader, IngestError, LocalShard, MaintenanceHandle,
     MaintenanceSpec, MaintenanceTrigger, QueryService, RebuildReport, Rebuilder, ShardBackend,
-    ShardDescriptor, SlowQueryRecord, SlowQuerySink, Topology, TopologySpec, TransportStats,
+    ShardDescriptor, SlotConnector, SlowQueryRecord, SlowQuerySink, Topology, TopologySpec,
+    TransportStats,
 };

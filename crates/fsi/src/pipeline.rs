@@ -497,6 +497,29 @@ impl Serving<'_> {
         ))
     }
 
+    /// [`Serving::service_over`] with a resilience `policy`: topology
+    /// slots of the `{"replicas": [...]}` form are wrapped in an
+    /// [`fsi_resil::ReplicaSet`] (retries, hedging, per-replica circuit
+    /// breakers — see [`crate::http::ResilientConnector`]), and every
+    /// HTTP member dials through a [`crate::http::RemoteShard`] whose
+    /// reconnect budget follows the policy's attempt budget. Specs
+    /// without replica slots build identically to
+    /// [`Serving::service_over`].
+    pub fn service_over_with(
+        &self,
+        spec: &TopologySpec,
+        policy: fsi_resil::ResiliencePolicy,
+    ) -> Result<QueryService, FsiError> {
+        let reconnects = policy.max_attempts.max(1);
+        let connector =
+            crate::http::ResilientConnector::new(policy).with_reconnect_attempts(reconnects);
+        let index = self.handle.load().as_ref().clone();
+        let topology = Topology::from_spec(spec, index, connector).map_err(FsiError::from)?;
+        Ok(self.apply_ingest(
+            self.apply_cache(QueryService::new(topology).with_rebuild(self.shared_dataset())),
+        ))
+    }
+
     /// The service a **shard server** runs for slot `shard` of the
     /// topology `spec` describes: a single-shard service over the
     /// partial index clipped to that slot's sub-rectangle. A coordinator

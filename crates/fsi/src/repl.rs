@@ -19,6 +19,9 @@
 //! * `metrics` — the telemetry snapshot ([`Request::Metrics`]):
 //!   per-kind request counts with latency quantiles, error totals,
 //!   cache counters and per-shard transport health;
+//! * `health` — the fleet health picture ([`Request::Health`]): one
+//!   segment per shard with its state (`up`/`degraded`/`down`) and,
+//!   for replicated slots, each replica's circuit-breaker state;
 //! * `ingest X Y G [L]` — append one observed point to the delta
 //!   buffer ([`Request::Ingest`]): coordinates, cohort group `G`, and
 //!   an optional observed outcome `L` (`0`/`1`/`true`/`false`,
@@ -55,6 +58,7 @@ pub fn parse_line(line: &str) -> Option<Result<Request, String>> {
         [] => return None,
         ["stats"] => Ok(Request::Stats),
         ["metrics"] => Ok(Request::Metrics),
+        ["health"] => Ok(Request::Health),
         ["rect", x0, y0, x1, y1] => match (x0.parse(), y0.parse(), x1.parse(), y1.parse()) {
             (Ok(x0), Ok(y0), Ok(x1), Ok(y1)) => Ok(Request::RangeQuery {
                 rect: WireRect::new(x0, y0, x1, y1),
@@ -217,6 +221,31 @@ pub fn format_response(response: &Response) -> String {
                         shard.requests,
                         shard.failures,
                         shard.reconnects
+                    ));
+                }
+            }
+            line
+        }
+        Response::Health { health } => {
+            let overall = if health.all_up() { "up" } else { "degraded" };
+            let mut line = format!("health: {overall}");
+            for shard in &health.shards {
+                line.push_str(&format!(
+                    " shard#{}: {}@{} state={}",
+                    shard.shard,
+                    shard.kind,
+                    shard.addr.as_deref().unwrap_or("-"),
+                    shard.state
+                ));
+                for r in &shard.replicas {
+                    line.push_str(&format!(
+                        " replica#{}.{}: {}@{} breaker={} failures={}",
+                        shard.shard,
+                        r.replica,
+                        r.kind,
+                        r.addr.as_deref().unwrap_or("-"),
+                        r.state,
+                        r.consecutive_failures
                     ));
                 }
             }
@@ -418,6 +447,14 @@ mod tests {
         assert!(a.starts_with("metrics: requests=3 generation=1"), "{a}");
         assert!(a.contains("lookup: count=3 p50_us="), "{a}");
         assert!(a.contains("error[out_of_bounds]=1"), "{a}");
+    }
+
+    #[test]
+    fn health_command_reports_per_shard_state() {
+        let mut svc = service();
+        let a = answer_line(&mut svc, "health").unwrap();
+        assert!(a.starts_with("health: up"), "{a}");
+        assert!(a.contains("shard#0: local@- state=up"), "{a}");
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub use message::{
     Response, ResponseEnvelope, PROTO_VERSION,
 };
 pub use wire::{
-    CacheStatsBody, DecisionBody, ErrorBody, ErrorCode, ErrorCountBody, HttpObsBody, IngestBody,
-    IngestObsBody, MetricsBody, PreparedBody, RebuildObsBody, RebuildReport, RequestKindMetrics,
-    ShardObsBody, ShardStatsBody, StatsBody, WirePoint, WireRect,
+    CacheStatsBody, DecisionBody, ErrorBody, ErrorCode, ErrorCountBody, HealthBody, HttpObsBody,
+    IngestBody, IngestObsBody, MetricsBody, PreparedBody, RebuildObsBody, RebuildReport,
+    ReplicaHealthBody, RequestKindMetrics, ShardHealthBody, ShardObsBody, ShardStatsBody,
+    StatsBody, WirePoint, WireRect,
 };

@@ -2,8 +2,8 @@
 
 use crate::error::ProtoError;
 use crate::wire::{
-    DecisionBody, ErrorBody, IngestBody, MetricsBody, PreparedBody, RebuildReport, StatsBody,
-    WirePoint, WireRect,
+    DecisionBody, ErrorBody, HealthBody, IngestBody, MetricsBody, PreparedBody, RebuildReport,
+    StatsBody, WirePoint, WireRect,
 };
 use fsi_pipeline::PipelineSpec;
 use serde::{Deserialize, Serialize};
@@ -94,6 +94,10 @@ pub enum Request {
     /// topology-aware coordinator scatter-gathers the snapshots of its
     /// remote shards into [`crate::ShardObsBody::remote`].
     Metrics,
+    /// Fleet health: per-shard breaker state and replica counters from
+    /// the resilience layer. Cheap — answered from coordinator-local
+    /// atomics, no scatter-gather round-trips.
+    Health,
 }
 
 impl Request {
@@ -135,7 +139,9 @@ impl Request {
                 }
                 Ok(())
             }
-            Request::RebuildCommit | Request::RebuildAbort | Request::Metrics => Ok(()),
+            Request::RebuildCommit | Request::RebuildAbort | Request::Metrics | Request::Health => {
+                Ok(())
+            }
         }
     }
 }
@@ -206,6 +212,11 @@ pub enum Response {
         /// The merged telemetry snapshot (boxed; see
         /// [`Response::Stats`]).
         metrics: Box<MetricsBody>,
+    },
+    /// Answer to [`Request::Health`].
+    Health {
+        /// The fleet health snapshot (boxed; see [`Response::Stats`]).
+        health: Box<HealthBody>,
     },
     /// Any failure, with a machine-readable code.
     Error {
@@ -336,6 +347,7 @@ mod tests {
             Request::RebuildCommit,
             Request::RebuildAbort,
             Request::Metrics,
+            Request::Health,
         ]
     }
 
@@ -379,8 +391,19 @@ mod tests {
                         num_leaves: 256,
                         heap_bytes: 13300,
                         backend: "tree".into(),
+                        unreachable: None,
+                        error: None,
                     }]),
                     metrics: None,
+                    health: Some(Box::new(HealthBody {
+                        shards: vec![crate::ShardHealthBody {
+                            shard: 0,
+                            kind: "http".into(),
+                            addr: Some("10.0.0.7:7878".into()),
+                            state: "up".into(),
+                            replicas: Vec::new(),
+                        }],
+                    })),
                 }),
             },
             Response::Rebuilt {
@@ -405,6 +428,17 @@ mod tests {
             Response::Aborted,
             Response::Metrics {
                 metrics: Box::new(MetricsBody::empty()),
+            },
+            Response::Health {
+                health: Box::new(HealthBody {
+                    shards: vec![crate::ShardHealthBody {
+                        shard: 0,
+                        kind: "local".into(),
+                        addr: None,
+                        state: "up".into(),
+                        replicas: Vec::new(),
+                    }],
+                }),
             },
             Response::error(ErrorCode::OutOfBounds, "point (2, 2) is outside the map"),
         ]
@@ -492,6 +526,41 @@ mod tests {
             decode_response(old_response).unwrap(),
             Response::Committed { generation: 5 }
         );
+    }
+
+    #[test]
+    fn pre_resilience_envelopes_still_decode() {
+        // Captured from a pre-resilience peer: a v1 envelope whose
+        // vocabulary has no Health variant and whose per_shard entries
+        // carry no unreachable/error markers. Both directions must keep
+        // decoding (same pattern as `pre_metrics_envelopes_still_decode`).
+        let old_request = r#"{"v":1,"body":"Metrics"}"#;
+        assert_eq!(decode_request(old_request).unwrap(), Request::Metrics);
+        let old_response = r#"{"v":1,"body":{"Stats":{"stats":{
+            "shards": 2,
+            "generations": [5, 5],
+            "num_leaves": 512,
+            "heap_bytes": 24576,
+            "backend": "tree",
+            "per_shard": [
+                {"kind": "local", "addr": null, "generation": 5,
+                 "num_leaves": 256, "heap_bytes": 12288, "backend": "tree"},
+                {"kind": "http", "addr": "10.0.0.7:7878", "generation": 5,
+                 "num_leaves": 256, "heap_bytes": 12288, "backend": "tree"}
+            ]
+        }}}}"#;
+        let Response::Stats { stats } = decode_response(old_response).unwrap() else {
+            panic!("pre-resilience Stats envelope must still decode");
+        };
+        assert_eq!(stats.health, None, "missing health must decode as None");
+        let per_shard = stats.per_shard.unwrap();
+        assert_eq!(per_shard[1].unreachable, None);
+        assert_eq!(per_shard[1].error, None);
+        // The new Health vocabulary round-trips as a bare unit variant,
+        // exactly like Stats/Metrics.
+        let wire = encode_request(&Request::Health);
+        assert_eq!(wire, r#"{"v":1,"body":"Health"}"#);
+        assert_eq!(decode_request(&wire).unwrap(), Request::Health);
     }
 
     #[test]
@@ -656,6 +725,7 @@ mod tests {
                     cache,
                     per_shard: None,
                     metrics: None,
+                    health: None,
                 }),
             };
             prop_assert_eq!(decode_response(&encode_response(&response)).unwrap(), response);
@@ -700,6 +770,7 @@ mod tests {
                         round_trip: snap.clone(),
                         remote: (nested && i % 2 == 1)
                             .then(|| Box::new(MetricsBody::empty())),
+                        replicas: None,
                     })
                     .collect(),
                 rebuild: crate::RebuildObsBody {

@@ -165,8 +165,8 @@ impl CacheStatsBody {
 /// lives (backend kind + address) beside its index snapshot numbers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardStatsBody {
-    /// Backend kind: `"local"` (in-process index) or `"http"` (remote
-    /// shard behind a socket).
+    /// Backend kind: `"local"` (in-process index), `"http"` (remote
+    /// shard behind a socket) or `"replicas"` (a failover replica set).
     pub kind: String,
     /// The remote shard's `host:port` address; `None` for local shards.
     pub addr: Option<String>,
@@ -178,6 +178,14 @@ pub struct ShardStatsBody {
     pub heap_bytes: usize,
     /// Compiled backend serving this shard (`"tree"` or `"cells"`).
     pub backend: String,
+    /// `Some(true)` when the scatter-gather that produced this entry
+    /// could not reach the shard — the response degrades to a per-shard
+    /// marker instead of failing wholesale. Optional so envelopes
+    /// encoded before graceful degradation existed still decode.
+    pub unreachable: Option<bool>,
+    /// The transport error that made the shard unreachable, when
+    /// [`ShardStatsBody::unreachable`] is set.
+    pub error: Option<String>,
 }
 
 /// Service statistics answered to [`crate::Request::Stats`].
@@ -209,6 +217,81 @@ pub struct StatsBody {
     /// encoded before this field existed still decode (same pattern as
     /// `cache` and `per_shard`).
     pub metrics: Option<Box<MetricsBody>>,
+    /// Per-shard health (breaker state, replica counters), populated by
+    /// topology-aware coordinators with resilience enabled. Optional so
+    /// envelopes encoded before `fsi-resil` existed still decode.
+    pub health: Option<Box<HealthBody>>,
+}
+
+/// Health of one replica inside a [`ShardHealthBody`] — its circuit
+/// breaker state plus the retry/hedge counters the resilience layer
+/// maintains for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaHealthBody {
+    /// Replica index within its replica set.
+    pub replica: usize,
+    /// Backend kind of this replica (`"local"` or `"http"`).
+    pub kind: String,
+    /// The replica's `host:port` address; `None` for local replicas.
+    pub addr: Option<String>,
+    /// Circuit breaker state: `"closed"`, `"open"` or `"half_open"`.
+    pub state: String,
+    /// Consecutive failures observed since the last success.
+    pub consecutive_failures: u64,
+    /// Attempts dispatched to this replica (first tries + retries +
+    /// hedges).
+    pub attempts: u64,
+    /// Attempts that failed with a transport-level (`internal`) error.
+    pub failures: u64,
+    /// Attempts that were retries of a failed earlier attempt.
+    pub retries: u64,
+    /// Hedged (speculative duplicate) attempts sent to this replica.
+    pub hedges: u64,
+    /// Hedged attempts that won the race against the primary attempt.
+    pub hedge_wins: u64,
+    /// Breaker transitions into `open` (closed/half-open → open).
+    pub opens: u64,
+    /// Breaker transitions into `half_open` (open → probing).
+    pub half_opens: u64,
+    /// Breaker re-closes (half-open probe succeeded).
+    pub closes: u64,
+    /// Sampled per-attempt dispatch latency, in nanoseconds.
+    pub latency: HistogramSnapshot,
+}
+
+/// Health of one coordinator slot inside a [`HealthBody`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealthBody {
+    /// Shard index in topology order.
+    pub shard: usize,
+    /// Backend kind: `"local"`, `"http"` or `"replicas"`.
+    pub kind: String,
+    /// The shard's `host:port` address; `None` for local shards,
+    /// comma-joined member addresses for replica sets.
+    pub addr: Option<String>,
+    /// Aggregate state: `"up"` (all replicas closed), `"degraded"`
+    /// (some replica open/half-open but at least one closed) or
+    /// `"down"` (no closed replica). Plain backends without a
+    /// resilience layer always report `"up"`.
+    pub state: String,
+    /// Per-replica breakdown; empty for plain (non-replicated) shards.
+    pub replicas: Vec<ReplicaHealthBody>,
+}
+
+/// The coordinator's view of fleet health — the body of
+/// [`crate::Response::Health`], also attached to [`StatsBody::health`]
+/// so a plain `stats` round-trip surfaces it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// Per-shard health, in topology order.
+    pub shards: Vec<ShardHealthBody>,
+}
+
+impl HealthBody {
+    /// `true` when every shard reports `"up"`.
+    pub fn all_up(&self) -> bool {
+        self.shards.iter().all(|s| s.state == "up")
+    }
 }
 
 /// Traffic counters for one request kind inside a [`MetricsBody`].
@@ -255,6 +338,10 @@ pub struct ShardObsBody {
     /// produced this body reached it. Boxed and optional: local shards
     /// have no recorder of their own and older peers omit the field.
     pub remote: Option<Box<MetricsBody>>,
+    /// Per-replica health counters, when this slot is a replica set.
+    /// Optional so envelopes encoded before `fsi-resil` existed still
+    /// decode.
+    pub replicas: Option<Vec<ReplicaHealthBody>>,
 }
 
 /// Two-phase rebuild timings inside a [`MetricsBody`], one histogram
@@ -539,6 +626,10 @@ mod tests {
             stats.metrics, None,
             "missing metrics field must decode as None"
         );
+        assert_eq!(
+            stats.health, None,
+            "missing health field must decode as None"
+        );
         // Truly required fields still fail loudly when absent.
         let truncated = r#"{"shards": 1, "generations": [1]}"#;
         let err = serde_json::from_str::<StatsBody>(truncated).unwrap_err();
@@ -562,6 +653,7 @@ mod tests {
             }),
             per_shard: None,
             metrics: None,
+            health: None,
         };
         let json = serde_json::to_string(&stats).unwrap();
         let back: StatsBody = serde_json::from_str(&json).unwrap();
@@ -597,6 +689,8 @@ mod tests {
                     num_leaves: 280,
                     heap_bytes: 14336,
                     backend: "tree".into(),
+                    unreachable: None,
+                    error: None,
                 },
                 ShardStatsBody {
                     kind: "http".into(),
@@ -605,16 +699,97 @@ mod tests {
                     num_leaves: 296,
                     heap_bytes: 15104,
                     backend: "tree".into(),
+                    unreachable: Some(true),
+                    error: Some("remote shard 127.0.0.1:7878: connection refused".into()),
                 },
             ]),
             metrics: None,
+            health: None,
         };
         let json = serde_json::to_string(&stats).unwrap();
         let back: StatsBody = serde_json::from_str(&json).unwrap();
         assert_eq!(stats, back);
         let shards = back.per_shard.unwrap();
         assert_eq!(shards[0].addr, None);
+        assert_eq!(shards[0].unreachable, None);
         assert_eq!(shards[1].addr.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(shards[1].unreachable, Some(true));
+    }
+
+    #[test]
+    fn shard_stats_body_decodes_old_wire_json_without_degradation_markers() {
+        // Captured from a pre-resilience peer: per_shard entries never
+        // carried unreachable/error markers.
+        let old_wire = r#"{
+            "kind": "http", "addr": "10.0.0.7:7878", "generation": 5,
+            "num_leaves": 256, "heap_bytes": 12288, "backend": "tree"
+        }"#;
+        let shard: ShardStatsBody = serde_json::from_str(old_wire).unwrap();
+        assert_eq!(shard.unreachable, None);
+        assert_eq!(shard.error, None);
+    }
+
+    fn sample_replica_health(replica: usize, state: &str) -> ReplicaHealthBody {
+        let h = fsi_obs::Histogram::new();
+        h.record(48_000);
+        h.record(52_000);
+        ReplicaHealthBody {
+            replica,
+            kind: "http".into(),
+            addr: Some(format!("127.0.0.1:{}", 7878 + replica)),
+            state: state.into(),
+            consecutive_failures: if state == "closed" { 0 } else { 5 },
+            attempts: 2048,
+            failures: 5,
+            retries: 4,
+            hedges: 12,
+            hedge_wins: 3,
+            opens: u64::from(state != "closed"),
+            half_opens: 0,
+            closes: 0,
+            latency: h.snapshot(),
+        }
+    }
+
+    #[test]
+    fn health_body_round_trips_and_reports_aggregate_state() {
+        let health = HealthBody {
+            shards: vec![
+                ShardHealthBody {
+                    shard: 0,
+                    kind: "local".into(),
+                    addr: None,
+                    state: "up".into(),
+                    replicas: Vec::new(),
+                },
+                ShardHealthBody {
+                    shard: 1,
+                    kind: "replicas".into(),
+                    addr: Some("127.0.0.1:7878,127.0.0.1:7879".into()),
+                    state: "degraded".into(),
+                    replicas: vec![
+                        sample_replica_health(0, "closed"),
+                        sample_replica_health(1, "open"),
+                    ],
+                },
+            ],
+        };
+        assert!(!health.all_up());
+        let json = serde_json::to_string(&health).unwrap();
+        let back: HealthBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(health, back);
+        assert_eq!(back.shards[1].replicas[1].state, "open");
+        assert_eq!(back.shards[1].replicas[1].opens, 1);
+        let all_up = HealthBody {
+            shards: vec![ShardHealthBody {
+                shard: 0,
+                kind: "local".into(),
+                addr: None,
+                state: "up".into(),
+                replicas: Vec::new(),
+            }],
+        };
+        assert!(all_up.all_up());
     }
 
     #[test]
@@ -688,6 +863,7 @@ mod tests {
                     reconnects: 0,
                     round_trip: hist(&[90, 110]),
                     remote: None,
+                    replicas: None,
                 },
                 ShardObsBody {
                     shard: 1,
@@ -698,6 +874,7 @@ mod tests {
                     reconnects: 1,
                     round_trip: hist(&[48_000, 52_000, 61_000]),
                     remote: Some(Box::new(MetricsBody::empty())),
+                    replicas: Some(vec![sample_replica_health(0, "closed")]),
                 },
             ],
             rebuild: RebuildObsBody {

@@ -1,0 +1,25 @@
+//! Error type of the resilience layer.
+
+use std::fmt;
+
+/// Why a resilience component refused to construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilError {
+    /// A [`crate::ResiliencePolicy`] knob failed validation.
+    InvalidPolicy(String),
+    /// A [`crate::ReplicaSet`] was given no members.
+    EmptyReplicaSet,
+}
+
+impl fmt::Display for ResilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilError::InvalidPolicy(detail) => write!(f, "invalid resilience policy: {detail}"),
+            ResilError::EmptyReplicaSet => {
+                write!(f, "a replica set needs at least one member backend")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilError {}

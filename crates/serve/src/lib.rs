@@ -85,7 +85,8 @@ pub use rebuild::{build_index, compile_run, RebuildReport, Rebuilder};
 pub use service::QueryService;
 pub use shard::ShardRouter;
 pub use topology::{
-    BackendSpec, LocalShard, ShardBackend, ShardDescriptor, Topology, TopologySpec, TransportStats,
+    BackendSpec, LocalShard, ShardBackend, ShardDescriptor, SlotConnector, Topology, TopologySpec,
+    TransportStats,
 };
 
 // The decision-cache vocabulary callers configure services with.

@@ -28,7 +28,7 @@ use std::time::Duration;
 
 /// Request kinds in dispatch order — the index space of the per-kind
 /// counter and histogram arrays.
-pub(crate) const KINDS: [&str; 11] = [
+pub(crate) const KINDS: [&str; 12] = [
     "lookup",
     "lookup_batch",
     "range_query",
@@ -40,6 +40,7 @@ pub(crate) const KINDS: [&str; 11] = [
     "metrics",
     "ingest",
     "ingest_batch",
+    "health",
 ];
 
 /// Index of `"lookup"` in [`KINDS`] — the sampled hot path.
@@ -71,6 +72,7 @@ pub(crate) fn kind_index(request: &Request) -> usize {
         Request::Metrics => 8,
         Request::Ingest { .. } => 9,
         Request::IngestBatch { .. } => 10,
+        Request::Health => 11,
     }
 }
 
@@ -411,6 +413,105 @@ pub fn prometheus_text(body: &MetricsBody) -> String {
             );
         }
     }
+    // Resilience telemetry: one row per replica of every replicated
+    // shard slot, flattened out of the coordinator's health snapshot.
+    let replicas: Vec<(usize, &fsi_proto::ReplicaHealthBody)> = body
+        .shards
+        .iter()
+        .filter_map(|s| s.replicas.as_deref().map(|r| (s.shard, r)))
+        .flat_map(|(shard, r)| r.iter().map(move |rep| (shard, rep)))
+        .collect();
+    if !replicas.is_empty() {
+        {
+            let mut counter =
+                |name: &str, help: &str, get: &dyn Fn(&fsi_proto::ReplicaHealthBody) -> u64| {
+                    e.family(name, "counter", help);
+                    for (shard, r) in &replicas {
+                        let shard = shard.to_string();
+                        let replica = r.replica.to_string();
+                        e.sample_u64(name, &[("shard", &shard), ("replica", &replica)], get(r));
+                    }
+                };
+            counter(
+                "fsi_resil_attempts_total",
+                "Dispatch attempts, per replica.",
+                &|r| r.attempts,
+            );
+            counter(
+                "fsi_resil_failures_total",
+                "Transport-failed attempts, per replica.",
+                &|r| r.failures,
+            );
+            counter(
+                "fsi_resil_retries_total",
+                "Retries steered to this replica after a sibling failed.",
+                &|r| r.retries,
+            );
+            counter(
+                "fsi_resil_hedges_total",
+                "Hedged duplicate attempts sent to this replica.",
+                &|r| r.hedges,
+            );
+            counter(
+                "fsi_resil_hedge_wins_total",
+                "Hedged attempts that answered before the primary.",
+                &|r| r.hedge_wins,
+            );
+        }
+        e.family(
+            "fsi_resil_breaker_transitions_total",
+            "counter",
+            "Circuit-breaker transitions, per replica and target state.",
+        );
+        for (shard, r) in &replicas {
+            let shard = shard.to_string();
+            let replica = r.replica.to_string();
+            for (into, count) in [
+                ("open", r.opens),
+                ("half_open", r.half_opens),
+                ("closed", r.closes),
+            ] {
+                e.sample_u64(
+                    "fsi_resil_breaker_transitions_total",
+                    &[("shard", &shard), ("replica", &replica), ("into", into)],
+                    count,
+                );
+            }
+        }
+        e.family(
+            "fsi_resil_breaker_state",
+            "gauge",
+            "Current circuit-breaker state, per replica (state as a label).",
+        );
+        for (shard, r) in &replicas {
+            let shard = shard.to_string();
+            let replica = r.replica.to_string();
+            e.sample_u64(
+                "fsi_resil_breaker_state",
+                &[
+                    ("shard", &shard),
+                    ("replica", &replica),
+                    ("state", &r.state),
+                ],
+                1,
+            );
+        }
+        e.family(
+            "fsi_resil_attempt_latency_seconds",
+            "summary",
+            "Sampled per-attempt latency, per replica.",
+        );
+        for (shard, r) in &replicas {
+            let shard = shard.to_string();
+            let replica = r.replica.to_string();
+            e.summary(
+                "fsi_resil_attempt_latency_seconds",
+                &[("shard", &shard), ("replica", &replica)],
+                &r.latency,
+                1e9,
+            );
+        }
+    }
     e.family(
         "fsi_rebuild_phase_seconds",
         "summary",
@@ -543,6 +644,7 @@ mod tests {
             KINDS[kind_index(&Request::IngestBatch { points: vec![] })],
             "ingest_batch"
         );
+        assert_eq!(KINDS[kind_index(&Request::Health)], "health");
         for (i, code) in CODES.iter().enumerate() {
             assert_eq!(code_index(*code), i);
         }
@@ -599,13 +701,29 @@ mod tests {
             }),
             shards: vec![ShardObsBody {
                 shard: 0,
-                kind: "http".into(),
+                kind: "replicas".into(),
                 addr: Some("127.0.0.1:7878".into()),
                 requests: 6,
                 failures: 1,
                 reconnects: 2,
                 round_trip: snap.clone(),
                 remote: None,
+                replicas: Some(vec![fsi_proto::ReplicaHealthBody {
+                    replica: 1,
+                    kind: "http".into(),
+                    addr: Some("127.0.0.1:7879".into()),
+                    state: "open".into(),
+                    consecutive_failures: 3,
+                    attempts: 10,
+                    failures: 4,
+                    retries: 3,
+                    hedges: 2,
+                    hedge_wins: 1,
+                    opens: 1,
+                    half_opens: 0,
+                    closes: 0,
+                    latency: snap.clone(),
+                }]),
             }],
             rebuild: RebuildObsBody {
                 prepare: snap.clone(),
@@ -642,10 +760,19 @@ mod tests {
             "fsi_cache_evictions_total 1\n",
             "fsi_cache_entries 3\n",
             "fsi_cache_capacity 64\n",
-            "fsi_shard_requests_total{shard=\"0\",backend=\"http\"} 6\n",
-            "fsi_shard_failures_total{shard=\"0\",backend=\"http\"} 1\n",
-            "fsi_shard_reconnects_total{shard=\"0\",backend=\"http\"} 2\n",
-            "fsi_shard_round_trip_seconds_count{shard=\"0\",backend=\"http\"} 1\n",
+            "fsi_shard_requests_total{shard=\"0\",backend=\"replicas\"} 6\n",
+            "fsi_shard_failures_total{shard=\"0\",backend=\"replicas\"} 1\n",
+            "fsi_shard_reconnects_total{shard=\"0\",backend=\"replicas\"} 2\n",
+            "fsi_shard_round_trip_seconds_count{shard=\"0\",backend=\"replicas\"} 1\n",
+            "fsi_resil_attempts_total{shard=\"0\",replica=\"1\"} 10\n",
+            "fsi_resil_failures_total{shard=\"0\",replica=\"1\"} 4\n",
+            "fsi_resil_retries_total{shard=\"0\",replica=\"1\"} 3\n",
+            "fsi_resil_hedges_total{shard=\"0\",replica=\"1\"} 2\n",
+            "fsi_resil_hedge_wins_total{shard=\"0\",replica=\"1\"} 1\n",
+            "fsi_resil_breaker_transitions_total{shard=\"0\",replica=\"1\",into=\"open\"} 1\n",
+            "fsi_resil_breaker_transitions_total{shard=\"0\",replica=\"1\",into=\"closed\"} 0\n",
+            "fsi_resil_breaker_state{shard=\"0\",replica=\"1\",state=\"open\"} 1\n",
+            "fsi_resil_attempt_latency_seconds_count{shard=\"0\",replica=\"1\"} 1\n",
             "fsi_rebuild_phase_seconds_count{phase=\"prepare\"} 1\n",
             "fsi_rebuild_phase_seconds_count{phase=\"abort\"} 0\n",
             "fsi_http_connections_total 2\n",
@@ -670,6 +797,7 @@ mod tests {
         assert!(!text.contains("fsi_shard_requests_total"));
         assert!(!text.contains("fsi_http_requests_total"));
         assert!(!text.contains("fsi_ingest_accepted_total"));
+        assert!(!text.contains("fsi_resil_attempts_total"));
     }
 
     #[test]

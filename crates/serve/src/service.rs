@@ -39,9 +39,9 @@ use fsi_ingest::{
 use fsi_obs::{Recorder, Registry};
 use fsi_pipeline::{MethodRun, PipelineSpec, TaskSpec};
 use fsi_proto::{
-    CacheStatsBody, DecisionBody, ErrorCode, ErrorCountBody, IngestBody, MetricsBody, PreparedBody,
-    RebuildObsBody, Request, RequestKindMetrics, Response, ShardObsBody, ShardStatsBody, StatsBody,
-    WirePoint,
+    CacheStatsBody, DecisionBody, ErrorCode, ErrorCountBody, HealthBody, IngestBody, MetricsBody,
+    PreparedBody, RebuildObsBody, Request, RequestKindMetrics, Response, ShardHealthBody,
+    ShardObsBody, ShardStatsBody, StatsBody, WirePoint,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -445,6 +445,7 @@ impl QueryService {
             Request::RebuildCommit => self.rebuild_commit(),
             Request::RebuildAbort => self.rebuild_abort(),
             Request::Metrics => self.metrics(),
+            Request::Health => self.health(),
         }
     }
 
@@ -609,6 +610,67 @@ impl QueryService {
             let workers: Vec<_> = shards
                 .iter()
                 .map(|&i| {
+                    let backend = &backends[i];
+                    scope.spawn(move || {
+                        let started = Instant::now();
+                        let response = backend.dispatch(request);
+                        (i, response, started.elapsed())
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("fan-out worker panicked"))
+                .collect()
+        });
+        timed
+            .into_iter()
+            .map(|(i, response, elapsed)| {
+                let Some(obs) = &self.obs else {
+                    return (i, response);
+                };
+                let sm = &obs.shards[i];
+                sm.requests.inc();
+                sm.round_trip.record(saturating_nanos(elapsed));
+                let response = match response {
+                    Response::Error { error } if error.code == ErrorCode::Internal => {
+                        sm.failures.inc();
+                        let addr = backends[i]
+                            .descriptor()
+                            .addr
+                            .unwrap_or_else(|| "<no addr>".into());
+                        Response::error(
+                            ErrorCode::Internal,
+                            format!("shard {i} at {addr}: {}", error.message),
+                        )
+                    }
+                    other => other,
+                };
+                (i, response)
+            })
+            .collect()
+    }
+
+    /// [`Self::remote_fanout`] with a *different* request per shard —
+    /// the shape batched lookups need, where each shard receives its
+    /// own sub-batch. Same concurrency (scoped threads, one per job),
+    /// same telemetry, same single-job fast path that skips the scope.
+    fn remote_fanout_each(&self, jobs: Vec<(usize, Request)>) -> Vec<(usize, Response)> {
+        if jobs.len() <= 1 {
+            return jobs
+                .into_iter()
+                .map(|(shard, request)| {
+                    let response = self.remote_dispatch(shard, &request);
+                    (shard, response)
+                })
+                .collect();
+        }
+        let backends = self.topology.backends();
+        let timed: Vec<(usize, Response, Duration)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = jobs
+                .iter()
+                .map(|(i, request)| {
+                    let i = *i;
                     let backend = &backends[i];
                     scope.spawn(move || {
                         let started = Instant::now();
@@ -838,12 +900,21 @@ impl QueryService {
                 ShardSlot::Remote => buckets[shard].push(i),
             }
         }
-        for (shard, bucket) in buckets.iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let sub: Vec<WirePoint> = bucket.iter().map(|&i| points[i]).collect();
-            match self.remote_dispatch(shard, &Request::LookupBatch { points: sub }) {
+        // The per-shard sub-batches fan out concurrently — one scoped
+        // thread per shard, like every other scatter — instead of
+        // paying the shards' round-trips back to back.
+        let jobs: Vec<(usize, Request)> = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|(shard, bucket)| {
+                let sub: Vec<WirePoint> = bucket.iter().map(|&i| points[i]).collect();
+                (shard, Request::LookupBatch { points: sub })
+            })
+            .collect();
+        for (shard, response) in self.remote_fanout_each(jobs) {
+            let bucket = &buckets[shard];
+            match response {
                 Response::Decisions { decisions } if decisions.len() == bucket.len() => {
                     for (&i, d) in bucket.iter().zip(decisions) {
                         out[i] = Some(d);
@@ -1034,6 +1105,8 @@ impl QueryService {
                     num_leaves: index.num_leaves(),
                     heap_bytes: index.heap_bytes(),
                     backend: index.backend_name().to_string(),
+                    unreachable: None,
+                    error: None,
                 }));
             } else {
                 per_shard.push(None);
@@ -1050,14 +1123,24 @@ impl QueryService {
                     num_leaves: stats.num_leaves,
                     heap_bytes: stats.heap_bytes,
                     backend: stats.backend,
+                    unreachable: None,
+                    error: None,
                 },
-                _ => ShardStatsBody {
+                // Graceful degradation: a dead shard marks its own row
+                // instead of failing the whole scatter-gather, so the
+                // live part of the fleet still reports.
+                other => ShardStatsBody {
                     kind: d.kind.to_string(),
                     addr: d.addr,
                     generation: 0,
                     num_leaves: 0,
                     heap_bytes: 0,
                     backend: "unreachable".to_string(),
+                    unreachable: Some(true),
+                    error: Some(match other {
+                        Response::Error { error } => error.message,
+                        _ => format!("shard {shard} answered an unexpected stats response"),
+                    }),
                 },
             });
         }
@@ -1084,7 +1167,46 @@ impl QueryService {
                 // for); absent when metrics are disabled, exactly like
                 // a pre-observability peer's stats.
                 metrics: self.obs.is_some().then(|| Box::new(self.snapshot_body())),
+                health: Some(Box::new(self.health_body())),
             }),
+        }
+    }
+
+    /// The fleet health picture, answered entirely from
+    /// coordinator-local state — replica-set breaker atomics for
+    /// resilient slots, a synthesized `"up"` row for plain backends —
+    /// with **no** scatter-gather, so it stays cheap enough to poll
+    /// aggressively during the very outage it is reporting on.
+    fn health_body(&self) -> HealthBody {
+        let shards = self
+            .topology
+            .backends()
+            .iter()
+            .enumerate()
+            .map(|(shard, b)| match b.health() {
+                Some(mut h) => {
+                    h.shard = shard;
+                    h
+                }
+                None => {
+                    let d = b.descriptor();
+                    ShardHealthBody {
+                        shard,
+                        kind: d.kind.to_string(),
+                        addr: d.addr,
+                        state: "up".to_string(),
+                        replicas: Vec::new(),
+                    }
+                }
+            })
+            .collect();
+        HealthBody { shards }
+    }
+
+    /// Answer to [`Request::Health`].
+    fn health(&mut self) -> Response {
+        Response::Health {
+            health: Box::new(self.health_body()),
         }
     }
 
@@ -1185,6 +1307,7 @@ impl QueryService {
                     reconnects: transport.reconnects,
                     round_trip: sf.round_trip,
                     remote: None,
+                    replicas: backend.health().map(|h| h.replicas),
                 }
             })
             .collect();
@@ -1842,7 +1965,7 @@ mod tests {
                 BackendSpec::Local,
             ],
         };
-        let topology = Topology::from_spec(&spec, index(), |addr| {
+        let topology = Topology::from_spec(&spec, index(), |addr: &str| {
             let slot: usize = addr.strip_prefix("shard:").unwrap().parse().unwrap();
             let mut inner = QueryService::new(Topology::partial(&index(), 2, 2, slot).unwrap());
             if let Some(dataset) = &rebuild {
@@ -1851,7 +1974,7 @@ mod tests {
             Ok(Box::new(StubRemote {
                 addr: addr.to_string(),
                 inner: Mutex::new(inner),
-            }))
+            }) as Box<dyn ShardBackend>)
         })
         .unwrap();
         let mut svc = QueryService::new(topology);
@@ -2472,10 +2595,10 @@ mod tests {
                 BackendSpec::Http("10.0.0.9:4000".into()),
             ],
         };
-        let topology = Topology::from_spec(&spec, index(), |addr| {
+        let topology = Topology::from_spec(&spec, index(), |addr: &str| {
             Ok(Box::new(DownRemote {
                 addr: addr.to_string(),
-            }))
+            }) as Box<dyn ShardBackend>)
         })
         .unwrap();
         let mut svc = QueryService::new(topology);

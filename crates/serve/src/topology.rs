@@ -27,7 +27,9 @@ use crate::frozen::FrozenIndex;
 use crate::handle::{IndexHandle, IndexReader};
 use crate::shard::ShardRouter;
 use fsi_geo::{Point, Rect};
-use fsi_proto::{ErrorCode, MetricsBody, Request, Response, StatsBody};
+use fsi_proto::{
+    ErrorCode, HealthBody, MetricsBody, Request, Response, ShardHealthBody, StatsBody,
+};
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Mutex;
 
@@ -76,9 +78,30 @@ pub trait ShardBackend: Send + Sync {
         None
     }
 
+    /// The backend itself, when it *is* a plain in-process
+    /// [`LocalShard`] — not a wrapper forwarding to one. Unlike
+    /// [`ShardBackend::as_local`] (which wrappers forward so topology
+    /// compilation can reach the underlying handle), wrappers must
+    /// leave this at the `None` default: the resilience layer uses it
+    /// to dispatch reads statically past the vtable on its healthy
+    /// fast path, and devirtualizing through a wrapper would silently
+    /// bypass whatever the wrapper injects.
+    fn as_plain_local(&self) -> Option<&LocalShard> {
+        None
+    }
+
     /// Transport-level telemetry for the metrics scrape; `None` for
     /// backends with no transport underneath (in-process shards).
     fn transport_stats(&self) -> Option<TransportStats> {
+        None
+    }
+
+    /// Health of this slot for the coordinator's [`HealthBody`]: breaker
+    /// states and per-replica counters. `None` means the backend has no
+    /// resilience layer — the coordinator reports it as plainly `"up"`.
+    /// The `shard` field is filled in by the coordinator (a backend does
+    /// not know its slot index).
+    fn health(&self) -> Option<ShardHealthBody> {
         None
     }
 }
@@ -164,6 +187,20 @@ impl LocalShard {
     pub fn abort(&self) {
         *self.staged.lock().expect("staging lock poisoned") = None;
     }
+
+    /// A read-serving twin: shares the published-index handle (so
+    /// hot-swaps stay visible and answers are bit-identical) but owns
+    /// an empty staging slot of its own. The resilience layer keeps a
+    /// twin per local replica to dispatch pure reads statically; the
+    /// two-phase rebuild barrier must keep going to the original shard,
+    /// whose staging slot is the real one.
+    pub fn read_twin(&self) -> Self {
+        Self {
+            handle: self.handle.clone(),
+            clip: self.clip,
+            staged: Mutex::new(None),
+        }
+    }
 }
 
 impl ShardBackend for LocalShard {
@@ -171,6 +208,7 @@ impl ShardBackend for LocalShard {
     /// bit, error text included) a [`crate::QueryService`] gives, minus
     /// the cache and rebuild layers, so local-vs-remote differential
     /// tests can compare backends uniformly.
+    #[inline]
     fn dispatch(&self, request: &Request) -> Response {
         let index = self.handle.load();
         match request {
@@ -217,6 +255,20 @@ impl ShardBackend for LocalShard {
                     cache: None,
                     per_shard: None,
                     metrics: None,
+                    health: None,
+                }),
+            },
+            // A bare local shard has no resilience layer; it is up by
+            // construction (the process answering is the shard).
+            Request::Health => Response::Health {
+                health: Box::new(HealthBody {
+                    shards: vec![ShardHealthBody {
+                        shard: 0,
+                        kind: "local".into(),
+                        addr: None,
+                        state: "up".into(),
+                        replicas: Vec::new(),
+                    }],
                 }),
             },
             Request::Rebuild { .. } | Request::RebuildPrepare { .. } => Response::error(
@@ -260,6 +312,10 @@ impl ShardBackend for LocalShard {
     fn as_local(&self) -> Option<&LocalShard> {
         Some(self)
     }
+
+    fn as_plain_local(&self) -> Option<&LocalShard> {
+        Some(self)
+    }
 }
 
 /// How one shard slot of a [`TopologySpec`] is backed.
@@ -270,29 +326,67 @@ pub enum BackendSpec {
     /// Served by a remote shard process at `host:port`, speaking the
     /// `fsi-proto` protocol over HTTP.
     Http(String),
+    /// Served by a failover replica set: every member serves the same
+    /// clip rectangle and a resilience-aware connector (see
+    /// [`SlotConnector::replica_set`]) arbitrates between them.
+    Replicas(Vec<BackendSpec>),
 }
 
 impl BackendSpec {
-    /// The spec's wire form: `"local"` or `"http://host:port"`.
+    /// The spec's wire form: `"local"`, `"http://host:port"` or
+    /// `{"replicas": [...]}`.
     pub fn as_wire(&self) -> String {
         match self {
             BackendSpec::Local => "local".to_string(),
             BackendSpec::Http(addr) => format!("http://{addr}"),
+            BackendSpec::Replicas(members) => format!(
+                "replicas[{}]",
+                members
+                    .iter()
+                    .map(BackendSpec::as_wire)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
         }
     }
 }
 
 impl Serialize for BackendSpec {
     fn to_value(&self) -> Value {
-        Value::Str(self.as_wire())
+        match self {
+            BackendSpec::Replicas(members) => Value::Object(vec![(
+                "replicas".to_string(),
+                Value::Array(members.iter().map(Serialize::to_value).collect()),
+            )]),
+            other => Value::Str(other.as_wire()),
+        }
     }
 }
 
 impl Deserialize for BackendSpec {
     fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        if let Some(entries) = value.as_object() {
+            let members = match entries {
+                [(key, members)] if key == "replicas" => members,
+                _ => {
+                    return Err(serde::Error::custom(
+                        "backend spec object must have exactly one key, \"replicas\"",
+                    ))
+                }
+            };
+            let members = members
+                .as_array()
+                .ok_or_else(|| serde::Error::custom("\"replicas\" must be an array"))?;
+            return Ok(BackendSpec::Replicas(
+                members
+                    .iter()
+                    .map(BackendSpec::from_value)
+                    .collect::<Result<_, _>>()?,
+            ));
+        }
         let s = value
             .as_str()
-            .ok_or_else(|| serde::Error::custom("backend spec must be a string"))?;
+            .ok_or_else(|| serde::Error::custom("backend spec must be a string or object"))?;
         if s == "local" {
             return Ok(BackendSpec::Local);
         }
@@ -305,8 +399,44 @@ impl Deserialize for BackendSpec {
             return Ok(BackendSpec::Http(addr.to_string()));
         }
         Err(serde::Error::custom(format!(
-            "backend spec must be \"local\" or \"http://host:port\", got {s:?}"
+            "backend spec must be \"local\", \"http://host:port\" or {{\"replicas\": [...]}}, got {s:?}"
         )))
+    }
+}
+
+/// Builds the backend for each slot of a [`TopologySpec`] —
+/// [`Topology::from_spec`]'s construction seam.
+///
+/// Plain connectors are closures (`Fn(&str) -> Result<Box<dyn
+/// ShardBackend>, ServeError>` gets a blanket impl); a resilience-aware
+/// connector additionally overrides [`SlotConnector::replica_set`] to
+/// wrap a slot's members in a failover arbiter (the `fsi-resil`
+/// `ReplicaSet`, which lives above this crate in the dependency graph).
+pub trait SlotConnector {
+    /// Dials one remote shard at `addr` (`host:port`).
+    fn connect(&self, addr: &str) -> Result<Box<dyn ShardBackend>, ServeError>;
+
+    /// Wraps a replica slot's constructed members in one arbitrating
+    /// backend. The default rejects replica slots, so topologies built
+    /// through a plain connector fail loudly instead of silently
+    /// serving from one member.
+    fn replica_set(
+        &self,
+        members: Vec<Box<dyn ShardBackend>>,
+    ) -> Result<Box<dyn ShardBackend>, ServeError> {
+        let _ = members;
+        Err(ServeError::InvalidTopology(
+            "this connector cannot build replica slots; use a resilience-aware connector".into(),
+        ))
+    }
+}
+
+impl<F> SlotConnector for F
+where
+    F: Fn(&str) -> Result<Box<dyn ShardBackend>, ServeError>,
+{
+    fn connect(&self, addr: &str) -> Result<Box<dyn ShardBackend>, ServeError> {
+        self(addr)
     }
 }
 
@@ -358,15 +488,39 @@ impl TopologySpec {
             )));
         }
         for (i, shard) in self.shards.iter().enumerate() {
-            if let BackendSpec::Http(addr) = shard {
+            Self::validate_backend(i, shard, false)?;
+        }
+        Ok(())
+    }
+
+    fn validate_backend(i: usize, spec: &BackendSpec, in_replicas: bool) -> Result<(), ServeError> {
+        match spec {
+            BackendSpec::Local => Ok(()),
+            BackendSpec::Http(addr) => {
                 if addr.is_empty() || !addr.contains(':') {
                     return Err(ServeError::InvalidTopology(format!(
                         "shard {i}: http backend address must be host:port, got {addr:?}"
                     )));
                 }
+                Ok(())
+            }
+            BackendSpec::Replicas(members) => {
+                if in_replicas {
+                    return Err(ServeError::InvalidTopology(format!(
+                        "shard {i}: replica sets cannot nest"
+                    )));
+                }
+                if members.is_empty() {
+                    return Err(ServeError::InvalidTopology(format!(
+                        "shard {i}: a replica set needs at least one member"
+                    )));
+                }
+                for member in members {
+                    Self::validate_backend(i, member, true)?;
+                }
+                Ok(())
             }
         }
-        Ok(())
     }
 
     /// The backend of shard `i`, with the all-local default applied.
@@ -439,7 +593,7 @@ impl Topology {
     pub fn from_spec(
         spec: &TopologySpec,
         index: FrozenIndex,
-        connect: impl Fn(&str) -> Result<Box<dyn ShardBackend>, ServeError>,
+        connect: impl SlotConnector,
     ) -> Result<Self, ServeError> {
         spec.validate()?;
         let (rows, cols) = (spec.rows, spec.cols);
@@ -447,14 +601,32 @@ impl Topology {
             return Ok(Self::single(IndexHandle::new(index)));
         }
         let bounds = *index.bounds();
+        let build_member =
+            |member: &BackendSpec, shard: usize| -> Result<Box<dyn ShardBackend>, ServeError> {
+                match member {
+                    BackendSpec::Local => {
+                        let rect = Self::shard_rect(&index, &bounds, rows, cols, shard);
+                        Ok(Box::new(LocalShard::clipped(&index, rect)?))
+                    }
+                    BackendSpec::Http(addr) => connect.connect(addr),
+                    BackendSpec::Replicas(_) => Err(ServeError::InvalidTopology(
+                        "replica sets cannot nest".into(),
+                    )),
+                }
+            };
         let mut backends: Vec<Box<dyn ShardBackend>> = Vec::with_capacity(rows * cols);
         for shard in 0..rows * cols {
             backends.push(match spec.backend(shard) {
-                BackendSpec::Local => {
-                    let rect = Self::shard_rect(&index, &bounds, rows, cols, shard);
-                    Box::new(LocalShard::clipped(&index, rect)?)
+                // Every replica member serves the *same* clip rectangle
+                // (the slot's), so any member answers bit-identically.
+                BackendSpec::Replicas(members) => {
+                    let members = members
+                        .iter()
+                        .map(|m| build_member(m, shard))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    connect.replica_set(members)?
                 }
-                BackendSpec::Http(addr) => connect(&addr)?,
+                single => build_member(&single, shard)?,
             });
         }
         Ok(Self::over(bounds, rows, cols, backends))
@@ -883,9 +1055,9 @@ mod tests {
         // A stand-in connector: remote slots become unclipped locals so
         // the wiring is observable without a socket.
         let stub = index();
-        let topo = Topology::from_spec(&spec, index(), |addr| {
+        let topo = Topology::from_spec(&spec, index(), |addr: &str| {
             assert_eq!(addr, "10.0.0.7:7878");
-            Ok(Box::new(LocalShard::new(IndexHandle::new(stub.clone()))))
+            Ok(Box::new(LocalShard::new(IndexHandle::new(stub.clone()))) as Box<dyn ShardBackend>)
         })
         .unwrap();
         assert_eq!(topo.shards(), 2);
@@ -904,7 +1076,7 @@ mod tests {
             .clip_rect()
             .is_none());
         // Connector failures surface as construction errors.
-        let err = Topology::from_spec(&spec, index(), |_| {
+        let err = Topology::from_spec(&spec, index(), |_: &str| {
             Err(ServeError::Remote {
                 addr: "10.0.0.7:7878".into(),
                 detail: "connection refused".into(),

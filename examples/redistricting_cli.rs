@@ -20,12 +20,15 @@
 //! # HEIGHT: tree height (default 6)
 //!
 //! cargo run --release -p fsi --example redistricting_cli -- serve [CSV_PATH] \
-//!     [--cache N] [--topology FILE] [--shard-of IDX] [--listen ADDR] [--metrics] \
-//!     [--auto-rebuild]
+//!     [--cache N] [--topology FILE] [--resilience FILE] [--shard-of IDX] \
+//!     [--listen ADDR] [--metrics] [--auto-rebuild]
 //! # --cache N:        LRU decision-cache capacity (default 4096, 0 disables)
 //! # --topology FILE:  serve a TopologySpec JSON ({"rows":R,"cols":C,"shards":[…]})
 //! #                   as the scatter-gather coordinator; "local" slots are served
 //! #                   in-process, "http://host:port" slots by remote shard servers
+//! # --resilience FILE: a ResiliencePolicy JSON; replica slots of the topology
+//! #                   ({"replicas":[…]}) fail over under it (retries, hedging,
+//! #                   per-replica circuit breakers — requires --topology)
 //! # --shard-of IDX:   serve only shard IDX of the topology (a partial index
 //! #                   holding just that slot's leaves) — run one per slot
 //! # --listen ADDR:    speak HTTP/1.1 JSON on ADDR instead of the stdin REPL
@@ -138,6 +141,8 @@ struct ServeConfig {
     cache_capacity: usize,
     /// Coordinator topology spec (`--topology FILE`).
     topology: Option<TopologySpec>,
+    /// Resilience policy for replica slots (`--resilience FILE`).
+    resilience: Option<fsi::ResiliencePolicy>,
     /// Serve only this shard of the topology (`--shard-of IDX`).
     shard_of: Option<usize>,
     /// Speak HTTP on this address instead of the stdin REPL.
@@ -226,7 +231,19 @@ fn serve(dataset: &SpatialDataset, config: ServeConfig) -> Result<(), Box<dyn st
                 spec.cols,
                 spec.shards.iter().map(|b| b.as_wire()).collect::<Vec<_>>()
             );
-            Topology::from_spec(spec, index, RemoteShard::connector())?
+            match &config.resilience {
+                Some(policy) => {
+                    policy.validate().map_err(|e| e.to_string())?;
+                    println!(
+                        "resilience: {} attempts, hedge_after={:?}ms, breaker opens after {} failures",
+                        policy.max_attempts, policy.hedge_after_ms, policy.breaker_threshold
+                    );
+                    let connector = fsi::ResilientConnector::new(policy.clone())
+                        .with_reconnect_attempts(policy.max_attempts.max(1));
+                    Topology::from_spec(spec, index, connector)?
+                }
+                None => Topology::from_spec(spec, index, RemoteShard::connector())?,
+            }
         }
         (None, Some(_)) => return Err("--shard-of requires --topology".into()),
         (None, None) => Topology::single(IndexHandle::new(index)),
@@ -331,6 +348,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut config = ServeConfig {
             cache_capacity: 4096,
             topology: None,
+            resilience: None,
             shard_of: None,
             listen: None,
             metrics: false,
@@ -354,6 +372,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     config.topology = Some(
                         serde_json::from_str(&json)
                             .map_err(|e| format!("bad topology spec `{path}`: {e}"))?,
+                    );
+                }
+                "--resilience" => {
+                    let path = rest
+                        .next()
+                        .ok_or("--resilience requires a JSON file path")?;
+                    let json = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read resilience policy `{path}`: {e}"))?;
+                    config.resilience = Some(
+                        serde_json::from_str(&json)
+                            .map_err(|e| format!("bad resilience policy `{path}`: {e}"))?,
                     );
                 }
                 "--shard-of" => {

@@ -822,6 +822,21 @@ fn parallel_fanout_matches_sequential_per_shard_answers() {
         }
     }
 
+    // Batches: the per-shard sub-batches now fan out concurrently, but
+    // the gathered answer must equal asking for every point one at a
+    // time, in the original order.
+    let points = query_points(d.grid(), 120, 71);
+    let sequential: Vec<DecisionBody> = points
+        .iter()
+        .map(|p| expect_decision(coordinator.dispatch(&Request::Lookup { x: p.x, y: p.y })))
+        .collect();
+    match coordinator.dispatch(&Request::LookupBatch {
+        points: points.iter().map(|p| WirePoint::new(p.x, p.y)).collect(),
+    }) {
+        Response::Decisions { decisions } => assert_eq!(decisions, sequential),
+        other => panic!("expected decisions, got {other:?}"),
+    }
+
     // Stats: the fanned-out per-shard reports equal each remote shard's
     // own answer.
     match coordinator.dispatch(&Request::Stats) {
@@ -858,4 +873,95 @@ fn parallel_fanout_matches_sequential_per_shard_answers() {
 
     shard1.shutdown();
     shard2.shutdown();
+}
+
+/// Graceful degradation: when a remote shard dies (a `ChaosShard` kill
+/// switch over the real HTTP backend — no hand-rolled failure
+/// plumbing), fleet-wide `Stats` and `Metrics` still answer. The dead
+/// shard carries an `unreachable` marker with the transport error
+/// instead of failing the whole response, and flipping the switch back
+/// clears the marker.
+#[test]
+fn stats_and_metrics_degrade_gracefully_when_a_shard_dies() {
+    let d = dataset();
+    let run = Pipeline::on(&d)
+        .task(TaskSpec::act())
+        .method(Method::FairKd)
+        .height(4)
+        .run()
+        .unwrap();
+    let index = run.freeze().unwrap();
+    let serving = run.serve().unwrap();
+
+    let local_spec = TopologySpec::local(1, 2);
+    let shard1 = fsi::HttpServer::bind(
+        serving.service_shard(&local_spec, 1).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let spec = TopologySpec {
+        rows: 1,
+        cols: 2,
+        shards: vec![
+            BackendSpec::Local,
+            BackendSpec::Http(shard1.addr().to_string()),
+        ],
+    };
+    let switches: std::sync::Mutex<Vec<fsi::ChaosSwitch>> = std::sync::Mutex::new(Vec::new());
+    let topology = fsi::Topology::from_spec(&spec, index, |addr: &str| {
+        let chaos = fsi::ChaosShard::new(Box::new(fsi::RemoteShard::connect(addr)?));
+        switches.lock().unwrap().push(chaos.switch());
+        Ok(Box::new(chaos) as Box<dyn fsi::ShardBackend>)
+    })
+    .unwrap();
+    let mut coordinator = fsi::QueryService::new(topology).with_metrics(true);
+    let switch = switches.into_inner().unwrap().pop().expect("one remote");
+
+    let assert_stats = |response: Response, down: bool| match response {
+        Response::Stats { stats } => {
+            let per_shard = stats.per_shard.expect("topology stats are per-shard");
+            assert_eq!(per_shard.len(), 2);
+            assert!(per_shard[0].unreachable.is_none(), "local shard healthy");
+            if down {
+                assert_eq!(per_shard[1].unreachable, Some(true));
+                assert_eq!(per_shard[1].backend, "unreachable");
+                assert_eq!(per_shard[1].generation, 0);
+                let error = per_shard[1].error.as_deref().unwrap_or_default();
+                assert!(error.contains("chaos"), "marker carries the cause: {error}");
+            } else {
+                assert!(per_shard[1].unreachable.is_none());
+                assert!(per_shard[1].error.is_none());
+                assert_eq!(per_shard[1].generation, 1);
+            }
+        }
+        other => panic!("expected stats, got {other:?}"),
+    };
+
+    assert_stats(coordinator.dispatch(&Request::Stats), false);
+    switch.set_down(true);
+    assert_stats(coordinator.dispatch(&Request::Stats), true);
+    // Metrics likewise keep answering: the dead shard simply has no
+    // remote snapshot gathered into its slot.
+    match coordinator.dispatch(&Request::Metrics) {
+        Response::Metrics { metrics } => {
+            assert!(metrics.shards[1].remote.is_none(), "dead shard: no scrape");
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+    // A lookup routed at the dead, *unreplicated* shard still fails —
+    // degradation markers are for observability fan-outs, not a license
+    // to answer queries wrong. Replication is what removes this error
+    // (see tests/resilience.rs).
+    let b = *d.grid().bounds();
+    let right = Request::Lookup {
+        x: b.min_x + 0.75 * b.width(),
+        y: b.min_y + 0.5 * b.height(),
+    };
+    match coordinator.dispatch(&right) {
+        Response::Error { error } => assert_eq!(error.code, fsi::ErrorCode::Internal),
+        other => panic!("expected a routed failure, got {other:?}"),
+    }
+    switch.set_down(false);
+    assert_stats(coordinator.dispatch(&Request::Stats), false);
+    shard1.shutdown();
 }
